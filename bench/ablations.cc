@@ -1,0 +1,136 @@
+// Ablation benches for the design choices the paper discusses:
+//   (a) TEASER with vs without its one-class SVM tier (Sec. 6.2.3 credits the
+//       OC-SVM for TEASER outperforming plain S-WEASEL);
+//   (b) TEASER with vs without z-normalisation (the paper removes it for the
+//       online setting and reports ~5% difference);
+//   (c) ECEC's accuracy/earliness trade-off knob α;
+//   (d) STRUT grid search vs the faster binary-search refinement;
+//   (e) WEASEL with vs without bigrams;
+//   (f) the four voting schemes for univariate algorithms on multivariate
+//       data (future-work analysis of Sec. 7).
+
+#include <cstdio>
+#include <memory>
+
+#include "algos/ecec.h"
+#include "algos/ects.h"
+#include "algos/strut.h"
+#include "algos/teaser.h"
+#include "core/evaluation.h"
+#include "core/voting_schemes.h"
+#include "data/repository.h"
+#include "tsc/weasel.h"
+
+namespace {
+
+etsc::Dataset LoadDataset(const std::string& name) {
+  etsc::RepositoryOptions repo;
+  repo.height_scale = 0.35;
+  repo.maritime_windows = 600;
+  auto benchmark = etsc::MakeBenchmarkDataset(name, repo);
+  ETSC_CHECK(benchmark.ok());
+  return std::move(benchmark->data);
+}
+
+void Report(const char* label, const etsc::EvaluationResult& result) {
+  if (!result.trained()) {
+    std::printf("  %-28s DNF\n", label);
+    return;
+  }
+  const etsc::EvalScores scores = result.MeanScores();
+  std::printf("  %-28s acc=%.3f f1=%.3f earliness=%.3f hm=%.3f\n", label,
+              scores.accuracy, scores.f1, scores.earliness,
+              scores.harmonic_mean);
+}
+
+etsc::EvaluationOptions Opts() {
+  etsc::EvaluationOptions options;
+  options.num_folds = 2;
+  options.train_budget_seconds = 60.0;
+  return options;
+}
+
+}  // namespace
+
+int main() {
+  const etsc::Dataset power = LoadDataset("PowerCons");
+  const etsc::Dataset motions = LoadDataset("BasicMotions");
+
+  std::printf("== Ablation (a): TEASER one-class SVM tier (PowerCons) ==\n");
+  {
+    etsc::TeaserOptions with_svm;
+    with_svm.num_prefixes = 10;
+    Report("TEASER (two-tier)",
+           CrossValidate(power, etsc::TeaserClassifier(with_svm), Opts()));
+    // Disabling the filter: a huge nu cap makes every OC-SVM fit degenerate to
+    // pass-through; emulate by forcing the filter off via max_training_points
+    // = 0 is invalid, so use an accept-all variant through options.
+    etsc::TeaserOptions no_svm = with_svm;
+    no_svm.ocsvm.nu = 1.0 - 1e-9;  // everything becomes an outlier bound
+    no_svm.ocsvm.max_iters = 0;    // uniform alphas: accepts ~everything
+    Report("TEASER (SVM tier neutered)",
+           CrossValidate(power, etsc::TeaserClassifier(no_svm), Opts()));
+  }
+
+  std::printf("\n== Ablation (b): TEASER z-normalisation (PowerCons) ==\n");
+  {
+    etsc::TeaserOptions plain;
+    plain.num_prefixes = 10;
+    Report("TEASER (no z-norm, paper)",
+           CrossValidate(power, etsc::TeaserClassifier(plain), Opts()));
+    etsc::TeaserOptions znorm = plain;
+    znorm.z_normalize = true;
+    Report("TEASER (original z-norm)",
+           CrossValidate(power, etsc::TeaserClassifier(znorm), Opts()));
+  }
+
+  std::printf("\n== Ablation (c): ECEC alpha trade-off (PowerCons) ==\n");
+  for (double alpha : {0.5, 0.8, 0.95}) {
+    etsc::EcecOptions options;
+    options.num_prefixes = 10;
+    options.alpha = alpha;
+    char label[32];
+    std::snprintf(label, sizeof(label), "ECEC alpha=%.2f", alpha);
+    Report(label, CrossValidate(power, etsc::EcecClassifier(options), Opts()));
+  }
+
+  std::printf("\n== Ablation (d): STRUT search mode (PowerCons) ==\n");
+  {
+    etsc::StrutOptions grid;
+    grid.search = etsc::StrutSearch::kGrid;
+    Report("S-MINI (grid)",
+           CrossValidate(power, *etsc::MakeStrutMiniRocket(grid), Opts()));
+    etsc::StrutOptions binary;
+    binary.search = etsc::StrutSearch::kBinary;
+    Report("S-MINI (binary refine)",
+           CrossValidate(power, *etsc::MakeStrutMiniRocket(binary), Opts()));
+  }
+
+  std::printf("\n== Ablation (e): WEASEL bigrams inside S-WEASEL (PowerCons) ==\n");
+  {
+    Report("S-WEASEL (uni+bigrams)",
+           CrossValidate(power, *etsc::MakeStrutWeasel(false), Opts()));
+    // A STRUT over WEASEL without bigrams.
+    etsc::WeaselOptions no_bigrams;
+    no_bigrams.use_bigrams = false;
+    auto strut = std::make_unique<etsc::StrutClassifier>(
+        std::make_unique<etsc::WeaselClassifier>(no_bigrams),
+        etsc::StrutOptions{}, "S-WEASEL-uni");
+    Report("S-WEASEL (unigrams only)", CrossValidate(power, *strut, Opts()));
+  }
+
+  std::printf("\n== Ablation (f): voting schemes, ECTS on BasicMotions ==\n");
+  for (etsc::VotingScheme scheme :
+       {etsc::VotingScheme::kMajorityWorstEarliness,
+        etsc::VotingScheme::kMajorityMeanEarliness,
+        etsc::VotingScheme::kEarliestVoter,
+        etsc::VotingScheme::kEarlinessWeighted}) {
+    etsc::ConfigurableVotingClassifier wrapper(
+        std::make_unique<etsc::EctsClassifier>(), scheme);
+    etsc::EvaluationOptions options = Opts();
+    options.wrap_univariate_with_voting = false;  // we wrapped explicitly
+    Report(etsc::VotingSchemeName(scheme).c_str(),
+           CrossValidate(motions, wrapper, options));
+  }
+  return 0;
+}

@@ -1,0 +1,293 @@
+#include "bench/bench_common.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "algos/ecec.h"
+#include "algos/economy_k.h"
+#include "algos/ects.h"
+#include "algos/edsc.h"
+#include "algos/strut.h"
+#include "algos/teaser.h"
+#include "core/evaluation.h"
+
+namespace etsc::bench {
+
+namespace {
+
+std::string GetEnvOr(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : value;
+}
+
+double GetEnvOr(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::strtod(value, nullptr);
+}
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& PaperAlgorithms() {
+  static const auto* kAlgorithms = new std::vector<std::string>{
+      "ECEC", "ECO-K", "ECTS", "EDSC", "TEASER", "S-MINI", "S-MLSTM", "S-WEASEL"};
+  return *kAlgorithms;
+}
+
+CampaignConfig CampaignConfig::FromEnv() {
+  CampaignConfig config;
+  config.height_scale = GetEnvOr("ETSC_BENCH_SCALE", config.height_scale);
+  config.folds = static_cast<size_t>(
+      GetEnvOr("ETSC_BENCH_FOLDS", static_cast<double>(config.folds)));
+  config.train_budget_seconds =
+      GetEnvOr("ETSC_BENCH_BUDGET", config.train_budget_seconds);
+  config.maritime_windows = static_cast<size_t>(GetEnvOr(
+      "ETSC_BENCH_MARITIME", static_cast<double>(config.maritime_windows)));
+  const std::string algos = GetEnvOr("ETSC_BENCH_ALGOS", "");
+  config.algorithms = algos.empty() ? PaperAlgorithms() : SplitCommas(algos);
+  const std::string datasets = GetEnvOr("ETSC_BENCH_DATASETS", "");
+  config.datasets =
+      datasets.empty() ? BenchmarkDatasetNames() : SplitCommas(datasets);
+  config.cache_path =
+      GetEnvOr("ETSC_BENCH_CACHE", std::string("etsc_campaign_cache.csv"));
+  config.report_only = !GetEnvOr("ETSC_BENCH_REPORT_ONLY", std::string()).empty();
+  return config;
+}
+
+std::string CampaignConfig::Fingerprint() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "v1 scale=%.3f folds=%zu budget=%.0f maritime=%zu seed=%llu",
+                height_scale, folds, train_budget_seconds, maritime_windows,
+                static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+std::unique_ptr<EarlyClassifier> MakePaperAlgorithm(
+    const std::string& algorithm, const std::string& dataset_name,
+    size_t series_length) {
+  const bool new_dataset =
+      dataset_name == "Biological" || dataset_name == "Maritime";
+  if (algorithm == "ECEC") {
+    EcecOptions options;  // N = 20, alpha = 0.8 (Table 4 defaults)
+    // Implementation parameter (not in Table 4): fewer WEASEL window sizes so
+    // N x (cv+1) pipeline fits stay inside the single-core budget.
+    options.weasel.max_window_count = 12;
+    return std::make_unique<EcecClassifier>(options);
+  }
+  if (algorithm == "ECO-K") {
+    EconomyKOptions options;  // k in {1,2,3}, lambda = 100, cost = 0.001
+    return std::make_unique<EconomyKClassifier>(options);
+  }
+  if (algorithm == "ECTS") {
+    EctsOptions options;  // support = 0
+    return std::make_unique<EctsClassifier>(options);
+  }
+  if (algorithm == "EDSC") {
+    EdscOptions options;  // CHE, k = 3, minLen = 5, maxLen = L/2
+    // Tractability scaling (documented in DESIGN.md): candidate subsampling
+    // replaces the paper's 24-core / 48-hour budget.
+    options.start_stride = std::max<size_t>(1, series_length / 64);
+    options.length_stride = std::max<size_t>(1, series_length / 64);
+    options.max_candidates = 1500;
+    return std::make_unique<EdscClassifier>(options);
+  }
+  if (algorithm == "TEASER") {
+    TeaserOptions options;
+    options.num_prefixes = new_dataset ? 10 : 20;  // Table 4
+    options.weasel.max_window_count = 12;  // see ECEC note above
+    return std::make_unique<TeaserClassifier>(options);
+  }
+  if (algorithm == "S-MINI") return MakeStrutMiniRocket();
+  if (algorithm == "S-MLSTM") {
+    StrutOptions options;  // fixed fraction grid per Sec. 6.1
+    return MakeStrutMlstm(options);
+  }
+  if (algorithm == "S-WEASEL") return MakeStrutWeasel(false);
+  return nullptr;
+}
+
+Campaign::Campaign(CampaignConfig config) : config_(std::move(config)) {}
+
+RepositoryOptions Campaign::RepoOptions() const {
+  RepositoryOptions repo;
+  repo.seed = config_.seed;
+  repo.height_scale = config_.height_scale;
+  repo.maritime_windows = config_.maritime_windows;
+  return repo;
+}
+
+void Campaign::LoadCache() {
+  std::ifstream in(config_.cache_path);
+  if (!in) return;
+  std::string line;
+  if (!std::getline(in, line) || line != "# " + config_.Fingerprint()) {
+    return;  // stale cache from another configuration
+  }
+  while (std::getline(in, line)) {
+    std::stringstream ss(line);
+    CampaignCell cell;
+    std::string trained, field;
+    if (!std::getline(ss, cell.algorithm, ',')) continue;
+    if (!std::getline(ss, cell.dataset, ',')) continue;
+    if (!std::getline(ss, trained, ',')) continue;
+    cell.trained = trained == "1";
+    auto read_double = [&](double* out) {
+      if (!std::getline(ss, field, ',')) return false;
+      *out = std::strtod(field.c_str(), nullptr);
+      return true;
+    };
+    if (!read_double(&cell.accuracy)) continue;
+    if (!read_double(&cell.f1)) continue;
+    if (!read_double(&cell.earliness)) continue;
+    if (!read_double(&cell.harmonic_mean)) continue;
+    if (!read_double(&cell.train_seconds)) continue;
+    if (!read_double(&cell.test_seconds_per_instance)) continue;
+    std::getline(ss, cell.failure);
+    cells_.push_back(std::move(cell));
+  }
+}
+
+void Campaign::AppendCache(const CampaignCell& cell) const {
+  const bool fresh = !std::ifstream(config_.cache_path).good();
+  std::ofstream out(config_.cache_path, std::ios::app);
+  if (!out) return;
+  if (fresh) out << "# " << config_.Fingerprint() << "\n";
+  out << cell.algorithm << ',' << cell.dataset << ',' << (cell.trained ? 1 : 0)
+      << ',' << cell.accuracy << ',' << cell.f1 << ',' << cell.earliness << ','
+      << cell.harmonic_mean << ',' << cell.train_seconds << ','
+      << cell.test_seconds_per_instance << ',' << cell.failure << "\n";
+}
+
+const CampaignCell* Campaign::Find(const std::string& algorithm,
+                                   const std::string& dataset) const {
+  for (const auto& cell : cells_) {
+    if (cell.algorithm == algorithm && cell.dataset == dataset) return &cell;
+  }
+  return nullptr;
+}
+
+void Campaign::Run() {
+  LoadCache();
+  profiles_.clear();
+
+  for (const auto& dataset_name : config_.datasets) {
+    auto benchmark = MakeBenchmarkDataset(dataset_name, RepoOptions());
+    if (!benchmark.ok()) {
+      std::fprintf(stderr, "[campaign] dataset %s failed: %s\n",
+                   dataset_name.c_str(),
+                   benchmark.status().ToString().c_str());
+      continue;
+    }
+    profiles_.push_back(benchmark->canonical_profile);
+
+    for (const auto& algorithm : config_.algorithms) {
+      if (Find(algorithm, dataset_name) != nullptr) continue;  // cached
+      if (config_.report_only) continue;  // reporting a running campaign
+      auto prototype = MakePaperAlgorithm(algorithm, dataset_name,
+                                          benchmark->data.MaxLength());
+      if (prototype == nullptr) {
+        std::fprintf(stderr, "[campaign] unknown algorithm %s\n",
+                     algorithm.c_str());
+        continue;
+      }
+      std::fprintf(stderr, "[campaign] %s on %s (%zu instances)...\n",
+                   algorithm.c_str(), dataset_name.c_str(),
+                   benchmark->data.size());
+
+      EvaluationOptions options;
+      options.num_folds = config_.folds;
+      options.seed = config_.seed;
+      options.train_budget_seconds = config_.train_budget_seconds;
+      const EvaluationResult result =
+          CrossValidate(benchmark->data, *prototype, options);
+
+      CampaignCell cell;
+      cell.algorithm = algorithm;
+      cell.dataset = dataset_name;
+      cell.trained = result.trained();
+      if (!cell.trained) {
+        for (const auto& fold : result.folds) {
+          if (!fold.trained) {
+            cell.failure = fold.failure;
+            break;
+          }
+        }
+      }
+      const EvalScores scores = result.MeanScores();
+      cell.accuracy = scores.accuracy;
+      cell.f1 = scores.f1;
+      cell.earliness = scores.earliness;
+      cell.harmonic_mean = scores.harmonic_mean;
+      cell.train_seconds = result.MeanTrainSeconds();
+      cell.test_seconds_per_instance = result.MeanTestSecondsPerInstance();
+      AppendCache(cell);
+      cells_.push_back(std::move(cell));
+      std::fprintf(stderr, "[campaign]   %s\n",
+                   cells_.back().trained
+                       ? scores.ToString().c_str()
+                       : ("DNF: " + cells_.back().failure).c_str());
+    }
+  }
+}
+
+double Campaign::CategoryMean(const std::string& algorithm,
+                              DatasetCategory category,
+                              double (*extract)(const CampaignCell&)) const {
+  double sum = 0.0;
+  size_t count = 0;
+  for (const auto& profile : profiles_) {
+    if (!profile.IsIn(category)) continue;
+    const CampaignCell* cell = Find(algorithm, profile.name);
+    if (cell == nullptr || !cell->trained) continue;
+    sum += extract(*cell);
+    ++count;
+  }
+  return count == 0 ? std::nan("") : sum / static_cast<double>(count);
+}
+
+double CellAccuracy(const CampaignCell& cell) { return cell.accuracy; }
+double CellF1(const CampaignCell& cell) { return cell.f1; }
+double CellEarliness(const CampaignCell& cell) { return cell.earliness; }
+double CellHarmonicMean(const CampaignCell& cell) { return cell.harmonic_mean; }
+double CellTrainMinutes(const CampaignCell& cell) {
+  return cell.train_seconds / 60.0;
+}
+
+void PrintCategoryTable(const Campaign& campaign, const std::string& title,
+                        double (*extract)(const CampaignCell&), int digits) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("(config: %s)\n", campaign.config().Fingerprint().c_str());
+  std::printf("%-10s", "algorithm");
+  for (DatasetCategory category : AllDatasetCategories()) {
+    std::printf(" %12s", DatasetCategoryName(category).c_str());
+  }
+  std::printf("\n");
+  for (const auto& algorithm : campaign.config().algorithms) {
+    std::printf("%-10s", algorithm.c_str());
+    for (DatasetCategory category : AllDatasetCategories()) {
+      const double value = campaign.CategoryMean(algorithm, category, extract);
+      if (std::isnan(value)) {
+        std::printf(" %12s", "--");
+      } else {
+        std::printf(" %12.*f", digits, value);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace etsc::bench

@@ -1,0 +1,122 @@
+#ifndef ETSC_BENCH_BENCH_COMMON_H_
+#define ETSC_BENCH_BENCH_COMMON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/categorize.h"
+#include "core/classifier.h"
+#include "core/dataset.h"
+#include "data/repository.h"
+
+namespace etsc::bench {
+
+/// Campaign configuration (paper Sec. 6.1 protocol, scaled for one machine).
+/// Environment overrides:
+///   ETSC_BENCH_SCALE     height scale for datasets above 1000 instances
+///                        (default 0.05; 1.0 = paper-sized)
+///   ETSC_BENCH_FOLDS     stratified CV folds (default 2; paper: 5)
+///   ETSC_BENCH_BUDGET    per-fold training budget in seconds (default 30;
+///                        stands in for the paper's 48-hour cut-off)
+///   ETSC_BENCH_MARITIME  maritime window count (default 1000)
+///   ETSC_BENCH_ALGOS     comma list restricting algorithms (default: all 8)
+///   ETSC_BENCH_DATASETS  comma list restricting datasets (default: all 12)
+///   ETSC_BENCH_CACHE     campaign cache path (default etsc_campaign_cache.csv)
+///   ETSC_BENCH_REPORT_ONLY  when set (non-empty), Run() only loads the cache
+///                        and reports; missing cells print as "--" instead of
+///                        being computed (useful while a campaign is running
+///                        in another process)
+struct CampaignConfig {
+  double height_scale = 0.05;
+  size_t folds = 2;
+  double train_budget_seconds = 30.0;
+  size_t maritime_windows = 1000;
+  uint64_t seed = 42;
+  std::vector<std::string> algorithms;  // paper order
+  std::vector<std::string> datasets;    // Table-3 order
+  std::string cache_path = "etsc_campaign_cache.csv";
+  bool report_only = false;
+
+  /// Built from defaults + environment overrides.
+  static CampaignConfig FromEnv();
+
+  /// One-line fingerprint; cache entries from other configs are discarded.
+  std::string Fingerprint() const;
+};
+
+/// Names of the eight evaluated algorithms in the paper's plot order.
+const std::vector<std::string>& PaperAlgorithms();
+
+/// Builds an algorithm with the paper's Table-4 parameters (plus the scaled
+/// EDSC candidate cap documented in DESIGN.md). `dataset_name` selects the
+/// per-dataset TEASER S (10 for Biological/Maritime, 20 otherwise).
+std::unique_ptr<EarlyClassifier> MakePaperAlgorithm(
+    const std::string& algorithm, const std::string& dataset_name,
+    size_t series_length);
+
+/// One (algorithm, dataset) cell of the campaign.
+struct CampaignCell {
+  std::string algorithm;
+  std::string dataset;
+  bool trained = false;
+  std::string failure;
+  double accuracy = 0.0;
+  double f1 = 0.0;
+  double earliness = 1.0;
+  double harmonic_mean = 0.0;
+  double train_seconds = 0.0;
+  double test_seconds_per_instance = 0.0;
+};
+
+/// The full evaluation campaign: every algorithm on every dataset with
+/// stratified CV, incrementally cached so all fig/table benches share one run
+/// and interrupted campaigns resume.
+class Campaign {
+ public:
+  explicit Campaign(CampaignConfig config = CampaignConfig::FromEnv());
+
+  /// Computes (or loads) every cell. Progress goes to stderr.
+  void Run();
+
+  /// Cell lookup; null when the combination is not part of the config.
+  const CampaignCell* Find(const std::string& algorithm,
+                           const std::string& dataset) const;
+
+  /// Canonical Table-3 profiles of the configured datasets.
+  const std::vector<DatasetProfile>& profiles() const { return profiles_; }
+
+  const CampaignConfig& config() const { return config_; }
+  const std::vector<CampaignCell>& cells() const { return cells_; }
+
+  /// Mean of `extract(cell)` over trained cells of `algorithm` whose dataset
+  /// belongs to `category`; NaN when nothing qualifies.
+  double CategoryMean(const std::string& algorithm, DatasetCategory category,
+                      double (*extract)(const CampaignCell&)) const;
+
+ private:
+  void LoadCache();
+  void AppendCache(const CampaignCell& cell) const;
+  RepositoryOptions RepoOptions() const;
+
+  CampaignConfig config_;
+  std::vector<CampaignCell> cells_;
+  std::vector<DatasetProfile> profiles_;
+};
+
+/// Extraction helpers for CategoryMean.
+double CellAccuracy(const CampaignCell& cell);
+double CellF1(const CampaignCell& cell);
+double CellEarliness(const CampaignCell& cell);
+double CellHarmonicMean(const CampaignCell& cell);
+double CellTrainMinutes(const CampaignCell& cell);
+
+/// Prints a per-category table: one row per algorithm, one column per
+/// category, formatted with `digits` decimals ("--" for missing).
+void PrintCategoryTable(const Campaign& campaign, const std::string& title,
+                        double (*extract)(const CampaignCell&), int digits = 3);
+
+}  // namespace etsc::bench
+
+#endif  // ETSC_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,13 @@
+// Reproduces paper Figure 10: mean earliness per dataset category (lower is
+// better; 1.0 means the full series was consumed).
+
+#include "bench/bench_common.h"
+
+int main() {
+  etsc::bench::Campaign campaign;
+  campaign.Run();
+  etsc::bench::PrintCategoryTable(
+      campaign, "Figure 10: Earliness per category (lower is better)",
+      etsc::bench::CellEarliness);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Reproduces paper Figure 11: harmonic mean of accuracy and (1 - earliness)
+// per dataset category.
+
+#include "bench/bench_common.h"
+
+int main() {
+  etsc::bench::Campaign campaign;
+  campaign.Run();
+  etsc::bench::PrintCategoryTable(
+      campaign, "Figure 11: Harmonic mean of accuracy and earliness",
+      etsc::bench::CellHarmonicMean);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Reproduces paper Figure 12: training times in minutes per dataset category
+// (lower is better). "--" marks algorithms that did not train within the
+// budget, the analogue of the paper's 48-hour cut-off.
+
+#include "bench/bench_common.h"
+
+int main() {
+  etsc::bench::Campaign campaign;
+  campaign.Run();
+  etsc::bench::PrintCategoryTable(
+      campaign, "Figure 12: Training time per category (minutes)",
+      etsc::bench::CellTrainMinutes, 4);
+  return 0;
+}

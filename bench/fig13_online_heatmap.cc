@@ -1,0 +1,67 @@
+// Reproduces paper Figure 13: online feasibility heatmap. Each cell is the
+// per-decision testing time divided by the dataset's observation arrival
+// period (for ECEC/TEASER, which consume batches of time-points per prefix,
+// the period is multiplied by the prefix step). Values < 1 mean the algorithm
+// answers before the next observation arrives ("feasible"); "DNF" marks the
+// paper's hatched cells (unable to train).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+// Time-points consumed per decision step: prefix step for the batch-prefix
+// algorithms, 1 for point-streaming ones.
+double BatchLength(const std::string& algorithm,
+                   const etsc::DatasetProfile& profile) {
+  const double length = static_cast<double>(profile.length);
+  if (algorithm == "ECEC") return std::max(1.0, length / 20.0);  // N = 20
+  if (algorithm == "TEASER") {
+    const bool new_dataset =
+        profile.name == "Biological" || profile.name == "Maritime";
+    return std::max(1.0, length / (new_dataset ? 10.0 : 20.0));
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+int main() {
+  etsc::bench::Campaign campaign;
+  campaign.Run();
+
+  std::printf("\n== Figure 13: online performance heatmap ==\n");
+  std::printf("(cell = test seconds per decision / observation period; < 1 "
+              "feasible, DNF = could not train)\n");
+  std::printf("%-22s %9s", "dataset", "period(s)");
+  for (const auto& algorithm : campaign.config().algorithms) {
+    std::printf(" %9s", algorithm.c_str());
+  }
+  std::printf("\n");
+
+  etsc::RepositoryOptions repo;
+  repo.seed = campaign.config().seed;
+  repo.height_scale = campaign.config().height_scale;
+  repo.maritime_windows = campaign.config().maritime_windows;
+
+  for (const auto& profile : campaign.profiles()) {
+    auto benchmark = etsc::MakeBenchmarkDataset(profile.name, repo);
+    if (!benchmark.ok()) continue;
+    const double period = benchmark->data.observation_period_seconds();
+    std::printf("%-22s %9.4g", profile.name.c_str(), period);
+    for (const auto& algorithm : campaign.config().algorithms) {
+      const auto* cell = campaign.Find(algorithm, profile.name);
+      if (cell == nullptr || !cell->trained) {
+        std::printf(" %9s", "DNF");
+        continue;
+      }
+      const double ratio = cell->test_seconds_per_instance /
+                           (period * BatchLength(algorithm, profile));
+      std::printf(" %9.3g", ratio);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Reproduces paper Figure 9: mean accuracy and F1-score per dataset category
+// for every algorithm (stratified CV, per-category averaging per Sec. 6.2.1).
+
+#include "bench/bench_common.h"
+
+int main() {
+  etsc::bench::Campaign campaign;
+  campaign.Run();
+  etsc::bench::PrintCategoryTable(campaign, "Figure 9a: Accuracy per category",
+                                  etsc::bench::CellAccuracy);
+  etsc::bench::PrintCategoryTable(campaign, "Figure 9b: F1-score per category",
+                                  etsc::bench::CellF1);
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Google-benchmark microbenchmarks of the ML substrate kernels behind the
+// ETSC algorithms: sliding DFT, SFA words, WEASEL/MiniROCKET transforms,
+// k-means, subseries distance, GBDT and the LSTM forward pass.
+
+#include <benchmark/benchmark.h>
+
+#include "core/rng.h"
+#include "ml/distance.h"
+#include "ml/fourier.h"
+#include "ml/gbdt.h"
+#include "ml/kmeans.h"
+#include "ml/nn/lstm.h"
+#include "ml/sfa.h"
+#include "tests/test_util.h"
+#include "tsc/minirocket.h"
+#include "tsc/weasel.h"
+
+namespace {
+
+std::vector<double> RandomSeries(size_t n, uint64_t seed) {
+  etsc::Rng rng(seed);
+  std::vector<double> out(n);
+  for (double& v : out) v = rng.Gaussian();
+  return out;
+}
+
+void BM_SlidingDft(benchmark::State& state) {
+  const auto series = RandomSeries(static_cast<size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(etsc::SlidingDft(series, 32, 4, true));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SlidingDft)->Range(128, 2048)->Complexity(benchmark::oN);
+
+void BM_SfaWord(benchmark::State& state) {
+  etsc::Rng rng(2);
+  std::vector<std::vector<double>> windows(64);
+  std::vector<int> labels(64);
+  for (size_t i = 0; i < windows.size(); ++i) {
+    windows[i] = RandomSeries(32, 100 + i);
+    labels[i] = static_cast<int>(i % 2);
+  }
+  etsc::Sfa sfa;
+  (void)sfa.Fit(windows, labels);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sfa.Word(windows[0]));
+  }
+}
+BENCHMARK(BM_SfaWord);
+
+void BM_WeaselFit(benchmark::State& state) {
+  const etsc::Dataset data =
+      etsc::testing::MakeToyDataset(static_cast<size_t>(state.range(0)), 64);
+  for (auto _ : state) {
+    etsc::WeaselClassifier model;
+    benchmark::DoNotOptimize(model.Fit(data));
+  }
+}
+BENCHMARK(BM_WeaselFit)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_MiniRocketTransform(benchmark::State& state) {
+  const etsc::Dataset data = etsc::testing::MakeToyDataset(10, 128);
+  etsc::MiniRocketClassifier model;
+  (void)model.Fit(data);
+  const etsc::TimeSeries& ts = data.instance(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Transform(ts));
+  }
+}
+BENCHMARK(BM_MiniRocketTransform);
+
+void BM_KMeans(benchmark::State& state) {
+  etsc::Rng gen(3);
+  std::vector<std::vector<double>> points(static_cast<size_t>(state.range(0)));
+  for (auto& p : points) p = RandomSeries(16, gen.engine()());
+  for (auto _ : state) {
+    etsc::Rng rng(4);
+    etsc::KMeansOptions options;
+    options.num_clusters = 3;
+    benchmark::DoNotOptimize(etsc::KMeansFit(points, options, &rng));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_KMeans)->Range(64, 1024)->Complexity(benchmark::oN);
+
+void BM_MinSubseriesDistance(benchmark::State& state) {
+  const auto pattern = RandomSeries(16, 5);
+  const auto series = RandomSeries(static_cast<size_t>(state.range(0)), 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(etsc::MinSubseriesDistance(pattern, series));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MinSubseriesDistance)->Range(128, 4096)->Complexity(benchmark::oN);
+
+void BM_GbdtFit(benchmark::State& state) {
+  etsc::Rng gen(7);
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<std::vector<double>> x(n);
+  std::vector<int> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = RandomSeries(8, 200 + i);
+    y[i] = x[i][0] > 0 ? 1 : 0;
+  }
+  etsc::GbdtOptions options;
+  options.num_rounds = 10;
+  for (auto _ : state) {
+    etsc::GbdtClassifier model(options);
+    benchmark::DoNotOptimize(model.Fit(x, y, nullptr));
+  }
+}
+BENCHMARK(BM_GbdtFit)->Arg(64)->Arg(256);
+
+void BM_LstmForward(benchmark::State& state) {
+  etsc::Rng rng(8);
+  etsc::nn::Lstm lstm(32, 16, &rng);
+  std::vector<std::vector<std::vector<double>>> input(
+      4, std::vector<std::vector<double>>(static_cast<size_t>(state.range(0))));
+  for (auto& seq : input) {
+    for (auto& step : seq) step = RandomSeries(32, 300);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lstm.Forward(input));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LstmForward)->Range(4, 64)->Complexity(benchmark::oN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

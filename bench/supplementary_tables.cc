@@ -1,0 +1,34 @@
+// Per-dataset result tables — the analogue of the paper's supplementary
+// material (the per-category figures 9-12 average over these). Reads the
+// shared campaign cache; cells still missing are computed.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  etsc::bench::Campaign campaign;
+  campaign.Run();
+
+  for (const auto& profile : campaign.profiles()) {
+    std::printf("\n== %s (height %zu, length %zu, %zu vars, %zu classes) ==\n",
+                profile.name.c_str(), profile.height, profile.length,
+                profile.num_variables, profile.num_classes);
+    std::printf("%-10s %9s %9s %10s %9s %12s %14s\n", "algorithm", "accuracy",
+                "f1", "earliness", "hm", "train(min)", "test(s/inst)");
+    for (const auto& algorithm : campaign.config().algorithms) {
+      const auto* cell = campaign.Find(algorithm, profile.name);
+      if (cell == nullptr) continue;
+      if (!cell->trained) {
+        std::printf("%-10s %9s (%s)\n", algorithm.c_str(), "DNF",
+                    cell->failure.c_str());
+        continue;
+      }
+      std::printf("%-10s %9.3f %9.3f %10.3f %9.3f %12.4f %14.6f\n",
+                  algorithm.c_str(), cell->accuracy, cell->f1, cell->earliness,
+                  cell->harmonic_mean, cell->train_seconds / 60.0,
+                  cell->test_seconds_per_instance);
+    }
+  }
+  return 0;
+}

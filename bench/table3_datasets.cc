@@ -1,0 +1,47 @@
+// Reproduces paper Table 3: dataset characteristics and category memberships.
+// Profiles are canonical (paper-sized heights) even when the evaluation
+// campaign runs on scaled-down instance counts.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using etsc::AllDatasetCategories;
+  using etsc::DatasetCategoryName;
+
+  const etsc::bench::CampaignConfig config =
+      etsc::bench::CampaignConfig::FromEnv();
+  etsc::RepositoryOptions repo;
+  repo.seed = config.seed;
+  repo.height_scale = config.height_scale;
+  repo.maritime_windows = config.maritime_windows;
+
+  std::printf("== Table 3: dataset characteristics ==\n");
+  std::printf("%-22s %7s %7s %5s %8s %7s %7s |", "dataset", "height", "length",
+              "vars", "classes", "CoV", "CIR");
+  for (auto category : AllDatasetCategories()) {
+    std::printf(" %-5.5s", DatasetCategoryName(category).c_str());
+  }
+  std::printf("\n");
+
+  for (const auto& name : config.datasets) {
+    auto benchmark = etsc::MakeBenchmarkDataset(name, repo);
+    if (!benchmark.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   benchmark.status().ToString().c_str());
+      continue;
+    }
+    const etsc::DatasetProfile& p = benchmark->canonical_profile;
+    std::printf("%-22s %7zu %7zu %5zu %8zu %7.2f %7.2f |", p.name.c_str(),
+                p.height, p.length, p.num_variables, p.num_classes, p.cov,
+                p.cir);
+    for (auto category : AllDatasetCategories()) {
+      std::printf(" %-5s", p.IsIn(category) ? "  x" : "");
+    }
+    std::printf("\n");
+  }
+  std::printf("\nThresholds (Sec. 5.4): Wide length>1300, Large height>1000, "
+              "Unstable CoV>1.08, Imbalanced CIR>1.73, Multiclass classes>2.\n");
+  return 0;
+}

@@ -1,0 +1,206 @@
+#include "algos/ecec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/evaluation.h"
+#include "core/metrics.h"
+#include "core/rng.h"
+
+namespace etsc {
+
+namespace {
+
+// Fused ECEC confidence of the prediction at prefix index `upto` given the
+// sequence of per-prefix predictions and their reliabilities: agreement of
+// earlier classifiers with the current label compounds confidence.
+double FusedConfidence(const std::vector<int>& predictions,
+                       const std::vector<double>& reliabilities, size_t upto) {
+  const int label = predictions[upto];
+  double product = 1.0;
+  for (size_t i = 0; i <= upto; ++i) {
+    if (predictions[i] == label) {
+      product *= 1.0 - reliabilities[i];
+    }
+  }
+  return 1.0 - product;
+}
+
+}  // namespace
+
+double EcecClassifier::Reliability(size_t ci, int label) const {
+  const auto& table = reliability_[ci];
+  auto it = table.find(label);
+  return it == table.end() ? 0.5 : it->second;
+}
+
+Status EcecClassifier::Fit(const Dataset& train) {
+  if (train.size() < options_.cv_folds) {
+    return Status::InvalidArgument("ECEC: too few training series");
+  }
+  if (train.NumVariables() != 1) {
+    return Status::InvalidArgument("ECEC: univariate input required");
+  }
+  length_ = train.MinLength();
+  if (length_ < 2) return Status::InvalidArgument("ECEC: series too short");
+
+  // Prefix grid: ceil(i*L/N) for i = 1..N (paper Sec. 3.5).
+  prefix_lengths_.clear();
+  const size_t num = std::min(options_.num_prefixes, length_);
+  for (size_t i = 1; i <= num; ++i) {
+    // ceil(i*L/N), clamped to the shortest prefix WEASEL can transform.
+    const size_t len = std::max<size_t>(2, (i * length_ + num - 1) / num);
+    if (prefix_lengths_.empty() || prefix_lengths_.back() != len) {
+      prefix_lengths_.push_back(len);
+    }
+  }
+  if (prefix_lengths_.back() != length_) prefix_lengths_.push_back(length_);
+  const size_t P = prefix_lengths_.size();
+  const size_t n = train.size();
+
+  Stopwatch budget_timer;
+  Rng rng(options_.seed);
+
+  // Cross-validated per-prefix predictions for reliability estimation.
+  // cv_pred[p][i] = held-out prediction of classifier p on training series i.
+  std::vector<std::vector<int>> cv_pred(P, std::vector<int>(n, 0));
+  const auto folds = StratifiedKFold(train, options_.cv_folds, &rng);
+  for (const auto& split : folds) {
+    Dataset fold_train = train.Subset(split.train);
+    for (size_t p = 0; p < P; ++p) {
+      if (budget_timer.Seconds() > train_budget_seconds_) {
+        return Status::ResourceExhausted("ECEC: train budget exceeded");
+      }
+      WeaselClassifier model(options_.weasel);
+      ETSC_RETURN_NOT_OK(model.Fit(fold_train.Truncated(prefix_lengths_[p])));
+      for (size_t test_idx : split.test) {
+        auto pred = model.Predict(train.instance(test_idx).Prefix(prefix_lengths_[p]));
+        cv_pred[p][test_idx] = pred.ok() ? *pred : train.label(test_idx) - 1;
+      }
+    }
+  }
+
+  // Reliability tables r_p(ŷ) = P(y = ŷ | h_p = ŷ), Laplace smoothed.
+  reliability_.assign(P, {});
+  for (size_t p = 0; p < P; ++p) {
+    std::map<int, double> correct, total;
+    for (size_t i = 0; i < n; ++i) {
+      total[cv_pred[p][i]] += 1.0;
+      if (cv_pred[p][i] == train.label(i)) correct[cv_pred[p][i]] += 1.0;
+    }
+    for (const auto& [label, count] : total) {
+      reliability_[p][label] = (correct[label] + 1.0) / (count + 2.0);
+    }
+  }
+
+  // Confidence of every (series, prefix) pair from CV predictions.
+  std::vector<std::vector<double>> confidence(n, std::vector<double>(P, 0.0));
+  std::vector<double> all_confidences;
+  all_confidences.reserve(n * P);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<int> preds(P);
+    std::vector<double> rels(P);
+    for (size_t p = 0; p < P; ++p) {
+      preds[p] = cv_pred[p][i];
+      rels[p] = Reliability(p, preds[p]);
+    }
+    for (size_t p = 0; p < P; ++p) {
+      confidence[i][p] = FusedConfidence(preds, rels, p);
+      all_confidences.push_back(confidence[i][p]);
+    }
+  }
+
+  // Threshold candidates: means of adjacent sorted confidence values.
+  std::sort(all_confidences.begin(), all_confidences.end());
+  all_confidences.erase(
+      std::unique(all_confidences.begin(), all_confidences.end()),
+      all_confidences.end());
+  std::vector<double> candidates;
+  for (size_t i = 0; i + 1 < all_confidences.size(); ++i) {
+    candidates.push_back(0.5 * (all_confidences[i] + all_confidences[i + 1]));
+  }
+  if (candidates.empty()) candidates.push_back(0.5);
+  if (candidates.size() > options_.max_threshold_candidates) {
+    // Evenly subsample the sorted candidate list.
+    std::vector<double> sampled;
+    const size_t step = candidates.size() / options_.max_threshold_candidates;
+    for (size_t i = 0; i < candidates.size(); i += std::max<size_t>(step, 1)) {
+      sampled.push_back(candidates[i]);
+    }
+    candidates = std::move(sampled);
+  }
+
+  // Evaluate CF(θ) = α(1 - accuracy) + (1 - α) earliness for each candidate.
+  double best_cf = std::numeric_limits<double>::infinity();
+  double best_theta = candidates.front();
+  for (double theta : candidates) {
+    size_t correct = 0;
+    double earliness_sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      size_t stop = P - 1;
+      for (size_t p = 0; p < P; ++p) {
+        if (confidence[i][p] >= theta) {
+          stop = p;
+          break;
+        }
+      }
+      if (cv_pred[stop][i] == train.label(i)) ++correct;
+      earliness_sum += static_cast<double>(prefix_lengths_[stop]) /
+                       static_cast<double>(length_);
+    }
+    const double accuracy = static_cast<double>(correct) / static_cast<double>(n);
+    const double earliness = earliness_sum / static_cast<double>(n);
+    const double cf =
+        options_.alpha * (1.0 - accuracy) + (1.0 - options_.alpha) * earliness;
+    if (cf < best_cf) {
+      best_cf = cf;
+      best_theta = theta;
+    }
+  }
+  threshold_ = best_theta;
+
+  // Final per-prefix classifiers trained on the whole training set.
+  models_.clear();
+  models_.reserve(P);
+  for (size_t p = 0; p < P; ++p) {
+    if (budget_timer.Seconds() > train_budget_seconds_) {
+      return Status::ResourceExhausted("ECEC: train budget exceeded");
+    }
+    WeaselClassifier model(options_.weasel);
+    ETSC_RETURN_NOT_OK(model.Fit(train.Truncated(prefix_lengths_[p])));
+    models_.push_back(std::move(model));
+  }
+  return Status::OK();
+}
+
+Result<EarlyPrediction> EcecClassifier::PredictEarly(
+    const TimeSeries& series) const {
+  if (models_.empty()) return Status::FailedPrecondition("ECEC: not fitted");
+  if (series.num_variables() != 1) {
+    return Status::InvalidArgument("ECEC: univariate input required");
+  }
+  std::vector<int> preds;
+  std::vector<double> rels;
+  for (size_t p = 0; p < prefix_lengths_.size(); ++p) {
+    const size_t len = prefix_lengths_[p];
+    const bool is_last = p + 1 == prefix_lengths_.size() ||
+                         prefix_lengths_[p + 1] > series.length();
+    if (len > series.length()) break;
+    auto pred = models_[p].Predict(series.Prefix(len));
+    if (!pred.ok()) return pred.status();
+    preds.push_back(*pred);
+    rels.push_back(Reliability(p, *pred));
+    const double confidence = FusedConfidence(preds, rels, preds.size() - 1);
+    if (confidence >= threshold_ || is_last) {
+      return EarlyPrediction{*pred, len};
+    }
+  }
+  // Series shorter than the first prefix: classify what we have with the
+  // first model.
+  auto pred = models_[0].Predict(series);
+  if (!pred.ok()) return pred.status();
+  return EarlyPrediction{*pred, series.length()};
+}
+
+}  // namespace etsc

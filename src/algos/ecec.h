@@ -1,0 +1,61 @@
+#ifndef ETSC_ALGOS_ECEC_H_
+#define ETSC_ALGOS_ECEC_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+#include "tsc/weasel.h"
+
+namespace etsc {
+
+/// ECEC — Effective Confidence-based Early Classification (Lv et al. 2019;
+/// paper Sec. 3.5). Model-based and univariate: trains N WEASEL classifiers on
+/// overlapping prefixes, estimates per-classifier label reliabilities
+/// r_t(ŷ) = P(y = ŷ | h_t = ŷ) by cross-validation, fuses them into the
+/// confidence  c(ŷ, t) = 1 − Π_{i ≤ t, ŷ_i = ŷ} (1 − r_i(ŷ_i)),  and learns
+/// the confidence threshold θ minimising CF(θ) = α(1−acc) + (1−α)·earliness
+/// over candidate thresholds taken between adjacent sorted CV confidences.
+struct EcecOptions {
+  size_t num_prefixes = 20;  // Table 4: N = 20
+  double alpha = 0.8;        // Table 4: a = 0.8
+  size_t cv_folds = 3;       // reliability-estimation folds
+  /// Cap on distinct threshold candidates (adjacent-mean rule produces one
+  /// per CV confidence value; the paper's datasets keep this tractable).
+  size_t max_threshold_candidates = 200;
+  WeaselOptions weasel;
+  uint64_t seed = 17;
+};
+
+class EcecClassifier : public EarlyClassifier {
+ public:
+  explicit EcecClassifier(EcecOptions options = {}) : options_(options) {}
+
+  Status Fit(const Dataset& train) override;
+  Result<EarlyPrediction> PredictEarly(const TimeSeries& series) const override;
+  std::string name() const override { return "ECEC"; }
+  bool SupportsMultivariate() const override { return false; }
+  std::unique_ptr<EarlyClassifier> CloneUntrained() const override {
+    return std::make_unique<EcecClassifier>(options_);
+  }
+
+  double threshold() const { return threshold_; }
+  const std::vector<size_t>& prefix_lengths() const { return prefix_lengths_; }
+
+ private:
+  /// Reliability of classifier `ci` predicting `label`.
+  double Reliability(size_t ci, int label) const;
+
+  EcecOptions options_;
+  size_t length_ = 0;
+  std::vector<size_t> prefix_lengths_;
+  std::vector<WeaselClassifier> models_;            // one per prefix
+  std::vector<std::map<int, double>> reliability_;  // [prefix][label] -> r
+  double threshold_ = 0.5;
+};
+
+}  // namespace etsc
+
+#endif  // ETSC_ALGOS_ECEC_H_

@@ -1,0 +1,88 @@
+#ifndef ETSC_ALGOS_ECONOMY_K_H_
+#define ETSC_ALGOS_ECONOMY_K_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+#include "ml/gbdt.h"
+#include "ml/kmeans.h"
+
+namespace etsc {
+
+/// ECONOMY-K (Dachraoui et al.; paper Sec. 3.1). Model-based and univariate:
+/// full-length training series are k-means-clustered; per sampled time-point a
+/// base classifier (gradient-boosted trees, the XGBoost stand-in) is trained
+/// on raw prefixes, and per (cluster, time-point) a confusion matrix estimates
+/// P(ŷ|y, g_k). At test time the expected cost
+///   f_τ(x_{1:t}) = Σ_k P(g_k|x) Σ_y P(y|g_k) Σ_ŷ P_{t+τ}(ŷ|y,g_k)·C(ŷ|y)
+///                + time_cost·(t+τ)
+/// is evaluated over future horizons τ; the prediction is emitted when the
+/// minimising τ is 0 (non-myopic stopping rule).
+struct EconomyKOptions {
+  /// Cluster counts tried during Fit; the value with the lowest training cost
+  /// is kept (the paper grid-searches {1, 2, 3}).
+  std::vector<size_t> cluster_grid = {1, 2, 3};
+  /// Cost of postponing the decision by one time-point (Table 4: 0.001).
+  double time_cost = 0.001;
+  /// Misclassification cost scale λ (Table 4: 100); the 0/1 error cost is
+  /// λ·time_cost so the two cost axes are commensurable.
+  double lambda = 100.0;
+  /// Weight of the delay term relative to the misclassification cost when the
+  /// *whole* series is consumed. With absolute per-step delay, λ=100 and
+  /// cost=0.001 make full-length delay (0.001·L) exceed the maximum
+  /// misclassification cost (0.1) for any L > 100, collapsing the rule to
+  /// "always stop at the first checkpoint"; normalising delay by L keeps the
+  /// Table-4 parameters meaningful at every series length.
+  double relative_delay_weight = 0.5;
+  /// Number of time-points at which base classifiers are trained (evenly
+  /// spaced; every point when the series is short).
+  size_t max_checkpoints = 20;
+  /// Folds used to estimate P(ŷ|y, cluster) out-of-sample (in-sample
+  /// confusion of boosted trees is near-perfect and would make the cost
+  /// function stop at the first checkpoint). 0 falls back to in-sample.
+  size_t cv_folds = 3;
+  GbdtOptions gbdt;
+  uint64_t seed = 5;
+};
+
+class EconomyKClassifier : public EarlyClassifier {
+ public:
+  explicit EconomyKClassifier(EconomyKOptions options = {})
+      : options_(options) {}
+
+  Status Fit(const Dataset& train) override;
+  Result<EarlyPrediction> PredictEarly(const TimeSeries& series) const override;
+  std::string name() const override { return "ECO-K"; }
+  bool SupportsMultivariate() const override { return false; }
+  std::unique_ptr<EarlyClassifier> CloneUntrained() const override {
+    return std::make_unique<EconomyKClassifier>(options_);
+  }
+
+  size_t chosen_clusters() const { return clusters_.centroids.size(); }
+  const std::vector<size_t>& checkpoints() const { return checkpoints_; }
+
+ private:
+  /// Expected cost of deciding at checkpoint index `ci_future`, given cluster
+  /// memberships at the current prefix.
+  double ExpectedCost(const std::vector<double>& memberships,
+                      size_t ci_future) const;
+
+  Status FitWithClusters(const Dataset& train, size_t k, double* training_cost);
+
+  EconomyKOptions options_;
+  size_t length_ = 0;
+  std::vector<int> class_labels_;
+  std::vector<size_t> checkpoints_;  // prefix lengths with a trained model
+  KMeansModel clusters_;
+  std::vector<GbdtClassifier> models_;  // one per checkpoint
+  // prob_correct_[ci][k][yi] = P(ŷ = y | y = yi, cluster k) at checkpoint ci.
+  std::vector<std::vector<std::vector<double>>> prob_correct_;
+  // prior_[k][yi] = P(y = yi | cluster k).
+  std::vector<std::vector<double>> prior_;
+};
+
+}  // namespace etsc
+
+#endif  // ETSC_ALGOS_ECONOMY_K_H_

@@ -1,0 +1,213 @@
+#include "algos/ects.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "core/evaluation.h"
+#include "ml/hierarchical.h"
+#include "ml/nn_search.h"
+
+namespace etsc {
+
+namespace {
+
+// Nearest neighbor per series per prefix length, computed incrementally:
+// nn[l-1][i] is the 1-NN of i under prefix l. O(N^2 L) time, O(N^2) memory.
+std::vector<std::vector<size_t>> NearestPerPrefix(
+    const std::vector<std::vector<double>>& series, size_t length) {
+  const size_t n = series.size();
+  std::vector<std::vector<double>> dist2(n, std::vector<double>(n, 0.0));
+  std::vector<std::vector<size_t>> nn(length, std::vector<size_t>(n, 0));
+  for (size_t l = 1; l <= length; ++l) {
+    const size_t t = l - 1;
+    for (size_t i = 0; i < n; ++i) {
+      const double xi = t < series[i].size() ? series[i][t] : 0.0;
+      for (size_t j = i + 1; j < n; ++j) {
+        const double xj = t < series[j].size() ? series[j][t] : 0.0;
+        const double d = xi - xj;
+        dist2[i][j] += d * d;
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      size_t best = i == 0 ? 1 : 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double d = i < j ? dist2[i][j] : dist2[j][i];
+        if (d < best_d) {
+          best_d = d;
+          best = j;
+        }
+      }
+      nn[l - 1][i] = best;
+    }
+  }
+  return nn;
+}
+
+}  // namespace
+
+Status EctsClassifier::Fit(const Dataset& train) {
+  if (train.size() < 2) {
+    return Status::InvalidArgument("ECTS: need at least two training series");
+  }
+  if (train.NumVariables() != 1) {
+    return Status::InvalidArgument("ECTS: univariate input required");
+  }
+  length_ = train.MinLength();
+  if (length_ == 0) return Status::InvalidArgument("ECTS: empty series");
+
+  const size_t n = train.size();
+  train_series_.assign(n, {});
+  train_labels_ = train.labels();
+  for (size_t i = 0; i < n; ++i) {
+    train_series_[i] = train.instance(i).channel(0);
+    train_series_[i].resize(length_);
+  }
+
+  Stopwatch budget_timer;
+
+  // 1-NN per prefix, RNN sets per prefix.
+  const auto nn = NearestPerPrefix(train_series_, length_);
+  std::vector<std::vector<std::vector<size_t>>> rnn(length_);
+  for (size_t l = 1; l <= length_; ++l) {
+    rnn[l - 1] = ReverseNearestNeighbors(nn[l - 1]);
+    for (auto& set : rnn[l - 1]) std::sort(set.begin(), set.end());
+  }
+
+  // RNN-based MPL per series: the smallest l such that RNN_k(x) == RNN_L(x)
+  // for all k in [l, L], with |RNN_L(x)| > support; L when unstable or empty.
+  mpls_.assign(n, length_);
+  const auto& rnn_full = rnn[length_ - 1];
+  for (size_t i = 0; i < n; ++i) {
+    if (rnn_full[i].size() <= options_.support || rnn_full[i].empty()) continue;
+    size_t mpl = length_;
+    for (size_t l = length_; l >= 1; --l) {
+      if (rnn[l - 1][i] == rnn_full[i]) {
+        mpl = l;
+      } else {
+        break;
+      }
+    }
+    mpls_[i] = mpl;
+  }
+
+  if (budget_timer.Seconds() > train_budget_seconds_) {
+    return Status::ResourceExhausted("ECTS: train budget exceeded");
+  }
+
+  // Agglomerative clustering on full-length distances (single linkage, the
+  // 1-NN merge rule of the original algorithm).
+  std::vector<std::vector<double>> dist(n, std::vector<double>(n, 0.0));
+  double mean_dist = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double sum = 0.0;
+      for (size_t t = 0; t < length_; ++t) {
+        const double d = train_series_[i][t] - train_series_[j][t];
+        sum += d * d;
+      }
+      dist[i][j] = dist[j][i] = std::sqrt(sum);
+      mean_dist += dist[i][j];
+      ++pairs;
+    }
+  }
+  mean_dist /= static_cast<double>(std::max<size_t>(pairs, 1));
+
+  auto merges_result = AgglomerativeCluster(dist, Linkage::kSingle);
+  ETSC_RETURN_NOT_OK(merges_result.status());
+  const auto& merges = merges_result.value();
+
+  // Walk merges in order; every label-pure cluster may lower its members'
+  // MPLs via combined 1-NN + RNN consistency.
+  for (const auto& merge : merges) {
+    if (options_.max_merge_distance_factor > 0.0 &&
+        merge.distance > options_.max_merge_distance_factor * mean_dist) {
+      break;
+    }
+    if (budget_timer.Seconds() > train_budget_seconds_) {
+      return Status::ResourceExhausted("ECTS: train budget exceeded");
+    }
+    const auto& members = merge.members;
+    // Label purity.
+    bool pure = true;
+    for (size_t m : members) {
+      if (train_labels_[m] != train_labels_[members[0]]) {
+        pure = false;
+        break;
+      }
+    }
+    if (!pure) continue;
+
+    std::set<size_t> member_set(members.begin(), members.end());
+    // RNN of the cluster at full length: every series whose NN lies inside.
+    std::vector<size_t> rnn_cluster_full;
+    for (size_t j = 0; j < n; ++j) {
+      if (member_set.count(nn[length_ - 1][j]) > 0) rnn_cluster_full.push_back(j);
+    }
+    // Find the smallest l with both consistencies holding on [l, L].
+    size_t cluster_mpl = length_;
+    for (size_t l = length_; l >= 1; --l) {
+      bool consistent = true;
+      // 1-NN consistency: members' NNs stay inside the cluster.
+      for (size_t m : members) {
+        if (member_set.count(nn[l - 1][m]) == 0) {
+          consistent = false;
+          break;
+        }
+      }
+      if (consistent) {
+        // RNN consistency: the cluster's RNN set matches the full-length one.
+        std::vector<size_t> rnn_cluster;
+        for (size_t j = 0; j < n; ++j) {
+          if (member_set.count(nn[l - 1][j]) > 0) rnn_cluster.push_back(j);
+        }
+        if (rnn_cluster != rnn_cluster_full) consistent = false;
+      }
+      if (!consistent) break;
+      cluster_mpl = l;
+    }
+    for (size_t m : members) mpls_[m] = std::min(mpls_[m], cluster_mpl);
+  }
+  return Status::OK();
+}
+
+Result<EarlyPrediction> EctsClassifier::PredictEarly(
+    const TimeSeries& series) const {
+  if (train_series_.empty()) {
+    return Status::FailedPrecondition("ECTS: not fitted");
+  }
+  if (series.num_variables() != 1) {
+    return Status::InvalidArgument("ECTS: univariate input required");
+  }
+  const auto& values = series.channel(0);
+  const size_t horizon = std::min(series.length(), length_);
+  const size_t n = train_series_.size();
+
+  // Stream the prefix; maintain running squared distances to every training
+  // series, emit once the observed length covers the 1-NN's MPL.
+  std::vector<double> dist2(n, 0.0);
+  size_t best = 0;
+  for (size_t l = 1; l <= horizon; ++l) {
+    const size_t t = l - 1;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (size_t j = 0; j < n; ++j) {
+      const double d = values[t] - train_series_[j][t];
+      dist2[j] += d * d;
+      if (dist2[j] < best_d) {
+        best_d = dist2[j];
+        best = j;
+      }
+    }
+    if (l >= mpls_[best]) {
+      return EarlyPrediction{train_labels_[best], l};
+    }
+  }
+  // No MPL reached: fall back to the full-length nearest neighbor.
+  return EarlyPrediction{train_labels_[best], series.length()};
+}
+
+}  // namespace etsc

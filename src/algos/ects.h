@@ -1,0 +1,55 @@
+#ifndef ETSC_ALGOS_ECTS_H_
+#define ETSC_ALGOS_ECTS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+
+namespace etsc {
+
+/// ECTS — Early Classification on Time Series (Xing, Pei & Yu 2012; paper
+/// Sec. 3.2). Prefix-based and univariate: for every training series it
+/// learns a Minimum Prediction Length (MPL) — the prefix length from which
+/// the series' reverse-nearest-neighbor set stays stable through full length —
+/// and lowers MPLs further through agglomerative (single-linkage) clustering
+/// whose label-pure clusters must be 1-NN- and RNN-consistent. At test time a
+/// growing prefix is matched to its training 1-NN and a label is emitted once
+/// the observed length reaches the neighbor's MPL.
+struct EctsOptions {
+  /// Minimum |RNN| support a series needs for its RNN-based MPL (paper
+  /// Table 4 uses 0).
+  size_t support = 0;
+  /// Stop merging clusters once their single-linkage distance exceeds this
+  /// multiple of the mean pairwise distance (keeps O(N^2) clustering sane on
+  /// large sets). <= 0 merges everything.
+  double max_merge_distance_factor = 0.0;
+};
+
+class EctsClassifier : public EarlyClassifier {
+ public:
+  explicit EctsClassifier(EctsOptions options = {}) : options_(options) {}
+
+  Status Fit(const Dataset& train) override;
+  Result<EarlyPrediction> PredictEarly(const TimeSeries& series) const override;
+  std::string name() const override { return "ECTS"; }
+  bool SupportsMultivariate() const override { return false; }
+  std::unique_ptr<EarlyClassifier> CloneUntrained() const override {
+    return std::make_unique<EctsClassifier>(options_);
+  }
+
+  /// Learned per-training-series MPLs (after clustering); exposed for tests.
+  const std::vector<size_t>& mpls() const { return mpls_; }
+
+ private:
+  EctsOptions options_;
+  std::vector<std::vector<double>> train_series_;
+  std::vector<int> train_labels_;
+  size_t length_ = 0;
+  std::vector<size_t> mpls_;
+};
+
+}  // namespace etsc
+
+#endif  // ETSC_ALGOS_ECTS_H_

@@ -1,0 +1,234 @@
+#include "algos/edsc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "core/evaluation.h"
+#include "core/rng.h"
+#include "ml/distance.h"
+
+namespace etsc {
+
+namespace {
+
+// Earliest prefix length of `series` at which some window within the prefix
+// matches `pattern` within `threshold`; 0 when it never matches. The earliest
+// match of a window [s, s+m) becomes visible at prefix length s+m.
+size_t EarliestMatchLength(const std::vector<double>& pattern,
+                           const std::vector<double>& series, double threshold) {
+  const size_t m = pattern.size();
+  if (series.size() < m) return 0;
+  const double thr2 = threshold * threshold;
+  for (size_t start = 0; start + m <= series.size(); ++start) {
+    double sum = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      const double d = pattern[i] - series[start + i];
+      sum += d * d;
+      if (sum > thr2) break;
+    }
+    if (sum <= thr2) return start + m;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Status EdscClassifier::Fit(const Dataset& train) {
+  if (train.empty()) return Status::InvalidArgument("EDSC: empty training set");
+  if (train.NumVariables() != 1) {
+    return Status::InvalidArgument("EDSC: univariate input required");
+  }
+  const size_t n = train.size();
+  std::vector<std::vector<double>> series(n);
+  for (size_t i = 0; i < n; ++i) series[i] = train.instance(i).channel(0);
+  const std::vector<int>& labels = train.labels();
+
+  // Majority label fallback.
+  {
+    const auto counts = train.ClassCounts();
+    size_t best = 0;
+    majority_label_ = counts.begin()->first;
+    for (const auto& [label, count] : counts) {
+      if (count > best) {
+        best = count;
+        majority_label_ = label;
+      }
+    }
+  }
+
+  const size_t max_len = std::max<size_t>(
+      options_.min_length,
+      static_cast<size_t>(options_.max_length_fraction *
+                          static_cast<double>(train.MinLength())));
+  Stopwatch budget_timer;
+
+  // Candidate coordinates (source series, start, length) under the strides;
+  // subsampled deterministically when max_candidates caps the search.
+  struct Coord {
+    size_t src, start, len;
+  };
+  std::vector<Coord> coords;
+  for (size_t src = 0; src < n; ++src) {
+    const auto& s = series[src];
+    for (size_t len = options_.min_length; len <= std::min(max_len, s.size());
+         len += options_.length_stride) {
+      for (size_t start = 0; start + len <= s.size();
+           start += options_.start_stride) {
+        coords.push_back({src, start, len});
+      }
+    }
+  }
+  if (options_.max_candidates > 0 && coords.size() > options_.max_candidates) {
+    Rng rng(options_.seed);
+    rng.Shuffle(&coords);
+    coords.resize(options_.max_candidates);
+  }
+
+  // Learn CHE thresholds and utilities per candidate.
+  std::vector<Shapelet> candidates;
+  for (const Coord& coord : coords) {
+    const size_t src = coord.src;
+    const auto& s = series[src];
+    if (budget_timer.Seconds() > train_budget_seconds_) {
+      return Status::ResourceExhausted("EDSC: train budget exceeded");
+    }
+    std::vector<double> pattern(s.begin() + coord.start,
+                            s.begin() + coord.start + coord.len);
+
+    // Distances of the pattern to all other-class series.
+    double mean = 0.0, m2 = 0.0;
+    size_t count = 0;
+    for (size_t j = 0; j < n; ++j) {
+      if (labels[j] == labels[src]) continue;
+      const double d = MinSubseriesDistance(pattern, series[j]);
+      if (!std::isfinite(d)) continue;
+      ++count;
+      const double delta = d - mean;
+      mean += delta / static_cast<double>(count);
+      m2 += delta * (d - mean);
+    }
+    if (count == 0) continue;
+    const double stddev =
+        count > 1 ? std::sqrt(m2 / static_cast<double>(count)) : 0.0;
+    // One-sided Chebyshev bound: distances below mean - k*sigma are
+    // unlikely to come from another class.
+    const double threshold =
+        std::max(mean - options_.chebyshev_k * stddev, 0.0);
+    if (threshold <= 0.0) continue;
+
+    // Coverage, precision and earliness-weighted recall over training.
+    size_t covered = 0, covered_target = 0;
+    double recall_weight = 0.0;
+    size_t total_target = 0;
+    for (size_t j = 0; j < n; ++j) {
+      const bool target = labels[j] == labels[src];
+      if (target) ++total_target;
+      const size_t eml = EarliestMatchLength(pattern, series[j], threshold);
+      if (eml == 0) continue;
+      ++covered;
+      if (target) {
+        ++covered_target;
+        recall_weight += 1.0 - static_cast<double>(eml - 1) /
+                                   static_cast<double>(series[j].size());
+      }
+    }
+    if (covered == 0 || covered_target == 0 || total_target == 0) continue;
+    Shapelet shapelet;
+    shapelet.pattern = std::move(pattern);
+    shapelet.threshold = threshold;
+    shapelet.label = labels[src];
+    shapelet.precision =
+        static_cast<double>(covered_target) / static_cast<double>(covered);
+    shapelet.weighted_recall =
+        recall_weight / static_cast<double>(total_target);
+    const double denom = shapelet.precision + shapelet.weighted_recall;
+    shapelet.utility =
+        denom > 0
+            ? 2.0 * shapelet.precision * shapelet.weighted_recall / denom
+            : 0.0;
+    candidates.push_back(std::move(shapelet));
+  }
+  if (candidates.empty()) {
+    return Status::FailedPrecondition("EDSC: no usable shapelet candidates");
+  }
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Shapelet& a, const Shapelet& b) {
+              return a.utility > b.utility;
+            });
+  if (candidates.size() > options_.max_shapelets) {
+    candidates.resize(options_.max_shapelets);
+  }
+
+  // Greedy coverage selection: add shapelets by utility until every training
+  // series that can be covered is covered.
+  std::vector<bool> covered(n, false);
+  size_t num_covered = 0;
+  shapelets_.clear();
+  for (auto& candidate : candidates) {
+    bool adds = false;
+    for (size_t j = 0; j < n; ++j) {
+      if (covered[j]) continue;
+      if (EarliestMatchLength(candidate.pattern, series[j],
+                              candidate.threshold) > 0) {
+        covered[j] = true;
+        ++num_covered;
+        adds = true;
+      }
+    }
+    if (adds) shapelets_.push_back(std::move(candidate));
+    if (num_covered == n) break;
+    if (budget_timer.Seconds() > train_budget_seconds_) {
+      return Status::ResourceExhausted("EDSC: train budget exceeded");
+    }
+  }
+  return Status::OK();
+}
+
+Result<EarlyPrediction> EdscClassifier::PredictEarly(
+    const TimeSeries& series) const {
+  if (shapelets_.empty()) return Status::FailedPrecondition("EDSC: not fitted");
+  if (series.num_variables() != 1) {
+    return Status::InvalidArgument("EDSC: univariate input required");
+  }
+  const auto& values = series.channel(0);
+  const size_t length = values.size();
+
+  // Stream the prefix: at prefix length l only windows ending exactly at l
+  // are new, so each (shapelet, end point) pair is examined once.
+  for (size_t l = 1; l <= length; ++l) {
+    for (const auto& shapelet : shapelets_) {
+      const size_t m = shapelet.pattern.size();
+      if (l < m) continue;
+      const size_t start = l - m;
+      double sum = 0.0;
+      const double thr2 = shapelet.threshold * shapelet.threshold;
+      for (size_t i = 0; i < m; ++i) {
+        const double d = shapelet.pattern[i] - values[start + i];
+        sum += d * d;
+        if (sum > thr2) break;
+      }
+      if (sum <= thr2) {
+        return EarlyPrediction{shapelet.label, l};
+      }
+    }
+  }
+  // Nothing fired: fall back to the class of the globally closest shapelet
+  // (relative to its threshold), or the majority label.
+  double best_ratio = std::numeric_limits<double>::infinity();
+  int best_label = majority_label_;
+  for (const auto& shapelet : shapelets_) {
+    const double d = MinSubseriesDistance(shapelet.pattern, values);
+    if (!std::isfinite(d) || shapelet.threshold <= 0.0) continue;
+    const double ratio = d / shapelet.threshold;
+    if (ratio < best_ratio) {
+      best_ratio = ratio;
+      best_label = shapelet.label;
+    }
+  }
+  return EarlyPrediction{best_label, length};
+}
+
+}  // namespace etsc

@@ -1,0 +1,97 @@
+#include "algos/prob_threshold.h"
+
+#include <algorithm>
+
+#include "core/evaluation.h"
+
+namespace etsc {
+
+ProbThresholdClassifier::ProbThresholdClassifier(
+    std::unique_ptr<FullClassifier> base, ProbThresholdOptions options)
+    : base_(std::move(base)), options_(options) {
+  ETSC_CHECK(base_ != nullptr);
+  ETSC_CHECK(options_.consecutive >= 1);
+}
+
+Status ProbThresholdClassifier::Fit(const Dataset& train) {
+  if (train.empty()) {
+    return Status::InvalidArgument("prob-threshold: empty training set");
+  }
+  length_ = train.MinLength();
+  if (length_ < 2) {
+    return Status::InvalidArgument("prob-threshold: series too short");
+  }
+  prefix_lengths_.clear();
+  const size_t num = std::min(options_.num_prefixes, length_);
+  for (size_t i = 1; i <= num; ++i) {
+    const size_t len = std::max<size_t>(2, i * length_ / num);
+    if (prefix_lengths_.empty() || prefix_lengths_.back() != len) {
+      prefix_lengths_.push_back(len);
+    }
+  }
+  if (prefix_lengths_.back() != length_) prefix_lengths_.push_back(length_);
+
+  Stopwatch budget_timer;
+  models_.clear();
+  models_.reserve(prefix_lengths_.size());
+  for (size_t len : prefix_lengths_) {
+    if (budget_timer.Seconds() > train_budget_seconds_) {
+      return Status::ResourceExhausted("prob-threshold: train budget exceeded");
+    }
+    auto model = base_->CloneUntrained();
+    ETSC_RETURN_NOT_OK(model->Fit(train.Truncated(len)));
+    models_.push_back(std::move(model));
+  }
+  return Status::OK();
+}
+
+Result<EarlyPrediction> ProbThresholdClassifier::PredictEarly(
+    const TimeSeries& series) const {
+  if (models_.empty()) {
+    return Status::FailedPrecondition("prob-threshold: not fitted");
+  }
+  size_t streak = 0;
+  int last_label = 0;
+  for (size_t p = 0; p < prefix_lengths_.size(); ++p) {
+    const size_t len = prefix_lengths_[p];
+    const bool is_last = p + 1 == prefix_lengths_.size() ||
+                         prefix_lengths_[p + 1] > series.length();
+    if (len > series.length()) break;
+    ETSC_ASSIGN_OR_RETURN(std::vector<double> proba,
+                          models_[p]->PredictProba(series.Prefix(len)));
+    const auto& labels = models_[p]->class_labels();
+    const size_t best = static_cast<size_t>(
+        std::max_element(proba.begin(), proba.end()) - proba.begin());
+    const int label = labels[best];
+    if (is_last) return EarlyPrediction{label, len};
+
+    if (proba[best] >= options_.threshold) {
+      if (streak > 0 && label == last_label) {
+        ++streak;
+      } else {
+        streak = 1;
+        last_label = label;
+      }
+      if (streak >= options_.consecutive) {
+        return EarlyPrediction{label, len};
+      }
+    } else {
+      streak = 0;
+    }
+  }
+  // Series shorter than the first prefix.
+  ETSC_ASSIGN_OR_RETURN(int label, models_[0]->Predict(series));
+  return EarlyPrediction{label, series.length()};
+}
+
+std::string ProbThresholdClassifier::name() const {
+  return "P>=" + std::to_string(options_.threshold).substr(0, 4) + "-" +
+         base_->name();
+}
+
+std::unique_ptr<EarlyClassifier> ProbThresholdClassifier::CloneUntrained() const {
+  return std::make_unique<ProbThresholdClassifier>(base_->CloneUntrained(),
+                                                   options_);
+}
+
+}  // namespace etsc

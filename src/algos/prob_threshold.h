@@ -1,0 +1,51 @@
+#ifndef ETSC_ALGOS_PROB_THRESHOLD_H_
+#define ETSC_ALGOS_PROB_THRESHOLD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+
+namespace etsc {
+
+/// Probability-threshold early classifier: the simplest confidence-based
+/// baseline in the ETSC literature (a one-tier TEASER without the one-class
+/// SVM, or an ECEC without reliability fusion). Trains one clone of a
+/// full-TSC classifier per prefix of a fixed grid and emits the prediction at
+/// the first prefix whose top class probability reaches `threshold` for
+/// `consecutive` prefixes in a row. Registered as "prob-threshold"; useful as
+/// a sanity baseline when adding new algorithms to the framework.
+struct ProbThresholdOptions {
+  size_t num_prefixes = 10;
+  double threshold = 0.9;
+  size_t consecutive = 1;
+};
+
+class ProbThresholdClassifier : public EarlyClassifier {
+ public:
+  /// `base` supplies CloneUntrained() copies, one per prefix.
+  ProbThresholdClassifier(std::unique_ptr<FullClassifier> base,
+                          ProbThresholdOptions options = {});
+
+  Status Fit(const Dataset& train) override;
+  Result<EarlyPrediction> PredictEarly(const TimeSeries& series) const override;
+  std::string name() const override;
+  bool SupportsMultivariate() const override {
+    return base_->SupportsMultivariate();
+  }
+  std::unique_ptr<EarlyClassifier> CloneUntrained() const override;
+
+  const std::vector<size_t>& prefix_lengths() const { return prefix_lengths_; }
+
+ private:
+  std::unique_ptr<FullClassifier> base_;
+  ProbThresholdOptions options_;
+  size_t length_ = 0;
+  std::vector<size_t> prefix_lengths_;
+  std::vector<std::unique_ptr<FullClassifier>> models_;
+};
+
+}  // namespace etsc
+
+#endif  // ETSC_ALGOS_PROB_THRESHOLD_H_

@@ -1,0 +1,66 @@
+#include "algos/registrations.h"
+
+#include <memory>
+
+#include "algos/ecec.h"
+#include "algos/economy_k.h"
+#include "algos/ects.h"
+#include "algos/edsc.h"
+#include "algos/prob_threshold.h"
+#include "algos/strut.h"
+#include "algos/teaser.h"
+#include "tsc/minirocket.h"
+#include "core/registry.h"
+
+namespace etsc {
+
+void RegisterBuiltinClassifiers() {
+  static const bool registered = [] {
+    auto& registry = ClassifierRegistry::Global();
+    ETSC_CHECK(registry
+                   .Register("ecec",
+                             [] { return std::make_unique<EcecClassifier>(); })
+                   .ok());
+    ETSC_CHECK(registry
+                   .Register("economy-k",
+                             [] { return std::make_unique<EconomyKClassifier>(); })
+                   .ok());
+    ETSC_CHECK(registry
+                   .Register("ects",
+                             [] { return std::make_unique<EctsClassifier>(); })
+                   .ok());
+    ETSC_CHECK(registry
+                   .Register("edsc",
+                             [] { return std::make_unique<EdscClassifier>(); })
+                   .ok());
+    ETSC_CHECK(registry
+                   .Register("teaser",
+                             [] { return std::make_unique<TeaserClassifier>(); })
+                   .ok());
+    ETSC_CHECK(registry
+                   .Register("s-weasel",
+                             [] { return MakeStrutWeasel(/*multivariate=*/false); })
+                   .ok());
+    ETSC_CHECK(
+        registry.Register("s-mini", [] { return MakeStrutMiniRocket(); }).ok());
+    ETSC_CHECK(
+        registry.Register("s-mlstm", [] { return MakeStrutMlstm(); }).ok());
+    ETSC_CHECK(registry
+                   .Register("prob-threshold",
+                             [] {
+                               // Logistic head: ridge margins are not
+                               // calibrated probabilities, so the threshold
+                               // rule needs the logistic path.
+                               MiniRocketOptions options;
+                               options.logistic_above_samples = 0;
+                               return std::make_unique<ProbThresholdClassifier>(
+                                   std::make_unique<MiniRocketClassifier>(
+                                       options));
+                             })
+                   .ok());
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace etsc

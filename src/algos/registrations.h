@@ -1,0 +1,17 @@
+#ifndef ETSC_ALGOS_REGISTRATIONS_H_
+#define ETSC_ALGOS_REGISTRATIONS_H_
+
+namespace etsc {
+
+/// Registers the framework's built-in ETSC algorithms (the paper's Table-2
+/// set plus the three STRUT variants) in ClassifierRegistry::Global() under
+/// their canonical names with the Table-4 default parameters. Idempotent —
+/// call it once at program start before resolving algorithms by name.
+/// (Static-initialiser registration does not survive static-library linking,
+/// so the registration is explicit; user code in executables can still use
+/// ETSC_REGISTER_EARLY_CLASSIFIER directly.)
+void RegisterBuiltinClassifiers();
+
+}  // namespace etsc
+
+#endif  // ETSC_ALGOS_REGISTRATIONS_H_

@@ -1,0 +1,203 @@
+#include "algos/strut.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/evaluation.h"
+#include "core/metrics.h"
+#include "core/rng.h"
+#include "tsc/minirocket.h"
+#include "tsc/mlstm.h"
+#include "tsc/muse.h"
+#include "tsc/weasel.h"
+
+namespace etsc {
+
+StrutClassifier::StrutClassifier(std::unique_ptr<FullClassifier> base,
+                                 StrutOptions options, std::string display_name)
+    : base_(std::move(base)), options_(options), name_(std::move(display_name)) {
+  ETSC_CHECK(base_ != nullptr);
+  if (name_.empty()) name_ = "S-" + base_->name();
+}
+
+Result<double> StrutClassifier::ScoreAt(const Dataset& fit,
+                                        const Dataset& validation, size_t t,
+                                        size_t full_length) const {
+  std::unique_ptr<FullClassifier> model = base_->CloneUntrained();
+  ETSC_RETURN_NOT_OK(model->Fit(fit.Truncated(t)));
+  std::vector<int> truth, predicted;
+  for (size_t i = 0; i < validation.size(); ++i) {
+    ETSC_ASSIGN_OR_RETURN(int label, model->Predict(validation.instance(i).Prefix(t)));
+    truth.push_back(validation.label(i));
+    predicted.push_back(label);
+  }
+  const ConfusionMatrix cm(truth, predicted);
+  const double earliness =
+      static_cast<double>(t) / static_cast<double>(full_length);
+  switch (options_.metric) {
+    case StrutMetric::kAccuracy:
+      return cm.Accuracy();
+    case StrutMetric::kF1:
+      return cm.MacroF1();
+    case StrutMetric::kHarmonicMean:
+      return HarmonicMean(cm.Accuracy(), earliness);
+  }
+  return Status::Internal("STRUT: unknown metric");
+}
+
+Status StrutClassifier::Fit(const Dataset& train) {
+  if (train.size() < 4) {
+    return Status::InvalidArgument("STRUT: too few training series");
+  }
+  const size_t length = train.MinLength();
+  if (length < 2) return Status::InvalidArgument("STRUT: series too short");
+
+  Rng rng(options_.seed);
+  const SplitIndices split =
+      StratifiedSplit(train, 1.0 - options_.validation_fraction, &rng);
+  Dataset fit = train.Subset(split.train);
+  Dataset validation = train.Subset(split.test);
+  if (fit.empty() || validation.empty()) {
+    return Status::InvalidArgument("STRUT: degenerate fit/validation split");
+  }
+
+  // Candidate truncation lengths from the fraction grid.
+  std::set<size_t> candidate_set;
+  for (double f : options_.fractions) {
+    const size_t t = std::clamp<size_t>(
+        static_cast<size_t>(std::round(f * static_cast<double>(length))), 2,
+        length);
+    candidate_set.insert(t);
+  }
+  std::vector<size_t> candidates(candidate_set.begin(), candidate_set.end());
+
+  Stopwatch budget_timer;
+  double best_score = -1.0;
+  size_t best_t = length;
+  std::vector<double> scores(candidates.size(), -1.0);
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    if (budget_timer.Seconds() > train_budget_seconds_) {
+      return Status::ResourceExhausted("STRUT: train budget exceeded");
+    }
+    auto score = ScoreAt(fit, validation, candidates[c], length);
+    if (!score.ok()) continue;  // a length may be unusable for the base model
+    scores[c] = *score;
+    if (*score > best_score) {
+      best_score = *score;
+      best_t = candidates[c];
+    }
+  }
+  if (best_score < 0.0) {
+    return Status::Internal("STRUT: no truncation point could be scored");
+  }
+
+  if (options_.search == StrutSearch::kBinary) {
+    // Refine: binary-search the earliest t in (prev_candidate, best_t] whose
+    // score stays within `tolerance` of the best grid score.
+    size_t lo = 2;
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (candidates[c] == best_t && c > 0) lo = candidates[c - 1] + 1;
+    }
+    size_t hi = best_t;
+    while (lo < hi) {
+      if (budget_timer.Seconds() > train_budget_seconds_) {
+        return Status::ResourceExhausted("STRUT: train budget exceeded");
+      }
+      const size_t mid = lo + (hi - lo) / 2;
+      auto score = ScoreAt(fit, validation, mid, length);
+      if (score.ok() && *score >= best_score - options_.tolerance) {
+        hi = mid;
+        if (*score > best_score) best_score = *score;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    best_t = hi;
+  }
+
+  truncation_point_ = best_t;
+  model_ = base_->CloneUntrained();
+  return model_->Fit(train.Truncated(best_t));
+}
+
+Result<EarlyPrediction> StrutClassifier::PredictEarly(
+    const TimeSeries& series) const {
+  if (model_ == nullptr) return Status::FailedPrecondition("STRUT: not fitted");
+  const size_t consumed = std::min(truncation_point_, series.length());
+  ETSC_ASSIGN_OR_RETURN(int label, model_->Predict(series.Prefix(consumed)));
+  return EarlyPrediction{label, consumed};
+}
+
+std::unique_ptr<EarlyClassifier> StrutClassifier::CloneUntrained() const {
+  return std::make_unique<StrutClassifier>(base_->CloneUntrained(), options_,
+                                           name_);
+}
+
+namespace {
+
+/// Chooses WEASEL or WEASEL+MUSE at Fit time based on input dimensionality so
+/// S-WEASEL handles both kinds of dataset, as in the paper.
+class AdaptiveWeasel : public FullClassifier {
+ public:
+  explicit AdaptiveWeasel(WeaselOptions options = {}) : options_(options) {}
+
+  Status Fit(const Dataset& train) override {
+    if (train.NumVariables() > 1) {
+      MuseOptions muse;
+      muse.weasel = options_;
+      impl_ = std::make_unique<MuseClassifier>(muse);
+    } else {
+      impl_ = std::make_unique<WeaselClassifier>(options_);
+    }
+    return impl_->Fit(train);
+  }
+  Result<int> Predict(const TimeSeries& series) const override {
+    if (impl_ == nullptr) {
+      return Status::FailedPrecondition("AdaptiveWeasel: not fitted");
+    }
+    return impl_->Predict(series);
+  }
+  Result<std::vector<double>> PredictProba(const TimeSeries& series) const override {
+    if (impl_ == nullptr) {
+      return Status::FailedPrecondition("AdaptiveWeasel: not fitted");
+    }
+    return impl_->PredictProba(series);
+  }
+  const std::vector<int>& class_labels() const override {
+    static const std::vector<int>* kEmpty = new std::vector<int>();
+    return impl_ == nullptr ? *kEmpty : impl_->class_labels();
+  }
+  std::string name() const override { return "WEASEL"; }
+  bool SupportsMultivariate() const override { return true; }
+  std::unique_ptr<FullClassifier> CloneUntrained() const override {
+    return std::make_unique<AdaptiveWeasel>(options_);
+  }
+
+ private:
+  WeaselOptions options_;
+  std::unique_ptr<FullClassifier> impl_;
+};
+
+}  // namespace
+
+std::unique_ptr<EarlyClassifier> MakeStrutWeasel(bool multivariate,
+                                                 StrutOptions options) {
+  (void)multivariate;  // AdaptiveWeasel decides at Fit time.
+  return std::make_unique<StrutClassifier>(std::make_unique<AdaptiveWeasel>(),
+                                           options, "S-WEASEL");
+}
+
+std::unique_ptr<EarlyClassifier> MakeStrutMiniRocket(StrutOptions options) {
+  return std::make_unique<StrutClassifier>(
+      std::make_unique<MiniRocketClassifier>(), options, "S-MINI");
+}
+
+std::unique_ptr<EarlyClassifier> MakeStrutMlstm(StrutOptions options) {
+  // S-MLSTM fixes the iteration count with the fraction grid (paper Sec. 6.1).
+  options.search = StrutSearch::kGrid;
+  return std::make_unique<StrutClassifier>(std::make_unique<MlstmClassifier>(),
+                                           options, "S-MLSTM");
+}
+
+}  // namespace etsc

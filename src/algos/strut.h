@@ -1,0 +1,85 @@
+#ifndef ETSC_ALGOS_STRUT_H_
+#define ETSC_ALGOS_STRUT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+
+namespace etsc {
+
+/// Metric STRUT optimises when choosing the truncation point (paper Sec. 4).
+enum class StrutMetric {
+  kAccuracy,
+  kF1,
+  kHarmonicMean,  // of accuracy and earliness (default)
+};
+
+/// How candidate truncation points are explored.
+enum class StrutSearch {
+  /// Evaluate every candidate fraction in `fractions` (the fixed-iteration
+  /// variant the paper uses for S-MLSTM: {0.05, 0.2, 0.4, 0.6, 0.8, 1}).
+  kGrid,
+  /// The paper's faster approximation: after a coarse grid pass, binary-search
+  /// between the best point and its earlier neighbour for the minimum t whose
+  /// score stays within `tolerance` of the best.
+  kBinary,
+};
+
+/// STRUT — Selective TRUncation of Time-series (the paper's proposed
+/// baseline, Sec. 4). Wraps any full-TSC algorithm: the training set is split
+/// into fit/validation parts, iteratively truncated to candidate prefix
+/// lengths; the truncation point with the best validation score is kept and
+/// the classifier is retrained on the full training set at that length. Every
+/// test prediction consumes exactly the selected prefix.
+struct StrutOptions {
+  StrutMetric metric = StrutMetric::kHarmonicMean;
+  StrutSearch search = StrutSearch::kBinary;
+  /// Candidate truncation fractions of the series length for the grid pass.
+  std::vector<double> fractions = {0.05, 0.2, 0.4, 0.6, 0.8, 1.0};
+  double validation_fraction = 0.3;
+  double tolerance = 0.02;  // score slack for the binary refinement
+  uint64_t seed = 29;
+};
+
+class StrutClassifier : public EarlyClassifier {
+ public:
+  /// `base` supplies CloneUntrained() copies per truncation iteration.
+  StrutClassifier(std::unique_ptr<FullClassifier> base, StrutOptions options = {},
+                  std::string display_name = "");
+
+  Status Fit(const Dataset& train) override;
+  Result<EarlyPrediction> PredictEarly(const TimeSeries& series) const override;
+  std::string name() const override { return name_; }
+  bool SupportsMultivariate() const override {
+    return base_->SupportsMultivariate();
+  }
+  std::unique_ptr<EarlyClassifier> CloneUntrained() const override;
+
+  size_t truncation_point() const { return truncation_point_; }
+
+ private:
+  /// Validation score of the base classifier trained at truncation `t`.
+  Result<double> ScoreAt(const Dataset& fit, const Dataset& validation, size_t t,
+                         size_t full_length) const;
+
+  std::unique_ptr<FullClassifier> base_;
+  StrutOptions options_;
+  std::string name_;
+  size_t truncation_point_ = 0;
+  std::unique_ptr<FullClassifier> model_;  // final model trained at t*
+};
+
+/// The paper's three STRUT presets: S-WEASEL (WEASEL / WEASEL+MUSE chosen by
+/// dimensionality at Fit), S-MINI (MiniROCKET) and S-MLSTM (MLSTM-FCN with the
+/// fixed fraction grid). `multivariate` selects MUSE inside S-WEASEL.
+std::unique_ptr<EarlyClassifier> MakeStrutWeasel(bool multivariate,
+                                                 StrutOptions options = {});
+std::unique_ptr<EarlyClassifier> MakeStrutMiniRocket(StrutOptions options = {});
+std::unique_ptr<EarlyClassifier> MakeStrutMlstm(StrutOptions options = {});
+
+}  // namespace etsc
+
+#endif  // ETSC_ALGOS_STRUT_H_

@@ -1,0 +1,265 @@
+#include "algos/teaser.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/evaluation.h"
+#include "core/metrics.h"
+#include "core/rng.h"
+
+namespace etsc {
+
+std::vector<double> TeaserClassifier::OcsvmFeatures(
+    const std::vector<double>& proba) {
+  std::vector<double> features = proba;
+  double top1 = -1.0, top2 = -1.0;
+  for (double p : proba) {
+    if (p > top1) {
+      top2 = top1;
+      top1 = p;
+    } else if (p > top2) {
+      top2 = p;
+    }
+  }
+  features.push_back(top2 < 0.0 ? top1 : top1 - top2);
+  return features;
+}
+
+TimeSeries TeaserClassifier::Preprocess(const TimeSeries& series) const {
+  if (!options_.z_normalize) return series;
+  TimeSeries copy = series;
+  copy.ZNormalize();
+  return copy;
+}
+
+Status TeaserClassifier::Fit(const Dataset& train) {
+  if (train.empty()) return Status::InvalidArgument("TEASER: empty training set");
+  if (train.NumVariables() != 1) {
+    return Status::InvalidArgument("TEASER: univariate input required");
+  }
+  length_ = train.MinLength();
+  if (length_ < 2) return Status::InvalidArgument("TEASER: series too short");
+
+  Dataset prepared = train;
+  if (options_.z_normalize) {
+    for (size_t i = 0; i < prepared.size(); ++i) {
+      prepared.instance(i).ZNormalize();
+    }
+  }
+
+  // Prefix grid: floor(i*L/S), first prefix = L/S, last = L.
+  prefix_lengths_.clear();
+  const size_t num = std::min(options_.num_prefixes, length_);
+  for (size_t i = 1; i <= num; ++i) {
+    const size_t len = std::max<size_t>(2, i * length_ / num);
+    if (prefix_lengths_.empty() || prefix_lengths_.back() != len) {
+      prefix_lengths_.push_back(len);
+    }
+  }
+  if (prefix_lengths_.back() != length_) prefix_lengths_.push_back(length_);
+  const size_t P = prefix_lengths_.size();
+  const size_t n = prepared.size();
+
+  Stopwatch budget_timer;
+  Rng rng(options_.seed);
+
+  models_.clear();
+  filters_.clear();
+  filter_ok_.assign(P, false);
+  models_.reserve(P);
+  filters_.reserve(P);
+
+  // train_accept[p][i] / train_pred[p][i]: the OC-SVM verdict and pipeline
+  // prediction of prefix p on training instance i (used for the v search).
+  std::vector<std::vector<int>> train_pred(P, std::vector<int>(n, 0));
+  std::vector<std::vector<bool>> train_accept(P, std::vector<bool>(n, false));
+
+  // Out-of-sample probability vectors per (prefix, instance) for the OC-SVM
+  // and the v search; falls back to in-sample when cv_folds == 0 or the
+  // training set is too small to fold.
+  std::vector<std::vector<std::vector<double>>> oos_proba(
+      P, std::vector<std::vector<double>>(n));
+  const size_t folds =
+      n >= 2 * std::max<size_t>(options_.cv_folds, 2) ? options_.cv_folds : 0;
+  if (folds >= 2) {
+    const auto splits = StratifiedKFold(prepared, folds, &rng);
+    for (const auto& split : splits) {
+      Dataset fold_train = prepared.Subset(split.train);
+      for (size_t p = 0; p < P; ++p) {
+        if (budget_timer.Seconds() > train_budget_seconds_) {
+          return Status::ResourceExhausted("TEASER: train budget exceeded");
+        }
+        WeaselClassifier model(options_.weasel);
+        ETSC_RETURN_NOT_OK(model.Fit(fold_train.Truncated(prefix_lengths_[p])));
+        for (size_t test_idx : split.test) {
+          auto proba = model.PredictProba(
+              prepared.instance(test_idx).Prefix(prefix_lengths_[p]));
+          if (!proba.ok()) return proba.status();
+          // Align fold-local class order with the global one.
+          std::vector<double> aligned(prepared.NumClasses(), 0.0);
+          const auto global_labels = prepared.ClassLabels();
+          const auto& local_labels = model.class_labels();
+          for (size_t k = 0; k < local_labels.size(); ++k) {
+            for (size_t g = 0; g < global_labels.size(); ++g) {
+              if (global_labels[g] == local_labels[k]) aligned[g] = (*proba)[k];
+            }
+          }
+          oos_proba[p][test_idx] = std::move(aligned);
+        }
+      }
+    }
+  }
+
+  const auto global_labels = prepared.ClassLabels();
+  for (size_t p = 0; p < P; ++p) {
+    if (budget_timer.Seconds() > train_budget_seconds_) {
+      return Status::ResourceExhausted("TEASER: train budget exceeded");
+    }
+    WeaselClassifier model(options_.weasel);
+    ETSC_RETURN_NOT_OK(model.Fit(prepared.Truncated(prefix_lengths_[p])));
+
+    // Collect feature vectors of correctly classified training instances.
+    std::vector<std::vector<double>> correct_features;
+    std::vector<std::vector<double>> all_features(n);
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<double> proba_values;
+      int predicted_label;
+      if (folds >= 2) {
+        proba_values = oos_proba[p][i];
+        const size_t best = static_cast<size_t>(
+            std::max_element(proba_values.begin(), proba_values.end()) -
+            proba_values.begin());
+        predicted_label = global_labels[best];
+      } else {
+        auto proba =
+            model.PredictProba(prepared.instance(i).Prefix(prefix_lengths_[p]));
+        if (!proba.ok()) return proba.status();
+        proba_values = std::move(*proba);
+        const auto& labels = model.class_labels();
+        const size_t best = static_cast<size_t>(
+            std::max_element(proba_values.begin(), proba_values.end()) -
+            proba_values.begin());
+        predicted_label = labels[best];
+      }
+      train_pred[p][i] = predicted_label;
+      all_features[i] = OcsvmFeatures(proba_values);
+      if (predicted_label == prepared.label(i)) {
+        correct_features.push_back(all_features[i]);
+      }
+    }
+
+    OneClassSvm filter(options_.ocsvm);
+    if (correct_features.size() >= 2) {
+      Status status = filter.Fit(correct_features, &rng);
+      filter_ok_[p] = status.ok();
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (filter_ok_[p]) {
+        auto accepted = filter.Accepts(all_features[i]);
+        train_accept[p][i] = accepted.ok() && *accepted;
+      } else {
+        train_accept[p][i] = true;  // no filter -> pass everything through
+      }
+    }
+    models_.push_back(std::move(model));
+    filters_.push_back(std::move(filter));
+  }
+
+  // Grid-search v in {1..max_consecutive} by harmonic mean on training data.
+  double best_hm = -1.0;
+  size_t best_v = 1;
+  for (size_t v = 1; v <= options_.max_consecutive; ++v) {
+    size_t correct = 0;
+    double earliness_sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      int last_label = 0;
+      size_t streak = 0;
+      size_t stop = P - 1;
+      int label = train_pred[P - 1][i];
+      for (size_t p = 0; p < P; ++p) {
+        if (train_accept[p][i]) {
+          if (streak > 0 && train_pred[p][i] == last_label) {
+            ++streak;
+          } else {
+            streak = 1;
+            last_label = train_pred[p][i];
+          }
+          if (streak >= v) {
+            stop = p;
+            label = train_pred[p][i];
+            break;
+          }
+        } else {
+          streak = 0;
+        }
+      }
+      if (label == prepared.label(i)) ++correct;
+      earliness_sum += static_cast<double>(prefix_lengths_[stop]) /
+                       static_cast<double>(length_);
+    }
+    const double accuracy = static_cast<double>(correct) / static_cast<double>(n);
+    const double earliness = earliness_sum / static_cast<double>(n);
+    const double hm = HarmonicMean(accuracy, earliness);
+    if (hm > best_hm) {
+      best_hm = hm;
+      best_v = v;
+    }
+  }
+  v_ = best_v;
+  return Status::OK();
+}
+
+Result<EarlyPrediction> TeaserClassifier::PredictEarly(
+    const TimeSeries& series) const {
+  if (models_.empty()) return Status::FailedPrecondition("TEASER: not fitted");
+  if (series.num_variables() != 1) {
+    return Status::InvalidArgument("TEASER: univariate input required");
+  }
+  const TimeSeries prepared = Preprocess(series);
+
+  int last_label = 0;
+  size_t streak = 0;
+  for (size_t p = 0; p < prefix_lengths_.size(); ++p) {
+    const size_t len = prefix_lengths_[p];
+    const bool is_last = p + 1 == prefix_lengths_.size() ||
+                         prefix_lengths_[p + 1] > prepared.length();
+    if (len > prepared.length()) break;
+    auto proba = models_[p].PredictProba(prepared.Prefix(len));
+    if (!proba.ok()) return proba.status();
+    const auto& labels = models_[p].class_labels();
+    const size_t best = static_cast<size_t>(
+        std::max_element(proba->begin(), proba->end()) - proba->begin());
+    const int label = labels[best];
+
+    if (is_last) {
+      // Final prefix: emit without the two-tier checks (paper Sec. 3.6).
+      return EarlyPrediction{label, len};
+    }
+
+    bool accepted = true;
+    if (filter_ok_[p]) {
+      auto verdict = filters_[p].Accepts(OcsvmFeatures(*proba));
+      accepted = verdict.ok() && *verdict;
+    }
+    if (accepted) {
+      if (streak > 0 && label == last_label) {
+        ++streak;
+      } else {
+        streak = 1;
+        last_label = label;
+      }
+      if (streak >= v_) {
+        return EarlyPrediction{label, len};
+      }
+    } else {
+      streak = 0;
+    }
+  }
+  // Series shorter than the first prefix.
+  auto pred = models_[0].Predict(prepared);
+  if (!pred.ok()) return pred.status();
+  return EarlyPrediction{*pred, prepared.length()};
+}
+
+}  // namespace etsc

@@ -1,0 +1,71 @@
+#ifndef ETSC_ALGOS_TEASER_H_
+#define ETSC_ALGOS_TEASER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+#include "ml/one_class_svm.h"
+#include "tsc/weasel.h"
+
+namespace etsc {
+
+/// TEASER — Two-tier Early and Accurate Series classifiER (Schäfer & Leser
+/// 2020; paper Sec. 3.6). Prefix-based and univariate: S overlapping prefixes
+/// each get a WEASEL + logistic-regression pipeline; a per-prefix one-class
+/// SVM trained on the feature vectors (class probabilities + top-2 margin) of
+/// correctly classified training instances accepts or rejects each
+/// probabilistic prediction; an accepted label is emitted only after v
+/// consecutive identical accepted predictions, with v ∈ {1..5} grid-searched
+/// on the training set by harmonic mean of accuracy and earliness.
+struct TeaserOptions {
+  size_t num_prefixes = 20;  // Table 4: S = 20 (UCR), 10 (Biological/Maritime)
+  size_t max_consecutive = 5;
+  /// Folds used to obtain out-of-sample probabilistic predictions for the
+  /// one-class-SVM training set and the v grid search (the original uses
+  /// cross-validation here; 0 falls back to cheap in-sample predictions).
+  size_t cv_folds = 3;
+  /// The original z-normalises internally; the paper evaluates the variant
+  /// without it (online setting), so the default is off.
+  bool z_normalize = false;
+  OneClassSvmOptions ocsvm;
+  WeaselOptions weasel;
+  uint64_t seed = 23;
+};
+
+class TeaserClassifier : public EarlyClassifier {
+ public:
+  explicit TeaserClassifier(TeaserOptions options = {}) : options_(options) {}
+
+  Status Fit(const Dataset& train) override;
+  Result<EarlyPrediction> PredictEarly(const TimeSeries& series) const override;
+  std::string name() const override { return "TEASER"; }
+  bool SupportsMultivariate() const override { return false; }
+  std::unique_ptr<EarlyClassifier> CloneUntrained() const override {
+    return std::make_unique<TeaserClassifier>(options_);
+  }
+
+  size_t chosen_v() const { return v_; }
+  const std::vector<size_t>& prefix_lengths() const { return prefix_lengths_; }
+
+ private:
+  /// The OC-SVM feature vector: the class-probability vector plus the margin
+  /// between the two largest probabilities.
+  static std::vector<double> OcsvmFeatures(const std::vector<double>& proba);
+
+  /// Applies the optional z-normalisation.
+  TimeSeries Preprocess(const TimeSeries& series) const;
+
+  TeaserOptions options_;
+  size_t length_ = 0;
+  size_t v_ = 1;
+  std::vector<size_t> prefix_lengths_;
+  std::vector<WeaselClassifier> models_;
+  std::vector<OneClassSvm> filters_;
+  std::vector<bool> filter_ok_;  // OC-SVM trained successfully per prefix
+};
+
+}  // namespace etsc
+
+#endif  // ETSC_ALGOS_TEASER_H_

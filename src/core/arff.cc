@@ -1,0 +1,204 @@
+#include "core/arff.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+
+namespace etsc {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+// Parses "@attribute <name> <type>" into name and type strings. The name may
+// be quoted.
+bool ParseAttributeLine(const std::string& line, std::string* name,
+                        std::string* type) {
+  // Skip "@attribute".
+  size_t pos = line.find_first_of(" \t");
+  if (pos == std::string::npos) return false;
+  std::string rest = Trim(line.substr(pos));
+  if (rest.empty()) return false;
+  if (rest[0] == '\'' || rest[0] == '"') {
+    const char quote = rest[0];
+    const size_t close = rest.find(quote, 1);
+    if (close == std::string::npos) return false;
+    *name = rest.substr(1, close - 1);
+    *type = Trim(rest.substr(close + 1));
+  } else {
+    const size_t split = rest.find_first_of(" \t");
+    if (split == std::string::npos) return false;
+    *name = rest.substr(0, split);
+    *type = Trim(rest.substr(split));
+  }
+  return !type->empty();
+}
+
+// Splits a nominal spec "{a, b, c}" into its values.
+std::vector<std::string> ParseNominalValues(const std::string& spec) {
+  std::vector<std::string> values;
+  const auto open = spec.find('{');
+  const auto close = spec.rfind('}');
+  if (open == std::string::npos || close == std::string::npos || close <= open) {
+    return values;
+  }
+  std::stringstream ss(spec.substr(open + 1, close - open - 1));
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    item = Trim(item);
+    if (!item.empty() && (item[0] == '\'' || item[0] == '"') &&
+        item.size() >= 2 && item.back() == item[0]) {
+      item = item.substr(1, item.size() - 2);
+    }
+    values.push_back(item);
+  }
+  return values;
+}
+
+}  // namespace
+
+Result<Dataset> ParseArff(const std::string& content, const std::string& name) {
+  std::stringstream ss(content);
+  std::string line;
+
+  size_t num_attributes = 0;
+  std::vector<std::string> class_values;  // nominal class spec, if any
+  bool class_is_nominal = false;
+  bool in_data = false;
+  size_t line_no = 0;
+
+  Dataset dataset;
+  dataset.set_name(name);
+  std::map<std::string, int> label_map;  // for non-nominal class values
+
+  while (std::getline(ss, line)) {
+    ++line_no;
+    line = Trim(line);
+    if (line.empty() || line[0] == '%') continue;
+
+    if (!in_data) {
+      const std::string lowered = Lower(line);
+      if (StartsWith(lowered, "@relation")) continue;
+      if (StartsWith(lowered, "@attribute")) {
+        std::string attr_name, attr_type;
+        if (!ParseAttributeLine(line, &attr_name, &attr_type)) {
+          return Status::IOError("line " + std::to_string(line_no) +
+                                 ": malformed @attribute");
+        }
+        ++num_attributes;
+        // The last attribute before @data is the class; remember its spec.
+        class_values = ParseNominalValues(attr_type);
+        class_is_nominal = !class_values.empty();
+        continue;
+      }
+      if (StartsWith(lowered, "@data")) {
+        if (num_attributes < 2) {
+          return Status::IOError("ARFF: need at least one series attribute "
+                                 "plus the class attribute");
+        }
+        in_data = true;
+        continue;
+      }
+      return Status::IOError("line " + std::to_string(line_no) +
+                             ": unexpected header line '" + line + "'");
+    }
+
+    // Data row: comma-separated, last field is the class.
+    if (line[0] == '{') {
+      return Status::NotImplemented("ARFF: sparse data rows not supported");
+    }
+    std::vector<std::string> fields;
+    std::stringstream row(line);
+    std::string field;
+    while (std::getline(row, field, ',')) fields.push_back(Trim(field));
+    if (fields.size() != num_attributes) {
+      return Status::IOError("line " + std::to_string(line_no) + ": expected " +
+                             std::to_string(num_attributes) + " fields, got " +
+                             std::to_string(fields.size()));
+    }
+
+    std::vector<double> values(fields.size() - 1);
+    for (size_t i = 0; i + 1 < fields.size(); ++i) {
+      if (fields[i] == "?" || fields[i].empty()) {
+        values[i] = std::numeric_limits<double>::quiet_NaN();
+        continue;
+      }
+      try {
+        values[i] = std::stod(fields[i]);
+      } catch (...) {
+        return Status::IOError("line " + std::to_string(line_no) +
+                               ": bad numeric field '" + fields[i] + "'");
+      }
+    }
+
+    std::string class_field = fields.back();
+    if (!class_field.empty() &&
+        (class_field[0] == '\'' || class_field[0] == '"') &&
+        class_field.size() >= 2 && class_field.back() == class_field[0]) {
+      class_field = class_field.substr(1, class_field.size() - 2);
+    }
+    int label = 0;
+    if (class_is_nominal) {
+      const auto it =
+          std::find(class_values.begin(), class_values.end(), class_field);
+      if (it == class_values.end()) {
+        return Status::IOError("line " + std::to_string(line_no) +
+                               ": class value '" + class_field +
+                               "' not in the nominal spec");
+      }
+      label = static_cast<int>(it - class_values.begin());
+    } else {
+      // Numeric or string class: map by first appearance (numeric values that
+      // parse as integers keep their value).
+      try {
+        size_t consumed = 0;
+        const double numeric = std::stod(class_field, &consumed);
+        if (consumed == class_field.size() &&
+            numeric == std::floor(numeric)) {
+          label = static_cast<int>(numeric);
+        } else {
+          throw std::invalid_argument("not an int");
+        }
+      } catch (...) {
+        const auto [it, inserted] =
+            label_map.emplace(class_field, static_cast<int>(label_map.size()));
+        label = it->second;
+      }
+    }
+    dataset.Add(TimeSeries::Univariate(std::move(values)), label);
+  }
+  if (!in_data) return Status::IOError("ARFF: missing @data section");
+  if (dataset.empty()) return Status::IOError("ARFF: no data rows");
+  return dataset;
+}
+
+Result<Dataset> LoadArff(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto slash = path.find_last_of('/');
+  return ParseArff(buffer.str(),
+                   slash == std::string::npos ? path : path.substr(slash + 1));
+}
+
+}  // namespace etsc

@@ -1,0 +1,30 @@
+#ifndef ETSC_CORE_ARFF_H_
+#define ETSC_CORE_ARFF_H_
+
+#include <string>
+
+#include "core/dataset.h"
+#include "core/status.h"
+
+namespace etsc {
+
+/// ARFF support (paper Sec. 5.5: "files of type .arff are also supported").
+///
+/// The accepted dialect is the one the UEA & UCR archive uses for univariate
+/// series: a header of `@attribute att_t numeric` declarations followed by a
+/// final class attribute (`@attribute target {a,b,...}` or `... numeric` /
+/// `... string`), then `@data` rows of comma-separated values whose last
+/// field is the class. Nominal class values are mapped to 0-based integer
+/// labels in declaration order (or first-appearance order when the class
+/// attribute is not nominal). '?' loads as NaN. Sparse ARFF rows and
+/// relational (multivariate) attributes are not supported; multivariate
+/// datasets use the CSV format (core/csv.h) instead.
+Result<Dataset> ParseArff(const std::string& content,
+                          const std::string& name = "arff");
+
+/// Loads an ARFF file from disk.
+Result<Dataset> LoadArff(const std::string& path);
+
+}  // namespace etsc
+
+#endif  // ETSC_CORE_ARFF_H_

@@ -1,0 +1,80 @@
+#include "core/categorize.h"
+
+#include <algorithm>
+
+namespace etsc {
+
+const std::vector<DatasetCategory>& AllDatasetCategories() {
+  static const std::vector<DatasetCategory>* kAll = new std::vector<DatasetCategory>{
+      DatasetCategory::kWide,       DatasetCategory::kLarge,
+      DatasetCategory::kUnstable,   DatasetCategory::kImbalanced,
+      DatasetCategory::kMulticlass, DatasetCategory::kCommon,
+      DatasetCategory::kUnivariate, DatasetCategory::kMultivariate};
+  return *kAll;
+}
+
+std::string DatasetCategoryName(DatasetCategory category) {
+  switch (category) {
+    case DatasetCategory::kWide:
+      return "Wide";
+    case DatasetCategory::kLarge:
+      return "Large";
+    case DatasetCategory::kUnstable:
+      return "Unstable";
+    case DatasetCategory::kImbalanced:
+      return "Imbalanced";
+    case DatasetCategory::kMulticlass:
+      return "Multiclass";
+    case DatasetCategory::kCommon:
+      return "Common";
+    case DatasetCategory::kUnivariate:
+      return "Univariate";
+    case DatasetCategory::kMultivariate:
+      return "Multivariate";
+  }
+  return "Unknown";
+}
+
+bool DatasetProfile::IsIn(DatasetCategory category) const {
+  return std::find(categories.begin(), categories.end(), category) !=
+         categories.end();
+}
+
+DatasetProfile Categorize(const Dataset& dataset,
+                          const CategorizationThresholds& thresholds) {
+  DatasetProfile profile;
+  profile.name = dataset.name();
+  profile.length = dataset.MaxLength();
+  profile.height = dataset.size();
+  profile.num_variables = dataset.NumVariables();
+  profile.num_classes = dataset.NumClasses();
+  profile.cov = dataset.CoefficientOfVariation();
+  profile.cir = dataset.ClassImbalanceRatio();
+
+  AssignCategories(&profile, thresholds);
+  return profile;
+}
+
+void AssignCategories(DatasetProfile* profile,
+                      const CategorizationThresholds& thresholds) {
+  auto& cats = profile->categories;
+  cats.clear();
+  if (profile->length > thresholds.wide_length) {
+    cats.push_back(DatasetCategory::kWide);
+  }
+  if (profile->height > thresholds.large_height) {
+    cats.push_back(DatasetCategory::kLarge);
+  }
+  if (profile->cov > thresholds.unstable_cov) {
+    cats.push_back(DatasetCategory::kUnstable);
+  }
+  if (profile->cir > thresholds.imbalanced_cir) {
+    cats.push_back(DatasetCategory::kImbalanced);
+  }
+  if (profile->num_classes > 2) cats.push_back(DatasetCategory::kMulticlass);
+  if (cats.empty()) cats.push_back(DatasetCategory::kCommon);
+  cats.push_back(profile->num_variables > 1 ? DatasetCategory::kMultivariate
+                                            : DatasetCategory::kUnivariate);
+}
+
+}  // namespace etsc

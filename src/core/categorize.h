@@ -1,0 +1,66 @@
+#ifndef ETSC_CORE_CATEGORIZE_H_
+#define ETSC_CORE_CATEGORIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+
+namespace etsc {
+
+/// The eight dataset groups of paper Sec. 5.4 / Table 3. A dataset can belong
+/// to several groups at once; 'Common' applies only when none of
+/// Wide/Large/Unstable/Imbalanced/Multiclass does.
+enum class DatasetCategory {
+  kWide,
+  kLarge,
+  kUnstable,
+  kImbalanced,
+  kMulticlass,
+  kCommon,
+  kUnivariate,
+  kMultivariate,
+};
+
+/// All categories in Table-3 column order.
+const std::vector<DatasetCategory>& AllDatasetCategories();
+
+/// "Wide", "Large", ... (Table 3 column headers).
+std::string DatasetCategoryName(DatasetCategory category);
+
+/// Thresholds of Sec. 5.4. Length/height were set empirically by the paper;
+/// CoV/CIR are the medians of the 12 dataset values.
+struct CategorizationThresholds {
+  size_t wide_length = 1300;        // length > 1300 -> Wide
+  size_t large_height = 1000;       // instances > 1000 -> Large
+  double unstable_cov = 1.08;       // CoV > 1.08 -> Unstable
+  double imbalanced_cir = 1.73;     // CIR > 1.73 -> Imbalanced
+};
+
+/// Shape statistics + category memberships for one dataset (a Table-3 row).
+struct DatasetProfile {
+  std::string name;
+  size_t length = 0;       // max time-points per series
+  size_t height = 0;       // number of instances
+  size_t num_variables = 0;
+  size_t num_classes = 0;
+  double cov = 0.0;
+  double cir = 1.0;
+  std::vector<DatasetCategory> categories;
+
+  bool IsIn(DatasetCategory category) const;
+};
+
+/// Computes the Table-3 profile of a dataset.
+DatasetProfile Categorize(const Dataset& dataset,
+                          const CategorizationThresholds& thresholds = {});
+
+/// (Re)derives the `categories` list of a profile from its shape statistics;
+/// used when statistics are adjusted (e.g. canonical heights of scaled-down
+/// datasets) after measurement.
+void AssignCategories(DatasetProfile* profile,
+                      const CategorizationThresholds& thresholds = {});
+
+}  // namespace etsc
+
+#endif  // ETSC_CORE_CATEGORIZE_H_

@@ -1,0 +1,19 @@
+#include "core/classifier.h"
+
+namespace etsc {
+
+Result<std::vector<double>> FullClassifier::PredictProba(
+    const TimeSeries& series) const {
+  ETSC_ASSIGN_OR_RETURN(int label, Predict(series));
+  const auto& labels = class_labels();
+  std::vector<double> proba(labels.size(), 0.0);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == label) {
+      proba[i] = 1.0;
+      break;
+    }
+  }
+  return proba;
+}
+
+}  // namespace etsc

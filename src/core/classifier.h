@@ -1,0 +1,87 @@
+#ifndef ETSC_CORE_CLASSIFIER_H_
+#define ETSC_CORE_CLASSIFIER_H_
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/status.h"
+#include "core/time_series.h"
+
+namespace etsc {
+
+/// Result of an early classification: the predicted label and how many
+/// time-points of the instance the algorithm consumed before committing.
+struct EarlyPrediction {
+  int label = 0;
+  size_t prefix_length = 0;
+};
+
+/// Interface for algorithms that classify complete time-series (the paper's
+/// "full TSC" algorithms: WEASEL, MiniROCKET, MLSTM). STRUT builds early
+/// classifiers out of these.
+class FullClassifier {
+ public:
+  virtual ~FullClassifier() = default;
+
+  /// Trains on a labelled dataset. All instances must share the variable
+  /// count; lengths may vary (algorithms pad or window as needed).
+  virtual Status Fit(const Dataset& train) = 0;
+
+  /// Predicts the class of one (complete or truncated) series.
+  virtual Result<int> Predict(const TimeSeries& series) const = 0;
+
+  /// Class-membership scores aligned with ClassLabels() of the training set.
+  /// Default implementation returns a one-hot vector from Predict().
+  virtual Result<std::vector<double>> PredictProba(const TimeSeries& series) const;
+
+  /// Labels seen at Fit time, sorted ascending (defines PredictProba order).
+  virtual const std::vector<int>& class_labels() const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Whether multivariate input is natively supported.
+  virtual bool SupportsMultivariate() const = 0;
+
+  /// Fresh, untrained instance with the same configuration. Used by STRUT and
+  /// the per-variable voting wrapper to retrain on derived datasets.
+  virtual std::unique_ptr<FullClassifier> CloneUntrained() const = 0;
+};
+
+/// Interface every ETSC algorithm implements (mirrors the Python framework's
+/// `EarlyClassifier` abstract class, paper Sec. 5.5).
+class EarlyClassifier {
+ public:
+  virtual ~EarlyClassifier() = default;
+
+  /// Trains on complete, labelled series. May return ResourceExhausted when
+  /// the configured train budget is exceeded (the paper terminated runs after
+  /// 48 hours); callers treat that as "unable to train" (Fig. 13 hatches).
+  virtual Status Fit(const Dataset& train) = 0;
+
+  /// Classifies a test instance as early as possible. The returned
+  /// prefix_length reports how many points were consumed; it equals
+  /// series.length() when the algorithm had to observe everything.
+  virtual Result<EarlyPrediction> PredictEarly(const TimeSeries& series) const = 0;
+
+  virtual std::string name() const = 0;
+
+  virtual bool SupportsMultivariate() const = 0;
+
+  /// Fresh, untrained instance with identical configuration.
+  virtual std::unique_ptr<EarlyClassifier> CloneUntrained() const = 0;
+
+  /// Wall-clock training budget in seconds; Fit of expensive algorithms polls
+  /// this and fails with ResourceExhausted when exceeded.
+  double train_budget_seconds() const { return train_budget_seconds_; }
+  void set_train_budget_seconds(double seconds) { train_budget_seconds_ = seconds; }
+
+ protected:
+  double train_budget_seconds_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace etsc
+
+#endif  // ETSC_CORE_CLASSIFIER_H_

@@ -1,0 +1,138 @@
+#include "core/csv.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace etsc {
+
+namespace {
+
+// Splits one CSV line into label + values. Empty fields and "NaN" (any case)
+// parse as NaN. Returns false on malformed numeric fields.
+bool ParseLine(const std::string& line, int* label, std::vector<double>* values,
+               std::string* error) {
+  values->clear();
+  std::stringstream ss(line);
+  std::string field;
+  bool first = true;
+  while (std::getline(ss, field, ',')) {
+    // Trim whitespace.
+    const auto begin = field.find_first_not_of(" \t\r");
+    const auto end = field.find_last_not_of(" \t\r");
+    field = begin == std::string::npos ? "" : field.substr(begin, end - begin + 1);
+    if (first) {
+      try {
+        *label = std::stoi(field);
+      } catch (...) {
+        *error = "bad label field '" + field + "'";
+        return false;
+      }
+      first = false;
+      continue;
+    }
+    if (field.empty() || field == "NaN" || field == "nan" || field == "NAN" ||
+        field == "?") {
+      values->push_back(std::numeric_limits<double>::quiet_NaN());
+      continue;
+    }
+    try {
+      values->push_back(std::stod(field));
+    } catch (...) {
+      *error = "bad numeric field '" + field + "'";
+      return false;
+    }
+  }
+  if (first) {
+    *error = "empty line";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Dataset> ParseCsv(const std::string& content, size_t num_variables,
+                         const std::string& name) {
+  if (num_variables == 0) {
+    return Status::InvalidArgument("ParseCsv: num_variables must be >= 1");
+  }
+  Dataset dataset;
+  dataset.set_name(name);
+  std::stringstream ss(content);
+  std::string line;
+  std::vector<std::vector<double>> channels;
+  int pending_label = 0;
+  size_t line_no = 0;
+  while (std::getline(ss, line)) {
+    ++line_no;
+    if (line.empty() || line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;
+    }
+    int label = 0;
+    std::vector<double> values;
+    std::string error;
+    if (!ParseLine(line, &label, &values, &error)) {
+      return Status::IOError("line " + std::to_string(line_no) + ": " + error);
+    }
+    if (channels.empty()) {
+      pending_label = label;
+    } else if (label != pending_label) {
+      return Status::IOError("line " + std::to_string(line_no) +
+                             ": label differs within a multivariate example");
+    }
+    channels.push_back(std::move(values));
+    if (channels.size() == num_variables) {
+      ETSC_ASSIGN_OR_RETURN(TimeSeries ts, TimeSeries::FromChannels(std::move(channels)));
+      dataset.Add(std::move(ts), pending_label);
+      channels.clear();
+    }
+  }
+  if (!channels.empty()) {
+    return Status::IOError("trailing rows do not form a complete example");
+  }
+  return dataset;
+}
+
+Result<Dataset> LoadCsv(const std::string& path, size_t num_variables) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto slash = path.find_last_of('/');
+  std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+  return ParseCsv(buffer.str(), num_variables, base);
+}
+
+std::string ToCsv(const Dataset& dataset) {
+  std::string out;
+  char buf[64];
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    const TimeSeries& ts = dataset.instance(i);
+    for (size_t v = 0; v < ts.num_variables(); ++v) {
+      out += std::to_string(dataset.label(i));
+      for (double x : ts.channel(v)) {
+        if (std::isnan(x)) {
+          out += ",NaN";
+        } else {
+          std::snprintf(buf, sizeof(buf), ",%.10g", x);
+          out += buf;
+        }
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+Status SaveCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << ToCsv(dataset);
+  if (!out) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace etsc

@@ -1,0 +1,32 @@
+#ifndef ETSC_CORE_CSV_H_
+#define ETSC_CORE_CSV_H_
+
+#include <string>
+
+#include "core/dataset.h"
+#include "core/status.h"
+
+namespace etsc {
+
+/// The framework's dataset exchange format (paper Sec. 5.5): each CSV row is
+/// one variable of one time-series example; the first value of the row is the
+/// class label. Multivariate examples occupy `num_variables` consecutive rows
+/// that must carry the same label. Missing measurements may be written as
+/// "NaN" or left empty and load as NaN.
+///
+/// Loads a dataset; `num_variables` is 1 for univariate files.
+Result<Dataset> LoadCsv(const std::string& path, size_t num_variables = 1);
+
+/// Parses in-memory CSV content (same format as LoadCsv).
+Result<Dataset> ParseCsv(const std::string& content, size_t num_variables = 1,
+                         const std::string& name = "csv");
+
+/// Writes a dataset in the same format.
+Status SaveCsv(const Dataset& dataset, const std::string& path);
+
+/// Serialises a dataset to CSV text.
+std::string ToCsv(const Dataset& dataset);
+
+}  // namespace etsc
+
+#endif  // ETSC_CORE_CSV_H_

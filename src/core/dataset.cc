@@ -1,0 +1,184 @@
+#include "core/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace etsc {
+
+size_t Dataset::NumClasses() const { return ClassLabels().size(); }
+
+std::vector<int> Dataset::ClassLabels() const {
+  std::set<int> distinct(labels_.begin(), labels_.end());
+  return std::vector<int>(distinct.begin(), distinct.end());
+}
+
+std::map<int, size_t> Dataset::ClassCounts() const {
+  std::map<int, size_t> counts;
+  for (int label : labels_) ++counts[label];
+  return counts;
+}
+
+size_t Dataset::MaxLength() const {
+  size_t max_len = 0;
+  for (const auto& ts : instances_) max_len = std::max(max_len, ts.length());
+  return max_len;
+}
+
+size_t Dataset::MinLength() const {
+  if (instances_.empty()) return 0;
+  size_t min_len = instances_[0].length();
+  for (const auto& ts : instances_) min_len = std::min(min_len, ts.length());
+  return min_len;
+}
+
+size_t Dataset::NumVariables() const {
+  return instances_.empty() ? 0 : instances_[0].num_variables();
+}
+
+Dataset Dataset::Truncated(size_t len) const {
+  Dataset out;
+  out.name_ = name_;
+  out.observation_period_seconds_ = observation_period_seconds_;
+  out.labels_ = labels_;
+  out.instances_.reserve(instances_.size());
+  for (const auto& ts : instances_) out.instances_.push_back(ts.Prefix(len));
+  return out;
+}
+
+Dataset Dataset::SingleVariable(size_t variable) const {
+  Dataset out;
+  out.name_ = name_;
+  out.observation_period_seconds_ = observation_period_seconds_;
+  out.labels_ = labels_;
+  out.instances_.reserve(instances_.size());
+  for (const auto& ts : instances_) {
+    out.instances_.push_back(ts.SingleVariable(variable));
+  }
+  return out;
+}
+
+Dataset Dataset::Subset(const std::vector<size_t>& indices) const {
+  Dataset out;
+  out.name_ = name_;
+  out.observation_period_seconds_ = observation_period_seconds_;
+  out.instances_.reserve(indices.size());
+  out.labels_.reserve(indices.size());
+  for (size_t i : indices) {
+    ETSC_DCHECK(i < size());
+    out.instances_.push_back(instances_[i]);
+    out.labels_.push_back(labels_[i]);
+  }
+  return out;
+}
+
+void Dataset::FillMissingValues() {
+  for (auto& ts : instances_) ts.FillMissingValues();
+}
+
+double Dataset::ClassImbalanceRatio() const {
+  const auto counts = ClassCounts();
+  if (counts.empty()) return 1.0;
+  size_t max_count = 0;
+  size_t min_count = instances_.size();
+  for (const auto& [label, count] : counts) {
+    max_count = std::max(max_count, count);
+    min_count = std::min(min_count, count);
+  }
+  if (min_count == 0) return static_cast<double>(max_count);
+  return static_cast<double>(max_count) / static_cast<double>(min_count);
+}
+
+double Dataset::CoefficientOfVariation() const {
+  double sum = 0.0;
+  size_t count = 0;
+  for (const auto& ts : instances_) {
+    for (size_t v = 0; v < ts.num_variables(); ++v) {
+      for (double x : ts.channel(v)) {
+        if (!std::isnan(x)) {
+          sum += x;
+          ++count;
+        }
+      }
+    }
+  }
+  if (count == 0) return 0.0;
+  const double mean = sum / static_cast<double>(count);
+  double ss = 0.0;
+  for (const auto& ts : instances_) {
+    for (size_t v = 0; v < ts.num_variables(); ++v) {
+      for (double x : ts.channel(v)) {
+        if (!std::isnan(x)) ss += (x - mean) * (x - mean);
+      }
+    }
+  }
+  const double stddev = std::sqrt(ss / static_cast<double>(count));
+  if (std::abs(mean) < 1e-12) return stddev > 0 ? 1e9 : 0.0;
+  return stddev / std::abs(mean);
+}
+
+namespace {
+
+// label -> shuffled indices of that class.
+std::map<int, std::vector<size_t>> ShuffledClassIndices(const Dataset& dataset,
+                                                        Rng* rng) {
+  std::map<int, std::vector<size_t>> by_class;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    by_class[dataset.label(i)].push_back(i);
+  }
+  for (auto& [label, indices] : by_class) rng->Shuffle(&indices);
+  return by_class;
+}
+
+}  // namespace
+
+std::vector<SplitIndices> StratifiedKFold(const Dataset& dataset, size_t k,
+                                          Rng* rng) {
+  ETSC_CHECK(k >= 2);
+  auto by_class = ShuffledClassIndices(dataset, rng);
+  std::vector<SplitIndices> folds(k);
+  // Deal every class round-robin across folds so each fold keeps the class
+  // proportions as closely as integer counts allow.
+  std::vector<std::vector<size_t>> fold_members(k);
+  for (const auto& [label, indices] : by_class) {
+    for (size_t i = 0; i < indices.size(); ++i) {
+      fold_members[i % k].push_back(indices[i]);
+    }
+  }
+  for (size_t f = 0; f < k; ++f) {
+    folds[f].test = fold_members[f];
+    std::sort(folds[f].test.begin(), folds[f].test.end());
+    for (size_t g = 0; g < k; ++g) {
+      if (g == f) continue;
+      folds[f].train.insert(folds[f].train.end(), fold_members[g].begin(),
+                            fold_members[g].end());
+    }
+    std::sort(folds[f].train.begin(), folds[f].train.end());
+  }
+  return folds;
+}
+
+SplitIndices StratifiedSplit(const Dataset& dataset, double train_fraction,
+                             Rng* rng) {
+  ETSC_CHECK(train_fraction > 0.0 && train_fraction < 1.0);
+  auto by_class = ShuffledClassIndices(dataset, rng);
+  SplitIndices split;
+  for (const auto& [label, indices] : by_class) {
+    // Keep at least one instance of every class on each side when possible.
+    size_t n_train = static_cast<size_t>(
+        std::round(train_fraction * static_cast<double>(indices.size())));
+    if (indices.size() >= 2) {
+      n_train = std::clamp<size_t>(n_train, 1, indices.size() - 1);
+    } else {
+      n_train = indices.size();  // Singleton class goes to train.
+    }
+    for (size_t i = 0; i < indices.size(); ++i) {
+      (i < n_train ? split.train : split.test).push_back(indices[i]);
+    }
+  }
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.test.begin(), split.test.end());
+  return split;
+}
+
+}  // namespace etsc

@@ -1,0 +1,115 @@
+#ifndef ETSC_CORE_DATASET_H_
+#define ETSC_CORE_DATASET_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/status.h"
+#include "core/time_series.h"
+
+namespace etsc {
+
+/// A labelled collection of time-series instances plus the metadata the
+/// framework's categorisation and online-feasibility analyses need.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::string name, std::vector<TimeSeries> instances,
+          std::vector<int> labels)
+      : name_(std::move(name)),
+        instances_(std::move(instances)),
+        labels_(std::move(labels)) {
+    ETSC_CHECK(instances_.size() == labels_.size());
+  }
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  size_t size() const { return instances_.size(); }
+  bool empty() const { return instances_.empty(); }
+
+  const TimeSeries& instance(size_t i) const { return instances_[i]; }
+  TimeSeries& instance(size_t i) { return instances_[i]; }
+  int label(size_t i) const { return labels_[i]; }
+
+  const std::vector<TimeSeries>& instances() const { return instances_; }
+  const std::vector<int>& labels() const { return labels_; }
+
+  void Add(TimeSeries series, int label) {
+    instances_.push_back(std::move(series));
+    labels_.push_back(label);
+  }
+
+  /// Seconds between consecutive observations (used by the Fig-13 online
+  /// feasibility analysis). Zero when unknown.
+  double observation_period_seconds() const { return observation_period_seconds_; }
+  void set_observation_period_seconds(double s) { observation_period_seconds_ = s; }
+
+  /// Number of distinct class labels.
+  size_t NumClasses() const;
+
+  /// Sorted list of distinct labels.
+  std::vector<int> ClassLabels() const;
+
+  /// label -> number of instances.
+  std::map<int, size_t> ClassCounts() const;
+
+  /// Maximum series length over all instances (the dataset "length"/width).
+  size_t MaxLength() const;
+
+  /// Minimum series length over all instances.
+  size_t MinLength() const;
+
+  /// Number of variables (channels); requires a non-empty dataset.
+  size_t NumVariables() const;
+
+  /// True when every instance has exactly one channel.
+  bool IsUnivariate() const { return NumVariables() == 1; }
+
+  /// Returns a copy with every instance truncated to its first `len` points.
+  Dataset Truncated(size_t len) const;
+
+  /// Returns a copy holding only `variable` of every instance.
+  Dataset SingleVariable(size_t variable) const;
+
+  /// Returns the instances at `indices` (in that order).
+  Dataset Subset(const std::vector<size_t>& indices) const;
+
+  /// Repairs NaNs in every instance (paper Sec. 5.1 rule).
+  void FillMissingValues();
+
+  /// Class imbalance ratio: count of most populated class over least
+  /// populated one (paper Sec. 5.4). Returns 1 for empty datasets.
+  double ClassImbalanceRatio() const;
+
+  /// Coefficient of variation: stddev over all time-points and instances
+  /// divided by the absolute mean (paper Sec. 5.4).
+  double CoefficientOfVariation() const;
+
+ private:
+  std::string name_;
+  std::vector<TimeSeries> instances_;
+  std::vector<int> labels_;
+  double observation_period_seconds_ = 0.0;
+};
+
+/// Index-level train/test split.
+struct SplitIndices {
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+
+/// Produces `k` stratified folds: fold i's `test` contains roughly 1/k of each
+/// class, `train` the rest. Shuffling is driven by `rng` so runs are
+/// reproducible (paper Sec. 6.1: stratified random-sampling 5-fold CV).
+std::vector<SplitIndices> StratifiedKFold(const Dataset& dataset, size_t k, Rng* rng);
+
+/// Single stratified split with `train_fraction` of each class in `train`.
+SplitIndices StratifiedSplit(const Dataset& dataset, double train_fraction, Rng* rng);
+
+}  // namespace etsc
+
+#endif  // ETSC_CORE_DATASET_H_

@@ -1,0 +1,127 @@
+#include "core/evaluation.h"
+
+#include <algorithm>
+
+#include "core/rng.h"
+#include "core/voting.h"
+
+namespace etsc {
+
+bool EvaluationResult::trained() const {
+  if (folds.empty()) return false;
+  return std::all_of(folds.begin(), folds.end(),
+                     [](const FoldOutcome& f) { return f.trained; });
+}
+
+EvalScores EvaluationResult::MeanScores() const {
+  EvalScores mean;
+  size_t n = 0;
+  double acc = 0, f1 = 0, early = 0, hm = 0;
+  for (const auto& fold : folds) {
+    if (!fold.trained) continue;
+    acc += fold.scores.accuracy;
+    f1 += fold.scores.f1;
+    early += fold.scores.earliness;
+    hm += fold.scores.harmonic_mean;
+    ++n;
+  }
+  if (n == 0) return mean;
+  mean.accuracy = acc / static_cast<double>(n);
+  mean.f1 = f1 / static_cast<double>(n);
+  mean.earliness = early / static_cast<double>(n);
+  mean.harmonic_mean = hm / static_cast<double>(n);
+  return mean;
+}
+
+double EvaluationResult::MeanTrainSeconds() const {
+  double sum = 0;
+  size_t n = 0;
+  for (const auto& fold : folds) {
+    if (!fold.trained) continue;
+    sum += fold.train_seconds;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double EvaluationResult::MeanTestSecondsPerInstance() const {
+  double sum = 0;
+  size_t n = 0;
+  for (const auto& fold : folds) {
+    if (!fold.trained || fold.num_test == 0) continue;
+    sum += fold.test_seconds / static_cast<double>(fold.num_test);
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+FoldOutcome EvaluateSplit(const Dataset& train, const Dataset& test,
+                          EarlyClassifier* classifier) {
+  FoldOutcome outcome;
+  Stopwatch train_timer;
+  Status fit_status = classifier->Fit(train);
+  outcome.train_seconds = train_timer.Seconds();
+  if (!fit_status.ok()) {
+    outcome.trained = false;
+    outcome.failure = fit_status.ToString();
+    return outcome;
+  }
+  outcome.trained = true;
+
+  std::vector<int> truth;
+  std::vector<int> predicted;
+  std::vector<size_t> prefixes;
+  std::vector<size_t> lengths;
+  Stopwatch test_timer;
+  for (size_t i = 0; i < test.size(); ++i) {
+    const TimeSeries& ts = test.instance(i);
+    auto pred = classifier->PredictEarly(ts);
+    if (!pred.ok()) {
+      // A prediction failure counts as consuming the full series and
+      // predicting an impossible label (always wrong); it must not crash an
+      // entire evaluation campaign.
+      truth.push_back(test.label(i));
+      predicted.push_back(std::numeric_limits<int>::min());
+      prefixes.push_back(ts.length());
+      lengths.push_back(ts.length());
+      continue;
+    }
+    truth.push_back(test.label(i));
+    predicted.push_back(pred->label);
+    prefixes.push_back(pred->prefix_length);
+    lengths.push_back(ts.length());
+  }
+  outcome.test_seconds = test_timer.Seconds();
+  outcome.num_test = test.size();
+  outcome.scores = ComputeScores(truth, predicted, prefixes, lengths);
+  return outcome;
+}
+
+EvaluationResult CrossValidate(const Dataset& dataset,
+                               const EarlyClassifier& prototype,
+                               const EvaluationOptions& options) {
+  EvaluationResult result;
+  result.algorithm = prototype.name();
+  result.dataset = dataset.name();
+
+  Rng rng(options.seed);
+  const auto folds = StratifiedKFold(dataset, options.num_folds, &rng);
+  for (const auto& split : folds) {
+    Dataset train = dataset.Subset(split.train);
+    Dataset test = dataset.Subset(split.test);
+
+    std::unique_ptr<EarlyClassifier> classifier = prototype.CloneUntrained();
+    classifier->set_train_budget_seconds(options.train_budget_seconds);
+    if (options.wrap_univariate_with_voting) {
+      classifier = WrapForDataset(std::move(classifier), train);
+      classifier->set_train_budget_seconds(options.train_budget_seconds);
+    }
+    result.folds.push_back(EvaluateSplit(train, test, classifier.get()));
+    if (options.skip_folds_after_failure && !result.folds.back().trained) {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace etsc

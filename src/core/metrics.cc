@@ -1,0 +1,120 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+namespace etsc {
+
+ConfusionMatrix::ConfusionMatrix(const std::vector<int>& truth,
+                                 const std::vector<int>& predicted) {
+  ETSC_CHECK(truth.size() == predicted.size());
+  for (size_t i = 0; i < truth.size(); ++i) Add(truth[i], predicted[i]);
+}
+
+void ConfusionMatrix::Add(int truth, int predicted) {
+  ++counts_[{truth, predicted}];
+  ++truth_counts_[truth];
+  ++pred_counts_[predicted];
+  ++total_;
+}
+
+size_t ConfusionMatrix::count(int truth, int predicted) const {
+  auto it = counts_.find({truth, predicted});
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<int> ConfusionMatrix::Labels() const {
+  std::set<int> labels;
+  for (const auto& [label, n] : truth_counts_) labels.insert(label);
+  for (const auto& [label, n] : pred_counts_) labels.insert(label);
+  return std::vector<int>(labels.begin(), labels.end());
+}
+
+double ConfusionMatrix::Accuracy() const {
+  if (total_ == 0) return 0.0;
+  size_t correct = 0;
+  for (const auto& [key, n] : counts_) {
+    if (key.first == key.second) correct += n;
+  }
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::Precision(int label) const {
+  auto it = pred_counts_.find(label);
+  if (it == pred_counts_.end() || it->second == 0) return 0.0;
+  return static_cast<double>(count(label, label)) / static_cast<double>(it->second);
+}
+
+double ConfusionMatrix::Recall(int label) const {
+  auto it = truth_counts_.find(label);
+  if (it == truth_counts_.end() || it->second == 0) return 0.0;
+  return static_cast<double>(count(label, label)) / static_cast<double>(it->second);
+}
+
+double ConfusionMatrix::F1(int label) const {
+  const double tp = static_cast<double>(count(label, label));
+  const auto truth_it = truth_counts_.find(label);
+  const auto pred_it = pred_counts_.find(label);
+  const double fn =
+      (truth_it == truth_counts_.end() ? 0.0
+                                       : static_cast<double>(truth_it->second)) - tp;
+  const double fp =
+      (pred_it == pred_counts_.end() ? 0.0
+                                     : static_cast<double>(pred_it->second)) - tp;
+  const double denom = tp + 0.5 * (fp + fn);
+  return denom <= 0.0 ? 0.0 : tp / denom;
+}
+
+double ConfusionMatrix::MacroF1() const {
+  if (truth_counts_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [label, n] : truth_counts_) sum += F1(label);
+  return sum / static_cast<double>(truth_counts_.size());
+}
+
+double MeanEarliness(const std::vector<size_t>& prefix_lengths,
+                     const std::vector<size_t>& series_lengths) {
+  ETSC_CHECK(prefix_lengths.size() == series_lengths.size());
+  if (prefix_lengths.empty()) return 1.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < prefix_lengths.size(); ++i) {
+    if (series_lengths[i] == 0) {
+      sum += 1.0;
+      continue;
+    }
+    sum += std::min(1.0, static_cast<double>(prefix_lengths[i]) /
+                             static_cast<double>(series_lengths[i]));
+  }
+  return sum / static_cast<double>(prefix_lengths.size());
+}
+
+double HarmonicMean(double accuracy, double earliness) {
+  const double timeliness = 1.0 - earliness;
+  const double denom = accuracy + timeliness;
+  if (denom <= 0.0 || accuracy <= 0.0 || timeliness <= 0.0) return 0.0;
+  return 2.0 * accuracy * timeliness / denom;
+}
+
+std::string EvalScores::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "acc=%.4f f1=%.4f earliness=%.4f hm=%.4f", accuracy, f1,
+                earliness, harmonic_mean);
+  return buf;
+}
+
+EvalScores ComputeScores(const std::vector<int>& truth,
+                         const std::vector<int>& predicted,
+                         const std::vector<size_t>& prefix_lengths,
+                         const std::vector<size_t>& series_lengths) {
+  ConfusionMatrix cm(truth, predicted);
+  EvalScores scores;
+  scores.accuracy = cm.Accuracy();
+  scores.f1 = cm.MacroF1();
+  scores.earliness = MeanEarliness(prefix_lengths, series_lengths);
+  scores.harmonic_mean = HarmonicMean(scores.accuracy, scores.earliness);
+  return scores;
+}
+
+}  // namespace etsc

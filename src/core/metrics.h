@@ -1,0 +1,79 @@
+#ifndef ETSC_CORE_METRICS_H_
+#define ETSC_CORE_METRICS_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace etsc {
+
+/// Multiclass confusion matrix keyed by label value.
+class ConfusionMatrix {
+ public:
+  ConfusionMatrix() = default;
+
+  /// Builds the matrix; the two vectors must be equal length.
+  ConfusionMatrix(const std::vector<int>& truth, const std::vector<int>& predicted);
+
+  void Add(int truth, int predicted);
+
+  size_t count(int truth, int predicted) const;
+  size_t total() const { return total_; }
+
+  /// Distinct labels seen (union of truth and predictions), ascending.
+  std::vector<int> Labels() const;
+
+  /// (TP + TN) / total over all classes: the paper's accuracy (Sec. 2.2).
+  double Accuracy() const;
+
+  /// Per-class F1 = TP / (TP + (FP + FN)/2), averaged over classes present in
+  /// the ground truth (macro average; the paper's F1-score, Sec. 2.2).
+  double MacroF1() const;
+
+  /// Per-class precision TP / (TP + FP); 0 when the class is never predicted.
+  double Precision(int label) const;
+
+  /// Per-class recall TP / (TP + FN); 0 when the class never occurs.
+  double Recall(int label) const;
+
+  /// Per-class F1 using the half-sum form of Sec 2.2.
+  double F1(int label) const;
+
+ private:
+  std::map<std::pair<int, int>, size_t> counts_;  // (truth, pred) -> count
+  std::map<int, size_t> truth_counts_;
+  std::map<int, size_t> pred_counts_;
+  size_t total_ = 0;
+};
+
+/// Earliness = (consumed prefix length) / (series length), averaged over test
+/// instances; lower is better, 1 means the full series was needed (Sec. 2.2).
+double MeanEarliness(const std::vector<size_t>& prefix_lengths,
+                     const std::vector<size_t>& series_lengths);
+
+/// Harmonic mean of accuracy and (1 - earliness); aligns the two reversed
+/// objectives (Sec. 2.2). Returns 0 when either term is 0.
+double HarmonicMean(double accuracy, double earliness);
+
+/// The bundle of scores every experiment in the paper reports.
+struct EvalScores {
+  double accuracy = 0.0;
+  double f1 = 0.0;
+  double earliness = 1.0;
+  double harmonic_mean = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Builds EvalScores from raw per-instance outcomes.
+EvalScores ComputeScores(const std::vector<int>& truth,
+                         const std::vector<int>& predicted,
+                         const std::vector<size_t>& prefix_lengths,
+                         const std::vector<size_t>& series_lengths);
+
+}  // namespace etsc
+
+#endif  // ETSC_CORE_METRICS_H_

@@ -1,0 +1,47 @@
+#include "core/registry.h"
+
+namespace etsc {
+
+ClassifierRegistry& ClassifierRegistry::Global() {
+  static ClassifierRegistry* registry = new ClassifierRegistry();
+  return *registry;
+}
+
+Status ClassifierRegistry::Register(const std::string& name, Factory factory) {
+  if (factories_.count(name) > 0) {
+    return Status::InvalidArgument("classifier '" + name + "' already registered");
+  }
+  factories_[name] = std::move(factory);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<EarlyClassifier>> ClassifierRegistry::Create(
+    const std::string& name) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    return Status::NotFound("classifier '" + name + "' is not registered");
+  }
+  return it->second();
+}
+
+bool ClassifierRegistry::Contains(const std::string& name) const {
+  return factories_.count(name) > 0;
+}
+
+std::vector<std::string> ClassifierRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;
+}
+
+namespace internal {
+
+Registrar::Registrar(const std::string& name,
+                     ClassifierRegistry::Factory factory) {
+  Status status = ClassifierRegistry::Global().Register(name, std::move(factory));
+  ETSC_CHECK(status.ok());
+}
+
+}  // namespace internal
+}  // namespace etsc

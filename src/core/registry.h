@@ -1,0 +1,58 @@
+#ifndef ETSC_CORE_REGISTRY_H_
+#define ETSC_CORE_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+#include "core/status.h"
+
+namespace etsc {
+
+/// Name -> factory registry: the framework's extension point (paper Sec. 5.5).
+/// New algorithms register themselves once (typically through
+/// ETSC_REGISTER_EARLY_CLASSIFIER) and every harness and bench can then create
+/// them by name.
+class ClassifierRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<EarlyClassifier>()>;
+
+  /// Process-wide registry instance.
+  static ClassifierRegistry& Global();
+
+  /// Registers a factory; fails on duplicate names.
+  Status Register(const std::string& name, Factory factory);
+
+  /// Instantiates a registered algorithm.
+  Result<std::unique_ptr<EarlyClassifier>> Create(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+namespace internal {
+/// Helper whose constructor performs the registration; aborts on duplicates so
+/// misconfigured builds fail fast at startup.
+struct Registrar {
+  Registrar(const std::string& name, ClassifierRegistry::Factory factory);
+};
+}  // namespace internal
+
+/// Registers a factory expression under `name` at static-initialisation time.
+/// Usage (in a .cc file):
+///   ETSC_REGISTER_EARLY_CLASSIFIER("ects", [] { return std::make_unique<Ects>(); });
+#define ETSC_REGISTER_EARLY_CLASSIFIER(name, factory)                 \
+  static const ::etsc::internal::Registrar ETSC_CONCAT_(etsc_registrar_, \
+                                                        __COUNTER__)(name, factory)
+
+}  // namespace etsc
+
+#endif  // ETSC_CORE_REGISTRY_H_

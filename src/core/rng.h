@@ -1,0 +1,68 @@
+#ifndef ETSC_CORE_RNG_H_
+#define ETSC_CORE_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace etsc {
+
+/// Deterministic pseudo-random number generator used throughout the framework.
+///
+/// Every stochastic component (dataset generators, k-means initialisation,
+/// stratified shuffling, SGD sampling, neural-network initialisation) takes an
+/// explicit Rng or a seed, so end-to-end runs are reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  size_t Index(size_t n) {
+    return std::uniform_int_distribution<size_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Int(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Standard normal deviate times `stddev` plus `mean`.
+  double Gaussian(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli trial with probability of success `p`.
+  bool Bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      std::swap((*v)[i], (*v)[Index(i + 1)]);
+    }
+  }
+
+  /// Derives an independent child generator; used to give each fold/instance
+  /// its own stream so that changing one component does not perturb others.
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace etsc
+
+#endif  // ETSC_CORE_RNG_H_

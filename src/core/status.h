@@ -1,0 +1,168 @@
+#ifndef ETSC_CORE_STATUS_H_
+#define ETSC_CORE_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace etsc {
+
+/// Error categories for expected runtime failures.
+///
+/// Following the RocksDB/Arrow convention, expected failures (bad input files,
+/// dimension mismatches supplied by the user, untrained models) are reported
+/// through Status/Result rather than exceptions; programming errors are caught
+/// by ETSC_CHECK/ETSC_DCHECK.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kFailedPrecondition,
+  kNotImplemented,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value carried across public API boundaries.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status. Accessing the value of
+/// an errored Result aborts (programming error).
+template <typename T>
+class Result {
+ public:
+  /// Implicit so `return value;` works in functions returning Result<T>.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit so `return Status::...;` works. The status must not be OK.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (std::get<Status>(repr_).ok()) {
+      std::fprintf(stderr, "Result constructed from OK status\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Accessing value of errored Result: %s\n",
+                   std::get<Status>(repr_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> repr_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr);
+}  // namespace internal
+
+/// Aborts with a diagnostic when `expr` is false. For programming errors only.
+#define ETSC_CHECK(expr)                                        \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      ::etsc::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                           \
+  } while (false)
+
+#ifdef NDEBUG
+#define ETSC_DCHECK(expr) \
+  do {                    \
+  } while (false)
+#else
+#define ETSC_DCHECK(expr) ETSC_CHECK(expr)
+#endif
+
+/// Propagates a non-OK Status from the current function.
+#define ETSC_RETURN_NOT_OK(expr)              \
+  do {                                        \
+    ::etsc::Status _etsc_status = (expr);     \
+    if (!_etsc_status.ok()) return _etsc_status; \
+  } while (false)
+
+/// Evaluates a Result-returning expression, assigning the value or returning
+/// the error. Usage: ETSC_ASSIGN_OR_RETURN(auto x, MakeX());
+#define ETSC_ASSIGN_OR_RETURN(lhs, expr)              \
+  auto ETSC_CONCAT_(_etsc_result_, __LINE__) = (expr); \
+  if (!ETSC_CONCAT_(_etsc_result_, __LINE__).ok())     \
+    return ETSC_CONCAT_(_etsc_result_, __LINE__).status(); \
+  lhs = std::move(ETSC_CONCAT_(_etsc_result_, __LINE__)).value()
+
+#define ETSC_CONCAT_IMPL_(a, b) a##b
+#define ETSC_CONCAT_(a, b) ETSC_CONCAT_IMPL_(a, b)
+
+}  // namespace etsc
+
+#endif  // ETSC_CORE_STATUS_H_

@@ -1,0 +1,56 @@
+#include "core/streaming.h"
+
+namespace etsc {
+
+StreamingSession::StreamingSession(const EarlyClassifier* classifier,
+                                   size_t num_variables)
+    : classifier_(classifier), buffer_(num_variables, 0) {
+  ETSC_CHECK(classifier_ != nullptr);
+  ETSC_CHECK(num_variables >= 1);
+}
+
+Result<std::optional<EarlyPrediction>> StreamingSession::Push(
+    const std::vector<double>& values) {
+  if (decision_.has_value()) return decision_;
+  if (values.size() != buffer_.num_variables()) {
+    return Status::InvalidArgument(
+        "StreamingSession: observation has wrong variable count");
+  }
+  for (size_t v = 0; v < values.size(); ++v) {
+    buffer_.channel(v).push_back(values[v]);
+  }
+  ++observed_;
+
+  ETSC_ASSIGN_OR_RETURN(EarlyPrediction pred,
+                        classifier_->PredictEarly(buffer_));
+  // The classifier committed only if it needed no more than what we have; a
+  // consumption equal to the buffer length means "this is my answer *so far*"
+  // — it may still change with more data, so only an early commitment
+  // (strictly inside the buffer) is final before Finish().
+  if (pred.prefix_length < observed_) {
+    decision_ = pred;
+    return decision_;
+  }
+  return std::optional<EarlyPrediction>();
+}
+
+Result<EarlyPrediction> StreamingSession::Finish() {
+  if (decision_.has_value()) return *decision_;
+  if (observed_ == 0) {
+    return Status::FailedPrecondition("StreamingSession: no observations");
+  }
+  ETSC_ASSIGN_OR_RETURN(EarlyPrediction pred,
+                        classifier_->PredictEarly(buffer_));
+  decision_ = pred;
+  return pred;
+}
+
+void StreamingSession::Reset() {
+  for (size_t v = 0; v < buffer_.num_variables(); ++v) {
+    buffer_.channel(v).clear();
+  }
+  observed_ = 0;
+  decision_.reset();
+}
+
+}  // namespace etsc

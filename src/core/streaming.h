@@ -1,0 +1,53 @@
+#ifndef ETSC_CORE_STREAMING_H_
+#define ETSC_CORE_STREAMING_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/classifier.h"
+
+namespace etsc {
+
+/// Online wrapper around a trained EarlyClassifier for the paper's streaming
+/// setting (Sec. 6.2.5): measurements arrive one time-point at a time and the
+/// session reports the moment the algorithm commits.
+///
+/// Each Push re-evaluates the algorithm on the observed prefix; a decision is
+/// "ready" once the algorithm's reported consumption fits inside what has
+/// actually been observed. This keeps the wrapper algorithm-agnostic at the
+/// cost of one PredictEarly per arriving point — the same quantity Figure 13
+/// divides by the observation period.
+class StreamingSession {
+ public:
+  /// `classifier` must outlive the session and already be fitted.
+  /// `num_variables` is the expected channel count per observation.
+  StreamingSession(const EarlyClassifier* classifier, size_t num_variables);
+
+  /// Appends one observation (one value per variable). Returns the decision
+  /// if the classifier committed with this point, std::nullopt otherwise.
+  /// Once a decision is made, further pushes keep returning it without
+  /// re-running the classifier.
+  Result<std::optional<EarlyPrediction>> Push(const std::vector<double>& values);
+
+  /// Forces a decision on whatever has been observed (end of stream).
+  Result<EarlyPrediction> Finish();
+
+  /// Number of observations pushed so far.
+  size_t observed() const { return observed_; }
+
+  /// The decision, if one has been made.
+  const std::optional<EarlyPrediction>& decision() const { return decision_; }
+
+  /// Clears the buffer and the decision for the next stream.
+  void Reset();
+
+ private:
+  const EarlyClassifier* classifier_;
+  TimeSeries buffer_;
+  size_t observed_ = 0;
+  std::optional<EarlyPrediction> decision_;
+};
+
+}  // namespace etsc
+
+#endif  // ETSC_CORE_STREAMING_H_

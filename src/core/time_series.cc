@@ -1,0 +1,139 @@
+#include "core/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace etsc {
+
+TimeSeries TimeSeries::Univariate(std::vector<double> values) {
+  TimeSeries ts;
+  ts.values_.push_back(std::move(values));
+  return ts;
+}
+
+Result<TimeSeries> TimeSeries::FromChannels(
+    std::vector<std::vector<double>> channels) {
+  if (channels.empty()) {
+    return Status::InvalidArgument("FromChannels: no channels given");
+  }
+  const size_t len = channels[0].size();
+  for (const auto& c : channels) {
+    if (c.size() != len) {
+      return Status::InvalidArgument("FromChannels: channels differ in length");
+    }
+  }
+  TimeSeries ts;
+  ts.values_ = std::move(channels);
+  return ts;
+}
+
+TimeSeries TimeSeries::Prefix(size_t len) const {
+  len = std::min(len, length());
+  TimeSeries out;
+  out.values_.reserve(values_.size());
+  for (const auto& channel : values_) {
+    out.values_.emplace_back(channel.begin(), channel.begin() + len);
+  }
+  return out;
+}
+
+TimeSeries TimeSeries::SingleVariable(size_t variable) const {
+  ETSC_DCHECK(variable < num_variables());
+  TimeSeries out;
+  out.values_.push_back(values_[variable]);
+  return out;
+}
+
+bool TimeSeries::HasMissingValues() const {
+  for (const auto& channel : values_) {
+    for (double v : channel) {
+      if (std::isnan(v)) return true;
+    }
+  }
+  return false;
+}
+
+void TimeSeries::FillMissingValues() {
+  for (auto& channel : values_) {
+    const size_t n = channel.size();
+    size_t t = 0;
+    while (t < n) {
+      if (!std::isnan(channel[t])) {
+        ++t;
+        continue;
+      }
+      // Locate the NaN run [t, end).
+      size_t end = t;
+      while (end < n && std::isnan(channel[end])) ++end;
+      const bool has_before = t > 0;
+      const bool has_after = end < n;
+      double fill = 0.0;
+      if (has_before && has_after) {
+        fill = 0.5 * (channel[t - 1] + channel[end]);
+      } else if (has_before) {
+        fill = channel[t - 1];
+      } else if (has_after) {
+        fill = channel[end];
+      }
+      std::fill(channel.begin() + t, channel.begin() + end, fill);
+      t = end;
+    }
+  }
+}
+
+void TimeSeries::ZNormalize(double min_stddev) {
+  for (size_t v = 0; v < num_variables(); ++v) {
+    const double mean = Mean(v);
+    const double sd = StdDev(v);
+    auto& channel = values_[v];
+    if (sd < min_stddev) {
+      for (double& x : channel) x -= mean;
+    } else {
+      for (double& x : channel) x = (x - mean) / sd;
+    }
+  }
+}
+
+double TimeSeries::Mean(size_t variable) const {
+  const auto& channel = values_[variable];
+  if (channel.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : channel) sum += v;
+  return sum / static_cast<double>(channel.size());
+}
+
+double TimeSeries::StdDev(size_t variable) const {
+  const auto& channel = values_[variable];
+  if (channel.empty()) return 0.0;
+  const double mean = Mean(variable);
+  double ss = 0.0;
+  for (double v : channel) ss += (v - mean) * (v - mean);
+  return std::sqrt(ss / static_cast<double>(channel.size()));
+}
+
+double SquaredEuclidean(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  ETSC_DCHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+double EuclideanDistance(const TimeSeries& a, const TimeSeries& b, size_t len) {
+  ETSC_DCHECK(a.num_variables() == b.num_variables());
+  size_t n = len == 0 ? std::min(a.length(), b.length())
+                      : std::min({len, a.length(), b.length()});
+  double sum = 0.0;
+  for (size_t v = 0; v < a.num_variables(); ++v) {
+    for (size_t t = 0; t < n; ++t) {
+      const double d = a.at(v, t) - b.at(v, t);
+      sum += d * d;
+    }
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace etsc

@@ -1,0 +1,80 @@
+#ifndef ETSC_CORE_TIME_SERIES_H_
+#define ETSC_CORE_TIME_SERIES_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "core/status.h"
+
+namespace etsc {
+
+/// A (possibly multivariate) time-series: `num_variables` aligned channels of
+/// equal length. Values are stored row-major per variable; a missing
+/// measurement is represented by NaN and can be repaired with
+/// FillMissingValues() using the paper's gap-filling rule (Sec. 5.1).
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  /// Creates an all-zero series with `num_variables` channels of `length`.
+  TimeSeries(size_t num_variables, size_t length)
+      : values_(num_variables, std::vector<double>(length, 0.0)) {}
+
+  /// Wraps a univariate series.
+  static TimeSeries Univariate(std::vector<double> values);
+
+  /// Wraps pre-built channels; all channels must have equal length.
+  static Result<TimeSeries> FromChannels(std::vector<std::vector<double>> channels);
+
+  size_t num_variables() const { return values_.size(); }
+  size_t length() const { return values_.empty() ? 0 : values_[0].size(); }
+  bool empty() const { return length() == 0; }
+
+  double at(size_t variable, size_t t) const { return values_[variable][t]; }
+  double& at(size_t variable, size_t t) { return values_[variable][t]; }
+
+  const std::vector<double>& channel(size_t variable) const {
+    return values_[variable];
+  }
+  std::vector<double>& channel(size_t variable) { return values_[variable]; }
+
+  /// Returns the first `len` time-points of every channel (len is clamped to
+  /// the series length).
+  TimeSeries Prefix(size_t len) const;
+
+  /// Returns a univariate series holding only `variable`.
+  TimeSeries SingleVariable(size_t variable) const;
+
+  /// Returns true if any value is NaN.
+  bool HasMissingValues() const;
+
+  /// Fills NaN runs with the mean of the last value before the gap and the
+  /// first value after it (the paper's repair rule). Leading/trailing gaps
+  /// take the nearest observed value; an all-NaN channel becomes zeros.
+  void FillMissingValues();
+
+  /// Z-normalises each channel in place (mean 0, stddev 1). Channels with
+  /// stddev below `min_stddev` are only mean-centred to avoid noise blow-up.
+  void ZNormalize(double min_stddev = 1e-8);
+
+  /// Mean of one channel.
+  double Mean(size_t variable) const;
+
+  /// Population standard deviation of one channel.
+  double StdDev(size_t variable) const;
+
+ private:
+  std::vector<std::vector<double>> values_;
+};
+
+/// Squared Euclidean distance between equal-length univariate vectors.
+double SquaredEuclidean(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean distance across all channels of two equal-shape series prefixes,
+/// using the first `len` points (len = 0 means full length).
+double EuclideanDistance(const TimeSeries& a, const TimeSeries& b, size_t len = 0);
+
+}  // namespace etsc
+
+#endif  // ETSC_CORE_TIME_SERIES_H_

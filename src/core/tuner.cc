@@ -1,0 +1,64 @@
+#include "core/tuner.h"
+
+namespace etsc {
+
+namespace {
+
+double Objective(const EvalScores& scores, TunerObjective objective) {
+  switch (objective) {
+    case TunerObjective::kAccuracy:
+      return scores.accuracy;
+    case TunerObjective::kF1:
+      return scores.f1;
+    case TunerObjective::kHarmonicMean:
+      return scores.harmonic_mean;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Result<TunerVerdict> TuneEarlyClassifier(const Dataset& train,
+                                         const std::vector<TunerCandidate>& grid,
+                                         const TunerOptions& options) {
+  if (grid.empty()) {
+    return Status::InvalidArgument("TuneEarlyClassifier: empty grid");
+  }
+  TunerVerdict verdict;
+  const TunerCandidate* winner = nullptr;
+
+  EvaluationOptions eval;
+  eval.num_folds = options.folds;
+  eval.seed = options.seed;
+  eval.train_budget_seconds = options.train_budget_seconds;
+
+  for (const auto& candidate : grid) {
+    std::unique_ptr<EarlyClassifier> prototype = candidate.factory();
+    if (prototype == nullptr) {
+      verdict.leaderboard.emplace_back(candidate.name, -1.0);
+      continue;
+    }
+    const EvaluationResult result = CrossValidate(train, *prototype, eval);
+    if (!result.trained()) {
+      verdict.leaderboard.emplace_back(candidate.name, -1.0);
+      continue;
+    }
+    const double score = Objective(result.MeanScores(), options.objective);
+    verdict.leaderboard.emplace_back(candidate.name, score);
+    if (score > verdict.best_score) {
+      verdict.best_score = score;
+      verdict.best_name = candidate.name;
+      winner = &candidate;
+    }
+  }
+  if (winner == nullptr) {
+    return Status::FailedPrecondition(
+        "TuneEarlyClassifier: no candidate trained successfully");
+  }
+  verdict.best_model = winner->factory();
+  verdict.best_model->set_train_budget_seconds(options.train_budget_seconds);
+  ETSC_RETURN_NOT_OK(verdict.best_model->Fit(train));
+  return verdict;
+}
+
+}  // namespace etsc

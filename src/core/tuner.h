@@ -1,0 +1,56 @@
+#ifndef ETSC_CORE_TUNER_H_
+#define ETSC_CORE_TUNER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+#include "core/evaluation.h"
+
+namespace etsc {
+
+/// Hyper-parameter grid search over EarlyClassifier configurations — the
+/// MultiETSC-style tuning the paper lists as future work (Sec. 7). Each
+/// candidate is a named factory; the tuner cross-validates every candidate on
+/// the training data and returns the one with the best objective.
+struct TunerCandidate {
+  std::string name;
+  std::function<std::unique_ptr<EarlyClassifier>()> factory;
+};
+
+/// What the tuner maximises.
+enum class TunerObjective {
+  kAccuracy,
+  kF1,
+  kHarmonicMean,
+};
+
+struct TunerOptions {
+  TunerObjective objective = TunerObjective::kHarmonicMean;
+  size_t folds = 3;
+  uint64_t seed = 31;
+  double train_budget_seconds = std::numeric_limits<double>::infinity();
+};
+
+struct TunerVerdict {
+  std::string best_name;
+  double best_score = -1.0;
+  /// Per-candidate (name, score) in evaluation order; failed candidates get
+  /// score -1.
+  std::vector<std::pair<std::string, double>> leaderboard;
+  /// A fresh classifier of the winning configuration, already trained on the
+  /// full tuning dataset.
+  std::unique_ptr<EarlyClassifier> best_model;
+};
+
+/// Evaluates every candidate by stratified CV on `train` and retrains the
+/// winner on all of `train`. Fails when no candidate trains.
+Result<TunerVerdict> TuneEarlyClassifier(const Dataset& train,
+                                         const std::vector<TunerCandidate>& grid,
+                                         const TunerOptions& options = {});
+
+}  // namespace etsc
+
+#endif  // ETSC_CORE_TUNER_H_

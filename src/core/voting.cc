@@ -1,0 +1,76 @@
+#include "core/voting.h"
+
+#include <algorithm>
+#include <map>
+
+namespace etsc {
+
+VotingEarlyClassifier::VotingEarlyClassifier(
+    std::unique_ptr<EarlyClassifier> prototype)
+    : prototype_(std::move(prototype)) {
+  ETSC_CHECK(prototype_ != nullptr);
+}
+
+Status VotingEarlyClassifier::Fit(const Dataset& train) {
+  if (train.empty()) {
+    return Status::InvalidArgument("VotingEarlyClassifier: empty training set");
+  }
+  const size_t num_vars = train.NumVariables();
+  voters_.clear();
+  voters_.reserve(num_vars);
+  for (size_t v = 0; v < num_vars; ++v) {
+    auto voter = prototype_->CloneUntrained();
+    voter->set_train_budget_seconds(train_budget_seconds_);
+    ETSC_RETURN_NOT_OK(voter->Fit(train.SingleVariable(v)));
+    voters_.push_back(std::move(voter));
+  }
+  return Status::OK();
+}
+
+Result<EarlyPrediction> VotingEarlyClassifier::PredictEarly(
+    const TimeSeries& series) const {
+  if (voters_.empty()) {
+    return Status::FailedPrecondition("VotingEarlyClassifier: not fitted");
+  }
+  if (series.num_variables() != voters_.size()) {
+    return Status::InvalidArgument(
+        "VotingEarlyClassifier: variable count differs from training data");
+  }
+  std::map<int, size_t> votes;
+  size_t worst_prefix = 0;
+  for (size_t v = 0; v < voters_.size(); ++v) {
+    ETSC_ASSIGN_OR_RETURN(EarlyPrediction pred,
+                          voters_[v]->PredictEarly(series.SingleVariable(v)));
+    ++votes[pred.label];
+    worst_prefix = std::max(worst_prefix, pred.prefix_length);
+  }
+  // Most popular label; std::map iteration order makes ties deterministic
+  // (lowest label value wins, the paper's "first class label").
+  int best_label = votes.begin()->first;
+  size_t best_count = 0;
+  for (const auto& [label, count] : votes) {
+    if (count > best_count) {
+      best_count = count;
+      best_label = label;
+    }
+  }
+  return EarlyPrediction{best_label, worst_prefix};
+}
+
+std::string VotingEarlyClassifier::name() const {
+  return prototype_->name() + "+vote";
+}
+
+std::unique_ptr<EarlyClassifier> VotingEarlyClassifier::CloneUntrained() const {
+  return std::make_unique<VotingEarlyClassifier>(prototype_->CloneUntrained());
+}
+
+std::unique_ptr<EarlyClassifier> WrapForDataset(
+    std::unique_ptr<EarlyClassifier> classifier, const Dataset& dataset) {
+  if (dataset.NumVariables() > 1 && !classifier->SupportsMultivariate()) {
+    return std::make_unique<VotingEarlyClassifier>(std::move(classifier));
+  }
+  return classifier;
+}
+
+}  // namespace etsc

@@ -1,0 +1,42 @@
+#ifndef ETSC_CORE_VOTING_H_
+#define ETSC_CORE_VOTING_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+
+namespace etsc {
+
+/// Applies a univariate ETSC algorithm to multivariate data the way the paper
+/// does (Sec. 6.1): one classifier instance is trained per variable; at test
+/// time each votes a label, the most popular label wins (ties resolved to the
+/// first/lowest label), and the reported earliness is the *worst* (largest
+/// prefix) among the voters.
+class VotingEarlyClassifier : public EarlyClassifier {
+ public:
+  /// `prototype` supplies CloneUntrained() copies, one per variable.
+  explicit VotingEarlyClassifier(std::unique_ptr<EarlyClassifier> prototype);
+
+  Status Fit(const Dataset& train) override;
+  Result<EarlyPrediction> PredictEarly(const TimeSeries& series) const override;
+  std::string name() const override;
+  bool SupportsMultivariate() const override { return true; }
+  std::unique_ptr<EarlyClassifier> CloneUntrained() const override;
+
+  size_t num_voters() const { return voters_.size(); }
+
+ private:
+  std::unique_ptr<EarlyClassifier> prototype_;
+  std::vector<std::unique_ptr<EarlyClassifier>> voters_;
+};
+
+/// Wraps `classifier` with voting when the dataset is multivariate and the
+/// algorithm does not natively support it; otherwise returns it unchanged.
+std::unique_ptr<EarlyClassifier> WrapForDataset(
+    std::unique_ptr<EarlyClassifier> classifier, const Dataset& dataset);
+
+}  // namespace etsc
+
+#endif  // ETSC_CORE_VOTING_H_

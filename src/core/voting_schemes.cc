@@ -1,0 +1,124 @@
+#include "core/voting_schemes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace etsc {
+
+std::string VotingSchemeName(VotingScheme scheme) {
+  switch (scheme) {
+    case VotingScheme::kMajorityWorstEarliness:
+      return "majority-worst";
+    case VotingScheme::kMajorityMeanEarliness:
+      return "majority-mean";
+    case VotingScheme::kEarliestVoter:
+      return "earliest-voter";
+    case VotingScheme::kEarlinessWeighted:
+      return "earliness-weighted";
+  }
+  return "unknown";
+}
+
+ConfigurableVotingClassifier::ConfigurableVotingClassifier(
+    std::unique_ptr<EarlyClassifier> prototype, VotingScheme scheme)
+    : prototype_(std::move(prototype)), scheme_(scheme) {
+  ETSC_CHECK(prototype_ != nullptr);
+}
+
+Status ConfigurableVotingClassifier::Fit(const Dataset& train) {
+  if (train.empty()) {
+    return Status::InvalidArgument("voting: empty training set");
+  }
+  voters_.clear();
+  for (size_t v = 0; v < train.NumVariables(); ++v) {
+    auto voter = prototype_->CloneUntrained();
+    voter->set_train_budget_seconds(train_budget_seconds_);
+    ETSC_RETURN_NOT_OK(voter->Fit(train.SingleVariable(v)));
+    voters_.push_back(std::move(voter));
+  }
+  return Status::OK();
+}
+
+Result<EarlyPrediction> ConfigurableVotingClassifier::PredictEarly(
+    const TimeSeries& series) const {
+  if (voters_.empty()) {
+    return Status::FailedPrecondition("voting: not fitted");
+  }
+  if (series.num_variables() != voters_.size()) {
+    return Status::InvalidArgument("voting: variable count mismatch");
+  }
+  std::vector<EarlyPrediction> votes;
+  votes.reserve(voters_.size());
+  for (size_t v = 0; v < voters_.size(); ++v) {
+    ETSC_ASSIGN_OR_RETURN(EarlyPrediction pred,
+                          voters_[v]->PredictEarly(series.SingleVariable(v)));
+    votes.push_back(pred);
+  }
+
+  switch (scheme_) {
+    case VotingScheme::kMajorityWorstEarliness:
+    case VotingScheme::kMajorityMeanEarliness: {
+      std::map<int, size_t> tally;
+      size_t worst = 0;
+      double mean = 0.0;
+      for (const auto& vote : votes) {
+        ++tally[vote.label];
+        worst = std::max(worst, vote.prefix_length);
+        mean += static_cast<double>(vote.prefix_length);
+      }
+      mean /= static_cast<double>(votes.size());
+      int best_label = tally.begin()->first;
+      size_t best_count = 0;
+      for (const auto& [label, count] : tally) {
+        if (count > best_count) {
+          best_count = count;
+          best_label = label;
+        }
+      }
+      const size_t prefix = scheme_ == VotingScheme::kMajorityWorstEarliness
+                                ? worst
+                                : static_cast<size_t>(std::llround(mean));
+      return EarlyPrediction{best_label, std::max<size_t>(prefix, 1)};
+    }
+    case VotingScheme::kEarliestVoter: {
+      const auto earliest = std::min_element(
+          votes.begin(), votes.end(),
+          [](const EarlyPrediction& a, const EarlyPrediction& b) {
+            return a.prefix_length < b.prefix_length;
+          });
+      return *earliest;
+    }
+    case VotingScheme::kEarlinessWeighted: {
+      std::map<int, double> tally;
+      size_t worst = 0;
+      for (const auto& vote : votes) {
+        tally[vote.label] +=
+            1.0 / std::max<double>(1.0, static_cast<double>(vote.prefix_length));
+        worst = std::max(worst, vote.prefix_length);
+      }
+      int best_label = tally.begin()->first;
+      double best_weight = -1.0;
+      for (const auto& [label, weight] : tally) {
+        if (weight > best_weight) {
+          best_weight = weight;
+          best_label = label;
+        }
+      }
+      return EarlyPrediction{best_label, worst};
+    }
+  }
+  return Status::Internal("voting: unknown scheme");
+}
+
+std::string ConfigurableVotingClassifier::name() const {
+  return prototype_->name() + "+" + VotingSchemeName(scheme_);
+}
+
+std::unique_ptr<EarlyClassifier> ConfigurableVotingClassifier::CloneUntrained()
+    const {
+  return std::make_unique<ConfigurableVotingClassifier>(
+      prototype_->CloneUntrained(), scheme_);
+}
+
+}  // namespace etsc

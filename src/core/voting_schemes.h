@@ -1,0 +1,54 @@
+#ifndef ETSC_CORE_VOTING_SCHEMES_H_
+#define ETSC_CORE_VOTING_SCHEMES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+
+namespace etsc {
+
+/// Alternative voting schemes for applying univariate ETSC algorithms to
+/// multivariate data — the analysis the paper lists as future work (Sec. 7).
+/// The default scheme (VotingEarlyClassifier in voting.h) is the paper's:
+/// majority label, worst earliness.
+enum class VotingScheme {
+  /// Majority label; reported earliness is the worst voter's (paper default).
+  kMajorityWorstEarliness,
+  /// Majority label; earliness is the mean over voters (a vote can be tallied
+  /// as each voter commits, so the expected consumption is the mean).
+  kMajorityMeanEarliness,
+  /// The single voter that committed earliest decides alone.
+  kEarliestVoter,
+  /// Weighted majority: each voter's vote counts 1/earliness, so voters that
+  /// decided on less input (and were confident enough to do so) weigh more.
+  kEarlinessWeighted,
+};
+
+std::string VotingSchemeName(VotingScheme scheme);
+
+/// Voting wrapper parameterised by scheme. Trains one clone of `prototype`
+/// per variable, like the paper's wrapper.
+class ConfigurableVotingClassifier : public EarlyClassifier {
+ public:
+  ConfigurableVotingClassifier(std::unique_ptr<EarlyClassifier> prototype,
+                               VotingScheme scheme);
+
+  Status Fit(const Dataset& train) override;
+  Result<EarlyPrediction> PredictEarly(const TimeSeries& series) const override;
+  std::string name() const override;
+  bool SupportsMultivariate() const override { return true; }
+  std::unique_ptr<EarlyClassifier> CloneUntrained() const override;
+
+  VotingScheme scheme() const { return scheme_; }
+
+ private:
+  std::unique_ptr<EarlyClassifier> prototype_;
+  VotingScheme scheme_;
+  std::vector<std::unique_ptr<EarlyClassifier>> voters_;
+};
+
+}  // namespace etsc
+
+#endif  // ETSC_CORE_VOTING_SCHEMES_H_

@@ -1,0 +1,155 @@
+#include "data/maritime_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "core/rng.h"
+
+namespace etsc {
+
+namespace {
+
+// Approximate Brest port coordinates; the polygon is a convex harbor basin.
+constexpr double kPortLon = -4.49;
+constexpr double kPortLat = 48.38;
+
+// Degrees of longitude per nautical-mile-ish step at this latitude; the
+// simulation runs in degree space with speed expressed in knots scaled down.
+constexpr double kDegPerKnotMinute = 1.0 / 60.0 / 60.0 * 1.852 / 1.11;
+
+double WrapDegrees(double angle) {
+  while (angle < 0.0) angle += 360.0;
+  while (angle >= 360.0) angle -= 360.0;
+  return angle;
+}
+
+}  // namespace
+
+const std::vector<std::pair<double, double>>& PortPolygon() {
+  static const auto* kPolygon = new std::vector<std::pair<double, double>>{
+      {kPortLon - 0.030, kPortLat - 0.012}, {kPortLon + 0.030, kPortLat - 0.012},
+      {kPortLon + 0.042, kPortLat + 0.008}, {kPortLon + 0.010, kPortLat + 0.020},
+      {kPortLon - 0.025, kPortLat + 0.016},
+  };
+  return *kPolygon;
+}
+
+bool InsidePolygon(const std::vector<std::pair<double, double>>& polygon,
+                   double lon, double lat) {
+  bool inside = false;
+  const size_t n = polygon.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const auto& [xi, yi] = polygon[i];
+    const auto& [xj, yj] = polygon[j];
+    const bool crosses = (yi > lat) != (yj > lat);
+    if (crosses && lon < (xj - xi) * (lat - yi) / (yj - yi) + xi) {
+      inside = !inside;
+    }
+  }
+  return inside;
+}
+
+Dataset MakeMaritimeDataset(const MaritimeSimOptions& options) {
+  Rng rng(options.seed);
+  Dataset dataset;
+  dataset.set_name("Maritime");
+  dataset.set_observation_period_seconds(60.0);  // one AIS message per minute
+
+  const size_t want_positive = static_cast<size_t>(std::round(
+      options.positive_fraction * static_cast<double>(options.num_windows)));
+  const size_t want_negative = options.num_windows - want_positive;
+
+  size_t positives = 0, negatives = 0;
+  size_t window_counter = 0;
+  size_t guard = 0;
+  while (positives < want_positive || negatives < want_negative) {
+    ETSC_CHECK(++guard < options.num_windows * 200);
+    const bool make_positive = positives < want_positive &&
+                               (negatives >= want_negative || rng.Bernoulli(0.5));
+
+    const double ship_id =
+        static_cast<double>(1 + rng.Index(options.num_vessels));
+    const size_t T = options.window_length;
+
+    // Start position: port-bound windows start a few minutes of sailing away
+    // from the basin; others start (and stay) further out or transit.
+    double lon, lat, heading;
+    double speed = rng.Uniform(4.0, 14.0);  // knots
+    if (make_positive) {
+      const double angle = rng.Uniform(0.0, 2.0 * std::numbers::pi);
+      // Close enough to reach the polygon within the window at `speed`.
+      const double reach =
+          speed * kDegPerKnotMinute * static_cast<double>(T) * 0.7;
+      const double radius = rng.Uniform(0.3, 0.9) * reach;
+      lon = kPortLon + radius * std::cos(angle);
+      lat = kPortLat + radius * std::sin(angle);
+      heading = WrapDegrees(std::atan2(kPortLat - lat, kPortLon - lon) * 180.0 /
+                            std::numbers::pi);
+    } else {
+      lon = kPortLon + rng.Uniform(-0.8, 0.8);
+      lat = kPortLat + rng.Uniform(-0.8, 0.8);
+      // Keep negative starts outside the immediate basin area.
+      if (std::abs(lon - kPortLon) < 0.1 && std::abs(lat - kPortLat) < 0.1) {
+        lon += lon >= kPortLon ? 0.2 : -0.2;
+      }
+      heading = rng.Uniform(0.0, 360.0);
+    }
+
+    std::vector<double> ts(T), id(T), lons(T), lats(T), speeds(T), headings(T),
+        cogs(T);
+    const double base_minute =
+        static_cast<double>(window_counter) * 15.0;  // overlapping windows
+    for (size_t t = 0; t < T; ++t) {
+      if (make_positive) {
+        // Steer toward the port, slow down on approach.
+        const double bearing =
+            WrapDegrees(std::atan2(kPortLat - lat, kPortLon - lon) * 180.0 /
+                        std::numbers::pi);
+        double turn = bearing - heading;
+        if (turn > 180.0) turn -= 360.0;
+        if (turn < -180.0) turn += 360.0;
+        heading = WrapDegrees(heading + std::clamp(turn, -20.0, 20.0) +
+                              rng.Gaussian(0.0, 2.0));
+        const double dist =
+            std::hypot(kPortLon - lon, kPortLat - lat);
+        if (dist < 0.05) speed = std::max(1.5, speed * 0.9);
+      } else {
+        // Transit / loiter: slow heading drift, occasional course changes.
+        heading = WrapDegrees(heading + rng.Gaussian(0.0, 4.0) +
+                              (rng.Bernoulli(0.03) ? rng.Uniform(-60.0, 60.0)
+                                                   : 0.0));
+        speed = std::clamp(speed + rng.Gaussian(0.0, 0.3), 0.5, 18.0);
+      }
+      const double rad = heading * std::numbers::pi / 180.0;
+      lon += speed * kDegPerKnotMinute * std::cos(rad);
+      lat += speed * kDegPerKnotMinute * std::sin(rad);
+
+      ts[t] = base_minute + static_cast<double>(t);
+      id[t] = ship_id;
+      lons[t] = lon + rng.Gaussian(0.0, 1e-4 * options.noise);
+      lats[t] = lat + rng.Gaussian(0.0, 1e-4 * options.noise);
+      speeds[t] = std::max(0.0, speed + rng.Gaussian(0.0, options.noise));
+      headings[t] = WrapDegrees(heading + rng.Gaussian(0.0, options.noise * 10));
+      // Course over ground: heading plus current-induced drift.
+      cogs[t] = WrapDegrees(heading + rng.Gaussian(0.0, 3.0));
+    }
+
+    const bool ends_inside = InsidePolygon(PortPolygon(), lon, lat);
+    if (make_positive != ends_inside) continue;  // resample on miss
+
+    auto series =
+        TimeSeries::FromChannels({ts, id, lons, lats, speeds, headings, cogs});
+    ETSC_CHECK(series.ok());
+    dataset.Add(std::move(series).value(), ends_inside ? 1 : 0);
+    ++window_counter;
+    if (ends_inside) {
+      ++positives;
+    } else {
+      ++negatives;
+    }
+  }
+  return dataset;
+}
+
+}  // namespace etsc

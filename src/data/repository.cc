@@ -1,0 +1,83 @@
+#include "data/repository.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/biological_sim.h"
+#include "data/maritime_sim.h"
+#include "data/ucr_like.h"
+
+namespace etsc {
+
+namespace {
+
+// Canonical (paper) instance counts for datasets the repository may scale.
+constexpr size_t kMaritimeCanonicalWindows = 80591;
+constexpr size_t kBiologicalCanonicalRuns = 644;
+
+BenchmarkDataset Finish(Dataset data, size_t canonical_height) {
+  BenchmarkDataset out;
+  out.canonical_profile = Categorize(data);
+  out.canonical_profile.height = canonical_height;
+  AssignCategories(&out.canonical_profile);
+  out.data = std::move(data);
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& BenchmarkDatasetNames() {
+  static const auto* kNames = new std::vector<std::string>{
+      "BasicMotions",       "Biological",
+      "DodgerLoopDay",      "DodgerLoopGame",
+      "DodgerLoopWeekend",  "HouseTwenty",
+      "LSST",               "Maritime",
+      "PickupGestureWiimoteZ", "PLAID",
+      "PowerCons",          "SharePriceIncrease"};
+  return *kNames;
+}
+
+Result<BenchmarkDataset> MakeBenchmarkDataset(const std::string& name,
+                                              const RepositoryOptions& options) {
+  if (name == "Biological") {
+    BiologicalSimOptions bio;
+    bio.seed = options.seed + 1;
+    if (options.height_scale < 1.0 &&
+        bio.num_simulations > options.scale_above) {
+      bio.num_simulations = static_cast<size_t>(
+          options.height_scale * static_cast<double>(bio.num_simulations));
+    }
+    return Finish(MakeBiologicalDataset(bio), kBiologicalCanonicalRuns);
+  }
+  if (name == "Maritime") {
+    MaritimeSimOptions sea;
+    sea.seed = options.seed + 2;
+    sea.num_windows = options.maritime_windows;
+    if (options.height_scale < 1.0 && sea.num_windows > options.scale_above) {
+      sea.num_windows = static_cast<size_t>(
+          options.height_scale * static_cast<double>(sea.num_windows));
+    }
+    return Finish(MakeMaritimeDataset(sea), kMaritimeCanonicalWindows);
+  }
+  ETSC_ASSIGN_OR_RETURN(UcrLikeSpec spec, FindUcrLikeSpec(name));
+  double scale = 1.0;
+  if (options.height_scale < 1.0 && spec.height > options.scale_above) {
+    scale = options.height_scale;
+  }
+  Dataset data = MakeUcrLike(spec, options.seed + 3, scale);
+  return Finish(std::move(data), spec.height);
+}
+
+Result<std::vector<BenchmarkDataset>> MakeBenchmarkCorpus(
+    const RepositoryOptions& options) {
+  std::vector<BenchmarkDataset> corpus;
+  corpus.reserve(BenchmarkDatasetNames().size());
+  for (const auto& name : BenchmarkDatasetNames()) {
+    ETSC_ASSIGN_OR_RETURN(BenchmarkDataset dataset,
+                          MakeBenchmarkDataset(name, options));
+    corpus.push_back(std::move(dataset));
+  }
+  return corpus;
+}
+
+}  // namespace etsc

@@ -1,0 +1,253 @@
+#include "data/ucr_like.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "core/rng.h"
+
+namespace etsc {
+
+namespace {
+
+constexpr double kTau = 2.0 * std::numbers::pi;
+
+// Per-class quota counts for a given imbalance ratio: class weights fall
+// linearly from `cir` (class 0) to 1 (last class).
+std::vector<size_t> ClassQuotas(size_t height, size_t classes, double cir) {
+  std::vector<double> weights(classes);
+  for (size_t c = 0; c < classes; ++c) {
+    const double frac =
+        classes == 1 ? 0.0
+                     : static_cast<double>(c) / static_cast<double>(classes - 1);
+    weights[c] = cir + (1.0 - cir) * frac;
+  }
+  double total = 0.0;
+  for (double w : weights) total += w;
+  std::vector<size_t> quotas(classes, 1);  // every class keeps >= 1 instance
+  size_t assigned = classes;
+  for (size_t c = 0; c < classes; ++c) {
+    const size_t want = static_cast<size_t>(
+        std::floor(weights[c] / total * static_cast<double>(height)));
+    const size_t extra = want > 1 ? want - 1 : 0;
+    const size_t grant = std::min(extra, height - assigned);
+    quotas[c] += grant;
+    assigned += grant;
+    if (assigned == height) break;
+  }
+  // Rounding remainder goes to the largest class.
+  quotas[0] += height - assigned;
+  return quotas;
+}
+
+// One channel of one instance: class- and style-dependent latent shape plus
+// noise. `u` is a per-instance random phase/jitter source.
+std::vector<double> MakeChannel(const UcrLikeSpec& spec, size_t class_index,
+                                size_t variable, Rng* rng) {
+  const size_t T = spec.length;
+  std::vector<double> x(T, 0.0);
+  const double c = static_cast<double>(class_index);
+  const double v = static_cast<double>(variable);
+  const size_t start =
+      static_cast<size_t>(spec.signal_start * static_cast<double>(T));
+  const double phase = rng->Uniform(0.0, kTau);
+  const double amp_jitter = rng->Uniform(0.8, 1.2);
+
+  switch (spec.style) {
+    case ShapeStyle::kSeasonal: {
+      // Two harmonics whose amplitude/frequency mix encodes the class.
+      const double f1 = 1.0 + 0.5 * c;
+      const double a1 = (1.0 + 0.3 * c) * amp_jitter;
+      const double a2 = 0.5 * amp_jitter;
+      for (size_t t = 0; t < T; ++t) {
+        const double u = static_cast<double>(t) / static_cast<double>(T);
+        double value = a2 * std::sin(kTau * 2.0 * u + phase + v);
+        if (t >= start) {
+          value += a1 * std::sin(kTau * f1 * u + phase) +
+                   0.2 * c * std::cos(kTau * 3.0 * u + phase);
+        }
+        x[t] = value;
+      }
+      break;
+    }
+    case ShapeStyle::kBurst: {
+      // Rectangular power bursts; class encodes burst width/level/rate.
+      const double level = 1.0 + 0.7 * c;
+      const size_t width = 5 + 3 * class_index;
+      const double rate = 0.01 + 0.004 * c;
+      size_t t = start;
+      while (t < T) {
+        if (rng->Uniform() < rate * static_cast<double>(width)) {
+          const size_t end = std::min(T, t + width);
+          for (size_t s = t; s < end; ++s) x[s] += level * amp_jitter;
+          t = end;
+        } else {
+          ++t;
+        }
+      }
+      // Small standby load with class-free ripple.
+      for (size_t s = 0; s < T; ++s) {
+        x[s] += 0.05 * std::sin(kTau * 7.0 * static_cast<double>(s) /
+                                    static_cast<double>(T) +
+                                phase);
+      }
+      break;
+    }
+    case ShapeStyle::kMotion: {
+      // Band-limited oscillation: class sets frequency, channel sets phase
+      // offset and gain (inertial-sensor-like).
+      const double freq = 2.0 + 1.5 * c;
+      const double gain = (0.5 + 0.25 * ((v + c) * 0.5)) * amp_jitter;
+      double drift = 0.0;
+      for (size_t t = 0; t < T; ++t) {
+        const double u = static_cast<double>(t) / static_cast<double>(T);
+        drift += rng->Gaussian(0.0, 0.02);
+        double value = drift;
+        if (t >= start) {
+          value += gain * std::sin(kTau * freq * u + phase + 0.7 * v);
+        }
+        x[t] = value;
+      }
+      break;
+    }
+    case ShapeStyle::kGesture: {
+      // A class-specific Gaussian-windowed wiggle at a class-specific spot.
+      const double center =
+          (0.15 + 0.07 * c) * static_cast<double>(T) +
+          rng->Gaussian(0.0, 0.01 * static_cast<double>(T));
+      const double width = 0.05 * static_cast<double>(T);
+      const double freq = 3.0 + c;
+      for (size_t t = 0; t < T; ++t) {
+        const double d = (static_cast<double>(t) - center) / width;
+        const double envelope = std::exp(-0.5 * d * d);
+        x[t] = amp_jitter * envelope *
+               std::sin(kTau * freq * static_cast<double>(t) /
+                            static_cast<double>(T) +
+                        phase);
+      }
+      break;
+    }
+    case ShapeStyle::kTrend: {
+      // Random walk whose late drift encodes the class (price-like).
+      double value = rng->Uniform(-0.5, 0.5);
+      const double drift = (c - 0.5) * 0.06 * amp_jitter;
+      for (size_t t = 0; t < T; ++t) {
+        value += rng->Gaussian(0.0, 0.05);
+        if (t >= start) value += drift;
+        x[t] = value;
+      }
+      break;
+    }
+  }
+  // Measurement noise.
+  for (double& value : x) value += rng->Gaussian(0.0, spec.noise);
+  return x;
+}
+
+// Shifts all values by a constant so the global coefficient of variation
+// lands near `target` (CoV = stddev / |mean|; the offset only moves the mean).
+void AdjustCoV(Dataset* dataset, double target) {
+  if (target <= 0.0) return;
+  double sum = 0.0;
+  size_t count = 0;
+  for (size_t i = 0; i < dataset->size(); ++i) {
+    const TimeSeries& ts = dataset->instance(i);
+    for (size_t v = 0; v < ts.num_variables(); ++v) {
+      for (double x : ts.channel(v)) {
+        sum += x;
+        ++count;
+      }
+    }
+  }
+  if (count == 0) return;
+  const double mean = sum / static_cast<double>(count);
+  double ss = 0.0;
+  for (size_t i = 0; i < dataset->size(); ++i) {
+    const TimeSeries& ts = dataset->instance(i);
+    for (size_t v = 0; v < ts.num_variables(); ++v) {
+      for (double x : ts.channel(v)) ss += (x - mean) * (x - mean);
+    }
+  }
+  const double stddev = std::sqrt(ss / static_cast<double>(count));
+  if (stddev <= 0.0) return;
+  const double desired_mean = stddev / target;
+  const double offset = desired_mean - mean;
+  for (size_t i = 0; i < dataset->size(); ++i) {
+    TimeSeries& ts = dataset->instance(i);
+    for (size_t v = 0; v < ts.num_variables(); ++v) {
+      for (double& x : ts.channel(v)) x += offset;
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<UcrLikeSpec>& UcrLikeSpecs() {
+  static const auto* kSpecs = new std::vector<UcrLikeSpec>{
+      // name, height, length, vars, classes, cir, cov, period(s), noise,
+      // signal_start, style
+      {"BasicMotions", 80, 100, 6, 4, 1.0, 1.5, 0.1, 0.15, 0.0,
+       ShapeStyle::kMotion},
+      {"DodgerLoopDay", 158, 288, 1, 7, 1.2, 0.7, 300.0, 0.2, 0.1,
+       ShapeStyle::kSeasonal},
+      {"DodgerLoopGame", 158, 288, 1, 2, 1.1, 0.6, 300.0, 0.2, 0.15,
+       ShapeStyle::kSeasonal},
+      {"DodgerLoopWeekend", 158, 288, 1, 2, 2.5, 0.7, 300.0, 0.2, 0.1,
+       ShapeStyle::kSeasonal},
+      {"HouseTwenty", 159, 2000, 1, 2, 1.2, 1.6, 8.0, 0.1, 0.1,
+       ShapeStyle::kBurst},
+      {"LSST", 4925, 36, 6, 14, 10.0, 1.3, 86400.0, 0.15, 0.0,
+       ShapeStyle::kMotion},
+      {"PickupGestureWiimoteZ", 100, 361, 1, 10, 1.0, 0.8, 0.01, 0.1, 0.1,
+       ShapeStyle::kGesture},
+      {"PLAID", 1074, 1345, 1, 11, 8.0, 1.5, 0.0033, 0.1, 0.05,
+       ShapeStyle::kBurst},
+      {"PowerCons", 360, 144, 1, 2, 1.0, 0.6, 600.0, 0.15, 0.1,
+       ShapeStyle::kSeasonal},
+      {"SharePriceIncrease", 1931, 60, 1, 2, 3.0, 1.2, 86400.0, 0.05, 0.4,
+       ShapeStyle::kTrend},
+  };
+  return *kSpecs;
+}
+
+Result<UcrLikeSpec> FindUcrLikeSpec(const std::string& name) {
+  for (const auto& spec : UcrLikeSpecs()) {
+    if (spec.name == name) return spec;
+  }
+  return Status::NotFound("no UCR-like spec named '" + name + "'");
+}
+
+Dataset MakeUcrLike(const UcrLikeSpec& spec, uint64_t seed, double height_scale) {
+  ETSC_CHECK(height_scale > 0.0 && height_scale <= 1.0);
+  Rng rng(seed);
+  const size_t height = std::max<size_t>(
+      spec.classes * 2,
+      static_cast<size_t>(std::round(height_scale *
+                                     static_cast<double>(spec.height))));
+  const auto quotas = ClassQuotas(height, spec.classes, spec.cir);
+
+  Dataset dataset;
+  dataset.set_name(spec.name);
+  dataset.set_observation_period_seconds(spec.observation_period_seconds);
+  for (size_t c = 0; c < spec.classes; ++c) {
+    for (size_t q = 0; q < quotas[c]; ++q) {
+      std::vector<std::vector<double>> channels(spec.variables);
+      for (size_t v = 0; v < spec.variables; ++v) {
+        channels[v] = MakeChannel(spec, c, v, &rng);
+      }
+      auto series = TimeSeries::FromChannels(std::move(channels));
+      ETSC_CHECK(series.ok());
+      dataset.Add(std::move(series).value(), static_cast<int>(c));
+    }
+  }
+  AdjustCoV(&dataset, spec.target_cov);
+  return dataset;
+}
+
+Result<Dataset> MakeUcrLikeByName(const std::string& name, uint64_t seed,
+                                  double height_scale) {
+  ETSC_ASSIGN_OR_RETURN(UcrLikeSpec spec, FindUcrLikeSpec(name));
+  return MakeUcrLike(spec, seed, height_scale);
+}
+
+}  // namespace etsc

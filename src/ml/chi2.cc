@@ -1,0 +1,96 @@
+#include "ml/chi2.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/status.h"
+
+namespace etsc {
+
+std::vector<double> Chi2Scores(const std::vector<SparseVector>& rows, size_t dim,
+                               const std::vector<int>& labels) {
+  ETSC_CHECK(rows.size() == labels.size());
+  // Class index mapping.
+  std::map<int, size_t> class_index;
+  for (int y : labels) class_index.emplace(y, 0);
+  size_t k = 0;
+  for (auto& [label, idx] : class_index) idx = k++;
+  const size_t num_classes = class_index.size();
+
+  // observed[c][f] = total feature mass of f within class c.
+  std::vector<std::vector<double>> observed(num_classes,
+                                            std::vector<double>(dim, 0.0));
+  std::vector<double> feature_total(dim, 0.0);
+  std::vector<double> class_total(num_classes, 0.0);
+  double grand_total = 0.0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const size_t c = class_index[labels[i]];
+    for (const auto& [f, v] : rows[i].entries) {
+      if (f >= dim) continue;
+      observed[c][f] += v;
+      feature_total[f] += v;
+      class_total[c] += v;
+      grand_total += v;
+    }
+  }
+
+  std::vector<double> scores(dim, 0.0);
+  if (grand_total <= 0.0) return scores;
+  for (size_t f = 0; f < dim; ++f) {
+    if (feature_total[f] <= 0.0) continue;
+    double chi2 = 0.0;
+    for (size_t c = 0; c < num_classes; ++c) {
+      const double expected = feature_total[f] * class_total[c] / grand_total;
+      if (expected <= 0.0) continue;
+      const double diff = observed[c][f] - expected;
+      chi2 += diff * diff / expected;
+    }
+    scores[f] = chi2;
+  }
+  return scores;
+}
+
+std::vector<size_t> Chi2Select(const std::vector<SparseVector>& rows, size_t dim,
+                               const std::vector<int>& labels, double threshold) {
+  const std::vector<double> scores = Chi2Scores(rows, dim, labels);
+  std::vector<size_t> selected;
+  for (size_t f = 0; f < dim; ++f) {
+    if (scores[f] >= threshold) selected.push_back(f);
+  }
+  // Never select an empty set: fall back to every feature that carries any
+  // mass (a fully class-balanced feature scores 0 but is still usable).
+  if (selected.empty()) {
+    std::vector<bool> seen(dim, false);
+    for (const auto& row : rows) {
+      for (const auto& [f, v] : row.entries) {
+        if (f < dim && v != 0.0) seen[f] = true;
+      }
+    }
+    for (size_t f = 0; f < dim; ++f) {
+      if (seen[f]) selected.push_back(f);
+    }
+  }
+  return selected;
+}
+
+SparseVector ProjectRow(const SparseVector& row,
+                        const std::vector<size_t>& selected) {
+  SparseVector out;
+  for (const auto& [f, v] : row.entries) {
+    const auto it = std::lower_bound(selected.begin(), selected.end(), f);
+    if (it != selected.end() && *it == f) {
+      out.Add(static_cast<size_t>(it - selected.begin()), v);
+    }
+  }
+  return out;
+}
+
+std::vector<SparseVector> ProjectFeatures(const std::vector<SparseVector>& rows,
+                                          const std::vector<size_t>& selected) {
+  std::vector<SparseVector> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(ProjectRow(row, selected));
+  return out;
+}
+
+}  // namespace etsc

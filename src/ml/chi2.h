@@ -1,0 +1,34 @@
+#ifndef ETSC_ML_CHI2_H_
+#define ETSC_ML_CHI2_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/linear.h"
+
+namespace etsc {
+
+/// Chi-squared relevance statistic of each feature (columns of a sparse
+/// bag-of-words matrix) w.r.t. class labels: the standard one-way test on
+/// observed vs expected per-class feature mass used by WEASEL to prune its
+/// feature space. Returns one score per feature in [0, dim).
+std::vector<double> Chi2Scores(const std::vector<SparseVector>& rows, size_t dim,
+                               const std::vector<int>& labels);
+
+/// Indices of features whose chi² score is >= `threshold` (WEASEL's default
+/// test, chi2 >= 2 ~ p < 0.16 for 1 dof).
+std::vector<size_t> Chi2Select(const std::vector<SparseVector>& rows, size_t dim,
+                               const std::vector<int>& labels, double threshold);
+
+/// Remaps rows onto the selected feature subset (features renumbered 0..k-1 in
+/// the order of `selected`, which must be sorted ascending).
+std::vector<SparseVector> ProjectFeatures(const std::vector<SparseVector>& rows,
+                                          const std::vector<size_t>& selected);
+
+/// Projects a single row onto the selected subset.
+SparseVector ProjectRow(const SparseVector& row,
+                        const std::vector<size_t>& selected);
+
+}  // namespace etsc
+
+#endif  // ETSC_ML_CHI2_H_

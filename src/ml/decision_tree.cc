@@ -1,0 +1,153 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace etsc {
+
+namespace {
+
+struct SplitChoice {
+  bool found = false;
+  size_t feature = 0;
+  double threshold = 0.0;
+  double gain = 0.0;
+};
+
+// Best split over the index set by exact scan of every feature's sorted
+// values; gain is weighted variance reduction (sum g)^2 / (sum h) form.
+SplitChoice FindBestSplit(const std::vector<std::vector<double>>& x,
+                          const std::vector<double>& g,
+                          const std::vector<double>& h,
+                          const std::vector<size_t>& indices,
+                          size_t min_samples_leaf) {
+  SplitChoice best;
+  if (indices.size() < 2 * min_samples_leaf) return best;
+  const size_t num_features = x[indices[0]].size();
+
+  double total_g = 0.0, total_h = 0.0;
+  for (size_t i : indices) {
+    total_g += g[i];
+    total_h += h[i];
+  }
+  const double parent_score = total_h > 0 ? total_g * total_g / total_h : 0.0;
+
+  std::vector<size_t> order(indices);
+  for (size_t f = 0; f < num_features; ++f) {
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return x[a][f] < x[b][f]; });
+    double left_g = 0.0, left_h = 0.0;
+    for (size_t pos = 0; pos + 1 < order.size(); ++pos) {
+      const size_t i = order[pos];
+      left_g += g[i];
+      left_h += h[i];
+      const double lo = x[i][f];
+      const double hi = x[order[pos + 1]][f];
+      if (lo == hi) continue;  // cannot split between equal values
+      const size_t n_left = pos + 1;
+      const size_t n_right = order.size() - n_left;
+      if (n_left < min_samples_leaf || n_right < min_samples_leaf) continue;
+      const double right_g = total_g - left_g;
+      const double right_h = total_h - left_h;
+      if (left_h <= 0 || right_h <= 0) continue;
+      const double score =
+          left_g * left_g / left_h + right_g * right_g / right_h;
+      const double gain = score - parent_score;
+      if (gain > best.gain) {
+        best.found = true;
+        best.gain = gain;
+        best.feature = f;
+        best.threshold = 0.5 * (lo + hi);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Status RegressionTree::Fit(const std::vector<std::vector<double>>& features,
+                           const std::vector<double>& targets,
+                           const std::vector<double>& hessians) {
+  if (features.empty()) {
+    return Status::InvalidArgument("RegressionTree::Fit: no samples");
+  }
+  if (features.size() != targets.size()) {
+    return Status::InvalidArgument(
+        "RegressionTree::Fit: features/targets size mismatch");
+  }
+  if (!hessians.empty() && hessians.size() != targets.size()) {
+    return Status::InvalidArgument(
+        "RegressionTree::Fit: hessians size mismatch");
+  }
+  const size_t dim = features[0].size();
+  for (const auto& row : features) {
+    if (row.size() != dim) {
+      return Status::InvalidArgument("RegressionTree::Fit: ragged features");
+    }
+  }
+  std::vector<double> h = hessians;
+  if (h.empty()) h.assign(targets.size(), 1.0);
+
+  nodes_.clear();
+  std::vector<size_t> indices(features.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  Build(features, targets, h, &indices, 0);
+  return Status::OK();
+}
+
+int RegressionTree::Build(const std::vector<std::vector<double>>& features,
+                          const std::vector<double>& targets,
+                          const std::vector<double>& hessians,
+                          std::vector<size_t>* indices, size_t depth) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  double sum_g = 0.0, sum_h = 0.0;
+  for (size_t i : *indices) {
+    sum_g += targets[i];
+    sum_h += hessians[i];
+  }
+  const double leaf_value = sum_h > 0 ? sum_g / sum_h : 0.0;
+  nodes_[node_id].value = leaf_value;
+
+  if (depth >= options_.max_depth || indices->size() < 2) return node_id;
+
+  SplitChoice split = FindBestSplit(features, targets, hessians, *indices,
+                                    options_.min_samples_leaf);
+  if (!split.found || split.gain < options_.min_gain) return node_id;
+
+  std::vector<size_t> left_idx, right_idx;
+  for (size_t i : *indices) {
+    (features[i][split.feature] <= split.threshold ? left_idx : right_idx)
+        .push_back(i);
+  }
+  if (left_idx.empty() || right_idx.empty()) return node_id;
+
+  indices->clear();
+  indices->shrink_to_fit();
+
+  nodes_[node_id].is_leaf = false;
+  nodes_[node_id].feature = split.feature;
+  nodes_[node_id].threshold = split.threshold;
+  const int left = Build(features, targets, hessians, &left_idx, depth + 1);
+  nodes_[node_id].left = left;
+  const int right = Build(features, targets, hessians, &right_idx, depth + 1);
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double RegressionTree::Predict(const std::vector<double>& row) const {
+  ETSC_DCHECK(fitted());
+  int node = 0;
+  while (!nodes_[static_cast<size_t>(node)].is_leaf) {
+    const Node& n = nodes_[static_cast<size_t>(node)];
+    const double v = n.feature < row.size() ? row[n.feature] : 0.0;
+    node = v <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[static_cast<size_t>(node)].value;
+}
+
+}  // namespace etsc

@@ -1,0 +1,59 @@
+#ifndef ETSC_ML_DECISION_TREE_H_
+#define ETSC_ML_DECISION_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/status.h"
+
+namespace etsc {
+
+/// Options for CART regression trees (the weak learner of GbdtClassifier).
+struct RegressionTreeOptions {
+  size_t max_depth = 3;
+  size_t min_samples_leaf = 2;
+  double min_gain = 1e-12;  // minimum variance reduction to accept a split
+};
+
+/// A CART regression tree fit by exact greedy variance-reduction splitting.
+/// Supports an optional per-sample "hessian" weight so gradient boosting can
+/// install Newton leaf values.
+class RegressionTree {
+ public:
+  explicit RegressionTree(RegressionTreeOptions options = {})
+      : options_(options) {}
+
+  /// Fits the tree to (features, targets). `hessians` may be empty (all-ones)
+  /// or per-sample curvature weights; leaf value = sum(target)/sum(hessian).
+  Status Fit(const std::vector<std::vector<double>>& features,
+             const std::vector<double>& targets,
+             const std::vector<double>& hessians = {});
+
+  /// Predicted value for one feature row.
+  double Predict(const std::vector<double>& row) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  bool fitted() const { return !nodes_.empty(); }
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    size_t feature = 0;
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    double value = 0.0;
+  };
+
+  int Build(const std::vector<std::vector<double>>& features,
+            const std::vector<double>& targets,
+            const std::vector<double>& hessians, std::vector<size_t>* indices,
+            size_t depth);
+
+  RegressionTreeOptions options_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace etsc
+
+#endif  // ETSC_ML_DECISION_TREE_H_

@@ -1,0 +1,56 @@
+#include "ml/distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/status.h"
+
+namespace etsc {
+
+double Euclidean(const std::vector<double>& a, const std::vector<double>& b) {
+  ETSC_DCHECK(a.size() == b.size());
+  return EuclideanPrefix(a, b, a.size());
+}
+
+double EuclideanPrefix(const std::vector<double>& a, const std::vector<double>& b,
+                       size_t len) {
+  len = std::min({len, a.size(), b.size()});
+  double sum = 0.0;
+  for (size_t i = 0; i < len; ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double MinSubseriesDistance(const std::vector<double>& pattern,
+                            const std::vector<double>& series) {
+  return MinSubseriesDistanceEarlyAbandon(pattern, series,
+                                          std::numeric_limits<double>::infinity());
+}
+
+double MinSubseriesDistanceEarlyAbandon(const std::vector<double>& pattern,
+                                        const std::vector<double>& series,
+                                        double best_so_far) {
+  const size_t m = pattern.size();
+  if (m == 0 || series.size() < m) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double best_sq = best_so_far < std::numeric_limits<double>::infinity()
+                       ? best_so_far * best_so_far
+                       : std::numeric_limits<double>::infinity();
+  for (size_t start = 0; start + m <= series.size(); ++start) {
+    double sum = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      const double d = pattern[i] - series[start + i];
+      sum += d * d;
+      if (sum >= best_sq) break;  // early abandon
+    }
+    best_sq = std::min(best_sq, sum);
+    if (best_sq == 0.0) break;
+  }
+  return std::sqrt(best_sq);
+}
+
+}  // namespace etsc

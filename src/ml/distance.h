@@ -1,0 +1,30 @@
+#ifndef ETSC_ML_DISTANCE_H_
+#define ETSC_ML_DISTANCE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace etsc {
+
+/// Euclidean distance between equal-length vectors.
+double Euclidean(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean distance between the first `len` entries of two vectors.
+double EuclideanPrefix(const std::vector<double>& a, const std::vector<double>& b,
+                       size_t len);
+
+/// Minimum Euclidean distance between `pattern` and any contiguous window of
+/// equal length inside `series`, i.e. the shapelet-to-series distance used by
+/// EDSC. Returns +inf when `series` is shorter than `pattern`.
+double MinSubseriesDistance(const std::vector<double>& pattern,
+                            const std::vector<double>& series);
+
+/// Same as MinSubseriesDistance but stops scanning a window early once its
+/// partial sum exceeds `best_so_far` squared (classic early-abandon).
+double MinSubseriesDistanceEarlyAbandon(const std::vector<double>& pattern,
+                                        const std::vector<double>& series,
+                                        double best_so_far);
+
+}  // namespace etsc
+
+#endif  // ETSC_ML_DISTANCE_H_

@@ -1,0 +1,88 @@
+#include "ml/fourier.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "core/status.h"
+
+namespace etsc {
+
+std::vector<double> DftCoefficients(const std::vector<double>& window,
+                                    size_t num_coefficients, bool drop_first) {
+  const size_t n = window.size();
+  std::vector<double> out;
+  if (n == 0 || num_coefficients == 0) return out;
+  out.reserve(2 * num_coefficients);
+  const size_t first = drop_first ? 1 : 0;
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (size_t c = first; c < first + num_coefficients; ++c) {
+    double re = 0.0, im = 0.0;
+    const double w = -2.0 * std::numbers::pi * static_cast<double>(c) * inv_n;
+    for (size_t t = 0; t < n; ++t) {
+      const double angle = w * static_cast<double>(t);
+      re += window[t] * std::cos(angle);
+      im += window[t] * std::sin(angle);
+    }
+    out.push_back(re * inv_n);
+    out.push_back(im * inv_n);
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> SlidingDft(const std::vector<double>& series,
+                                            size_t window_size,
+                                            size_t num_coefficients,
+                                            bool drop_first) {
+  std::vector<std::vector<double>> out;
+  if (window_size == 0 || series.size() < window_size || num_coefficients == 0) {
+    return out;
+  }
+  const size_t num_windows = series.size() - window_size + 1;
+  out.reserve(num_windows);
+
+  const size_t first = drop_first ? 1 : 0;
+  const double inv_n = 1.0 / static_cast<double>(window_size);
+
+  // Initial window: direct DFT (un-normalised accumulators kept for updates).
+  std::vector<double> re(num_coefficients, 0.0), im(num_coefficients, 0.0);
+  for (size_t k = 0; k < num_coefficients; ++k) {
+    const double w =
+        -2.0 * std::numbers::pi * static_cast<double>(k + first) * inv_n;
+    for (size_t t = 0; t < window_size; ++t) {
+      const double angle = w * static_cast<double>(t);
+      re[k] += series[t] * std::cos(angle);
+      im[k] += series[t] * std::sin(angle);
+    }
+  }
+  auto emit = [&]() {
+    std::vector<double> coeffs;
+    coeffs.reserve(2 * num_coefficients);
+    for (size_t k = 0; k < num_coefficients; ++k) {
+      coeffs.push_back(re[k] * inv_n);
+      coeffs.push_back(im[k] * inv_n);
+    }
+    out.push_back(std::move(coeffs));
+  };
+  emit();
+
+  // Momentary Fourier updates: X'_k = (X_k - x_out + x_in·e^{-2πik·W/W}) ·
+  // e^{2πik/W}; since e^{-2πik} = 1 the shift reduces to rotating
+  // (X_k + x_in - x_out) by the per-step phasor.
+  for (size_t s = 1; s < num_windows; ++s) {
+    const double x_out = series[s - 1];
+    const double x_in = series[s + window_size - 1];
+    for (size_t k = 0; k < num_coefficients; ++k) {
+      const double theta =
+          2.0 * std::numbers::pi * static_cast<double>(k + first) * inv_n;
+      const double c = std::cos(theta), sn = std::sin(theta);
+      const double re_new = re[k] + (x_in - x_out);
+      const double im_new = im[k];
+      re[k] = re_new * c - im_new * sn;
+      im[k] = re_new * sn + im_new * c;
+    }
+    emit();
+  }
+  return out;
+}
+
+}  // namespace etsc

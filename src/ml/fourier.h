@@ -1,0 +1,27 @@
+#ifndef ETSC_ML_FOURIER_H_
+#define ETSC_ML_FOURIER_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace etsc {
+
+/// First `num_coefficients` complex coefficients of the discrete Fourier
+/// transform of `window`, returned interleaved as
+/// [re0, im0, re1, im1, ...] and normalised by the window length.
+/// When `drop_first` is true the DC coefficient (window mean) is skipped and
+/// the output starts at coefficient 1 — the SFA "mean-normalisation" switch.
+std::vector<double> DftCoefficients(const std::vector<double>& window,
+                                    size_t num_coefficients, bool drop_first);
+
+/// Sliding-window DFT: for every window of `window_size` in `series` (stride
+/// 1) computes DftCoefficients. Uses the momentary Fourier transform update
+/// (O(c) per shift) so a full series costs O(L·c) after the first window.
+std::vector<std::vector<double>> SlidingDft(const std::vector<double>& series,
+                                            size_t window_size,
+                                            size_t num_coefficients,
+                                            bool drop_first);
+
+}  // namespace etsc
+
+#endif  // ETSC_ML_FOURIER_H_

@@ -1,0 +1,134 @@
+#include "ml/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+namespace etsc {
+
+namespace {
+
+void Softmax(std::vector<double>* scores) {
+  double max_score = *std::max_element(scores->begin(), scores->end());
+  double total = 0.0;
+  for (double& s : *scores) {
+    s = std::exp(s - max_score);
+    total += s;
+  }
+  for (double& s : *scores) s /= total;
+}
+
+}  // namespace
+
+Status GbdtClassifier::Fit(const std::vector<std::vector<double>>& features,
+                           const std::vector<int>& labels, Rng* rng) {
+  if (features.empty()) {
+    return Status::InvalidArgument("GbdtClassifier::Fit: no samples");
+  }
+  if (features.size() != labels.size()) {
+    return Status::InvalidArgument("GbdtClassifier::Fit: size mismatch");
+  }
+  if (options_.subsample < 1.0 && rng == nullptr) {
+    return Status::InvalidArgument(
+        "GbdtClassifier::Fit: subsampling requires an Rng");
+  }
+
+  // Map labels to contiguous class indices.
+  std::map<int, size_t> class_index;
+  class_labels_.clear();
+  for (int y : labels) {
+    if (class_index.emplace(y, 0).second) class_labels_.push_back(y);
+  }
+  std::sort(class_labels_.begin(), class_labels_.end());
+  for (size_t k = 0; k < class_labels_.size(); ++k) {
+    class_index[class_labels_[k]] = k;
+  }
+  const size_t num_classes = class_labels_.size();
+  const size_t n = features.size();
+
+  // Log-prior base scores.
+  base_scores_.assign(num_classes, 0.0);
+  std::vector<double> class_counts(num_classes, 0.0);
+  for (int y : labels) class_counts[class_index[y]] += 1.0;
+  for (size_t k = 0; k < num_classes; ++k) {
+    base_scores_[k] =
+        std::log(std::max(class_counts[k], 1.0) / static_cast<double>(n));
+  }
+
+  if (num_classes < 2) {
+    trees_.clear();  // Degenerate: constant predictor via base score.
+    return Status::OK();
+  }
+
+  // Raw scores F[i][k], updated additively each round.
+  std::vector<std::vector<double>> raw(n, base_scores_);
+  trees_.assign(options_.num_rounds, {});
+
+  std::vector<size_t> all_rows(n);
+  std::iota(all_rows.begin(), all_rows.end(), 0);
+
+  for (size_t round = 0; round < options_.num_rounds; ++round) {
+    // Sample rows for this round.
+    std::vector<size_t> rows = all_rows;
+    if (options_.subsample < 1.0) {
+      rng->Shuffle(&rows);
+      rows.resize(std::max<size_t>(
+          1, static_cast<size_t>(options_.subsample * static_cast<double>(n))));
+    }
+
+    // Per-sample softmax probabilities.
+    std::vector<std::vector<double>> proba(n);
+    for (size_t i = 0; i < n; ++i) {
+      proba[i] = raw[i];
+      Softmax(&proba[i]);
+    }
+
+    std::vector<std::vector<double>> sampled_x;
+    sampled_x.reserve(rows.size());
+    for (size_t i : rows) sampled_x.push_back(features[i]);
+
+    trees_[round].reserve(num_classes);
+    for (size_t k = 0; k < num_classes; ++k) {
+      std::vector<double> grad(rows.size());
+      std::vector<double> hess(rows.size());
+      for (size_t r = 0; r < rows.size(); ++r) {
+        const size_t i = rows[r];
+        const double y = class_index[labels[i]] == k ? 1.0 : 0.0;
+        grad[r] = y - proba[i][k];
+        hess[r] = std::max(proba[i][k] * (1.0 - proba[i][k]), 1e-6);
+      }
+      RegressionTree tree(options_.tree);
+      ETSC_RETURN_NOT_OK(tree.Fit(sampled_x, grad, hess));
+      for (size_t i = 0; i < n; ++i) {
+        raw[i][k] += options_.learning_rate * tree.Predict(features[i]);
+      }
+      trees_[round].push_back(std::move(tree));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> GbdtClassifier::PredictProba(
+    const std::vector<double>& row) const {
+  if (!fitted()) {
+    return Status::FailedPrecondition("GbdtClassifier: not fitted");
+  }
+  std::vector<double> scores = base_scores_;
+  for (const auto& round : trees_) {
+    for (size_t k = 0; k < round.size(); ++k) {
+      scores[k] += options_.learning_rate * round[k].Predict(row);
+    }
+  }
+  Softmax(&scores);
+  return scores;
+}
+
+Result<int> GbdtClassifier::Predict(const std::vector<double>& row) const {
+  ETSC_ASSIGN_OR_RETURN(std::vector<double> proba, PredictProba(row));
+  const size_t best = static_cast<size_t>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+  return class_labels_[best];
+}
+
+}  // namespace etsc

@@ -1,0 +1,52 @@
+#ifndef ETSC_ML_GBDT_H_
+#define ETSC_ML_GBDT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/status.h"
+#include "ml/decision_tree.h"
+
+namespace etsc {
+
+/// Configuration for gradient-boosted trees (softmax objective). Stands in for
+/// XGBoost as ECONOMY-K's per-time-point base classifier.
+struct GbdtOptions {
+  size_t num_rounds = 40;
+  double learning_rate = 0.2;
+  double subsample = 1.0;  // row subsampling fraction per round
+  RegressionTreeOptions tree;
+};
+
+/// Multiclass gradient boosting with Newton leaf values: per round, one
+/// regression tree per class fits the softmax gradient (y_k - p_k) with
+/// hessian p_k (1 - p_k).
+class GbdtClassifier {
+ public:
+  explicit GbdtClassifier(GbdtOptions options = {}) : options_(options) {}
+
+  /// Trains on a dense feature matrix. `rng` drives row subsampling and may be
+  /// null when subsample == 1.0.
+  Status Fit(const std::vector<std::vector<double>>& features,
+             const std::vector<int>& labels, Rng* rng = nullptr);
+
+  /// Class probabilities ordered as class_labels().
+  Result<std::vector<double>> PredictProba(const std::vector<double>& row) const;
+
+  /// Most probable class label.
+  Result<int> Predict(const std::vector<double>& row) const;
+
+  const std::vector<int>& class_labels() const { return class_labels_; }
+  bool fitted() const { return !class_labels_.empty(); }
+
+ private:
+  GbdtOptions options_;
+  std::vector<int> class_labels_;
+  std::vector<double> base_scores_;                 // per class log-prior
+  std::vector<std::vector<RegressionTree>> trees_;  // [round][class]
+};
+
+}  // namespace etsc
+
+#endif  // ETSC_ML_GBDT_H_

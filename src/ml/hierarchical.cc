@@ -1,0 +1,126 @@
+#include "ml/hierarchical.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace etsc {
+
+namespace {
+
+// Lance-Williams style cluster distance over leaf members.
+double ClusterDistance(const std::vector<size_t>& a, const std::vector<size_t>& b,
+                       const std::vector<std::vector<double>>& d, Linkage linkage) {
+  double best = linkage == Linkage::kComplete
+                    ? 0.0
+                    : std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (size_t i : a) {
+    for (size_t j : b) {
+      const double dij = d[i][j];
+      switch (linkage) {
+        case Linkage::kSingle:
+          best = std::min(best, dij);
+          break;
+        case Linkage::kComplete:
+          best = std::max(best, dij);
+          break;
+        case Linkage::kAverage:
+          sum += dij;
+          break;
+      }
+    }
+  }
+  if (linkage == Linkage::kAverage) {
+    return sum / static_cast<double>(a.size() * b.size());
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<std::vector<MergeStep>> AgglomerativeCluster(
+    const std::vector<std::vector<double>>& distances, Linkage linkage) {
+  const size_t n = distances.size();
+  if (n == 0) return Status::InvalidArgument("AgglomerativeCluster: empty matrix");
+  for (const auto& row : distances) {
+    if (row.size() != n) {
+      return Status::InvalidArgument("AgglomerativeCluster: matrix not square");
+    }
+  }
+
+  // Active clusters: id -> leaf members.
+  struct Cluster {
+    size_t id;
+    std::vector<size_t> members;
+  };
+  std::vector<Cluster> active;
+  active.reserve(n);
+  for (size_t i = 0; i < n; ++i) active.push_back({i, {i}});
+
+  std::vector<MergeStep> merges;
+  merges.reserve(n > 0 ? n - 1 : 0);
+  size_t next_id = n;
+
+  while (active.size() > 1) {
+    size_t best_a = 0, best_b = 1;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (size_t a = 0; a < active.size(); ++a) {
+      for (size_t b = a + 1; b < active.size(); ++b) {
+        const double d =
+            ClusterDistance(active[a].members, active[b].members, distances, linkage);
+        if (d < best_d) {
+          best_d = d;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    MergeStep step;
+    step.a = active[best_a].id;
+    step.b = active[best_b].id;
+    step.merged_id = next_id++;
+    step.distance = best_d;
+    step.members = active[best_a].members;
+    step.members.insert(step.members.end(), active[best_b].members.begin(),
+                        active[best_b].members.end());
+    std::sort(step.members.begin(), step.members.end());
+
+    Cluster merged{step.merged_id, step.members};
+    // Remove b first (higher index), then a.
+    active.erase(active.begin() + static_cast<ptrdiff_t>(best_b));
+    active.erase(active.begin() + static_cast<ptrdiff_t>(best_a));
+    active.push_back(std::move(merged));
+    merges.push_back(std::move(step));
+  }
+  return merges;
+}
+
+Result<std::vector<size_t>> CutDendrogram(const std::vector<MergeStep>& merges,
+                                          size_t num_leaves, size_t k) {
+  if (k == 0 || k > num_leaves) {
+    return Status::InvalidArgument("CutDendrogram: k out of range");
+  }
+  // Apply the first (num_leaves - k) merges.
+  std::vector<size_t> labels(num_leaves);
+  for (size_t i = 0; i < num_leaves; ++i) labels[i] = i;
+  const size_t steps = num_leaves - k;
+  if (steps > merges.size()) {
+    return Status::InvalidArgument("CutDendrogram: not enough merge steps");
+  }
+  for (size_t s = 0; s < steps; ++s) {
+    // Relabel the merged members to a common label (smallest member).
+    const auto& members = merges[s].members;
+    const size_t target = *std::min_element(members.begin(), members.end());
+    for (size_t leaf : members) labels[leaf] = labels[target];
+  }
+  // Compact labels to [0, k).
+  std::vector<size_t> remap(num_leaves, std::numeric_limits<size_t>::max());
+  size_t next = 0;
+  for (auto& l : labels) {
+    if (remap[l] == std::numeric_limits<size_t>::max()) remap[l] = next++;
+    l = remap[l];
+  }
+  return labels;
+}
+
+}  // namespace etsc

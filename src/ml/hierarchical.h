@@ -1,0 +1,42 @@
+#ifndef ETSC_ML_HIERARCHICAL_H_
+#define ETSC_ML_HIERARCHICAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/status.h"
+
+namespace etsc {
+
+/// Linkage criteria for agglomerative clustering.
+enum class Linkage {
+  kSingle,    // min pairwise distance
+  kComplete,  // max pairwise distance
+  kAverage,   // mean pairwise distance
+};
+
+/// One merge step of the dendrogram: clusters `a` and `b` (ids) merge into a
+/// new cluster with id `merged_id` at the given distance. Leaf ids are
+/// 0..n-1; merged ids continue from n upward, mirroring scipy's convention.
+struct MergeStep {
+  size_t a = 0;
+  size_t b = 0;
+  size_t merged_id = 0;
+  double distance = 0.0;
+  std::vector<size_t> members;  // leaf indices of the merged cluster
+};
+
+/// Agglomerative hierarchical clustering over a precomputed symmetric distance
+/// matrix (n×n). Returns the full merge sequence (n-1 steps). ECTS walks this
+/// sequence to propagate Minimum Prediction Lengths through cluster merges.
+Result<std::vector<MergeStep>> AgglomerativeCluster(
+    const std::vector<std::vector<double>>& distances, Linkage linkage);
+
+/// Cuts the dendrogram so that exactly `k` clusters remain; returns per-leaf
+/// cluster labels in [0, k).
+Result<std::vector<size_t>> CutDendrogram(const std::vector<MergeStep>& merges,
+                                          size_t num_leaves, size_t k);
+
+}  // namespace etsc
+
+#endif  // ETSC_ML_HIERARCHICAL_H_

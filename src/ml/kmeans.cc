@@ -1,0 +1,151 @@
+#include "ml/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/time_series.h"
+
+namespace etsc {
+
+namespace {
+
+double Sq(const std::vector<double>& a, const std::vector<double>& b) {
+  return SquaredEuclidean(a, b);
+}
+
+// k-means++ seeding: first centre uniform, later centres with probability
+// proportional to squared distance to the nearest chosen centre.
+std::vector<std::vector<double>> SeedPlusPlus(
+    const std::vector<std::vector<double>>& points, size_t k, Rng* rng) {
+  std::vector<std::vector<double>> centroids;
+  centroids.push_back(points[rng->Index(points.size())]);
+  std::vector<double> dist2(points.size(),
+                            std::numeric_limits<double>::infinity());
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      dist2[i] = std::min(dist2[i], Sq(points[i], centroids.back()));
+      total += dist2[i];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with chosen centres; duplicate one.
+      centroids.push_back(points[rng->Index(points.size())]);
+      continue;
+    }
+    double r = rng->Uniform() * total;
+    size_t chosen = points.size() - 1;
+    for (size_t i = 0; i < points.size(); ++i) {
+      r -= dist2[i];
+      if (r <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+size_t KMeansModel::Assign(const std::vector<double>& point) const {
+  ETSC_DCHECK(!centroids.empty());
+  size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centroids.size(); ++c) {
+    const double d = Sq(point, centroids[c]);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::vector<double> KMeansModel::MembershipProbabilities(
+    const std::vector<double>& point) const {
+  std::vector<double> probs(centroids.size(), 0.0);
+  if (centroids.empty()) return probs;
+  // Average-distance-based soft membership as in the ECONOMY papers: a
+  // logistic of how much closer than the average this cluster is.
+  std::vector<double> dist(centroids.size());
+  double mean_dist = 0.0;
+  for (size_t c = 0; c < centroids.size(); ++c) {
+    dist[c] = std::sqrt(Sq(point, centroids[c]));
+    mean_dist += dist[c];
+  }
+  mean_dist /= static_cast<double>(centroids.size());
+  double total = 0.0;
+  for (size_t c = 0; c < centroids.size(); ++c) {
+    const double delta =
+        mean_dist > 0.0 ? (mean_dist - dist[c]) / mean_dist : 0.0;
+    probs[c] = 1.0 / (1.0 + std::exp(-6.0 * delta));
+    total += probs[c];
+  }
+  if (total > 0.0) {
+    for (double& p : probs) p /= total;
+  } else {
+    std::fill(probs.begin(), probs.end(), 1.0 / static_cast<double>(probs.size()));
+  }
+  return probs;
+}
+
+Result<KMeansModel> KMeansFit(const std::vector<std::vector<double>>& points,
+                              const KMeansOptions& options, Rng* rng) {
+  if (points.empty()) {
+    return Status::InvalidArgument("KMeansFit: no points");
+  }
+  const size_t dim = points[0].size();
+  for (const auto& p : points) {
+    if (p.size() != dim) {
+      return Status::InvalidArgument("KMeansFit: points differ in dimension");
+    }
+  }
+  const size_t k = std::max<size_t>(1, std::min(options.num_clusters, points.size()));
+
+  KMeansModel model;
+  model.centroids = SeedPlusPlus(points, k, rng);
+  model.assignments.assign(points.size(), 0);
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Assignment step.
+    for (size_t i = 0; i < points.size(); ++i) {
+      model.assignments[i] = model.Assign(points[i]);
+    }
+    // Update step.
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dim, 0.0));
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      const size_t c = model.assignments[i];
+      ++counts[c];
+      for (size_t d = 0; d < dim; ++d) sums[c][d] += points[i][d];
+    }
+    double movement = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point.
+        model.centroids[c] = points[rng->Index(points.size())];
+        movement += 1.0;
+        continue;
+      }
+      std::vector<double> next(dim);
+      for (size_t d = 0; d < dim; ++d) {
+        next[d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+      movement += std::sqrt(Sq(model.centroids[c], next));
+      model.centroids[c] = std::move(next);
+    }
+    if (movement < options.tolerance) break;
+  }
+
+  // Final assignment + inertia.
+  model.inertia = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    model.assignments[i] = model.Assign(points[i]);
+    model.inertia += Sq(points[i], model.centroids[model.assignments[i]]);
+  }
+  return model;
+}
+
+}  // namespace etsc

@@ -1,0 +1,40 @@
+#ifndef ETSC_ML_KMEANS_H_
+#define ETSC_ML_KMEANS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/status.h"
+
+namespace etsc {
+
+/// Configuration for Lloyd's algorithm with k-means++ seeding.
+struct KMeansOptions {
+  size_t num_clusters = 3;
+  size_t max_iterations = 100;
+  double tolerance = 1e-6;  // stop when centroid movement falls below this
+};
+
+/// Result of a k-means fit over fixed-length feature vectors.
+struct KMeansModel {
+  std::vector<std::vector<double>> centroids;  // num_clusters × dim
+  std::vector<size_t> assignments;             // per training point
+  double inertia = 0.0;                        // sum of squared distances
+
+  /// Index of the nearest centroid for `point`.
+  size_t Assign(const std::vector<double>& point) const;
+
+  /// Softmax-style membership probabilities over clusters computed from
+  /// negative distances; used by ECONOMY-K's cluster membership P(g_k | X).
+  std::vector<double> MembershipProbabilities(const std::vector<double>& point) const;
+};
+
+/// Runs k-means++ then Lloyd iterations. All points must share one dimension
+/// and there must be at least one point; `k` is clamped to the point count.
+Result<KMeansModel> KMeansFit(const std::vector<std::vector<double>>& points,
+                              const KMeansOptions& options, Rng* rng);
+
+}  // namespace etsc
+
+#endif  // ETSC_ML_KMEANS_H_

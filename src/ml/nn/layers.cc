@@ -1,0 +1,475 @@
+#include "ml/nn/layers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/status.h"
+
+namespace etsc::nn {
+
+// ---------------------------------------------------------------- Conv1D
+
+Conv1D::Conv1D(size_t in_channels, size_t out_channels, size_t kernel_size,
+               Rng* rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_size_(kernel_size),
+      weights_(in_channels * out_channels * kernel_size),
+      bias_(out_channels) {
+  weights_.GlorotInit(in_channels * kernel_size, out_channels, rng);
+}
+
+Batch Conv1D::Forward(const Batch& input) {
+  input_ = input;
+  Batch output(input.size());
+  const int pad = static_cast<int>(kernel_size_ - 1) / 2;
+  for (size_t b = 0; b < input.size(); ++b) {
+    const size_t time = input[b].empty() ? 0 : input[b][0].size();
+    output[b] = MakeMap(out_channels_, time);
+    for (size_t oc = 0; oc < out_channels_; ++oc) {
+      for (size_t t = 0; t < time; ++t) {
+        double sum = bias_.value[oc];
+        for (size_t ic = 0; ic < in_channels_; ++ic) {
+          for (size_t k = 0; k < kernel_size_; ++k) {
+            const int src = static_cast<int>(t) + static_cast<int>(k) - pad;
+            if (src < 0 || src >= static_cast<int>(time)) continue;
+            sum += W(oc, ic, k) * input[b][ic][static_cast<size_t>(src)];
+          }
+        }
+        output[b][oc][t] = sum;
+      }
+    }
+  }
+  return output;
+}
+
+Batch Conv1D::Backward(const Batch& grad_out) {
+  Batch grad_in(input_.size());
+  const int pad = static_cast<int>(kernel_size_ - 1) / 2;
+  for (size_t b = 0; b < input_.size(); ++b) {
+    const size_t time = input_[b].empty() ? 0 : input_[b][0].size();
+    grad_in[b] = MakeMap(in_channels_, time);
+    for (size_t oc = 0; oc < out_channels_; ++oc) {
+      for (size_t t = 0; t < time; ++t) {
+        const double g = grad_out[b][oc][t];
+        if (g == 0.0) continue;
+        bias_.grad[oc] += g;
+        for (size_t ic = 0; ic < in_channels_; ++ic) {
+          for (size_t k = 0; k < kernel_size_; ++k) {
+            const int src = static_cast<int>(t) + static_cast<int>(k) - pad;
+            if (src < 0 || src >= static_cast<int>(time)) continue;
+            dW(oc, ic, k) += g * input_[b][ic][static_cast<size_t>(src)];
+            grad_in[b][ic][static_cast<size_t>(src)] += g * W(oc, ic, k);
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+// ------------------------------------------------------------ BatchNorm1D
+
+BatchNorm1D::BatchNorm1D(size_t channels, double momentum, double eps)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_(channels),
+      beta_(channels),
+      running_mean_(channels, 0.0),
+      running_var_(channels, 1.0) {
+  std::fill(gamma_.value.begin(), gamma_.value.end(), 1.0);
+}
+
+Batch BatchNorm1D::Forward(const Batch& input, bool training) {
+  Batch output(input.size());
+  if (input.empty()) return output;
+
+  std::vector<double> mean(channels_, 0.0), var(channels_, 0.0);
+  if (training) {
+    size_t count = 0;
+    for (const auto& fm : input) {
+      for (size_t c = 0; c < channels_; ++c) {
+        for (double v : fm[c]) mean[c] += v;
+      }
+      count += fm.empty() ? 0 : fm[0].size();
+    }
+    for (size_t c = 0; c < channels_; ++c) {
+      mean[c] /= std::max<size_t>(count, 1);
+    }
+    for (const auto& fm : input) {
+      for (size_t c = 0; c < channels_; ++c) {
+        for (double v : fm[c]) var[c] += (v - mean[c]) * (v - mean[c]);
+      }
+    }
+    for (size_t c = 0; c < channels_; ++c) {
+      var[c] /= std::max<size_t>(count, 1);
+      running_mean_[c] = momentum_ * running_mean_[c] + (1 - momentum_) * mean[c];
+      running_var_[c] = momentum_ * running_var_[c] + (1 - momentum_) * var[c];
+    }
+  } else {
+    mean = running_mean_;
+    var = running_var_;
+  }
+
+  batch_mean_ = mean;
+  batch_inv_std_.assign(channels_, 0.0);
+  for (size_t c = 0; c < channels_; ++c) {
+    batch_inv_std_[c] = 1.0 / std::sqrt(var[c] + eps_);
+  }
+
+  normalized_.assign(input.size(), {});
+  for (size_t b = 0; b < input.size(); ++b) {
+    const size_t time = input[b].empty() ? 0 : input[b][0].size();
+    normalized_[b] = MakeMap(channels_, time);
+    output[b] = MakeMap(channels_, time);
+    for (size_t c = 0; c < channels_; ++c) {
+      for (size_t t = 0; t < time; ++t) {
+        const double norm = (input[b][c][t] - mean[c]) * batch_inv_std_[c];
+        normalized_[b][c][t] = norm;
+        output[b][c][t] = gamma_.value[c] * norm + beta_.value[c];
+      }
+    }
+  }
+  return output;
+}
+
+Batch BatchNorm1D::Backward(const Batch& grad_out) {
+  // Standard batch-norm backward over N = batch*time elements per channel.
+  Batch grad_in(grad_out.size());
+  size_t count = 0;
+  for (const auto& fm : grad_out) count += fm.empty() ? 0 : fm[0].size();
+  const double n = static_cast<double>(std::max<size_t>(count, 1));
+
+  std::vector<double> sum_dy(channels_, 0.0), sum_dy_xhat(channels_, 0.0);
+  for (size_t b = 0; b < grad_out.size(); ++b) {
+    for (size_t c = 0; c < channels_; ++c) {
+      for (size_t t = 0; t < grad_out[b][c].size(); ++t) {
+        sum_dy[c] += grad_out[b][c][t];
+        sum_dy_xhat[c] += grad_out[b][c][t] * normalized_[b][c][t];
+      }
+    }
+  }
+  for (size_t c = 0; c < channels_; ++c) {
+    beta_.grad[c] += sum_dy[c];
+    gamma_.grad[c] += sum_dy_xhat[c];
+  }
+  for (size_t b = 0; b < grad_out.size(); ++b) {
+    const size_t time = grad_out[b].empty() ? 0 : grad_out[b][0].size();
+    grad_in[b] = MakeMap(channels_, time);
+    for (size_t c = 0; c < channels_; ++c) {
+      const double scale = gamma_.value[c] * batch_inv_std_[c];
+      for (size_t t = 0; t < time; ++t) {
+        grad_in[b][c][t] =
+            scale * (grad_out[b][c][t] - sum_dy[c] / n -
+                     normalized_[b][c][t] * sum_dy_xhat[c] / n);
+      }
+    }
+  }
+  return grad_in;
+}
+
+// -------------------------------------------------------------------- ReLU
+
+Batch ReLU::Forward(const Batch& input) {
+  mask_ = input;
+  Batch output = input;
+  for (size_t b = 0; b < output.size(); ++b) {
+    for (auto& channel : output[b]) {
+      for (double& v : channel) v = std::max(v, 0.0);
+    }
+  }
+  return output;
+}
+
+Batch ReLU::Backward(const Batch& grad_out) {
+  Batch grad_in = grad_out;
+  for (size_t b = 0; b < grad_in.size(); ++b) {
+    for (size_t c = 0; c < grad_in[b].size(); ++c) {
+      for (size_t t = 0; t < grad_in[b][c].size(); ++t) {
+        if (mask_[b][c][t] <= 0.0) grad_in[b][c][t] = 0.0;
+      }
+    }
+  }
+  return grad_in;
+}
+
+// ------------------------------------------------------------ SqueezeExcite
+
+SqueezeExcite::SqueezeExcite(size_t channels, size_t reduction, Rng* rng)
+    : channels_(channels),
+      hidden_(std::max<size_t>(1, channels / std::max<size_t>(reduction, 1))),
+      w1_(channels_ * hidden_),
+      b1_(hidden_),
+      w2_(hidden_ * channels_),
+      b2_(channels_) {
+  w1_.GlorotInit(channels_, hidden_, rng);
+  w2_.GlorotInit(hidden_, channels_, rng);
+}
+
+Batch SqueezeExcite::Forward(const Batch& input) {
+  input_ = input;
+  const size_t n = input.size();
+  z_.assign(n, std::vector<double>(channels_, 0.0));
+  h_.assign(n, std::vector<double>(hidden_, 0.0));
+  s_.assign(n, std::vector<double>(channels_, 0.0));
+  Batch output(n);
+  for (size_t b = 0; b < n; ++b) {
+    const size_t time = input[b].empty() ? 0 : input[b][0].size();
+    // Squeeze: global average per channel.
+    for (size_t c = 0; c < channels_; ++c) {
+      double sum = 0.0;
+      for (double v : input[b][c]) sum += v;
+      z_[b][c] = time > 0 ? sum / static_cast<double>(time) : 0.0;
+    }
+    // Excite: c -> hidden (ReLU) -> c (sigmoid).
+    for (size_t j = 0; j < hidden_; ++j) {
+      double sum = b1_.value[j];
+      for (size_t c = 0; c < channels_; ++c) {
+        sum += w1_.value[j * channels_ + c] * z_[b][c];
+      }
+      h_[b][j] = std::max(sum, 0.0);
+    }
+    for (size_t c = 0; c < channels_; ++c) {
+      double sum = b2_.value[c];
+      for (size_t j = 0; j < hidden_; ++j) {
+        sum += w2_.value[c * hidden_ + j] * h_[b][j];
+      }
+      s_[b][c] = 1.0 / (1.0 + std::exp(-sum));
+    }
+    // Scale.
+    output[b] = MakeMap(channels_, time);
+    for (size_t c = 0; c < channels_; ++c) {
+      for (size_t t = 0; t < time; ++t) {
+        output[b][c][t] = input[b][c][t] * s_[b][c];
+      }
+    }
+  }
+  return output;
+}
+
+Batch SqueezeExcite::Backward(const Batch& grad_out) {
+  const size_t n = grad_out.size();
+  Batch grad_in(n);
+  for (size_t b = 0; b < n; ++b) {
+    const size_t time = grad_out[b].empty() ? 0 : grad_out[b][0].size();
+    grad_in[b] = MakeMap(channels_, time);
+    // d s[c] and the pass-through term.
+    std::vector<double> ds(channels_, 0.0);
+    for (size_t c = 0; c < channels_; ++c) {
+      for (size_t t = 0; t < time; ++t) {
+        grad_in[b][c][t] = grad_out[b][c][t] * s_[b][c];
+        ds[c] += grad_out[b][c][t] * input_[b][c][t];
+      }
+    }
+    // Through the sigmoid.
+    std::vector<double> dpre2(channels_);
+    for (size_t c = 0; c < channels_; ++c) {
+      dpre2[c] = ds[c] * s_[b][c] * (1.0 - s_[b][c]);
+      b2_.grad[c] += dpre2[c];
+    }
+    // Through the second dense into h.
+    std::vector<double> dh(hidden_, 0.0);
+    for (size_t c = 0; c < channels_; ++c) {
+      for (size_t j = 0; j < hidden_; ++j) {
+        w2_.grad[c * hidden_ + j] += dpre2[c] * h_[b][j];
+        dh[j] += dpre2[c] * w2_.value[c * hidden_ + j];
+      }
+    }
+    // Through the ReLU and first dense into z.
+    std::vector<double> dz(channels_, 0.0);
+    for (size_t j = 0; j < hidden_; ++j) {
+      if (h_[b][j] <= 0.0) continue;
+      b1_.grad[j] += dh[j];
+      for (size_t c = 0; c < channels_; ++c) {
+        w1_.grad[j * channels_ + c] += dh[j] * z_[b][c];
+        dz[c] += dh[j] * w1_.value[j * channels_ + c];
+      }
+    }
+    // Through the average pooling back into the input.
+    if (time > 0) {
+      for (size_t c = 0; c < channels_; ++c) {
+        const double spread = dz[c] / static_cast<double>(time);
+        for (size_t t = 0; t < time; ++t) grad_in[b][c][t] += spread;
+      }
+    }
+  }
+  return grad_in;
+}
+
+// ---------------------------------------------------------- GlobalAvgPool
+
+std::vector<std::vector<double>> GlobalAvgPool::Forward(const Batch& input) {
+  std::vector<std::vector<double>> output(input.size());
+  time_.assign(input.size(), 0);
+  channels_ = input.empty() ? 0 : input[0].size();
+  for (size_t b = 0; b < input.size(); ++b) {
+    const size_t time = input[b].empty() ? 0 : input[b][0].size();
+    time_[b] = time;
+    output[b].assign(channels_, 0.0);
+    for (size_t c = 0; c < channels_; ++c) {
+      double sum = 0.0;
+      for (double v : input[b][c]) sum += v;
+      output[b][c] = time > 0 ? sum / static_cast<double>(time) : 0.0;
+    }
+  }
+  return output;
+}
+
+Batch GlobalAvgPool::Backward(const std::vector<std::vector<double>>& grad_out) {
+  Batch grad_in(grad_out.size());
+  for (size_t b = 0; b < grad_out.size(); ++b) {
+    grad_in[b] = MakeMap(channels_, time_[b]);
+    if (time_[b] == 0) continue;
+    for (size_t c = 0; c < channels_; ++c) {
+      const double spread = grad_out[b][c] / static_cast<double>(time_[b]);
+      for (size_t t = 0; t < time_[b]; ++t) grad_in[b][c][t] = spread;
+    }
+  }
+  return grad_in;
+}
+
+// -------------------------------------------------------------------- Dense
+
+Dense::Dense(size_t in_dim, size_t out_dim, Rng* rng)
+    : in_dim_(in_dim), out_dim_(out_dim), weights_(in_dim * out_dim),
+      bias_(out_dim) {
+  weights_.GlorotInit(in_dim, out_dim, rng);
+}
+
+std::vector<std::vector<double>> Dense::Forward(
+    const std::vector<std::vector<double>>& input) {
+  input_ = input;
+  std::vector<std::vector<double>> output(input.size(),
+                                          std::vector<double>(out_dim_, 0.0));
+  for (size_t b = 0; b < input.size(); ++b) {
+    for (size_t o = 0; o < out_dim_; ++o) {
+      double sum = bias_.value[o];
+      for (size_t i = 0; i < in_dim_; ++i) {
+        sum += weights_.value[o * in_dim_ + i] * input[b][i];
+      }
+      output[b][o] = sum;
+    }
+  }
+  return output;
+}
+
+std::vector<std::vector<double>> Dense::Backward(
+    const std::vector<std::vector<double>>& grad_out) {
+  std::vector<std::vector<double>> grad_in(grad_out.size(),
+                                           std::vector<double>(in_dim_, 0.0));
+  for (size_t b = 0; b < grad_out.size(); ++b) {
+    for (size_t o = 0; o < out_dim_; ++o) {
+      const double g = grad_out[b][o];
+      if (g == 0.0) continue;
+      bias_.grad[o] += g;
+      for (size_t i = 0; i < in_dim_; ++i) {
+        weights_.grad[o * in_dim_ + i] += g * input_[b][i];
+        grad_in[b][i] += g * weights_.value[o * in_dim_ + i];
+      }
+    }
+  }
+  return grad_in;
+}
+
+// ------------------------------------------------------------------ Dropout
+
+std::vector<std::vector<double>> Dropout::Forward(
+    const std::vector<std::vector<double>>& input, bool training, Rng* rng) {
+  if (!training || rate_ <= 0.0) {
+    mask_.clear();
+    return input;
+  }
+  const double keep = 1.0 - rate_;
+  mask_.assign(input.size(), {});
+  std::vector<std::vector<double>> output = input;
+  for (size_t b = 0; b < input.size(); ++b) {
+    mask_[b].assign(input[b].size(), 0.0);
+    for (size_t i = 0; i < input[b].size(); ++i) {
+      if (rng->Uniform() < keep) {
+        mask_[b][i] = 1.0 / keep;
+      }
+      output[b][i] = input[b][i] * mask_[b][i];
+    }
+  }
+  return output;
+}
+
+std::vector<std::vector<double>> Dropout::Backward(
+    const std::vector<std::vector<double>>& grad_out) {
+  if (mask_.empty()) return grad_out;
+  std::vector<std::vector<double>> grad_in = grad_out;
+  for (size_t b = 0; b < grad_in.size(); ++b) {
+    for (size_t i = 0; i < grad_in[b].size(); ++i) {
+      grad_in[b][i] *= mask_[b][i];
+    }
+  }
+  return grad_in;
+}
+
+// ------------------------------------------------- SoftmaxCrossEntropy
+
+std::vector<std::vector<double>> SoftmaxCrossEntropy::Probabilities(
+    const std::vector<std::vector<double>>& logits) {
+  std::vector<std::vector<double>> probs = logits;
+  for (auto& row : probs) {
+    const double max_logit = *std::max_element(row.begin(), row.end());
+    double total = 0.0;
+    for (double& v : row) {
+      v = std::exp(v - max_logit);
+      total += v;
+    }
+    for (double& v : row) v /= total;
+  }
+  return probs;
+}
+
+double SoftmaxCrossEntropy::LossAndGrad(
+    const std::vector<std::vector<double>>& logits,
+    const std::vector<size_t>& targets,
+    std::vector<std::vector<double>>* grad) {
+  ETSC_CHECK(logits.size() == targets.size());
+  const auto probs = Probabilities(logits);
+  const double inv_n = 1.0 / static_cast<double>(std::max<size_t>(1, logits.size()));
+  double loss = 0.0;
+  *grad = probs;
+  for (size_t b = 0; b < logits.size(); ++b) {
+    loss -= std::log(std::max(probs[b][targets[b]], 1e-12));
+    (*grad)[b][targets[b]] -= 1.0;
+    for (double& g : (*grad)[b]) g *= inv_n;
+  }
+  return loss * inv_n;
+}
+
+// --------------------------------------------------------------------- Adam
+
+void Adam::Register(const std::vector<Param*>& params) {
+  for (Param* p : params) {
+    params_.push_back(p);
+    m_.emplace_back(p->value.size(), 0.0);
+    v_.emplace_back(p->value.size(), 0.0);
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t p = 0; p < params_.size(); ++p) {
+    auto& value = params_[p]->value;
+    auto& grad = params_[p]->grad;
+    for (size_t i = 0; i < value.size(); ++i) {
+      m_[p][i] = beta1_ * m_[p][i] + (1 - beta1_) * grad[i];
+      v_[p][i] = beta2_ * v_[p][i] + (1 - beta2_) * grad[i] * grad[i];
+      const double mhat = m_[p][i] / bc1;
+      const double vhat = v_[p][i] / bc2;
+      value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (Param* p : params_) p->ZeroGrad();
+}
+
+}  // namespace etsc::nn

@@ -1,0 +1,159 @@
+#ifndef ETSC_ML_NN_LAYERS_H_
+#define ETSC_ML_NN_LAYERS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.h"
+#include "ml/nn/tensor.h"
+
+namespace etsc::nn {
+
+/// 1-D convolution over time with "same" zero padding.
+class Conv1D {
+ public:
+  Conv1D(size_t in_channels, size_t out_channels, size_t kernel_size, Rng* rng);
+
+  Batch Forward(const Batch& input);
+  Batch Backward(const Batch& grad_out);
+  std::vector<Param*> Params() { return {&weights_, &bias_}; }
+
+  size_t out_channels() const { return out_channels_; }
+
+ private:
+  double& W(size_t oc, size_t ic, size_t k) {
+    return weights_.value[(oc * in_channels_ + ic) * kernel_size_ + k];
+  }
+  double& dW(size_t oc, size_t ic, size_t k) {
+    return weights_.grad[(oc * in_channels_ + ic) * kernel_size_ + k];
+  }
+
+  size_t in_channels_, out_channels_, kernel_size_;
+  Param weights_, bias_;
+  Batch input_;  // cached for backward
+};
+
+/// Batch normalisation per channel over (batch, time), with running statistics
+/// for inference.
+class BatchNorm1D {
+ public:
+  explicit BatchNorm1D(size_t channels, double momentum = 0.9, double eps = 1e-5);
+
+  Batch Forward(const Batch& input, bool training);
+  Batch Backward(const Batch& grad_out);
+  std::vector<Param*> Params() { return {&gamma_, &beta_}; }
+
+ private:
+  size_t channels_;
+  double momentum_, eps_;
+  Param gamma_, beta_;
+  std::vector<double> running_mean_, running_var_;
+  // Cached forward state.
+  Batch normalized_;
+  std::vector<double> batch_mean_, batch_inv_std_;
+};
+
+/// Element-wise rectified linear unit.
+class ReLU {
+ public:
+  Batch Forward(const Batch& input);
+  Batch Backward(const Batch& grad_out);
+
+ private:
+  Batch mask_;
+};
+
+/// Squeeze-and-Excitation block: global-average-pooled channel descriptor ->
+/// bottleneck MLP -> sigmoid channel gates (Hu et al. 2018; used by MLSTM-FCN).
+class SqueezeExcite {
+ public:
+  SqueezeExcite(size_t channels, size_t reduction, Rng* rng);
+
+  Batch Forward(const Batch& input);
+  Batch Backward(const Batch& grad_out);
+  std::vector<Param*> Params() { return {&w1_, &b1_, &w2_, &b2_}; }
+
+ private:
+  size_t channels_, hidden_;
+  Param w1_, b1_, w2_, b2_;
+  // Cached forward state per sample.
+  Batch input_;
+  std::vector<std::vector<double>> z_, h_, s_;  // squeeze, hidden(relu), gates
+};
+
+/// Mean over time per channel: FeatureMap(C×T) -> vector(C).
+class GlobalAvgPool {
+ public:
+  std::vector<std::vector<double>> Forward(const Batch& input);
+  Batch Backward(const std::vector<std::vector<double>>& grad_out);
+
+ private:
+  size_t channels_ = 0;
+  std::vector<size_t> time_;  // per sample
+};
+
+/// Fully connected layer over per-sample vectors.
+class Dense {
+ public:
+  Dense(size_t in_dim, size_t out_dim, Rng* rng);
+
+  std::vector<std::vector<double>> Forward(
+      const std::vector<std::vector<double>>& input);
+  std::vector<std::vector<double>> Backward(
+      const std::vector<std::vector<double>>& grad_out);
+  std::vector<Param*> Params() { return {&weights_, &bias_}; }
+
+ private:
+  size_t in_dim_, out_dim_;
+  Param weights_, bias_;
+  std::vector<std::vector<double>> input_;
+};
+
+/// Inverted dropout on per-sample vectors (identity at inference).
+class Dropout {
+ public:
+  explicit Dropout(double rate) : rate_(rate) {}
+
+  std::vector<std::vector<double>> Forward(
+      const std::vector<std::vector<double>>& input, bool training, Rng* rng);
+  std::vector<std::vector<double>> Backward(
+      const std::vector<std::vector<double>>& grad_out);
+
+ private:
+  double rate_;
+  std::vector<std::vector<double>> mask_;
+};
+
+/// Softmax + cross-entropy head. Forward returns per-sample probabilities;
+/// LossAndGrad also produces the mean loss and the logits gradient.
+struct SoftmaxCrossEntropy {
+  static std::vector<std::vector<double>> Probabilities(
+      const std::vector<std::vector<double>>& logits);
+
+  /// targets are class indices into the logit vectors.
+  static double LossAndGrad(const std::vector<std::vector<double>>& logits,
+                            const std::vector<size_t>& targets,
+                            std::vector<std::vector<double>>* grad);
+};
+
+/// Adam optimiser over a set of parameter blocks.
+class Adam {
+ public:
+  explicit Adam(double lr = 1e-3, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+  void Register(const std::vector<Param*>& params);
+  void Step();
+  void ZeroGrad();
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  size_t t_ = 0;
+  std::vector<Param*> params_;
+  std::vector<std::vector<double>> m_, v_;
+};
+
+}  // namespace etsc::nn
+
+#endif  // ETSC_ML_NN_LAYERS_H_

@@ -1,0 +1,129 @@
+#include "ml/nn/lstm.h"
+
+#include <cmath>
+
+#include "core/status.h"
+
+namespace etsc::nn {
+
+namespace {
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+}  // namespace
+
+Lstm::Lstm(size_t input_dim, size_t hidden_dim, Rng* rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      w_(4 * hidden_dim * input_dim),
+      u_(4 * hidden_dim * hidden_dim),
+      b_(4 * hidden_dim) {
+  w_.GlorotInit(input_dim, hidden_dim, rng);
+  u_.GlorotInit(hidden_dim, hidden_dim, rng);
+  // Forget-gate bias starts at 1 (standard trick for gradient flow).
+  for (size_t j = 0; j < hidden_dim_; ++j) b_.value[hidden_dim_ + j] = 1.0;
+}
+
+std::vector<std::vector<double>> Lstm::Forward(
+    const std::vector<std::vector<std::vector<double>>>& input) {
+  const size_t n = input.size();
+  cache_.assign(n, {});
+  std::vector<std::vector<double>> final_h(n,
+                                           std::vector<double>(hidden_dim_, 0.0));
+  const size_t H = hidden_dim_;
+  for (size_t bidx = 0; bidx < n; ++bidx) {
+    std::vector<double> h(H, 0.0), c(H, 0.0);
+    cache_[bidx].reserve(input[bidx].size());
+    for (const auto& x : input[bidx]) {
+      ETSC_DCHECK(x.size() == input_dim_);
+      StepCache step;
+      step.input = x;
+      step.c_prev = c;
+      step.i.resize(H);
+      step.f.resize(H);
+      step.g.resize(H);
+      step.o.resize(H);
+      step.c.resize(H);
+      step.h.resize(H);
+      for (size_t j = 0; j < H; ++j) {
+        double pre[4];
+        for (size_t gate = 0; gate < 4; ++gate) {
+          const size_t row = gate * H + j;
+          double sum = b_.value[row];
+          for (size_t k = 0; k < input_dim_; ++k) {
+            sum += w_.value[row * input_dim_ + k] * x[k];
+          }
+          for (size_t k = 0; k < H; ++k) {
+            sum += u_.value[row * H + k] * h[k];
+          }
+          pre[gate] = sum;
+        }
+        step.i[j] = Sigmoid(pre[0]);
+        step.f[j] = Sigmoid(pre[1]);
+        step.g[j] = std::tanh(pre[2]);
+        step.o[j] = Sigmoid(pre[3]);
+        step.c[j] = step.f[j] * c[j] + step.i[j] * step.g[j];
+        step.h[j] = step.o[j] * std::tanh(step.c[j]);
+      }
+      h = step.h;
+      c = step.c;
+      cache_[bidx].push_back(std::move(step));
+    }
+    final_h[bidx] = h;
+  }
+  return final_h;
+}
+
+std::vector<std::vector<std::vector<double>>> Lstm::Backward(
+    const std::vector<std::vector<double>>& grad_out) {
+  const size_t n = cache_.size();
+  const size_t H = hidden_dim_;
+  std::vector<std::vector<std::vector<double>>> grad_in(n);
+  for (size_t bidx = 0; bidx < n; ++bidx) {
+    const auto& steps = cache_[bidx];
+    grad_in[bidx].assign(steps.size(), std::vector<double>(input_dim_, 0.0));
+    std::vector<double> dh = grad_out[bidx];
+    std::vector<double> dc(H, 0.0);
+    for (size_t s = steps.size(); s > 0; --s) {
+      const StepCache& step = steps[s - 1];
+      std::vector<double> dh_prev(H, 0.0);
+      std::vector<double> dc_prev(H, 0.0);
+      // Previous hidden state is the h of step s-2 (zeros at step 0).
+      const std::vector<double>* h_prev = nullptr;
+      if (s >= 2) h_prev = &steps[s - 2].h;
+      for (size_t j = 0; j < H; ++j) {
+        const double tanh_c = std::tanh(step.c[j]);
+        const double do_j = dh[j] * tanh_c;
+        const double dc_total =
+            dc[j] + dh[j] * step.o[j] * (1.0 - tanh_c * tanh_c);
+        const double di = dc_total * step.g[j];
+        const double df = dc_total * step.c_prev[j];
+        const double dg = dc_total * step.i[j];
+        dc_prev[j] = dc_total * step.f[j];
+
+        const double dpre[4] = {
+            di * step.i[j] * (1.0 - step.i[j]),
+            df * step.f[j] * (1.0 - step.f[j]),
+            dg * (1.0 - step.g[j] * step.g[j]),
+            do_j * step.o[j] * (1.0 - step.o[j]),
+        };
+        for (size_t gate = 0; gate < 4; ++gate) {
+          const size_t row = gate * H + j;
+          b_.grad[row] += dpre[gate];
+          for (size_t k = 0; k < input_dim_; ++k) {
+            w_.grad[row * input_dim_ + k] += dpre[gate] * step.input[k];
+            grad_in[bidx][s - 1][k] += dpre[gate] * w_.value[row * input_dim_ + k];
+          }
+          for (size_t k = 0; k < H; ++k) {
+            const double hp = h_prev ? (*h_prev)[k] : 0.0;
+            u_.grad[row * H + k] += dpre[gate] * hp;
+            dh_prev[k] += dpre[gate] * u_.value[row * H + k];
+          }
+        }
+      }
+      dh = std::move(dh_prev);
+      dc = std::move(dc_prev);
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace etsc::nn

@@ -1,0 +1,52 @@
+#ifndef ETSC_ML_NN_LSTM_H_
+#define ETSC_ML_NN_LSTM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.h"
+#include "ml/nn/tensor.h"
+
+namespace etsc::nn {
+
+/// Single-layer LSTM that consumes a sequence (steps × input_dim per sample)
+/// and emits the final hidden state. This is the recurrent branch of
+/// MLSTM-FCN, which feeds the *dimension-shuffled* series (one step per
+/// variable, each step a vector over time) into the LSTM.
+class Lstm {
+ public:
+  Lstm(size_t input_dim, size_t hidden_dim, Rng* rng);
+
+  /// input[b] is a sequence: steps × input_dim. Returns hidden states
+  /// (samples × hidden_dim) after the last step.
+  std::vector<std::vector<double>> Forward(
+      const std::vector<std::vector<std::vector<double>>>& input);
+
+  /// grad_out: samples × hidden_dim gradient of the final hidden state.
+  /// Returns gradient w.r.t. the input sequences.
+  std::vector<std::vector<std::vector<double>>> Backward(
+      const std::vector<std::vector<double>>& grad_out);
+
+  std::vector<Param*> Params() { return {&w_, &u_, &b_}; }
+
+  size_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  struct StepCache {
+    std::vector<double> input;        // x_t
+    std::vector<double> i, f, g, o;   // gate activations
+    std::vector<double> c, h;         // cell and hidden after the step
+    std::vector<double> c_prev;
+  };
+
+  size_t input_dim_, hidden_dim_;
+  // Gate order in all stacked blocks: input, forget, cell(g), output.
+  Param w_;  // 4H × input_dim
+  Param u_;  // 4H × hidden_dim
+  Param b_;  // 4H
+  std::vector<std::vector<StepCache>> cache_;  // [sample][step]
+};
+
+}  // namespace etsc::nn
+
+#endif  // ETSC_ML_NN_LSTM_H_

@@ -1,0 +1,18 @@
+#include "ml/nn/tensor.h"
+
+#include <cmath>
+
+namespace etsc::nn {
+
+void Param::GlorotInit(size_t fan_in, size_t fan_out, Rng* rng) {
+  const double limit =
+      std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (double& v : value) v = rng->Uniform(-limit, limit);
+  ZeroGrad();
+}
+
+FeatureMap MakeMap(size_t channels, size_t time) {
+  return FeatureMap(channels, std::vector<double>(time, 0.0));
+}
+
+}  // namespace etsc::nn

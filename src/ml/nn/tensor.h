@@ -1,0 +1,35 @@
+#ifndef ETSC_ML_NN_TENSOR_H_
+#define ETSC_ML_NN_TENSOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace etsc::nn {
+
+/// A per-sample feature map: channels × time. The layer library processes
+/// batches (std::vector<FeatureMap>) so batch normalisation can see true
+/// batch statistics.
+using FeatureMap = std::vector<std::vector<double>>;
+using Batch = std::vector<FeatureMap>;
+
+/// Flat parameter block with its gradient accumulator.
+struct Param {
+  std::vector<double> value;
+  std::vector<double> grad;
+
+  explicit Param(size_t n = 0) : value(n, 0.0), grad(n, 0.0) {}
+
+  void ZeroGrad() { std::fill(grad.begin(), grad.end(), 0.0); }
+
+  /// Glorot-uniform initialisation for a fan_in×fan_out weight block.
+  void GlorotInit(size_t fan_in, size_t fan_out, Rng* rng);
+};
+
+/// Allocates a zeroed channels×time map.
+FeatureMap MakeMap(size_t channels, size_t time);
+
+}  // namespace etsc::nn
+
+#endif  // ETSC_ML_NN_TENSOR_H_

@@ -1,0 +1,52 @@
+#include "ml/nn_search.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/status.h"
+
+namespace etsc {
+
+size_t NearestNeighbor(const std::vector<std::vector<double>>& points,
+                       const std::vector<double>& query, size_t prefix_len,
+                       size_t exclude) {
+  ETSC_DCHECK(!points.empty());
+  size_t best = points.size();
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t j = 0; j < points.size(); ++j) {
+    if (j == exclude) continue;
+    const size_t n = std::min({prefix_len, points[j].size(), query.size()});
+    double sum = 0.0;
+    for (size_t t = 0; t < n; ++t) {
+      const double d = query[t] - points[j][t];
+      sum += d * d;
+      if (sum >= best_d) break;
+    }
+    if (sum < best_d) {
+      best_d = sum;
+      best = j;
+    }
+  }
+  return best;
+}
+
+std::vector<size_t> AllNearestNeighbors(
+    const std::vector<std::vector<double>>& points, size_t prefix_len) {
+  std::vector<size_t> nearest(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    nearest[i] = NearestNeighbor(points, points[i], prefix_len, i);
+  }
+  return nearest;
+}
+
+std::vector<std::vector<size_t>> ReverseNearestNeighbors(
+    const std::vector<size_t>& nearest) {
+  std::vector<std::vector<size_t>> rnn(nearest.size());
+  for (size_t j = 0; j < nearest.size(); ++j) {
+    const size_t i = nearest[j];
+    if (i < nearest.size()) rnn[i].push_back(j);
+  }
+  return rnn;
+}
+
+}  // namespace etsc

@@ -1,0 +1,28 @@
+#ifndef ETSC_ML_NN_SEARCH_H_
+#define ETSC_ML_NN_SEARCH_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace etsc {
+
+/// Index of the nearest neighbor of `query` among `points` under Euclidean
+/// distance over the first `prefix_len` coordinates, excluding `exclude`
+/// (pass points.size() to exclude nothing). Ties break to the lowest index.
+size_t NearestNeighbor(const std::vector<std::vector<double>>& points,
+                       const std::vector<double>& query, size_t prefix_len,
+                       size_t exclude);
+
+/// For every point i, the index of its 1-NN among the other points using the
+/// first `prefix_len` coordinates.
+std::vector<size_t> AllNearestNeighbors(
+    const std::vector<std::vector<double>>& points, size_t prefix_len);
+
+/// Reverse nearest neighbors: rnn[i] lists every j whose 1-NN is i (under the
+/// given prefix length). The in-degree structure ECTS builds per prefix.
+std::vector<std::vector<size_t>> ReverseNearestNeighbors(
+    const std::vector<size_t>& nearest);
+
+}  // namespace etsc
+
+#endif  // ETSC_ML_NN_SEARCH_H_

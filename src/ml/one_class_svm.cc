@@ -1,0 +1,158 @@
+#include "ml/one_class_svm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/time_series.h"
+
+namespace etsc {
+
+double OneClassSvm::Kernel(const std::vector<double>& a,
+                           const std::vector<double>& b) const {
+  return std::exp(-gamma_ * SquaredEuclidean(a, b));
+}
+
+Status OneClassSvm::Fit(const std::vector<std::vector<double>>& points, Rng* rng) {
+  if (points.empty()) return Status::InvalidArgument("OneClassSvm: no points");
+  if (rng == nullptr) return Status::InvalidArgument("OneClassSvm: rng required");
+  const size_t dim = points[0].size();
+  for (const auto& p : points) {
+    if (p.size() != dim) {
+      return Status::InvalidArgument("OneClassSvm: ragged points");
+    }
+  }
+
+  // Subsample when the training set exceeds the dual-size cap.
+  std::vector<size_t> chosen(points.size());
+  std::iota(chosen.begin(), chosen.end(), 0);
+  if (points.size() > options_.max_training_points) {
+    rng->Shuffle(&chosen);
+    chosen.resize(options_.max_training_points);
+    std::sort(chosen.begin(), chosen.end());
+  }
+  std::vector<std::vector<double>> x;
+  x.reserve(chosen.size());
+  for (size_t i : chosen) x.push_back(points[i]);
+  const size_t n = x.size();
+
+  // Gamma "scale" heuristic: 1 / (dim * variance of all components).
+  if (options_.gamma > 0.0) {
+    gamma_ = options_.gamma;
+  } else {
+    double mean = 0.0, count = 0.0;
+    for (const auto& p : x) {
+      for (double v : p) {
+        mean += v;
+        count += 1.0;
+      }
+    }
+    mean = count > 0 ? mean / count : 0.0;
+    double var = 0.0;
+    for (const auto& p : x) {
+      for (double v : p) var += (v - mean) * (v - mean);
+    }
+    var = count > 0 ? var / count : 1.0;
+    gamma_ = 1.0 / (static_cast<double>(std::max<size_t>(dim, 1)) *
+                    std::max(var, 1e-9));
+  }
+
+  // Kernel matrix.
+  std::vector<std::vector<double>> kmat(n, std::vector<double>(n));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      const double v = Kernel(x[i], x[j]);
+      kmat[i][j] = v;
+      kmat[j][i] = v;
+    }
+  }
+
+  const double ub = 1.0 / (options_.nu * static_cast<double>(n));
+  // Feasible start: α uniform (satisfies Σα = 1, 0 ≤ α ≤ ub since ub ≥ 1/n).
+  std::vector<double> alpha(n, 1.0 / static_cast<double>(n));
+  // Gradient of ½αᵀKα is Kα.
+  std::vector<double> grad(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double g = 0.0;
+    for (size_t j = 0; j < n; ++j) g += kmat[i][j] * alpha[j];
+    grad[i] = g;
+  }
+
+  // Pairwise descent: move mass δ from j to i along e_i - e_j; the optimum of
+  // the 1-D quadratic is δ* = (grad_j - grad_i) / (K_ii + K_jj - 2K_ij).
+  for (size_t iter = 0; iter < options_.max_iters; ++iter) {
+    // Most-violating pair: min gradient among α < ub (can grow), max gradient
+    // among α > 0 (can shrink).
+    size_t best_i = n, best_j = n;
+    double min_g = 1e300, max_g = -1e300;
+    for (size_t t = 0; t < n; ++t) {
+      if (alpha[t] < ub - 1e-12 && grad[t] < min_g) {
+        min_g = grad[t];
+        best_i = t;
+      }
+      if (alpha[t] > 1e-12 && grad[t] > max_g) {
+        max_g = grad[t];
+        best_j = t;
+      }
+    }
+    if (best_i == n || best_j == n || best_i == best_j) break;
+    if (max_g - min_g < 1e-9) break;  // KKT satisfied
+
+    const size_t i = best_i, j = best_j;
+    const double curvature =
+        std::max(kmat[i][i] + kmat[j][j] - 2.0 * kmat[i][j], 1e-12);
+    double delta = (grad[j] - grad[i]) / curvature;
+    delta = std::min(delta, ub - alpha[i]);
+    delta = std::min(delta, alpha[j]);
+    if (delta <= 0.0) break;
+    alpha[i] += delta;
+    alpha[j] -= delta;
+    for (size_t t = 0; t < n; ++t) {
+      grad[t] += delta * (kmat[t][i] - kmat[t][j]);
+    }
+  }
+
+  // Keep support vectors; ρ = mean decision value over margin SVs
+  // (0 < α < ub), falling back to all SVs.
+  support_vectors_.clear();
+  alphas_.clear();
+  std::vector<double> margin_decisions;
+  std::vector<double> all_decisions;
+  for (size_t i = 0; i < n; ++i) {
+    if (alpha[i] > 1e-10) {
+      support_vectors_.push_back(x[i]);
+      alphas_.push_back(alpha[i]);
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (alpha[i] <= 1e-10) continue;
+    double f = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      if (alpha[j] > 1e-10) f += alpha[j] * kmat[i][j];
+    }
+    all_decisions.push_back(f);
+    if (alpha[i] < ub - 1e-10) margin_decisions.push_back(f);
+  }
+  const auto& pool = margin_decisions.empty() ? all_decisions : margin_decisions;
+  rho_ = pool.empty()
+             ? 0.0
+             : std::accumulate(pool.begin(), pool.end(), 0.0) /
+                   static_cast<double>(pool.size());
+  return Status::OK();
+}
+
+Result<double> OneClassSvm::Decision(const std::vector<double>& point) const {
+  if (!fitted()) return Status::FailedPrecondition("OneClassSvm: not fitted");
+  double f = 0.0;
+  for (size_t i = 0; i < support_vectors_.size(); ++i) {
+    f += alphas_[i] * Kernel(support_vectors_[i], point);
+  }
+  return f - rho_;
+}
+
+Result<bool> OneClassSvm::Accepts(const std::vector<double>& point) const {
+  ETSC_ASSIGN_OR_RETURN(double decision, Decision(point));
+  return decision >= 0.0;
+}
+
+}  // namespace etsc

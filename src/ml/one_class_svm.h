@@ -1,0 +1,51 @@
+#ifndef ETSC_ML_ONE_CLASS_SVM_H_
+#define ETSC_ML_ONE_CLASS_SVM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/status.h"
+
+namespace etsc {
+
+/// ν-one-class SVM with an RBF kernel (Schölkopf formulation), the novelty
+/// filter TEASER applies to per-prefix probabilistic predictions.
+struct OneClassSvmOptions {
+  double nu = 0.05;      // upper bound on the outlier fraction
+  double gamma = 0.0;    // RBF width; 0 means the "scale" heuristic
+  size_t max_iters = 20000;
+  size_t max_training_points = 1000;  // subsample cap (keeps the dual small)
+};
+
+class OneClassSvm {
+ public:
+  explicit OneClassSvm(OneClassSvmOptions options = {}) : options_(options) {}
+
+  /// Fits the dual  min ½ αᵀKα  s.t. 0 ≤ αᵢ ≤ 1/(νn), Σαᵢ = 1  by pairwise
+  /// coordinate descent (SMO-style mass transfers between pairs).
+  Status Fit(const std::vector<std::vector<double>>& points, Rng* rng);
+
+  /// Decision value f(x) = Σ αᵢ k(xᵢ, x) − ρ; >= 0 means "accepted" (inlier).
+  Result<double> Decision(const std::vector<double>& point) const;
+
+  /// Convenience: Decision(point) >= 0.
+  Result<bool> Accepts(const std::vector<double>& point) const;
+
+  bool fitted() const { return !support_vectors_.empty(); }
+  double rho() const { return rho_; }
+  size_t num_support_vectors() const { return support_vectors_.size(); }
+
+ private:
+  double Kernel(const std::vector<double>& a, const std::vector<double>& b) const;
+
+  OneClassSvmOptions options_;
+  double gamma_ = 1.0;
+  double rho_ = 0.0;
+  std::vector<std::vector<double>> support_vectors_;
+  std::vector<double> alphas_;
+};
+
+}  // namespace etsc
+
+#endif  // ETSC_ML_ONE_CLASS_SVM_H_

@@ -1,0 +1,227 @@
+#include "ml/sfa.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "ml/fourier.h"
+
+namespace etsc {
+
+double LabelEntropy(const std::vector<int>& labels) {
+  if (labels.empty()) return 0.0;
+  std::map<int, size_t> counts;
+  for (int y : labels) ++counts[y];
+  double entropy = 0.0;
+  const double n = static_cast<double>(labels.size());
+  for (const auto& [label, count] : counts) {
+    const double p = static_cast<double>(count) / n;
+    entropy -= p * std::log(p);
+  }
+  return entropy;
+}
+
+namespace {
+
+// Entropy of labels in data[begin, end).
+double RangeEntropy(const std::vector<std::pair<double, int>>& data,
+                    size_t begin, size_t end) {
+  std::map<int, size_t> counts;
+  for (size_t i = begin; i < end; ++i) ++counts[data[i].second];
+  double entropy = 0.0;
+  const double n = static_cast<double>(end - begin);
+  for (const auto& [label, count] : counts) {
+    const double p = static_cast<double>(count) / n;
+    entropy -= p * std::log(p);
+  }
+  return entropy;
+}
+
+// Finds the single best IG split of data[begin, end); returns the split index
+// (first element of the right part) or begin when no valid split exists.
+size_t BestBinarySplit(const std::vector<std::pair<double, int>>& data,
+                       size_t begin, size_t end) {
+  const double total = static_cast<double>(end - begin);
+  const double parent = RangeEntropy(data, begin, end);
+  double best_gain = 1e-12;
+  size_t best_split = begin;
+  std::map<int, size_t> left_counts;
+  std::map<int, size_t> right_counts;
+  for (size_t i = begin; i < end; ++i) ++right_counts[data[i].second];
+
+  auto entropy_of = [](const std::map<int, size_t>& counts, double n) {
+    double e = 0.0;
+    for (const auto& [label, c] : counts) {
+      if (c == 0) continue;
+      const double p = static_cast<double>(c) / n;
+      e -= p * std::log(p);
+    }
+    return e;
+  };
+
+  for (size_t i = begin; i + 1 < end; ++i) {
+    ++left_counts[data[i].second];
+    auto it = right_counts.find(data[i].second);
+    --it->second;
+    // Can only split between distinct values.
+    if (data[i].first == data[i + 1].first) continue;
+    const double n_left = static_cast<double>(i + 1 - begin);
+    const double n_right = total - n_left;
+    const double gain = parent - (n_left / total) * entropy_of(left_counts, n_left) -
+                        (n_right / total) * entropy_of(right_counts, n_right);
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_split = i + 1;
+    }
+  }
+  return best_split;
+}
+
+}  // namespace
+
+std::vector<double> EquiDepthBins(std::vector<double> values, size_t num_bins) {
+  std::vector<double> bounds;
+  if (num_bins < 2 || values.empty()) return bounds;
+  std::sort(values.begin(), values.end());
+  for (size_t b = 1; b < num_bins; ++b) {
+    const size_t idx = std::min(values.size() - 1, b * values.size() / num_bins);
+    bounds.push_back(values[idx]);
+  }
+  // Boundaries must strictly increase for binary search; nudge duplicates.
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    if (bounds[i] <= bounds[i - 1]) {
+      bounds[i] = std::nextafter(bounds[i - 1], 1e300);
+    }
+  }
+  return bounds;
+}
+
+std::vector<double> InformationGainBins(std::vector<std::pair<double, int>> data,
+                                        size_t num_bins) {
+  std::vector<double> bounds;
+  if (num_bins < 2 || data.size() < 2) return bounds;
+  std::sort(data.begin(), data.end());
+
+  // Greedy recursive splitting: repeatedly split the segment whose best split
+  // yields the highest gain until we have num_bins segments.
+  struct Segment {
+    size_t begin, end;
+  };
+  std::vector<Segment> segments{{0, data.size()}};
+  while (segments.size() < num_bins) {
+    bool split_done = false;
+    size_t best_seg = 0, best_at = 0;
+    double best_len = 0;  // prefer splitting larger segments on gain ties
+    for (size_t s = 0; s < segments.size(); ++s) {
+      const auto& seg = segments[s];
+      if (seg.end - seg.begin < 2) continue;
+      const size_t at = BestBinarySplit(data, seg.begin, seg.end);
+      if (at == seg.begin) continue;
+      const double len = static_cast<double>(seg.end - seg.begin);
+      if (!split_done || len > best_len) {
+        split_done = true;
+        best_seg = s;
+        best_at = at;
+        best_len = len;
+      }
+    }
+    if (!split_done) break;
+    Segment right{best_at, segments[best_seg].end};
+    segments[best_seg].end = best_at;
+    segments.push_back(right);
+  }
+
+  for (const auto& seg : segments) {
+    if (seg.begin > 0) {
+      bounds.push_back(0.5 * (data[seg.begin - 1].first + data[seg.begin].first));
+    }
+  }
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+  // Pad with equi-depth boundaries if IG produced too few splits.
+  if (bounds.size() + 1 < num_bins) {
+    std::vector<double> values;
+    values.reserve(data.size());
+    for (const auto& [v, y] : data) values.push_back(v);
+    for (double b : EquiDepthBins(std::move(values), num_bins)) {
+      if (bounds.size() + 1 >= num_bins) break;
+      if (std::find(bounds.begin(), bounds.end(), b) == bounds.end()) {
+        bounds.push_back(b);
+      }
+    }
+    std::sort(bounds.begin(), bounds.end());
+  }
+  if (bounds.size() > num_bins - 1) bounds.resize(num_bins - 1);
+  return bounds;
+}
+
+Status Sfa::Fit(const std::vector<std::vector<double>>& windows,
+                const std::vector<int>& labels) {
+  if (windows.empty()) return Status::InvalidArgument("Sfa::Fit: no windows");
+  const bool supervised = options_.binning == SfaBinning::kInformationGain;
+  if (supervised && labels.size() != windows.size()) {
+    return Status::InvalidArgument(
+        "Sfa::Fit: information-gain binning needs one label per window");
+  }
+  if (options_.alphabet_size < 2 || options_.alphabet_size > 256) {
+    return Status::InvalidArgument("Sfa::Fit: alphabet_size out of range");
+  }
+  bits_per_symbol_ = 1;
+  while ((1u << bits_per_symbol_) < options_.alphabet_size) ++bits_per_symbol_;
+  if (bits_per_symbol_ * options_.word_length > 63) {
+    return Status::InvalidArgument("Sfa::Fit: word does not fit in 64 bits");
+  }
+
+  // Approximate every training window.
+  std::vector<std::vector<double>> approx(windows.size());
+  for (size_t i = 0; i < windows.size(); ++i) {
+    approx[i] = Approximate(windows[i]);
+  }
+
+  bins_.assign(options_.word_length, {});
+  for (size_t pos = 0; pos < options_.word_length; ++pos) {
+    if (supervised) {
+      std::vector<std::pair<double, int>> data;
+      data.reserve(windows.size());
+      for (size_t i = 0; i < windows.size(); ++i) {
+        data.emplace_back(approx[i][pos], labels[i]);
+      }
+      bins_[pos] = InformationGainBins(std::move(data), options_.alphabet_size);
+    } else {
+      std::vector<double> values;
+      values.reserve(windows.size());
+      for (size_t i = 0; i < windows.size(); ++i) values.push_back(approx[i][pos]);
+      bins_[pos] = EquiDepthBins(std::move(values), options_.alphabet_size);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> Sfa::Approximate(const std::vector<double>& window) const {
+  // word_length real values = ceil(word_length / 2) complex coefficients.
+  const size_t num_coeffs = (options_.word_length + 1) / 2;
+  std::vector<double> coeffs =
+      DftCoefficients(window, num_coeffs, options_.norm_mean);
+  coeffs.resize(options_.word_length, 0.0);
+  return coeffs;
+}
+
+uint64_t Sfa::WordFromApproximation(const std::vector<double>& approx) const {
+  ETSC_DCHECK(fitted());
+  uint64_t word = 0;
+  for (size_t pos = 0; pos < options_.word_length; ++pos) {
+    const double v = pos < approx.size() ? approx[pos] : 0.0;
+    const auto& bounds = bins_[pos];
+    const size_t symbol = static_cast<size_t>(
+        std::upper_bound(bounds.begin(), bounds.end(), v) - bounds.begin());
+    word |= static_cast<uint64_t>(symbol) << (pos * bits_per_symbol_);
+  }
+  return word;
+}
+
+uint64_t Sfa::Word(const std::vector<double>& window) const {
+  return WordFromApproximation(Approximate(window));
+}
+
+}  // namespace etsc

@@ -1,0 +1,76 @@
+#ifndef ETSC_ML_SFA_H_
+#define ETSC_ML_SFA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/status.h"
+
+namespace etsc {
+
+/// How SFA chooses discretisation boundaries per Fourier coefficient.
+enum class SfaBinning {
+  kEquiDepth,        // quantile boundaries
+  kInformationGain,  // supervised entropy-minimising boundaries (WEASEL)
+};
+
+struct SfaOptions {
+  size_t word_length = 4;    // number of real values used (coefficient halves)
+  size_t alphabet_size = 4;  // symbols per position
+  bool norm_mean = false;    // drop the DC coefficient
+  SfaBinning binning = SfaBinning::kInformationGain;
+};
+
+/// Symbolic Fourier Approximation: learns per-coefficient discretisation
+/// boundaries from training windows and maps any window of the same size to a
+/// compact integer word (paper Sec. 3.4: WEASEL's word extraction).
+class Sfa {
+ public:
+  explicit Sfa(SfaOptions options = {}) : options_(options) {}
+
+  /// Learns boundaries from training windows (all the same size) and their
+  /// class labels (required for information-gain binning; may be empty for
+  /// equi-depth).
+  Status Fit(const std::vector<std::vector<double>>& windows,
+             const std::vector<int>& labels);
+
+  /// DFT approximation used for word construction (word_length values).
+  std::vector<double> Approximate(const std::vector<double>& window) const;
+
+  /// Word for a window; symbols are packed little-endian, bits_per_symbol
+  /// bits each.
+  uint64_t Word(const std::vector<double>& window) const;
+
+  /// Word from an already-computed approximation.
+  uint64_t WordFromApproximation(const std::vector<double>& approx) const;
+
+  size_t bits_per_symbol() const { return bits_per_symbol_; }
+  size_t word_length() const { return options_.word_length; }
+  bool fitted() const { return !bins_.empty(); }
+
+  /// Discretisation boundaries per coefficient position (alphabet_size - 1
+  /// ascending thresholds each). Exposed for tests.
+  const std::vector<std::vector<double>>& bins() const { return bins_; }
+
+ private:
+  SfaOptions options_;
+  size_t bits_per_symbol_ = 2;
+  std::vector<std::vector<double>> bins_;
+};
+
+/// Entropy of a label multiset (natural log).
+double LabelEntropy(const std::vector<int>& labels);
+
+/// Chooses up to `num_bins - 1` boundaries over (value, label) pairs by
+/// recursive binary information-gain splits; falls back to equi-depth
+/// boundaries for unsplittable data. Returned thresholds are ascending.
+std::vector<double> InformationGainBins(std::vector<std::pair<double, int>> data,
+                                        size_t num_bins);
+
+/// Equi-depth (quantile) boundaries.
+std::vector<double> EquiDepthBins(std::vector<double> values, size_t num_bins);
+
+}  // namespace etsc
+
+#endif  // ETSC_ML_SFA_H_

@@ -1,0 +1,178 @@
+#include "tsc/minirocket.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace etsc {
+
+const std::array<std::array<size_t, 3>, 84>& MiniRocketKernelTriples() {
+  static const std::array<std::array<size_t, 3>, 84>* kTriples = [] {
+    auto* triples = new std::array<std::array<size_t, 3>, 84>();
+    size_t idx = 0;
+    for (size_t a = 0; a < 9; ++a) {
+      for (size_t b = a + 1; b < 9; ++b) {
+        for (size_t c = b + 1; c < 9; ++c) {
+          (*triples)[idx++] = {a, b, c};
+        }
+      }
+    }
+    return triples;
+  }();
+  return *kTriples;
+}
+
+std::vector<double> MiniRocketClassifier::Convolve(
+    const TimeSeries& series, const KernelInstance& kernel) const {
+  const size_t length = series.length();
+  std::vector<double> out(length, 0.0);
+  const auto& triple = MiniRocketKernelTriples()[kernel.kernel_index];
+  // Weights: -1 everywhere, 3 positions with +2 => value at position p is
+  // -1 + 3*[p in triple]. Centered ("same" padding), receptive field 9 taps
+  // spaced by `dilation`.
+  const int d = static_cast<int>(kernel.dilation);
+  const int half = 4 * d;
+  for (size_t t = 0; t < length; ++t) {
+    double sum = 0.0;
+    for (int k = 0; k < 9; ++k) {
+      const int src = static_cast<int>(t) - half + k * d;
+      if (src < 0 || src >= static_cast<int>(length)) continue;
+      double w = -1.0;
+      if (static_cast<size_t>(k) == triple[0] ||
+          static_cast<size_t>(k) == triple[1] ||
+          static_cast<size_t>(k) == triple[2]) {
+        w = 2.0;
+      }
+      double x = 0.0;
+      for (size_t ch : kernel.channels) {
+        if (ch < series.num_variables()) x += series.at(ch, static_cast<size_t>(src));
+      }
+      sum += w * x;
+    }
+    out[t] = sum;
+  }
+  return out;
+}
+
+Status MiniRocketClassifier::Fit(const Dataset& train) {
+  if (train.empty()) {
+    return Status::InvalidArgument("MiniROCKET: empty training set");
+  }
+  const size_t length = train.MinLength();
+  if (length < 2) return Status::InvalidArgument("MiniROCKET: series too short");
+  const size_t num_vars = train.NumVariables();
+  Rng rng(options_.seed);
+
+  // Dilations: exponentially spaced so the receptive field (8*d+1) stays
+  // within the series length.
+  std::vector<size_t> dilations;
+  const size_t max_dilation = std::max<size_t>(1, (length - 1) / 8);
+  for (size_t i = 0; i < options_.num_dilations; ++i) {
+    const double frac = options_.num_dilations == 1
+                            ? 0.0
+                            : static_cast<double>(i) /
+                                  static_cast<double>(options_.num_dilations - 1);
+    const size_t d = std::max<size_t>(
+        1, static_cast<size_t>(std::round(std::pow(
+               static_cast<double>(max_dilation), frac))));
+    if (dilations.empty() || dilations.back() != d) dilations.push_back(d);
+  }
+
+  // Instantiate kernels: every (triple, dilation); multivariate instances mix
+  // a random channel subset (as in the reference implementation).
+  kernels_.clear();
+  for (size_t ki = 0; ki < MiniRocketKernelTriples().size(); ++ki) {
+    for (size_t d : dilations) {
+      KernelInstance inst;
+      inst.kernel_index = ki;
+      inst.dilation = d;
+      if (num_vars == 1) {
+        inst.channels = {0};
+      } else {
+        // Random non-empty subset: each channel kept with p=0.5.
+        for (size_t c = 0; c < num_vars; ++c) {
+          if (rng.Bernoulli(0.5)) inst.channels.push_back(c);
+        }
+        if (inst.channels.empty()) inst.channels.push_back(rng.Index(num_vars));
+      }
+      kernels_.push_back(std::move(inst));
+    }
+  }
+
+  // Biases: quantiles of convolution outputs of random training instances.
+  biases_.clear();
+  biases_.reserve(kernels_.size() * options_.biases_per_kernel);
+  for (size_t k = 0; k < kernels_.size(); ++k) {
+    const size_t sample = rng.Index(train.size());
+    std::vector<double> conv = Convolve(train.instance(sample), kernels_[k]);
+    std::sort(conv.begin(), conv.end());
+    for (size_t b = 0; b < options_.biases_per_kernel; ++b) {
+      const double q = (static_cast<double>(b) + 1.0) /
+                       (static_cast<double>(options_.biases_per_kernel) + 1.0);
+      const size_t idx = std::min(conv.size() - 1,
+                                  static_cast<size_t>(q * static_cast<double>(conv.size())));
+      biases_.emplace_back(k, conv[idx]);
+    }
+  }
+
+  // Transform the training set.
+  std::vector<std::vector<double>> features(train.size());
+  for (size_t i = 0; i < train.size(); ++i) {
+    ETSC_ASSIGN_OR_RETURN(features[i], TransformInternal(train.instance(i)));
+  }
+
+  class_labels_ = train.ClassLabels();
+  use_logistic_ = train.size() > options_.logistic_above_samples;
+  if (use_logistic_) {
+    logistic_ = LogisticRegression(options_.logistic);
+    return logistic_.Fit(features, train.labels(), &rng);
+  }
+  ridge_ = RidgeClassifier(RidgeOptions{options_.ridge_alpha});
+  return ridge_.Fit(features, train.labels());
+}
+
+Result<std::vector<double>> MiniRocketClassifier::TransformInternal(
+    const TimeSeries& series) const {
+  if (series.length() == 0) {
+    return Status::InvalidArgument("MiniROCKET: empty series");
+  }
+  std::vector<double> features(biases_.size(), 0.0);
+  size_t last_kernel = kernels_.size();
+  std::vector<double> conv;
+  for (size_t f = 0; f < biases_.size(); ++f) {
+    const auto& [k, bias] = biases_[f];
+    if (k != last_kernel) {
+      conv = Convolve(series, kernels_[k]);
+      last_kernel = k;
+    }
+    size_t positive = 0;
+    for (double v : conv) {
+      if (v > bias) ++positive;
+    }
+    features[f] = static_cast<double>(positive) / static_cast<double>(conv.size());
+  }
+  return features;
+}
+
+Result<std::vector<double>> MiniRocketClassifier::Transform(
+    const TimeSeries& series) const {
+  if (kernels_.empty()) {
+    return Status::FailedPrecondition("MiniROCKET: not fitted");
+  }
+  return TransformInternal(series);
+}
+
+Result<int> MiniRocketClassifier::Predict(const TimeSeries& series) const {
+  ETSC_ASSIGN_OR_RETURN(std::vector<double> features, Transform(series));
+  return use_logistic_ ? logistic_.Predict(features) : ridge_.Predict(features);
+}
+
+Result<std::vector<double>> MiniRocketClassifier::PredictProba(
+    const TimeSeries& series) const {
+  ETSC_ASSIGN_OR_RETURN(std::vector<double> features, Transform(series));
+  return use_logistic_ ? logistic_.PredictProba(features)
+                       : ridge_.PredictProba(features);
+}
+
+}  // namespace etsc

@@ -1,0 +1,78 @@
+#ifndef ETSC_TSC_MINIROCKET_H_
+#define ETSC_TSC_MINIROCKET_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+#include "ml/linear.h"
+
+namespace etsc {
+
+/// MiniROCKET (Dempster et al. 2021): the fixed set of 84 length-9 kernels
+/// with weights {-1, 2} (three positions of weight 2), convolved at
+/// exponentially spaced dilations with "same" padding, pooled into
+/// Proportion-of-Positive-Values features against biases drawn from training
+/// convolution outputs, classified by ridge regression (or logistic
+/// regression for large datasets).
+struct MiniRocketOptions {
+  size_t num_dilations = 4;          // dilations 2^0 .. spread up to the length
+  size_t biases_per_kernel = 3;      // quantile biases per (kernel, dilation)
+  size_t logistic_above_samples = 4000;  // switch head: ridge below, logistic above
+  double ridge_alpha = 1.0;
+  LogisticRegressionOptions logistic;
+  uint64_t seed = 11;
+};
+
+class MiniRocketClassifier : public FullClassifier {
+ public:
+  explicit MiniRocketClassifier(MiniRocketOptions options = {})
+      : options_(options) {}
+
+  Status Fit(const Dataset& train) override;
+  Result<int> Predict(const TimeSeries& series) const override;
+  Result<std::vector<double>> PredictProba(const TimeSeries& series) const override;
+  const std::vector<int>& class_labels() const override { return class_labels_; }
+  std::string name() const override { return "MiniROCKET"; }
+  bool SupportsMultivariate() const override { return true; }
+  std::unique_ptr<FullClassifier> CloneUntrained() const override {
+    return std::make_unique<MiniRocketClassifier>(options_);
+  }
+
+  /// PPV feature vector of a series under the fitted transform.
+  Result<std::vector<double>> Transform(const TimeSeries& series) const;
+
+  size_t num_features() const { return biases_.size(); }
+
+ private:
+  struct KernelInstance {
+    size_t kernel_index = 0;    // 0..83: which 3-subset carries weight 2
+    size_t dilation = 1;
+    std::vector<size_t> channels;  // channel subset summed for multivariate
+  };
+
+  /// Convolution output of one kernel instance at every time step.
+  std::vector<double> Convolve(const TimeSeries& series,
+                               const KernelInstance& kernel) const;
+
+  /// PPV features without the fitted-state check (shared by Fit/Transform).
+  Result<std::vector<double>> TransformInternal(const TimeSeries& series) const;
+
+  MiniRocketOptions options_;
+  std::vector<int> class_labels_;
+  std::vector<KernelInstance> kernels_;
+  std::vector<std::pair<size_t, double>> biases_;  // (kernel instance, bias)
+  bool use_logistic_ = false;
+  RidgeClassifier ridge_;
+  LogisticRegression logistic_;
+};
+
+/// The 84 weight-2 position triples of MiniROCKET's fixed kernel set.
+const std::array<std::array<size_t, 3>, 84>& MiniRocketKernelTriples();
+
+}  // namespace etsc
+
+#endif  // ETSC_TSC_MINIROCKET_H_

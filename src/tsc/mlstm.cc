@@ -1,0 +1,213 @@
+#include "tsc/mlstm.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "core/rng.h"
+
+namespace etsc {
+
+struct MlstmClassifier::Network {
+  Network(size_t in_channels, size_t series_length, size_t num_classes,
+          const MlstmOptions& opt, Rng* rng)
+      : conv1(in_channels, opt.conv1_channels, opt.kernel1, rng),
+        bn1(opt.conv1_channels),
+        se1(opt.conv1_channels, 4, rng),
+        conv2(opt.conv1_channels, opt.conv2_channels, opt.kernel2, rng),
+        bn2(opt.conv2_channels),
+        se2(opt.conv2_channels, 4, rng),
+        conv3(opt.conv2_channels, opt.conv3_channels, opt.kernel3, rng),
+        bn3(opt.conv3_channels),
+        lstm(series_length, opt.lstm_units, rng),
+        dropout(opt.dropout),
+        head(opt.conv3_channels + opt.lstm_units, num_classes, rng),
+        adam(opt.learning_rate) {
+    adam.Register(conv1.Params());
+    adam.Register(bn1.Params());
+    adam.Register(se1.Params());
+    adam.Register(conv2.Params());
+    adam.Register(bn2.Params());
+    adam.Register(se2.Params());
+    adam.Register(conv3.Params());
+    adam.Register(bn3.Params());
+    adam.Register(lstm.Params());
+    adam.Register(head.Params());
+  }
+
+  nn::Conv1D conv1;
+  nn::BatchNorm1D bn1;
+  nn::ReLU relu1;
+  nn::SqueezeExcite se1;
+  nn::Conv1D conv2;
+  nn::BatchNorm1D bn2;
+  nn::ReLU relu2;
+  nn::SqueezeExcite se2;
+  nn::Conv1D conv3;
+  nn::BatchNorm1D bn3;
+  nn::ReLU relu3;
+  nn::GlobalAvgPool gap;
+  nn::Lstm lstm;
+  nn::Dropout dropout;
+  nn::Dense head;
+  nn::Adam adam;
+
+  size_t fcn_dim = 0;  // split point of the concatenated representation
+};
+
+nn::FeatureMap MlstmClassifier::ToFeatureMap(const TimeSeries& series) const {
+  nn::FeatureMap fm(num_variables_);
+  for (size_t v = 0; v < num_variables_; ++v) {
+    fm[v] = v < series.num_variables() ? series.channel(v)
+                                       : std::vector<double>(series.length(), 0.0);
+  }
+  return fm;
+}
+
+std::vector<std::vector<double>> MlstmClassifier::ToLstmSequence(
+    const TimeSeries& series) const {
+  // Dimension shuffle: one LSTM step per variable; each step is the variable's
+  // full time vector, padded/truncated to the fitted length.
+  std::vector<std::vector<double>> seq(num_variables_,
+                                       std::vector<double>(fitted_length_, 0.0));
+  for (size_t v = 0; v < num_variables_ && v < series.num_variables(); ++v) {
+    const auto& channel = series.channel(v);
+    const size_t n = std::min(fitted_length_, channel.size());
+    std::copy(channel.begin(), channel.begin() + n, seq[v].begin());
+  }
+  return seq;
+}
+
+std::vector<std::vector<double>> MlstmClassifier::Forward(
+    const std::vector<TimeSeries*>& batch, bool training, Rng* rng) {
+  nn::Batch maps(batch.size());
+  std::vector<std::vector<std::vector<double>>> sequences(batch.size());
+  for (size_t b = 0; b < batch.size(); ++b) {
+    maps[b] = ToFeatureMap(*batch[b]);
+    sequences[b] = ToLstmSequence(*batch[b]);
+  }
+  Network& net = *net_;
+  nn::Batch x = net.conv1.Forward(maps);
+  x = net.bn1.Forward(x, training);
+  x = net.relu1.Forward(x);
+  x = net.se1.Forward(x);
+  x = net.conv2.Forward(x);
+  x = net.bn2.Forward(x, training);
+  x = net.relu2.Forward(x);
+  x = net.se2.Forward(x);
+  x = net.conv3.Forward(x);
+  x = net.bn3.Forward(x, training);
+  x = net.relu3.Forward(x);
+  std::vector<std::vector<double>> fcn_out = net.gap.Forward(x);
+  net.fcn_dim = fcn_out.empty() ? 0 : fcn_out[0].size();
+
+  std::vector<std::vector<double>> lstm_out = net.lstm.Forward(sequences);
+
+  std::vector<std::vector<double>> concat(batch.size());
+  for (size_t b = 0; b < batch.size(); ++b) {
+    concat[b] = fcn_out[b];
+    concat[b].insert(concat[b].end(), lstm_out[b].begin(), lstm_out[b].end());
+  }
+  concat = net.dropout.Forward(concat, training, rng);
+  return net.head.Forward(concat);
+}
+
+void MlstmClassifier::Backward(
+    const std::vector<std::vector<double>>& grad_logits) {
+  Network& net = *net_;
+  std::vector<std::vector<double>> grad = net.head.Backward(grad_logits);
+  grad = net.dropout.Backward(grad);
+
+  const size_t fcn_dim = net.fcn_dim;
+  std::vector<std::vector<double>> grad_fcn(grad.size());
+  std::vector<std::vector<double>> grad_lstm(grad.size());
+  for (size_t b = 0; b < grad.size(); ++b) {
+    grad_fcn[b].assign(grad[b].begin(), grad[b].begin() + fcn_dim);
+    grad_lstm[b].assign(grad[b].begin() + fcn_dim, grad[b].end());
+  }
+
+  nn::Batch gx = net.gap.Backward(grad_fcn);
+  gx = net.relu3.Backward(gx);
+  gx = net.bn3.Backward(gx);
+  gx = net.conv3.Backward(gx);
+  gx = net.se2.Backward(gx);
+  gx = net.relu2.Backward(gx);
+  gx = net.bn2.Backward(gx);
+  gx = net.conv2.Backward(gx);
+  gx = net.se1.Backward(gx);
+  gx = net.relu1.Backward(gx);
+  gx = net.bn1.Backward(gx);
+  (void)net.conv1.Backward(gx);
+
+  (void)net.lstm.Backward(grad_lstm);
+}
+
+Status MlstmClassifier::Fit(const Dataset& train) {
+  if (train.empty()) return Status::InvalidArgument("MLSTM: empty training set");
+  num_variables_ = train.NumVariables();
+  fitted_length_ = train.MinLength();
+  if (fitted_length_ < 2) {
+    return Status::InvalidArgument("MLSTM: series too short");
+  }
+  class_labels_ = train.ClassLabels();
+  std::map<int, size_t> class_index;
+  for (size_t k = 0; k < class_labels_.size(); ++k) {
+    class_index[class_labels_[k]] = k;
+  }
+
+  Rng rng(options_.seed);
+  net_ = std::make_shared<Network>(num_variables_, fitted_length_,
+                                   class_labels_.size(), options_, &rng);
+  if (class_labels_.size() < 2) return Status::OK();
+
+  std::vector<size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t start = 0; start < order.size(); start += options_.batch_size) {
+      const size_t end = std::min(order.size(), start + options_.batch_size);
+      std::vector<TimeSeries*> batch;
+      std::vector<size_t> targets;
+      std::vector<TimeSeries> truncated;
+      truncated.reserve(end - start);
+      batch.reserve(end - start);
+      for (size_t i = start; i < end; ++i) {
+        truncated.push_back(train.instance(order[i]).Prefix(fitted_length_));
+        targets.push_back(class_index[train.label(order[i])]);
+      }
+      for (auto& ts : truncated) batch.push_back(&ts);
+
+      net_->adam.ZeroGrad();
+      const auto logits = Forward(batch, /*training=*/true, &rng);
+      std::vector<std::vector<double>> grad;
+      nn::SoftmaxCrossEntropy::LossAndGrad(logits, targets, &grad);
+      Backward(grad);
+      net_->adam.Step();
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> MlstmClassifier::PredictProba(
+    const TimeSeries& series) const {
+  if (net_ == nullptr) return Status::FailedPrecondition("MLSTM: not fitted");
+  if (class_labels_.size() < 2) return std::vector<double>{1.0};
+  // Forward mutates layer caches; inference reuses them harmlessly because
+  // prediction is single-threaded per classifier instance.
+  auto* self = const_cast<MlstmClassifier*>(this);
+  TimeSeries padded = series.Prefix(fitted_length_);
+  std::vector<TimeSeries*> batch{&padded};
+  Rng rng(options_.seed);
+  const auto logits = self->Forward(batch, /*training=*/false, &rng);
+  return nn::SoftmaxCrossEntropy::Probabilities(logits)[0];
+}
+
+Result<int> MlstmClassifier::Predict(const TimeSeries& series) const {
+  ETSC_ASSIGN_OR_RETURN(std::vector<double> proba, PredictProba(series));
+  const size_t best = static_cast<size_t>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+  return class_labels_[best];
+}
+
+}  // namespace etsc

@@ -1,0 +1,73 @@
+#ifndef ETSC_TSC_MLSTM_H_
+#define ETSC_TSC_MLSTM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+#include "ml/nn/layers.h"
+#include "ml/nn/lstm.h"
+
+namespace etsc {
+
+/// MLSTM-FCN (Karim et al. 2019): a fully-convolutional branch (three Conv1D
+/// blocks with batch norm, ReLU and squeeze-and-excite on the first two) in
+/// parallel with an LSTM branch fed the dimension-shuffled series; the two
+/// representations are concatenated into a softmax head.
+///
+/// Channel widths default well below the published 128/256/128 so the
+/// single-process benchmarks stay tractable; the architecture is otherwise
+/// faithful.
+struct MlstmOptions {
+  size_t conv1_channels = 16;
+  size_t conv2_channels = 32;
+  size_t conv3_channels = 16;
+  size_t kernel1 = 8, kernel2 = 5, kernel3 = 3;
+  size_t lstm_units = 8;
+  double dropout = 0.2;
+  size_t epochs = 20;
+  size_t batch_size = 32;
+  double learning_rate = 1e-3;
+  uint64_t seed = 13;
+};
+
+class MlstmClassifier : public FullClassifier {
+ public:
+  explicit MlstmClassifier(MlstmOptions options = {}) : options_(options) {}
+
+  Status Fit(const Dataset& train) override;
+  Result<int> Predict(const TimeSeries& series) const override;
+  Result<std::vector<double>> PredictProba(const TimeSeries& series) const override;
+  const std::vector<int>& class_labels() const override { return class_labels_; }
+  std::string name() const override { return "MLSTM"; }
+  bool SupportsMultivariate() const override { return true; }
+  std::unique_ptr<FullClassifier> CloneUntrained() const override {
+    return std::make_unique<MlstmClassifier>(options_);
+  }
+
+ private:
+  struct Network;
+
+  /// Forward pass producing logits; `training` enables batch statistics and
+  /// dropout. Non-const because layers cache activations.
+  std::vector<std::vector<double>> Forward(const std::vector<TimeSeries*>& batch,
+                                           bool training, Rng* rng);
+  void Backward(const std::vector<std::vector<double>>& grad_logits);
+
+  /// Input adapters: the FCN branch sees channels × time; the LSTM branch sees
+  /// the dimension shuffle (one step per variable, each step a time vector,
+  /// padded/truncated to the fitted length).
+  nn::FeatureMap ToFeatureMap(const TimeSeries& series) const;
+  std::vector<std::vector<double>> ToLstmSequence(const TimeSeries& series) const;
+
+  MlstmOptions options_;
+  std::vector<int> class_labels_;
+  size_t num_variables_ = 0;
+  size_t fitted_length_ = 0;
+  std::shared_ptr<Network> net_;  // shared so the const Predict can forward
+};
+
+}  // namespace etsc
+
+#endif  // ETSC_TSC_MLSTM_H_

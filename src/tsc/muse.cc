@@ -1,0 +1,169 @@
+#include "tsc/muse.h"
+
+#include <algorithm>
+
+#include "core/rng.h"
+#include "ml/chi2.h"
+#include "ml/fourier.h"
+
+namespace etsc {
+
+uint64_t PackMuseKey(size_t channel, size_t window_index, uint64_t word,
+                     uint64_t prev_plus_1) {
+  ETSC_DCHECK(channel < (1ull << 7));
+  ETSC_DCHECK(window_index < (1ull << 7));
+  ETSC_DCHECK(word < (1ull << 24));
+  ETSC_DCHECK(prev_plus_1 < (1ull << 25));
+  return (static_cast<uint64_t>(channel) << 56) |
+         (static_cast<uint64_t>(window_index) << 49) | (word << 25) |
+         prev_plus_1;
+}
+
+std::vector<double> Derivative(const std::vector<double>& values) {
+  std::vector<double> d(values.size(), 0.0);
+  if (values.size() < 2) return d;
+  for (size_t t = 0; t + 1 < values.size(); ++t) d[t] = values[t + 1] - values[t];
+  d[values.size() - 1] = d[values.size() - 2];
+  return d;
+}
+
+std::vector<std::vector<double>> MuseClassifier::Channels(
+    const TimeSeries& series) const {
+  std::vector<std::vector<double>> channels;
+  channels.reserve(series.num_variables() * (options_.use_derivatives ? 2 : 1));
+  for (size_t v = 0; v < series.num_variables(); ++v) {
+    channels.push_back(series.channel(v));
+  }
+  if (options_.use_derivatives) {
+    for (size_t v = 0; v < series.num_variables(); ++v) {
+      channels.push_back(Derivative(series.channel(v)));
+    }
+  }
+  return channels;
+}
+
+Status MuseClassifier::Fit(const Dataset& train) {
+  if (train.empty()) return Status::InvalidArgument("MUSE: empty training set");
+  num_variables_ = train.NumVariables();
+  const size_t max_len = train.MinLength();
+  if (max_len < 2) return Status::InvalidArgument("MUSE: series too short");
+
+  const auto& w = options_.weasel;
+  window_sizes_ = ChooseWindowSizes(w.min_window, max_len, w.max_window_count);
+  if (window_sizes_.empty()) {
+    return Status::InvalidArgument("MUSE: no usable window sizes");
+  }
+  const size_t num_channels =
+      num_variables_ * (options_.use_derivatives ? 2 : 1);
+
+  // Channels of every training instance.
+  std::vector<std::vector<std::vector<double>>> channels(train.size());
+  for (size_t i = 0; i < train.size(); ++i) {
+    channels[i] = Channels(train.instance(i));
+  }
+
+  SfaOptions sfa_options;
+  sfa_options.word_length = w.word_length;
+  sfa_options.alphabet_size = w.alphabet_size;
+  sfa_options.norm_mean = w.norm_mean;
+  sfa_options.binning = SfaBinning::kInformationGain;
+
+  transforms_.assign(num_channels, {});
+  for (size_t c = 0; c < num_channels; ++c) {
+    transforms_[c].reserve(window_sizes_.size());
+    for (size_t win : window_sizes_) {
+      std::vector<std::vector<double>> windows;
+      std::vector<int> labels;
+      for (size_t i = 0; i < train.size(); ++i) {
+        const auto& values = channels[i][c];
+        if (values.size() < win) continue;
+        for (size_t start = 0; start + win <= values.size(); ++start) {
+          windows.emplace_back(values.begin() + start,
+                               values.begin() + start + win);
+          labels.push_back(train.label(i));
+        }
+      }
+      Sfa sfa(sfa_options);
+      ETSC_RETURN_NOT_OK(sfa.Fit(windows, labels));
+      transforms_[c].push_back(std::move(sfa));
+    }
+  }
+
+  vocabulary_.clear();
+  std::vector<SparseVector> bags(train.size());
+  for (size_t i = 0; i < train.size(); ++i) {
+    bags[i] = Transform(channels[i], &vocabulary_);
+  }
+
+  selected_ =
+      Chi2Select(bags, vocabulary_.size(), train.labels(), w.chi2_threshold);
+  std::vector<SparseVector> projected = ProjectFeatures(bags, selected_);
+
+  Rng rng(w.seed);
+  logistic_ = LogisticRegression(w.logistic);
+  return logistic_.FitSparse(projected, selected_.size(), train.labels(), &rng);
+}
+
+SparseVector MuseClassifier::Transform(
+    const std::vector<std::vector<double>>& channels,
+    std::unordered_map<uint64_t, size_t>* grow) const {
+  const auto& w = options_.weasel;
+  SparseVector bag;
+  for (size_t c = 0; c < channels.size() && c < transforms_.size(); ++c) {
+    for (size_t wi = 0; wi < window_sizes_.size(); ++wi) {
+      const size_t win = window_sizes_[wi];
+      const auto& values = channels[c];
+      if (values.size() < win) continue;
+      const size_t num_coeffs = (w.word_length + 1) / 2;
+      const auto coeff_windows = SlidingDft(values, win, num_coeffs, w.norm_mean);
+      std::vector<uint64_t> words(coeff_windows.size());
+      for (size_t s = 0; s < coeff_windows.size(); ++s) {
+        std::vector<double> approx = coeff_windows[s];
+        approx.resize(w.word_length, 0.0);
+        words[s] = transforms_[c][wi].WordFromApproximation(approx);
+      }
+      for (size_t s = 0; s < words.size(); ++s) {
+        const uint64_t uni = PackMuseKey(c, wi, words[s], 0);
+        auto it = vocabulary_.find(uni);
+        if (it == vocabulary_.end()) {
+          if (grow == nullptr) continue;
+          it = grow->emplace(uni, grow->size()).first;
+        }
+        bag.Add(it->second, 1.0);
+        if (w.use_bigrams && s >= win) {
+          const uint64_t bi = PackMuseKey(c, wi, words[s], words[s - win] + 1);
+          auto bit = vocabulary_.find(bi);
+          if (bit == vocabulary_.end()) {
+            if (grow == nullptr) continue;
+            bit = grow->emplace(bi, grow->size()).first;
+          }
+          bag.Add(bit->second, 1.0);
+        }
+      }
+    }
+  }
+  bag.SortAndMerge();
+  return bag;
+}
+
+Result<SparseVector> MuseClassifier::TransformSelected(
+    const TimeSeries& series) const {
+  if (!logistic_.fitted()) return Status::FailedPrecondition("MUSE: not fitted");
+  if (series.num_variables() != num_variables_) {
+    return Status::InvalidArgument("MUSE: variable count mismatch");
+  }
+  return ProjectRow(Transform(Channels(series), nullptr), selected_);
+}
+
+Result<int> MuseClassifier::Predict(const TimeSeries& series) const {
+  ETSC_ASSIGN_OR_RETURN(SparseVector row, TransformSelected(series));
+  return logistic_.PredictSparse(row);
+}
+
+Result<std::vector<double>> MuseClassifier::PredictProba(
+    const TimeSeries& series) const {
+  ETSC_ASSIGN_OR_RETURN(SparseVector row, TransformSelected(series));
+  return logistic_.PredictProbaSparse(row);
+}
+
+}  // namespace etsc

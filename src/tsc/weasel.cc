@@ -1,0 +1,174 @@
+#include "tsc/weasel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/rng.h"
+#include "ml/chi2.h"
+#include "ml/fourier.h"
+
+namespace etsc {
+
+uint64_t PackWeaselKey(size_t window_index, uint64_t word, uint64_t prev_plus_1) {
+  ETSC_DCHECK(word < (1ull << 24));
+  ETSC_DCHECK(prev_plus_1 < (1ull << 25));
+  return (static_cast<uint64_t>(window_index) << 49) | (word << 25) | prev_plus_1;
+}
+
+std::vector<size_t> ChooseWindowSizes(size_t min_window, size_t max_len,
+                                      size_t count) {
+  std::vector<size_t> sizes;
+  if (max_len < min_window || count == 0) {
+    if (max_len >= 2) sizes.push_back(std::min(max_len, min_window));
+    return sizes;
+  }
+  const size_t span = max_len - min_window;
+  const size_t steps = std::min(count, span + 1);
+  for (size_t i = 0; i < steps; ++i) {
+    const size_t w =
+        min_window + (steps == 1 ? 0 : i * span / (steps - 1));
+    if (sizes.empty() || sizes.back() != w) sizes.push_back(w);
+  }
+  return sizes;
+}
+
+Status WeaselClassifier::Fit(const Dataset& train) {
+  if (train.empty()) return Status::InvalidArgument("WEASEL: empty training set");
+  if (train.NumVariables() != 1) {
+    return Status::InvalidArgument("WEASEL: univariate input required");
+  }
+  const size_t max_len = train.MinLength();
+  if (max_len < 2) return Status::InvalidArgument("WEASEL: series too short");
+
+  window_sizes_ = ChooseWindowSizes(options_.min_window, max_len,
+                                    options_.max_window_count);
+  if (window_sizes_.empty()) {
+    return Status::InvalidArgument("WEASEL: no usable window sizes");
+  }
+
+  // Optionally z-normalise inputs (off by default; see WeaselOptions).
+  std::vector<std::vector<double>> series(train.size());
+  for (size_t i = 0; i < train.size(); ++i) {
+    if (options_.normalize_input) {
+      TimeSeries ts = train.instance(i);
+      ts.ZNormalize();
+      series[i] = ts.channel(0);
+    } else {
+      series[i] = train.instance(i).channel(0);
+    }
+  }
+
+  // Fit one supervised SFA per window size.
+  transforms_.clear();
+  transforms_.reserve(window_sizes_.size());
+  SfaOptions sfa_options;
+  sfa_options.word_length = options_.word_length;
+  sfa_options.alphabet_size = options_.alphabet_size;
+  sfa_options.norm_mean = options_.norm_mean;
+  sfa_options.binning = SfaBinning::kInformationGain;
+  for (size_t w : window_sizes_) {
+    std::vector<std::vector<double>> windows;
+    std::vector<int> labels;
+    for (size_t i = 0; i < series.size(); ++i) {
+      if (series[i].size() < w) continue;
+      for (size_t start = 0; start + w <= series[i].size(); ++start) {
+        windows.emplace_back(series[i].begin() + start,
+                             series[i].begin() + start + w);
+        labels.push_back(train.label(i));
+      }
+    }
+    Sfa sfa(sfa_options);
+    ETSC_RETURN_NOT_OK(sfa.Fit(windows, labels));
+    transforms_.push_back(std::move(sfa));
+  }
+
+  // Build the vocabulary and the training bags. Transform looks keys up in
+  // vocabulary_ and appends unseen ones to `grow`, so passing vocabulary_ as
+  // both makes training insert while prediction (grow == nullptr) drops.
+  vocabulary_.clear();
+  std::vector<SparseVector> bags(train.size());
+  for (size_t i = 0; i < train.size(); ++i) {
+    bags[i] = Transform(series[i], &vocabulary_);
+  }
+  const size_t dim = vocabulary_.size();
+  for (auto& bag : bags) bag.SortAndMerge();
+
+  // Chi² feature selection.
+  selected_ = Chi2Select(bags, dim, train.labels(), options_.chi2_threshold);
+  std::vector<SparseVector> projected = ProjectFeatures(bags, selected_);
+
+  Rng rng(options_.seed);
+  logistic_ = LogisticRegression(options_.logistic);
+  return logistic_.FitSparse(projected, selected_.size(), train.labels(), &rng);
+}
+
+SparseVector WeaselClassifier::Transform(
+    const std::vector<double>& values,
+    std::unordered_map<uint64_t, size_t>* grow) const {
+  SparseVector bag;
+  for (size_t wi = 0; wi < window_sizes_.size(); ++wi) {
+    const size_t w = window_sizes_[wi];
+    if (values.size() < w) continue;
+    const size_t num_coeffs = (options_.word_length + 1) / 2;
+    const auto coeff_windows =
+        SlidingDft(values, w, num_coeffs, options_.norm_mean);
+    std::vector<uint64_t> words(coeff_windows.size());
+    for (size_t s = 0; s < coeff_windows.size(); ++s) {
+      std::vector<double> approx = coeff_windows[s];
+      approx.resize(options_.word_length, 0.0);
+      words[s] = transforms_[wi].WordFromApproximation(approx);
+    }
+    for (size_t s = 0; s < words.size(); ++s) {
+      const uint64_t uni_key = PackWeaselKey(wi, words[s], 0);
+      auto it = vocabulary_.find(uni_key);
+      if (it == vocabulary_.end()) {
+        if (grow == nullptr) continue;
+        it = grow->emplace(uni_key, grow->size()).first;
+      }
+      bag.Add(it->second, 1.0);
+      if (options_.use_bigrams && s >= w) {
+        const uint64_t bi_key = PackWeaselKey(wi, words[s], words[s - w] + 1);
+        auto bit = vocabulary_.find(bi_key);
+        if (bit == vocabulary_.end()) {
+          if (grow == nullptr) continue;
+          bit = grow->emplace(bi_key, grow->size()).first;
+        }
+        bag.Add(bit->second, 1.0);
+      }
+    }
+  }
+  bag.SortAndMerge();
+  return bag;
+}
+
+Result<SparseVector> WeaselClassifier::TransformSelected(
+    const TimeSeries& series) const {
+  if (!logistic_.fitted()) {
+    return Status::FailedPrecondition("WEASEL: not fitted");
+  }
+  if (series.num_variables() != 1) {
+    return Status::InvalidArgument("WEASEL: univariate input required");
+  }
+  std::vector<double> values;
+  if (options_.normalize_input) {
+    TimeSeries copy = series;
+    copy.ZNormalize();
+    values = copy.channel(0);
+  } else {
+    values = series.channel(0);
+  }
+  return ProjectRow(Transform(values, nullptr), selected_);
+}
+
+Result<int> WeaselClassifier::Predict(const TimeSeries& series) const {
+  ETSC_ASSIGN_OR_RETURN(SparseVector row, TransformSelected(series));
+  return logistic_.PredictSparse(row);
+}
+
+Result<std::vector<double>> WeaselClassifier::PredictProba(
+    const TimeSeries& series) const {
+  ETSC_ASSIGN_OR_RETURN(SparseVector row, TransformSelected(series));
+  return logistic_.PredictProbaSparse(row);
+}
+
+}  // namespace etsc

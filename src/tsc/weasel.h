@@ -1,0 +1,81 @@
+#ifndef ETSC_TSC_WEASEL_H_
+#define ETSC_TSC_WEASEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/classifier.h"
+#include "ml/linear.h"
+#include "ml/sfa.h"
+
+namespace etsc {
+
+/// Configuration of the WEASEL pipeline (Schäfer & Leser 2017; paper Sec. 3.4).
+struct WeaselOptions {
+  size_t word_length = 4;        // SFA word length (real coefficient count)
+  size_t alphabet_size = 4;
+  size_t min_window = 4;
+  size_t max_window_count = 20;  // number of distinct window lengths
+  bool use_bigrams = true;
+  bool norm_mean = false;        // drop the DC Fourier coefficient
+  /// Z-normalise each input series before the transform. The paper evaluates
+  /// WEASEL *without* this step (unrealistic in streaming settings), so the
+  /// default is off.
+  bool normalize_input = false;
+  double chi2_threshold = 2.0;
+  LogisticRegressionOptions logistic;
+  uint64_t seed = 7;
+};
+
+/// WEASEL: sliding windows of several lengths -> supervised SFA words ->
+/// bag of uni+bigrams -> chi² pruning -> logistic regression. Univariate.
+class WeaselClassifier : public FullClassifier {
+ public:
+  explicit WeaselClassifier(WeaselOptions options = {}) : options_(options) {}
+
+  Status Fit(const Dataset& train) override;
+  Result<int> Predict(const TimeSeries& series) const override;
+  Result<std::vector<double>> PredictProba(const TimeSeries& series) const override;
+  const std::vector<int>& class_labels() const override {
+    return logistic_.class_labels();
+  }
+  std::string name() const override { return "WEASEL"; }
+  bool SupportsMultivariate() const override { return false; }
+  std::unique_ptr<FullClassifier> CloneUntrained() const override {
+    return std::make_unique<WeaselClassifier>(options_);
+  }
+
+  /// Number of features surviving the chi² test (for tests/inspection).
+  size_t num_features() const { return selected_.size(); }
+
+ private:
+  /// Bag of words of one series under the fitted transforms (pre-selection
+  /// feature ids). When `grow` is non-null, unseen patterns are added to it
+  /// (training); otherwise they are dropped (prediction).
+  SparseVector Transform(const std::vector<double>& values,
+                         std::unordered_map<uint64_t, size_t>* grow) const;
+  Result<SparseVector> TransformSelected(const TimeSeries& series) const;
+
+  WeaselOptions options_;
+  std::vector<size_t> window_sizes_;
+  std::vector<Sfa> transforms_;  // one per window size
+  // (window index, word, previous word + 1) -> dense feature id. prev = 0
+  // encodes a unigram.
+  std::unordered_map<uint64_t, size_t> vocabulary_;
+  std::vector<size_t> selected_;  // chi²-surviving feature ids, sorted
+  LogisticRegression logistic_;
+};
+
+/// Packs a bag-of-patterns key. Words must fit in 24 bits.
+uint64_t PackWeaselKey(size_t window_index, uint64_t word, uint64_t prev_plus_1);
+
+/// Chooses `count` window sizes in [min_window, max_len], evenly spread.
+std::vector<size_t> ChooseWindowSizes(size_t min_window, size_t max_len,
+                                      size_t count);
+
+}  // namespace etsc
+
+#endif  // ETSC_TSC_WEASEL_H_

@@ -1,0 +1,120 @@
+#include "core/categorize.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "tests/test_util.h"
+
+namespace etsc {
+namespace {
+
+Dataset UniformDataset(size_t n, size_t length, size_t variables,
+                       size_t classes, double offset) {
+  Dataset d("u", {}, {});
+  Rng rng(5);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<std::vector<double>> channels(variables);
+    for (auto& c : channels) {
+      c.resize(length);
+      for (double& v : c) v = offset + rng.Gaussian(0.0, 1.0);
+    }
+    d.Add(TimeSeries::FromChannels(std::move(channels)).value(),
+          static_cast<int>(i % classes));
+  }
+  return d;
+}
+
+TEST(Categorize, CommonDatasetGetsOnlyCommonAndDimensionality) {
+  // Small, short, stable (big offset -> low CoV), balanced, binary.
+  Dataset d = UniformDataset(50, 20, 1, 2, 100.0);
+  const DatasetProfile profile = Categorize(d);
+  EXPECT_TRUE(profile.IsIn(DatasetCategory::kCommon));
+  EXPECT_TRUE(profile.IsIn(DatasetCategory::kUnivariate));
+  EXPECT_FALSE(profile.IsIn(DatasetCategory::kWide));
+  EXPECT_FALSE(profile.IsIn(DatasetCategory::kLarge));
+  EXPECT_FALSE(profile.IsIn(DatasetCategory::kUnstable));
+  EXPECT_FALSE(profile.IsIn(DatasetCategory::kImbalanced));
+  EXPECT_FALSE(profile.IsIn(DatasetCategory::kMulticlass));
+}
+
+TEST(Categorize, WideThreshold) {
+  // Sec 5.4: length > 1300 -> Wide.
+  Dataset wide = UniformDataset(5, 1301, 1, 2, 100.0);
+  EXPECT_TRUE(Categorize(wide).IsIn(DatasetCategory::kWide));
+  Dataset narrow = UniformDataset(5, 1300, 1, 2, 100.0);
+  EXPECT_FALSE(Categorize(narrow).IsIn(DatasetCategory::kWide));
+}
+
+TEST(Categorize, LargeThreshold) {
+  Dataset large = UniformDataset(1001, 5, 1, 2, 100.0);
+  EXPECT_TRUE(Categorize(large).IsIn(DatasetCategory::kLarge));
+  Dataset small = UniformDataset(1000, 5, 1, 2, 100.0);
+  EXPECT_FALSE(Categorize(small).IsIn(DatasetCategory::kLarge));
+}
+
+TEST(Categorize, UnstableByCoV) {
+  // Zero-mean noise has a huge CoV.
+  Dataset unstable = UniformDataset(20, 50, 1, 2, 0.0);
+  EXPECT_TRUE(Categorize(unstable).IsIn(DatasetCategory::kUnstable));
+}
+
+TEST(Categorize, ImbalancedByCir) {
+  Dataset d("imb", {}, {});
+  Rng rng(6);
+  for (int i = 0; i < 9; ++i) {
+    d.Add(TimeSeries::Univariate({100.0 + rng.Gaussian(0, 1)}), 0);
+  }
+  for (int i = 0; i < 3; ++i) {
+    d.Add(TimeSeries::Univariate({100.0 + rng.Gaussian(0, 1)}), 1);
+  }
+  // CIR = 3 > 1.73.
+  EXPECT_TRUE(Categorize(d).IsIn(DatasetCategory::kImbalanced));
+}
+
+TEST(Categorize, MulticlassAboveTwo) {
+  Dataset d = UniformDataset(30, 10, 1, 3, 100.0);
+  EXPECT_TRUE(Categorize(d).IsIn(DatasetCategory::kMulticlass));
+}
+
+TEST(Categorize, MultivariateFlag) {
+  Dataset d = UniformDataset(10, 10, 4, 2, 100.0);
+  const DatasetProfile profile = Categorize(d);
+  EXPECT_TRUE(profile.IsIn(DatasetCategory::kMultivariate));
+  EXPECT_FALSE(profile.IsIn(DatasetCategory::kUnivariate));
+  EXPECT_EQ(profile.num_variables, 4u);
+}
+
+TEST(Categorize, CommonExcludedWhenAnyPropertyHolds) {
+  Dataset d = UniformDataset(30, 10, 1, 3, 100.0);  // multiclass
+  EXPECT_FALSE(Categorize(d).IsIn(DatasetCategory::kCommon));
+}
+
+TEST(Categorize, ProfileStatisticsFilled) {
+  Dataset d = UniformDataset(12, 34, 2, 3, 50.0);
+  const DatasetProfile profile = Categorize(d);
+  EXPECT_EQ(profile.height, 12u);
+  EXPECT_EQ(profile.length, 34u);
+  EXPECT_EQ(profile.num_classes, 3u);
+  EXPECT_GT(profile.cov, 0.0);
+  EXPECT_GE(profile.cir, 1.0);
+}
+
+TEST(Categorize, AssignCategoriesRecomputes) {
+  Dataset d = UniformDataset(10, 10, 1, 2, 100.0);
+  DatasetProfile profile = Categorize(d);
+  EXPECT_FALSE(profile.IsIn(DatasetCategory::kLarge));
+  profile.height = 5000;  // pretend the canonical dataset is big
+  AssignCategories(&profile);
+  EXPECT_TRUE(profile.IsIn(DatasetCategory::kLarge));
+  EXPECT_FALSE(profile.IsIn(DatasetCategory::kCommon));
+}
+
+TEST(Categorize, CategoryNamesMatchTable3Headers) {
+  EXPECT_EQ(DatasetCategoryName(DatasetCategory::kWide), "Wide");
+  EXPECT_EQ(DatasetCategoryName(DatasetCategory::kCommon), "Common");
+  EXPECT_EQ(DatasetCategoryName(DatasetCategory::kMultivariate), "Multivariate");
+  EXPECT_EQ(AllDatasetCategories().size(), 8u);
+}
+
+}  // namespace
+}  // namespace etsc

@@ -1,0 +1,130 @@
+// Agglomerative clustering and nearest/reverse-nearest-neighbor structures
+// (the ECTS substrate).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ml/hierarchical.h"
+#include "ml/nn_search.h"
+
+namespace etsc {
+namespace {
+
+std::vector<std::vector<double>> DistanceMatrix(
+    const std::vector<double>& points) {
+  const size_t n = points.size();
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) d[i][j] = std::abs(points[i] - points[j]);
+  }
+  return d;
+}
+
+TEST(Agglomerative, MergesNearestFirst) {
+  // Points 0,1 close; 10 far.
+  const auto merges =
+      AgglomerativeCluster(DistanceMatrix({0.0, 1.0, 10.0}), Linkage::kSingle);
+  ASSERT_TRUE(merges.ok());
+  ASSERT_EQ(merges->size(), 2u);
+  EXPECT_EQ((*merges)[0].members, (std::vector<size_t>{0, 1}));
+  EXPECT_DOUBLE_EQ((*merges)[0].distance, 1.0);
+  EXPECT_EQ((*merges)[1].members, (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(Agglomerative, MergedIdsFollowScipyConvention) {
+  const auto merges =
+      AgglomerativeCluster(DistanceMatrix({0.0, 1.0, 10.0}), Linkage::kSingle);
+  ASSERT_TRUE(merges.ok());
+  EXPECT_EQ((*merges)[0].merged_id, 3u);
+  EXPECT_EQ((*merges)[1].merged_id, 4u);
+}
+
+TEST(Agglomerative, CompleteLinkageDiffers) {
+  // Chain 0 - 2 - 4: single linkage merges greedily along the chain; complete
+  // linkage produces larger inter-cluster distances at later merges.
+  const auto chain = DistanceMatrix({0.0, 2.0, 4.0});
+  const auto single = AgglomerativeCluster(chain, Linkage::kSingle);
+  const auto complete = AgglomerativeCluster(chain, Linkage::kComplete);
+  ASSERT_TRUE(single.ok() && complete.ok());
+  EXPECT_DOUBLE_EQ((*single)[1].distance, 2.0);
+  EXPECT_DOUBLE_EQ((*complete)[1].distance, 4.0);
+}
+
+TEST(Agglomerative, AverageLinkage) {
+  const auto merges =
+      AgglomerativeCluster(DistanceMatrix({0.0, 2.0, 4.0}), Linkage::kAverage);
+  ASSERT_TRUE(merges.ok());
+  EXPECT_DOUBLE_EQ((*merges)[1].distance, 3.0);  // mean of 2 and 4
+}
+
+TEST(Agglomerative, RejectsNonSquare) {
+  auto merges = AgglomerativeCluster({{0.0, 1.0}}, Linkage::kSingle);
+  EXPECT_FALSE(merges.ok());
+}
+
+TEST(Agglomerative, EmptyMatrixRejected) {
+  EXPECT_FALSE(AgglomerativeCluster({}, Linkage::kSingle).ok());
+}
+
+TEST(CutDendrogramFn, ProducesKClusters) {
+  const auto merges =
+      AgglomerativeCluster(DistanceMatrix({0.0, 1.0, 10.0, 11.0}), Linkage::kSingle);
+  ASSERT_TRUE(merges.ok());
+  auto labels = CutDendrogram(*merges, 4, 2);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ((*labels)[0], (*labels)[1]);
+  EXPECT_EQ((*labels)[2], (*labels)[3]);
+  EXPECT_NE((*labels)[0], (*labels)[2]);
+}
+
+TEST(CutDendrogramFn, KEqualsNIsIdentityPartition) {
+  const auto merges =
+      AgglomerativeCluster(DistanceMatrix({0.0, 1.0, 2.0}), Linkage::kSingle);
+  ASSERT_TRUE(merges.ok());
+  auto labels = CutDendrogram(*merges, 3, 3);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_NE((*labels)[0], (*labels)[1]);
+  EXPECT_NE((*labels)[1], (*labels)[2]);
+}
+
+TEST(CutDendrogramFn, RejectsBadK) {
+  const auto merges =
+      AgglomerativeCluster(DistanceMatrix({0.0, 1.0}), Linkage::kSingle);
+  ASSERT_TRUE(merges.ok());
+  EXPECT_FALSE(CutDendrogram(*merges, 2, 0).ok());
+  EXPECT_FALSE(CutDendrogram(*merges, 2, 3).ok());
+}
+
+TEST(NearestNeighbor, ExcludesSelf) {
+  const std::vector<std::vector<double>> points{{0.0}, {0.1}, {5.0}};
+  EXPECT_EQ(NearestNeighbor(points, points[0], 1, 0), 1u);
+  EXPECT_EQ(NearestNeighbor(points, points[2], 1, 2), 1u);
+}
+
+TEST(NearestNeighbor, PrefixLengthChangesAnswer) {
+  // Under prefix 1, point 1 is nearest to 0; under full length, point 2 is.
+  const std::vector<std::vector<double>> points{
+      {0.0, 0.0}, {0.1, 100.0}, {0.5, 0.0}};
+  EXPECT_EQ(NearestNeighbor(points, points[0], 1, 0), 1u);
+  EXPECT_EQ(NearestNeighbor(points, points[0], 2, 0), 2u);
+}
+
+TEST(AllNearestNeighborsFn, MutualPair) {
+  const std::vector<std::vector<double>> points{{0.0}, {1.0}, {10.0}};
+  const auto nn = AllNearestNeighbors(points, 1);
+  EXPECT_EQ(nn[0], 1u);
+  EXPECT_EQ(nn[1], 0u);
+  EXPECT_EQ(nn[2], 1u);
+}
+
+TEST(ReverseNearestNeighborsFn, InDegreeStructure) {
+  // nn: 0->1, 1->0, 2->1  =>  rnn[1] = {0, 2}, rnn[0] = {1}, rnn[2] = {}.
+  const auto rnn = ReverseNearestNeighbors({1, 0, 1});
+  EXPECT_EQ(rnn[0], (std::vector<size_t>{1}));
+  EXPECT_EQ(rnn[1], (std::vector<size_t>{0, 2}));
+  EXPECT_TRUE(rnn[2].empty());
+}
+
+}  // namespace
+}  // namespace etsc

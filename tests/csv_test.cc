@@ -1,0 +1,125 @@
+#include "core/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "tests/test_util.h"
+
+namespace etsc {
+namespace {
+
+TEST(Csv, ParseUnivariate) {
+  auto result = ParseCsv("1,0.5,1.5,2.5\n0,3,2,1\n");
+  ASSERT_TRUE(result.ok());
+  const Dataset& d = *result;
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.label(0), 1);
+  EXPECT_EQ(d.label(1), 0);
+  EXPECT_DOUBLE_EQ(d.instance(0).at(0, 2), 2.5);
+}
+
+TEST(Csv, ParseMultivariateGroupsRows) {
+  auto result = ParseCsv("1,1,2\n1,3,4\n0,5,6\n0,7,8\n", 2);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ(result->NumVariables(), 2u);
+  EXPECT_DOUBLE_EQ(result->instance(0).at(1, 1), 4.0);
+}
+
+TEST(Csv, RejectsLabelMismatchWithinExample) {
+  auto result = ParseCsv("1,1,2\n0,3,4\n", 2);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST(Csv, RejectsIncompleteTrailingExample) {
+  auto result = ParseCsv("1,1,2\n1,3,4\n0,5,6\n", 2);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Csv, MissingValuesParseAsNaN) {
+  auto result = ParseCsv("1,1.0,NaN,3.0\n1,1.0,,3.0\n1,1.0,?,3.0\n");
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(std::isnan(result->instance(i).at(0, 1))) << i;
+  }
+}
+
+TEST(Csv, RejectsGarbageNumericField) {
+  auto result = ParseCsv("1,abc\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Csv, RejectsBadLabel) {
+  auto result = ParseCsv("xyz,1,2\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Csv, SkipsBlankLines) {
+  auto result = ParseCsv("1,1,2\n\n   \n0,3,4\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+}
+
+TEST(Csv, NegativeLabelsSupported) {
+  auto result = ParseCsv("-1,1,2\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->label(0), -1);
+}
+
+TEST(Csv, RoundTripUnivariate) {
+  Dataset original = testing::MakeToyDataset(4, 10);
+  auto reparsed = ParseCsv(ToCsv(original));
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_EQ(reparsed->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(reparsed->label(i), original.label(i));
+    for (size_t t = 0; t < original.instance(i).length(); ++t) {
+      EXPECT_NEAR(reparsed->instance(i).at(0, t), original.instance(i).at(0, t),
+                  1e-9);
+    }
+  }
+}
+
+TEST(Csv, RoundTripMultivariate) {
+  Dataset original = testing::MakeToyMultivariate(3, 8, 2);
+  auto reparsed = ParseCsv(ToCsv(original), original.NumVariables());
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_EQ(reparsed->size(), original.size());
+  EXPECT_EQ(reparsed->NumVariables(), 2u);
+}
+
+TEST(Csv, SaveAndLoadFile) {
+  Dataset original = testing::MakeToyDataset(3, 6);
+  const std::string path = ::testing::TempDir() + "/etsc_csv_test.csv";
+  ASSERT_TRUE(SaveCsv(original, path).ok());
+  auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), original.size());
+  std::remove(path.c_str());
+}
+
+TEST(Csv, LoadMissingFileFails) {
+  auto result = LoadCsv("/nonexistent/file.csv");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST(Csv, NaNSurvivesRoundTrip) {
+  Dataset d("nan", {}, {});
+  d.Add(TimeSeries::Univariate({1.0, std::nan(""), 3.0}), 0);
+  auto reparsed = ParseCsv(ToCsv(d));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(std::isnan(reparsed->instance(0).at(0, 1)));
+}
+
+TEST(Csv, ZeroVariablesRejected) {
+  auto result = ParseCsv("1,2\n", 0);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace etsc

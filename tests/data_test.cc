@@ -1,0 +1,247 @@
+// Dataset substrate tests: the biological and maritime simulators and the ten
+// UCR-like generators must reproduce the paper's shape metadata and Table-3
+// category assignments.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/categorize.h"
+#include "data/biological_sim.h"
+#include "data/maritime_sim.h"
+#include "data/repository.h"
+#include "data/ucr_like.h"
+
+namespace etsc {
+namespace {
+
+TEST(BiologicalSim, PaperShape) {
+  BiologicalSimOptions options;
+  options.num_simulations = 120;  // scaled for test speed
+  const Dataset d = MakeBiologicalDataset(options);
+  EXPECT_EQ(d.size(), 120u);
+  EXPECT_EQ(d.NumVariables(), 3u);
+  EXPECT_EQ(d.MaxLength(), 48u);
+  EXPECT_EQ(d.NumClasses(), 2u);
+  // 20/80 imbalance.
+  const auto counts = d.ClassCounts();
+  EXPECT_EQ(counts.at(1), 24u);
+  EXPECT_EQ(counts.at(0), 96u);
+}
+
+TEST(BiologicalSim, InterestingRunsShrinkTumor) {
+  BiologicalSimOptions options;
+  options.num_simulations = 60;
+  const Dataset d = MakeBiologicalDataset(options);
+  for (size_t i = 0; i < d.size(); ++i) {
+    const auto& alive = d.instance(i).channel(0);
+    double peak = 0.0;
+    for (double v : alive) peak = std::max(peak, v);
+    const double final_value = alive.back();
+    if (d.label(i) == 1) {
+      EXPECT_LT(final_value, 0.75 * peak) << "interesting run " << i;
+    }
+  }
+}
+
+TEST(BiologicalSim, ClassesSimilarEarly) {
+  // Before drug onset (~30%), class means of Necrotic counts are both ~0.
+  BiologicalSimOptions options;
+  options.num_simulations = 100;
+  const Dataset d = MakeBiologicalDataset(options);
+  double necrotic_early[2] = {0, 0};
+  size_t n[2] = {0, 0};
+  for (size_t i = 0; i < d.size(); ++i) {
+    const auto& necrotic = d.instance(i).channel(1);
+    double sum = 0.0;
+    for (size_t t = 0; t < 8; ++t) sum += necrotic[t];
+    necrotic_early[d.label(i)] += sum / 8.0;
+    ++n[d.label(i)];
+  }
+  // Both classes have negligible necrotic mass in the first 8 points compared
+  // to the initial tumor size (1000 cells).
+  EXPECT_LT(necrotic_early[0] / n[0], 50.0);
+  EXPECT_LT(necrotic_early[1] / n[1], 50.0);
+}
+
+TEST(BiologicalSim, Deterministic) {
+  BiologicalSimOptions options;
+  options.num_simulations = 30;
+  const Dataset a = MakeBiologicalDataset(options);
+  const Dataset b = MakeBiologicalDataset(options);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_DOUBLE_EQ(a.instance(5).at(0, 10), b.instance(5).at(0, 10));
+}
+
+TEST(MaritimeSim, PaperShape) {
+  MaritimeSimOptions options;
+  options.num_windows = 300;
+  const Dataset d = MakeMaritimeDataset(options);
+  EXPECT_EQ(d.size(), 300u);
+  EXPECT_EQ(d.NumVariables(), 7u);
+  EXPECT_EQ(d.MaxLength(), 30u);
+  const auto counts = d.ClassCounts();
+  // positive fraction ~0.192.
+  EXPECT_NEAR(static_cast<double>(counts.at(1)) / 300.0, 0.192, 0.01);
+}
+
+TEST(MaritimeSim, LabelsMatchPolygonRule) {
+  MaritimeSimOptions options;
+  options.num_windows = 200;
+  const Dataset d = MakeMaritimeDataset(options);
+  for (size_t i = 0; i < d.size(); ++i) {
+    const TimeSeries& ts = d.instance(i);
+    const double lon = ts.at(2, ts.length() - 1);
+    const double lat = ts.at(3, ts.length() - 1);
+    EXPECT_EQ(InsidePolygon(PortPolygon(), lon, lat), d.label(i) == 1) << i;
+  }
+}
+
+TEST(MaritimeSim, TimestampsIncreaseAndIdsConstant) {
+  MaritimeSimOptions options;
+  options.num_windows = 50;
+  const Dataset d = MakeMaritimeDataset(options);
+  for (size_t i = 0; i < d.size(); ++i) {
+    const TimeSeries& ts = d.instance(i);
+    for (size_t t = 1; t < ts.length(); ++t) {
+      EXPECT_GT(ts.at(0, t), ts.at(0, t - 1));
+      EXPECT_DOUBLE_EQ(ts.at(1, t), ts.at(1, 0));
+    }
+  }
+}
+
+TEST(InsidePolygonFn, BasicSquare) {
+  const std::vector<std::pair<double, double>> square{
+      {0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  EXPECT_TRUE(InsidePolygon(square, 0.5, 0.5));
+  EXPECT_FALSE(InsidePolygon(square, 1.5, 0.5));
+  EXPECT_FALSE(InsidePolygon(square, -0.1, 0.5));
+}
+
+TEST(UcrLike, AllTenSpecsPresent) {
+  EXPECT_EQ(UcrLikeSpecs().size(), 10u);
+  std::set<std::string> names;
+  for (const auto& spec : UcrLikeSpecs()) names.insert(spec.name);
+  EXPECT_EQ(names.size(), 10u);
+  EXPECT_TRUE(names.count("HouseTwenty"));
+  EXPECT_TRUE(names.count("PLAID"));
+}
+
+TEST(UcrLike, FindByNameWorks) {
+  auto spec = FindUcrLikeSpec("PowerCons");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->length, 144u);
+  EXPECT_FALSE(FindUcrLikeSpec("NoSuchThing").ok());
+}
+
+TEST(UcrLike, GeneratedShapeMatchesSpec) {
+  for (const auto& spec : UcrLikeSpecs()) {
+    if (spec.height > 500) continue;  // keep the test fast
+    const Dataset d = MakeUcrLike(spec, 7);
+    EXPECT_EQ(d.size(), spec.height) << spec.name;
+    EXPECT_EQ(d.MaxLength(), spec.length) << spec.name;
+    EXPECT_EQ(d.NumVariables(), spec.variables) << spec.name;
+    EXPECT_EQ(d.NumClasses(), spec.classes) << spec.name;
+  }
+}
+
+TEST(UcrLike, HeightScaleSubsamples) {
+  auto spec = FindUcrLikeSpec("PowerCons");
+  ASSERT_TRUE(spec.ok());
+  const Dataset d = MakeUcrLike(*spec, 7, 0.25);
+  EXPECT_EQ(d.size(), 90u);
+}
+
+TEST(UcrLike, ImbalanceReproduced) {
+  auto spec = FindUcrLikeSpec("SharePriceIncrease");  // CIR 3
+  ASSERT_TRUE(spec.ok());
+  const Dataset d = MakeUcrLike(*spec, 7, 0.5);
+  EXPECT_NEAR(d.ClassImbalanceRatio(), 3.0, 0.4);
+}
+
+TEST(UcrLike, CovLandsNearTarget) {
+  auto spec = FindUcrLikeSpec("HouseTwenty");  // target 1.6 (Unstable)
+  ASSERT_TRUE(spec.ok());
+  const Dataset d = MakeUcrLike(*spec, 7);
+  EXPECT_NEAR(d.CoefficientOfVariation(), 1.6, 0.3);
+}
+
+TEST(Repository, AllTwelveDatasetsGenerate) {
+  RepositoryOptions options;
+  options.height_scale = 0.05;  // tiny corpus for the test
+  options.maritime_windows = 1200;
+  auto corpus = MakeBenchmarkCorpus(options);
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->size(), 12u);
+}
+
+TEST(Repository, CanonicalCategoriesMatchTable3) {
+  RepositoryOptions options;
+  options.height_scale = 0.05;
+  options.maritime_windows = 1200;
+  auto corpus = MakeBenchmarkCorpus(options);
+  ASSERT_TRUE(corpus.ok());
+
+  auto find = [&](const std::string& name) -> const BenchmarkDataset& {
+    for (const auto& d : *corpus) {
+      if (d.canonical_profile.name == name) return d;
+    }
+    ADD_FAILURE() << name << " missing";
+    return (*corpus)[0];
+  };
+
+  // Spot-check the Table-3 rows.
+  EXPECT_TRUE(find("HouseTwenty").canonical_profile.IsIn(DatasetCategory::kWide));
+  EXPECT_TRUE(
+      find("HouseTwenty").canonical_profile.IsIn(DatasetCategory::kUnstable));
+  EXPECT_TRUE(
+      find("HouseTwenty").canonical_profile.IsIn(DatasetCategory::kUnivariate));
+
+  EXPECT_TRUE(find("PLAID").canonical_profile.IsIn(DatasetCategory::kWide));
+  EXPECT_TRUE(find("PLAID").canonical_profile.IsIn(DatasetCategory::kLarge));
+  EXPECT_TRUE(find("PLAID").canonical_profile.IsIn(DatasetCategory::kImbalanced));
+  EXPECT_TRUE(find("PLAID").canonical_profile.IsIn(DatasetCategory::kMulticlass));
+
+  EXPECT_TRUE(find("Maritime").canonical_profile.IsIn(DatasetCategory::kLarge));
+  EXPECT_TRUE(
+      find("Maritime").canonical_profile.IsIn(DatasetCategory::kMultivariate));
+
+  EXPECT_TRUE(
+      find("Biological").canonical_profile.IsIn(DatasetCategory::kImbalanced));
+  EXPECT_TRUE(
+      find("Biological").canonical_profile.IsIn(DatasetCategory::kMultivariate));
+
+  EXPECT_TRUE(
+      find("PowerCons").canonical_profile.IsIn(DatasetCategory::kCommon));
+  EXPECT_TRUE(
+      find("DodgerLoopGame").canonical_profile.IsIn(DatasetCategory::kCommon));
+
+  EXPECT_TRUE(
+      find("BasicMotions").canonical_profile.IsIn(DatasetCategory::kMulticlass));
+  EXPECT_TRUE(find("BasicMotions")
+                  .canonical_profile.IsIn(DatasetCategory::kMultivariate));
+
+  EXPECT_TRUE(find("LSST").canonical_profile.IsIn(DatasetCategory::kLarge));
+  EXPECT_TRUE(find("LSST").canonical_profile.IsIn(DatasetCategory::kMulticlass));
+  EXPECT_TRUE(
+      find("SharePriceIncrease").canonical_profile.IsIn(DatasetCategory::kLarge));
+}
+
+TEST(Repository, ObservationPeriodsPropagated) {
+  RepositoryOptions options;
+  options.height_scale = 0.05;
+  options.maritime_windows = 1200;
+  auto maritime = MakeBenchmarkDataset("Maritime", options);
+  ASSERT_TRUE(maritime.ok());
+  EXPECT_DOUBLE_EQ(maritime->data.observation_period_seconds(), 60.0);
+  auto house = MakeBenchmarkDataset("HouseTwenty", options);
+  ASSERT_TRUE(house.ok());
+  EXPECT_DOUBLE_EQ(house->data.observation_period_seconds(), 8.0);
+}
+
+TEST(Repository, UnknownNameFails) {
+  EXPECT_FALSE(MakeBenchmarkDataset("Nope").ok());
+}
+
+}  // namespace
+}  // namespace etsc

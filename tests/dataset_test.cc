@@ -1,0 +1,161 @@
+#include "core/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "tests/test_util.h"
+
+namespace etsc {
+namespace {
+
+Dataset MakeSmall() {
+  Dataset d("small", {TimeSeries::Univariate({1, 2, 3}),
+                      TimeSeries::Univariate({4, 5, 6}),
+                      TimeSeries::Univariate({7, 8, 9})},
+            {0, 1, 1});
+  return d;
+}
+
+TEST(Dataset, BasicAccessors) {
+  Dataset d = MakeSmall();
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.name(), "small");
+  EXPECT_EQ(d.label(2), 1);
+  EXPECT_EQ(d.NumClasses(), 2u);
+  EXPECT_EQ(d.MaxLength(), 3u);
+  EXPECT_EQ(d.MinLength(), 3u);
+  EXPECT_TRUE(d.IsUnivariate());
+}
+
+TEST(Dataset, ClassCounts) {
+  const auto counts = MakeSmall().ClassCounts();
+  EXPECT_EQ(counts.at(0), 1u);
+  EXPECT_EQ(counts.at(1), 2u);
+}
+
+TEST(Dataset, ClassLabelsSorted) {
+  Dataset d("x", {TimeSeries::Univariate({1}), TimeSeries::Univariate({2})},
+            {7, -2});
+  const auto labels = d.ClassLabels();
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0], -2);
+  EXPECT_EQ(labels[1], 7);
+}
+
+TEST(Dataset, TruncatedShortensEveryInstance) {
+  Dataset d = MakeSmall().Truncated(2);
+  for (size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(d.instance(i).length(), 2u);
+  }
+  EXPECT_EQ(d.name(), "small");  // metadata preserved
+}
+
+TEST(Dataset, SubsetPreservesOrderAndLabels) {
+  Dataset d = MakeSmall().Subset({2, 0});
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.instance(0).at(0, 0), 7.0);
+  EXPECT_EQ(d.label(0), 1);
+  EXPECT_EQ(d.label(1), 0);
+}
+
+TEST(Dataset, SingleVariable) {
+  Dataset mv = testing::MakeToyMultivariate(3, 10, 2);
+  Dataset uni = mv.SingleVariable(1);
+  EXPECT_EQ(uni.NumVariables(), 1u);
+  EXPECT_EQ(uni.size(), mv.size());
+  EXPECT_DOUBLE_EQ(uni.instance(0).at(0, 0), mv.instance(0).at(1, 0));
+}
+
+TEST(Dataset, ClassImbalanceRatio) {
+  Dataset d("imb", {}, {});
+  for (int i = 0; i < 8; ++i) d.Add(TimeSeries::Univariate({0.0}), 0);
+  for (int i = 0; i < 2; ++i) d.Add(TimeSeries::Univariate({0.0}), 1);
+  EXPECT_DOUBLE_EQ(d.ClassImbalanceRatio(), 4.0);
+}
+
+TEST(Dataset, CoefficientOfVariation) {
+  Dataset d("cov", {}, {});
+  // Values {9, 11}: mean 10, stddev 1, CoV 0.1.
+  d.Add(TimeSeries::Univariate({9.0, 11.0}), 0);
+  EXPECT_NEAR(d.CoefficientOfVariation(), 0.1, 1e-9);
+}
+
+TEST(StratifiedKFold, FoldsPartitionTheData) {
+  Dataset d = testing::MakeToyDataset(10, 8);
+  Rng rng(1);
+  const auto folds = StratifiedKFold(d, 5, &rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<size_t> all_test;
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.train.size() + fold.test.size(), d.size());
+    for (size_t idx : fold.test) {
+      EXPECT_TRUE(all_test.insert(idx).second) << "index in two test folds";
+    }
+    // Train and test are disjoint.
+    std::set<size_t> train_set(fold.train.begin(), fold.train.end());
+    for (size_t idx : fold.test) EXPECT_EQ(train_set.count(idx), 0u);
+  }
+  EXPECT_EQ(all_test.size(), d.size());
+}
+
+TEST(StratifiedKFold, FoldsAreStratified) {
+  Dataset d = testing::MakeToyDataset(10, 8);  // 10 per class
+  Rng rng(2);
+  const auto folds = StratifiedKFold(d, 5, &rng);
+  for (const auto& fold : folds) {
+    size_t zeros = 0, ones = 0;
+    for (size_t idx : fold.test) {
+      (d.label(idx) == 0 ? zeros : ones)++;
+    }
+    EXPECT_EQ(zeros, 2u);
+    EXPECT_EQ(ones, 2u);
+  }
+}
+
+TEST(StratifiedKFold, DeterministicUnderSeed) {
+  Dataset d = testing::MakeToyDataset(6, 8);
+  Rng rng1(7), rng2(7);
+  const auto a = StratifiedKFold(d, 3, &rng1);
+  const auto b = StratifiedKFold(d, 3, &rng2);
+  for (size_t f = 0; f < a.size(); ++f) {
+    EXPECT_EQ(a[f].test, b[f].test);
+  }
+}
+
+TEST(StratifiedSplit, RespectsFractionPerClass) {
+  Dataset d = testing::MakeToyDataset(10, 8);
+  Rng rng(3);
+  const auto split = StratifiedSplit(d, 0.7, &rng);
+  size_t train_zeros = 0;
+  for (size_t idx : split.train) {
+    if (d.label(idx) == 0) ++train_zeros;
+  }
+  EXPECT_EQ(train_zeros, 7u);
+  EXPECT_EQ(split.train.size(), 14u);
+  EXPECT_EQ(split.test.size(), 6u);
+}
+
+TEST(StratifiedSplit, KeepsEveryClassOnBothSidesWhenPossible) {
+  Dataset d("tiny", {}, {});
+  for (int i = 0; i < 2; ++i) d.Add(TimeSeries::Univariate({0.0}), 0);
+  for (int i = 0; i < 2; ++i) d.Add(TimeSeries::Univariate({0.0}), 1);
+  Rng rng(4);
+  const auto split = StratifiedSplit(d, 0.9, &rng);
+  std::set<int> train_labels, test_labels;
+  for (size_t idx : split.train) train_labels.insert(d.label(idx));
+  for (size_t idx : split.test) test_labels.insert(d.label(idx));
+  EXPECT_EQ(train_labels.size(), 2u);
+  EXPECT_EQ(test_labels.size(), 2u);
+}
+
+TEST(Dataset, FillMissingValuesAppliesToAll) {
+  Dataset d("nan", {}, {});
+  d.Add(TimeSeries::Univariate({1.0, std::nan(""), 3.0}), 0);
+  d.FillMissingValues();
+  EXPECT_DOUBLE_EQ(d.instance(0).at(0, 1), 2.0);
+}
+
+}  // namespace
+}  // namespace etsc

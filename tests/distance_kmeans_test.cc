@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/rng.h"
+#include "ml/distance.h"
+#include "ml/kmeans.h"
+
+namespace etsc {
+namespace {
+
+TEST(Distance, EuclideanBasic) {
+  EXPECT_DOUBLE_EQ(Euclidean({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Euclidean({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(Distance, EuclideanPrefixIgnoresTail) {
+  EXPECT_DOUBLE_EQ(EuclideanPrefix({0, 0, 99}, {3, 4, 0}, 2), 5.0);
+}
+
+TEST(Distance, EuclideanPrefixClampsToShorter) {
+  EXPECT_DOUBLE_EQ(EuclideanPrefix({3}, {0, 100}, 5), 3.0);
+}
+
+TEST(Distance, MinSubseriesAlignsEverywhere) {
+  // Pattern {1,2} matches exactly at offset 2.
+  const double d = MinSubseriesDistance({1, 2}, {5, 5, 1, 2, 5});
+  EXPECT_DOUBLE_EQ(d, 0.0);
+}
+
+TEST(Distance, MinSubseriesFindsBestOffset) {
+  const double d = MinSubseriesDistance({0, 0}, {3, 4, 1, 1});
+  EXPECT_DOUBLE_EQ(d, std::sqrt(2.0));
+}
+
+TEST(Distance, MinSubseriesTooShortIsInfinite) {
+  EXPECT_TRUE(std::isinf(MinSubseriesDistance({1, 2, 3}, {1, 2})));
+}
+
+TEST(Distance, EarlyAbandonMatchesExact) {
+  const std::vector<double> pattern{1.0, -2.0, 0.5};
+  const std::vector<double> series{0.2, 1.1, -1.9, 0.4, 3.0, 1.0, -2.0, 0.5};
+  const double exact = MinSubseriesDistance(pattern, series);
+  const double abandoned =
+      MinSubseriesDistanceEarlyAbandon(pattern, series, 1e9);
+  EXPECT_DOUBLE_EQ(exact, abandoned);
+}
+
+TEST(Distance, EarlyAbandonNeverBelowBound) {
+  // With a tight bound the result can only be >= the true minimum.
+  const std::vector<double> pattern{0.0, 0.0};
+  const std::vector<double> series{5, 5, 5, 5};
+  const double d = MinSubseriesDistanceEarlyAbandon(pattern, series, 0.1);
+  EXPECT_GE(d, 0.1);
+}
+
+TEST(KMeans, RecoversWellSeparatedClusters) {
+  Rng rng(11);
+  std::vector<std::vector<double>> points;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 20; ++i) {
+      points.push_back({10.0 * c + rng.Gaussian(0, 0.2),
+                        -5.0 * c + rng.Gaussian(0, 0.2)});
+    }
+  }
+  KMeansOptions options;
+  options.num_clusters = 3;
+  auto model = KMeansFit(points, options, &rng);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->centroids.size(), 3u);
+  // All members of one ground-truth blob share an assignment.
+  for (int c = 0; c < 3; ++c) {
+    const size_t first = model->assignments[c * 20];
+    for (int i = 1; i < 20; ++i) {
+      EXPECT_EQ(model->assignments[c * 20 + i], first) << "blob " << c;
+    }
+  }
+  EXPECT_LT(model->inertia, 20.0);
+}
+
+TEST(KMeans, KClampedToPointCount) {
+  Rng rng(12);
+  std::vector<std::vector<double>> points{{0.0}, {1.0}};
+  KMeansOptions options;
+  options.num_clusters = 10;
+  auto model = KMeansFit(points, options, &rng);
+  ASSERT_TRUE(model.ok());
+  EXPECT_LE(model->centroids.size(), 2u);
+}
+
+TEST(KMeans, EmptyInputRejected) {
+  Rng rng(13);
+  auto model = KMeansFit({}, {}, &rng);
+  EXPECT_FALSE(model.ok());
+}
+
+TEST(KMeans, RaggedInputRejected) {
+  Rng rng(14);
+  auto model = KMeansFit({{1.0}, {1.0, 2.0}}, {}, &rng);
+  EXPECT_FALSE(model.ok());
+}
+
+TEST(KMeans, AssignPicksNearestCentroid) {
+  KMeansModel model;
+  model.centroids = {{0.0, 0.0}, {10.0, 10.0}};
+  EXPECT_EQ(model.Assign({1.0, 1.0}), 0u);
+  EXPECT_EQ(model.Assign({9.0, 9.0}), 1u);
+}
+
+TEST(KMeans, MembershipProbabilitiesSumToOne) {
+  KMeansModel model;
+  model.centroids = {{0.0}, {10.0}, {20.0}};
+  const auto probs = model.MembershipProbabilities({2.0});
+  double total = 0.0;
+  for (double p : probs) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Closest cluster has the highest membership.
+  EXPECT_GT(probs[0], probs[1]);
+  EXPECT_GT(probs[1], probs[2]);
+}
+
+TEST(KMeans, DeterministicUnderSeed) {
+  std::vector<std::vector<double>> points;
+  Rng gen(15);
+  for (int i = 0; i < 30; ++i) points.push_back({gen.Gaussian(), gen.Gaussian()});
+  Rng rng1(99), rng2(99);
+  auto a = KMeansFit(points, {}, &rng1);
+  auto b = KMeansFit(points, {}, &rng2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->assignments, b->assignments);
+}
+
+TEST(KMeans, SingleCluster) {
+  Rng rng(16);
+  std::vector<std::vector<double>> points{{0.0}, {2.0}, {4.0}};
+  KMeansOptions options;
+  options.num_clusters = 1;
+  auto model = KMeansFit(points, options, &rng);
+  ASSERT_TRUE(model.ok());
+  ASSERT_EQ(model->centroids.size(), 1u);
+  EXPECT_NEAR(model->centroids[0][0], 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace etsc

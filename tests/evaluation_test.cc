@@ -1,0 +1,139 @@
+#include "core/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "tests/test_util.h"
+
+namespace etsc {
+namespace {
+
+/// Perfect oracle that consumes half the series; lets the harness be tested
+/// against exact expected metrics.
+class OracleEarly : public EarlyClassifier {
+ public:
+  Status Fit(const Dataset& train) override {
+    // Memorise the class signal rule of MakeToyDataset: class 1 has a level
+    // shift; threshold on the mean of the second half.
+    (void)train;
+    return Status::OK();
+  }
+  Result<EarlyPrediction> PredictEarly(const TimeSeries& series) const override {
+    const size_t half = series.length() / 2;
+    double sum = 0.0;
+    for (size_t t = 0; t < series.length(); ++t) sum += series.at(0, t);
+    const int label = sum / static_cast<double>(series.length()) > 0.5 ? 1 : 0;
+    return EarlyPrediction{label, half};
+  }
+  std::string name() const override { return "oracle"; }
+  bool SupportsMultivariate() const override { return false; }
+  std::unique_ptr<EarlyClassifier> CloneUntrained() const override {
+    return std::make_unique<OracleEarly>();
+  }
+};
+
+/// Always fails to train; simulates the 48-hour cut-off.
+class NeverTrains : public EarlyClassifier {
+ public:
+  Status Fit(const Dataset&) override {
+    return Status::ResourceExhausted("pretend 48h exceeded");
+  }
+  Result<EarlyPrediction> PredictEarly(const TimeSeries&) const override {
+    return Status::FailedPrecondition("not fitted");
+  }
+  std::string name() const override { return "never"; }
+  bool SupportsMultivariate() const override { return true; }
+  std::unique_ptr<EarlyClassifier> CloneUntrained() const override {
+    return std::make_unique<NeverTrains>();
+  }
+};
+
+TEST(CrossValidate, RunsAllFolds) {
+  Dataset d = testing::MakeToyDataset(15, 20);
+  EvaluationOptions options;
+  options.num_folds = 5;
+  const EvaluationResult result = CrossValidate(d, OracleEarly(), options);
+  EXPECT_EQ(result.folds.size(), 5u);
+  EXPECT_TRUE(result.trained());
+  EXPECT_EQ(result.algorithm, "oracle");
+  EXPECT_EQ(result.dataset, "toy");
+}
+
+TEST(CrossValidate, OracleScoresNearPerfect) {
+  Dataset d = testing::MakeToyDataset(15, 20, /*signal_start=*/0.0, 3, 0.05);
+  const EvaluationResult result = CrossValidate(d, OracleEarly());
+  const EvalScores scores = result.MeanScores();
+  EXPECT_GE(scores.accuracy, 0.95);
+  EXPECT_NEAR(scores.earliness, 0.5, 1e-9);
+  EXPECT_GT(scores.harmonic_mean, 0.6);
+}
+
+TEST(CrossValidate, FailedTrainingIsRecordedNotFatal) {
+  Dataset d = testing::MakeToyDataset(10, 10);
+  const EvaluationResult result = CrossValidate(d, NeverTrains());
+  EXPECT_FALSE(result.trained());
+  for (const auto& fold : result.folds) {
+    EXPECT_FALSE(fold.trained);
+    EXPECT_NE(fold.failure.find("ResourceExhausted"), std::string::npos);
+  }
+  // Mean scores over zero trained folds are all-zero defaults.
+  EXPECT_DOUBLE_EQ(result.MeanScores().accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(result.MeanTrainSeconds(), 0.0);
+}
+
+TEST(CrossValidate, DeterministicUnderSeed) {
+  Dataset d = testing::MakeToyDataset(12, 16);
+  EvaluationOptions options;
+  options.seed = 77;
+  const auto a = CrossValidate(d, OracleEarly(), options);
+  const auto b = CrossValidate(d, OracleEarly(), options);
+  ASSERT_EQ(a.folds.size(), b.folds.size());
+  for (size_t f = 0; f < a.folds.size(); ++f) {
+    EXPECT_DOUBLE_EQ(a.folds[f].scores.accuracy, b.folds[f].scores.accuracy);
+    EXPECT_DOUBLE_EQ(a.folds[f].scores.earliness, b.folds[f].scores.earliness);
+  }
+}
+
+TEST(CrossValidate, VotingAppliedToMultivariate) {
+  Dataset mv = testing::MakeToyMultivariate(10, 12, 2);
+  // OracleEarly is univariate; the harness must wrap it so evaluation works.
+  const EvaluationResult result = CrossValidate(mv, OracleEarly());
+  EXPECT_TRUE(result.trained());
+}
+
+TEST(EvaluateSplitFn, CountsAndTimings) {
+  Dataset d = testing::MakeToyDataset(10, 10);
+  Rng rng(5);
+  const auto split = StratifiedSplit(d, 0.7, &rng);
+  Dataset train = d.Subset(split.train);
+  Dataset test = d.Subset(split.test);
+  OracleEarly oracle;
+  const FoldOutcome outcome = EvaluateSplit(train, test, &oracle);
+  EXPECT_TRUE(outcome.trained);
+  EXPECT_EQ(outcome.num_test, test.size());
+  EXPECT_GE(outcome.train_seconds, 0.0);
+  EXPECT_GE(outcome.test_seconds, 0.0);
+}
+
+TEST(Stopwatch, MeasuresElapsed) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(sw.Seconds(), 0.009);
+  sw.Restart();
+  EXPECT_LT(sw.Seconds(), 0.009);
+}
+
+TEST(EvaluationResultStruct, MeanTestSecondsPerInstance) {
+  EvaluationResult result;
+  FoldOutcome fold;
+  fold.trained = true;
+  fold.test_seconds = 1.0;
+  fold.num_test = 10;
+  result.folds.push_back(fold);
+  EXPECT_DOUBLE_EQ(result.MeanTestSecondsPerInstance(), 0.1);
+}
+
+}  // namespace
+}  // namespace etsc

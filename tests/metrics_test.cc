@@ -1,0 +1,109 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace etsc {
+namespace {
+
+TEST(ConfusionMatrix, AccuracyMatchesDefinition) {
+  // Sec 2.2: accuracy = (TP + TN) / all.
+  ConfusionMatrix cm({1, 1, 0, 0}, {1, 0, 0, 0});
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.75);
+}
+
+TEST(ConfusionMatrix, EmptyIsZero) {
+  ConfusionMatrix cm;
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.MacroF1(), 0.0);
+}
+
+TEST(ConfusionMatrix, PerfectPrediction) {
+  ConfusionMatrix cm({0, 1, 2}, {0, 1, 2});
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.MacroF1(), 1.0);
+}
+
+TEST(ConfusionMatrix, F1HalfSumForm) {
+  // One class: TP=1, FP=1, FN=1 => F1 = 1 / (1 + 0.5*(1+1)) = 0.5.
+  ConfusionMatrix cm;
+  cm.Add(1, 1);   // TP for class 1
+  cm.Add(0, 1);   // FP for class 1 / FN for class 0
+  cm.Add(1, 0);   // FN for class 1 / FP for class 0
+  EXPECT_DOUBLE_EQ(cm.F1(1), 0.5);
+}
+
+TEST(ConfusionMatrix, MacroF1AveragesOverTruthClasses) {
+  // Class 0 predicted perfectly, class 1 never predicted.
+  ConfusionMatrix cm({0, 0, 1}, {0, 0, 0});
+  const double f1_class0 = 2.0 / (2.0 + 0.5 * 1.0);  // TP=2, FP=1, FN=0
+  EXPECT_DOUBLE_EQ(cm.F1(0), f1_class0);
+  EXPECT_DOUBLE_EQ(cm.F1(1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.MacroF1(), (f1_class0 + 0.0) / 2.0);
+}
+
+TEST(ConfusionMatrix, PrecisionRecall) {
+  ConfusionMatrix cm({1, 1, 0}, {1, 0, 1});
+  EXPECT_DOUBLE_EQ(cm.Precision(1), 0.5);  // 1 of 2 predicted 1s correct
+  EXPECT_DOUBLE_EQ(cm.Recall(1), 0.5);     // 1 of 2 true 1s found
+}
+
+TEST(ConfusionMatrix, LabelsUnionOfTruthAndPred) {
+  ConfusionMatrix cm({0}, {5});
+  const auto labels = cm.Labels();
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0], 0);
+  EXPECT_EQ(labels[1], 5);
+}
+
+TEST(Earliness, FullConsumptionIsOne) {
+  EXPECT_DOUBLE_EQ(MeanEarliness({10, 10}, {10, 10}), 1.0);
+}
+
+TEST(Earliness, AveragesRatios) {
+  // 5/10 and 10/20 -> 0.5.
+  EXPECT_DOUBLE_EQ(MeanEarliness({5, 10}, {10, 20}), 0.5);
+}
+
+TEST(Earliness, EmptyIsWorstCase) {
+  EXPECT_DOUBLE_EQ(MeanEarliness({}, {}), 1.0);
+}
+
+TEST(Earliness, ClampedAtOne) {
+  // Prefix longer than the series cannot push earliness above 1.
+  EXPECT_DOUBLE_EQ(MeanEarliness({20}, {10}), 1.0);
+}
+
+TEST(HarmonicMeanMetric, ZeroWhenFullSeriesNeeded) {
+  // Sec 2.2: HM is zero when earliness is 1.
+  EXPECT_DOUBLE_EQ(HarmonicMean(1.0, 1.0), 0.0);
+}
+
+TEST(HarmonicMeanMetric, ZeroWhenAccuracyZero) {
+  EXPECT_DOUBLE_EQ(HarmonicMean(0.0, 0.2), 0.0);
+}
+
+TEST(HarmonicMeanMetric, BalancedCase) {
+  // acc = 0.8, earliness = 0.2 -> 2*0.8*0.8/(1.6) = 0.8.
+  EXPECT_DOUBLE_EQ(HarmonicMean(0.8, 0.2), 0.8);
+}
+
+TEST(HarmonicMeanMetric, FormulaMatchesPaper) {
+  const double acc = 0.9, early = 0.3;
+  const double expected = 2.0 * acc * (1.0 - early) / (acc + (1.0 - early));
+  EXPECT_DOUBLE_EQ(HarmonicMean(acc, early), expected);
+}
+
+TEST(ComputeScoresFn, BundlesAllMetrics) {
+  const EvalScores scores =
+      ComputeScores({1, 0, 1, 0}, {1, 0, 0, 0}, {5, 5, 10, 10}, {10, 10, 10, 10});
+  EXPECT_DOUBLE_EQ(scores.accuracy, 0.75);
+  EXPECT_DOUBLE_EQ(scores.earliness, 0.75);
+  EXPECT_DOUBLE_EQ(scores.harmonic_mean, HarmonicMean(0.75, 0.75));
+  EXPECT_GT(scores.f1, 0.0);
+  EXPECT_FALSE(scores.ToString().empty());
+}
+
+}  // namespace
+}  // namespace etsc

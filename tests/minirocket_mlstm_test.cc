@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tests/test_util.h"
+#include "tsc/minirocket.h"
+#include "tsc/mlstm.h"
+
+namespace etsc {
+namespace {
+
+using testing::FullAccuracy;
+using testing::MakeToyDataset;
+using testing::MakeToyMultivariate;
+
+TEST(MiniRocketKernels, Exactly84DistinctTriples) {
+  const auto& triples = MiniRocketKernelTriples();
+  std::set<std::array<size_t, 3>> distinct(triples.begin(), triples.end());
+  EXPECT_EQ(distinct.size(), 84u);
+  for (const auto& t : triples) {
+    EXPECT_LT(t[0], t[1]);
+    EXPECT_LT(t[1], t[2]);
+    EXPECT_LT(t[2], 9u);
+  }
+}
+
+TEST(MiniRocket, FeatureVectorDimensionStable) {
+  Dataset d = MakeToyDataset(10, 30);
+  MiniRocketClassifier model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  auto f1 = model.Transform(d.instance(0));
+  auto f2 = model.Transform(d.instance(1));
+  ASSERT_TRUE(f1.ok() && f2.ok());
+  EXPECT_EQ(f1->size(), f2->size());
+  EXPECT_EQ(f1->size(), model.num_features());
+}
+
+TEST(MiniRocket, PpvFeaturesWithinUnitInterval) {
+  Dataset d = MakeToyDataset(10, 30);
+  MiniRocketClassifier model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  auto features = model.Transform(d.instance(0));
+  ASSERT_TRUE(features.ok());
+  for (double v : *features) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(MiniRocket, TrainAccuracyHigh) {
+  Dataset d = MakeToyDataset(20, 40);
+  MiniRocketClassifier model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  EXPECT_GE(FullAccuracy(model, d), 0.95);
+}
+
+TEST(MiniRocket, LogisticHeadAboveThreshold) {
+  MiniRocketOptions options;
+  options.logistic_above_samples = 10;  // force the logistic path
+  MiniRocketClassifier model(options);
+  Dataset d = MakeToyDataset(15, 30);
+  ASSERT_TRUE(model.Fit(d).ok());
+  EXPECT_GE(FullAccuracy(model, d), 0.9);
+}
+
+TEST(MiniRocket, MultivariateChannelMixing) {
+  Dataset mv = MakeToyMultivariate(15, 30);
+  MiniRocketClassifier model;
+  ASSERT_TRUE(model.Fit(mv).ok());
+  EXPECT_GE(FullAccuracy(model, mv), 0.9);
+}
+
+TEST(MiniRocket, RejectsDegenerateInput) {
+  MiniRocketClassifier model;
+  EXPECT_FALSE(model.Fit(Dataset()).ok());
+  EXPECT_FALSE(model.Transform(TimeSeries::Univariate({1, 2})).ok());
+}
+
+TEST(MiniRocket, DeterministicUnderSeed) {
+  Dataset d = MakeToyDataset(12, 24);
+  MiniRocketClassifier a, b;
+  ASSERT_TRUE(a.Fit(d).ok());
+  ASSERT_TRUE(b.Fit(d).ok());
+  auto fa = a.Transform(d.instance(0));
+  auto fb = b.Transform(d.instance(0));
+  ASSERT_TRUE(fa.ok() && fb.ok());
+  EXPECT_EQ(*fa, *fb);
+}
+
+TEST(Mlstm, LearnsUnivariate) {
+  MlstmOptions options;
+  options.epochs = 30;
+  MlstmClassifier model(options);
+  Dataset d = MakeToyDataset(15, 24, 0.0, 3, 0.05);
+  ASSERT_TRUE(model.Fit(d).ok());
+  EXPECT_GE(FullAccuracy(model, d), 0.85);
+}
+
+TEST(Mlstm, ProbaSumsToOne) {
+  MlstmOptions options;
+  options.epochs = 5;
+  MlstmClassifier model(options);
+  Dataset mv = MakeToyMultivariate(8, 16);
+  ASSERT_TRUE(model.Fit(mv).ok());
+  auto proba = model.PredictProba(mv.instance(0));
+  ASSERT_TRUE(proba.ok());
+  double total = 0.0;
+  for (double p : *proba) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(proba->size(), 3u);
+}
+
+TEST(Mlstm, HandlesShorterAndLongerInputAtPredict) {
+  MlstmOptions options;
+  options.epochs = 3;
+  MlstmClassifier model(options);
+  Dataset d = MakeToyDataset(8, 20);
+  ASSERT_TRUE(model.Fit(d).ok());
+  EXPECT_TRUE(model.Predict(d.instance(0).Prefix(10)).ok());
+  // Longer than fit length: truncated internally.
+  TimeSeries longer = TimeSeries::Univariate(std::vector<double>(40, 0.5));
+  EXPECT_TRUE(model.Predict(longer).ok());
+}
+
+TEST(Mlstm, PredictBeforeFitFails) {
+  MlstmClassifier model;
+  EXPECT_FALSE(model.Predict(TimeSeries::Univariate({1, 2, 3})).ok());
+}
+
+TEST(Mlstm, SingleClassDegenerates) {
+  MlstmClassifier model;
+  Dataset d("one", {TimeSeries::Univariate({1, 2, 3}),
+                    TimeSeries::Univariate({2, 3, 4})},
+            {7, 7});
+  ASSERT_TRUE(model.Fit(d).ok());
+  auto pred = model.Predict(d.instance(0));
+  ASSERT_TRUE(pred.ok());
+  EXPECT_EQ(*pred, 7);
+}
+
+}  // namespace
+}  // namespace etsc

@@ -1,0 +1,338 @@
+// Neural-network substrate tests, including finite-difference gradient checks
+// of every layer used by MLSTM-FCN.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "core/rng.h"
+#include "ml/nn/layers.h"
+#include "ml/nn/lstm.h"
+#include "ml/nn/tensor.h"
+
+namespace etsc::nn {
+namespace {
+
+Batch RandomBatch(size_t n, size_t channels, size_t time, Rng* rng) {
+  Batch batch(n);
+  for (auto& fm : batch) {
+    fm = MakeMap(channels, time);
+    for (auto& c : fm) {
+      for (double& v : c) v = rng->Gaussian();
+    }
+  }
+  return batch;
+}
+
+// Weighted sum of a batch with fixed coefficients: a scalar loss whose
+// gradient w.r.t. the batch is exactly the coefficients.
+double WeightedSum(const Batch& batch, const Batch& coeffs) {
+  double sum = 0.0;
+  for (size_t b = 0; b < batch.size(); ++b) {
+    for (size_t c = 0; c < batch[b].size(); ++c) {
+      for (size_t t = 0; t < batch[b][c].size(); ++t) {
+        sum += batch[b][c][t] * coeffs[b][c][t];
+      }
+    }
+  }
+  return sum;
+}
+
+// Central finite difference of `loss` w.r.t. one scalar location.
+double NumericalGrad(const std::function<double()>& loss, double* x,
+                     double eps = 1e-5) {
+  const double saved = *x;
+  *x = saved + eps;
+  const double up = loss();
+  *x = saved - eps;
+  const double down = loss();
+  *x = saved;
+  return (up - down) / (2.0 * eps);
+}
+
+TEST(Conv1D, GradientCheckInputAndParams) {
+  Rng rng(71);
+  Conv1D conv(2, 3, 3, &rng);
+  Batch input = RandomBatch(2, 2, 7, &rng);
+  Batch coeffs = RandomBatch(2, 3, 7, &rng);
+
+  auto loss = [&]() { return WeightedSum(conv.Forward(input), coeffs); };
+  loss();  // populate caches
+  Batch grad_in = conv.Backward(coeffs);
+
+  // Input gradient.
+  for (size_t c = 0; c < 2; ++c) {
+    for (size_t t = 0; t < 7; t += 3) {
+      const double num = NumericalGrad(loss, &input[0][c][t]);
+      EXPECT_NEAR(grad_in[0][c][t], num, 1e-6) << "c=" << c << " t=" << t;
+    }
+  }
+  // Weight gradient (accumulated once per Backward; re-run cleanly).
+  for (Param* p : conv.Params()) p->ZeroGrad();
+  loss();
+  conv.Backward(coeffs);
+  Param* weights = conv.Params()[0];
+  for (size_t i = 0; i < weights->value.size(); i += 5) {
+    const double num = NumericalGrad(loss, &weights->value[i]);
+    EXPECT_NEAR(weights->grad[i], num, 1e-6) << "w" << i;
+  }
+}
+
+TEST(BatchNorm, GradientCheckInput) {
+  Rng rng(72);
+  BatchNorm1D bn(2);
+  Batch input = RandomBatch(3, 2, 5, &rng);
+  Batch coeffs = RandomBatch(3, 2, 5, &rng);
+
+  auto loss = [&]() {
+    return WeightedSum(bn.Forward(input, /*training=*/true), coeffs);
+  };
+  loss();
+  Batch grad_in = bn.Backward(coeffs);
+  for (size_t b = 0; b < 2; ++b) {
+    for (size_t t = 0; t < 5; t += 2) {
+      const double num = NumericalGrad(loss, &input[b][0][t]);
+      EXPECT_NEAR(grad_in[b][0][t], num, 1e-5) << "b=" << b << " t=" << t;
+    }
+  }
+}
+
+TEST(BatchNorm, NormalisesTrainingBatch) {
+  Rng rng(73);
+  BatchNorm1D bn(1);
+  Batch input = RandomBatch(4, 1, 10, &rng);
+  for (auto& fm : input) {
+    for (double& v : fm[0]) v = v * 3.0 + 7.0;
+  }
+  const Batch out = bn.Forward(input, true);
+  double mean = 0.0;
+  size_t count = 0;
+  for (const auto& fm : out) {
+    for (double v : fm[0]) {
+      mean += v;
+      ++count;
+    }
+  }
+  mean /= count;
+  EXPECT_NEAR(mean, 0.0, 1e-9);
+}
+
+TEST(BatchNorm, InferenceUsesRunningStats) {
+  Rng rng(74);
+  BatchNorm1D bn(1);
+  Batch input = RandomBatch(4, 1, 10, &rng);
+  for (int i = 0; i < 50; ++i) bn.Forward(input, true);  // converge stats
+  const Batch train_out = bn.Forward(input, true);
+  const Batch infer_out = bn.Forward(input, false);
+  EXPECT_NEAR(train_out[0][0][0], infer_out[0][0][0], 0.2);
+}
+
+TEST(ReLULayer, ForwardBackward) {
+  ReLU relu;
+  Batch input{{{-1.0, 2.0, -3.0, 4.0}}};
+  const Batch out = relu.Forward(input);
+  EXPECT_DOUBLE_EQ(out[0][0][0], 0.0);
+  EXPECT_DOUBLE_EQ(out[0][0][1], 2.0);
+  Batch grad{{{1.0, 1.0, 1.0, 1.0}}};
+  const Batch gin = relu.Backward(grad);
+  EXPECT_DOUBLE_EQ(gin[0][0][0], 0.0);
+  EXPECT_DOUBLE_EQ(gin[0][0][1], 1.0);
+}
+
+TEST(SqueezeExciteLayer, GradientCheckInput) {
+  Rng rng(75);
+  SqueezeExcite se(3, 2, &rng);
+  Batch input = RandomBatch(2, 3, 4, &rng);
+  Batch coeffs = RandomBatch(2, 3, 4, &rng);
+
+  auto loss = [&]() { return WeightedSum(se.Forward(input), coeffs); };
+  loss();
+  Batch grad_in = se.Backward(coeffs);
+  for (size_t c = 0; c < 3; ++c) {
+    for (size_t t = 0; t < 4; t += 2) {
+      const double num = NumericalGrad(loss, &input[1][c][t]);
+      EXPECT_NEAR(grad_in[1][c][t], num, 1e-6);
+    }
+  }
+}
+
+TEST(SqueezeExciteLayer, GatesBoundedAndScaling) {
+  Rng rng(76);
+  SqueezeExcite se(2, 2, &rng);
+  Batch input = RandomBatch(1, 2, 6, &rng);
+  const Batch out = se.Forward(input);
+  // Output is a channel-wise scaling with gate in (0,1).
+  for (size_t t = 0; t < 6; ++t) {
+    if (std::abs(input[0][0][t]) > 1e-9) {
+      const double gate = out[0][0][t] / input[0][0][t];
+      EXPECT_GT(gate, 0.0);
+      EXPECT_LT(gate, 1.0);
+    }
+  }
+}
+
+TEST(GlobalAvgPoolLayer, ForwardBackward) {
+  GlobalAvgPool gap;
+  Batch input{{{2.0, 4.0}, {0.0, 6.0}}};
+  const auto out = gap.Forward(input);
+  EXPECT_DOUBLE_EQ(out[0][0], 3.0);
+  EXPECT_DOUBLE_EQ(out[0][1], 3.0);
+  const Batch gin = gap.Backward({{1.0, 2.0}});
+  EXPECT_DOUBLE_EQ(gin[0][0][0], 0.5);
+  EXPECT_DOUBLE_EQ(gin[0][1][1], 1.0);
+}
+
+TEST(DenseLayer, GradientCheck) {
+  Rng rng(77);
+  Dense dense(4, 3, &rng);
+  std::vector<std::vector<double>> input{{0.5, -1.0, 2.0, 0.1}};
+  std::vector<std::vector<double>> coeffs{{1.0, -2.0, 0.5}};
+
+  auto loss = [&]() {
+    const auto out = dense.Forward(input);
+    double sum = 0.0;
+    for (size_t i = 0; i < 3; ++i) sum += out[0][i] * coeffs[0][i];
+    return sum;
+  };
+  loss();
+  const auto grad_in = dense.Backward(coeffs);
+  for (size_t i = 0; i < 4; ++i) {
+    const double num = NumericalGrad(loss, &input[0][i]);
+    EXPECT_NEAR(grad_in[0][i], num, 1e-6);
+  }
+  for (Param* p : dense.Params()) p->ZeroGrad();
+  loss();
+  dense.Backward(coeffs);
+  Param* weights = dense.Params()[0];
+  for (size_t i = 0; i < weights->value.size(); i += 3) {
+    const double num = NumericalGrad(loss, &weights->value[i]);
+    EXPECT_NEAR(weights->grad[i], num, 1e-6);
+  }
+}
+
+TEST(DropoutLayer, InferenceIsIdentity) {
+  Rng rng(78);
+  Dropout dropout(0.5);
+  std::vector<std::vector<double>> input{{1.0, 2.0, 3.0}};
+  const auto out = dropout.Forward(input, /*training=*/false, &rng);
+  EXPECT_EQ(out, input);
+}
+
+TEST(DropoutLayer, TrainingScalesKeptUnits) {
+  Rng rng(79);
+  Dropout dropout(0.5);
+  std::vector<std::vector<double>> input{
+      std::vector<double>(1000, 1.0)};
+  const auto out = dropout.Forward(input, true, &rng);
+  // Kept units are scaled by 1/keep = 2; expectation stays ~1.
+  double mean = 0.0;
+  for (double v : out[0]) {
+    EXPECT_TRUE(v == 0.0 || std::abs(v - 2.0) < 1e-12);
+    mean += v;
+  }
+  EXPECT_NEAR(mean / 1000.0, 1.0, 0.15);
+}
+
+TEST(SoftmaxCE, ProbabilitiesAndLoss) {
+  const std::vector<std::vector<double>> logits{{1.0, 1.0}, {10.0, 0.0}};
+  const auto probs = SoftmaxCrossEntropy::Probabilities(logits);
+  EXPECT_NEAR(probs[0][0], 0.5, 1e-12);
+  EXPECT_GT(probs[1][0], 0.99);
+
+  std::vector<std::vector<double>> grad;
+  const double loss = SoftmaxCrossEntropy::LossAndGrad(logits, {0, 0}, &grad);
+  EXPECT_GT(loss, 0.0);
+  // Gradient of correct class is negative (pushes logit up).
+  EXPECT_LT(grad[0][0], 0.0);
+  EXPECT_GT(grad[0][1], 0.0);
+}
+
+TEST(SoftmaxCE, GradientCheck) {
+  std::vector<std::vector<double>> logits{{0.3, -0.7, 1.2}};
+  const std::vector<size_t> targets{2};
+  std::vector<std::vector<double>> grad;
+  SoftmaxCrossEntropy::LossAndGrad(logits, targets, &grad);
+  for (size_t i = 0; i < 3; ++i) {
+    auto loss = [&]() {
+      std::vector<std::vector<double>> g;
+      return SoftmaxCrossEntropy::LossAndGrad(logits, targets, &g);
+    };
+    const double num = NumericalGrad(loss, &logits[0][i]);
+    EXPECT_NEAR(grad[0][i], num, 1e-6);
+  }
+}
+
+TEST(LstmLayer, GradientCheckInput) {
+  Rng rng(80);
+  Lstm lstm(3, 4, &rng);
+  std::vector<std::vector<std::vector<double>>> input{
+      {{0.1, -0.2, 0.3}, {0.4, 0.0, -0.5}, {0.2, 0.2, 0.2}}};
+  std::vector<std::vector<double>> coeffs{{1.0, -1.0, 0.5, 2.0}};
+
+  auto loss = [&]() {
+    const auto h = lstm.Forward(input);
+    double sum = 0.0;
+    for (size_t i = 0; i < 4; ++i) sum += h[0][i] * coeffs[0][i];
+    return sum;
+  };
+  loss();
+  const auto grad_in = lstm.Backward(coeffs);
+  for (size_t s = 0; s < 3; ++s) {
+    for (size_t k = 0; k < 3; ++k) {
+      const double num = NumericalGrad(loss, &input[0][s][k]);
+      EXPECT_NEAR(grad_in[0][s][k], num, 1e-6) << "step " << s << " dim " << k;
+    }
+  }
+}
+
+TEST(LstmLayer, GradientCheckParams) {
+  Rng rng(81);
+  Lstm lstm(2, 3, &rng);
+  std::vector<std::vector<std::vector<double>>> input{
+      {{0.5, -0.1}, {-0.3, 0.8}}};
+  std::vector<std::vector<double>> coeffs{{0.7, -0.2, 1.1}};
+
+  auto loss = [&]() {
+    const auto h = lstm.Forward(input);
+    double sum = 0.0;
+    for (size_t i = 0; i < 3; ++i) sum += h[0][i] * coeffs[0][i];
+    return sum;
+  };
+  for (Param* p : lstm.Params()) p->ZeroGrad();
+  loss();
+  lstm.Backward(coeffs);
+  for (Param* p : lstm.Params()) {
+    for (size_t i = 0; i < p->value.size(); i += 7) {
+      const double num = NumericalGrad(loss, &p->value[i]);
+      EXPECT_NEAR(p->grad[i], num, 1e-6);
+    }
+  }
+}
+
+TEST(AdamOptimizer, ReducesSimpleQuadratic) {
+  // Minimise (x - 3)^2 with Adam; gradient = 2(x - 3).
+  Param p(1);
+  p.value[0] = 0.0;
+  Adam adam(0.1);
+  adam.Register({&p});
+  for (int i = 0; i < 500; ++i) {
+    adam.ZeroGrad();
+    p.grad[0] = 2.0 * (p.value[0] - 3.0);
+    adam.Step();
+  }
+  EXPECT_NEAR(p.value[0], 3.0, 0.05);
+}
+
+TEST(ParamBlock, GlorotInitWithinLimit) {
+  Rng rng(82);
+  Param p(100);
+  p.GlorotInit(10, 10, &rng);
+  const double limit = std::sqrt(6.0 / 20.0);
+  for (double v : p.value) {
+    EXPECT_LE(std::abs(v), limit + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace etsc::nn

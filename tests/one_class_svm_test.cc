@@ -1,0 +1,111 @@
+#include "ml/one_class_svm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace etsc {
+namespace {
+
+std::vector<std::vector<double>> GaussianBlob(size_t n, double cx, double cy,
+                                              double spread, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> points;
+  for (size_t i = 0; i < n; ++i) {
+    points.push_back({cx + rng.Gaussian(0, spread), cy + rng.Gaussian(0, spread)});
+  }
+  return points;
+}
+
+TEST(OneClassSvm, AcceptsInliersRejectsFarOutliers) {
+  Rng rng(51);
+  const auto blob = GaussianBlob(200, 0.0, 0.0, 0.5, 52);
+  OneClassSvm svm;
+  ASSERT_TRUE(svm.Fit(blob, &rng).ok());
+
+  size_t accepted = 0;
+  for (const auto& p : GaussianBlob(100, 0.0, 0.0, 0.4, 53)) {
+    auto verdict = svm.Accepts(p);
+    ASSERT_TRUE(verdict.ok());
+    if (*verdict) ++accepted;
+  }
+  EXPECT_GE(accepted, 85u);  // most inliers accepted
+
+  size_t rejected = 0;
+  for (const auto& p : GaussianBlob(100, 20.0, 20.0, 0.4, 54)) {
+    auto verdict = svm.Accepts(p);
+    ASSERT_TRUE(verdict.ok());
+    if (!*verdict) ++rejected;
+  }
+  EXPECT_GE(rejected, 95u);  // far outliers rejected
+}
+
+TEST(OneClassSvm, NuControlsTraining) {
+  // Just exercise the knob: both settings must fit and produce SVs.
+  Rng rng(55);
+  const auto blob = GaussianBlob(100, 0.0, 0.0, 1.0, 56);
+  for (double nu : {0.01, 0.3}) {
+    OneClassSvmOptions options;
+    options.nu = nu;
+    OneClassSvm svm(options);
+    ASSERT_TRUE(svm.Fit(blob, &rng).ok());
+    EXPECT_GT(svm.num_support_vectors(), 0u);
+  }
+}
+
+TEST(OneClassSvm, SubsamplingCapApplies) {
+  Rng rng(57);
+  OneClassSvmOptions options;
+  options.max_training_points = 50;
+  OneClassSvm svm(options);
+  ASSERT_TRUE(svm.Fit(GaussianBlob(500, 0, 0, 1.0, 58), &rng).ok());
+  EXPECT_LE(svm.num_support_vectors(), 50u);
+}
+
+TEST(OneClassSvm, DecisionContinuity) {
+  // Decision value decreases as the query moves away from the blob.
+  Rng rng(59);
+  OneClassSvm svm;
+  ASSERT_TRUE(svm.Fit(GaussianBlob(150, 0, 0, 0.5, 60), &rng).ok());
+  auto near = svm.Decision({0.0, 0.0});
+  auto mid = svm.Decision({2.0, 2.0});
+  auto far = svm.Decision({10.0, 10.0});
+  ASSERT_TRUE(near.ok() && mid.ok() && far.ok());
+  EXPECT_GT(*near, *mid);
+  EXPECT_GT(*mid, *far);
+}
+
+TEST(OneClassSvm, ExplicitGammaRespected) {
+  Rng rng(61);
+  OneClassSvmOptions options;
+  options.gamma = 10.0;  // very narrow kernel
+  OneClassSvm svm(options);
+  ASSERT_TRUE(svm.Fit(GaussianBlob(50, 0, 0, 1.0, 62), &rng).ok());
+  // With a narrow kernel, a point between training points scores low.
+  auto far = svm.Decision({100.0, 100.0});
+  ASSERT_TRUE(far.ok());
+  EXPECT_LT(*far, 0.0);
+}
+
+TEST(OneClassSvm, InputValidation) {
+  Rng rng(63);
+  OneClassSvm svm;
+  EXPECT_FALSE(svm.Fit({}, &rng).ok());
+  EXPECT_FALSE(svm.Fit({{1.0}, {1.0, 2.0}}, &rng).ok());
+  EXPECT_FALSE(svm.Fit({{1.0}}, nullptr).ok());
+  EXPECT_FALSE(svm.Decision({1.0}).ok());  // not fitted
+}
+
+TEST(OneClassSvm, SinglePointDegenerate) {
+  Rng rng(64);
+  OneClassSvm svm;
+  ASSERT_TRUE(svm.Fit({{1.0, 2.0}}, &rng).ok());
+  auto self = svm.Accepts({1.0, 2.0});
+  ASSERT_TRUE(self.ok());
+  EXPECT_TRUE(*self);
+}
+
+}  // namespace
+}  // namespace etsc

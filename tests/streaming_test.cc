@@ -1,0 +1,129 @@
+#include "core/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "algos/ects.h"
+#include "tests/test_util.h"
+
+namespace etsc {
+namespace {
+
+/// Commits with label 1 as soon as it has seen `need` points (prefix < buffer
+/// signals an early commitment to the session).
+class FixedNeed : public EarlyClassifier {
+ public:
+  explicit FixedNeed(size_t need) : need_(need) {}
+  Status Fit(const Dataset&) override { return Status::OK(); }
+  Result<EarlyPrediction> PredictEarly(const TimeSeries& series) const override {
+    if (series.length() == 0) {
+      return Status::InvalidArgument("empty series");
+    }
+    return EarlyPrediction{1, std::min(need_, series.length())};
+  }
+  std::string name() const override { return "fixed"; }
+  bool SupportsMultivariate() const override { return true; }
+  std::unique_ptr<EarlyClassifier> CloneUntrained() const override {
+    return std::make_unique<FixedNeed>(need_);
+  }
+
+ private:
+  size_t need_;
+};
+
+TEST(StreamingSession, CommitsOncePrefixFitsInsideBuffer) {
+  FixedNeed model(3);
+  StreamingSession session(&model, 1);
+  for (int t = 0; t < 3; ++t) {
+    auto out = session.Push({static_cast<double>(t)});
+    ASSERT_TRUE(out.ok());
+    EXPECT_FALSE(out->has_value()) << "at t=" << t;
+  }
+  // At the 4th point the model still only needs 3 < 4: decision is final.
+  auto out = session.Push({3.0});
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(out->has_value());
+  EXPECT_EQ((*out)->label, 1);
+  EXPECT_EQ((*out)->prefix_length, 3u);
+}
+
+TEST(StreamingSession, DecisionSticksAfterCommitment) {
+  FixedNeed model(2);
+  StreamingSession session(&model, 1);
+  (void)session.Push({0.0});
+  (void)session.Push({1.0});
+  auto first = session.Push({2.0});
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->has_value());
+  auto second = session.Push({99.0});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ((*second)->prefix_length, (*first)->prefix_length);
+}
+
+TEST(StreamingSession, FinishForcesDecision) {
+  FixedNeed model(100);  // never commits early
+  StreamingSession session(&model, 1);
+  (void)session.Push({0.0});
+  (void)session.Push({1.0});
+  auto decision = session.Finish();
+  ASSERT_TRUE(decision.ok());
+  EXPECT_EQ(decision->prefix_length, 2u);
+  EXPECT_TRUE(session.decision().has_value());
+}
+
+TEST(StreamingSession, FinishWithoutDataFails) {
+  FixedNeed model(1);
+  StreamingSession session(&model, 1);
+  EXPECT_FALSE(session.Finish().ok());
+}
+
+TEST(StreamingSession, RejectsWrongVariableCount) {
+  FixedNeed model(1);
+  StreamingSession session(&model, 2);
+  auto out = session.Push({1.0});
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(StreamingSession, ResetStartsOver) {
+  FixedNeed model(1);
+  StreamingSession session(&model, 1);
+  (void)session.Push({0.0});
+  (void)session.Push({1.0});
+  ASSERT_TRUE(session.decision().has_value());
+  session.Reset();
+  EXPECT_EQ(session.observed(), 0u);
+  EXPECT_FALSE(session.decision().has_value());
+  auto out = session.Push({5.0});
+  ASSERT_TRUE(out.ok());
+}
+
+TEST(StreamingSession, MatchesBatchPredictionWithRealAlgorithm) {
+  // Streaming an instance point-by-point must reach the same label as the
+  // batch PredictEarly, and commit no later.
+  Dataset d = testing::MakeToyDataset(15, 24, 0.0, 3, 0.05);
+  EctsClassifier model;
+  ASSERT_TRUE(model.Fit(d).ok());
+
+  const TimeSeries& instance = d.instance(0);
+  auto batch = model.PredictEarly(instance);
+  ASSERT_TRUE(batch.ok());
+
+  StreamingSession session(&model, 1);
+  std::optional<EarlyPrediction> streamed;
+  for (size_t t = 0; t < instance.length() && !streamed.has_value(); ++t) {
+    auto out = session.Push({instance.at(0, t)});
+    ASSERT_TRUE(out.ok());
+    streamed = *out;
+  }
+  if (!streamed.has_value()) {
+    auto finished = session.Finish();
+    ASSERT_TRUE(finished.ok());
+    streamed = *finished;
+  }
+  EXPECT_EQ(streamed->label, batch->label);
+  EXPECT_LE(streamed->prefix_length, instance.length());
+}
+
+}  // namespace
+}  // namespace etsc

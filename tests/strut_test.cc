@@ -1,0 +1,150 @@
+#include "algos/strut.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "tsc/minirocket.h"
+#include "tsc/weasel.h"
+
+namespace etsc {
+namespace {
+
+using testing::EarlyAccuracy;
+using testing::MakeToyDataset;
+using testing::MakeToyMultivariate;
+
+TEST(Strut, TruncationPointWithinHorizon) {
+  Dataset d = MakeToyDataset(20, 40);
+  StrutClassifier model(std::make_unique<MiniRocketClassifier>());
+  ASSERT_TRUE(model.Fit(d).ok());
+  EXPECT_GE(model.truncation_point(), 2u);
+  EXPECT_LE(model.truncation_point(), 40u);
+}
+
+TEST(Strut, EveryPredictionConsumesTheChosenPrefix) {
+  Dataset d = MakeToyDataset(15, 30);
+  StrutClassifier model(std::make_unique<MiniRocketClassifier>());
+  ASSERT_TRUE(model.Fit(d).ok());
+  for (size_t i = 0; i < d.size(); ++i) {
+    auto pred = model.PredictEarly(d.instance(i));
+    ASSERT_TRUE(pred.ok());
+    EXPECT_EQ(pred->prefix_length, model.truncation_point());
+  }
+}
+
+TEST(Strut, HarmonicMeanMetricPrefersEarlyOnEarlySignal) {
+  // Class signal available from t = 0: the HM-optimal truncation point is
+  // well before the end.
+  Dataset d = MakeToyDataset(25, 40, 0.0, 3, 0.05);
+  StrutOptions options;
+  options.metric = StrutMetric::kHarmonicMean;
+  StrutClassifier model(std::make_unique<MiniRocketClassifier>(), options);
+  ASSERT_TRUE(model.Fit(d).ok());
+  EXPECT_LT(model.truncation_point(), 30u);
+  EXPECT_GE(EarlyAccuracy(model, d), 0.85);
+}
+
+TEST(Strut, LateSignalPushesTruncationLater) {
+  Dataset early_d = MakeToyDataset(25, 40, 0.0, 3, 0.05);
+  Dataset late_d = MakeToyDataset(25, 40, 0.7, 3, 0.05);
+  StrutClassifier early_m(std::make_unique<MiniRocketClassifier>());
+  StrutClassifier late_m(std::make_unique<MiniRocketClassifier>());
+  ASSERT_TRUE(early_m.Fit(early_d).ok());
+  ASSERT_TRUE(late_m.Fit(late_d).ok());
+  EXPECT_LT(early_m.truncation_point(), late_m.truncation_point());
+}
+
+TEST(Strut, AccuracyMetricRuns) {
+  Dataset d = MakeToyDataset(15, 30);
+  StrutOptions options;
+  options.metric = StrutMetric::kAccuracy;
+  StrutClassifier model(std::make_unique<MiniRocketClassifier>(), options);
+  ASSERT_TRUE(model.Fit(d).ok());
+  EXPECT_GE(EarlyAccuracy(model, d), 0.9);
+}
+
+TEST(Strut, F1MetricRuns) {
+  Dataset d = MakeToyDataset(15, 30);
+  StrutOptions options;
+  options.metric = StrutMetric::kF1;
+  StrutClassifier model(std::make_unique<MiniRocketClassifier>(), options);
+  ASSERT_TRUE(model.Fit(d).ok());
+  EXPECT_GE(EarlyAccuracy(model, d), 0.9);
+}
+
+TEST(Strut, GridSearchMatchesFractions) {
+  Dataset d = MakeToyDataset(15, 40);
+  StrutOptions options;
+  options.search = StrutSearch::kGrid;
+  options.fractions = {0.5};
+  StrutClassifier model(std::make_unique<MiniRocketClassifier>(), options);
+  ASSERT_TRUE(model.Fit(d).ok());
+  EXPECT_EQ(model.truncation_point(), 20u);
+}
+
+TEST(Strut, BinaryRefinementNeverLaterThanGridBest) {
+  Dataset d = MakeToyDataset(25, 40, 0.0, 3, 0.05);
+  StrutOptions grid;
+  grid.search = StrutSearch::kGrid;
+  StrutOptions binary = grid;
+  binary.search = StrutSearch::kBinary;
+  StrutClassifier g(std::make_unique<MiniRocketClassifier>(), grid);
+  StrutClassifier b(std::make_unique<MiniRocketClassifier>(), binary);
+  ASSERT_TRUE(g.Fit(d).ok());
+  ASSERT_TRUE(b.Fit(d).ok());
+  EXPECT_LE(b.truncation_point(), g.truncation_point());
+}
+
+TEST(Strut, NamesFollowPaperConventions) {
+  EXPECT_EQ(MakeStrutWeasel(false)->name(), "S-WEASEL");
+  EXPECT_EQ(MakeStrutMiniRocket()->name(), "S-MINI");
+  EXPECT_EQ(MakeStrutMlstm()->name(), "S-MLSTM");
+}
+
+TEST(Strut, AdaptiveWeaselHandlesBothDimensionalities) {
+  auto uni = MakeStrutWeasel(false);
+  ASSERT_TRUE(uni->Fit(MakeToyDataset(15, 30)).ok());
+  auto mv = MakeStrutWeasel(true);
+  ASSERT_TRUE(mv->Fit(MakeToyMultivariate(12, 24)).ok());
+  EXPECT_TRUE(mv->SupportsMultivariate());
+}
+
+TEST(Strut, TooFewSeriesRejected) {
+  Dataset d("few", {TimeSeries::Univariate({1, 2, 3})}, {0});
+  StrutClassifier model(std::make_unique<MiniRocketClassifier>());
+  EXPECT_FALSE(model.Fit(d).ok());
+}
+
+TEST(Strut, PredictBeforeFitFails) {
+  StrutClassifier model(std::make_unique<MiniRocketClassifier>());
+  EXPECT_FALSE(model.PredictEarly(TimeSeries::Univariate({1.0})).ok());
+}
+
+TEST(Strut, BudgetExhaustionReported) {
+  Dataset d = MakeToyDataset(20, 40);
+  StrutClassifier model(std::make_unique<MiniRocketClassifier>());
+  model.set_train_budget_seconds(0.0);
+  EXPECT_EQ(model.Fit(d).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Strut, CloneUntrainedKeepsNameAndConfig) {
+  StrutOptions options;
+  options.metric = StrutMetric::kAccuracy;
+  StrutClassifier model(std::make_unique<MiniRocketClassifier>(), options,
+                        "S-CUSTOM");
+  auto clone = model.CloneUntrained();
+  EXPECT_EQ(clone->name(), "S-CUSTOM");
+}
+
+TEST(Strut, ShorterTestSeriesConsumesWhatExists) {
+  Dataset d = MakeToyDataset(15, 30);
+  StrutClassifier model(std::make_unique<MiniRocketClassifier>());
+  ASSERT_TRUE(model.Fit(d).ok());
+  const size_t t = model.truncation_point();
+  auto pred = model.PredictEarly(d.instance(0).Prefix(t / 2 + 1));
+  ASSERT_TRUE(pred.ok());
+  EXPECT_LE(pred->prefix_length, t / 2 + 1);
+}
+
+}  // namespace
+}  // namespace etsc

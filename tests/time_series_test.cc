@@ -1,0 +1,118 @@
+#include "core/time_series.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace etsc {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TEST(TimeSeries, UnivariateConstruction) {
+  TimeSeries ts = TimeSeries::Univariate({1.0, 2.0, 3.0});
+  EXPECT_EQ(ts.num_variables(), 1u);
+  EXPECT_EQ(ts.length(), 3u);
+  EXPECT_DOUBLE_EQ(ts.at(0, 1), 2.0);
+}
+
+TEST(TimeSeries, FromChannelsRejectsRagged) {
+  auto result = TimeSeries::FromChannels({{1.0, 2.0}, {1.0}});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TimeSeries, FromChannelsRejectsEmpty) {
+  auto result = TimeSeries::FromChannels({});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(TimeSeries, PrefixTruncates) {
+  TimeSeries ts = TimeSeries::Univariate({1, 2, 3, 4, 5});
+  TimeSeries prefix = ts.Prefix(3);
+  EXPECT_EQ(prefix.length(), 3u);
+  EXPECT_DOUBLE_EQ(prefix.at(0, 2), 3.0);
+}
+
+TEST(TimeSeries, PrefixClampsToLength) {
+  TimeSeries ts = TimeSeries::Univariate({1, 2});
+  EXPECT_EQ(ts.Prefix(10).length(), 2u);
+}
+
+TEST(TimeSeries, SingleVariableExtractsChannel) {
+  auto ts = TimeSeries::FromChannels({{1, 2}, {3, 4}}).value();
+  TimeSeries second = ts.SingleVariable(1);
+  EXPECT_EQ(second.num_variables(), 1u);
+  EXPECT_DOUBLE_EQ(second.at(0, 0), 3.0);
+}
+
+TEST(TimeSeries, MissingValueDetection) {
+  TimeSeries clean = TimeSeries::Univariate({1, 2});
+  EXPECT_FALSE(clean.HasMissingValues());
+  TimeSeries dirty = TimeSeries::Univariate({1, kNaN});
+  EXPECT_TRUE(dirty.HasMissingValues());
+}
+
+TEST(TimeSeries, FillMissingUsesGapEndpointMean) {
+  // The paper's rule: mean of the last value before the gap and the first
+  // after it.
+  TimeSeries ts = TimeSeries::Univariate({2.0, kNaN, kNaN, 6.0});
+  ts.FillMissingValues();
+  EXPECT_FALSE(ts.HasMissingValues());
+  EXPECT_DOUBLE_EQ(ts.at(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(ts.at(0, 2), 4.0);
+}
+
+TEST(TimeSeries, FillMissingLeadingAndTrailing) {
+  TimeSeries ts = TimeSeries::Univariate({kNaN, 3.0, kNaN});
+  ts.FillMissingValues();
+  EXPECT_DOUBLE_EQ(ts.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(ts.at(0, 2), 3.0);
+}
+
+TEST(TimeSeries, FillMissingAllNaNBecomesZero) {
+  TimeSeries ts = TimeSeries::Univariate({kNaN, kNaN});
+  ts.FillMissingValues();
+  EXPECT_DOUBLE_EQ(ts.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(ts.at(0, 1), 0.0);
+}
+
+TEST(TimeSeries, ZNormalize) {
+  TimeSeries ts = TimeSeries::Univariate({1.0, 2.0, 3.0, 4.0});
+  ts.ZNormalize();
+  EXPECT_NEAR(ts.Mean(0), 0.0, 1e-12);
+  EXPECT_NEAR(ts.StdDev(0), 1.0, 1e-12);
+}
+
+TEST(TimeSeries, ZNormalizeConstantChannelOnlyCentres) {
+  TimeSeries ts = TimeSeries::Univariate({5.0, 5.0, 5.0});
+  ts.ZNormalize();
+  for (size_t t = 0; t < 3; ++t) EXPECT_DOUBLE_EQ(ts.at(0, t), 0.0);
+}
+
+TEST(TimeSeries, MeanAndStdDev) {
+  TimeSeries ts = TimeSeries::Univariate({2.0, 4.0, 6.0, 8.0});
+  EXPECT_DOUBLE_EQ(ts.Mean(0), 5.0);
+  EXPECT_NEAR(ts.StdDev(0), std::sqrt(5.0), 1e-12);
+}
+
+TEST(Distance, SquaredEuclidean) {
+  EXPECT_DOUBLE_EQ(SquaredEuclidean({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(Distance, EuclideanDistanceMultivariate) {
+  auto a = TimeSeries::FromChannels({{0, 0}, {0, 0}}).value();
+  auto b = TimeSeries::FromChannels({{3, 0}, {0, 4}}).value();
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 5.0);
+}
+
+TEST(Distance, EuclideanDistancePrefix) {
+  auto a = TimeSeries::Univariate({0, 0, 100});
+  auto b = TimeSeries::Univariate({3, 4, 0});
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b, 2), 5.0);
+}
+
+}  // namespace
+}  // namespace etsc

@@ -1,0 +1,160 @@
+// CART regression trees and gradient boosting (ECONOMY-K's base classifier).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "ml/decision_tree.h"
+#include "ml/gbdt.h"
+
+namespace etsc {
+namespace {
+
+TEST(RegressionTree, FitsAStepFunction) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (double v = 0.0; v < 10.0; v += 0.5) {
+    x.push_back({v});
+    y.push_back(v < 5.0 ? -1.0 : 1.0);
+  }
+  RegressionTree tree;
+  ASSERT_TRUE(tree.Fit(x, y).ok());
+  EXPECT_NEAR(tree.Predict({2.0}), -1.0, 1e-9);
+  EXPECT_NEAR(tree.Predict({8.0}), 1.0, 1e-9);
+}
+
+TEST(RegressionTree, DepthZeroIsMean) {
+  RegressionTreeOptions options;
+  options.max_depth = 0;
+  RegressionTree tree(options);
+  ASSERT_TRUE(tree.Fit({{0.0}, {1.0}}, {2.0, 4.0}).ok());
+  EXPECT_NEAR(tree.Predict({0.0}), 3.0, 1e-9);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+}
+
+TEST(RegressionTree, MinSamplesLeafRespected) {
+  RegressionTreeOptions options;
+  options.min_samples_leaf = 3;
+  RegressionTree tree(options);
+  // Only 4 samples: a split would leave a side with < 3.
+  ASSERT_TRUE(tree.Fit({{0.0}, {1.0}, {2.0}, {3.0}}, {0, 0, 1, 1}).ok());
+  EXPECT_EQ(tree.num_nodes(), 1u);
+}
+
+TEST(RegressionTree, HessianWeightedLeaves) {
+  // Leaf value = sum(g) / sum(h): with h = 2 the leaf halves.
+  RegressionTreeOptions options;
+  options.max_depth = 0;
+  RegressionTree tree(options);
+  ASSERT_TRUE(tree.Fit({{0.0}}, {4.0}, {2.0}).ok());
+  EXPECT_NEAR(tree.Predict({0.0}), 2.0, 1e-9);
+}
+
+TEST(RegressionTree, MultiFeatureSplitPicksInformative) {
+  // Feature 0 is noise-free signal, feature 1 is constant.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back({static_cast<double>(i), 7.0});
+    y.push_back(i < 10 ? 0.0 : 10.0);
+  }
+  RegressionTree tree;
+  ASSERT_TRUE(tree.Fit(x, y).ok());
+  EXPECT_NEAR(tree.Predict({3.0, 7.0}), 0.0, 1e-9);
+  EXPECT_NEAR(tree.Predict({15.0, 7.0}), 10.0, 1e-9);
+}
+
+TEST(RegressionTree, InputValidation) {
+  RegressionTree tree;
+  EXPECT_FALSE(tree.Fit({}, {}).ok());
+  EXPECT_FALSE(tree.Fit({{1.0}}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(tree.Fit({{1.0}, {1.0, 2.0}}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(tree.Fit({{1.0}}, {1.0}, {1.0, 2.0}).ok());
+}
+
+TEST(Gbdt, LearnsXorLikePattern) {
+  // Non-linear pattern a single linear model cannot fit.
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  Rng rng(21);
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.Uniform(-1, 1);
+    const double b = rng.Uniform(-1, 1);
+    x.push_back({a, b});
+    y.push_back(a * b > 0 ? 1 : 0);
+  }
+  GbdtClassifier model;
+  ASSERT_TRUE(model.Fit(x, y, &rng).ok());
+  size_t correct = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    auto pred = model.Predict(x[i]);
+    ASSERT_TRUE(pred.ok());
+    if (*pred == y[i]) ++correct;
+  }
+  EXPECT_GE(static_cast<double>(correct) / x.size(), 0.9);
+}
+
+TEST(Gbdt, MulticlassProbabilitiesSumToOne) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 10; ++i) {
+      x.push_back({static_cast<double>(c), static_cast<double>(i) * 0.01});
+      y.push_back(c + 5);  // non-contiguous labels
+    }
+  }
+  GbdtClassifier model;
+  ASSERT_TRUE(model.Fit(x, y, nullptr).ok());
+  EXPECT_EQ(model.class_labels(), (std::vector<int>{5, 6, 7}));
+  auto proba = model.PredictProba({1.0, 0.05});
+  ASSERT_TRUE(proba.ok());
+  double total = 0.0;
+  for (double p : *proba) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  auto pred = model.Predict({2.0, 0.0});
+  ASSERT_TRUE(pred.ok());
+  EXPECT_EQ(*pred, 7);
+}
+
+TEST(Gbdt, SingleClassPredictsIt) {
+  GbdtClassifier model;
+  ASSERT_TRUE(model.Fit({{0.0}, {1.0}}, {3, 3}, nullptr).ok());
+  auto pred = model.Predict({0.5});
+  ASSERT_TRUE(pred.ok());
+  EXPECT_EQ(*pred, 3);
+}
+
+TEST(Gbdt, SubsampleRequiresRng) {
+  GbdtOptions options;
+  options.subsample = 0.5;
+  GbdtClassifier model(options);
+  EXPECT_FALSE(model.Fit({{0.0}}, {0}, nullptr).ok());
+}
+
+TEST(Gbdt, PredictBeforeFitFails) {
+  GbdtClassifier model;
+  EXPECT_FALSE(model.Predict({0.0}).ok());
+}
+
+TEST(Gbdt, SubsamplingStillLearns) {
+  GbdtOptions options;
+  options.subsample = 0.7;
+  options.num_rounds = 30;
+  GbdtClassifier model(options);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  Rng rng(22);
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.Uniform(-1, 1);
+    x.push_back({v});
+    y.push_back(v > 0 ? 1 : 0);
+  }
+  ASSERT_TRUE(model.Fit(x, y, &rng).ok());
+  auto pred = model.Predict({0.8});
+  ASSERT_TRUE(pred.ok());
+  EXPECT_EQ(*pred, 1);
+}
+
+}  // namespace
+}  // namespace etsc

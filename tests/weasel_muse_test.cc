@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "tsc/muse.h"
+#include "tsc/weasel.h"
+
+namespace etsc {
+namespace {
+
+using testing::FullAccuracy;
+using testing::MakeToyDataset;
+using testing::MakeToyMultivariate;
+
+TEST(ChooseWindowSizesFn, EvenSpreadAndBounds) {
+  const auto sizes = ChooseWindowSizes(4, 40, 5);
+  ASSERT_EQ(sizes.size(), 5u);
+  EXPECT_EQ(sizes.front(), 4u);
+  EXPECT_EQ(sizes.back(), 40u);
+  for (size_t i = 1; i < sizes.size(); ++i) EXPECT_GT(sizes[i], sizes[i - 1]);
+}
+
+TEST(ChooseWindowSizesFn, ShortSeriesCollapses) {
+  const auto sizes = ChooseWindowSizes(4, 5, 20);
+  EXPECT_EQ(sizes.size(), 2u);  // only 4 and 5 possible
+}
+
+TEST(ChooseWindowSizesFn, MaxBelowMin) {
+  const auto sizes = ChooseWindowSizes(8, 5, 10);
+  ASSERT_EQ(sizes.size(), 1u);
+  EXPECT_EQ(sizes[0], 5u);
+}
+
+TEST(PackWeaselKeyFn, InjectiveOnComponents) {
+  const uint64_t a = PackWeaselKey(1, 100, 0);
+  const uint64_t b = PackWeaselKey(2, 100, 0);
+  const uint64_t c = PackWeaselKey(1, 101, 0);
+  const uint64_t d = PackWeaselKey(1, 100, 1);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+}
+
+TEST(Weasel, LearnsToyProblem) {
+  Dataset d = MakeToyDataset(20, 40);
+  WeaselClassifier model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  EXPECT_GE(FullAccuracy(model, d), 0.95);  // train accuracy
+  EXPECT_GT(model.num_features(), 0u);
+}
+
+TEST(Weasel, PredictsOnShorterPrefix) {
+  Dataset d = MakeToyDataset(20, 40);
+  WeaselClassifier model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  // A prefix of half length must still classify (windows that fit are used).
+  auto pred = model.Predict(d.instance(0).Prefix(20));
+  EXPECT_TRUE(pred.ok());
+}
+
+TEST(Weasel, RejectsMultivariate) {
+  Dataset mv = MakeToyMultivariate(5, 20);
+  WeaselClassifier model;
+  EXPECT_FALSE(model.Fit(mv).ok());
+  EXPECT_FALSE(model.SupportsMultivariate());
+}
+
+TEST(Weasel, RejectsEmptyAndTooShort) {
+  WeaselClassifier model;
+  EXPECT_FALSE(model.Fit(Dataset()).ok());
+  Dataset tiny("t", {TimeSeries::Univariate({1.0})}, {0});
+  EXPECT_FALSE(model.Fit(tiny).ok());
+}
+
+TEST(Weasel, PredictBeforeFitFails) {
+  WeaselClassifier model;
+  EXPECT_FALSE(model.Predict(TimeSeries::Univariate({1, 2, 3})).ok());
+}
+
+TEST(Weasel, ProbaSumsToOne) {
+  Dataset d = MakeToyDataset(15, 30);
+  WeaselClassifier model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  auto proba = model.PredictProba(d.instance(0));
+  ASSERT_TRUE(proba.ok());
+  double total = 0.0;
+  for (double p : *proba) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Weasel, CloneUntrainedIsFresh) {
+  Dataset d = MakeToyDataset(10, 20);
+  WeaselClassifier model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  auto clone = model.CloneUntrained();
+  EXPECT_FALSE(clone->Predict(d.instance(0)).ok());
+  ASSERT_TRUE(clone->Fit(d).ok());
+  EXPECT_TRUE(clone->Predict(d.instance(0)).ok());
+}
+
+TEST(Weasel, DeterministicUnderSeed) {
+  Dataset d = MakeToyDataset(15, 30);
+  WeaselClassifier a, b;
+  ASSERT_TRUE(a.Fit(d).ok());
+  ASSERT_TRUE(b.Fit(d).ok());
+  for (size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(*a.Predict(d.instance(i)), *b.Predict(d.instance(i)));
+  }
+}
+
+TEST(Weasel, NormalizeInputOptionRuns) {
+  WeaselOptions options;
+  options.normalize_input = true;
+  WeaselClassifier model(options);
+  Dataset d = MakeToyDataset(15, 30);
+  ASSERT_TRUE(model.Fit(d).ok());
+  EXPECT_GE(FullAccuracy(model, d), 0.8);
+}
+
+TEST(Muse, LearnsMultivariateToy) {
+  Dataset mv = MakeToyMultivariate(15, 30);
+  MuseClassifier model;
+  ASSERT_TRUE(model.Fit(mv).ok());
+  EXPECT_TRUE(model.SupportsMultivariate());
+  EXPECT_GE(FullAccuracy(model, mv), 0.9);
+}
+
+TEST(Muse, DerivativeHelper) {
+  const auto d = Derivative({1.0, 3.0, 6.0});
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 2.0);
+  EXPECT_DOUBLE_EQ(d[1], 3.0);
+  EXPECT_DOUBLE_EQ(d[2], 3.0);  // last repeats
+}
+
+TEST(Muse, DerivativeOfShortSeries) {
+  EXPECT_EQ(Derivative({5.0}).size(), 1u);
+  EXPECT_DOUBLE_EQ(Derivative({5.0})[0], 0.0);
+}
+
+TEST(Muse, VariableCountMismatchRejected) {
+  Dataset mv = MakeToyMultivariate(10, 20);
+  MuseClassifier model;
+  ASSERT_TRUE(model.Fit(mv).ok());
+  auto pred = model.Predict(TimeSeries::Univariate({1, 2, 3}));
+  EXPECT_FALSE(pred.ok());
+}
+
+TEST(Muse, WithoutDerivativesStillWorks) {
+  MuseOptions options;
+  options.use_derivatives = false;
+  MuseClassifier model(options);
+  Dataset mv = MakeToyMultivariate(12, 24);
+  ASSERT_TRUE(model.Fit(mv).ok());
+  EXPECT_GE(FullAccuracy(model, mv), 0.8);
+}
+
+TEST(PackMuseKeyFn, ChannelSeparatesKeys) {
+  EXPECT_NE(PackMuseKey(0, 1, 5, 0), PackMuseKey(1, 1, 5, 0));
+}
+
+}  // namespace
+}  // namespace etsc
