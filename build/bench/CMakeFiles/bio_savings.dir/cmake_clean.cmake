@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bio_savings.dir/bio_savings.cc.o"
+  "CMakeFiles/bio_savings.dir/bio_savings.cc.o.d"
+  "bio_savings"
+  "bio_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bio_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etsc_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/etsc_bench_common.dir/bench_common.cc.o.d"
+  "libetsc_bench_common.a"
+  "libetsc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etsc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libetsc_bench_common.a"
+)

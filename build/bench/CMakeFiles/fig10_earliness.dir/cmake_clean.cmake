@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_earliness.dir/fig10_earliness.cc.o"
+  "CMakeFiles/fig10_earliness.dir/fig10_earliness.cc.o.d"
+  "fig10_earliness"
+  "fig10_earliness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_earliness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_harmonic_mean.dir/fig11_harmonic_mean.cc.o"
+  "CMakeFiles/fig11_harmonic_mean.dir/fig11_harmonic_mean.cc.o.d"
+  "fig11_harmonic_mean"
+  "fig11_harmonic_mean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_harmonic_mean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_training_times.dir/fig12_training_times.cc.o"
+  "CMakeFiles/fig12_training_times.dir/fig12_training_times.cc.o.d"
+  "fig12_training_times"
+  "fig12_training_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_training_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_online_heatmap.dir/fig13_online_heatmap.cc.o"
+  "CMakeFiles/fig13_online_heatmap.dir/fig13_online_heatmap.cc.o.d"
+  "fig13_online_heatmap"
+  "fig13_online_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_online_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

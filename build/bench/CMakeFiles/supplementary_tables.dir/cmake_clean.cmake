@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supplementary_tables.dir/supplementary_tables.cc.o"
+  "CMakeFiles/supplementary_tables.dir/supplementary_tables.cc.o.d"
+  "supplementary_tables"
+  "supplementary_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supplementary_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_algorithms.dir/table2_algorithms.cc.o"
+  "CMakeFiles/table2_algorithms.dir/table2_algorithms.cc.o.d"
+  "table2_algorithms"
+  "table2_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

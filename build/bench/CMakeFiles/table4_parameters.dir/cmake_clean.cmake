@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_parameters.dir/table4_parameters.cc.o"
+  "CMakeFiles/table4_parameters.dir/table4_parameters.cc.o.d"
+  "table4_parameters"
+  "table4_parameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_complexity.dir/table5_complexity.cc.o"
+  "CMakeFiles/table5_complexity.dir/table5_complexity.cc.o.d"
+  "table5_complexity"
+  "table5_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biological_early_stop.dir/biological_early_stop.cc.o"
+  "CMakeFiles/biological_early_stop.dir/biological_early_stop.cc.o.d"
+  "biological_early_stop"
+  "biological_early_stop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biological_early_stop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etsc_cli.dir/etsc_cli.cc.o"
+  "CMakeFiles/etsc_cli.dir/etsc_cli.cc.o.d"
+  "etsc_cli"
+  "etsc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etsc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maritime_monitoring.dir/maritime_monitoring.cc.o"
+  "CMakeFiles/maritime_monitoring.dir/maritime_monitoring.cc.o.d"
+  "maritime_monitoring"
+  "maritime_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maritime_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

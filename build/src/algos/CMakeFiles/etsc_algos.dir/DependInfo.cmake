@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/ecec.cc" "src/algos/CMakeFiles/etsc_algos.dir/ecec.cc.o" "gcc" "src/algos/CMakeFiles/etsc_algos.dir/ecec.cc.o.d"
+  "/root/repo/src/algos/economy_k.cc" "src/algos/CMakeFiles/etsc_algos.dir/economy_k.cc.o" "gcc" "src/algos/CMakeFiles/etsc_algos.dir/economy_k.cc.o.d"
+  "/root/repo/src/algos/ects.cc" "src/algos/CMakeFiles/etsc_algos.dir/ects.cc.o" "gcc" "src/algos/CMakeFiles/etsc_algos.dir/ects.cc.o.d"
+  "/root/repo/src/algos/edsc.cc" "src/algos/CMakeFiles/etsc_algos.dir/edsc.cc.o" "gcc" "src/algos/CMakeFiles/etsc_algos.dir/edsc.cc.o.d"
+  "/root/repo/src/algos/prob_threshold.cc" "src/algos/CMakeFiles/etsc_algos.dir/prob_threshold.cc.o" "gcc" "src/algos/CMakeFiles/etsc_algos.dir/prob_threshold.cc.o.d"
+  "/root/repo/src/algos/registrations.cc" "src/algos/CMakeFiles/etsc_algos.dir/registrations.cc.o" "gcc" "src/algos/CMakeFiles/etsc_algos.dir/registrations.cc.o.d"
+  "/root/repo/src/algos/strut.cc" "src/algos/CMakeFiles/etsc_algos.dir/strut.cc.o" "gcc" "src/algos/CMakeFiles/etsc_algos.dir/strut.cc.o.d"
+  "/root/repo/src/algos/teaser.cc" "src/algos/CMakeFiles/etsc_algos.dir/teaser.cc.o" "gcc" "src/algos/CMakeFiles/etsc_algos.dir/teaser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tsc/CMakeFiles/etsc_tsc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/etsc_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/etsc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

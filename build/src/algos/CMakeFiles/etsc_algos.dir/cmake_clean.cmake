@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etsc_algos.dir/ecec.cc.o"
+  "CMakeFiles/etsc_algos.dir/ecec.cc.o.d"
+  "CMakeFiles/etsc_algos.dir/economy_k.cc.o"
+  "CMakeFiles/etsc_algos.dir/economy_k.cc.o.d"
+  "CMakeFiles/etsc_algos.dir/ects.cc.o"
+  "CMakeFiles/etsc_algos.dir/ects.cc.o.d"
+  "CMakeFiles/etsc_algos.dir/edsc.cc.o"
+  "CMakeFiles/etsc_algos.dir/edsc.cc.o.d"
+  "CMakeFiles/etsc_algos.dir/prob_threshold.cc.o"
+  "CMakeFiles/etsc_algos.dir/prob_threshold.cc.o.d"
+  "CMakeFiles/etsc_algos.dir/registrations.cc.o"
+  "CMakeFiles/etsc_algos.dir/registrations.cc.o.d"
+  "CMakeFiles/etsc_algos.dir/strut.cc.o"
+  "CMakeFiles/etsc_algos.dir/strut.cc.o.d"
+  "CMakeFiles/etsc_algos.dir/teaser.cc.o"
+  "CMakeFiles/etsc_algos.dir/teaser.cc.o.d"
+  "libetsc_algos.a"
+  "libetsc_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etsc_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/arff.cc" "src/core/CMakeFiles/etsc_core.dir/arff.cc.o" "gcc" "src/core/CMakeFiles/etsc_core.dir/arff.cc.o.d"
+  "/root/repo/src/core/categorize.cc" "src/core/CMakeFiles/etsc_core.dir/categorize.cc.o" "gcc" "src/core/CMakeFiles/etsc_core.dir/categorize.cc.o.d"
+  "/root/repo/src/core/classifier.cc" "src/core/CMakeFiles/etsc_core.dir/classifier.cc.o" "gcc" "src/core/CMakeFiles/etsc_core.dir/classifier.cc.o.d"
+  "/root/repo/src/core/csv.cc" "src/core/CMakeFiles/etsc_core.dir/csv.cc.o" "gcc" "src/core/CMakeFiles/etsc_core.dir/csv.cc.o.d"
+  "/root/repo/src/core/dataset.cc" "src/core/CMakeFiles/etsc_core.dir/dataset.cc.o" "gcc" "src/core/CMakeFiles/etsc_core.dir/dataset.cc.o.d"
+  "/root/repo/src/core/evaluation.cc" "src/core/CMakeFiles/etsc_core.dir/evaluation.cc.o" "gcc" "src/core/CMakeFiles/etsc_core.dir/evaluation.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/etsc_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/etsc_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/registry.cc" "src/core/CMakeFiles/etsc_core.dir/registry.cc.o" "gcc" "src/core/CMakeFiles/etsc_core.dir/registry.cc.o.d"
+  "/root/repo/src/core/status.cc" "src/core/CMakeFiles/etsc_core.dir/status.cc.o" "gcc" "src/core/CMakeFiles/etsc_core.dir/status.cc.o.d"
+  "/root/repo/src/core/streaming.cc" "src/core/CMakeFiles/etsc_core.dir/streaming.cc.o" "gcc" "src/core/CMakeFiles/etsc_core.dir/streaming.cc.o.d"
+  "/root/repo/src/core/time_series.cc" "src/core/CMakeFiles/etsc_core.dir/time_series.cc.o" "gcc" "src/core/CMakeFiles/etsc_core.dir/time_series.cc.o.d"
+  "/root/repo/src/core/tuner.cc" "src/core/CMakeFiles/etsc_core.dir/tuner.cc.o" "gcc" "src/core/CMakeFiles/etsc_core.dir/tuner.cc.o.d"
+  "/root/repo/src/core/voting.cc" "src/core/CMakeFiles/etsc_core.dir/voting.cc.o" "gcc" "src/core/CMakeFiles/etsc_core.dir/voting.cc.o.d"
+  "/root/repo/src/core/voting_schemes.cc" "src/core/CMakeFiles/etsc_core.dir/voting_schemes.cc.o" "gcc" "src/core/CMakeFiles/etsc_core.dir/voting_schemes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

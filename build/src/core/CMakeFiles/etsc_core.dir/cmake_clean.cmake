@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etsc_core.dir/arff.cc.o"
+  "CMakeFiles/etsc_core.dir/arff.cc.o.d"
+  "CMakeFiles/etsc_core.dir/categorize.cc.o"
+  "CMakeFiles/etsc_core.dir/categorize.cc.o.d"
+  "CMakeFiles/etsc_core.dir/classifier.cc.o"
+  "CMakeFiles/etsc_core.dir/classifier.cc.o.d"
+  "CMakeFiles/etsc_core.dir/csv.cc.o"
+  "CMakeFiles/etsc_core.dir/csv.cc.o.d"
+  "CMakeFiles/etsc_core.dir/dataset.cc.o"
+  "CMakeFiles/etsc_core.dir/dataset.cc.o.d"
+  "CMakeFiles/etsc_core.dir/evaluation.cc.o"
+  "CMakeFiles/etsc_core.dir/evaluation.cc.o.d"
+  "CMakeFiles/etsc_core.dir/metrics.cc.o"
+  "CMakeFiles/etsc_core.dir/metrics.cc.o.d"
+  "CMakeFiles/etsc_core.dir/registry.cc.o"
+  "CMakeFiles/etsc_core.dir/registry.cc.o.d"
+  "CMakeFiles/etsc_core.dir/status.cc.o"
+  "CMakeFiles/etsc_core.dir/status.cc.o.d"
+  "CMakeFiles/etsc_core.dir/streaming.cc.o"
+  "CMakeFiles/etsc_core.dir/streaming.cc.o.d"
+  "CMakeFiles/etsc_core.dir/time_series.cc.o"
+  "CMakeFiles/etsc_core.dir/time_series.cc.o.d"
+  "CMakeFiles/etsc_core.dir/tuner.cc.o"
+  "CMakeFiles/etsc_core.dir/tuner.cc.o.d"
+  "CMakeFiles/etsc_core.dir/voting.cc.o"
+  "CMakeFiles/etsc_core.dir/voting.cc.o.d"
+  "CMakeFiles/etsc_core.dir/voting_schemes.cc.o"
+  "CMakeFiles/etsc_core.dir/voting_schemes.cc.o.d"
+  "libetsc_core.a"
+  "libetsc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etsc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libetsc_core.a"
+)

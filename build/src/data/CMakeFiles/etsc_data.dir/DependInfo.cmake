@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/biological_sim.cc" "src/data/CMakeFiles/etsc_data.dir/biological_sim.cc.o" "gcc" "src/data/CMakeFiles/etsc_data.dir/biological_sim.cc.o.d"
+  "/root/repo/src/data/maritime_sim.cc" "src/data/CMakeFiles/etsc_data.dir/maritime_sim.cc.o" "gcc" "src/data/CMakeFiles/etsc_data.dir/maritime_sim.cc.o.d"
+  "/root/repo/src/data/repository.cc" "src/data/CMakeFiles/etsc_data.dir/repository.cc.o" "gcc" "src/data/CMakeFiles/etsc_data.dir/repository.cc.o.d"
+  "/root/repo/src/data/ucr_like.cc" "src/data/CMakeFiles/etsc_data.dir/ucr_like.cc.o" "gcc" "src/data/CMakeFiles/etsc_data.dir/ucr_like.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/etsc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etsc_data.dir/biological_sim.cc.o"
+  "CMakeFiles/etsc_data.dir/biological_sim.cc.o.d"
+  "CMakeFiles/etsc_data.dir/maritime_sim.cc.o"
+  "CMakeFiles/etsc_data.dir/maritime_sim.cc.o.d"
+  "CMakeFiles/etsc_data.dir/repository.cc.o"
+  "CMakeFiles/etsc_data.dir/repository.cc.o.d"
+  "CMakeFiles/etsc_data.dir/ucr_like.cc.o"
+  "CMakeFiles/etsc_data.dir/ucr_like.cc.o.d"
+  "libetsc_data.a"
+  "libetsc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etsc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/chi2.cc" "src/ml/CMakeFiles/etsc_ml.dir/chi2.cc.o" "gcc" "src/ml/CMakeFiles/etsc_ml.dir/chi2.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/ml/CMakeFiles/etsc_ml.dir/decision_tree.cc.o" "gcc" "src/ml/CMakeFiles/etsc_ml.dir/decision_tree.cc.o.d"
+  "/root/repo/src/ml/distance.cc" "src/ml/CMakeFiles/etsc_ml.dir/distance.cc.o" "gcc" "src/ml/CMakeFiles/etsc_ml.dir/distance.cc.o.d"
+  "/root/repo/src/ml/fourier.cc" "src/ml/CMakeFiles/etsc_ml.dir/fourier.cc.o" "gcc" "src/ml/CMakeFiles/etsc_ml.dir/fourier.cc.o.d"
+  "/root/repo/src/ml/gbdt.cc" "src/ml/CMakeFiles/etsc_ml.dir/gbdt.cc.o" "gcc" "src/ml/CMakeFiles/etsc_ml.dir/gbdt.cc.o.d"
+  "/root/repo/src/ml/hierarchical.cc" "src/ml/CMakeFiles/etsc_ml.dir/hierarchical.cc.o" "gcc" "src/ml/CMakeFiles/etsc_ml.dir/hierarchical.cc.o.d"
+  "/root/repo/src/ml/kmeans.cc" "src/ml/CMakeFiles/etsc_ml.dir/kmeans.cc.o" "gcc" "src/ml/CMakeFiles/etsc_ml.dir/kmeans.cc.o.d"
+  "/root/repo/src/ml/linear.cc" "src/ml/CMakeFiles/etsc_ml.dir/linear.cc.o" "gcc" "src/ml/CMakeFiles/etsc_ml.dir/linear.cc.o.d"
+  "/root/repo/src/ml/nn/layers.cc" "src/ml/CMakeFiles/etsc_ml.dir/nn/layers.cc.o" "gcc" "src/ml/CMakeFiles/etsc_ml.dir/nn/layers.cc.o.d"
+  "/root/repo/src/ml/nn/lstm.cc" "src/ml/CMakeFiles/etsc_ml.dir/nn/lstm.cc.o" "gcc" "src/ml/CMakeFiles/etsc_ml.dir/nn/lstm.cc.o.d"
+  "/root/repo/src/ml/nn/tensor.cc" "src/ml/CMakeFiles/etsc_ml.dir/nn/tensor.cc.o" "gcc" "src/ml/CMakeFiles/etsc_ml.dir/nn/tensor.cc.o.d"
+  "/root/repo/src/ml/nn_search.cc" "src/ml/CMakeFiles/etsc_ml.dir/nn_search.cc.o" "gcc" "src/ml/CMakeFiles/etsc_ml.dir/nn_search.cc.o.d"
+  "/root/repo/src/ml/one_class_svm.cc" "src/ml/CMakeFiles/etsc_ml.dir/one_class_svm.cc.o" "gcc" "src/ml/CMakeFiles/etsc_ml.dir/one_class_svm.cc.o.d"
+  "/root/repo/src/ml/sfa.cc" "src/ml/CMakeFiles/etsc_ml.dir/sfa.cc.o" "gcc" "src/ml/CMakeFiles/etsc_ml.dir/sfa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/etsc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etsc_ml.dir/chi2.cc.o"
+  "CMakeFiles/etsc_ml.dir/chi2.cc.o.d"
+  "CMakeFiles/etsc_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/etsc_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/etsc_ml.dir/distance.cc.o"
+  "CMakeFiles/etsc_ml.dir/distance.cc.o.d"
+  "CMakeFiles/etsc_ml.dir/fourier.cc.o"
+  "CMakeFiles/etsc_ml.dir/fourier.cc.o.d"
+  "CMakeFiles/etsc_ml.dir/gbdt.cc.o"
+  "CMakeFiles/etsc_ml.dir/gbdt.cc.o.d"
+  "CMakeFiles/etsc_ml.dir/hierarchical.cc.o"
+  "CMakeFiles/etsc_ml.dir/hierarchical.cc.o.d"
+  "CMakeFiles/etsc_ml.dir/kmeans.cc.o"
+  "CMakeFiles/etsc_ml.dir/kmeans.cc.o.d"
+  "CMakeFiles/etsc_ml.dir/linear.cc.o"
+  "CMakeFiles/etsc_ml.dir/linear.cc.o.d"
+  "CMakeFiles/etsc_ml.dir/nn/layers.cc.o"
+  "CMakeFiles/etsc_ml.dir/nn/layers.cc.o.d"
+  "CMakeFiles/etsc_ml.dir/nn/lstm.cc.o"
+  "CMakeFiles/etsc_ml.dir/nn/lstm.cc.o.d"
+  "CMakeFiles/etsc_ml.dir/nn/tensor.cc.o"
+  "CMakeFiles/etsc_ml.dir/nn/tensor.cc.o.d"
+  "CMakeFiles/etsc_ml.dir/nn_search.cc.o"
+  "CMakeFiles/etsc_ml.dir/nn_search.cc.o.d"
+  "CMakeFiles/etsc_ml.dir/one_class_svm.cc.o"
+  "CMakeFiles/etsc_ml.dir/one_class_svm.cc.o.d"
+  "CMakeFiles/etsc_ml.dir/sfa.cc.o"
+  "CMakeFiles/etsc_ml.dir/sfa.cc.o.d"
+  "libetsc_ml.a"
+  "libetsc_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etsc_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libetsc_ml.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tsc/minirocket.cc" "src/tsc/CMakeFiles/etsc_tsc.dir/minirocket.cc.o" "gcc" "src/tsc/CMakeFiles/etsc_tsc.dir/minirocket.cc.o.d"
+  "/root/repo/src/tsc/mlstm.cc" "src/tsc/CMakeFiles/etsc_tsc.dir/mlstm.cc.o" "gcc" "src/tsc/CMakeFiles/etsc_tsc.dir/mlstm.cc.o.d"
+  "/root/repo/src/tsc/muse.cc" "src/tsc/CMakeFiles/etsc_tsc.dir/muse.cc.o" "gcc" "src/tsc/CMakeFiles/etsc_tsc.dir/muse.cc.o.d"
+  "/root/repo/src/tsc/weasel.cc" "src/tsc/CMakeFiles/etsc_tsc.dir/weasel.cc.o" "gcc" "src/tsc/CMakeFiles/etsc_tsc.dir/weasel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/etsc_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/etsc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

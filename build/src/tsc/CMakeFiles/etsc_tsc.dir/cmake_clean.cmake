@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etsc_tsc.dir/minirocket.cc.o"
+  "CMakeFiles/etsc_tsc.dir/minirocket.cc.o.d"
+  "CMakeFiles/etsc_tsc.dir/mlstm.cc.o"
+  "CMakeFiles/etsc_tsc.dir/mlstm.cc.o.d"
+  "CMakeFiles/etsc_tsc.dir/muse.cc.o"
+  "CMakeFiles/etsc_tsc.dir/muse.cc.o.d"
+  "CMakeFiles/etsc_tsc.dir/weasel.cc.o"
+  "CMakeFiles/etsc_tsc.dir/weasel.cc.o.d"
+  "libetsc_tsc.a"
+  "libetsc_tsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etsc_tsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

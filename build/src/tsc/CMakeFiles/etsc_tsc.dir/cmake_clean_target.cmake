@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libetsc_tsc.a"
+)

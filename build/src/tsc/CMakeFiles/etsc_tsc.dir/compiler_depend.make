@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for etsc_tsc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arff_prob_threshold_test.dir/arff_prob_threshold_test.cc.o"
+  "CMakeFiles/arff_prob_threshold_test.dir/arff_prob_threshold_test.cc.o.d"
+  "arff_prob_threshold_test"
+  "arff_prob_threshold_test.pdb"
+  "arff_prob_threshold_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arff_prob_threshold_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/categorize_test.dir/categorize_test.cc.o"
+  "CMakeFiles/categorize_test.dir/categorize_test.cc.o.d"
+  "categorize_test"
+  "categorize_test.pdb"
+  "categorize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/categorize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering_nn_test.dir/clustering_nn_test.cc.o"
+  "CMakeFiles/clustering_nn_test.dir/clustering_nn_test.cc.o.d"
+  "clustering_nn_test"
+  "clustering_nn_test.pdb"
+  "clustering_nn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering_nn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

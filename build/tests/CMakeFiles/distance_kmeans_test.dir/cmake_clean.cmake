@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distance_kmeans_test.dir/distance_kmeans_test.cc.o"
+  "CMakeFiles/distance_kmeans_test.dir/distance_kmeans_test.cc.o.d"
+  "distance_kmeans_test"
+  "distance_kmeans_test.pdb"
+  "distance_kmeans_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distance_kmeans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

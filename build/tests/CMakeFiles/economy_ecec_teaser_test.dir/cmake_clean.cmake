@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/economy_ecec_teaser_test.dir/economy_ecec_teaser_test.cc.o"
+  "CMakeFiles/economy_ecec_teaser_test.dir/economy_ecec_teaser_test.cc.o.d"
+  "economy_ecec_teaser_test"
+  "economy_ecec_teaser_test.pdb"
+  "economy_ecec_teaser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/economy_ecec_teaser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

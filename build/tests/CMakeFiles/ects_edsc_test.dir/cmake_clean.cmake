@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ects_edsc_test.dir/ects_edsc_test.cc.o"
+  "CMakeFiles/ects_edsc_test.dir/ects_edsc_test.cc.o.d"
+  "ects_edsc_test"
+  "ects_edsc_test.pdb"
+  "ects_edsc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ects_edsc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

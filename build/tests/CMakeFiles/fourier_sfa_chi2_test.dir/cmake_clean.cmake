@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fourier_sfa_chi2_test.dir/fourier_sfa_chi2_test.cc.o"
+  "CMakeFiles/fourier_sfa_chi2_test.dir/fourier_sfa_chi2_test.cc.o.d"
+  "fourier_sfa_chi2_test"
+  "fourier_sfa_chi2_test.pdb"
+  "fourier_sfa_chi2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fourier_sfa_chi2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

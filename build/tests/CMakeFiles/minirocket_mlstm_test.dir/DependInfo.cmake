@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/minirocket_mlstm_test.cc" "tests/CMakeFiles/minirocket_mlstm_test.dir/minirocket_mlstm_test.cc.o" "gcc" "tests/CMakeFiles/minirocket_mlstm_test.dir/minirocket_mlstm_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algos/CMakeFiles/etsc_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsc/CMakeFiles/etsc_tsc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/etsc_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/etsc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/etsc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minirocket_mlstm_test.dir/minirocket_mlstm_test.cc.o"
+  "CMakeFiles/minirocket_mlstm_test.dir/minirocket_mlstm_test.cc.o.d"
+  "minirocket_mlstm_test"
+  "minirocket_mlstm_test.pdb"
+  "minirocket_mlstm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minirocket_mlstm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

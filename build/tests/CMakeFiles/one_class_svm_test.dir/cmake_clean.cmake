@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/one_class_svm_test.dir/one_class_svm_test.cc.o"
+  "CMakeFiles/one_class_svm_test.dir/one_class_svm_test.cc.o.d"
+  "one_class_svm_test"
+  "one_class_svm_test.pdb"
+  "one_class_svm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/one_class_svm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/registry_voting_test.dir/registry_voting_test.cc.o"
+  "CMakeFiles/registry_voting_test.dir/registry_voting_test.cc.o.d"
+  "registry_voting_test"
+  "registry_voting_test.pdb"
+  "registry_voting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/registry_voting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

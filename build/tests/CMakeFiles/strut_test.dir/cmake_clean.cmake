@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strut_test.dir/strut_test.cc.o"
+  "CMakeFiles/strut_test.dir/strut_test.cc.o.d"
+  "strut_test"
+  "strut_test.pdb"
+  "strut_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strut_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voting_schemes_tuner_test.dir/voting_schemes_tuner_test.cc.o"
+  "CMakeFiles/voting_schemes_tuner_test.dir/voting_schemes_tuner_test.cc.o.d"
+  "voting_schemes_tuner_test"
+  "voting_schemes_tuner_test.pdb"
+  "voting_schemes_tuner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voting_schemes_tuner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weasel_muse_test.dir/weasel_muse_test.cc.o"
+  "CMakeFiles/weasel_muse_test.dir/weasel_muse_test.cc.o.d"
+  "weasel_muse_test"
+  "weasel_muse_test.pdb"
+  "weasel_muse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weasel_muse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/status_test[1]_include.cmake")
+include("/root/repo/build/tests/time_series_test[1]_include.cmake")
+include("/root/repo/build/tests/dataset_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/categorize_test[1]_include.cmake")
+include("/root/repo/build/tests/csv_test[1]_include.cmake")
+include("/root/repo/build/tests/registry_voting_test[1]_include.cmake")
+include("/root/repo/build/tests/evaluation_test[1]_include.cmake")
+include("/root/repo/build/tests/distance_kmeans_test[1]_include.cmake")
+include("/root/repo/build/tests/clustering_nn_test[1]_include.cmake")
+include("/root/repo/build/tests/trees_test[1]_include.cmake")
+include("/root/repo/build/tests/linear_test[1]_include.cmake")
+include("/root/repo/build/tests/fourier_sfa_chi2_test[1]_include.cmake")
+include("/root/repo/build/tests/one_class_svm_test[1]_include.cmake")
+include("/root/repo/build/tests/weasel_muse_test[1]_include.cmake")
+include("/root/repo/build/tests/minirocket_mlstm_test[1]_include.cmake")
+include("/root/repo/build/tests/ects_edsc_test[1]_include.cmake")
+include("/root/repo/build/tests/economy_ecec_teaser_test[1]_include.cmake")
+include("/root/repo/build/tests/strut_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/voting_schemes_tuner_test[1]_include.cmake")
+include("/root/repo/build/tests/arff_prob_threshold_test[1]_include.cmake")
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/streaming_test[1]_include.cmake")
