@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iomanip>
+#include <limits>
 #include <sstream>
 
 #include "algos/ecec.h"
@@ -54,6 +56,8 @@ CampaignConfig CampaignConfig::FromEnv() {
       GetEnvOr("ETSC_BENCH_FOLDS", static_cast<double>(config.folds)));
   config.train_budget_seconds =
       GetEnvOr("ETSC_BENCH_BUDGET", config.train_budget_seconds);
+  config.predict_budget_seconds =
+      GetEnvOr("ETSC_BENCH_PREDICT_BUDGET", config.predict_budget_seconds);
   config.maritime_windows = static_cast<size_t>(GetEnvOr(
       "ETSC_BENCH_MARITIME", static_cast<double>(config.maritime_windows)));
   const std::string algos = GetEnvOr("ETSC_BENCH_ALGOS", "");
@@ -68,10 +72,12 @@ CampaignConfig CampaignConfig::FromEnv() {
 }
 
 std::string CampaignConfig::Fingerprint() const {
-  char buf[160];
+  char buf[192];
   std::snprintf(buf, sizeof(buf),
-                "v1 scale=%.3f folds=%zu budget=%.0f maritime=%zu seed=%llu",
-                height_scale, folds, train_budget_seconds, maritime_windows,
+                "v2 scale=%.3f folds=%zu budget=%.0f pbudget=%.0f "
+                "maritime=%zu seed=%llu",
+                height_scale, folds, train_budget_seconds,
+                predict_budget_seconds, maritime_windows,
                 static_cast<unsigned long long>(seed));
   return buf;
 }
@@ -130,14 +136,41 @@ RepositoryOptions Campaign::RepoOptions() const {
   return repo;
 }
 
+namespace {
+
+/// End-of-row sentinel appended as the final journal field. A row lacking it
+/// was truncated by a crash mid-write and must be skipped, not half-parsed.
+constexpr char kRowSentinel[] = ",#end";
+
+}  // namespace
+
 void Campaign::LoadCache() {
+  cache_state_ = CacheState::kMissing;
   std::ifstream in(config_.cache_path);
   if (!in) return;
   std::string line;
   if (!std::getline(in, line) || line != "# " + config_.Fingerprint()) {
-    return;  // stale cache from another configuration
+    // Journal from another configuration (or a header truncated mid-write):
+    // its rows must never be mixed with this config's. AppendCache rotates
+    // the file aside before the first new row.
+    cache_state_ = CacheState::kStale;
+    std::fprintf(stderr,
+                 "[campaign] cache %s has a different fingerprint; it will be "
+                 "rotated to %s.stale before new results are journalled\n",
+                 config_.cache_path.c_str(), config_.cache_path.c_str());
+    return;
   }
+  cache_state_ = CacheState::kLoaded;
+  size_t skipped = 0;
   while (std::getline(in, line)) {
+    const size_t sentinel_len = sizeof(kRowSentinel) - 1;
+    if (line.size() < sentinel_len ||
+        line.compare(line.size() - sentinel_len, sentinel_len, kRowSentinel) !=
+            0) {
+      ++skipped;  // truncated by a mid-write crash; recomputed this run
+      continue;
+    }
+    line.resize(line.size() - sentinel_len);
     std::stringstream ss(line);
     CampaignCell cell;
     std::string trained, field;
@@ -159,17 +192,56 @@ void Campaign::LoadCache() {
     std::getline(ss, cell.failure);
     cells_.push_back(std::move(cell));
   }
+  if (skipped > 0) {
+    std::fprintf(stderr,
+                 "[campaign] cache %s: skipped %zu truncated row(s) from an "
+                 "interrupted write; the cells will be recomputed\n",
+                 config_.cache_path.c_str(), skipped);
+  }
 }
 
-void Campaign::AppendCache(const CampaignCell& cell) const {
-  const bool fresh = !std::ifstream(config_.cache_path).good();
+void Campaign::AppendCache(const CampaignCell& cell) {
+  if (cache_state_ == CacheState::kStale) {
+    // Appending under a foreign header would make these rows silently
+    // unloadable forever; move the old journal out of the way first.
+    const std::string stale_path = config_.cache_path + ".stale";
+    std::remove(stale_path.c_str());
+    if (std::rename(config_.cache_path.c_str(), stale_path.c_str()) != 0) {
+      // Rotation failed (e.g. cross-device): truncating is still safe — the
+      // old rows were unloadable under this config anyway.
+      std::ofstream(config_.cache_path, std::ios::trunc);
+    }
+    cache_state_ = CacheState::kMissing;
+  }
+  // A crash can leave the journal without a trailing newline; appending right
+  // after the torn bytes would merge two rows into one sentinel-terminated,
+  // silently corrupt line. Start on a fresh line instead — the torn fragment
+  // then stays its own sentinel-less line, which the next load discards.
+  bool needs_newline = false;
+  {
+    std::ifstream existing(config_.cache_path, std::ios::binary);
+    if (existing && existing.seekg(-1, std::ios::end)) {
+      char last = '\n';
+      needs_newline = existing.get(last) && last != '\n';
+    }
+  }
   std::ofstream out(config_.cache_path, std::ios::app);
   if (!out) return;
-  if (fresh) out << "# " << config_.Fingerprint() << "\n";
+  if (needs_newline) out << "\n";
+  if (cache_state_ == CacheState::kMissing) {
+    out << "# " << config_.Fingerprint() << "\n";
+    cache_state_ = CacheState::kLoaded;
+  }
+  // max_digits10 so a resumed campaign reloads bit-identical scores.
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
   out << cell.algorithm << ',' << cell.dataset << ',' << (cell.trained ? 1 : 0)
       << ',' << cell.accuracy << ',' << cell.f1 << ',' << cell.earliness << ','
       << cell.harmonic_mean << ',' << cell.train_seconds << ','
-      << cell.test_seconds_per_instance << ',' << cell.failure << "\n";
+      << cell.test_seconds_per_instance << ',' << cell.failure << kRowSentinel
+      << "\n";
+  // One cell can take hours; flush so a later crash costs at most the row
+  // being written, which the sentinel check then discards.
+  out.flush();
 }
 
 const CampaignCell* Campaign::Find(const std::string& algorithm,
@@ -212,6 +284,7 @@ void Campaign::Run() {
       options.num_folds = config_.folds;
       options.seed = config_.seed;
       options.train_budget_seconds = config_.train_budget_seconds;
+      options.predict_budget_seconds = config_.predict_budget_seconds;
       const EvaluationResult result =
           CrossValidate(benchmark->data, *prototype, options);
 
@@ -219,12 +292,12 @@ void Campaign::Run() {
       cell.algorithm = algorithm;
       cell.dataset = dataset_name;
       cell.trained = result.trained();
-      if (!cell.trained) {
-        for (const auto& fold : result.folds) {
-          if (!fold.trained) {
-            cell.failure = fold.failure;
-            break;
-          }
+      // Surface the first failure — a Fit error on an untrained cell, or a
+      // degraded prediction (e.g. predict deadline overrun) on a trained one.
+      for (const auto& fold : result.folds) {
+        if (!fold.failure.empty()) {
+          cell.failure = fold.failure;
+          break;
         }
       }
       const EvalScores scores = result.MeanScores();

@@ -1,6 +1,7 @@
 #ifndef ETSC_BENCH_BENCH_COMMON_H_
 #define ETSC_BENCH_BENCH_COMMON_H_
 
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -20,6 +21,10 @@ namespace etsc::bench {
 ///   ETSC_BENCH_FOLDS     stratified CV folds (default 2; paper: 5)
 ///   ETSC_BENCH_BUDGET    per-fold training budget in seconds (default 30;
 ///                        stands in for the paper's 48-hour cut-off)
+///   ETSC_BENCH_PREDICT_BUDGET  per-instance prediction budget in seconds
+///                        (default: unlimited); an overrun degrades that
+///                        instance to a full-length miss instead of stalling
+///                        the campaign
 ///   ETSC_BENCH_MARITIME  maritime window count (default 1000)
 ///   ETSC_BENCH_ALGOS     comma list restricting algorithms (default: all 8)
 ///   ETSC_BENCH_DATASETS  comma list restricting datasets (default: all 12)
@@ -32,6 +37,7 @@ struct CampaignConfig {
   double height_scale = 0.05;
   size_t folds = 2;
   double train_budget_seconds = 30.0;
+  double predict_budget_seconds = std::numeric_limits<double>::infinity();
   size_t maritime_windows = 1000;
   uint64_t seed = 42;
   std::vector<std::string> algorithms;  // paper order
@@ -61,6 +67,9 @@ struct CampaignCell {
   std::string algorithm;
   std::string dataset;
   bool trained = false;
+  /// Failure string of the first failed fold (Fit error) or, when trained,
+  /// of the first degraded prediction (predict deadline overrun). Failed
+  /// cells are first-class results: recorded, journalled, reported.
   std::string failure;
   double accuracy = 0.0;
   double f1 = 0.0;
@@ -71,8 +80,16 @@ struct CampaignCell {
 };
 
 /// The full evaluation campaign: every algorithm on every dataset with
-/// stratified CV, incrementally cached so all fig/table benches share one run
-/// and interrupted campaigns resume.
+/// stratified CV, incrementally journalled so all fig/table benches share one
+/// run and interrupted campaigns resume.
+///
+/// Journal crash-safety contract:
+///  - The journal's first line is the config fingerprint; a file written
+///    under another config is rotated aside to `<path>.stale` before the
+///    first new append, never appended to (stale rows would be unloadable).
+///  - Every row is flushed as soon as its cell completes and ends with an
+///    end-of-row sentinel; a trailing row truncated by a mid-write crash is
+///    detected, skipped, and recomputed on the next run.
 class Campaign {
  public:
   explicit Campaign(CampaignConfig config = CampaignConfig::FromEnv());
@@ -96,13 +113,21 @@ class Campaign {
                       double (*extract)(const CampaignCell&)) const;
 
  private:
+  /// Freshness of the on-disk journal relative to this config.
+  enum class CacheState {
+    kMissing,  // no file: first append writes the fingerprint header
+    kLoaded,   // fingerprint matched: appends go under the existing header
+    kStale,    // fingerprint mismatched: rotate aside before first append
+  };
+
   void LoadCache();
-  void AppendCache(const CampaignCell& cell) const;
+  void AppendCache(const CampaignCell& cell);
   RepositoryOptions RepoOptions() const;
 
   CampaignConfig config_;
   std::vector<CampaignCell> cells_;
   std::vector<DatasetProfile> profiles_;
+  CacheState cache_state_ = CacheState::kMissing;
 };
 
 /// Extraction helpers for CategoryMean.

@@ -4,7 +4,6 @@
 #include <cmath>
 #include <limits>
 
-#include "core/evaluation.h"
 #include "core/metrics.h"
 #include "core/rng.h"
 
@@ -59,7 +58,7 @@ Status EcecClassifier::Fit(const Dataset& train) {
   const size_t P = prefix_lengths_.size();
   const size_t n = train.size();
 
-  Stopwatch budget_timer;
+  const Deadline deadline = TrainDeadline();
   Rng rng(options_.seed);
 
   // Cross-validated per-prefix predictions for reliability estimation.
@@ -69,9 +68,7 @@ Status EcecClassifier::Fit(const Dataset& train) {
   for (const auto& split : folds) {
     Dataset fold_train = train.Subset(split.train);
     for (size_t p = 0; p < P; ++p) {
-      if (budget_timer.Seconds() > train_budget_seconds_) {
-        return Status::ResourceExhausted("ECEC: train budget exceeded");
-      }
+      ETSC_RETURN_NOT_OK(deadline.Check("ECEC: train budget exceeded"));
       WeaselClassifier model(options_.weasel);
       ETSC_RETURN_NOT_OK(model.Fit(fold_train.Truncated(prefix_lengths_[p])));
       for (size_t test_idx : split.test) {
@@ -164,9 +161,7 @@ Status EcecClassifier::Fit(const Dataset& train) {
   models_.clear();
   models_.reserve(P);
   for (size_t p = 0; p < P; ++p) {
-    if (budget_timer.Seconds() > train_budget_seconds_) {
-      return Status::ResourceExhausted("ECEC: train budget exceeded");
-    }
+    ETSC_RETURN_NOT_OK(deadline.Check("ECEC: train budget exceeded"));
     WeaselClassifier model(options_.weasel);
     ETSC_RETURN_NOT_OK(model.Fit(train.Truncated(prefix_lengths_[p])));
     models_.push_back(std::move(model));
@@ -180,9 +175,11 @@ Result<EarlyPrediction> EcecClassifier::PredictEarly(
   if (series.num_variables() != 1) {
     return Status::InvalidArgument("ECEC: univariate input required");
   }
+  const Deadline deadline = PredictDeadline();
   std::vector<int> preds;
   std::vector<double> rels;
   for (size_t p = 0; p < prefix_lengths_.size(); ++p) {
+    ETSC_RETURN_NOT_OK(deadline.Check("ECEC: predict budget exceeded"));
     const size_t len = prefix_lengths_[p];
     const bool is_last = p + 1 == prefix_lengths_.size() ||
                          prefix_lengths_[p + 1] > series.length();

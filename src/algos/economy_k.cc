@@ -5,7 +5,6 @@
 #include <limits>
 #include <map>
 
-#include "core/evaluation.h"
 #include "core/rng.h"
 
 namespace etsc {
@@ -109,7 +108,7 @@ Status EconomyKClassifier::FitWithClusters(const Dataset& train, size_t k,
   // Out-of-sample predictions per checkpoint (k-fold CV) for the reliability
   // tables; in-sample GBDT confusion is near-perfect and would collapse the
   // stopping rule to the first checkpoint.
-  Stopwatch budget_timer;
+  const Deadline deadline = TrainDeadline();
   std::vector<std::vector<int>> oos_pred(
       checkpoints_.size(), std::vector<int>(n, class_labels_[0] - 1));
   const size_t folds =
@@ -118,9 +117,7 @@ Status EconomyKClassifier::FitWithClusters(const Dataset& train, size_t k,
     const auto splits = StratifiedKFold(train, folds, &rng);
     for (const auto& split : splits) {
       for (size_t ci = 0; ci < checkpoints_.size(); ++ci) {
-        if (budget_timer.Seconds() > train_budget_seconds_) {
-          return Status::ResourceExhausted("ECONOMY-K: train budget exceeded");
-        }
+        ETSC_RETURN_NOT_OK(deadline.Check("ECONOMY-K: train budget exceeded"));
         const size_t len = checkpoints_[ci];
         std::vector<std::vector<double>> fold_features;
         std::vector<int> fold_labels;
@@ -150,9 +147,7 @@ Status EconomyKClassifier::FitWithClusters(const Dataset& train, size_t k,
       std::vector<std::vector<double>>(num_clusters,
                                        std::vector<double>(num_classes, 0.5)));
   for (size_t ci = 0; ci < checkpoints_.size(); ++ci) {
-    if (budget_timer.Seconds() > train_budget_seconds_) {
-      return Status::ResourceExhausted("ECONOMY-K: train budget exceeded");
-    }
+    ETSC_RETURN_NOT_OK(deadline.Check("ECONOMY-K: train budget exceeded"));
     const size_t len = checkpoints_[ci];
     std::vector<std::vector<double>> features(n);
     for (size_t i = 0; i < n; ++i) {
@@ -279,7 +274,9 @@ Result<EarlyPrediction> EconomyKClassifier::PredictEarly(
   }
   const auto& values = series.channel(0);
 
+  const Deadline deadline = PredictDeadline();
   for (size_t ci = 0; ci < checkpoints_.size(); ++ci) {
+    ETSC_RETURN_NOT_OK(deadline.Check("ECONOMY-K: predict budget exceeded"));
     const size_t len = checkpoints_[ci];
     const bool is_last =
         ci + 1 == checkpoints_.size() || checkpoints_[ci + 1] > values.size();

@@ -5,7 +5,6 @@
 #include <limits>
 #include <set>
 
-#include "core/evaluation.h"
 #include "ml/hierarchical.h"
 #include "ml/nn_search.h"
 
@@ -15,12 +14,17 @@ namespace {
 
 // Nearest neighbor per series per prefix length, computed incrementally:
 // nn[l-1][i] is the 1-NN of i under prefix l. O(N^2 L) time, O(N^2) memory.
-std::vector<std::vector<size_t>> NearestPerPrefix(
-    const std::vector<std::vector<double>>& series, size_t length) {
+// The dominant cost of Fit, so it polls the train deadline per prefix.
+Status NearestPerPrefix(const std::vector<std::vector<double>>& series,
+                        size_t length, const Deadline& deadline,
+                        std::vector<std::vector<size_t>>* out) {
   const size_t n = series.size();
   std::vector<std::vector<double>> dist2(n, std::vector<double>(n, 0.0));
   std::vector<std::vector<size_t>> nn(length, std::vector<size_t>(n, 0));
   for (size_t l = 1; l <= length; ++l) {
+    if (deadline.CheckEvery(8)) {
+      return Status::ResourceExhausted("ECTS: train budget exceeded");
+    }
     const size_t t = l - 1;
     for (size_t i = 0; i < n; ++i) {
       const double xi = t < series[i].size() ? series[i][t] : 0.0;
@@ -44,7 +48,8 @@ std::vector<std::vector<size_t>> NearestPerPrefix(
       nn[l - 1][i] = best;
     }
   }
-  return nn;
+  *out = std::move(nn);
+  return Status::OK();
 }
 
 }  // namespace
@@ -67,10 +72,11 @@ Status EctsClassifier::Fit(const Dataset& train) {
     train_series_[i].resize(length_);
   }
 
-  Stopwatch budget_timer;
+  const Deadline deadline = TrainDeadline();
 
   // 1-NN per prefix, RNN sets per prefix.
-  const auto nn = NearestPerPrefix(train_series_, length_);
+  std::vector<std::vector<size_t>> nn;
+  ETSC_RETURN_NOT_OK(NearestPerPrefix(train_series_, length_, deadline, &nn));
   std::vector<std::vector<std::vector<size_t>>> rnn(length_);
   for (size_t l = 1; l <= length_; ++l) {
     rnn[l - 1] = ReverseNearestNeighbors(nn[l - 1]);
@@ -94,9 +100,7 @@ Status EctsClassifier::Fit(const Dataset& train) {
     mpls_[i] = mpl;
   }
 
-  if (budget_timer.Seconds() > train_budget_seconds_) {
-    return Status::ResourceExhausted("ECTS: train budget exceeded");
-  }
+  ETSC_RETURN_NOT_OK(deadline.Check("ECTS: train budget exceeded"));
 
   // Agglomerative clustering on full-length distances (single linkage, the
   // 1-NN merge rule of the original algorithm).
@@ -128,7 +132,7 @@ Status EctsClassifier::Fit(const Dataset& train) {
         merge.distance > options_.max_merge_distance_factor * mean_dist) {
       break;
     }
-    if (budget_timer.Seconds() > train_budget_seconds_) {
+    if (deadline.CheckEvery(8)) {
       return Status::ResourceExhausted("ECTS: train budget exceeded");
     }
     const auto& members = merge.members;
@@ -189,9 +193,13 @@ Result<EarlyPrediction> EctsClassifier::PredictEarly(
 
   // Stream the prefix; maintain running squared distances to every training
   // series, emit once the observed length covers the 1-NN's MPL.
+  const Deadline deadline = PredictDeadline();
   std::vector<double> dist2(n, 0.0);
   size_t best = 0;
   for (size_t l = 1; l <= horizon; ++l) {
+    if (deadline.CheckEvery(32)) {
+      return Status::ResourceExhausted("ECTS: predict budget exceeded");
+    }
     const size_t t = l - 1;
     double best_d = std::numeric_limits<double>::infinity();
     for (size_t j = 0; j < n; ++j) {

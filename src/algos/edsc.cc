@@ -5,7 +5,6 @@
 #include <limits>
 #include <map>
 
-#include "core/evaluation.h"
 #include "core/rng.h"
 #include "ml/distance.h"
 
@@ -62,7 +61,7 @@ Status EdscClassifier::Fit(const Dataset& train) {
       options_.min_length,
       static_cast<size_t>(options_.max_length_fraction *
                           static_cast<double>(train.MinLength())));
-  Stopwatch budget_timer;
+  const Deadline deadline = TrainDeadline();
 
   // Candidate coordinates (source series, start, length) under the strides;
   // subsampled deterministically when max_candidates caps the search.
@@ -91,7 +90,7 @@ Status EdscClassifier::Fit(const Dataset& train) {
   for (const Coord& coord : coords) {
     const size_t src = coord.src;
     const auto& s = series[src];
-    if (budget_timer.Seconds() > train_budget_seconds_) {
+    if (deadline.CheckEvery(4)) {
       return Status::ResourceExhausted("EDSC: train budget exceeded");
     }
     std::vector<double> pattern(s.begin() + coord.start,
@@ -180,7 +179,7 @@ Status EdscClassifier::Fit(const Dataset& train) {
     }
     if (adds) shapelets_.push_back(std::move(candidate));
     if (num_covered == n) break;
-    if (budget_timer.Seconds() > train_budget_seconds_) {
+    if (deadline.CheckEvery(4)) {
       return Status::ResourceExhausted("EDSC: train budget exceeded");
     }
   }
@@ -198,7 +197,11 @@ Result<EarlyPrediction> EdscClassifier::PredictEarly(
 
   // Stream the prefix: at prefix length l only windows ending exactly at l
   // are new, so each (shapelet, end point) pair is examined once.
+  const Deadline deadline = PredictDeadline();
   for (size_t l = 1; l <= length; ++l) {
+    if (deadline.CheckEvery(32)) {
+      return Status::ResourceExhausted("EDSC: predict budget exceeded");
+    }
     for (const auto& shapelet : shapelets_) {
       const size_t m = shapelet.pattern.size();
       if (l < m) continue;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "core/evaluation.h"
 
 namespace etsc {
 
@@ -31,13 +30,11 @@ Status ProbThresholdClassifier::Fit(const Dataset& train) {
   }
   if (prefix_lengths_.back() != length_) prefix_lengths_.push_back(length_);
 
-  Stopwatch budget_timer;
+  const Deadline deadline = TrainDeadline();
   models_.clear();
   models_.reserve(prefix_lengths_.size());
   for (size_t len : prefix_lengths_) {
-    if (budget_timer.Seconds() > train_budget_seconds_) {
-      return Status::ResourceExhausted("prob-threshold: train budget exceeded");
-    }
+    ETSC_RETURN_NOT_OK(deadline.Check("prob-threshold: train budget exceeded"));
     auto model = base_->CloneUntrained();
     ETSC_RETURN_NOT_OK(model->Fit(train.Truncated(len)));
     models_.push_back(std::move(model));
@@ -50,9 +47,12 @@ Result<EarlyPrediction> ProbThresholdClassifier::PredictEarly(
   if (models_.empty()) {
     return Status::FailedPrecondition("prob-threshold: not fitted");
   }
+  const Deadline deadline = PredictDeadline();
   size_t streak = 0;
   int last_label = 0;
   for (size_t p = 0; p < prefix_lengths_.size(); ++p) {
+    ETSC_RETURN_NOT_OK(
+        deadline.Check("prob-threshold: predict budget exceeded"));
     const size_t len = prefix_lengths_[p];
     const bool is_last = p + 1 == prefix_lengths_.size() ||
                          prefix_lengths_[p + 1] > series.length();

@@ -4,7 +4,6 @@
 #include <cmath>
 #include <set>
 
-#include "core/evaluation.h"
 #include "core/metrics.h"
 #include "core/rng.h"
 #include "tsc/minirocket.h"
@@ -72,14 +71,12 @@ Status StrutClassifier::Fit(const Dataset& train) {
   }
   std::vector<size_t> candidates(candidate_set.begin(), candidate_set.end());
 
-  Stopwatch budget_timer;
+  const Deadline deadline = TrainDeadline();
   double best_score = -1.0;
   size_t best_t = length;
   std::vector<double> scores(candidates.size(), -1.0);
   for (size_t c = 0; c < candidates.size(); ++c) {
-    if (budget_timer.Seconds() > train_budget_seconds_) {
-      return Status::ResourceExhausted("STRUT: train budget exceeded");
-    }
+    ETSC_RETURN_NOT_OK(deadline.Check("STRUT: train budget exceeded"));
     auto score = ScoreAt(fit, validation, candidates[c], length);
     if (!score.ok()) continue;  // a length may be unusable for the base model
     scores[c] = *score;
@@ -101,9 +98,7 @@ Status StrutClassifier::Fit(const Dataset& train) {
     }
     size_t hi = best_t;
     while (lo < hi) {
-      if (budget_timer.Seconds() > train_budget_seconds_) {
-        return Status::ResourceExhausted("STRUT: train budget exceeded");
-      }
+      ETSC_RETURN_NOT_OK(deadline.Check("STRUT: train budget exceeded"));
       const size_t mid = lo + (hi - lo) / 2;
       auto score = ScoreAt(fit, validation, mid, length);
       if (score.ok() && *score >= best_score - options_.tolerance) {
@@ -124,6 +119,8 @@ Status StrutClassifier::Fit(const Dataset& train) {
 Result<EarlyPrediction> StrutClassifier::PredictEarly(
     const TimeSeries& series) const {
   if (model_ == nullptr) return Status::FailedPrecondition("STRUT: not fitted");
+  ETSC_RETURN_NOT_OK(
+      PredictDeadline().Check("STRUT: predict budget exceeded"));
   const size_t consumed = std::min(truncation_point_, series.length());
   ETSC_ASSIGN_OR_RETURN(int label, model_->Predict(series.Prefix(consumed)));
   return EarlyPrediction{label, consumed};

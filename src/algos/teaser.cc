@@ -4,7 +4,6 @@
 #include <cmath>
 #include <limits>
 
-#include "core/evaluation.h"
 #include "core/metrics.h"
 #include "core/rng.h"
 
@@ -61,7 +60,7 @@ Status TeaserClassifier::Fit(const Dataset& train) {
   const size_t P = prefix_lengths_.size();
   const size_t n = prepared.size();
 
-  Stopwatch budget_timer;
+  const Deadline deadline = TrainDeadline();
   Rng rng(options_.seed);
 
   models_.clear();
@@ -87,9 +86,7 @@ Status TeaserClassifier::Fit(const Dataset& train) {
     for (const auto& split : splits) {
       Dataset fold_train = prepared.Subset(split.train);
       for (size_t p = 0; p < P; ++p) {
-        if (budget_timer.Seconds() > train_budget_seconds_) {
-          return Status::ResourceExhausted("TEASER: train budget exceeded");
-        }
+        ETSC_RETURN_NOT_OK(deadline.Check("TEASER: train budget exceeded"));
         WeaselClassifier model(options_.weasel);
         ETSC_RETURN_NOT_OK(model.Fit(fold_train.Truncated(prefix_lengths_[p])));
         for (size_t test_idx : split.test) {
@@ -113,9 +110,7 @@ Status TeaserClassifier::Fit(const Dataset& train) {
 
   const auto global_labels = prepared.ClassLabels();
   for (size_t p = 0; p < P; ++p) {
-    if (budget_timer.Seconds() > train_budget_seconds_) {
-      return Status::ResourceExhausted("TEASER: train budget exceeded");
-    }
+    ETSC_RETURN_NOT_OK(deadline.Check("TEASER: train budget exceeded"));
     WeaselClassifier model(options_.weasel);
     ETSC_RETURN_NOT_OK(model.Fit(prepared.Truncated(prefix_lengths_[p])));
 
@@ -218,9 +213,11 @@ Result<EarlyPrediction> TeaserClassifier::PredictEarly(
   }
   const TimeSeries prepared = Preprocess(series);
 
+  const Deadline deadline = PredictDeadline();
   int last_label = 0;
   size_t streak = 0;
   for (size_t p = 0; p < prefix_lengths_.size(); ++p) {
+    ETSC_RETURN_NOT_OK(deadline.Check("TEASER: predict budget exceeded"));
     const size_t len = prefix_lengths_[p];
     const bool is_last = p + 1 == prefix_lengths_.size() ||
                          prefix_lengths_[p + 1] > prepared.length();

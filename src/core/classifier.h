@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/dataset.h"
+#include "core/deadline.h"
 #include "core/status.h"
 #include "core/time_series.h"
 
@@ -78,8 +79,29 @@ class EarlyClassifier {
   double train_budget_seconds() const { return train_budget_seconds_; }
   void set_train_budget_seconds(double seconds) { train_budget_seconds_ = seconds; }
 
+  /// Wall-clock budget in seconds for ONE PredictEarly call (default: no
+  /// limit). Implementations poll PredictDeadline() and fail with
+  /// ResourceExhausted on expiry; EvaluateSplit degrades such a miss to a
+  /// full-length wrong prediction instead of letting one slow instance stall
+  /// a campaign.
+  double predict_budget_seconds() const { return predict_budget_seconds_; }
+  void set_predict_budget_seconds(double seconds) {
+    predict_budget_seconds_ = seconds;
+  }
+
  protected:
+  /// Deadline covering the current Fit call; construct once at the top of
+  /// Fit so every phase (preprocessing included) counts against the budget.
+  Deadline TrainDeadline() const { return Deadline::After(train_budget_seconds_); }
+
+  /// Deadline covering one PredictEarly call; construct at the top of each
+  /// call.
+  Deadline PredictDeadline() const {
+    return Deadline::After(predict_budget_seconds_);
+  }
+
   double train_budget_seconds_ = std::numeric_limits<double>::infinity();
+  double predict_budget_seconds_ = std::numeric_limits<double>::infinity();
 };
 
 }  // namespace etsc

@@ -1,0 +1,50 @@
+#include "core/deadline.h"
+
+#include <cmath>
+#include <limits>
+
+namespace etsc {
+
+Deadline Deadline::After(double seconds) {
+  if (std::isnan(seconds)) return Infinite();
+  if (seconds <= 0.0) {
+    // Already expired: min() keeps Remaining() well below zero without
+    // overflowing duration arithmetic.
+    return Deadline(Clock::time_point::min());
+  }
+  // Budgets beyond what the clock can represent (including +inf) never expire.
+  const double max_representable =
+      std::chrono::duration<double>(Clock::duration::max()).count() / 2.0;
+  if (seconds >= max_representable) return Infinite();
+  return Deadline(Clock::now() +
+                  std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(seconds)));
+}
+
+bool Deadline::Expired() const {
+  if (infinite()) return false;
+  return Clock::now() >= expiry_;
+}
+
+double Deadline::Remaining() const {
+  if (infinite()) return std::numeric_limits<double>::infinity();
+  if (expiry_ == Clock::time_point::min()) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return std::chrono::duration<double>(expiry_ - Clock::now()).count();
+}
+
+bool Deadline::CheckEvery(uint32_t stride) const {
+  if (expired_) return true;
+  if (infinite()) return false;
+  if (stride == 0) stride = 1;
+  if (calls_++ % stride == 0) expired_ = Expired();
+  return expired_;
+}
+
+Status Deadline::Check(const std::string& what) const {
+  if (Expired()) return Status::ResourceExhausted(what);
+  return Status::OK();
+}
+
+}  // namespace etsc

@@ -1,0 +1,67 @@
+#ifndef ETSC_CORE_DEADLINE_H_
+#define ETSC_CORE_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "core/status.h"
+
+namespace etsc {
+
+/// Cooperative wall-clock deadline on the monotonic clock.
+///
+/// A Deadline is an absolute expiry instant constructed once at the top of a
+/// budgeted operation (Fit, PredictEarly) and polled from the operation's
+/// loops. It replaces the per-algorithm Stopwatch-versus-budget checks so
+/// every algorithm shares one expiry semantics: on expiry the operation
+/// returns Status::ResourceExhausted and the caller records the cell as
+/// failed rather than crashing — the paper's 48-hour kill rule (Sec. 6.1)
+/// applied uniformly to training and prediction.
+///
+/// Deadlines are value types; copying one copies the expiry instant but
+/// resets the amortised-check state, so pass by reference inside one
+/// operation.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never expires.
+  Deadline() : expiry_(Clock::time_point::max()) {}
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `seconds` from now. Infinite, NaN, or absurdly large budgets
+  /// mean "never"; zero or negative budgets are already expired (a pre-spent
+  /// budget must still fail deterministically, not hang).
+  static Deadline After(double seconds);
+
+  bool infinite() const { return expiry_ == Clock::time_point::max(); }
+
+  /// True once the expiry instant has passed. Consults the clock.
+  bool Expired() const;
+
+  /// Seconds until expiry: +infinity for an infinite deadline, <= 0 once
+  /// expired.
+  double Remaining() const;
+
+  /// Amortised expiry check for tight loops: consults the clock only on the
+  /// first call and then once every `stride` calls, returning the cached
+  /// verdict in between. Expiry is sticky — once observed it stays true.
+  bool CheckEvery(uint32_t stride = 64) const;
+
+  /// OK while unexpired; Status::ResourceExhausted(what) once expired.
+  Status Check(const std::string& what) const;
+
+ private:
+  explicit Deadline(Clock::time_point expiry) : expiry_(expiry) {}
+
+  Clock::time_point expiry_;
+  // CheckEvery state; mutable so const operations can amortise their polling.
+  mutable uint32_t calls_ = 0;
+  mutable bool expired_ = false;
+};
+
+}  // namespace etsc
+
+#endif  // ETSC_CORE_DEADLINE_H_

@@ -77,9 +77,12 @@ FoldOutcome EvaluateSplit(const Dataset& train, const Dataset& test,
     const TimeSeries& ts = test.instance(i);
     auto pred = classifier->PredictEarly(ts);
     if (!pred.ok()) {
-      // A prediction failure counts as consuming the full series and
-      // predicting an impossible label (always wrong); it must not crash an
-      // entire evaluation campaign.
+      // A prediction failure (predict deadline overrun, internal fault)
+      // counts as consuming the full series and predicting an impossible
+      // label (always wrong); it must not crash an entire evaluation
+      // campaign. The first failure message is surfaced on the outcome.
+      ++outcome.num_failed_predictions;
+      if (outcome.failure.empty()) outcome.failure = pred.status().ToString();
       truth.push_back(test.label(i));
       predicted.push_back(std::numeric_limits<int>::min());
       prefixes.push_back(ts.length());
@@ -88,7 +91,9 @@ FoldOutcome EvaluateSplit(const Dataset& train, const Dataset& test,
     }
     truth.push_back(test.label(i));
     predicted.push_back(pred->label);
-    prefixes.push_back(pred->prefix_length);
+    // Clamp: a buggy/faulty classifier may report consuming more than it was
+    // given; the metrics contract requires prefix <= length.
+    prefixes.push_back(std::min(pred->prefix_length, ts.length()));
     lengths.push_back(ts.length());
   }
   outcome.test_seconds = test_timer.Seconds();
@@ -112,9 +117,11 @@ EvaluationResult CrossValidate(const Dataset& dataset,
 
     std::unique_ptr<EarlyClassifier> classifier = prototype.CloneUntrained();
     classifier->set_train_budget_seconds(options.train_budget_seconds);
+    classifier->set_predict_budget_seconds(options.predict_budget_seconds);
     if (options.wrap_univariate_with_voting) {
       classifier = WrapForDataset(std::move(classifier), train);
       classifier->set_train_budget_seconds(options.train_budget_seconds);
+      classifier->set_predict_budget_seconds(options.predict_budget_seconds);
     }
     result.folds.push_back(EvaluateSplit(train, test, classifier.get()));
     if (options.skip_folds_after_failure && !result.folds.back().trained) {

@@ -30,7 +30,13 @@ class Stopwatch {
 /// Outcome of one CV fold.
 struct FoldOutcome {
   bool trained = false;          // false when Fit failed (e.g. budget exceeded)
-  std::string failure;           // Fit failure message when !trained
+  /// First failure observed in the fold: the Fit error when !trained, else
+  /// the first prediction error (predict deadline overrun, internal fault).
+  /// Failed cells are first-class results, never crashes.
+  std::string failure;
+  /// Predictions that returned an error and were degraded to a full-length
+  /// miss; trained stays true so the fold still reports scores.
+  size_t num_failed_predictions = 0;
   EvalScores scores;
   double train_seconds = 0.0;
   double test_seconds = 0.0;     // total over the fold's test set
@@ -61,6 +67,9 @@ struct EvaluationOptions {
   size_t num_folds = 5;                      // stratified random-sampling CV
   uint64_t seed = 42;
   double train_budget_seconds = std::numeric_limits<double>::infinity();
+  /// Wall-clock budget for ONE PredictEarly call; an overrun degrades that
+  /// instance to a full-length miss instead of hanging the evaluation.
+  double predict_budget_seconds = std::numeric_limits<double>::infinity();
   bool wrap_univariate_with_voting = true;   // Sec. 6.1 voting scheme
   /// Stop evaluating remaining folds once one fold fails to train (budget
   /// exhaustion would only repeat); the paper's 48-hour rule likewise kills

@@ -1,0 +1,86 @@
+#include "core/fault.h"
+
+#include <chrono>
+#include <limits>
+#include <utility>
+
+#include "core/deadline.h"
+
+namespace etsc {
+
+void BurnWallClock(double seconds) {
+  if (seconds <= 0.0) return;
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double>(seconds));
+  volatile uint64_t sink = 0;
+  while (std::chrono::steady_clock::now() < until) {
+    for (int i = 0; i < 1000; ++i) sink = sink + static_cast<uint64_t>(i);
+  }
+}
+
+FaultyClassifier::FaultyClassifier(std::unique_ptr<EarlyClassifier> inner,
+                                   FaultOptions options)
+    : inner_(std::move(inner)), options_(options), rng_(options.seed) {
+  ETSC_CHECK(inner_ != nullptr);
+}
+
+Status FaultyClassifier::Fit(const Dataset& train) {
+  inner_->set_train_budget_seconds(train_budget_seconds());
+  inner_->set_predict_budget_seconds(predict_budget_seconds());
+  const Deadline deadline = TrainDeadline();
+  BurnWallClock(options_.fit_delay_seconds);
+  ETSC_RETURN_NOT_OK(deadline.Check(name() + ": train budget exceeded"));
+  if (options_.fit_failure_rate > 0.0 &&
+      rng_.Bernoulli(options_.fit_failure_rate)) {
+    return Status::Internal(name() + ": injected fit failure");
+  }
+  return inner_->Fit(train);
+}
+
+Result<EarlyPrediction> FaultyClassifier::PredictEarly(
+    const TimeSeries& series) const {
+  const Deadline deadline = PredictDeadline();
+  BurnWallClock(options_.predict_delay_seconds);
+  ETSC_RETURN_NOT_OK(deadline.Check(name() + ": predict budget exceeded"));
+  // One draw decides the injected outcome so the fault stream stays aligned
+  // with the call sequence regardless of which rates are enabled.
+  const double u = rng_.Uniform();
+  if (u < options_.predict_failure_rate) {
+    return Status::Internal(name() + ": injected predict failure");
+  }
+  if (u < options_.predict_failure_rate + options_.garbage_prediction_rate) {
+    return EarlyPrediction{std::numeric_limits<int>::max(),
+                           series.length() * 2 + 1};
+  }
+  return inner_->PredictEarly(series);
+}
+
+std::string FaultyClassifier::name() const { return "faulty-" + inner_->name(); }
+
+bool FaultyClassifier::SupportsMultivariate() const {
+  return inner_->SupportsMultivariate();
+}
+
+std::unique_ptr<EarlyClassifier> FaultyClassifier::CloneUntrained() const {
+  return std::make_unique<FaultyClassifier>(inner_->CloneUntrained(), options_);
+}
+
+Dataset InjectMissingValues(const Dataset& source, double rate, uint64_t seed) {
+  Rng rng(seed);
+  Dataset corrupted = source;
+  if (rate <= 0.0) return corrupted;
+  for (size_t i = 0; i < corrupted.size(); ++i) {
+    TimeSeries& series = corrupted.instance(i);
+    for (size_t v = 0; v < series.num_variables(); ++v) {
+      for (size_t t = 0; t < series.length(); ++t) {
+        if (rng.Bernoulli(rate)) {
+          series.at(v, t) = std::numeric_limits<double>::quiet_NaN();
+        }
+      }
+    }
+  }
+  return corrupted;
+}
+
+}  // namespace etsc

@@ -1,0 +1,74 @@
+#ifndef ETSC_CORE_FAULT_H_
+#define ETSC_CORE_FAULT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/classifier.h"
+#include "core/dataset.h"
+#include "core/rng.h"
+
+namespace etsc {
+
+/// Configuration of the deterministic fault-injection decorator. All rates
+/// are probabilities in [0, 1]; the draws come from one seeded Rng so a given
+/// (seed, call sequence) always injects the same faults.
+struct FaultOptions {
+  uint64_t seed = 7;
+  /// Fit returns Status::Internal("injected fit failure") with this rate.
+  double fit_failure_rate = 0.0;
+  /// PredictEarly returns Status::Internal with this rate.
+  double predict_failure_rate = 0.0;
+  /// PredictEarly returns a corrupt EarlyPrediction with this rate: an
+  /// impossible label and a prefix_length beyond the series length. Callers
+  /// must survive both (EvaluateSplit clamps the prefix and scores the label
+  /// as a miss).
+  double garbage_prediction_rate = 0.0;
+  /// Busy-wait this long at the top of Fit / each PredictEarly before
+  /// checking the decorator's own deadline — simulates an overrunning
+  /// implementation so budget expiry paths can be exercised with millisecond
+  /// budgets instead of the paper's 48 hours.
+  double fit_delay_seconds = 0.0;
+  double predict_delay_seconds = 0.0;
+};
+
+/// Decorator that wraps any EarlyClassifier and injects seeded failures,
+/// deadline overruns, and garbage predictions. Used by tests to prove that
+/// CrossValidate, StreamingSession, and the benchmark Campaign degrade
+/// gracefully (failed cells recorded with `failure` strings, never aborts).
+///
+/// Budgets set on the decorator are forwarded to the inner classifier at Fit
+/// time, matching the voting wrappers' propagation contract.
+class FaultyClassifier : public EarlyClassifier {
+ public:
+  FaultyClassifier(std::unique_ptr<EarlyClassifier> inner, FaultOptions options);
+
+  Status Fit(const Dataset& train) override;
+  Result<EarlyPrediction> PredictEarly(const TimeSeries& series) const override;
+  std::string name() const override;
+  bool SupportsMultivariate() const override;
+  std::unique_ptr<EarlyClassifier> CloneUntrained() const override;
+
+ private:
+  std::unique_ptr<EarlyClassifier> inner_;
+  FaultOptions options_;
+  // PredictEarly is const in the interface; the fault stream is decorator
+  // state, deterministic given the call order.
+  mutable Rng rng_;
+};
+
+/// Returns a copy of `source` in which every observation is independently
+/// replaced by NaN with probability `rate` (seeded) — a faulty data source
+/// modelling sensor dropouts. Labels and metadata are preserved; callers can
+/// exercise both the repair path (Dataset::FillMissingValues) and raw-NaN
+/// robustness of downstream components.
+Dataset InjectMissingValues(const Dataset& source, double rate, uint64_t seed);
+
+/// Busy-waits (monotonic clock) for `seconds`; models a compute-bound
+/// overrun, unlike sleeping, so deadline tests behave under load.
+void BurnWallClock(double seconds);
+
+}  // namespace etsc
+
+#endif  // ETSC_CORE_FAULT_H_

@@ -11,11 +11,15 @@ StreamingSession::StreamingSession(const EarlyClassifier* classifier,
 
 Result<std::optional<EarlyPrediction>> StreamingSession::Push(
     const std::vector<double>& values) {
-  if (decision_.has_value()) return decision_;
+  // Arity is validated before anything else — including the sticky-decision
+  // shortcut — so a malformed observation is always reported and can never
+  // leave the buffer with ragged channels.
   if (values.size() != buffer_.num_variables()) {
     return Status::InvalidArgument(
-        "StreamingSession: observation has wrong variable count");
+        "StreamingSession: observation has " + std::to_string(values.size()) +
+        " values, expected " + std::to_string(buffer_.num_variables()));
   }
+  if (decision_.has_value()) return decision_;
   for (size_t v = 0; v < values.size(); ++v) {
     buffer_.channel(v).push_back(values[v]);
   }

@@ -26,7 +26,9 @@ class StreamingSession {
   /// Appends one observation (one value per variable). Returns the decision
   /// if the classifier committed with this point, std::nullopt otherwise.
   /// Once a decision is made, further pushes keep returning it without
-  /// re-running the classifier.
+  /// re-running the classifier. An observation whose arity differs from
+  /// `num_variables` is rejected with InvalidArgument before touching the
+  /// buffer (even after a decision), so the buffer can never go ragged.
   Result<std::optional<EarlyPrediction>> Push(const std::vector<double>& values);
 
   /// Forces a decision on whatever has been observed (end of stream).

@@ -31,6 +31,7 @@ Result<TunerVerdict> TuneEarlyClassifier(const Dataset& train,
   eval.num_folds = options.folds;
   eval.seed = options.seed;
   eval.train_budget_seconds = options.train_budget_seconds;
+  eval.predict_budget_seconds = options.predict_budget_seconds;
 
   for (const auto& candidate : grid) {
     std::unique_ptr<EarlyClassifier> prototype = candidate.factory();
@@ -57,6 +58,7 @@ Result<TunerVerdict> TuneEarlyClassifier(const Dataset& train,
   }
   verdict.best_model = winner->factory();
   verdict.best_model->set_train_budget_seconds(options.train_budget_seconds);
+  verdict.best_model->set_predict_budget_seconds(options.predict_budget_seconds);
   ETSC_RETURN_NOT_OK(verdict.best_model->Fit(train));
   return verdict;
 }

@@ -32,6 +32,7 @@ struct TunerOptions {
   size_t folds = 3;
   uint64_t seed = 31;
   double train_budget_seconds = std::numeric_limits<double>::infinity();
+  double predict_budget_seconds = std::numeric_limits<double>::infinity();
 };
 
 struct TunerVerdict {

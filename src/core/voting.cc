@@ -21,6 +21,7 @@ Status VotingEarlyClassifier::Fit(const Dataset& train) {
   for (size_t v = 0; v < num_vars; ++v) {
     auto voter = prototype_->CloneUntrained();
     voter->set_train_budget_seconds(train_budget_seconds_);
+    voter->set_predict_budget_seconds(predict_budget_seconds_);
     ETSC_RETURN_NOT_OK(voter->Fit(train.SingleVariable(v)));
     voters_.push_back(std::move(voter));
   }

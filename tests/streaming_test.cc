@@ -85,6 +85,36 @@ TEST(StreamingSession, RejectsWrongVariableCount) {
   EXPECT_FALSE(out.ok());
 }
 
+TEST(StreamingSession, WrongArityLeavesBufferUntouched) {
+  FixedNeed model(100);
+  StreamingSession session(&model, 2);
+  auto bad = session.Push({1.0});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(session.observed(), 0u);
+  // A malformed observation must not have left a ragged buffer behind: the
+  // session keeps working with well-formed observations.
+  auto good = session.Push({1.0, 2.0});
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(session.observed(), 1u);
+  auto finished = session.Finish();
+  ASSERT_TRUE(finished.ok());
+  EXPECT_EQ(finished->prefix_length, 1u);
+}
+
+TEST(StreamingSession, WrongArityRejectedEvenAfterDecision) {
+  FixedNeed model(1);
+  StreamingSession session(&model, 1);
+  (void)session.Push({0.0});
+  (void)session.Push({1.0});
+  ASSERT_TRUE(session.decision().has_value());
+  // The sticky-decision shortcut must not mask a malformed observation.
+  auto bad = session.Push({1.0, 2.0});
+  EXPECT_FALSE(bad.ok());
+  auto good = session.Push({3.0});
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good->has_value());
+}
+
 TEST(StreamingSession, ResetStartsOver) {
   FixedNeed model(1);
   StreamingSession session(&model, 1);
