@@ -16,6 +16,7 @@
 #include "algos/strut.h"
 #include "algos/teaser.h"
 #include "core/evaluation.h"
+#include "core/parallel.h"
 
 namespace etsc::bench {
 
@@ -252,10 +253,31 @@ const CampaignCell* Campaign::Find(const std::string& algorithm,
   return nullptr;
 }
 
+namespace {
+
+/// One uncached (algorithm, dataset) cell scheduled on the thread pool. The
+/// dataset pointer refers into a vector that outlives the task group; the
+/// prototype is owned here so tasks never share mutable classifier state.
+struct CellJob {
+  const BenchmarkDataset* benchmark = nullptr;
+  std::string algorithm;
+  std::unique_ptr<EarlyClassifier> prototype;
+  CampaignCell cell;
+  double cpu_seconds = 0.0;
+};
+
+}  // namespace
+
 void Campaign::Run() {
   LoadCache();
   profiles_.clear();
 
+  // Phase 1 (serial): generate every dataset once, in configuration order.
+  // Generation draws from seeded RNGs, so it must not race or depend on
+  // scheduling; the cell tasks then capture const references into this
+  // vector (satisfying the immutable-inputs contract of core/parallel.h).
+  std::vector<BenchmarkDataset> benchmarks;
+  benchmarks.reserve(config_.datasets.size());
   for (const auto& dataset_name : config_.datasets) {
     auto benchmark = MakeBenchmarkDataset(dataset_name, RepoOptions());
     if (!benchmark.ok()) {
@@ -265,20 +287,47 @@ void Campaign::Run() {
       continue;
     }
     profiles_.push_back(benchmark->canonical_profile);
+    benchmarks.push_back(*std::move(benchmark));
+  }
 
+  // Phase 2 (serial): build the work list of uncached cells, dataset-major
+  // like the reports. Prototypes are constructed here so an unknown
+  // algorithm warns exactly once, in deterministic order.
+  std::vector<CellJob> jobs;
+  for (const auto& benchmark : benchmarks) {
+    const std::string& dataset_name = benchmark.canonical_profile.name;
     for (const auto& algorithm : config_.algorithms) {
       if (Find(algorithm, dataset_name) != nullptr) continue;  // cached
       if (config_.report_only) continue;  // reporting a running campaign
       auto prototype = MakePaperAlgorithm(algorithm, dataset_name,
-                                          benchmark->data.MaxLength());
+                                          benchmark.data.MaxLength());
       if (prototype == nullptr) {
         std::fprintf(stderr, "[campaign] unknown algorithm %s\n",
                      algorithm.c_str());
         continue;
       }
+      CellJob job;
+      job.benchmark = &benchmark;
+      job.algorithm = algorithm;
+      job.prototype = std::move(prototype);
+      jobs.push_back(std::move(job));
+    }
+  }
+  if (jobs.empty()) return;
+
+  // Phase 3 (parallel): compute cells concurrently. Each cell is seeded from
+  // config_.seed alone (CrossValidate splits per-fold seeds before its own
+  // dispatch), so results are bit-identical to a serial run; only the stderr
+  // progress lines and journal row order vary with scheduling.
+  Stopwatch wall;
+  TaskGroup group;
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    group.Run([this, &jobs, j]() -> Status {
+      CellJob& job = jobs[j];
+      const std::string& dataset_name = job.benchmark->canonical_profile.name;
       std::fprintf(stderr, "[campaign] %s on %s (%zu instances)...\n",
-                   algorithm.c_str(), dataset_name.c_str(),
-                   benchmark->data.size());
+                   job.algorithm.c_str(), dataset_name.c_str(),
+                   job.benchmark->data.size());
 
       EvaluationOptions options;
       options.num_folds = config_.folds;
@@ -286,10 +335,10 @@ void Campaign::Run() {
       options.train_budget_seconds = config_.train_budget_seconds;
       options.predict_budget_seconds = config_.predict_budget_seconds;
       const EvaluationResult result =
-          CrossValidate(benchmark->data, *prototype, options);
+          CrossValidate(job.benchmark->data, *job.prototype, options);
 
-      CampaignCell cell;
-      cell.algorithm = algorithm;
+      CampaignCell& cell = job.cell;
+      cell.algorithm = job.algorithm;
       cell.dataset = dataset_name;
       cell.trained = result.trained();
       // Surface the first failure — a Fit error on an untrained cell, or a
@@ -307,14 +356,40 @@ void Campaign::Run() {
       cell.harmonic_mean = scores.harmonic_mean;
       cell.train_seconds = result.MeanTrainSeconds();
       cell.test_seconds_per_instance = result.MeanTestSecondsPerInstance();
-      AppendCache(cell);
-      cells_.push_back(std::move(cell));
-      std::fprintf(stderr, "[campaign]   %s\n",
-                   cells_.back().trained
-                       ? scores.ToString().c_str()
-                       : ("DNF: " + cells_.back().failure).c_str());
-    }
+      job.cpu_seconds = result.CpuSeconds();
+      {
+        // The journal is shared by all cells; the lock keeps each flushed
+        // row whole so a reload never sees interleaved fragments.
+        std::lock_guard<std::mutex> lock(journal_mu_);
+        AppendCache(cell);
+      }
+      std::fprintf(stderr, "[campaign]   %s on %s: %s\n", job.algorithm.c_str(),
+                   dataset_name.c_str(),
+                   cell.trained ? scores.ToString().c_str()
+                                : ("DNF: " + cell.failure).c_str());
+      return Status::OK();
+    });
   }
+  const Status status = group.Wait();
+  if (!status.ok()) {
+    std::fprintf(stderr, "[campaign] cell task failed: %s\n",
+                 status.ToString().c_str());
+  }
+  const double wall_seconds = wall.Seconds();
+
+  // Phase 4 (serial): publish results in work-list order, so cells() and the
+  // reports are independent of which cell finished first.
+  double cpu_seconds = 0.0;
+  for (auto& job : jobs) {
+    cpu_seconds += job.cpu_seconds;
+    cells_.push_back(std::move(job.cell));
+  }
+  std::fprintf(stderr,
+               "[campaign] %zu cell(s) in %.1fs wall, %.1fs cpu-sum "
+               "(speedup %.2fx, %zu thread(s))\n",
+               jobs.size(), wall_seconds, cpu_seconds,
+               wall_seconds > 0 ? cpu_seconds / wall_seconds : 1.0,
+               MaxParallelism());
 }
 
 double Campaign::CategoryMean(const std::string& algorithm,

@@ -4,6 +4,7 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -83,6 +84,15 @@ struct CampaignCell {
 /// stratified CV, incrementally journalled so all fig/table benches share one
 /// run and interrupted campaigns resume.
 ///
+/// Uncached (algorithm, dataset) cells run concurrently on the global thread
+/// pool (core/parallel.h, width from ETSC_THREADS), each cell's CV folds
+/// fanning out on the same pool. Results are bit-identical to a serial run:
+/// datasets are generated and per-fold seeds split before dispatch, and
+/// cells_ is filled in configuration order after all cells complete. Journal
+/// rows are appended under a mutex as cells finish, so a crash mid-campaign
+/// still loses at most the rows being written. Run() reports aggregate
+/// wall-clock vs. CPU-sum speedup on stderr.
+///
 /// Journal crash-safety contract:
 ///  - The journal's first line is the config fingerprint; a file written
 ///    under another config is rotated aside to `<path>.stale` before the
@@ -121,6 +131,8 @@ class Campaign {
   };
 
   void LoadCache();
+  /// Requires journal_mu_ when cells complete concurrently: a row must hit
+  /// the file whole (header decision, fresh-line check, write, flush).
   void AppendCache(const CampaignCell& cell);
   RepositoryOptions RepoOptions() const;
 
@@ -128,6 +140,7 @@ class Campaign {
   std::vector<CampaignCell> cells_;
   std::vector<DatasetProfile> profiles_;
   CacheState cache_state_ = CacheState::kMissing;
+  std::mutex journal_mu_;
 };
 
 /// Extraction helpers for CategoryMean.

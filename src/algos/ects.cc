@@ -5,6 +5,7 @@
 #include <limits>
 #include <set>
 
+#include "ml/distance.h"
 #include "ml/hierarchical.h"
 #include "ml/nn_search.h"
 
@@ -109,11 +110,10 @@ Status EctsClassifier::Fit(const Dataset& train) {
   size_t pairs = 0;
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = i + 1; j < n; ++j) {
-      double sum = 0.0;
-      for (size_t t = 0; t < length_; ++t) {
-        const double d = train_series_[i][t] - train_series_[j][t];
-        sum += d * d;
-      }
+      // Unrolled squared kernel; one sqrt per pair (the linkage thresholds
+      // are expressed in real distances).
+      const double sum = EuclideanPrefixSq(train_series_[i], train_series_[j],
+                                           length_);
       dist[i][j] = dist[j][i] = std::sqrt(sum);
       mean_dist += dist[i][j];
       ++pairs;

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <optional>
 
+#include "core/parallel.h"
 #include "core/rng.h"
 #include "ml/distance.h"
 
@@ -12,22 +14,48 @@ namespace etsc {
 
 namespace {
 
+// Squared distance of `pattern` (length m) to the window starting at `s`,
+// abandoning once the partial sum exceeds `bound` (returns a value > bound in
+// that case). Same 4-way unrolled accumulators and reduction order as the
+// ml/distance kernels.
+double WindowSqDistance(const double* p, const double* s, size_t m,
+                        double bound) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const double d0 = p[i] - s[i];
+    const double d1 = p[i + 1] - s[i + 1];
+    const double d2 = p[i + 2] - s[i + 2];
+    const double d3 = p[i + 3] - s[i + 3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+    if ((s0 + s1) + (s2 + s3) > bound) return (s0 + s1) + (s2 + s3);
+  }
+  double sum = (s0 + s1) + (s2 + s3);
+  for (; i < m; ++i) {
+    const double d = p[i] - s[i];
+    sum += d * d;
+    if (sum > bound) break;
+  }
+  return sum;
+}
+
 // Earliest prefix length of `series` at which some window within the prefix
 // matches `pattern` within `threshold`; 0 when it never matches. The earliest
-// match of a window [s, s+m) becomes visible at prefix length s+m.
+// match of a window [s, s+m) becomes visible at prefix length s+m. Matching
+// runs entirely in squared space (threshold squared once, no sqrt per window).
 size_t EarliestMatchLength(const std::vector<double>& pattern,
                            const std::vector<double>& series, double threshold) {
   const size_t m = pattern.size();
   if (series.size() < m) return 0;
   const double thr2 = threshold * threshold;
   for (size_t start = 0; start + m <= series.size(); ++start) {
-    double sum = 0.0;
-    for (size_t i = 0; i < m; ++i) {
-      const double d = pattern[i] - series[start + i];
-      sum += d * d;
-      if (sum > thr2) break;
+    if (WindowSqDistance(pattern.data(), series.data() + start, m, thr2) <=
+        thr2) {
+      return start + m;
     }
-    if (sum <= thr2) return start + m;
   }
   return 0;
 }
@@ -85,69 +113,82 @@ Status EdscClassifier::Fit(const Dataset& train) {
     coords.resize(options_.max_candidates);
   }
 
-  // Learn CHE thresholds and utilities per candidate.
+  // Learn CHE thresholds and utilities per candidate. Candidates are scored
+  // independently on the thread pool into per-coordinate slots, then gathered
+  // in coordinate order — identical results to the old serial loop. The loop
+  // harness polls the train deadline (the dominant Fit cost lives here).
+  std::vector<std::optional<Shapelet>> scored(coords.size());
+  ETSC_RETURN_NOT_OK(ParallelForStatus(
+      coords.size(),
+      [&](size_t c) -> Status {
+        const Coord& coord = coords[c];
+        const size_t src = coord.src;
+        const auto& s = series[src];
+        std::vector<double> pattern(s.begin() + coord.start,
+                                    s.begin() + coord.start + coord.len);
+
+        // Distances of the pattern to all other-class series (real distances:
+        // the Chebyshev statistics live in un-squared space).
+        double mean = 0.0, m2 = 0.0;
+        size_t count = 0;
+        for (size_t j = 0; j < n; ++j) {
+          if (labels[j] == labels[src]) continue;
+          const double d2 = MinSubseriesDistanceSq(pattern, series[j]);
+          if (!std::isfinite(d2)) continue;
+          const double d = std::sqrt(d2);
+          ++count;
+          const double delta = d - mean;
+          mean += delta / static_cast<double>(count);
+          m2 += delta * (d - mean);
+        }
+        if (count == 0) return Status::OK();
+        const double stddev =
+            count > 1 ? std::sqrt(m2 / static_cast<double>(count)) : 0.0;
+        // One-sided Chebyshev bound: distances below mean - k*sigma are
+        // unlikely to come from another class.
+        const double threshold =
+            std::max(mean - options_.chebyshev_k * stddev, 0.0);
+        if (threshold <= 0.0) return Status::OK();
+
+        // Coverage, precision and earliness-weighted recall over training.
+        size_t covered = 0, covered_target = 0;
+        double recall_weight = 0.0;
+        size_t total_target = 0;
+        for (size_t j = 0; j < n; ++j) {
+          const bool target = labels[j] == labels[src];
+          if (target) ++total_target;
+          const size_t eml = EarliestMatchLength(pattern, series[j], threshold);
+          if (eml == 0) continue;
+          ++covered;
+          if (target) {
+            ++covered_target;
+            recall_weight += 1.0 - static_cast<double>(eml - 1) /
+                                       static_cast<double>(series[j].size());
+          }
+        }
+        if (covered == 0 || covered_target == 0 || total_target == 0) {
+          return Status::OK();
+        }
+        Shapelet shapelet;
+        shapelet.pattern = std::move(pattern);
+        shapelet.threshold = threshold;
+        shapelet.label = labels[src];
+        shapelet.precision =
+            static_cast<double>(covered_target) / static_cast<double>(covered);
+        shapelet.weighted_recall =
+            recall_weight / static_cast<double>(total_target);
+        const double denom = shapelet.precision + shapelet.weighted_recall;
+        shapelet.utility =
+            denom > 0
+                ? 2.0 * shapelet.precision * shapelet.weighted_recall / denom
+                : 0.0;
+        scored[c] = std::move(shapelet);
+        return Status::OK();
+      },
+      /*grain=*/1, &deadline, "EDSC: train budget exceeded"));
   std::vector<Shapelet> candidates;
-  for (const Coord& coord : coords) {
-    const size_t src = coord.src;
-    const auto& s = series[src];
-    if (deadline.CheckEvery(4)) {
-      return Status::ResourceExhausted("EDSC: train budget exceeded");
-    }
-    std::vector<double> pattern(s.begin() + coord.start,
-                            s.begin() + coord.start + coord.len);
-
-    // Distances of the pattern to all other-class series.
-    double mean = 0.0, m2 = 0.0;
-    size_t count = 0;
-    for (size_t j = 0; j < n; ++j) {
-      if (labels[j] == labels[src]) continue;
-      const double d = MinSubseriesDistance(pattern, series[j]);
-      if (!std::isfinite(d)) continue;
-      ++count;
-      const double delta = d - mean;
-      mean += delta / static_cast<double>(count);
-      m2 += delta * (d - mean);
-    }
-    if (count == 0) continue;
-    const double stddev =
-        count > 1 ? std::sqrt(m2 / static_cast<double>(count)) : 0.0;
-    // One-sided Chebyshev bound: distances below mean - k*sigma are
-    // unlikely to come from another class.
-    const double threshold =
-        std::max(mean - options_.chebyshev_k * stddev, 0.0);
-    if (threshold <= 0.0) continue;
-
-    // Coverage, precision and earliness-weighted recall over training.
-    size_t covered = 0, covered_target = 0;
-    double recall_weight = 0.0;
-    size_t total_target = 0;
-    for (size_t j = 0; j < n; ++j) {
-      const bool target = labels[j] == labels[src];
-      if (target) ++total_target;
-      const size_t eml = EarliestMatchLength(pattern, series[j], threshold);
-      if (eml == 0) continue;
-      ++covered;
-      if (target) {
-        ++covered_target;
-        recall_weight += 1.0 - static_cast<double>(eml - 1) /
-                                   static_cast<double>(series[j].size());
-      }
-    }
-    if (covered == 0 || covered_target == 0 || total_target == 0) continue;
-    Shapelet shapelet;
-    shapelet.pattern = std::move(pattern);
-    shapelet.threshold = threshold;
-    shapelet.label = labels[src];
-    shapelet.precision =
-        static_cast<double>(covered_target) / static_cast<double>(covered);
-    shapelet.weighted_recall =
-        recall_weight / static_cast<double>(total_target);
-    const double denom = shapelet.precision + shapelet.weighted_recall;
-    shapelet.utility =
-        denom > 0
-            ? 2.0 * shapelet.precision * shapelet.weighted_recall / denom
-            : 0.0;
-    candidates.push_back(std::move(shapelet));
+  for (auto& slot : scored) {
+    if (slot.has_value()) candidates.push_back(std::move(*slot));
   }
   if (candidates.empty()) {
     return Status::FailedPrecondition("EDSC: no usable shapelet candidates");
@@ -206,28 +247,25 @@ Result<EarlyPrediction> EdscClassifier::PredictEarly(
       const size_t m = shapelet.pattern.size();
       if (l < m) continue;
       const size_t start = l - m;
-      double sum = 0.0;
       const double thr2 = shapelet.threshold * shapelet.threshold;
-      for (size_t i = 0; i < m; ++i) {
-        const double d = shapelet.pattern[i] - values[start + i];
-        sum += d * d;
-        if (sum > thr2) break;
-      }
-      if (sum <= thr2) {
+      if (WindowSqDistance(shapelet.pattern.data(), values.data() + start, m,
+                           thr2) <= thr2) {
         return EarlyPrediction{shapelet.label, l};
       }
     }
   }
   // Nothing fired: fall back to the class of the globally closest shapelet
   // (relative to its threshold), or the majority label.
-  double best_ratio = std::numeric_limits<double>::infinity();
+  // Compared in squared space: d/thr < best  <=>  d^2/thr^2 < best^2.
+  double best_ratio_sq = std::numeric_limits<double>::infinity();
   int best_label = majority_label_;
   for (const auto& shapelet : shapelets_) {
-    const double d = MinSubseriesDistance(shapelet.pattern, values);
-    if (!std::isfinite(d) || shapelet.threshold <= 0.0) continue;
-    const double ratio = d / shapelet.threshold;
-    if (ratio < best_ratio) {
-      best_ratio = ratio;
+    const double d_sq = MinSubseriesDistanceSq(shapelet.pattern, values);
+    if (!std::isfinite(d_sq) || shapelet.threshold <= 0.0) continue;
+    const double ratio_sq =
+        d_sq / (shapelet.threshold * shapelet.threshold);
+    if (ratio_sq < best_ratio_sq) {
+      best_ratio_sq = ratio_sq;
       best_label = shapelet.label;
     }
   }

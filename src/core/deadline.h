@@ -21,13 +21,24 @@ namespace etsc {
 ///
 /// Deadlines are value types; copying one copies the expiry instant but
 /// resets the amortised-check state, so pass by reference inside one
-/// operation.
+/// operation. The reset also makes copies the unit of sharing across
+/// threads: a parallel loop hands each task its own copy, whose CheckEvery
+/// bookkeeping is then thread-local (the expiry instant itself is
+/// immutable), instead of racing on one shared counter.
 class Deadline {
  public:
   using Clock = std::chrono::steady_clock;
 
   /// Never expires.
   Deadline() : expiry_(Clock::time_point::max()) {}
+
+  Deadline(const Deadline& other) : expiry_(other.expiry_) {}
+  Deadline& operator=(const Deadline& other) {
+    expiry_ = other.expiry_;
+    calls_ = 0;
+    expired_ = false;
+    return *this;
+  }
 
   static Deadline Infinite() { return Deadline(); }
 

@@ -1,11 +1,19 @@
 #include "core/evaluation.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "core/parallel.h"
 #include "core/rng.h"
 #include "core/voting.h"
 
 namespace etsc {
+
+double EvaluationResult::CpuSeconds() const {
+  double sum = 0.0;
+  for (const auto& fold : folds) sum += fold.train_seconds + fold.test_seconds;
+  return sum;
+}
 
 bool EvaluationResult::trained() const {
   if (folds.empty()) return false;
@@ -102,32 +110,78 @@ FoldOutcome EvaluateSplit(const Dataset& train, const Dataset& test,
   return outcome;
 }
 
+namespace {
+
+/// Immutable inputs of one fold, materialised before dispatch: the Subset
+/// copies happen exactly once (not per iteration inside the parallel region)
+/// and the fold's RNG seed is split from options.seed by index, so parallel
+/// and serial runs see bit-identical data and seeds.
+struct FoldInput {
+  Dataset train;
+  Dataset test;
+  uint64_t seed = 0;
+};
+
+FoldOutcome RunFold(const FoldInput& input, const EarlyClassifier& prototype,
+                    const EvaluationOptions& options) {
+  std::unique_ptr<EarlyClassifier> classifier = prototype.CloneUntrained();
+  if (options.wrap_univariate_with_voting) {
+    classifier = WrapForDataset(std::move(classifier), input.train);
+  }
+  // Budgets are set once, on the final (possibly voting-wrapped) classifier;
+  // VotingEarlyClassifier::Fit propagates them to every voter it clones.
+  classifier->set_train_budget_seconds(options.train_budget_seconds);
+  classifier->set_predict_budget_seconds(options.predict_budget_seconds);
+  FoldOutcome outcome = EvaluateSplit(input.train, input.test, classifier.get());
+  outcome.fold_seed = input.seed;
+  return outcome;
+}
+
+}  // namespace
+
 EvaluationResult CrossValidate(const Dataset& dataset,
                                const EarlyClassifier& prototype,
                                const EvaluationOptions& options) {
   EvaluationResult result;
   result.algorithm = prototype.name();
   result.dataset = dataset.name();
+  Stopwatch wall;
 
   Rng rng(options.seed);
   const auto folds = StratifiedKFold(dataset, options.num_folds, &rng);
-  for (const auto& split : folds) {
-    Dataset train = dataset.Subset(split.train);
-    Dataset test = dataset.Subset(split.test);
+  std::vector<FoldInput> inputs;
+  inputs.reserve(folds.size());
+  for (size_t f = 0; f < folds.size(); ++f) {
+    inputs.push_back({dataset.Subset(folds[f].train),
+                      dataset.Subset(folds[f].test),
+                      SplitSeed(options.seed, f)});
+  }
 
-    std::unique_ptr<EarlyClassifier> classifier = prototype.CloneUntrained();
-    classifier->set_train_budget_seconds(options.train_budget_seconds);
-    classifier->set_predict_budget_seconds(options.predict_budget_seconds);
-    if (options.wrap_univariate_with_voting) {
-      classifier = WrapForDataset(std::move(classifier), train);
-      classifier->set_train_budget_seconds(options.train_budget_seconds);
-      classifier->set_predict_budget_seconds(options.predict_budget_seconds);
+  if (MaxParallelism() == 1) {
+    // Exact serial path: folds after the first training failure are never
+    // attempted (the paper's 48-hour rule would kill the whole run anyway).
+    for (const FoldInput& input : inputs) {
+      result.folds.push_back(RunFold(input, prototype, options));
+      if (options.skip_folds_after_failure && !result.folds.back().trained) {
+        break;
+      }
     }
-    result.folds.push_back(EvaluateSplit(train, test, classifier.get()));
-    if (options.skip_folds_after_failure && !result.folds.back().trained) {
-      break;
+  } else {
+    // Parallel path: every fold is an independent task over const inputs.
+    // To keep results identical to the serial path, the outcome vector is
+    // truncated after the first untrained fold (those folds were computed,
+    // but a serial run would not have reported them).
+    std::vector<FoldOutcome> outcomes(inputs.size());
+    ParallelFor(inputs.size(), [&](size_t f) {
+      outcomes[f] = RunFold(inputs[f], prototype, options);
+    });
+    for (FoldOutcome& outcome : outcomes) {
+      const bool failed = !outcome.trained;
+      result.folds.push_back(std::move(outcome));
+      if (options.skip_folds_after_failure && failed) break;
     }
   }
+  result.wall_seconds = wall.Seconds();
   return result;
 }
 

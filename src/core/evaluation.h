@@ -38,6 +38,14 @@ struct FoldOutcome {
   /// miss; trained stays true so the fold still reports scores.
   size_t num_failed_predictions = 0;
   EvalScores scores;
+  /// This fold's RNG seed, split from EvaluationOptions::seed by fold index
+  /// *before* dispatch (SplitSeed), so it is identical whether the folds ran
+  /// serially or on the thread pool. Stochastic per-fold machinery (fault
+  /// injection, future reseeding classifiers) must draw from this, never
+  /// from a generator shared across folds.
+  uint64_t fold_seed = 0;
+  /// Per-fold wall time, measured inside the fold's task — under parallel
+  /// execution these sum to more than the harness wall-clock.
   double train_seconds = 0.0;
   double test_seconds = 0.0;     // total over the fold's test set
   size_t num_test = 0;
@@ -48,6 +56,14 @@ struct EvaluationResult {
   std::string algorithm;
   std::string dataset;
   std::vector<FoldOutcome> folds;
+
+  /// Wall-clock of the whole CrossValidate call (all folds); with the thread
+  /// pool active this is less than the sum of per-fold times. The campaign
+  /// reports CpuSeconds()/wall_seconds as its fold-level speedup.
+  double wall_seconds = 0.0;
+
+  /// Sum of per-fold train+test wall time — the serial-equivalent cost.
+  double CpuSeconds() const;
 
   /// True when every fold trained within budget.
   bool trained() const;

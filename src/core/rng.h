@@ -7,6 +7,18 @@
 
 namespace etsc {
 
+/// Derives a statistically independent stream seed from (seed, index) with
+/// the SplitMix64 finalizer. Pure: splitting is associative with dispatch —
+/// every parallel task can compute its own seed before (or after) being
+/// scheduled and serial/parallel runs agree bit-for-bit. This is the
+/// determinism contract of the parallel CV/campaign loops (DESIGN.md sec 8).
+inline uint64_t SplitSeed(uint64_t seed, uint64_t index) {
+  uint64_t z = seed + 0x9E3779B97F4A7C15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 /// Deterministic pseudo-random number generator used throughout the framework.
 ///
 /// Every stochastic component (dataset generators, k-means initialisation,
@@ -14,7 +26,7 @@ namespace etsc {
 /// explicit Rng or a seed, so end-to-end runs are reproducible bit-for-bit.
 class Rng {
  public:
-  explicit Rng(uint64_t seed) : engine_(seed) {}
+  explicit Rng(uint64_t seed) : engine_(seed), seed_(seed) {}
 
   /// Uniform double in [0, 1).
   double Uniform() {
@@ -55,12 +67,22 @@ class Rng {
 
   /// Derives an independent child generator; used to give each fold/instance
   /// its own stream so that changing one component does not perturb others.
+  /// NOTE: Fork() advances this generator, so successive forks differ —
+  /// which also means the fork order matters. Inside parallel regions use
+  /// SplitSeed()/Split() below, which are pure functions of (seed, index)
+  /// and therefore independent of dispatch order.
   Rng Fork() { return Rng(engine_()); }
+
+  /// Derives the `index`-th child stream as a pure function of the
+  /// construction seed — does NOT advance (or read) this generator's state,
+  /// so any number of parallel tasks can split their streams in any order.
+  Rng Split(uint64_t index) const { return Rng(SplitSeed(seed_, index)); }
 
   std::mt19937_64& engine() { return engine_; }
 
  private:
   std::mt19937_64 engine_;
+  uint64_t seed_;
 };
 
 }  // namespace etsc

@@ -6,6 +6,35 @@
 
 namespace etsc {
 
+// Squared-distance primitives — the hot-path API.
+//
+// Nearest-neighbour search, k-means assignment, and shapelet scanning only
+// compare distances, and x -> x*x is monotone on [0, inf), so the sqrt can be
+// deferred to the caller (or skipped entirely). The *Sq functions below are
+// the kernels: 4-way unrolled accumulators, early abandon in squared space.
+// The legacy sqrt-returning wrappers further down delegate to them.
+
+/// Sum of squared differences over the first `len` entries (clamped to the
+/// shorter vector). Equals EuclideanPrefix(a, b, len)^2.
+double EuclideanPrefixSq(const std::vector<double>& a,
+                         const std::vector<double>& b, size_t len);
+
+/// Minimum *squared* Euclidean distance between `pattern` and any contiguous
+/// equal-length window of `series` (the EDSC shapelet-to-series distance,
+/// squared). Returns +inf when `series` is shorter than `pattern`.
+double MinSubseriesDistanceSq(const std::vector<double>& pattern,
+                              const std::vector<double>& series);
+
+/// Same as MinSubseriesDistanceSq but abandons a window once its partial sum
+/// reaches `best_sq` (a *squared* bound; pass +inf for no bound). Returns
+/// min(best_sq, true minimum) — i.e. never worse than the bound passed in.
+double MinSubseriesDistanceSqEarlyAbandon(const std::vector<double>& pattern,
+                                          const std::vector<double>& series,
+                                          double best_sq);
+
+// Legacy sqrt-returning API (kept for callers that report real distances,
+// e.g. EDSC's threshold statistics); one sqrt per call on top of the kernels.
+
 /// Euclidean distance between equal-length vectors.
 double Euclidean(const std::vector<double>& a, const std::vector<double>& b);
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/parallel.h"
 #include "core/time_series.h"
 
 namespace etsc {
@@ -109,10 +110,12 @@ Result<KMeansModel> KMeansFit(const std::vector<std::vector<double>>& points,
   model.assignments.assign(points.size(), 0);
 
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
-    // Assignment step.
-    for (size_t i = 0; i < points.size(); ++i) {
-      model.assignments[i] = model.Assign(points[i]);
-    }
+    // Assignment step: embarrassingly parallel, slot-per-point writes. The
+    // grain amortises dispatch for small/low-dimension point sets.
+    ParallelFor(
+        points.size(),
+        [&](size_t i) { model.assignments[i] = model.Assign(points[i]); },
+        /*grain=*/64);
     // Update step.
     std::vector<std::vector<double>> sums(k, std::vector<double>(dim, 0.0));
     std::vector<size_t> counts(k, 0);

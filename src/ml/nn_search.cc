@@ -13,19 +13,43 @@ size_t NearestNeighbor(const std::vector<std::vector<double>>& points,
   ETSC_DCHECK(!points.empty());
   size_t best = points.size();
   double best_d = std::numeric_limits<double>::infinity();
+  const double* q = query.data();
   for (size_t j = 0; j < points.size(); ++j) {
     if (j == exclude) continue;
     const size_t n = std::min({prefix_len, points[j].size(), query.size()});
-    double sum = 0.0;
-    for (size_t t = 0; t < n; ++t) {
-      const double d = query[t] - points[j][t];
+    const double* p = points[j].data();
+    // Squared space throughout; 4-way unrolled with a per-block abandon
+    // check against the best candidate so far (partial sums only grow).
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    size_t t = 0;
+    bool abandoned = false;
+    for (; t + 4 <= n; t += 4) {
+      const double d0 = q[t] - p[t];
+      const double d1 = q[t + 1] - p[t + 1];
+      const double d2 = q[t + 2] - p[t + 2];
+      const double d3 = q[t + 3] - p[t + 3];
+      s0 += d0 * d0;
+      s1 += d1 * d1;
+      s2 += d2 * d2;
+      s3 += d3 * d3;
+      if ((s0 + s1) + (s2 + s3) >= best_d) {
+        abandoned = true;
+        break;
+      }
+    }
+    if (abandoned) continue;
+    double sum = (s0 + s1) + (s2 + s3);
+    for (; t < n; ++t) {
+      const double d = q[t] - p[t];
       sum += d * d;
-      if (sum >= best_d) break;
+      if (sum >= best_d) {
+        abandoned = true;
+        break;
+      }
     }
-    if (sum < best_d) {
-      best_d = sum;
-      best = j;
-    }
+    if (abandoned || sum >= best_d) continue;  // ties keep the earliest index
+    best_d = sum;
+    best = j;
   }
   return best;
 }

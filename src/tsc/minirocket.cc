@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/parallel.h"
 #include "core/rng.h"
 
 namespace etsc {
@@ -101,26 +102,35 @@ Status MiniRocketClassifier::Fit(const Dataset& train) {
   }
 
   // Biases: quantiles of convolution outputs of random training instances.
-  biases_.clear();
-  biases_.reserve(kernels_.size() * options_.biases_per_kernel);
+  // The sample index of every kernel is drawn serially first — the RNG stream
+  // is consumed in exactly the legacy order — and the convolutions then fan
+  // out on the thread pool, each kernel writing only its own bias slots.
+  const size_t bpk = options_.biases_per_kernel;
+  std::vector<size_t> bias_samples(kernels_.size());
   for (size_t k = 0; k < kernels_.size(); ++k) {
-    const size_t sample = rng.Index(train.size());
-    std::vector<double> conv = Convolve(train.instance(sample), kernels_[k]);
+    bias_samples[k] = rng.Index(train.size());
+  }
+  biases_.assign(kernels_.size() * bpk, {0, 0.0});
+  ParallelFor(kernels_.size(), [&](size_t k) {
+    std::vector<double> conv = Convolve(train.instance(bias_samples[k]),
+                                        kernels_[k]);
     std::sort(conv.begin(), conv.end());
-    for (size_t b = 0; b < options_.biases_per_kernel; ++b) {
+    for (size_t b = 0; b < bpk; ++b) {
       const double q = (static_cast<double>(b) + 1.0) /
-                       (static_cast<double>(options_.biases_per_kernel) + 1.0);
+                       (static_cast<double>(bpk) + 1.0);
       const size_t idx = std::min(conv.size() - 1,
                                   static_cast<size_t>(q * static_cast<double>(conv.size())));
-      biases_.emplace_back(k, conv[idx]);
+      biases_[k * bpk + b] = {k, conv[idx]};
     }
-  }
+  });
 
-  // Transform the training set.
+  // Transform the training set: one independent task per instance (each
+  // itself fans kernel application out — the pool handles the nesting).
   std::vector<std::vector<double>> features(train.size());
-  for (size_t i = 0; i < train.size(); ++i) {
+  ETSC_RETURN_NOT_OK(ParallelForStatus(train.size(), [&](size_t i) -> Status {
     ETSC_ASSIGN_OR_RETURN(features[i], TransformInternal(train.instance(i)));
-  }
+    return Status::OK();
+  }));
 
   class_labels_ = train.ClassLabels();
   use_logistic_ = train.size() > options_.logistic_above_samples;
@@ -137,21 +147,24 @@ Result<std::vector<double>> MiniRocketClassifier::TransformInternal(
   if (series.length() == 0) {
     return Status::InvalidArgument("MiniROCKET: empty series");
   }
+  // Kernel application is the transform's hot loop: one task per kernel,
+  // each convolving once and filling the kernel's contiguous feature slots
+  // (biases_ is laid out kernel-major by Fit).
   std::vector<double> features(biases_.size(), 0.0);
-  size_t last_kernel = kernels_.size();
-  std::vector<double> conv;
-  for (size_t f = 0; f < biases_.size(); ++f) {
-    const auto& [k, bias] = biases_[f];
-    if (k != last_kernel) {
-      conv = Convolve(series, kernels_[k]);
-      last_kernel = k;
+  const size_t bpk = biases_.size() / kernels_.size();
+  ParallelFor(kernels_.size(), [&](size_t k) {
+    const std::vector<double> conv = Convolve(series, kernels_[k]);
+    for (size_t b = 0; b < bpk; ++b) {
+      const size_t f = k * bpk + b;
+      ETSC_DCHECK(biases_[f].first == k);
+      size_t positive = 0;
+      for (double v : conv) {
+        if (v > biases_[f].second) ++positive;
+      }
+      features[f] =
+          static_cast<double>(positive) / static_cast<double>(conv.size());
     }
-    size_t positive = 0;
-    for (double v : conv) {
-      if (v > bias) ++positive;
-    }
-    features[f] = static_cast<double>(positive) / static_cast<double>(conv.size());
-  }
+  });
   return features;
 }
 

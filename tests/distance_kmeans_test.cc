@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "core/rng.h"
 #include "ml/distance.h"
@@ -53,6 +55,62 @@ TEST(Distance, EarlyAbandonNeverBelowBound) {
   const std::vector<double> series{5, 5, 5, 5};
   const double d = MinSubseriesDistanceEarlyAbandon(pattern, series, 0.1);
   EXPECT_GE(d, 0.1);
+}
+
+TEST(Distance, SquaredPrefixMatchesNaiveSum) {
+  // Length 11 exercises both the unrolled blocks and the scalar tail.
+  Rng rng(5);
+  std::vector<double> a(11), b(11);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.Gaussian();
+    b[i] = rng.Gaussian();
+  }
+  double naive = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    naive += (a[i] - b[i]) * (a[i] - b[i]);
+  }
+  EXPECT_NEAR(EuclideanPrefixSq(a, b, a.size()), naive, 1e-12);
+  EXPECT_DOUBLE_EQ(EuclideanPrefix(a, b, a.size()),
+                   std::sqrt(EuclideanPrefixSq(a, b, a.size())));
+}
+
+TEST(Distance, MinSubseriesSqAgreesWithExhaustiveScan) {
+  Rng rng(6);
+  std::vector<double> pattern(7), series(40);
+  for (double& v : pattern) v = rng.Gaussian();
+  for (double& v : series) v = rng.Gaussian();
+  double naive = std::numeric_limits<double>::infinity();
+  for (size_t start = 0; start + pattern.size() <= series.size(); ++start) {
+    double sum = 0.0;
+    for (size_t i = 0; i < pattern.size(); ++i) {
+      const double d = pattern[i] - series[start + i];
+      sum += d * d;
+    }
+    naive = std::min(naive, sum);
+  }
+  const double exact = MinSubseriesDistanceSq(pattern, series);
+  EXPECT_NEAR(exact, naive, 1e-12);
+  EXPECT_DOUBLE_EQ(MinSubseriesDistance(pattern, series), std::sqrt(exact));
+}
+
+TEST(Distance, MinSubseriesSqEarlyAbandonRespectsTheBound) {
+  Rng rng(7);
+  std::vector<double> pattern(6), series(30);
+  for (double& v : pattern) v = rng.Gaussian();
+  for (double& v : series) v = rng.Gaussian();
+  const double exact = MinSubseriesDistanceSq(pattern, series);
+  // A generous bound must not change the answer.
+  EXPECT_DOUBLE_EQ(
+      MinSubseriesDistanceSqEarlyAbandon(pattern, series, 1e18), exact);
+  // A bound below the true minimum is returned unchanged (never improved).
+  const double tight = exact * 0.5;
+  EXPECT_DOUBLE_EQ(MinSubseriesDistanceSqEarlyAbandon(pattern, series, tight),
+                   tight);
+}
+
+TEST(Distance, MinSubseriesSqTooShortIsInfinite) {
+  EXPECT_TRUE(std::isinf(MinSubseriesDistanceSq({1, 2, 3}, {1, 2})));
+  EXPECT_TRUE(std::isinf(MinSubseriesDistanceSq({}, {1, 2})));
 }
 
 TEST(KMeans, RecoversWellSeparatedClusters) {

@@ -109,6 +109,41 @@ TEST(Rng, ShuffleEmptyAndSingleton) {
   EXPECT_EQ(one, std::vector<int>{42});
 }
 
+TEST(Rng, SplitSeedIsPureAndSpreadsAcrossIndices) {
+  EXPECT_EQ(SplitSeed(42, 0), SplitSeed(42, 0));
+  // Nearby (seed, index) pairs land on distinct stream seeds.
+  std::vector<uint64_t> seen;
+  for (uint64_t seed : {0ull, 1ull, 42ull}) {
+    for (uint64_t index = 0; index < 16; ++index) {
+      seen.push_back(SplitSeed(seed, index));
+    }
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(Rng, SplitIsIndependentOfParentDrawsAndSplitOrder) {
+  // Unlike Fork, Split must not read or advance the parent's state: a
+  // parallel task can derive its stream before or after any other draw.
+  Rng advanced(99), fresh(99);
+  (void)advanced.Uniform();
+  Rng child_a = advanced.Split(3);
+  Rng child_b = fresh.Split(3);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(child_a.Uniform(), child_b.Uniform());
+  }
+
+  Rng first(7), second(7);
+  Rng f5 = first.Split(5);
+  Rng f1 = first.Split(1);
+  Rng s1 = second.Split(1);
+  Rng s5 = second.Split(5);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(f5.Uniform(), s5.Uniform());
+    EXPECT_DOUBLE_EQ(f1.Uniform(), s1.Uniform());
+  }
+}
+
 TEST(Rng, ForkIsIndependent) {
   Rng parent1(13), parent2(13);
   Rng child1 = parent1.Fork();
