@@ -1,6 +1,8 @@
 #include "bench/bench_common.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -8,6 +10,7 @@
 #include <iomanip>
 #include <limits>
 #include <sstream>
+#include <utility>
 
 #include "algos/ecec.h"
 #include "algos/economy_k.h"
@@ -15,8 +18,12 @@
 #include "algos/edsc.h"
 #include "algos/strut.h"
 #include "algos/teaser.h"
+#include "core/counters.h"
 #include "core/evaluation.h"
+#include "core/json.h"
+#include "core/log.h"
 #include "core/parallel.h"
+#include "core/trace.h"
 
 namespace etsc::bench {
 
@@ -27,9 +34,51 @@ std::string GetEnvOr(const char* name, const std::string& fallback) {
   return value == nullptr ? fallback : value;
 }
 
+/// True when `rest` holds only trailing whitespace after a strtod/strtoull
+/// parse — "30 " is fine, "30x" and "" (nothing parsed) are not.
+bool OnlyTrailingSpace(const char* rest) {
+  if (rest == nullptr) return false;
+  while (*rest != '\0') {
+    if (!std::isspace(static_cast<unsigned char>(*rest))) return false;
+    ++rest;
+  }
+  return true;
+}
+
+/// Validated numeric override: a value bare strtod would silently turn into
+/// 0 ("five", "", "1.5x") instead warns and keeps the default.
 double GetEnvOr(const char* name, double fallback) {
   const char* value = std::getenv(name);
-  return value == nullptr ? fallback : std::strtod(value, nullptr);
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || !OnlyTrailingSpace(end) || errno == ERANGE) {
+    Logf(LogLevel::kWarn, "campaign",
+         "%s=\"%s\" is not a number; using the default (%g)", name, value,
+         fallback);
+    return fallback;
+  }
+  return parsed;
+}
+
+size_t GetEnvSizeOr(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const char* p = value;
+  while (*p != '\0' && std::isspace(static_cast<unsigned char>(*p))) ++p;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(p, &end, 10);
+  // strtoull wraps negatives ("-3" parses as a huge value): reject the sign.
+  if (*p == '-' || end == p || !OnlyTrailingSpace(end) || errno == ERANGE ||
+      parsed > std::numeric_limits<size_t>::max()) {
+    Logf(LogLevel::kWarn, "campaign",
+         "%s=\"%s\" is not a non-negative integer; using the default (%zu)",
+         name, value, fallback);
+    return fallback;
+  }
+  return static_cast<size_t>(parsed);
 }
 
 std::vector<std::string> SplitCommas(const std::string& s) {
@@ -53,14 +102,13 @@ const std::vector<std::string>& PaperAlgorithms() {
 CampaignConfig CampaignConfig::FromEnv() {
   CampaignConfig config;
   config.height_scale = GetEnvOr("ETSC_BENCH_SCALE", config.height_scale);
-  config.folds = static_cast<size_t>(
-      GetEnvOr("ETSC_BENCH_FOLDS", static_cast<double>(config.folds)));
+  config.folds = GetEnvSizeOr("ETSC_BENCH_FOLDS", config.folds);
   config.train_budget_seconds =
       GetEnvOr("ETSC_BENCH_BUDGET", config.train_budget_seconds);
   config.predict_budget_seconds =
       GetEnvOr("ETSC_BENCH_PREDICT_BUDGET", config.predict_budget_seconds);
-  config.maritime_windows = static_cast<size_t>(GetEnvOr(
-      "ETSC_BENCH_MARITIME", static_cast<double>(config.maritime_windows)));
+  config.maritime_windows =
+      GetEnvSizeOr("ETSC_BENCH_MARITIME", config.maritime_windows);
   const std::string algos = GetEnvOr("ETSC_BENCH_ALGOS", "");
   config.algorithms = algos.empty() ? PaperAlgorithms() : SplitCommas(algos);
   const std::string datasets = GetEnvOr("ETSC_BENCH_DATASETS", "");
@@ -68,6 +116,7 @@ CampaignConfig CampaignConfig::FromEnv() {
       datasets.empty() ? BenchmarkDatasetNames() : SplitCommas(datasets);
   config.cache_path =
       GetEnvOr("ETSC_BENCH_CACHE", std::string("etsc_campaign_cache.csv"));
+  config.report_path = GetEnvOr("ETSC_BENCH_REPORT", std::string());
   config.report_only = !GetEnvOr("ETSC_BENCH_REPORT_ONLY", std::string()).empty();
   return config;
 }
@@ -143,7 +192,72 @@ namespace {
 /// was truncated by a crash mid-write and must be skipped, not half-parsed.
 constexpr char kRowSentinel[] = ",#end";
 
+// Campaign metrics (DESIGN.md sec 9): journalled rows and computed cells.
+Counter& JournalAppends() {
+  static Counter& c =
+      MetricRegistry::Global().counter("campaign.journal_appends");
+  return c;
+}
+Counter& CellsComputed() {
+  static Counter& c =
+      MetricRegistry::Global().counter("campaign.cells_computed");
+  return c;
+}
+
 }  // namespace
+
+std::string EscapeJournalField(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case ',':
+        out += "\\c";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string UnescapeJournalField(const std::string& escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '\\' || i + 1 == escaped.size()) {
+      out += escaped[i];
+      continue;
+    }
+    switch (escaped[++i]) {
+      case '\\':
+        out += '\\';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 'r':
+        out += '\r';
+        break;
+      case 'c':
+        out += ',';
+        break;
+      default:
+        out += '\\';
+        out += escaped[i];
+    }
+  }
+  return out;
+}
 
 void Campaign::LoadCache() {
   cache_state_ = CacheState::kMissing;
@@ -155,14 +269,19 @@ void Campaign::LoadCache() {
     // its rows must never be mixed with this config's. AppendCache rotates
     // the file aside before the first new row.
     cache_state_ = CacheState::kStale;
-    std::fprintf(stderr,
-                 "[campaign] cache %s has a different fingerprint; it will be "
-                 "rotated to %s.stale before new results are journalled\n",
-                 config_.cache_path.c_str(), config_.cache_path.c_str());
+    Logf(LogLevel::kWarn, "campaign",
+         "cache %s has a different fingerprint; it will be rotated to "
+         "%s.stale before new results are journalled",
+         config_.cache_path.c_str(), config_.cache_path.c_str());
     return;
   }
   cache_state_ = CacheState::kLoaded;
   size_t skipped = 0;
+  size_t duplicates = 0;
+  // (algorithm, dataset) -> index into cells_. An interrupted-then-resumed
+  // campaign can journal the same cell twice; the LAST row (the freshest
+  // result) must win, or Find() would pin lookups to the oldest row forever.
+  std::map<std::pair<std::string, std::string>, size_t> index;
   while (std::getline(in, line)) {
     const size_t sentinel_len = sizeof(kRowSentinel) - 1;
     if (line.size() < sentinel_len ||
@@ -191,17 +310,34 @@ void Campaign::LoadCache() {
     if (!read_double(&cell.train_seconds)) continue;
     if (!read_double(&cell.test_seconds_per_instance)) continue;
     std::getline(ss, cell.failure);
-    cells_.push_back(std::move(cell));
+    cell.failure = UnescapeJournalField(cell.failure);
+    const auto [it, inserted] =
+        index.emplace(std::make_pair(cell.algorithm, cell.dataset),
+                      cells_.size());
+    if (inserted) {
+      cells_.push_back(std::move(cell));
+    } else {
+      ++duplicates;
+      cells_[it->second] = std::move(cell);
+    }
   }
   if (skipped > 0) {
-    std::fprintf(stderr,
-                 "[campaign] cache %s: skipped %zu truncated row(s) from an "
-                 "interrupted write; the cells will be recomputed\n",
-                 config_.cache_path.c_str(), skipped);
+    Logf(LogLevel::kWarn, "campaign",
+         "cache %s: skipped %zu truncated row(s) from an interrupted write; "
+         "the cells will be recomputed",
+         config_.cache_path.c_str(), skipped);
+  }
+  if (duplicates > 0) {
+    Logf(LogLevel::kWarn, "campaign",
+         "cache %s: collapsed %zu duplicate row(s) from a resumed campaign; "
+         "the latest result for each cell wins",
+         config_.cache_path.c_str(), duplicates);
   }
 }
 
 void Campaign::AppendCache(const CampaignCell& cell) {
+  TraceSpan span("campaign", "journal_append");
+  if (MetricsEnabled()) JournalAppends().Add(1);
   if (cache_state_ == CacheState::kStale) {
     // Appending under a foreign header would make these rows silently
     // unloadable forever; move the old journal out of the way first.
@@ -235,11 +371,14 @@ void Campaign::AppendCache(const CampaignCell& cell) {
   }
   // max_digits10 so a resumed campaign reloads bit-identical scores.
   out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  // The failure field is free-form text from a Status message: escaped so a
+  // newline cannot tear the row and an embedded ",#end" cannot forge the
+  // sentinel (every comma is escaped, and the sentinel starts with one).
   out << cell.algorithm << ',' << cell.dataset << ',' << (cell.trained ? 1 : 0)
       << ',' << cell.accuracy << ',' << cell.f1 << ',' << cell.earliness << ','
       << cell.harmonic_mean << ',' << cell.train_seconds << ','
-      << cell.test_seconds_per_instance << ',' << cell.failure << kRowSentinel
-      << "\n";
+      << cell.test_seconds_per_instance << ','
+      << EscapeJournalField(cell.failure) << kRowSentinel << "\n";
   // One cell can take hours; flush so a later crash costs at most the row
   // being written, which the sentinel check then discards.
   out.flush();
@@ -269,30 +408,38 @@ struct CellJob {
 }  // namespace
 
 void Campaign::Run() {
+  TraceSpan run_span("campaign", "campaign_run");
+  RunStats stats;
+  Stopwatch total;
+  Stopwatch phase;
   LoadCache();
+  stats.load_cache_seconds = phase.Seconds();
+  stats.cells_loaded = cells_.size();
   profiles_.clear();
 
   // Phase 1 (serial): generate every dataset once, in configuration order.
   // Generation draws from seeded RNGs, so it must not race or depend on
   // scheduling; the cell tasks then capture const references into this
   // vector (satisfying the immutable-inputs contract of core/parallel.h).
+  phase.Restart();
   std::vector<BenchmarkDataset> benchmarks;
   benchmarks.reserve(config_.datasets.size());
   for (const auto& dataset_name : config_.datasets) {
     auto benchmark = MakeBenchmarkDataset(dataset_name, RepoOptions());
     if (!benchmark.ok()) {
-      std::fprintf(stderr, "[campaign] dataset %s failed: %s\n",
-                   dataset_name.c_str(),
-                   benchmark.status().ToString().c_str());
+      Logf(LogLevel::kError, "campaign", "dataset %s failed: %s",
+           dataset_name.c_str(), benchmark.status().ToString().c_str());
       continue;
     }
     profiles_.push_back(benchmark->canonical_profile);
     benchmarks.push_back(*std::move(benchmark));
   }
+  stats.generate_seconds = phase.Seconds();
 
   // Phase 2 (serial): build the work list of uncached cells, dataset-major
   // like the reports. Prototypes are constructed here so an unknown
   // algorithm warns exactly once, in deterministic order.
+  phase.Restart();
   std::vector<CellJob> jobs;
   for (const auto& benchmark : benchmarks) {
     const std::string& dataset_name = benchmark.canonical_profile.name;
@@ -302,8 +449,8 @@ void Campaign::Run() {
       auto prototype = MakePaperAlgorithm(algorithm, dataset_name,
                                           benchmark.data.MaxLength());
       if (prototype == nullptr) {
-        std::fprintf(stderr, "[campaign] unknown algorithm %s\n",
-                     algorithm.c_str());
+        Logf(LogLevel::kWarn, "campaign", "unknown algorithm %s",
+             algorithm.c_str());
         continue;
       }
       CellJob job;
@@ -313,21 +460,33 @@ void Campaign::Run() {
       jobs.push_back(std::move(job));
     }
   }
-  if (jobs.empty()) return;
+  stats.plan_seconds = phase.Seconds();
+  stats.cells_computed = jobs.size();
+
+  if (jobs.empty()) {
+    // Nothing to compute (fully cached or report-only): the report is still
+    // written so downstream tooling always finds a fresh one after Run().
+    stats.total_seconds = total.Seconds();
+    WriteReport(stats);
+    return;
+  }
 
   // Phase 3 (parallel): compute cells concurrently. Each cell is seeded from
   // config_.seed alone (CrossValidate splits per-fold seeds before its own
-  // dispatch), so results are bit-identical to a serial run; only the stderr
-  // progress lines and journal row order vary with scheduling.
-  Stopwatch wall;
+  // dispatch), so results are bit-identical to a serial run; only the log
+  // lines and journal row order vary with scheduling.
+  phase.Restart();
   TaskGroup group;
   for (size_t j = 0; j < jobs.size(); ++j) {
     group.Run([this, &jobs, j]() -> Status {
       CellJob& job = jobs[j];
       const std::string& dataset_name = job.benchmark->canonical_profile.name;
-      std::fprintf(stderr, "[campaign] %s on %s (%zu instances)...\n",
-                   job.algorithm.c_str(), dataset_name.c_str(),
-                   job.benchmark->data.size());
+      TraceSpan cell_span("campaign", [&] {
+        return "cell:" + job.algorithm + "/" + dataset_name;
+      });
+      Logf(LogLevel::kInfo, "campaign", "%s on %s (%zu instances)...",
+           job.algorithm.c_str(), dataset_name.c_str(),
+           job.benchmark->data.size());
 
       EvaluationOptions options;
       options.num_folds = config_.folds;
@@ -357,39 +516,116 @@ void Campaign::Run() {
       cell.train_seconds = result.MeanTrainSeconds();
       cell.test_seconds_per_instance = result.MeanTestSecondsPerInstance();
       job.cpu_seconds = result.CpuSeconds();
+      if (MetricsEnabled()) CellsComputed().Add(1);
       {
         // The journal is shared by all cells; the lock keeps each flushed
         // row whole so a reload never sees interleaved fragments.
         std::lock_guard<std::mutex> lock(journal_mu_);
         AppendCache(cell);
       }
-      std::fprintf(stderr, "[campaign]   %s on %s: %s\n", job.algorithm.c_str(),
-                   dataset_name.c_str(),
-                   cell.trained ? scores.ToString().c_str()
-                                : ("DNF: " + cell.failure).c_str());
+      Logf(LogLevel::kInfo, "campaign", "  %s on %s: %s",
+           job.algorithm.c_str(), dataset_name.c_str(),
+           cell.trained ? scores.ToString().c_str()
+                        : ("DNF: " + cell.failure).c_str());
       return Status::OK();
     });
   }
   const Status status = group.Wait();
   if (!status.ok()) {
-    std::fprintf(stderr, "[campaign] cell task failed: %s\n",
-                 status.ToString().c_str());
+    Logf(LogLevel::kError, "campaign", "cell task failed: %s",
+         status.ToString().c_str());
   }
-  const double wall_seconds = wall.Seconds();
+  stats.compute_seconds = phase.Seconds();
 
   // Phase 4 (serial): publish results in work-list order, so cells() and the
   // reports are independent of which cell finished first.
-  double cpu_seconds = 0.0;
   for (auto& job : jobs) {
-    cpu_seconds += job.cpu_seconds;
+    stats.cpu_seconds += job.cpu_seconds;
     cells_.push_back(std::move(job.cell));
   }
-  std::fprintf(stderr,
-               "[campaign] %zu cell(s) in %.1fs wall, %.1fs cpu-sum "
-               "(speedup %.2fx, %zu thread(s))\n",
-               jobs.size(), wall_seconds, cpu_seconds,
-               wall_seconds > 0 ? cpu_seconds / wall_seconds : 1.0,
-               MaxParallelism());
+  stats.total_seconds = total.Seconds();
+  Logf(LogLevel::kInfo, "campaign",
+       "%zu cell(s) in %.1fs wall, %.1fs cpu-sum (speedup %.2fx, %zu "
+       "thread(s))",
+       jobs.size(), stats.compute_seconds, stats.cpu_seconds,
+       stats.compute_seconds > 0 ? stats.cpu_seconds / stats.compute_seconds
+                                 : 1.0,
+       MaxParallelism());
+  WriteReport(stats);
+}
+
+std::string Campaign::ReportPath() const {
+  return config_.report_path.empty() ? config_.cache_path + ".report.json"
+                                     : config_.report_path;
+}
+
+void Campaign::WriteReport(const RunStats& stats) const {
+  json::Writer w;
+  w.BeginObject();
+  w.Field("fingerprint", config_.Fingerprint());
+  w.Key("config").BeginObject();
+  w.Field("height_scale", config_.height_scale);
+  w.Field("folds", config_.folds);
+  w.Field("train_budget_seconds", config_.train_budget_seconds);
+  // Infinity (the unlimited default) serialises as null per json::Writer.
+  w.Field("predict_budget_seconds", config_.predict_budget_seconds);
+  w.Field("maritime_windows", config_.maritime_windows);
+  w.Field("seed", config_.seed);
+  w.Key("algorithms").BeginArray();
+  for (const auto& algorithm : config_.algorithms) w.String(algorithm);
+  w.EndArray();
+  w.Key("datasets").BeginArray();
+  for (const auto& dataset : config_.datasets) w.String(dataset);
+  w.EndArray();
+  w.Field("cache_path", config_.cache_path);
+  w.Field("report_only", config_.report_only);
+  w.EndObject();
+  w.Key("phases").BeginObject();
+  w.Field("load_cache_seconds", stats.load_cache_seconds);
+  w.Field("generate_seconds", stats.generate_seconds);
+  w.Field("plan_seconds", stats.plan_seconds);
+  w.Field("compute_seconds", stats.compute_seconds);
+  w.Field("total_seconds", stats.total_seconds);
+  w.EndObject();
+  w.Field("threads", MaxParallelism());
+  w.Field("cpu_seconds", stats.cpu_seconds);
+  w.Field("cells_loaded", stats.cells_loaded);
+  w.Field("cells_computed", stats.cells_computed);
+  size_t failed = 0;
+  for (const auto& cell : cells_) {
+    if (!cell.trained) ++failed;
+  }
+  w.Field("cells_failed", failed);
+  w.Key("cells").BeginArray();
+  for (const auto& cell : cells_) {
+    w.BeginObject();
+    w.Field("algorithm", cell.algorithm);
+    w.Field("dataset", cell.dataset);
+    w.Field("trained", cell.trained);
+    if (!cell.failure.empty()) w.Field("failure", cell.failure);
+    w.Field("accuracy", cell.accuracy);
+    w.Field("f1", cell.f1);
+    w.Field("earliness", cell.earliness);
+    w.Field("harmonic_mean", cell.harmonic_mean);
+    w.Field("train_seconds", cell.train_seconds);
+    w.Field("test_seconds_per_instance", cell.test_seconds_per_instance);
+    w.EndObject();
+  }
+  w.EndArray();
+  // Snapshot of every process-wide metric at the end of the run: kernel and
+  // early-abandon counters, pool queue/latency, deadline slack, degraded
+  // predictions, journal appends.
+  w.Key("metrics").RawValue(MetricRegistry::Global().ToJson());
+  w.EndObject();
+
+  const std::string path = ReportPath();
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    Logf(LogLevel::kWarn, "campaign", "cannot write report %s", path.c_str());
+    return;
+  }
+  out << w.str() << "\n";
+  Logf(LogLevel::kInfo, "campaign", "report written to %s", path.c_str());
 }
 
 double Campaign::CategoryMean(const std::string& algorithm,
@@ -401,7 +637,11 @@ double Campaign::CategoryMean(const std::string& algorithm,
     if (!profile.IsIn(category)) continue;
     const CampaignCell* cell = Find(algorithm, profile.name);
     if (cell == nullptr || !cell->trained) continue;
-    sum += extract(*cell);
+    const double value = extract(*cell);
+    // Empty-fold cells carry explicit NaN scores (core/metrics.cc); they
+    // must not turn the whole category mean into NaN.
+    if (std::isnan(value)) continue;
+    sum += value;
     ++count;
   }
   return count == 0 ? std::nan("") : sum / static_cast<double>(count);

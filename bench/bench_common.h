@@ -30,10 +30,16 @@ namespace etsc::bench {
 ///   ETSC_BENCH_ALGOS     comma list restricting algorithms (default: all 8)
 ///   ETSC_BENCH_DATASETS  comma list restricting datasets (default: all 12)
 ///   ETSC_BENCH_CACHE     campaign cache path (default etsc_campaign_cache.csv)
+///   ETSC_BENCH_REPORT    machine-readable JSON report path (default:
+///                        `<cache_path>.report.json`)
 ///   ETSC_BENCH_REPORT_ONLY  when set (non-empty), Run() only loads the cache
 ///                        and reports; missing cells print as "--" instead of
 ///                        being computed (useful while a campaign is running
 ///                        in another process)
+///
+/// Numeric overrides are validated: a value that is not a number (or is out
+/// of range) logs a warning and keeps the default instead of silently
+/// becoming 0 the way bare strtod would make it.
 struct CampaignConfig {
   double height_scale = 0.05;
   size_t folds = 2;
@@ -44,6 +50,8 @@ struct CampaignConfig {
   std::vector<std::string> algorithms;  // paper order
   std::vector<std::string> datasets;    // Table-3 order
   std::string cache_path = "etsc_campaign_cache.csv";
+  /// JSON report destination; empty means `<cache_path>.report.json`.
+  std::string report_path;
   bool report_only = false;
 
   /// Built from defaults + environment overrides.
@@ -55,6 +63,16 @@ struct CampaignConfig {
 
 /// Names of the eight evaluated algorithms in the paper's plot order.
 const std::vector<std::string>& PaperAlgorithms();
+
+/// Escapes one journal field for single-line CSV storage: backslash, newline,
+/// carriage return, and comma become two-character backslash sequences. With
+/// every comma escaped, an arbitrary failure message can neither tear a row
+/// across lines nor forge the `,#end` end-of-row sentinel.
+std::string EscapeJournalField(const std::string& raw);
+
+/// Inverse of EscapeJournalField; unknown escape sequences pass through
+/// verbatim (forward compatibility with journals written by newer builds).
+std::string UnescapeJournalField(const std::string& escaped);
 
 /// Builds an algorithm with the paper's Table-4 parameters (plus the scaled
 /// EDSC candidate cap documented in DESIGN.md). `dataset_name` selects the
@@ -104,10 +122,21 @@ class Campaign {
  public:
   explicit Campaign(CampaignConfig config = CampaignConfig::FromEnv());
 
-  /// Computes (or loads) every cell. Progress goes to stderr.
+  /// Computes (or loads) every cell. Progress goes to the leveled logger
+  /// (core/log.h, ETSC_LOG); a machine-readable JSON report — config, cells,
+  /// failures, per-phase timings, and a metric-registry snapshot — is written
+  /// to ReportPath() at the end of every run, including report-only and
+  /// fully-cached ones.
   void Run();
 
+  /// Where Run() writes the JSON report: config().report_path, or
+  /// `<cache_path>.report.json` when unset.
+  std::string ReportPath() const;
+
   /// Cell lookup; null when the combination is not part of the config.
+  /// LoadCache deduplicates resumed journals keeping the LAST row per
+  /// (algorithm, dataset) — a re-run cell's fresh result wins — so lookups
+  /// are unambiguous.
   const CampaignCell* Find(const std::string& algorithm,
                            const std::string& dataset) const;
 
@@ -118,7 +147,8 @@ class Campaign {
   const std::vector<CampaignCell>& cells() const { return cells_; }
 
   /// Mean of `extract(cell)` over trained cells of `algorithm` whose dataset
-  /// belongs to `category`; NaN when nothing qualifies.
+  /// belongs to `category`; NaN when nothing qualifies. Cells whose extracted
+  /// value is itself NaN (empty-fold scores) carry no signal and are skipped.
   double CategoryMean(const std::string& algorithm, DatasetCategory category,
                       double (*extract)(const CampaignCell&)) const;
 
@@ -130,10 +160,23 @@ class Campaign {
     kStale,    // fingerprint mismatched: rotate aside before first append
   };
 
+  /// Wall-clock phase timings and cell counts of one Run(), for the report.
+  struct RunStats {
+    double load_cache_seconds = 0.0;
+    double generate_seconds = 0.0;
+    double plan_seconds = 0.0;
+    double compute_seconds = 0.0;
+    double total_seconds = 0.0;
+    double cpu_seconds = 0.0;
+    size_t cells_loaded = 0;
+    size_t cells_computed = 0;
+  };
+
   void LoadCache();
   /// Requires journal_mu_ when cells complete concurrently: a row must hit
   /// the file whole (header decision, fresh-line check, write, flush).
   void AppendCache(const CampaignCell& cell);
+  void WriteReport(const RunStats& stats) const;
   RepositoryOptions RepoOptions() const;
 
   CampaignConfig config_;

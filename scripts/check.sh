@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Repo verification: the tier-1 build-and-test pass, then an oversubscribed
+# ThreadSanitizer pass over the concurrency-sensitive suites (thread pool,
+# tracing/metrics, campaign journal). Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Tier 1: full build + full test suite (ROADMAP.md).
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+# TSan, oversubscribed: only the targets whose tests exercise the pool, the
+# span/metric recording and the shared campaign journal are built; the -R
+# filter keeps ctest away from the *_NOT_BUILT placeholders of the rest.
+cmake -B build-tsan -S . -DETSC_SANITIZE=thread
+cmake --build build-tsan -j --target parallel_test trace_test journal_config_test
+ETSC_THREADS=8 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
+  -R 'Parallel|Trace|Counters|Journal|Campaign|Log|Json'
+
+echo "check.sh: all green"

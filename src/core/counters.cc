@@ -1,0 +1,179 @@
+#include "core/counters.h"
+
+#include <cmath>
+
+#include "core/json.h"
+
+namespace etsc {
+
+namespace metrics_internal {
+std::atomic<bool> g_enabled{true};
+}  // namespace metrics_internal
+
+void SetMetricsEnabled(bool enabled) {
+  metrics_internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+void Gauge::Set(int64_t value) {
+  value_.store(value, std::memory_order_relaxed);
+  RaiseMax(value);
+}
+
+void Gauge::Add(int64_t delta) {
+  const int64_t now = value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  RaiseMax(now);
+}
+
+void Gauge::RaiseMax(int64_t candidate) {
+  int64_t seen = max_.load(std::memory_order_relaxed);
+  while (candidate > seen &&
+         !max_.compare_exchange_weak(seen, candidate,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::Reset() {
+  value_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+namespace {
+
+size_t BucketIndex(double value) {
+  if (!(value >= 1e-9)) return Histogram::kUnderflow;  // negatives, NaN too
+  double bound = 1e-8;
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    if (value < bound) return i;
+    bound *= 10.0;
+  }
+  return Histogram::kOverflow;
+}
+
+}  // namespace
+
+void Histogram::Record(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++count_;
+  sum_ += value;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  ++buckets_[BucketIndex(value)];
+}
+
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? std::nan("") : sum_ / static_cast<double>(count_);
+}
+
+uint64_t Histogram::bucket(size_t index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index < kNumBuckets + 2 ? buckets_[index] : 0;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+  for (auto& b : buckets_) b = 0;
+}
+
+// ---------------------------------------------------------------------------
+// MetricRegistry
+// ---------------------------------------------------------------------------
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* const registry = new MetricRegistry();
+  return *registry;
+}
+
+Counter& MetricRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  json::Writer writer;
+  writer.BeginObject();
+  writer.Key("counters").BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    writer.Key(name).Number(counter->value());
+  }
+  writer.EndObject();
+  writer.Key("gauges").BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    writer.Key(name).BeginObject();
+    writer.Key("value").Number(gauge->value());
+    writer.Key("max").Number(gauge->max_value());
+    writer.EndObject();
+  }
+  writer.EndObject();
+  writer.Key("histograms").BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    writer.Key(name).BeginObject();
+    writer.Key("count").Number(histogram->count());
+    writer.Key("sum").Number(histogram->sum());
+    writer.Key("min").Number(histogram->min());
+    writer.Key("max").Number(histogram->max());
+    writer.Key("mean").Number(histogram->mean());
+    writer.EndObject();
+  }
+  writer.EndObject();
+  writer.EndObject();
+  return writer.str();
+}
+
+void MetricRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace etsc

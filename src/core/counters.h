@@ -1,0 +1,133 @@
+#ifndef ETSC_CORE_COUNTERS_H_
+#define ETSC_CORE_COUNTERS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace etsc {
+
+/// Process-wide metric registry fed from the framework's hot paths: distance
+/// kernel invocations and early-abandon hit rate, pool queue depth and task
+/// latency, deadline slack at decision time, degraded predictions, journal
+/// appends. Metrics never influence computed results — they only observe.
+///
+/// Overhead contract (DESIGN.md section 9): every instrumentation site is
+/// guarded by the compile-time-inlined MetricsEnabled() test — one relaxed
+/// atomic load and a predictable branch when disabled. When enabled, a
+/// Counter::Add is a single relaxed fetch_add; hot loops accumulate locally
+/// and publish once per call, never per element.
+
+namespace metrics_internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace metrics_internal
+
+/// True (the default) while metric recording is on. Inline so disabled
+/// instrumentation compiles to a load + branch.
+inline bool MetricsEnabled() {
+  return metrics_internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Flips metric recording; used by tests and by benchmarks that want the
+/// instrumented binaries to behave like uninstrumented ones.
+void SetMetricsEnabled(bool enabled);
+
+/// Monotonic counter. Thread-safe; relaxed ordering (metrics are not a
+/// synchronisation mechanism).
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous level with a high-water mark (e.g. pool queue depth).
+class Gauge {
+ public:
+  void Set(int64_t value);
+  void Add(int64_t delta);
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t max_value() const { return max_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  void RaiseMax(int64_t candidate);
+
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// Distribution summary: count/sum/min/max plus decade buckets spanning
+/// [1e-9, 1e6) with underflow (includes all values < 1e-9, negatives too) and
+/// overflow buckets. Mutex-protected — histograms sit on per-task/per-fold
+/// paths, not per-element ones.
+class Histogram {
+ public:
+  /// Index i covers [1e-9 * 10^i, 1e-9 * 10^(i+1)); kUnderflow/kOverflow
+  /// catch the rest.
+  static constexpr size_t kNumBuckets = 15;
+  static constexpr size_t kUnderflow = kNumBuckets;
+  static constexpr size_t kOverflow = kNumBuckets + 1;
+
+  void Record(double value);
+
+  uint64_t count() const;
+  double sum() const;
+  double min() const;   // +inf when empty
+  double max() const;   // -inf when empty
+  double mean() const;  // NaN when empty
+  uint64_t bucket(size_t index) const;
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  uint64_t buckets_[kNumBuckets + 2] = {};
+};
+
+/// Name -> metric map shared by the whole process. Lookup interns the metric
+/// on first use and returns a stable reference, so call sites cache it in a
+/// function-local static and pay the map lookup exactly once.
+class MetricRegistry {
+ public:
+  /// The process-wide registry (leaked singleton: usable from atexit hooks
+  /// and from pool threads that outlive static destruction order).
+  static MetricRegistry& Global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Compact JSON snapshot: {"counters":{...},"gauges":{...},
+  /// "histograms":{...}} with names in sorted order; histograms summarise as
+  /// count/sum/min/max/mean. Safe to call while other threads record.
+  std::string ToJson() const;
+
+  /// Zeroes every registered metric (tests; the registry itself is global).
+  void ResetAll();
+
+ private:
+  MetricRegistry() = default;
+
+  mutable std::mutex mu_;
+  // std::map keeps ToJson deterministic; unique_ptr keeps references stable
+  // across rehash-free growth.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace etsc
+
+#endif  // ETSC_CORE_COUNTERS_H_

@@ -3,7 +3,23 @@
 #include <cmath>
 #include <limits>
 
+#include "core/counters.h"
+
 namespace etsc {
+
+namespace {
+
+/// Slack (seconds remaining, negative once expired) observed at every
+/// decision-point Check() of a finite deadline — the distribution shows how
+/// close budgeted fits/predictions run to the paper's cut-off. CheckEvery is
+/// deliberately NOT instrumented: it sits in per-element hot loops.
+Histogram& SlackAtCheck() {
+  static Histogram& h =
+      MetricRegistry::Global().histogram("deadline.slack_seconds_at_check");
+  return h;
+}
+
+}  // namespace
 
 Deadline Deadline::After(double seconds) {
   if (std::isnan(seconds)) return Infinite();
@@ -43,6 +59,7 @@ bool Deadline::CheckEvery(uint32_t stride) const {
 }
 
 Status Deadline::Check(const std::string& what) const {
+  if (!infinite() && MetricsEnabled()) SlackAtCheck().Record(Remaining());
   if (Expired()) return Status::ResourceExhausted(what);
   return Status::OK();
 }

@@ -1,13 +1,40 @@
 #include "core/evaluation.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
+#include "core/counters.h"
 #include "core/parallel.h"
 #include "core/rng.h"
+#include "core/trace.h"
 #include "core/voting.h"
 
 namespace etsc {
+
+namespace {
+
+// Evaluation metrics (DESIGN.md sec 9): how many folds ran, how many Fits
+// failed, how many predictions were degraded to full-length misses.
+Counter& FoldsRun() {
+  static Counter& c = MetricRegistry::Global().counter("eval.folds_run");
+  return c;
+}
+Counter& FitFailures() {
+  static Counter& c = MetricRegistry::Global().counter("eval.fit_failures");
+  return c;
+}
+Counter& PredictionsMade() {
+  static Counter& c = MetricRegistry::Global().counter("eval.predictions");
+  return c;
+}
+Counter& DegradedPredictions() {
+  static Counter& c =
+      MetricRegistry::Global().counter("eval.degraded_predictions");
+  return c;
+}
+
+}  // namespace
 
 double EvaluationResult::CpuSeconds() const {
   double sum = 0.0;
@@ -27,6 +54,9 @@ EvalScores EvaluationResult::MeanScores() const {
   double acc = 0, f1 = 0, early = 0, hm = 0;
   for (const auto& fold : folds) {
     if (!fold.trained) continue;
+    // An empty test fold carries explicit NaN scores (core/metrics.cc); it
+    // must not drag the mean to NaN — skip it like an untrained fold.
+    if (std::isnan(fold.scores.accuracy)) continue;
     acc += fold.scores.accuracy;
     f1 += fold.scores.f1;
     early += fold.scores.earliness;
@@ -67,9 +97,14 @@ FoldOutcome EvaluateSplit(const Dataset& train, const Dataset& test,
                           EarlyClassifier* classifier) {
   FoldOutcome outcome;
   Stopwatch train_timer;
-  Status fit_status = classifier->Fit(train);
+  Status fit_status;
+  {
+    TraceSpan fit_span("eval", [&] { return "Fit:" + classifier->name(); });
+    fit_status = classifier->Fit(train);
+  }
   outcome.train_seconds = train_timer.Seconds();
   if (!fit_status.ok()) {
+    if (MetricsEnabled()) FitFailures().Add(1);
     outcome.trained = false;
     outcome.failure = fit_status.ToString();
     return outcome;
@@ -83,6 +118,7 @@ FoldOutcome EvaluateSplit(const Dataset& train, const Dataset& test,
   Stopwatch test_timer;
   for (size_t i = 0; i < test.size(); ++i) {
     const TimeSeries& ts = test.instance(i);
+    TraceSpan predict_span("eval", "PredictEarly");
     auto pred = classifier->PredictEarly(ts);
     if (!pred.ok()) {
       // A prediction failure (predict deadline overrun, internal fault)
@@ -107,6 +143,12 @@ FoldOutcome EvaluateSplit(const Dataset& train, const Dataset& test,
   outcome.test_seconds = test_timer.Seconds();
   outcome.num_test = test.size();
   outcome.scores = ComputeScores(truth, predicted, prefixes, lengths);
+  if (MetricsEnabled()) {
+    PredictionsMade().Add(test.size());
+    if (outcome.num_failed_predictions > 0) {
+      DegradedPredictions().Add(outcome.num_failed_predictions);
+    }
+  }
   return outcome;
 }
 
@@ -124,6 +166,8 @@ struct FoldInput {
 
 FoldOutcome RunFold(const FoldInput& input, const EarlyClassifier& prototype,
                     const EvaluationOptions& options) {
+  TraceSpan fold_span("eval", [&] { return "fold:" + prototype.name(); });
+  if (MetricsEnabled()) FoldsRun().Add(1);
   std::unique_ptr<EarlyClassifier> classifier = prototype.CloneUntrained();
   if (options.wrap_univariate_with_voting) {
     classifier = WrapForDataset(std::move(classifier), input.train);

@@ -1,0 +1,107 @@
+#ifndef ETSC_CORE_JSON_H_
+#define ETSC_CORE_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace etsc::json {
+
+/// Escapes `raw` for embedding inside a JSON string literal (quotes not
+/// included): backslash, quote, and control characters become escape
+/// sequences, everything else passes through byte-for-byte.
+std::string Escape(const std::string& raw);
+
+/// Minimal streaming writer producing compact, always-valid JSON. Structural
+/// calls (BeginObject/EndObject/BeginArray/EndArray) must nest correctly —
+/// misuse is a programming error (ETSC_DCHECK), not a runtime Status.
+///
+/// Doubles are written at max_digits10 so values round-trip bit-exactly;
+/// NaN and infinities, which JSON cannot represent, are written as null.
+class Writer {
+ public:
+  Writer& BeginObject();
+  Writer& EndObject();
+  Writer& BeginArray();
+  Writer& EndArray();
+
+  /// Object member key; must be followed by exactly one value (or Begin*).
+  Writer& Key(const std::string& key);
+
+  Writer& String(const std::string& value);
+  Writer& Number(double value);
+  Writer& Number(uint64_t value);
+  Writer& Number(int64_t value);
+  Writer& Number(int value) { return Number(static_cast<int64_t>(value)); }
+  Writer& Bool(bool value);
+  Writer& Null();
+
+  /// Emits `serialized` verbatim as the next value. The caller guarantees it
+  /// is one complete, valid JSON value (e.g. another Writer's str()) — used
+  /// to splice the metric-registry snapshot into the campaign report.
+  Writer& RawValue(const std::string& serialized);
+
+  /// Shorthand for Key(key) followed by the value.
+  template <typename T>
+  Writer& Field(const std::string& key, const T& value) {
+    Key(key);
+    if constexpr (std::is_same_v<T, bool>) {
+      return Bool(value);
+    } else if constexpr (std::is_convertible_v<T, std::string>) {
+      return String(value);
+    } else {
+      return Number(value);
+    }
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  /// One entry per open container: true once the container holds a value
+  /// (so the next one is comma-separated).
+  std::vector<bool> has_value_;
+  bool pending_key_ = false;
+};
+
+/// A parsed JSON value. Object keys are unique (later duplicates win) and
+/// iterate in sorted order; `null` parses to kNull and reads back as NaN via
+/// AsNumber(), matching how Writer encodes non-finite doubles.
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+
+  /// Number of a kNumber, NaN for kNull (the Writer's non-finite encoding),
+  /// aborts otherwise.
+  double AsNumber() const;
+  const std::string& AsString() const;
+  bool AsBool() const;
+
+  /// Member lookup on an object; null when missing or not an object.
+  const Value* Find(const std::string& key) const;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed). Returns
+/// InvalidArgument with position info on malformed input — used by tests to
+/// round-trip the trace file and the campaign report.
+Result<Value> Parse(const std::string& text);
+
+}  // namespace etsc::json
+
+#endif  // ETSC_CORE_JSON_H_

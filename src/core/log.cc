@@ -1,0 +1,90 @@
+#include "core/log.h"
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace etsc {
+
+namespace {
+
+char LevelLetter(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return 'D';
+    case LogLevel::kInfo:
+      return 'I';
+    case LogLevel::kWarn:
+      return 'W';
+    case LogLevel::kError:
+      return 'E';
+    case LogLevel::kOff:
+      return '-';
+  }
+  return '?';
+}
+
+double ElapsedSeconds() {
+  static const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+namespace log_internal {
+
+std::atomic<int>& MinLevelVar() {
+  static std::atomic<int>* const level = [] {
+    LogLevel initial = LogLevel::kInfo;
+    const char* env = std::getenv("ETSC_LOG");
+    if (env != nullptr && *env != '\0') {
+      initial = ParseLogLevel(env, initial);
+    }
+    return new std::atomic<int>(static_cast<int>(initial));
+  }();
+  return *level;
+}
+
+}  // namespace log_internal
+
+void SetMinLogLevel(LogLevel level) {
+  log_internal::MinLevelVar().store(static_cast<int>(level),
+                                    std::memory_order_relaxed);
+}
+
+LogLevel ParseLogLevel(const std::string& name, LogLevel fallback) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off" || name == "none") return LogLevel::kOff;
+  return fallback;
+}
+
+void Logf(LogLevel level, const char* tag, const char* format, ...) {
+  if (!LogEnabled(level) || level == LogLevel::kOff) return;
+
+  char message[1024];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(message, sizeof(message), format, args);
+  va_end(args);
+
+  char line[1200];
+  const int n =
+      std::snprintf(line, sizeof(line), "[%9.3fs %c %s] %s\n", ElapsedSeconds(),
+                    LevelLetter(level), tag == nullptr ? "-" : tag, message);
+  if (n > 0) {
+    // One fwrite per line: concurrent threads interleave whole lines only.
+    std::fwrite(line, 1, static_cast<size_t>(
+                             n < static_cast<int>(sizeof(line)) ? n
+                                                                : sizeof(line) - 1),
+                stderr);
+  }
+}
+
+}  // namespace etsc

@@ -1,0 +1,55 @@
+#ifndef ETSC_CORE_LOG_H_
+#define ETSC_CORE_LOG_H_
+
+#include <atomic>
+#include <string>
+
+namespace etsc {
+
+/// Severity levels of the framework logger, ordered. ETSC_LOG selects the
+/// minimum emitted level by name (debug|info|warn|error|off, default info);
+/// SetMinLogLevel overrides it programmatically.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+namespace log_internal {
+/// The resolved minimum level; lazily initialised from ETSC_LOG.
+std::atomic<int>& MinLevelVar();
+}  // namespace log_internal
+
+/// Current minimum emitted level.
+inline LogLevel MinLogLevel() {
+  return static_cast<LogLevel>(
+      log_internal::MinLevelVar().load(std::memory_order_relaxed));
+}
+
+/// True when a message at `level` would be emitted — guard expensive
+/// formatting with this.
+inline bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(MinLogLevel());
+}
+
+/// Overrides the minimum level (tests, CLI flags).
+void SetMinLogLevel(LogLevel level);
+
+/// Parses a level name ("debug", "info", "warn"/"warning", "error", "off");
+/// returns fallback on anything else.
+LogLevel ParseLogLevel(const std::string& name, LogLevel fallback);
+
+/// Emits one line to stderr: `[<elapsed>s <L> <tag>] message`. Thread-safe
+/// (the line is composed first and written with a single fwrite, so
+/// concurrent campaign cells never interleave fragments). printf-style.
+void Logf(LogLevel level, const char* tag, const char* format, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 3, 4)))
+#endif
+    ;
+
+}  // namespace etsc
+
+#endif  // ETSC_CORE_LOG_H_

@@ -1,6 +1,7 @@
 #include "core/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <set>
 
@@ -76,7 +77,10 @@ double ConfusionMatrix::MacroF1() const {
 double MeanEarliness(const std::vector<size_t>& prefix_lengths,
                      const std::vector<size_t>& series_lengths) {
   ETSC_CHECK(prefix_lengths.size() == series_lengths.size());
-  if (prefix_lengths.empty()) return 1.0;
+  // No instances means no measurement: NaN, not the worst-case 1.0 — a
+  // worst-case score row must stay distinguishable from "nothing evaluated"
+  // (empty CV test folds; see EvalScores and EvaluationResult::MeanScores).
+  if (prefix_lengths.empty()) return std::nan("");
   double sum = 0.0;
   for (size_t i = 0; i < prefix_lengths.size(); ++i) {
     if (series_lengths[i] == 0) {
@@ -108,8 +112,18 @@ EvalScores ComputeScores(const std::vector<int>& truth,
                          const std::vector<int>& predicted,
                          const std::vector<size_t>& prefix_lengths,
                          const std::vector<size_t>& series_lengths) {
-  ConfusionMatrix cm(truth, predicted);
   EvalScores scores;
+  if (truth.empty()) {
+    // An empty evaluation (e.g. a CV fold whose test split got no instances)
+    // must not masquerade as a real worst-case result (accuracy 0, earliness
+    // 1): report explicit NaNs; aggregators skip them and surface num_test.
+    scores.accuracy = std::nan("");
+    scores.f1 = std::nan("");
+    scores.earliness = std::nan("");
+    scores.harmonic_mean = std::nan("");
+    return scores;
+  }
+  ConfusionMatrix cm(truth, predicted);
   scores.accuracy = cm.Accuracy();
   scores.f1 = cm.MacroF1();
   scores.earliness = MeanEarliness(prefix_lengths, series_lengths);

@@ -2,13 +2,19 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <condition_variable>
+#include <cerrno>
 #include <cstdlib>
 #include <deque>
 #include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "core/counters.h"
+#include "core/log.h"
+#include "core/trace.h"
 
 namespace etsc {
 
@@ -18,14 +24,46 @@ namespace {
 /// so nested groups can never starve each other of workers.
 thread_local bool tls_pool_worker = false;
 
+// Pool metrics: queue depth (with high-water mark), queued->start latency and
+// executed-task count. All behind the inlined MetricsEnabled() guard.
+Gauge& QueueDepth() {
+  static Gauge& g = MetricRegistry::Global().gauge("pool.queue_depth");
+  return g;
+}
+Histogram& TaskLatency() {
+  static Histogram& h =
+      MetricRegistry::Global().histogram("pool.task_latency_seconds");
+  return h;
+}
+Counter& TasksExecuted() {
+  static Counter& c = MetricRegistry::Global().counter("pool.tasks_executed");
+  return c;
+}
+
 size_t EnvThreadCount() {
   const char* value = std::getenv("ETSC_THREADS");
-  if (value != nullptr && *value != '\0') {
-    const unsigned long parsed = std::strtoul(value, nullptr, 10);
-    if (parsed >= 1) return static_cast<size_t>(parsed);
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<size_t>(hw);
+  const size_t fallback = hw == 0 ? 1 : static_cast<size_t>(hw);
+  if (value == nullptr || *value == '\0') return fallback;
+  // Validate fully: "8x", "eight" or an overflowing value silently selecting
+  // the hardware default would hide a mistyped campaign configuration.
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long parsed = std::strtoul(value, &end, 10);
+  const char* rest = end;
+  while (rest != nullptr && *rest != '\0' &&
+         std::isspace(static_cast<unsigned char>(*rest))) {
+    ++rest;
+  }
+  if (end == value || (rest != nullptr && *rest != '\0') || errno == ERANGE ||
+      parsed < 1) {
+    Logf(LogLevel::kWarn, "parallel",
+         "ETSC_THREADS=\"%s\" is not a positive integer; using the hardware "
+         "default (%zu)",
+         value, fallback);
+    return fallback;
+  }
+  return static_cast<size_t>(parsed);
 }
 
 /// The process-wide pool. Workers are started lazily on the first submit and
@@ -59,10 +97,12 @@ class ThreadPool {
   }
 
   uint64_t Submit(std::function<void()> task) {
+    const uint64_t enqueue_us = trace::NowMicros();
     std::unique_lock<std::mutex> lock(mu_);
     if (width_ == 0) width_ = EnvThreadCount();
     const uint64_t ticket = next_ticket_++;
-    queue_.emplace_back(ticket, std::move(task));
+    queue_.push_back(QueueEntry{ticket, std::move(task), enqueue_us});
+    if (MetricsEnabled()) QueueDepth().Add(1);
     // Workers materialise on demand, capped at width-1 (the caller of every
     // loop is the remaining participant).
     if (workers_.size() < width_ - 1 && idle_ == 0) {
@@ -78,8 +118,9 @@ class ThreadPool {
   bool CancelPending(uint64_t ticket) {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (it->first == ticket) {
+      if (it->ticket == ticket) {
         queue_.erase(it);
+        if (MetricsEnabled()) QueueDepth().Add(-1);
         return true;
       }
     }
@@ -87,19 +128,34 @@ class ThreadPool {
   }
 
  private:
+  struct QueueEntry {
+    uint64_t ticket;
+    std::function<void()> task;
+    uint64_t enqueue_us;  // trace clock at Submit, for the latency histogram
+  };
+
   void WorkerLoop() {
     tls_pool_worker = true;
     for (;;) {
       std::function<void()> task;
+      uint64_t enqueue_us = 0;
       {
         std::unique_lock<std::mutex> lock(mu_);
         ++idle_;
         cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
         --idle_;
         if (stopping_) return;
-        task = std::move(queue_.front().second);
+        task = std::move(queue_.front().task);
+        enqueue_us = queue_.front().enqueue_us;
         queue_.pop_front();
       }
+      if (MetricsEnabled()) {
+        QueueDepth().Add(-1);
+        TaskLatency().Record(
+            static_cast<double>(trace::NowMicros() - enqueue_us) * 1e-6);
+        TasksExecuted().Add(1);
+      }
+      TraceSpan span("pool", "pool_task");
       task();
     }
   }
@@ -111,7 +167,10 @@ class ThreadPool {
       std::lock_guard<std::mutex> lock(mu_);
       stopping_ = true;
       workers.swap(workers_);
-      for (auto& [ticket, task] : queue_) leftovers.push_back(std::move(task));
+      for (auto& entry : queue_) leftovers.push_back(std::move(entry.task));
+      if (MetricsEnabled() && !queue_.empty()) {
+        QueueDepth().Add(-static_cast<int64_t>(queue_.size()));
+      }
       queue_.clear();
     }
     cv_.notify_all();
@@ -130,7 +189,7 @@ class ThreadPool {
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::pair<uint64_t, std::function<void()>>> queue_;
+  std::deque<QueueEntry> queue_;
   std::vector<std::thread> workers_;
   uint64_t next_ticket_ = 1;
   size_t width_ = 0;  // 0 = not resolved yet

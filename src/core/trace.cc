@@ -1,0 +1,184 @@
+#include "core/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/json.h"
+
+namespace etsc::trace {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+namespace {
+
+struct TraceEvent {
+  std::string name;
+  const char* category;
+  uint64_t ts_us;
+  uint64_t dur_us;
+  uint32_t tid;
+};
+
+/// One thread's span buffer. Owned jointly by the thread (via thread_local
+/// shared_ptr) and the collector, so spans survive thread exit — pool workers
+/// are joined before the atexit writer runs, but their events must not die
+/// with them.
+struct ThreadBuffer {
+  explicit ThreadBuffer(uint32_t tid) : tid(tid) {}
+  const uint32_t tid;
+  std::mutex mu;  // uncontended except against the exporter
+  std::vector<TraceEvent> events;
+};
+
+/// Leaked singleton: reachable from atexit hooks and from worker threads
+/// regardless of static destruction order.
+class Collector {
+ public:
+  static Collector& Global() {
+    static Collector* const collector = new Collector();
+    return *collector;
+  }
+
+  ThreadBuffer& Local() {
+    thread_local std::shared_ptr<ThreadBuffer> buffer = Register();
+    return *buffer;
+  }
+
+  size_t EventCount() {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t n = 0;
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      n += buffer->events.size();
+    }
+    return n;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      buffer->events.clear();
+    }
+  }
+
+  std::string ToChromeJson() {
+    json::Writer writer;
+    writer.BeginObject();
+    writer.Key("traceEvents").BeginArray();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& buffer : buffers_) {
+        std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+        for (const TraceEvent& event : buffer->events) {
+          writer.BeginObject();
+          writer.Key("name").String(event.name);
+          writer.Key("cat").String(event.category);
+          writer.Key("ph").String("X");
+          writer.Key("ts").Number(event.ts_us);
+          writer.Key("dur").Number(event.dur_us);
+          writer.Key("pid").Number(uint64_t{1});
+          writer.Key("tid").Number(uint64_t{event.tid});
+          writer.EndObject();
+        }
+      }
+    }
+    writer.EndArray();
+    writer.Key("displayTimeUnit").String("ms");
+    writer.EndObject();
+    return writer.str();
+  }
+
+ private:
+  std::shared_ptr<ThreadBuffer> Register() {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto buffer = std::make_shared<ThreadBuffer>(next_tid_++);
+    buffers_.push_back(buffer);
+    return buffer;
+  }
+
+  std::mutex mu_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  uint32_t next_tid_ = 1;
+};
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+std::string& EnvPathStorage() {
+  static std::string* const path = new std::string();
+  return *path;
+}
+
+void WriteEnvTraceAtExit() {
+  const Status status = WriteChromeTrace(EnvPathStorage());
+  if (!status.ok()) {
+    std::fprintf(stderr, "[trace] failed to write ETSC_TRACE file: %s\n",
+                 status.ToString().c_str());
+  }
+}
+
+/// Reads ETSC_TRACE once at static-initialisation time. trace.cc is always
+/// linked (evaluation and the campaign call into it), so the initializer runs
+/// in every binary.
+struct EnvTraceInit {
+  EnvTraceInit() {
+    TraceEpoch();  // pin the epoch before any span
+    const char* path = std::getenv("ETSC_TRACE");
+    if (path != nullptr && *path != '\0') {
+      EnvPathStorage() = path;
+      SetEnabled(true);
+      std::atexit(WriteEnvTraceAtExit);
+    }
+  }
+};
+const EnvTraceInit g_env_trace_init;
+
+}  // namespace
+
+void SetEnabled(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - TraceEpoch())
+                                   .count());
+}
+
+size_t EventCount() { return Collector::Global().EventCount(); }
+
+void Clear() { Collector::Global().Clear(); }
+
+std::string ToChromeJson() { return Collector::Global().ToChromeJson(); }
+
+Status WriteChromeTrace(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("trace: cannot open " + path);
+  out << ToChromeJson() << "\n";
+  out.flush();
+  if (!out) return Status::IOError("trace: short write to " + path);
+  return Status::OK();
+}
+
+const std::string& EnvTracePath() { return EnvPathStorage(); }
+
+void RecordSpan(const char* category, std::string name, uint64_t start_us,
+                uint64_t end_us) {
+  ThreadBuffer& buffer = Collector::Global().Local();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(TraceEvent{std::move(name), category, start_us,
+                                     end_us - start_us, buffer.tid});
+}
+
+}  // namespace etsc::trace

@@ -1,0 +1,114 @@
+#ifndef ETSC_CORE_TRACE_H_
+#define ETSC_CORE_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "core/status.h"
+
+namespace etsc {
+
+/// Span-based tracing for the evaluation framework. Named spans (campaign
+/// cell, CV fold, Fit, PredictEarly, pool task, journal append) record their
+/// thread id and wall-clock bounds into per-thread buffers and export as
+/// Chrome trace_event JSON (load chrome://tracing or https://ui.perfetto.dev).
+///
+/// Activation. Setting ETSC_TRACE=<path> in the environment enables tracing
+/// at process start and writes the trace to <path> at exit. Tests drive the
+/// same machinery through SetEnabled / ToChromeJson / WriteChromeTrace.
+///
+/// Overhead contract (DESIGN.md section 9). trace::Enabled() is a single
+/// relaxed atomic load, inlined at every span site; a disabled TraceSpan is
+/// that load plus a branch — name formatting is deferred behind the branch
+/// via the callable constructor, so dynamic span names cost nothing when
+/// tracing is off. Tracing records wall-clock only and never touches the
+/// computation, so the serial/parallel bit-identical EvalScores invariant
+/// (DESIGN.md section 8) holds with tracing on or off.
+namespace trace {
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+/// True while span recording is on. Inline: one relaxed load.
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Flips recording. Spans already open keep recording their close.
+void SetEnabled(bool enabled);
+
+/// Microseconds since the process's trace epoch (monotonic clock).
+uint64_t NowMicros();
+
+/// Total completed spans currently buffered across all threads.
+size_t EventCount();
+
+/// Discards all buffered spans (tests).
+void Clear();
+
+/// The buffered spans as a Chrome trace_event JSON document:
+/// {"traceEvents":[{"name":...,"cat":...,"ph":"X","ts":...,"dur":...,
+///   "pid":...,"tid":...}, ...]}.
+std::string ToChromeJson();
+
+/// Writes ToChromeJson() to `path`.
+Status WriteChromeTrace(const std::string& path);
+
+/// The ETSC_TRACE path captured at process start; empty when unset. When
+/// non-empty, an atexit hook writes the trace there.
+const std::string& EnvTracePath();
+
+/// Records one completed span; the public entry point used by TraceSpan.
+void RecordSpan(const char* category, std::string name, uint64_t start_us,
+                uint64_t end_us);
+
+}  // namespace trace
+
+/// RAII span: records [construction, destruction) under `name` when tracing
+/// is enabled. For dynamic names pass a callable returning std::string — it
+/// is only invoked when tracing is on:
+///
+///   TraceSpan span("campaign", [&] { return "cell:" + algo + "/" + ds; });
+///   TraceSpan span("eval", "PredictEarly");   // static name, no allocation
+class TraceSpan {
+ public:
+  TraceSpan(const char* category, const char* name) {
+    if (trace::Enabled()) Begin(category, name);
+  }
+
+  template <typename NameFn,
+            std::enable_if_t<std::is_invocable_r_v<std::string, NameFn>, int> = 0>
+  TraceSpan(const char* category, NameFn&& name_fn) {
+    if (trace::Enabled()) Begin(category, std::forward<NameFn>(name_fn)());
+  }
+
+  ~TraceSpan() {
+    if (begun_) trace::RecordSpan(category_, std::move(name_), start_us_,
+                                  trace::NowMicros());
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void Begin(const char* category, std::string name) {
+    category_ = category;
+    name_ = std::move(name);
+    start_us_ = trace::NowMicros();
+    begun_ = true;
+  }
+
+  const char* category_ = nullptr;
+  std::string name_;
+  uint64_t start_us_ = 0;
+  bool begun_ = false;
+};
+
+}  // namespace etsc
+
+#endif  // ETSC_CORE_TRACE_H_

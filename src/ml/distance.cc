@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/counters.h"
 #include "core/status.h"
 
 namespace etsc {
@@ -11,6 +12,30 @@ namespace etsc {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Kernel-invocation metrics (DESIGN.md sec 9). References are interned once
+// per call site; recording is one relaxed add per *call*, never per element,
+// and the whole block is skipped behind the inlined MetricsEnabled() guard.
+Counter& PrefixSqCalls() {
+  static Counter& c =
+      MetricRegistry::Global().counter("distance.prefix_sq_calls");
+  return c;
+}
+Counter& SubseriesCalls() {
+  static Counter& c =
+      MetricRegistry::Global().counter("distance.subseries_calls");
+  return c;
+}
+Counter& SubseriesWindows() {
+  static Counter& c =
+      MetricRegistry::Global().counter("distance.subseries_windows");
+  return c;
+}
+Counter& SubseriesWindowsAbandoned() {
+  static Counter& c =
+      MetricRegistry::Global().counter("distance.subseries_windows_abandoned");
+  return c;
+}
 
 /// 4-way unrolled sum of squared differences over [0, len). Four independent
 /// accumulators break the loop-carried dependency so the FMA units stay busy;
@@ -41,6 +66,7 @@ inline double SumSqDiff(const double* a, const double* b, size_t len) {
 
 double EuclideanPrefixSq(const std::vector<double>& a,
                          const std::vector<double>& b, size_t len) {
+  if (MetricsEnabled()) PrefixSqCalls().Add(1);
   len = std::min({len, a.size(), b.size()});
   return SumSqDiff(a.data(), b.data(), len);
 }
@@ -56,7 +82,11 @@ double MinSubseriesDistanceSqEarlyAbandon(const std::vector<double>& pattern,
   const size_t m = pattern.size();
   if (m == 0 || series.size() < m) return kInf;
   const double* p = pattern.data();
+  // Early-abandon hit rate: tallied locally, published once on return.
+  uint64_t windows = 0;
+  uint64_t windows_abandoned = 0;
   for (size_t start = 0; start + m <= series.size(); ++start) {
+    ++windows;
     const double* s = series.data() + start;
     // Same unrolled accumulators as SumSqDiff, with an abandon check once per
     // 4-element block: partial sums only ever grow, so the window can be
@@ -78,7 +108,10 @@ double MinSubseriesDistanceSqEarlyAbandon(const std::vector<double>& pattern,
         break;
       }
     }
-    if (abandoned) continue;
+    if (abandoned) {
+      ++windows_abandoned;
+      continue;
+    }
     double sum = (s0 + s1) + (s2 + s3);
     for (; i < m; ++i) {
       const double d = p[i] - s[i];
@@ -88,9 +121,17 @@ double MinSubseriesDistanceSqEarlyAbandon(const std::vector<double>& pattern,
         break;
       }
     }
-    if (abandoned) continue;
+    if (abandoned) {
+      ++windows_abandoned;
+      continue;
+    }
     best_sq = sum;
     if (best_sq == 0.0) break;
+  }
+  if (MetricsEnabled()) {
+    SubseriesCalls().Add(1);
+    SubseriesWindows().Add(windows);
+    SubseriesWindowsAbandoned().Add(windows_abandoned);
   }
   return best_sq;
 }

@@ -3,9 +3,31 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/counters.h"
 #include "core/status.h"
 
 namespace etsc {
+
+namespace {
+
+// 1-NN scan metrics: queries, candidates scanned and candidates dropped by
+// early abandon. Accumulated locally per query, published once on return
+// behind the inlined MetricsEnabled() guard (DESIGN.md sec 9).
+Counter& NnQueries() {
+  static Counter& c = MetricRegistry::Global().counter("nn.queries");
+  return c;
+}
+Counter& NnCandidates() {
+  static Counter& c = MetricRegistry::Global().counter("nn.candidates_scanned");
+  return c;
+}
+Counter& NnCandidatesAbandoned() {
+  static Counter& c =
+      MetricRegistry::Global().counter("nn.candidates_abandoned");
+  return c;
+}
+
+}  // namespace
 
 size_t NearestNeighbor(const std::vector<std::vector<double>>& points,
                        const std::vector<double>& query, size_t prefix_len,
@@ -14,8 +36,11 @@ size_t NearestNeighbor(const std::vector<std::vector<double>>& points,
   size_t best = points.size();
   double best_d = std::numeric_limits<double>::infinity();
   const double* q = query.data();
+  uint64_t candidates = 0;
+  uint64_t candidates_abandoned = 0;
   for (size_t j = 0; j < points.size(); ++j) {
     if (j == exclude) continue;
+    ++candidates;
     const size_t n = std::min({prefix_len, points[j].size(), query.size()});
     const double* p = points[j].data();
     // Squared space throughout; 4-way unrolled with a per-block abandon
@@ -37,7 +62,10 @@ size_t NearestNeighbor(const std::vector<std::vector<double>>& points,
         break;
       }
     }
-    if (abandoned) continue;
+    if (abandoned) {
+      ++candidates_abandoned;
+      continue;
+    }
     double sum = (s0 + s1) + (s2 + s3);
     for (; t < n; ++t) {
       const double d = q[t] - p[t];
@@ -47,9 +75,17 @@ size_t NearestNeighbor(const std::vector<std::vector<double>>& points,
         break;
       }
     }
-    if (abandoned || sum >= best_d) continue;  // ties keep the earliest index
+    if (abandoned || sum >= best_d) {  // ties keep the earliest index
+      candidates_abandoned += abandoned ? 1 : 0;
+      continue;
+    }
     best_d = sum;
     best = j;
+  }
+  if (MetricsEnabled()) {
+    NnQueries().Add(1);
+    NnCandidates().Add(candidates);
+    NnCandidatesAbandoned().Add(candidates_abandoned);
   }
   return best;
 }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 namespace etsc {
@@ -66,8 +67,18 @@ TEST(Earliness, AveragesRatios) {
   EXPECT_DOUBLE_EQ(MeanEarliness({5, 10}, {10, 20}), 0.5);
 }
 
-TEST(Earliness, EmptyIsWorstCase) {
-  EXPECT_DOUBLE_EQ(MeanEarliness({}, {}), 1.0);
+TEST(Earliness, EmptyIsNaN) {
+  // "Nothing evaluated" must stay distinguishable from a genuine worst-case
+  // earliness of 1.0 (empty CV test folds report NaN, which aggregators skip).
+  EXPECT_TRUE(std::isnan(MeanEarliness({}, {})));
+}
+
+TEST(Scores, EmptyEvaluationIsNaN) {
+  const EvalScores scores = ComputeScores({}, {}, {}, {});
+  EXPECT_TRUE(std::isnan(scores.accuracy));
+  EXPECT_TRUE(std::isnan(scores.f1));
+  EXPECT_TRUE(std::isnan(scores.earliness));
+  EXPECT_TRUE(std::isnan(scores.harmonic_mean));
 }
 
 TEST(Earliness, ClampedAtOne) {
