@@ -22,6 +22,7 @@
 #include "core/evaluation.h"
 #include "core/json.h"
 #include "core/log.h"
+#include "core/model_cache.h"
 #include "core/parallel.h"
 #include "core/trace.h"
 
@@ -81,6 +82,24 @@ size_t GetEnvSizeOr(const char* name, size_t fallback) {
   return static_cast<size_t>(parsed);
 }
 
+/// Parses "i/N" with 0 <= i < N into a shard selector.
+bool ParseShard(const std::string& spec, size_t* index, size_t* count) {
+  const size_t slash = spec.find('/');
+  if (slash == std::string::npos) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long i = std::strtoull(spec.c_str(), &end, 10);
+  if (end != spec.c_str() + slash || errno == ERANGE) return false;
+  const char* n_begin = spec.c_str() + slash + 1;
+  errno = 0;
+  const unsigned long long n = std::strtoull(n_begin, &end, 10);
+  if (end == n_begin || !OnlyTrailingSpace(end) || errno == ERANGE) return false;
+  if (n == 0 || i >= n) return false;
+  *index = static_cast<size_t>(i);
+  *count = static_cast<size_t>(n);
+  return true;
+}
+
 std::vector<std::string> SplitCommas(const std::string& s) {
   std::vector<std::string> out;
   std::stringstream ss(s);
@@ -118,6 +137,14 @@ CampaignConfig CampaignConfig::FromEnv() {
       GetEnvOr("ETSC_BENCH_CACHE", std::string("etsc_campaign_cache.csv"));
   config.report_path = GetEnvOr("ETSC_BENCH_REPORT", std::string());
   config.report_only = !GetEnvOr("ETSC_BENCH_REPORT_ONLY", std::string()).empty();
+  const std::string shard = GetEnvOr("ETSC_BENCH_SHARD", std::string());
+  if (!shard.empty() && !ParseShard(shard, &config.shard_index,
+                                    &config.shard_count)) {
+    Logf(LogLevel::kWarn, "campaign",
+         "ETSC_BENCH_SHARD=\"%s\" is not \"i/N\" with 0 <= i < N; running "
+         "the whole campaign",
+         shard.c_str());
+  }
   return config;
 }
 
@@ -132,7 +159,7 @@ std::string CampaignConfig::Fingerprint() const {
   return buf;
 }
 
-std::unique_ptr<EarlyClassifier> MakePaperAlgorithm(
+Result<std::unique_ptr<EarlyClassifier>> MakePaperAlgorithm(
     const std::string& algorithm, const std::string& dataset_name,
     size_t series_length) {
   const bool new_dataset =
@@ -142,15 +169,18 @@ std::unique_ptr<EarlyClassifier> MakePaperAlgorithm(
     // Implementation parameter (not in Table 4): fewer WEASEL window sizes so
     // N x (cv+1) pipeline fits stay inside the single-core budget.
     options.weasel.max_window_count = 12;
-    return std::make_unique<EcecClassifier>(options);
+    return std::unique_ptr<EarlyClassifier>(
+        std::make_unique<EcecClassifier>(options));
   }
   if (algorithm == "ECO-K") {
     EconomyKOptions options;  // k in {1,2,3}, lambda = 100, cost = 0.001
-    return std::make_unique<EconomyKClassifier>(options);
+    return std::unique_ptr<EarlyClassifier>(
+        std::make_unique<EconomyKClassifier>(options));
   }
   if (algorithm == "ECTS") {
     EctsOptions options;  // support = 0
-    return std::make_unique<EctsClassifier>(options);
+    return std::unique_ptr<EarlyClassifier>(
+        std::make_unique<EctsClassifier>(options));
   }
   if (algorithm == "EDSC") {
     EdscOptions options;  // CHE, k = 3, minLen = 5, maxLen = L/2
@@ -159,13 +189,15 @@ std::unique_ptr<EarlyClassifier> MakePaperAlgorithm(
     options.start_stride = std::max<size_t>(1, series_length / 64);
     options.length_stride = std::max<size_t>(1, series_length / 64);
     options.max_candidates = 1500;
-    return std::make_unique<EdscClassifier>(options);
+    return std::unique_ptr<EarlyClassifier>(
+        std::make_unique<EdscClassifier>(options));
   }
   if (algorithm == "TEASER") {
     TeaserOptions options;
     options.num_prefixes = new_dataset ? 10 : 20;  // Table 4
     options.weasel.max_window_count = 12;  // see ECEC note above
-    return std::make_unique<TeaserClassifier>(options);
+    return std::unique_ptr<EarlyClassifier>(
+        std::make_unique<TeaserClassifier>(options));
   }
   if (algorithm == "S-MINI") return MakeStrutMiniRocket();
   if (algorithm == "S-MLSTM") {
@@ -173,10 +205,25 @@ std::unique_ptr<EarlyClassifier> MakePaperAlgorithm(
     return MakeStrutMlstm(options);
   }
   if (algorithm == "S-WEASEL") return MakeStrutWeasel(false);
-  return nullptr;
+  std::string known;
+  for (const auto& name : PaperAlgorithms()) {
+    if (!known.empty()) known += ", ";
+    known += name;
+  }
+  return Status::NotFound("unknown paper algorithm '" + algorithm +
+                          "' (known: " + known + ")");
 }
 
-Campaign::Campaign(CampaignConfig config) : config_(std::move(config)) {}
+Campaign::Campaign(CampaignConfig config) : config_(std::move(config)) {
+  if (config_.shard_count > 1) {
+    // Each shard owns a private journal + report; the merge step combines
+    // them. Suffixing here (not in FromEnv) covers configs built in code too.
+    const std::string suffix = ".shard-" + std::to_string(config_.shard_index) +
+                               "-of-" + std::to_string(config_.shard_count);
+    config_.cache_path += suffix;
+    if (!config_.report_path.empty()) config_.report_path += suffix;
+  }
+}
 
 RepositoryOptions Campaign::RepoOptions() const {
   RepositoryOptions repo;
@@ -191,6 +238,27 @@ namespace {
 /// End-of-row sentinel appended as the final journal field. A row lacking it
 /// was truncated by a crash mid-write and must be skipped, not half-parsed.
 constexpr char kRowSentinel[] = ",#end";
+
+std::string Hex16(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Order-sensitive FNV-1a combination of the generated datasets' content
+/// hashes; part of the journal header so a journal written against different
+/// data (e.g. another ETSC_BENCH_SCALE repository build) reads as stale.
+uint64_t CombineDataFingerprints(const std::vector<uint64_t>& fingerprints) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const uint64_t fp : fingerprints) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (fp >> (8 * i)) & 0xffu;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
 
 // Campaign metrics (DESIGN.md sec 9): journalled rows and computed cells.
 Counter& JournalAppends() {
@@ -259,12 +327,33 @@ std::string UnescapeJournalField(const std::string& escaped) {
   return out;
 }
 
-void Campaign::LoadCache() {
+Result<std::string> JournalHeaderForConfig(const CampaignConfig& config) {
+  RepositoryOptions repo;
+  repo.seed = config.seed;
+  repo.height_scale = config.height_scale;
+  repo.maritime_windows = config.maritime_windows;
+  std::vector<uint64_t> fingerprints;
+  for (const auto& dataset_name : config.datasets) {
+    auto benchmark = MakeBenchmarkDataset(dataset_name, repo);
+    // Skipping a failed dataset mirrors Run(): both sides hash exactly the
+    // datasets the campaign would evaluate.
+    if (!benchmark.ok()) continue;
+    fingerprints.push_back(benchmark->data.Fingerprint());
+  }
+  if (fingerprints.empty()) {
+    return Status::NotFound(
+        "journal header: no configured dataset could be generated");
+  }
+  return "# " + config.Fingerprint() +
+         " data=" + Hex16(CombineDataFingerprints(fingerprints));
+}
+
+void Campaign::LoadCache(const std::string& expected_header) {
   cache_state_ = CacheState::kMissing;
   std::ifstream in(config_.cache_path);
   if (!in) return;
   std::string line;
-  if (!std::getline(in, line) || line != "# " + config_.Fingerprint()) {
+  if (!std::getline(in, line) || line != expected_header) {
     // Journal from another configuration (or a header truncated mid-write):
     // its rows must never be mixed with this config's. AppendCache rotates
     // the file aside before the first new row.
@@ -366,7 +455,7 @@ void Campaign::AppendCache(const CampaignCell& cell) {
   if (!out) return;
   if (needs_newline) out << "\n";
   if (cache_state_ == CacheState::kMissing) {
-    out << "# " << config_.Fingerprint() << "\n";
+    out << journal_header_ << "\n";
     cache_state_ = CacheState::kLoaded;
   }
   // max_digits10 so a resumed campaign reloads bit-identical scores.
@@ -412,18 +501,18 @@ void Campaign::Run() {
   RunStats stats;
   Stopwatch total;
   Stopwatch phase;
-  LoadCache();
-  stats.load_cache_seconds = phase.Seconds();
-  stats.cells_loaded = cells_.size();
   profiles_.clear();
 
   // Phase 1 (serial): generate every dataset once, in configuration order.
   // Generation draws from seeded RNGs, so it must not race or depend on
   // scheduling; the cell tasks then capture const references into this
   // vector (satisfying the immutable-inputs contract of core/parallel.h).
-  phase.Restart();
+  // Runs BEFORE the cache load: the journal header embeds the combined
+  // dataset fingerprint, so the expected header is only known once the data
+  // exists.
   std::vector<BenchmarkDataset> benchmarks;
   benchmarks.reserve(config_.datasets.size());
+  std::vector<uint64_t> data_fingerprints;
   for (const auto& dataset_name : config_.datasets) {
     auto benchmark = MakeBenchmarkDataset(dataset_name, RepoOptions());
     if (!benchmark.ok()) {
@@ -432,31 +521,49 @@ void Campaign::Run() {
       continue;
     }
     profiles_.push_back(benchmark->canonical_profile);
+    data_fingerprints.push_back(benchmark->data.Fingerprint());
     benchmarks.push_back(*std::move(benchmark));
   }
   stats.generate_seconds = phase.Seconds();
+  journal_header_ = "# " + config_.Fingerprint() +
+                    " data=" + Hex16(CombineDataFingerprints(data_fingerprints));
+
+  phase.Restart();
+  LoadCache(journal_header_);
+  stats.load_cache_seconds = phase.Seconds();
+  stats.cells_loaded = cells_.size();
 
   // Phase 2 (serial): build the work list of uncached cells, dataset-major
   // like the reports. Prototypes are constructed here so an unknown
   // algorithm warns exactly once, in deterministic order.
   phase.Restart();
   std::vector<CellJob> jobs;
-  for (const auto& benchmark : benchmarks) {
+  for (size_t b = 0; b < benchmarks.size(); ++b) {
+    const BenchmarkDataset& benchmark = benchmarks[b];
     const std::string& dataset_name = benchmark.canonical_profile.name;
-    for (const auto& algorithm : config_.algorithms) {
+    for (size_t a = 0; a < config_.algorithms.size(); ++a) {
+      const std::string& algorithm = config_.algorithms[a];
+      // Shard partition over the FULL dataset-major grid (before any cache
+      // check), so every shard agrees on the assignment regardless of what
+      // each has already journalled.
+      const size_t grid_index = b * config_.algorithms.size() + a;
+      if (config_.shard_count > 1 &&
+          grid_index % config_.shard_count != config_.shard_index) {
+        continue;
+      }
       if (Find(algorithm, dataset_name) != nullptr) continue;  // cached
       if (config_.report_only) continue;  // reporting a running campaign
       auto prototype = MakePaperAlgorithm(algorithm, dataset_name,
                                           benchmark.data.MaxLength());
-      if (prototype == nullptr) {
-        Logf(LogLevel::kWarn, "campaign", "unknown algorithm %s",
-             algorithm.c_str());
+      if (!prototype.ok()) {
+        Logf(LogLevel::kWarn, "campaign", "%s",
+             prototype.status().ToString().c_str());
         continue;
       }
       CellJob job;
       job.benchmark = &benchmark;
       job.algorithm = algorithm;
-      job.prototype = std::move(prototype);
+      job.prototype = std::move(*prototype);
       jobs.push_back(std::move(job));
     }
   }
@@ -476,9 +583,13 @@ void Campaign::Run() {
   // dispatch), so results are bit-identical to a serial run; only the log
   // lines and journal row order vary with scheduling.
   phase.Restart();
+  // Resolved once and shared by every cell: with ETSC_MODEL_CACHE set, folds
+  // whose fitted model is already on disk skip Fit entirely (counted as
+  // eval.fits_skipped), which is what makes re-running shards cheap.
+  const std::shared_ptr<const ModelCache> model_cache = ModelCache::FromEnv();
   TaskGroup group;
   for (size_t j = 0; j < jobs.size(); ++j) {
-    group.Run([this, &jobs, j]() -> Status {
+    group.Run([this, &jobs, &model_cache, j]() -> Status {
       CellJob& job = jobs[j];
       const std::string& dataset_name = job.benchmark->canonical_profile.name;
       TraceSpan cell_span("campaign", [&] {
@@ -493,6 +604,7 @@ void Campaign::Run() {
       options.seed = config_.seed;
       options.train_budget_seconds = config_.train_budget_seconds;
       options.predict_budget_seconds = config_.predict_budget_seconds;
+      options.model_cache = model_cache;
       const EvaluationResult result =
           CrossValidate(job.benchmark->data, *job.prototype, options);
 

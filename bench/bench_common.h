@@ -36,6 +36,11 @@ namespace etsc::bench {
 ///                        and reports; missing cells print as "--" instead of
 ///                        being computed (useful while a campaign is running
 ///                        in another process)
+///   ETSC_BENCH_SHARD     "i/N": compute only cells whose dataset-major grid
+///                        index is congruent to i mod N (0 <= i < N). Journal
+///                        and report paths are suffixed ".shard-i-of-N";
+///                        shards from the same config merge bit-identically
+///                        (see `etsc_cli --merge-shards`)
 ///
 /// Numeric overrides are validated: a value that is not a number (or is out
 /// of range) logs a warning and keeps the default instead of silently
@@ -53,6 +58,14 @@ struct CampaignConfig {
   /// JSON report destination; empty means `<cache_path>.report.json`.
   std::string report_path;
   bool report_only = false;
+  /// Shard selector: this process computes only grid cells with
+  /// index % shard_count == shard_index (dataset-major over the full
+  /// datasets x algorithms grid, cached or not, so the partition is
+  /// independent of cache state). 0/1 = the whole campaign. Excluded from
+  /// Fingerprint(): all shards of one campaign share a config identity and
+  /// their journals merge under one header.
+  size_t shard_index = 0;
+  size_t shard_count = 1;
 
   /// Built from defaults + environment overrides.
   static CampaignConfig FromEnv();
@@ -63,6 +76,13 @@ struct CampaignConfig {
 
 /// Names of the eight evaluated algorithms in the paper's plot order.
 const std::vector<std::string>& PaperAlgorithms();
+
+/// The journal header line Campaign writes and expects for `config`:
+/// `# <config fingerprint> data=<16-hex combined dataset fingerprint>`.
+/// Generates the configured datasets to hash them, so it costs one repository
+/// pass; shards and the merge step use it to prove they describe the same
+/// inputs. Fails when no configured dataset can be generated.
+Result<std::string> JournalHeaderForConfig(const CampaignConfig& config);
 
 /// Escapes one journal field for single-line CSV storage: backslash, newline,
 /// carriage return, and comma become two-character backslash sequences. With
@@ -76,8 +96,9 @@ std::string UnescapeJournalField(const std::string& escaped);
 
 /// Builds an algorithm with the paper's Table-4 parameters (plus the scaled
 /// EDSC candidate cap documented in DESIGN.md). `dataset_name` selects the
-/// per-dataset TEASER S (10 for Biological/Maritime, 20 otherwise).
-std::unique_ptr<EarlyClassifier> MakePaperAlgorithm(
+/// per-dataset TEASER S (10 for Biological/Maritime, 20 otherwise). An
+/// unknown name yields NotFound listing the paper algorithms.
+Result<std::unique_ptr<EarlyClassifier>> MakePaperAlgorithm(
     const std::string& algorithm, const std::string& dataset_name,
     size_t series_length);
 
@@ -172,7 +193,7 @@ class Campaign {
     size_t cells_computed = 0;
   };
 
-  void LoadCache();
+  void LoadCache(const std::string& expected_header);
   /// Requires journal_mu_ when cells complete concurrently: a row must hit
   /// the file whole (header decision, fresh-line check, write, flush).
   void AppendCache(const CampaignCell& cell);
@@ -183,6 +204,9 @@ class Campaign {
   std::vector<CampaignCell> cells_;
   std::vector<DatasetProfile> profiles_;
   CacheState cache_state_ = CacheState::kMissing;
+  /// Header of the journal this run writes/expects (config fingerprint +
+  /// combined dataset fingerprint); set by Run() after dataset generation.
+  std::string journal_header_;
   std::mutex journal_mu_;
 };
 

@@ -37,10 +37,10 @@ double MeasureTrain(const std::string& algorithm, size_t per_class, size_t lengt
                                                      /*signal_start=*/0.0, 17);
   auto model =
       etsc::bench::MakePaperAlgorithm(algorithm, data.name(), data.MaxLength());
-  if (model == nullptr) return -1.0;
-  model->set_train_budget_seconds(budget);
+  if (!model.ok()) return -1.0;
+  (*model)->set_train_budget_seconds(budget);
   etsc::Stopwatch timer;
-  const etsc::Status status = model->Fit(data);
+  const etsc::Status status = (*model)->Fit(data);
   if (!status.ok()) return -1.0;
   return timer.Seconds();
 }

@@ -8,19 +8,31 @@
 //   etsc_cli --algo teaser --dataset PowerCons [--folds 5] [--budget 60]
 //   etsc_cli --algo ects --csv my.csv [--variables 3]
 //   etsc_cli --algo ecec --arff my.arff
+//   etsc_cli --campaign [--shard I/N]         (config via ETSC_BENCH_* env)
+//   etsc_cli --merge-shards OUT IN1 IN2 ...   (combine shard journals + report)
+//   etsc_cli --report-diff A.json B.json      (compare reports modulo timings)
 //
 // Exit code 0 on success, 1 on usage/setup errors, 2 when the algorithm could
-// not train within the budget.
+// not train within the budget, 3 when --report-diff finds a difference.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "algos/registrations.h"
+#include "bench/bench_common.h"
 #include "core/arff.h"
 #include "core/csv.h"
 #include "core/evaluation.h"
+#include "core/json.h"
+#include "core/model_cache.h"
 #include "core/registry.h"
 #include "data/repository.h"
 
@@ -28,6 +40,11 @@ namespace {
 
 struct CliArgs {
   bool list = false;
+  bool campaign = false;
+  std::string shard;                     // "i/N", with --campaign
+  std::string merge_out;                 // destination of --merge-shards
+  std::vector<std::string> merge_inputs; // shard journals to merge
+  std::vector<std::string> diff_reports; // the two --report-diff operands
   std::string algo;
   std::string dataset;
   std::string csv_path;
@@ -44,7 +61,10 @@ void PrintUsage() {
       "usage: etsc_cli --list\n"
       "       etsc_cli --algo NAME (--dataset BENCH | --csv FILE [--variables"
       " K] | --arff FILE)\n"
-      "                [--folds N] [--budget SECONDS] [--seed S] [--scale F]\n");
+      "                [--folds N] [--budget SECONDS] [--seed S] [--scale F]\n"
+      "       etsc_cli --campaign [--shard I/N]   (ETSC_BENCH_* env config)\n"
+      "       etsc_cli --merge-shards OUT IN1 IN2 ...\n"
+      "       etsc_cli --report-diff A.json B.json\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -59,6 +79,29 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
     };
     if (flag == "--list") {
       args->list = true;
+    } else if (flag == "--campaign") {
+      args->campaign = true;
+    } else if (flag == "--shard") {
+      const char* v = next("--shard");
+      if (v == nullptr) return false;
+      args->shard = v;
+    } else if (flag == "--merge-shards") {
+      const char* v = next("--merge-shards");
+      if (v == nullptr) return false;
+      args->merge_out = v;
+      while (i + 1 < argc && argv[i + 1][0] != '-') {
+        args->merge_inputs.push_back(argv[++i]);
+      }
+      if (args->merge_inputs.empty()) {
+        std::fprintf(stderr, "--merge-shards needs input journals\n");
+        return false;
+      }
+    } else if (flag == "--report-diff") {
+      for (int k = 0; k < 2; ++k) {
+        const char* v = next("--report-diff");
+        if (v == nullptr) return false;
+        args->diff_reports.push_back(v);
+      }
     } else if (flag == "--algo") {
       const char* v = next("--algo");
       if (v == nullptr) return false;
@@ -106,6 +149,233 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
   return true;
 }
 
+bool ParseShardSpec(const std::string& spec, size_t* index, size_t* count) {
+  const size_t slash = spec.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= spec.size()) {
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long long i = std::strtoull(spec.c_str(), &end, 10);
+  if (end != spec.c_str() + slash) return false;
+  const unsigned long long n = std::strtoull(spec.c_str() + slash + 1, &end, 10);
+  if (end != spec.c_str() + spec.size()) return false;
+  if (n == 0 || i >= n) return false;
+  *index = static_cast<size_t>(i);
+  *count = static_cast<size_t>(n);
+  return true;
+}
+
+int RunCampaign(const CliArgs& args) {
+  auto config = etsc::bench::CampaignConfig::FromEnv();
+  if (!args.shard.empty() &&
+      !ParseShardSpec(args.shard, &config.shard_index, &config.shard_count)) {
+    std::fprintf(stderr, "bad --shard spec '%s' (want I/N with 0 <= I < N)\n",
+                 args.shard.c_str());
+    return 1;
+  }
+  etsc::bench::Campaign campaign(std::move(config));
+  campaign.Run();
+  std::printf("campaign journal: %s\nreport: %s\n",
+              campaign.config().cache_path.c_str(),
+              campaign.ReportPath().c_str());
+  return 0;
+}
+
+/// Combines shard journals written under one campaign config into a single
+/// journal at `out_path`, then produces the merged JSON report by running a
+/// report-only campaign over it. Rows are deduplicated keep-last per
+/// (algorithm, dataset) — matching Campaign::LoadCache — and reordered into
+/// the canonical dataset-major grid of the current ETSC_BENCH_* config, so
+/// the merged journal is byte-identical to what one unsharded process would
+/// have written serially. Pairs outside the grid survive in first-seen order.
+int MergeShards(const std::string& out_path,
+                const std::vector<std::string>& inputs) {
+  constexpr char kSentinel[] = ",#end";
+  constexpr size_t kSentinelLen = sizeof(kSentinel) - 1;
+  std::string header;
+  std::map<std::pair<std::string, std::string>, std::string> rows;
+  std::vector<std::pair<std::string, std::string>> order;
+  for (const auto& path : inputs) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read shard journal %s\n", path.c_str());
+      return 1;
+    }
+    std::string line;
+    if (!std::getline(in, line) || line.rfind("# ", 0) != 0) {
+      std::fprintf(stderr, "%s: missing journal header line\n", path.c_str());
+      return 1;
+    }
+    if (header.empty()) {
+      header = line;
+    } else if (line != header) {
+      // Refuse rather than guess: shards from different configs (or from
+      // different generated data) must never be blended into one report.
+      std::fprintf(stderr,
+                   "%s: header disagrees with %s — shards come from different"
+                   " campaign configs or datasets\n",
+                   path.c_str(), inputs.front().c_str());
+      return 1;
+    }
+    while (std::getline(in, line)) {
+      if (line.size() < kSentinelLen ||
+          line.compare(line.size() - kSentinelLen, kSentinelLen, kSentinel) !=
+              0) {
+        continue;  // truncated by a mid-write crash; drop like LoadCache does
+      }
+      const size_t c1 = line.find(',');
+      if (c1 == std::string::npos) continue;
+      const size_t c2 = line.find(',', c1 + 1);
+      if (c2 == std::string::npos) continue;
+      auto key = std::make_pair(line.substr(0, c1),
+                                line.substr(c1 + 1, c2 - c1 - 1));
+      const auto [it, inserted] = rows.emplace(key, line);
+      if (inserted) {
+        order.push_back(key);
+      } else {
+        it->second = line;  // resumed shard: the freshest row wins
+      }
+    }
+  }
+
+  auto config = etsc::bench::CampaignConfig::FromEnv();
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write merged journal %s\n", out_path.c_str());
+    return 1;
+  }
+  out << header << "\n";
+  std::map<std::pair<std::string, std::string>, bool> written;
+  for (const auto& dataset : config.datasets) {
+    for (const auto& algorithm : config.algorithms) {
+      const auto it = rows.find({algorithm, dataset});
+      if (it == rows.end()) continue;
+      out << it->second << "\n";
+      written[it->first] = true;
+    }
+  }
+  for (const auto& key : order) {
+    if (!written.count(key)) out << rows[key] << "\n";
+  }
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "write to %s failed\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("merged %zu row(s) from %zu shard journal(s) into %s\n",
+              rows.size(), inputs.size(), out_path.c_str());
+
+  // The merged report: a report-only campaign over the combined journal.
+  // Run() regenerates the datasets, recomputes the expected header (proving
+  // the merged rows describe this config's data), and writes the JSON report.
+  config.cache_path = out_path;
+  config.report_path = out_path + ".report.json";
+  config.report_only = true;
+  config.shard_index = 0;
+  config.shard_count = 1;
+  etsc::bench::Campaign campaign(std::move(config));
+  campaign.Run();
+  std::printf("merged report: %s\n", campaign.ReportPath().c_str());
+  return 0;
+}
+
+void WriteCanonical(const etsc::json::Value& value, etsc::json::Writer* w) {
+  using Type = etsc::json::Value::Type;
+  switch (value.type) {
+    case Type::kNull:
+      w->Null();
+      break;
+    case Type::kBool:
+      w->Bool(value.bool_value);
+      break;
+    case Type::kNumber:
+      w->Number(value.number);
+      break;
+    case Type::kString:
+      w->String(value.string);
+      break;
+    case Type::kArray:
+      w->BeginArray();
+      for (const auto& element : value.array) WriteCanonical(element, w);
+      w->EndArray();
+      break;
+    case Type::kObject:
+      w->BeginObject();
+      for (const auto& [key, element] : value.object) {
+        w->Key(key);
+        WriteCanonical(element, w);
+      }
+      w->EndObject();
+      break;
+  }
+}
+
+/// Drops every report field that legitimately varies between runs of the same
+/// campaign — timings, thread counts, cache provenance, metric snapshots — so
+/// what remains is exactly the result content that sharding must preserve.
+void StripVolatile(etsc::json::Value* report) {
+  if (!report->is_object()) return;
+  for (const char* key : {"phases", "threads", "cpu_seconds", "cells_loaded",
+                          "cells_computed", "metrics"}) {
+    report->object.erase(key);
+  }
+  const auto config = report->object.find("config");
+  if (config != report->object.end() && config->second.is_object()) {
+    config->second.object.erase("cache_path");
+    config->second.object.erase("report_only");
+  }
+  const auto cells = report->object.find("cells");
+  if (cells != report->object.end() && cells->second.is_array()) {
+    for (auto& cell : cells->second.array) {
+      if (!cell.is_object()) continue;
+      cell.object.erase("train_seconds");
+      cell.object.erase("test_seconds_per_instance");
+    }
+  }
+}
+
+etsc::Result<std::string> CanonicalReport(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return etsc::Status::IOError("cannot read report " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = etsc::json::Parse(buffer.str());
+  if (!parsed.ok()) return parsed.status();
+  StripVolatile(&*parsed);
+  etsc::json::Writer w;
+  WriteCanonical(*parsed, &w);
+  return w.str();
+}
+
+int ReportDiff(const std::string& path_a, const std::string& path_b) {
+  const auto a = CanonicalReport(path_a);
+  if (!a.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path_a.c_str(),
+                 a.status().ToString().c_str());
+    return 1;
+  }
+  const auto b = CanonicalReport(path_b);
+  if (!b.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path_b.c_str(),
+                 b.status().ToString().c_str());
+    return 1;
+  }
+  if (*a == *b) {
+    std::printf("reports match (modulo timings)\n");
+    return 0;
+  }
+  size_t pos = 0;
+  const size_t limit = std::min(a->size(), b->size());
+  while (pos < limit && (*a)[pos] == (*b)[pos]) ++pos;
+  const size_t from = pos < 40 ? 0 : pos - 40;
+  std::fprintf(stderr,
+               "reports differ at canonical byte %zu:\n  %s: ...%s\n  %s:"
+               " ...%s\n",
+               pos, path_a.c_str(), a->substr(from, 80).c_str(),
+               path_b.c_str(), b->substr(from, 80).c_str());
+  return 3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -114,6 +384,16 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &args)) {
     PrintUsage();
     return 1;
+  }
+
+  if (!args.diff_reports.empty()) {
+    return ReportDiff(args.diff_reports[0], args.diff_reports[1]);
+  }
+  if (!args.merge_out.empty()) {
+    return MergeShards(args.merge_out, args.merge_inputs);
+  }
+  if (args.campaign) {
+    return RunCampaign(args);
   }
 
   if (args.list) {
@@ -178,6 +458,9 @@ int main(int argc, char** argv) {
   options.num_folds = args.folds;
   options.seed = args.seed;
   options.train_budget_seconds = args.budget;
+  // ETSC_MODEL_CACHE reuses fitted models across invocations of the same
+  // (algorithm config, dataset, fold, seed); unset means no caching.
+  options.model_cache = etsc::ModelCache::FromEnv();
   const etsc::EvaluationResult result =
       etsc::CrossValidate(dataset, **model, options);
   if (!result.trained()) {

@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
   // Feed one held-out instance point-by-point, the way measurements would
   // arrive online; the session reports the moment the algorithm commits.
   const etsc::TimeSeries& instance = test.instance(0);
-  etsc::StreamingSession session(wrapped.get(), instance.num_variables());
+  etsc::StreamingSession session(*wrapped, instance.num_variables());
   std::optional<etsc::EarlyPrediction> decision;
   for (size_t t = 0; t < instance.length() && !decision.has_value(); ++t) {
     std::vector<double> observation(instance.num_variables());

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# Repo verification: the tier-1 build-and-test pass, then an oversubscribed
+# Repo verification: the tier-1 build-and-test pass, a shard-merge
+# equivalence check, then sanitizer passes — ASan over the serialization /
+# persistence suite (hostile byte streams), and an oversubscribed
 # ThreadSanitizer pass over the concurrency-sensitive suites (thread pool,
-# tracing/metrics, campaign journal). Run from anywhere inside the repo.
+# tracing/metrics, campaign journal, model cache). Run from anywhere inside
+# the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,12 +13,38 @@ cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
+# Shard-merge smoke test: a tiny 2-shard campaign, merged, must produce a
+# report identical (modulo timings) to the same campaign run in one process.
+SHARD_DIR="$(mktemp -d)"
+trap 'rm -rf "$SHARD_DIR"' EXIT
+(
+  export ETSC_BENCH_ALGOS=ECTS ETSC_BENCH_DATASETS=DodgerLoopGame,PowerCons \
+         ETSC_BENCH_FOLDS=2 ETSC_LOG=warn
+  ETSC_BENCH_CACHE="$SHARD_DIR/single.csv" ./build/examples/etsc_cli --campaign
+  ETSC_BENCH_CACHE="$SHARD_DIR/j.csv" ./build/examples/etsc_cli --campaign --shard 0/2
+  ETSC_BENCH_CACHE="$SHARD_DIR/j.csv" ./build/examples/etsc_cli --campaign --shard 1/2
+  ETSC_BENCH_CACHE="$SHARD_DIR/j.csv" ./build/examples/etsc_cli --merge-shards \
+    "$SHARD_DIR/merged.csv" "$SHARD_DIR/j.csv.shard-0-of-2" "$SHARD_DIR/j.csv.shard-1-of-2"
+  ./build/examples/etsc_cli --report-diff \
+    "$SHARD_DIR/single.csv.report.json" "$SHARD_DIR/merged.csv.report.json"
+)
+echo "check.sh: shard merge matches the single-process run"
+
+# ASan: the persistence layer parses attacker-shaped bytes (truncated,
+# corrupted, garbage model streams) — exactly where memory bugs would hide.
+cmake -B build-asan -S . -DETSC_SANITIZE=address
+cmake --build build-asan -j --target serialization_test
+ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
+  -R 'Serialization|DatasetFingerprint'
+
 # TSan, oversubscribed: only the targets whose tests exercise the pool, the
-# span/metric recording and the shared campaign journal are built; the -R
-# filter keeps ctest away from the *_NOT_BUILT placeholders of the rest.
+# span/metric recording, the shared campaign journal and the model cache are
+# built; the -R filter keeps ctest away from the *_NOT_BUILT placeholders of
+# the rest.
 cmake -B build-tsan -S . -DETSC_SANITIZE=thread
-cmake --build build-tsan -j --target parallel_test trace_test journal_config_test
+cmake --build build-tsan -j --target parallel_test trace_test \
+  journal_config_test serialization_test
 ETSC_THREADS=8 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-  -R 'Parallel|Trace|Counters|Journal|Campaign|Log|Json'
+  -R 'Parallel|Trace|Counters|Journal|Campaign|Log|Json|Serialization|DatasetFingerprint'
 
 echo "check.sh: all green"

@@ -200,4 +200,68 @@ Result<EarlyPrediction> EcecClassifier::PredictEarly(
   return EarlyPrediction{*pred, series.length()};
 }
 
+std::string EcecClassifier::config_fingerprint() const {
+  const auto& o = options_;
+  return "ECEC(n=" + std::to_string(o.num_prefixes) +
+         ",a=" + FingerprintDouble(o.alpha) +
+         ",cv=" + std::to_string(o.cv_folds) +
+         ",thr=" + std::to_string(o.max_threshold_candidates) +
+         ",seed=" + std::to_string(o.seed) + "," +
+         WeaselOptionsFingerprint(o.weasel) + ")";
+}
+
+Status EcecClassifier::SaveState(Serializer& out) const {
+  if (models_.empty()) return Status::FailedPrecondition("ECEC: not fitted");
+  out.Begin("ecec");
+  out.SizeT(length_);
+  out.SizeVec(prefix_lengths_);
+  out.SizeT(models_.size());
+  for (const WeaselClassifier& model : models_) {
+    ETSC_RETURN_NOT_OK(model.SaveState(out));
+  }
+  out.SizeT(reliability_.size());
+  for (const auto& per_label : reliability_) {
+    out.SizeT(per_label.size());
+    for (const auto& [label, r] : per_label) {  // std::map: sorted, stable
+      out.I64(label);
+      out.F64(r);
+    }
+  }
+  out.F64(threshold_);
+  out.End();
+  return Status::OK();
+}
+
+Status EcecClassifier::LoadState(Deserializer& in) {
+  ETSC_RETURN_NOT_OK(in.Enter("ecec"));
+  ETSC_ASSIGN_OR_RETURN(length_, in.SizeT());
+  ETSC_ASSIGN_OR_RETURN(prefix_lengths_, in.SizeVec());
+  ETSC_ASSIGN_OR_RETURN(size_t num_models, in.SizeT());
+  if (num_models != prefix_lengths_.size() || num_models == 0) {
+    return Status::DataLoss("ECEC: model/prefix count mismatch");
+  }
+  models_.assign(num_models, WeaselClassifier(options_.weasel));
+  for (WeaselClassifier& model : models_) {
+    ETSC_RETURN_NOT_OK(model.LoadState(in));
+  }
+  ETSC_ASSIGN_OR_RETURN(size_t num_reliability, in.SizeT());
+  if (num_reliability != num_models) {
+    return Status::DataLoss("ECEC: reliability table size mismatch");
+  }
+  reliability_.assign(num_reliability, {});
+  for (auto& per_label : reliability_) {
+    ETSC_ASSIGN_OR_RETURN(size_t entries, in.SizeT());
+    for (size_t e = 0; e < entries; ++e) {
+      ETSC_ASSIGN_OR_RETURN(int64_t label, in.I64());
+      ETSC_ASSIGN_OR_RETURN(double r, in.F64());
+      per_label[static_cast<int>(label)] = r;
+    }
+    if (per_label.size() != entries) {
+      return Status::DataLoss("ECEC: duplicate reliability labels");
+    }
+  }
+  ETSC_ASSIGN_OR_RETURN(threshold_, in.F64());
+  return in.Leave();
+}
+
 }  // namespace etsc

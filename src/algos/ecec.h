@@ -44,6 +44,10 @@ class EcecClassifier : public EarlyClassifier {
   double threshold() const { return threshold_; }
   const std::vector<size_t>& prefix_lengths() const { return prefix_lengths_; }
 
+  std::string config_fingerprint() const override;
+  Status SaveState(Serializer& out) const override;
+  Status LoadState(Deserializer& in) override;
+
  private:
   /// Reliability of classifier `ci` predicting `label`.
   double Reliability(size_t ci, int label) const;

@@ -305,4 +305,70 @@ Result<EarlyPrediction> EconomyKClassifier::PredictEarly(
   return EarlyPrediction{label, values.size()};
 }
 
+std::string EconomyKClassifier::config_fingerprint() const {
+  const auto& o = options_;
+  std::string grid;
+  for (size_t k : o.cluster_grid) grid += std::to_string(k) + "/";
+  return "ECO-K(grid=" + grid + ",tc=" + FingerprintDouble(o.time_cost) +
+         ",lambda=" + FingerprintDouble(o.lambda) +
+         ",rdw=" + FingerprintDouble(o.relative_delay_weight) +
+         ",cp=" + std::to_string(o.max_checkpoints) +
+         ",cv=" + std::to_string(o.cv_folds) +
+         ",gbdt=" + std::to_string(o.gbdt.num_rounds) + "/" +
+         FingerprintDouble(o.gbdt.learning_rate) + "/" +
+         FingerprintDouble(o.gbdt.subsample) + "/" +
+         std::to_string(o.gbdt.tree.max_depth) + "/" +
+         std::to_string(o.gbdt.tree.min_samples_leaf) +
+         ",seed=" + std::to_string(o.seed) + ")";
+}
+
+Status EconomyKClassifier::SaveState(Serializer& out) const {
+  if (models_.empty()) return Status::FailedPrecondition("ECO-K: not fitted");
+  out.Begin("eco-k");
+  out.SizeT(length_);
+  out.IntVec(class_labels_);
+  out.SizeVec(checkpoints_);
+  clusters_.SaveState(out);
+  out.SizeT(models_.size());
+  for (const GbdtClassifier& model : models_) model.SaveState(out);
+  out.SizeT(prob_correct_.size());
+  for (const auto& per_cluster : prob_correct_) out.F64Mat(per_cluster);
+  out.F64Mat(prior_);
+  out.End();
+  return Status::OK();
+}
+
+Status EconomyKClassifier::LoadState(Deserializer& in) {
+  ETSC_RETURN_NOT_OK(in.Enter("eco-k"));
+  ETSC_ASSIGN_OR_RETURN(length_, in.SizeT());
+  ETSC_ASSIGN_OR_RETURN(class_labels_, in.IntVec());
+  ETSC_ASSIGN_OR_RETURN(checkpoints_, in.SizeVec());
+  ETSC_RETURN_NOT_OK(clusters_.LoadState(in));
+  ETSC_ASSIGN_OR_RETURN(size_t num_models, in.SizeT());
+  if (num_models != checkpoints_.size() || num_models == 0 ||
+      class_labels_.empty()) {
+    return Status::DataLoss("ECO-K: inconsistent fitted state");
+  }
+  models_.assign(num_models, GbdtClassifier(options_.gbdt));
+  for (GbdtClassifier& model : models_) {
+    ETSC_RETURN_NOT_OK(model.LoadState(in));
+  }
+  ETSC_ASSIGN_OR_RETURN(size_t num_tables, in.SizeT());
+  if (num_tables != num_models) {
+    return Status::DataLoss("ECO-K: confusion table count mismatch");
+  }
+  prob_correct_.assign(num_tables, {});
+  for (auto& per_cluster : prob_correct_) {
+    ETSC_ASSIGN_OR_RETURN(per_cluster, in.F64Mat());
+    if (per_cluster.size() != clusters_.centroids.size()) {
+      return Status::DataLoss("ECO-K: confusion table cluster mismatch");
+    }
+  }
+  ETSC_ASSIGN_OR_RETURN(prior_, in.F64Mat());
+  if (prior_.size() != clusters_.centroids.size()) {
+    return Status::DataLoss("ECO-K: prior cluster mismatch");
+  }
+  return in.Leave();
+}
+
 }  // namespace etsc

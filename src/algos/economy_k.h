@@ -63,6 +63,10 @@ class EconomyKClassifier : public EarlyClassifier {
   size_t chosen_clusters() const { return clusters_.centroids.size(); }
   const std::vector<size_t>& checkpoints() const { return checkpoints_; }
 
+  std::string config_fingerprint() const override;
+  Status SaveState(Serializer& out) const override;
+  Status LoadState(Deserializer& in) override;
+
  private:
   /// Expected cost of deciding at checkpoint index `ci_future`, given cluster
   /// memberships at the current prefix.

@@ -218,4 +218,38 @@ Result<EarlyPrediction> EctsClassifier::PredictEarly(
   return EarlyPrediction{train_labels_[best], series.length()};
 }
 
+std::string EctsClassifier::config_fingerprint() const {
+  return "ECTS(support=" + std::to_string(options_.support) + ",merge=" +
+         FingerprintDouble(options_.max_merge_distance_factor) + ")";
+}
+
+Status EctsClassifier::SaveState(Serializer& out) const {
+  if (train_series_.empty()) return Status::FailedPrecondition("ECTS: not fitted");
+  out.Begin("ects");
+  out.F64Mat(train_series_);
+  out.IntVec(train_labels_);
+  out.SizeT(length_);
+  out.SizeVec(mpls_);
+  out.End();
+  return Status::OK();
+}
+
+Status EctsClassifier::LoadState(Deserializer& in) {
+  ETSC_RETURN_NOT_OK(in.Enter("ects"));
+  ETSC_ASSIGN_OR_RETURN(train_series_, in.F64Mat());
+  ETSC_ASSIGN_OR_RETURN(train_labels_, in.IntVec());
+  ETSC_ASSIGN_OR_RETURN(length_, in.SizeT());
+  ETSC_ASSIGN_OR_RETURN(mpls_, in.SizeVec());
+  if (train_series_.empty() || train_labels_.size() != train_series_.size() ||
+      mpls_.size() != train_series_.size()) {
+    return Status::DataLoss("ECTS: inconsistent fitted state");
+  }
+  for (const auto& series : train_series_) {
+    if (series.size() < length_) {
+      return Status::DataLoss("ECTS: training series shorter than length");
+    }
+  }
+  return in.Leave();
+}
+
 }  // namespace etsc

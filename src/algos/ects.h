@@ -42,6 +42,10 @@ class EctsClassifier : public EarlyClassifier {
   /// Learned per-training-series MPLs (after clustering); exposed for tests.
   const std::vector<size_t>& mpls() const { return mpls_; }
 
+  std::string config_fingerprint() const override;
+  Status SaveState(Serializer& out) const override;
+  Status LoadState(Deserializer& in) override;
+
  private:
   EctsOptions options_;
   std::vector<std::vector<double>> train_series_;

@@ -272,4 +272,55 @@ Result<EarlyPrediction> EdscClassifier::PredictEarly(
   return EarlyPrediction{best_label, length};
 }
 
+std::string EdscClassifier::config_fingerprint() const {
+  const auto& o = options_;
+  return "EDSC(k=" + FingerprintDouble(o.chebyshev_k) +
+         ",minl=" + std::to_string(o.min_length) +
+         ",maxf=" + FingerprintDouble(o.max_length_fraction) +
+         ",ss=" + std::to_string(o.start_stride) +
+         ",ls=" + std::to_string(o.length_stride) +
+         ",max=" + std::to_string(o.max_shapelets) +
+         ",cand=" + std::to_string(o.max_candidates) +
+         ",seed=" + std::to_string(o.seed) + ")";
+}
+
+Status EdscClassifier::SaveState(Serializer& out) const {
+  if (shapelets_.empty()) return Status::FailedPrecondition("EDSC: not fitted");
+  out.Begin("edsc");
+  out.SizeT(shapelets_.size());
+  for (const Shapelet& s : shapelets_) {
+    out.F64Vec(s.pattern);
+    out.F64(s.threshold);
+    out.I64(s.label);
+    out.F64(s.utility);
+    out.F64(s.precision);
+    out.F64(s.weighted_recall);
+  }
+  out.I64(majority_label_);
+  out.End();
+  return Status::OK();
+}
+
+Status EdscClassifier::LoadState(Deserializer& in) {
+  ETSC_RETURN_NOT_OK(in.Enter("edsc"));
+  ETSC_ASSIGN_OR_RETURN(size_t count, in.SizeT());
+  shapelets_.clear();
+  for (size_t i = 0; i < count; ++i) {
+    Shapelet s;
+    ETSC_ASSIGN_OR_RETURN(s.pattern, in.F64Vec());
+    if (s.pattern.empty()) return Status::DataLoss("EDSC: empty shapelet");
+    ETSC_ASSIGN_OR_RETURN(s.threshold, in.F64());
+    ETSC_ASSIGN_OR_RETURN(int64_t label, in.I64());
+    s.label = static_cast<int>(label);
+    ETSC_ASSIGN_OR_RETURN(s.utility, in.F64());
+    ETSC_ASSIGN_OR_RETURN(s.precision, in.F64());
+    ETSC_ASSIGN_OR_RETURN(s.weighted_recall, in.F64());
+    shapelets_.push_back(std::move(s));
+  }
+  ETSC_ASSIGN_OR_RETURN(int64_t majority, in.I64());
+  majority_label_ = static_cast<int>(majority);
+  if (shapelets_.empty()) return Status::DataLoss("EDSC: no shapelets");
+  return in.Leave();
+}
+
 }  // namespace etsc

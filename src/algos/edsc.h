@@ -58,6 +58,10 @@ class EdscClassifier : public EarlyClassifier {
 
   const std::vector<Shapelet>& shapelets() const { return shapelets_; }
 
+  std::string config_fingerprint() const override;
+  Status SaveState(Serializer& out) const override;
+  Status LoadState(Deserializer& in) override;
+
  private:
   EdscOptions options_;
   std::vector<Shapelet> shapelets_;

@@ -94,4 +94,42 @@ std::unique_ptr<EarlyClassifier> ProbThresholdClassifier::CloneUntrained() const
                                                    options_);
 }
 
+std::string ProbThresholdClassifier::config_fingerprint() const {
+  return "ProbThreshold(n=" + std::to_string(options_.num_prefixes) +
+         ",thr=" + FingerprintDouble(options_.threshold) +
+         ",consec=" + std::to_string(options_.consecutive) + ",base=" +
+         base_->config_fingerprint() + ")";
+}
+
+Status ProbThresholdClassifier::SaveState(Serializer& out) const {
+  if (models_.empty()) {
+    return Status::FailedPrecondition(name() + ": not fitted");
+  }
+  out.Begin("prob-threshold");
+  out.SizeT(length_);
+  out.SizeVec(prefix_lengths_);
+  out.SizeT(models_.size());
+  for (const auto& model : models_) {
+    ETSC_RETURN_NOT_OK(model->SaveState(out));
+  }
+  out.End();
+  return Status::OK();
+}
+
+Status ProbThresholdClassifier::LoadState(Deserializer& in) {
+  ETSC_RETURN_NOT_OK(in.Enter("prob-threshold"));
+  ETSC_ASSIGN_OR_RETURN(length_, in.SizeT());
+  ETSC_ASSIGN_OR_RETURN(prefix_lengths_, in.SizeVec());
+  ETSC_ASSIGN_OR_RETURN(size_t num_models, in.SizeT());
+  if (num_models != prefix_lengths_.size() || num_models == 0) {
+    return Status::DataLoss(name() + ": model/prefix count mismatch");
+  }
+  models_.clear();
+  for (size_t p = 0; p < num_models; ++p) {
+    models_.push_back(base_->CloneUntrained());
+    ETSC_RETURN_NOT_OK(models_.back()->LoadState(in));
+  }
+  return in.Leave();
+}
+
 }  // namespace etsc

@@ -38,6 +38,10 @@ class ProbThresholdClassifier : public EarlyClassifier {
 
   const std::vector<size_t>& prefix_lengths() const { return prefix_lengths_; }
 
+  std::string config_fingerprint() const override;
+  Status SaveState(Serializer& out) const override;
+  Status LoadState(Deserializer& in) override;
+
  private:
   std::unique_ptr<FullClassifier> base_;
   ProbThresholdOptions options_;

@@ -171,6 +171,33 @@ class AdaptiveWeasel : public FullClassifier {
     return std::make_unique<AdaptiveWeasel>(options_);
   }
 
+  std::string config_fingerprint() const override {
+    return "AdaptiveWeasel(" + WeaselOptionsFingerprint(options_) + ")";
+  }
+  // The WEASEL-vs-MUSE choice is data-dependent, so it travels with the
+  // fitted state as a type tag rather than with the configuration.
+  Status SaveState(Serializer& out) const override {
+    if (impl_ == nullptr) {
+      return Status::FailedPrecondition("AdaptiveWeasel: not fitted");
+    }
+    const bool is_muse = impl_->SupportsMultivariate();
+    out.U8(is_muse ? 2 : 1);
+    return impl_->SaveState(out);
+  }
+  Status LoadState(Deserializer& in) override {
+    ETSC_ASSIGN_OR_RETURN(uint8_t tag, in.U8());
+    if (tag == 1) {
+      impl_ = std::make_unique<WeaselClassifier>(options_);
+    } else if (tag == 2) {
+      MuseOptions muse;
+      muse.weasel = options_;
+      impl_ = std::make_unique<MuseClassifier>(muse);
+    } else {
+      return Status::DataLoss("AdaptiveWeasel: unknown backend tag");
+    }
+    return impl_->LoadState(in);
+  }
+
  private:
   WeaselOptions options_;
   std::unique_ptr<FullClassifier> impl_;
@@ -195,6 +222,41 @@ std::unique_ptr<EarlyClassifier> MakeStrutMlstm(StrutOptions options) {
   options.search = StrutSearch::kGrid;
   return std::make_unique<StrutClassifier>(std::make_unique<MlstmClassifier>(),
                                            options, "S-MLSTM");
+}
+
+std::string StrutClassifier::config_fingerprint() const {
+  const auto& o = options_;
+  std::string fractions;
+  for (double f : o.fractions) fractions += FingerprintDouble(f) + "/";
+  return name_ + "=STRUT(metric=" + std::to_string(static_cast<int>(o.metric)) +
+         ",search=" + std::to_string(static_cast<int>(o.search)) +
+         ",frac=" + fractions +
+         ",val=" + FingerprintDouble(o.validation_fraction) +
+         ",tol=" + FingerprintDouble(o.tolerance) +
+         ",seed=" + std::to_string(o.seed) + ",base=" +
+         base_->config_fingerprint() + ")";
+}
+
+Status StrutClassifier::SaveState(Serializer& out) const {
+  if (model_ == nullptr) {
+    return Status::FailedPrecondition(name() + ": not fitted");
+  }
+  out.Begin("strut");
+  out.SizeT(truncation_point_);
+  ETSC_RETURN_NOT_OK(model_->SaveState(out));
+  out.End();
+  return Status::OK();
+}
+
+Status StrutClassifier::LoadState(Deserializer& in) {
+  ETSC_RETURN_NOT_OK(in.Enter("strut"));
+  ETSC_ASSIGN_OR_RETURN(truncation_point_, in.SizeT());
+  if (truncation_point_ == 0) {
+    return Status::DataLoss(name() + ": zero truncation point");
+  }
+  model_ = base_->CloneUntrained();
+  ETSC_RETURN_NOT_OK(model_->LoadState(in));
+  return in.Leave();
 }
 
 }  // namespace etsc

@@ -60,6 +60,10 @@ class StrutClassifier : public EarlyClassifier {
 
   size_t truncation_point() const { return truncation_point_; }
 
+  std::string config_fingerprint() const override;
+  Status SaveState(Serializer& out) const override;
+  Status LoadState(Deserializer& in) override;
+
  private:
   /// Validation score of the base classifier trained at truncation `t`.
   Result<double> ScoreAt(const Dataset& fit, const Dataset& validation, size_t t,

@@ -259,4 +259,60 @@ Result<EarlyPrediction> TeaserClassifier::PredictEarly(
   return EarlyPrediction{*pred, prepared.length()};
 }
 
+std::string TeaserClassifier::config_fingerprint() const {
+  const auto& o = options_;
+  return "TEASER(n=" + std::to_string(o.num_prefixes) +
+         ",v<=" + std::to_string(o.max_consecutive) +
+         ",cv=" + std::to_string(o.cv_folds) +
+         ",z=" + std::to_string(o.z_normalize ? 1 : 0) +
+         ",nu=" + FingerprintDouble(o.ocsvm.nu) +
+         ",gamma=" + FingerprintDouble(o.ocsvm.gamma) +
+         ",seed=" + std::to_string(o.seed) + "," +
+         WeaselOptionsFingerprint(o.weasel) + ")";
+}
+
+Status TeaserClassifier::SaveState(Serializer& out) const {
+  if (models_.empty()) return Status::FailedPrecondition("TEASER: not fitted");
+  out.Begin("teaser");
+  out.SizeT(length_);
+  out.SizeT(v_);
+  out.SizeVec(prefix_lengths_);
+  out.SizeT(models_.size());
+  for (const WeaselClassifier& model : models_) {
+    ETSC_RETURN_NOT_OK(model.SaveState(out));
+  }
+  out.BoolVec(filter_ok_);
+  for (size_t p = 0; p < filters_.size(); ++p) {
+    if (filter_ok_[p]) filters_[p].SaveState(out);
+  }
+  out.End();
+  return Status::OK();
+}
+
+Status TeaserClassifier::LoadState(Deserializer& in) {
+  ETSC_RETURN_NOT_OK(in.Enter("teaser"));
+  ETSC_ASSIGN_OR_RETURN(length_, in.SizeT());
+  ETSC_ASSIGN_OR_RETURN(v_, in.SizeT());
+  ETSC_ASSIGN_OR_RETURN(prefix_lengths_, in.SizeVec());
+  ETSC_ASSIGN_OR_RETURN(size_t num_models, in.SizeT());
+  if (num_models != prefix_lengths_.size() || num_models == 0) {
+    return Status::DataLoss("TEASER: model/prefix count mismatch");
+  }
+  models_.assign(num_models, WeaselClassifier(options_.weasel));
+  for (WeaselClassifier& model : models_) {
+    ETSC_RETURN_NOT_OK(model.LoadState(in));
+  }
+  ETSC_ASSIGN_OR_RETURN(filter_ok_, in.BoolVec());
+  if (filter_ok_.size() != num_models) {
+    return Status::DataLoss("TEASER: filter flag count mismatch");
+  }
+  filters_.assign(num_models, OneClassSvm(options_.ocsvm));
+  for (size_t p = 0; p < num_models; ++p) {
+    if (filter_ok_[p]) {
+      ETSC_RETURN_NOT_OK(filters_[p].LoadState(in));
+    }
+  }
+  return in.Leave();
+}
+
 }  // namespace etsc

@@ -49,6 +49,10 @@ class TeaserClassifier : public EarlyClassifier {
   size_t chosen_v() const { return v_; }
   const std::vector<size_t>& prefix_lengths() const { return prefix_lengths_; }
 
+  std::string config_fingerprint() const override;
+  Status SaveState(Serializer& out) const override;
+  Status LoadState(Deserializer& in) override;
+
  private:
   /// The OC-SVM feature vector: the class-probability vector plus the margin
   /// between the two largest probabilities.

@@ -1,6 +1,54 @@
 #include "core/classifier.h"
 
+#include <cstdio>
+
 namespace etsc {
+
+std::string FingerprintDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+namespace {
+
+/// Shared Save/LoadFitted plumbing for both classifier interfaces: the header
+/// carries kind/name/config_fingerprint, the body is one "state" section
+/// owned by the implementation's SaveState/LoadState.
+template <typename ClassifierT>
+Status SaveImpl(const ClassifierT& model, const char* kind,
+                std::ostream& out) {
+  Serializer s;
+  s.Begin("state");
+  ETSC_RETURN_NOT_OK(model.SaveState(s));
+  s.End();
+  return s.Finish(out, kind, model.name(), model.config_fingerprint());
+}
+
+template <typename ClassifierT>
+Status LoadImpl(ClassifierT& model, const char* kind, std::istream& in) {
+  ETSC_ASSIGN_OR_RETURN(Deserializer d, Deserializer::FromStream(in));
+  if (d.header().kind != kind) {
+    return Status::InvalidArgument("LoadFitted: stream holds a '" +
+                                   d.header().kind + "' model, expected '" +
+                                   kind + "'");
+  }
+  if (d.header().name != model.name()) {
+    return Status::InvalidArgument("LoadFitted: stream holds '" +
+                                   d.header().name + "', this instance is '" +
+                                   model.name() + "'");
+  }
+  if (d.header().fingerprint != model.config_fingerprint()) {
+    return Status::InvalidArgument(
+        "LoadFitted: configuration mismatch for '" + model.name() +
+        "' (saved under \"" + d.header().fingerprint + "\", loading into \"" +
+        model.config_fingerprint() + "\")");
+  }
+  ETSC_RETURN_NOT_OK(d.Enter("state"));
+  ETSC_RETURN_NOT_OK(model.LoadState(d));
+  return d.Leave();
+}
+
+}  // namespace
 
 Result<std::vector<double>> FullClassifier::PredictProba(
     const TimeSeries& series) const {
@@ -14,6 +62,22 @@ Result<std::vector<double>> FullClassifier::PredictProba(
     }
   }
   return proba;
+}
+
+Status FullClassifier::Save(std::ostream& out) const {
+  return SaveImpl(*this, "full", out);
+}
+
+Status FullClassifier::LoadFitted(std::istream& in) {
+  return LoadImpl(*this, "full", in);
+}
+
+Status EarlyClassifier::Save(std::ostream& out) const {
+  return SaveImpl(*this, "early", out);
+}
+
+Status EarlyClassifier::LoadFitted(std::istream& in) {
+  return LoadImpl(*this, "early", in);
 }
 
 }  // namespace etsc

@@ -8,10 +8,15 @@
 
 #include "core/dataset.h"
 #include "core/deadline.h"
+#include "core/serialize.h"
 #include "core/status.h"
 #include "core/time_series.h"
 
 namespace etsc {
+
+/// Formats a double for config fingerprints: shortest round-trip-exact,
+/// locale-independent representation.
+std::string FingerprintDouble(double v);
 
 /// Result of an early classification: the predicted label and how many
 /// time-points of the instance the algorithm consumed before committing.
@@ -49,6 +54,34 @@ class FullClassifier {
   /// Fresh, untrained instance with the same configuration. Used by STRUT and
   /// the per-variable voting wrapper to retrain on derived datasets.
   virtual std::unique_ptr<FullClassifier> CloneUntrained() const = 0;
+
+  /// Stable string identifying the configuration (not the fitted state): two
+  /// instances with equal fingerprints train identically given the same data
+  /// and seed. Default: name(). Used to refuse loading a model saved under a
+  /// different configuration.
+  virtual std::string config_fingerprint() const { return name(); }
+
+  /// Writes the fitted state in the versioned ETSCMODL format. Requires a
+  /// fitted instance; backends without persistence return NotImplemented.
+  Status Save(std::ostream& out) const;
+
+  /// Restores fitted state saved by an instance with the same name() and
+  /// config_fingerprint(). Mismatches yield InvalidArgument; corrupt or
+  /// truncated streams yield DataLoss.
+  Status LoadFitted(std::istream& in);
+
+  /// Persistence hooks: serialize/restore fitted state only (configuration is
+  /// carried by construction, budgets are runtime settings). Overrides must
+  /// produce a LoadState-ed instance whose Predict/PredictProba are
+  /// bit-identical to the instance SaveState was called on.
+  virtual Status SaveState(Serializer& out) const {
+    (void)out;
+    return Status::NotImplemented(name() + ": persistence not supported");
+  }
+  virtual Status LoadState(Deserializer& in) {
+    (void)in;
+    return Status::NotImplemented(name() + ": persistence not supported");
+  }
 };
 
 /// Interface every ETSC algorithm implements (mirrors the Python framework's
@@ -73,6 +106,30 @@ class EarlyClassifier {
 
   /// Fresh, untrained instance with identical configuration.
   virtual std::unique_ptr<EarlyClassifier> CloneUntrained() const = 0;
+
+  /// Stable string identifying the configuration (not the fitted state); see
+  /// FullClassifier::config_fingerprint. Default: name().
+  virtual std::string config_fingerprint() const { return name(); }
+
+  /// Writes the fitted model in the versioned ETSCMODL format (core/serialize.h).
+  /// Requires a fitted instance.
+  Status Save(std::ostream& out) const;
+
+  /// Restores a model saved by an instance with the same name() and
+  /// config_fingerprint() — construct/configure first, then load. Mismatched
+  /// name or configuration yields InvalidArgument; corrupt, truncated or
+  /// future-versioned streams yield DataLoss/InvalidArgument, never UB.
+  Status LoadFitted(std::istream& in);
+
+  /// Persistence hooks; see FullClassifier::SaveState/LoadState.
+  virtual Status SaveState(Serializer& out) const {
+    (void)out;
+    return Status::NotImplemented(name() + ": persistence not supported");
+  }
+  virtual Status LoadState(Deserializer& in) {
+    (void)in;
+    return Status::NotImplemented(name() + ": persistence not supported");
+  }
 
   /// Wall-clock training budget in seconds; Fit of expensive algorithms polls
   /// this and fails with ResourceExhausted when exceeded.

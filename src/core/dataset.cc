@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <set>
 
 namespace etsc {
@@ -34,6 +35,47 @@ size_t Dataset::MinLength() const {
 
 size_t Dataset::NumVariables() const {
   return instances_.empty() ? 0 : instances_[0].num_variables();
+}
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline void FnvMix(uint64_t* h, const void* data, size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    *h ^= p[i];
+    *h *= kFnvPrime;
+  }
+}
+
+inline void FnvMixU64(uint64_t* h, uint64_t v) {
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+  FnvMix(h, bytes, sizeof(bytes));
+}
+
+}  // namespace
+
+uint64_t Dataset::Fingerprint() const {
+  uint64_t h = kFnvOffset;
+  FnvMix(&h, name_.data(), name_.size());
+  FnvMixU64(&h, instances_.size());
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    FnvMixU64(&h, static_cast<uint64_t>(static_cast<int64_t>(labels_[i])));
+    const TimeSeries& ts = instances_[i];
+    FnvMixU64(&h, ts.num_variables());
+    FnvMixU64(&h, ts.length());
+    for (size_t v = 0; v < ts.num_variables(); ++v) {
+      for (double value : ts.channel(v)) {
+        uint64_t bits;
+        std::memcpy(&bits, &value, sizeof(bits));
+        FnvMixU64(&h, bits);  // bit pattern: distinguishes -0.0, NaN payloads
+      }
+    }
+  }
+  return h;
 }
 
 Dataset Dataset::Truncated(size_t len) const {

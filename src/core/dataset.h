@@ -2,6 +2,7 @@
 #define ETSC_CORE_DATASET_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -80,6 +81,12 @@ class Dataset {
 
   /// Repairs NaNs in every instance (paper Sec. 5.1 rule).
   void FillMissingValues();
+
+  /// Stable 64-bit content hash (FNV-1a over name, labels and every value's
+  /// bit pattern). Identical datasets hash identically across runs and
+  /// platforms; used to key the fitted-model cache and to stamp campaign
+  /// journals so stale caches are detected.
+  uint64_t Fingerprint() const;
 
   /// Class imbalance ratio: count of most populated class over least
   /// populated one (paper Sec. 5.4). Returns 1 for empty datasets.

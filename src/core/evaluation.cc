@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/counters.h"
+#include "core/log.h"
 #include "core/parallel.h"
 #include "core/rng.h"
 #include "core/trace.h"
@@ -32,6 +33,55 @@ Counter& DegradedPredictions() {
   static Counter& c =
       MetricRegistry::Global().counter("eval.degraded_predictions");
   return c;
+}
+Counter& FitsSkipped() {
+  static Counter& c = MetricRegistry::Global().counter("eval.fits_skipped");
+  return c;
+}
+
+/// Shared prediction loop of EvaluateSplit and EvaluateFitted: scores
+/// `classifier` (already fitted) on `test`, degrading failed predictions to
+/// full-length misses.
+void RunTestSet(const Dataset& test, const EarlyClassifier& classifier,
+                FoldOutcome* outcome) {
+  std::vector<int> truth;
+  std::vector<int> predicted;
+  std::vector<size_t> prefixes;
+  std::vector<size_t> lengths;
+  Stopwatch test_timer;
+  for (size_t i = 0; i < test.size(); ++i) {
+    const TimeSeries& ts = test.instance(i);
+    TraceSpan predict_span("eval", "PredictEarly");
+    auto pred = classifier.PredictEarly(ts);
+    if (!pred.ok()) {
+      // A prediction failure (predict deadline overrun, internal fault)
+      // counts as consuming the full series and predicting an impossible
+      // label (always wrong); it must not crash an entire evaluation
+      // campaign. The first failure message is surfaced on the outcome.
+      ++outcome->num_failed_predictions;
+      if (outcome->failure.empty()) outcome->failure = pred.status().ToString();
+      truth.push_back(test.label(i));
+      predicted.push_back(std::numeric_limits<int>::min());
+      prefixes.push_back(ts.length());
+      lengths.push_back(ts.length());
+      continue;
+    }
+    truth.push_back(test.label(i));
+    predicted.push_back(pred->label);
+    // Clamp: a buggy/faulty classifier may report consuming more than it was
+    // given; the metrics contract requires prefix <= length.
+    prefixes.push_back(std::min(pred->prefix_length, ts.length()));
+    lengths.push_back(ts.length());
+  }
+  outcome->test_seconds = test_timer.Seconds();
+  outcome->num_test = test.size();
+  outcome->scores = ComputeScores(truth, predicted, prefixes, lengths);
+  if (MetricsEnabled()) {
+    PredictionsMade().Add(test.size());
+    if (outcome->num_failed_predictions > 0) {
+      DegradedPredictions().Add(outcome->num_failed_predictions);
+    }
+  }
 }
 
 }  // namespace
@@ -110,45 +160,15 @@ FoldOutcome EvaluateSplit(const Dataset& train, const Dataset& test,
     return outcome;
   }
   outcome.trained = true;
+  RunTestSet(test, *classifier, &outcome);
+  return outcome;
+}
 
-  std::vector<int> truth;
-  std::vector<int> predicted;
-  std::vector<size_t> prefixes;
-  std::vector<size_t> lengths;
-  Stopwatch test_timer;
-  for (size_t i = 0; i < test.size(); ++i) {
-    const TimeSeries& ts = test.instance(i);
-    TraceSpan predict_span("eval", "PredictEarly");
-    auto pred = classifier->PredictEarly(ts);
-    if (!pred.ok()) {
-      // A prediction failure (predict deadline overrun, internal fault)
-      // counts as consuming the full series and predicting an impossible
-      // label (always wrong); it must not crash an entire evaluation
-      // campaign. The first failure message is surfaced on the outcome.
-      ++outcome.num_failed_predictions;
-      if (outcome.failure.empty()) outcome.failure = pred.status().ToString();
-      truth.push_back(test.label(i));
-      predicted.push_back(std::numeric_limits<int>::min());
-      prefixes.push_back(ts.length());
-      lengths.push_back(ts.length());
-      continue;
-    }
-    truth.push_back(test.label(i));
-    predicted.push_back(pred->label);
-    // Clamp: a buggy/faulty classifier may report consuming more than it was
-    // given; the metrics contract requires prefix <= length.
-    prefixes.push_back(std::min(pred->prefix_length, ts.length()));
-    lengths.push_back(ts.length());
-  }
-  outcome.test_seconds = test_timer.Seconds();
-  outcome.num_test = test.size();
-  outcome.scores = ComputeScores(truth, predicted, prefixes, lengths);
-  if (MetricsEnabled()) {
-    PredictionsMade().Add(test.size());
-    if (outcome.num_failed_predictions > 0) {
-      DegradedPredictions().Add(outcome.num_failed_predictions);
-    }
-  }
+FoldOutcome EvaluateFitted(const Dataset& test,
+                           const EarlyClassifier& classifier) {
+  FoldOutcome outcome;
+  outcome.trained = true;
+  RunTestSet(test, classifier, &outcome);
   return outcome;
 }
 
@@ -162,6 +182,11 @@ struct FoldInput {
   Dataset train;
   Dataset test;
   uint64_t seed = 0;
+  size_t fold_index = 0;
+  /// Fingerprint of the WHOLE cross-validated dataset (not the subset): with
+  /// fold_index, num_folds, and the evaluation seed it pins down this fold's
+  /// exact train split for the model-cache key. 0 when caching is off.
+  uint64_t dataset_fingerprint = 0;
 };
 
 FoldOutcome RunFold(const FoldInput& input, const EarlyClassifier& prototype,
@@ -176,7 +201,34 @@ FoldOutcome RunFold(const FoldInput& input, const EarlyClassifier& prototype,
   // VotingEarlyClassifier::Fit propagates them to every voter it clones.
   classifier->set_train_budget_seconds(options.train_budget_seconds);
   classifier->set_predict_budget_seconds(options.predict_budget_seconds);
-  FoldOutcome outcome = EvaluateSplit(input.train, input.test, classifier.get());
+  FoldOutcome outcome;
+  ModelCacheKey key;
+  bool restored = false;
+  if (options.model_cache != nullptr) {
+    // The key uses the fingerprint of the FINAL classifier (after voting
+    // wrapping), so univariate-on-multivariate entries never alias plain ones.
+    key.config_fingerprint = classifier->config_fingerprint();
+    key.dataset_fingerprint = input.dataset_fingerprint;
+    key.fold = input.fold_index;
+    key.num_folds = options.num_folds;
+    key.seed = options.seed;
+    restored = options.model_cache->TryLoad(key, classifier.get());
+  }
+  if (restored) {
+    if (MetricsEnabled()) FitsSkipped().Add(1);
+    outcome = EvaluateFitted(input.test, *classifier);
+  } else {
+    outcome = EvaluateSplit(input.train, input.test, classifier.get());
+    if (options.model_cache != nullptr && outcome.trained) {
+      const Status stored = options.model_cache->Store(key, *classifier);
+      if (!stored.ok()) {
+        // A failed store only costs the next run a refit; the evaluation
+        // result is unaffected.
+        Logf(LogLevel::kWarn, "eval", "model cache store failed: %s",
+             stored.ToString().c_str());
+      }
+    }
+  }
   outcome.fold_seed = input.seed;
   return outcome;
 }
@@ -193,12 +245,16 @@ EvaluationResult CrossValidate(const Dataset& dataset,
 
   Rng rng(options.seed);
   const auto folds = StratifiedKFold(dataset, options.num_folds, &rng);
+  // Hashing every observation is cheap next to training, but pointless when
+  // caching is off.
+  const uint64_t dataset_fingerprint =
+      options.model_cache != nullptr ? dataset.Fingerprint() : 0;
   std::vector<FoldInput> inputs;
   inputs.reserve(folds.size());
   for (size_t f = 0; f < folds.size(); ++f) {
     inputs.push_back({dataset.Subset(folds[f].train),
                       dataset.Subset(folds[f].test),
-                      SplitSeed(options.seed, f)});
+                      SplitSeed(options.seed, f), f, dataset_fingerprint});
   }
 
   if (MaxParallelism() == 1) {

@@ -7,9 +7,12 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "core/classifier.h"
 #include "core/dataset.h"
 #include "core/metrics.h"
+#include "core/model_cache.h"
 
 namespace etsc {
 
@@ -91,6 +94,11 @@ struct EvaluationOptions {
   /// exhaustion would only repeat); the paper's 48-hour rule likewise kills
   /// the whole run.
   bool skip_folds_after_failure = true;
+  /// Fitted-model cache. When set, each fold first tries to restore its
+  /// (possibly voting-wrapped) classifier from the cache — a hit skips Fit
+  /// entirely (counted as eval.fits_skipped) and reports train_seconds = 0 —
+  /// and every freshly trained fold is stored back. Null disables caching.
+  std::shared_ptr<const ModelCache> model_cache;
 };
 
 /// Runs stratified k-fold cross-validation of `prototype` (cloned per fold)
@@ -105,6 +113,11 @@ EvaluationResult CrossValidate(const Dataset& dataset,
 /// used by tests and examples.
 FoldOutcome EvaluateSplit(const Dataset& train, const Dataset& test,
                           EarlyClassifier* classifier);
+
+/// Evaluates an already-FITTED classifier on a test set (no Fit call): the
+/// cache-hit path of CrossValidate, also useful for scoring a model restored
+/// via EarlyClassifier::LoadFitted. train_seconds is reported as 0.
+FoldOutcome EvaluateFitted(const Dataset& test, const EarlyClassifier& classifier);
 
 }  // namespace etsc
 

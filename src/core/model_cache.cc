@@ -1,0 +1,138 @@
+#include "core/model_cache.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <utility>
+
+#include "core/counters.h"
+#include "core/log.h"
+
+namespace etsc {
+
+namespace {
+
+Counter& CacheHits() {
+  static Counter& c = MetricRegistry::Global().counter("model_cache.hits");
+  return c;
+}
+Counter& CacheMisses() {
+  static Counter& c = MetricRegistry::Global().counter("model_cache.misses");
+  return c;
+}
+Counter& CacheStores() {
+  static Counter& c = MetricRegistry::Global().counter("model_cache.stores");
+  return c;
+}
+
+/// FNV-1a over the key's components with length/field separators, so e.g.
+/// ("ab", fold 1) and ("a", fold 11) can never collide structurally.
+uint64_t HashKey(const ModelCacheKey& key) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix_bytes = [&h](const void* data, size_t bytes) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < bytes; ++i) {
+      h ^= p[i];
+      h *= 0x100000001b3ULL;
+    }
+  };
+  auto mix_u64 = [&](uint64_t v) { mix_bytes(&v, sizeof(v)); };
+  mix_u64(key.config_fingerprint.size());
+  mix_bytes(key.config_fingerprint.data(), key.config_fingerprint.size());
+  mix_u64(key.dataset_fingerprint);
+  mix_u64(key.fold);
+  mix_u64(key.num_folds);
+  mix_u64(key.seed);
+  return h;
+}
+
+/// Keeps file names portable: anything outside [A-Za-z0-9._-] becomes '_'.
+std::string SanitizeName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '_';
+    out += ok ? c : '_';
+  }
+  return out.empty() ? "model" : out;
+}
+
+std::string Hex16(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+ModelCache::ModelCache(std::string directory)
+    : directory_(std::move(directory)) {}
+
+std::shared_ptr<ModelCache> ModelCache::FromEnv() {
+  const char* dir = std::getenv("ETSC_MODEL_CACHE");
+  if (dir == nullptr || *dir == '\0') return nullptr;
+  return std::make_shared<ModelCache>(dir);
+}
+
+std::string ModelCache::EntryPath(const ModelCacheKey& key,
+                                  const std::string& name) const {
+  return directory_ + "/" + SanitizeName(name) + "-" + Hex16(HashKey(key)) +
+         ".etsc";
+}
+
+bool ModelCache::TryLoad(const ModelCacheKey& key,
+                         EarlyClassifier* classifier) const {
+  const std::string path = EntryPath(key, classifier->name());
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (MetricsEnabled()) CacheMisses().Add(1);
+    return false;
+  }
+  const Status status = classifier->LoadFitted(in);
+  if (!status.ok()) {
+    // Corrupt, truncated, or saved under another build's configuration: a
+    // miss, never an error — the caller refits and overwrites the entry.
+    Logf(LogLevel::kWarn, "model_cache", "ignoring unloadable entry %s: %s",
+         path.c_str(), status.ToString().c_str());
+    if (MetricsEnabled()) CacheMisses().Add(1);
+    return false;
+  }
+  if (MetricsEnabled()) CacheHits().Add(1);
+  return true;
+}
+
+Status ModelCache::Store(const ModelCacheKey& key,
+                         const EarlyClassifier& classifier) const {
+  // EEXIST is the common case after the first store; anything else surfaces
+  // when the temp file fails to open below.
+  ::mkdir(directory_.c_str(), 0777);
+  const std::string path = EntryPath(key, classifier.name());
+  const std::string temp = path + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IOError("model cache: cannot write " + temp);
+    }
+    const Status status = classifier.Save(out);
+    if (!status.ok()) {
+      out.close();
+      std::remove(temp.c_str());
+      return status;
+    }
+  }
+  // Atomic publish: concurrent readers see the old entry or the new one,
+  // never a torn file.
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    return Status::IOError("model cache: cannot rename " + temp + " to " + path);
+  }
+  if (MetricsEnabled()) CacheStores().Add(1);
+  return Status::OK();
+}
+
+}  // namespace etsc

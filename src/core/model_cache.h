@@ -1,0 +1,62 @@
+#ifndef ETSC_CORE_MODEL_CACHE_H_
+#define ETSC_CORE_MODEL_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/classifier.h"
+#include "core/status.h"
+
+namespace etsc {
+
+/// Identity of one fitted model in the cache. Two evaluations that agree on
+/// every component train bit-identical models (classifiers derive all
+/// randomness from the evaluation seed), so the fitted state can be reused.
+struct ModelCacheKey {
+  std::string config_fingerprint;    // EarlyClassifier::config_fingerprint()
+  uint64_t dataset_fingerprint = 0;  // Dataset::Fingerprint() of the CV input
+  size_t fold = 0;                   // fold index within the CV split
+  size_t num_folds = 0;              // fold count (defines the split geometry)
+  uint64_t seed = 0;                 // EvaluationOptions::seed
+};
+
+/// On-disk cache of fitted models in the ETSCMODL format (core/serialize.h).
+/// One file per (config, dataset, fold, folds, seed) key under `directory`;
+/// stores are atomic (temp file + rename) so a crash mid-write can never
+/// leave a half-written entry, and any unreadable/corrupt/mismatched entry is
+/// treated as a miss — LoadFitted's header checks make stale entries
+/// harmless. Thread-safe: entries are immutable once renamed into place.
+///
+/// Metrics: model_cache.hits / model_cache.misses / model_cache.stores.
+class ModelCache {
+ public:
+  explicit ModelCache(std::string directory);
+
+  /// Reads ETSC_MODEL_CACHE; returns null (caching disabled) when the
+  /// variable is unset or empty.
+  static std::shared_ptr<ModelCache> FromEnv();
+
+  const std::string& directory() const { return directory_; }
+
+  /// Where the entry for `key` lives: `<dir>/<sanitized name>-<16-hex>.etsc`.
+  std::string EntryPath(const ModelCacheKey& key,
+                        const std::string& name) const;
+
+  /// Restores `classifier` from the cache. False (a miss) when the entry is
+  /// absent, unreadable, corrupt, or was saved under a different
+  /// name/configuration; a miss never modifies a fitted classifier's
+  /// observable predictions because LoadFitted validates before committing.
+  bool TryLoad(const ModelCacheKey& key, EarlyClassifier* classifier) const;
+
+  /// Persists a fitted classifier under `key`. Creates the cache directory on
+  /// first use; the entry becomes visible atomically or not at all.
+  Status Store(const ModelCacheKey& key, const EarlyClassifier& classifier) const;
+
+ private:
+  std::string directory_;
+};
+
+}  // namespace etsc
+
+#endif  // ETSC_CORE_MODEL_CACHE_H_

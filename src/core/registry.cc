@@ -19,7 +19,13 @@ Result<std::unique_ptr<EarlyClassifier>> ClassifierRegistry::Create(
     const std::string& name) const {
   auto it = factories_.find(name);
   if (it == factories_.end()) {
-    return Status::NotFound("classifier '" + name + "' is not registered");
+    std::string known;
+    for (const auto& [registered, factory] : factories_) {
+      if (!known.empty()) known += ", ";
+      known += registered;
+    }
+    return Status::NotFound("classifier '" + name +
+                            "' is not registered (registered: " + known + ")");
   }
   return it->second();
 }

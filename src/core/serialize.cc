@@ -1,0 +1,379 @@
+#include "core/serialize.h"
+
+#include <cstring>
+#include <limits>
+
+namespace etsc {
+namespace {
+
+/// Little-endian encode into `out` at `offset` (which must already exist).
+void PutU32At(std::string* out, size_t offset, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    (*out)[offset + i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+void PutU64At(std::string* out, size_t offset, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    (*out)[offset + i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t F64Bits(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsF64(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  static const auto table = [] {
+    std::vector<uint32_t> t(256);
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xffffffffu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+// ---------------------------------------------------------------------------
+// Serializer
+// ---------------------------------------------------------------------------
+
+void Serializer::U8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+
+void Serializer::U32(uint32_t v) {
+  const size_t at = buffer_.size();
+  buffer_.resize(at + 4);
+  PutU32At(&buffer_, at, v);
+}
+
+void Serializer::U64(uint64_t v) {
+  const size_t at = buffer_.size();
+  buffer_.resize(at + 8);
+  PutU64At(&buffer_, at, v);
+}
+
+void Serializer::F64(double v) { U64(F64Bits(v)); }
+
+void Serializer::Str(const std::string& s) {
+  U64(s.size());
+  buffer_.append(s);
+}
+
+void Serializer::F64Vec(const std::vector<double>& v) {
+  U64(v.size());
+  for (double x : v) F64(x);
+}
+
+void Serializer::IntVec(const std::vector<int>& v) {
+  U64(v.size());
+  for (int x : v) I64(x);
+}
+
+void Serializer::SizeVec(const std::vector<size_t>& v) {
+  U64(v.size());
+  for (size_t x : v) U64(x);
+}
+
+void Serializer::BoolVec(const std::vector<bool>& v) {
+  U64(v.size());
+  for (bool x : v) U8(x ? 1 : 0);
+}
+
+void Serializer::F64Mat(const std::vector<std::vector<double>>& m) {
+  U64(m.size());
+  for (const auto& row : m) F64Vec(row);
+}
+
+void Serializer::Begin(const std::string& tag) {
+  Str(tag);
+  open_sections_.push_back(buffer_.size());
+  buffer_.resize(buffer_.size() + 12);  // u64 size + u32 crc, backpatched
+}
+
+void Serializer::End() {
+  ETSC_CHECK(!open_sections_.empty());
+  const size_t slot = open_sections_.back();
+  open_sections_.pop_back();
+  const size_t payload_start = slot + 12;
+  const size_t payload_size = buffer_.size() - payload_start;
+  PutU64At(&buffer_, slot, payload_size);
+  PutU32At(&buffer_, slot + 8,
+           Crc32(buffer_.data() + payload_start, payload_size));
+}
+
+Status Serializer::Finish(std::ostream& out, const std::string& kind,
+                          const std::string& name,
+                          const std::string& fingerprint) const {
+  ETSC_CHECK(open_sections_.empty());
+  Serializer header;
+  header.buffer_.append(kSerializeMagic, sizeof(kSerializeMagic));
+  header.U32(kSerializeFormatVersion);
+  header.Str(kind);
+  header.Str(name);
+  header.Str(fingerprint);
+  header.U64(buffer_.size());
+  header.U32(Crc32(buffer_.data(), buffer_.size()));
+  out.write(header.buffer_.data(),
+            static_cast<std::streamsize>(header.buffer_.size()));
+  out.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  out.flush();
+  if (!out.good()) return Status::IOError("serialize: stream write failed");
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Deserializer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Reads exactly `n` bytes into `out`; DataLoss on a short read.
+Status ReadExact(std::istream& in, size_t n, std::string* out,
+                 const char* what) {
+  out->resize(n);
+  in.read(out->data(), static_cast<std::streamsize>(n));
+  if (static_cast<size_t>(in.gcount()) != n) {
+    return Status::DataLoss(std::string("serialize: truncated stream in ") +
+                            what);
+  }
+  return Status::OK();
+}
+
+/// Reads one length-prefixed string straight off the stream (header fields,
+/// before the body is in memory). `cap` bounds the length so a corrupt
+/// header cannot trigger a huge allocation.
+Result<std::string> ReadHeaderStr(std::istream& in, size_t cap,
+                                  const char* what) {
+  std::string raw;
+  ETSC_RETURN_NOT_OK(ReadExact(in, 8, &raw, what));
+  const uint64_t len = GetU64(raw.data());
+  if (len > cap) {
+    return Status::DataLoss(std::string("serialize: implausible length in ") +
+                            what);
+  }
+  std::string value;
+  ETSC_RETURN_NOT_OK(ReadExact(in, static_cast<size_t>(len), &value, what));
+  return value;
+}
+
+}  // namespace
+
+Result<Deserializer> Deserializer::FromStream(std::istream& in) {
+  std::string magic;
+  magic.resize(sizeof(kSerializeMagic));
+  in.read(magic.data(), sizeof(kSerializeMagic));
+  if (static_cast<size_t>(in.gcount()) != sizeof(kSerializeMagic) ||
+      std::memcmp(magic.data(), kSerializeMagic, sizeof(kSerializeMagic)) !=
+          0) {
+    return Status::InvalidArgument(
+        "serialize: not an ETSC model stream (bad magic)");
+  }
+  std::string raw;
+  ETSC_RETURN_NOT_OK(ReadExact(in, 4, &raw, "format version"));
+  Deserializer d;
+  d.header_.format_version = GetU32(raw.data());
+  if (d.header_.format_version > kSerializeFormatVersion) {
+    return Status::InvalidArgument(
+        "serialize: unsupported format version " +
+        std::to_string(d.header_.format_version) + " (reader supports up to " +
+        std::to_string(kSerializeFormatVersion) + ")");
+  }
+  constexpr size_t kHeaderStrCap = 1 << 16;
+  ETSC_ASSIGN_OR_RETURN(d.header_.kind,
+                        ReadHeaderStr(in, kHeaderStrCap, "kind"));
+  ETSC_ASSIGN_OR_RETURN(d.header_.name,
+                        ReadHeaderStr(in, kHeaderStrCap, "name"));
+  ETSC_ASSIGN_OR_RETURN(d.header_.fingerprint,
+                        ReadHeaderStr(in, kHeaderStrCap, "fingerprint"));
+  ETSC_RETURN_NOT_OK(ReadExact(in, 12, &raw, "body header"));
+  const uint64_t body_size = GetU64(raw.data());
+  const uint32_t body_crc = GetU32(raw.data() + 8);
+  // Cap the declared size at 1 GiB: larger means corruption, not a model.
+  if (body_size > (uint64_t{1} << 30)) {
+    return Status::DataLoss("serialize: implausible body size");
+  }
+  ETSC_RETURN_NOT_OK(
+      ReadExact(in, static_cast<size_t>(body_size), &d.body_, "body"));
+  if (Crc32(d.body_.data(), d.body_.size()) != body_crc) {
+    return Status::DataLoss("serialize: body checksum mismatch");
+  }
+  return d;
+}
+
+Status Deserializer::Need(size_t bytes) const {
+  const size_t limit =
+      section_ends_.empty() ? body_.size() : section_ends_.back();
+  if (bytes > limit - pos_) {
+    return Status::DataLoss("serialize: field extends past " +
+                            std::string(section_ends_.empty()
+                                            ? "end of body"
+                                            : "end of section"));
+  }
+  return Status::OK();
+}
+
+Result<size_t> Deserializer::Len(size_t elem_size) {
+  ETSC_ASSIGN_OR_RETURN(uint64_t n, U64());
+  const size_t limit =
+      section_ends_.empty() ? body_.size() : section_ends_.back();
+  const size_t remaining = limit - pos_;
+  if (n > remaining / elem_size) {
+    return Status::DataLoss("serialize: implausible element count");
+  }
+  return static_cast<size_t>(n);
+}
+
+Result<uint8_t> Deserializer::U8() {
+  ETSC_RETURN_NOT_OK(Need(1));
+  return static_cast<uint8_t>(body_[pos_++]);
+}
+
+Result<uint32_t> Deserializer::U32() {
+  ETSC_RETURN_NOT_OK(Need(4));
+  const uint32_t v = GetU32(body_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> Deserializer::U64() {
+  ETSC_RETURN_NOT_OK(Need(8));
+  const uint64_t v = GetU64(body_.data() + pos_);
+  pos_ += 8;
+  return v;
+}
+
+Result<int64_t> Deserializer::I64() {
+  ETSC_ASSIGN_OR_RETURN(uint64_t v, U64());
+  return static_cast<int64_t>(v);
+}
+
+Result<double> Deserializer::F64() {
+  ETSC_ASSIGN_OR_RETURN(uint64_t bits, U64());
+  return BitsF64(bits);
+}
+
+Result<bool> Deserializer::Bool() {
+  ETSC_ASSIGN_OR_RETURN(uint8_t v, U8());
+  return v != 0;
+}
+
+Result<std::string> Deserializer::Str() {
+  ETSC_ASSIGN_OR_RETURN(size_t len, Len(1));
+  std::string s(body_.data() + pos_, len);
+  pos_ += len;
+  return s;
+}
+
+Result<size_t> Deserializer::SizeT() {
+  ETSC_ASSIGN_OR_RETURN(uint64_t v, U64());
+  return static_cast<size_t>(v);
+}
+
+Result<std::vector<double>> Deserializer::F64Vec() {
+  ETSC_ASSIGN_OR_RETURN(size_t n, Len(8));
+  std::vector<double> v(n);
+  for (auto& x : v) {
+    ETSC_ASSIGN_OR_RETURN(x, F64());
+  }
+  return v;
+}
+
+Result<std::vector<int>> Deserializer::IntVec() {
+  ETSC_ASSIGN_OR_RETURN(size_t n, Len(8));
+  std::vector<int> v(n);
+  for (auto& x : v) {
+    ETSC_ASSIGN_OR_RETURN(int64_t raw, I64());
+    x = static_cast<int>(raw);
+  }
+  return v;
+}
+
+Result<std::vector<size_t>> Deserializer::SizeVec() {
+  ETSC_ASSIGN_OR_RETURN(size_t n, Len(8));
+  std::vector<size_t> v(n);
+  for (auto& x : v) {
+    ETSC_ASSIGN_OR_RETURN(x, SizeT());
+  }
+  return v;
+}
+
+Result<std::vector<bool>> Deserializer::BoolVec() {
+  ETSC_ASSIGN_OR_RETURN(size_t n, Len(1));
+  std::vector<bool> v(n);
+  for (size_t i = 0; i < v.size(); ++i) {
+    ETSC_ASSIGN_OR_RETURN(uint8_t b, U8());
+    v[i] = b != 0;
+  }
+  return v;
+}
+
+Result<std::vector<std::vector<double>>> Deserializer::F64Mat() {
+  ETSC_ASSIGN_OR_RETURN(size_t n, Len(8));  // one u64 length per row minimum
+  std::vector<std::vector<double>> m(n);
+  for (auto& row : m) {
+    ETSC_ASSIGN_OR_RETURN(row, F64Vec());
+  }
+  return m;
+}
+
+Status Deserializer::Enter(const std::string& tag) {
+  ETSC_ASSIGN_OR_RETURN(std::string got, Str());
+  if (got != tag) {
+    return Status::DataLoss("serialize: expected section '" + tag +
+                            "', found '" + got + "'");
+  }
+  ETSC_ASSIGN_OR_RETURN(uint64_t size, U64());
+  ETSC_ASSIGN_OR_RETURN(uint32_t crc, U32());
+  ETSC_RETURN_NOT_OK(Need(static_cast<size_t>(size)));
+  if (Crc32(body_.data() + pos_, static_cast<size_t>(size)) != crc) {
+    return Status::DataLoss("serialize: checksum mismatch in section '" + tag +
+                            "'");
+  }
+  section_ends_.push_back(pos_ + static_cast<size_t>(size));
+  return Status::OK();
+}
+
+Status Deserializer::Leave() {
+  ETSC_CHECK(!section_ends_.empty());
+  pos_ = section_ends_.back();
+  section_ends_.pop_back();
+  return Status::OK();
+}
+
+}  // namespace etsc

@@ -1,0 +1,144 @@
+#ifndef ETSC_CORE_SERIALIZE_H_
+#define ETSC_CORE_SERIALIZE_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace etsc {
+
+/// Versioned, endian-safe binary model format ("ETSCMODL").
+///
+/// Stream layout (all integers little-endian regardless of host order):
+///
+///   magic          8 bytes  "ETSCMODL"
+///   format_version u32      kSerializeFormatVersion
+///   kind           str      "early" | "full"
+///   name           str      classifier name() at save time
+///   fingerprint    str      classifier config_fingerprint() at save time
+///   body_size      u64      byte count of the body that follows
+///   body_crc       u32      CRC-32 (IEEE) of the body bytes
+///   body           ...      concatenated sections
+///
+/// where `str` is a u64 length followed by raw bytes. The body is a sequence
+/// of (possibly nested) sections, each:
+///
+///   tag            str      section name, checked on read
+///   payload_size   u64      byte count of the payload
+///   payload_crc    u32      CRC-32 of the payload bytes
+///   payload        ...      section fields, then any sub-sections
+///
+/// Versioning policy: readers reject a larger format_version outright
+/// (InvalidArgument). Within one format version, sections are skippable —
+/// Leave() seeks to the recorded end of the section, so a newer writer may
+/// append fields to the end of a section and an older reader still works.
+/// Corruption (bad magic after a good prefix, truncation, checksum or length
+/// overruns) is always DataLoss, never UB or a crash.
+inline constexpr uint32_t kSerializeFormatVersion = 1;
+inline constexpr char kSerializeMagic[8] = {'E', 'T', 'S', 'C',
+                                            'M', 'O', 'D', 'L'};
+
+/// CRC-32 (IEEE 802.3, reflected) of `size` bytes at `data`.
+uint32_t Crc32(const void* data, size_t size);
+
+/// Header fields of a serialized model, parsed up front so callers can verify
+/// the stream matches the instance they are loading into.
+struct SerializedModelHeader {
+  uint32_t format_version = 0;
+  std::string kind;
+  std::string name;
+  std::string fingerprint;
+};
+
+/// Accumulates the body of a model stream in memory; Finish() prepends the
+/// header and writes everything out. Writers are single-use.
+class Serializer {
+ public:
+  void U8(uint8_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v);
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void Str(const std::string& s);
+
+  void SizeT(size_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64Vec(const std::vector<double>& v);
+  void IntVec(const std::vector<int>& v);
+  void SizeVec(const std::vector<size_t>& v);
+  void BoolVec(const std::vector<bool>& v);
+  void F64Mat(const std::vector<std::vector<double>>& m);
+
+  /// Opens a named section; every Begin must be matched by an End. Sections
+  /// nest.
+  void Begin(const std::string& tag);
+  void End();
+
+  /// Writes header + body to `out`. All sections must be closed.
+  Status Finish(std::ostream& out, const std::string& kind,
+                const std::string& name, const std::string& fingerprint) const;
+
+ private:
+  std::string buffer_;
+  /// Offset of the payload_size slot of each open section (payload starts 12
+  /// bytes later: u64 size + u32 crc).
+  std::vector<size_t> open_sections_;
+};
+
+/// Reads a model stream produced by Serializer. Construction via FromStream
+/// validates the magic, version, header, body length, and body checksum; the
+/// typed getters then validate per-field bounds so corrupt payloads surface
+/// as DataLoss instead of wild allocations or out-of-range reads.
+class Deserializer {
+ public:
+  /// Reads and validates the whole stream. The section checksums are checked
+  /// lazily by Enter().
+  static Result<Deserializer> FromStream(std::istream& in);
+
+  const SerializedModelHeader& header() const { return header_; }
+
+  Result<uint8_t> U8();
+  Result<uint32_t> U32();
+  Result<uint64_t> U64();
+  Result<int64_t> I64();
+  Result<double> F64();
+  Result<bool> Bool();
+  Result<std::string> Str();
+
+  Result<size_t> SizeT();
+  Result<std::vector<double>> F64Vec();
+  Result<std::vector<int>> IntVec();
+  Result<std::vector<size_t>> SizeVec();
+  Result<std::vector<bool>> BoolVec();
+  Result<std::vector<std::vector<double>>> F64Mat();
+
+  /// Opens the next section, which must carry `tag`; verifies its checksum.
+  Status Enter(const std::string& tag);
+  /// Closes the innermost section, skipping any unread trailing payload (a
+  /// newer same-format-version writer may have appended fields).
+  Status Leave();
+
+  /// True once every body byte has been consumed or skipped.
+  bool AtEnd() const { return pos_ == body_.size(); }
+
+ private:
+  Status Need(size_t bytes) const;
+  /// Reads an element count and validates it against the bytes remaining in
+  /// the current section (each element needs >= elem_size bytes), so a
+  /// corrupt count can never trigger a huge allocation or wrap arithmetic.
+  Result<size_t> Len(size_t elem_size);
+
+  std::string body_;
+  size_t pos_ = 0;
+  SerializedModelHeader header_;
+  /// End offset of each open section, for Leave() and bounds checks.
+  std::vector<size_t> section_ends_;
+};
+
+}  // namespace etsc
+
+#endif  // ETSC_CORE_SERIALIZE_H_

@@ -24,6 +24,7 @@ enum class StatusCode {
   kNotImplemented,
   kResourceExhausted,
   kInternal,
+  kDataLoss,
 };
 
 /// Returns a human-readable name for a status code, e.g. "InvalidArgument".
@@ -59,6 +60,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,11 +1,38 @@
 #include "core/streaming.h"
 
+#include <utility>
+
+#include "core/counters.h"
+#include "core/evaluation.h"
+
 namespace etsc {
 
-StreamingSession::StreamingSession(const EarlyClassifier* classifier,
+namespace {
+
+Counter& Pushes() {
+  static Counter& c = MetricRegistry::Global().counter("streaming.pushes");
+  return c;
+}
+Counter& Decisions() {
+  static Counter& c = MetricRegistry::Global().counter("streaming.decisions");
+  return c;
+}
+Counter& SessionsReset() {
+  static Counter& c =
+      MetricRegistry::Global().counter("streaming.sessions_reset");
+  return c;
+}
+Histogram& PushSeconds() {
+  static Histogram& h =
+      MetricRegistry::Global().histogram("streaming.push_seconds");
+  return h;
+}
+
+}  // namespace
+
+StreamingSession::StreamingSession(const EarlyClassifier& classifier,
                                    size_t num_variables)
     : classifier_(classifier), buffer_(num_variables, 0) {
-  ETSC_CHECK(classifier_ != nullptr);
   ETSC_CHECK(num_variables >= 1);
 }
 
@@ -20,19 +47,25 @@ Result<std::optional<EarlyPrediction>> StreamingSession::Push(
         " values, expected " + std::to_string(buffer_.num_variables()));
   }
   if (decision_.has_value()) return decision_;
+  Stopwatch push_timer;
   for (size_t v = 0; v < values.size(); ++v) {
     buffer_.channel(v).push_back(values[v]);
   }
   ++observed_;
+  if (MetricsEnabled()) Pushes().Add(1);
 
-  ETSC_ASSIGN_OR_RETURN(EarlyPrediction pred,
-                        classifier_->PredictEarly(buffer_));
+  auto pred_result = classifier_.PredictEarly(buffer_);
+  // The latency histogram is the Figure-13 quantity: what one arriving point
+  // costs, decision or not, success or failure.
+  if (MetricsEnabled()) PushSeconds().Record(push_timer.Seconds());
+  ETSC_ASSIGN_OR_RETURN(EarlyPrediction pred, std::move(pred_result));
   // The classifier committed only if it needed no more than what we have; a
   // consumption equal to the buffer length means "this is my answer *so far*"
   // — it may still change with more data, so only an early commitment
   // (strictly inside the buffer) is final before Finish().
   if (pred.prefix_length < observed_) {
     decision_ = pred;
+    if (MetricsEnabled()) Decisions().Add(1);
     return decision_;
   }
   return std::optional<EarlyPrediction>();
@@ -44,8 +77,9 @@ Result<EarlyPrediction> StreamingSession::Finish() {
     return Status::FailedPrecondition("StreamingSession: no observations");
   }
   ETSC_ASSIGN_OR_RETURN(EarlyPrediction pred,
-                        classifier_->PredictEarly(buffer_));
+                        classifier_.PredictEarly(buffer_));
   decision_ = pred;
+  if (MetricsEnabled()) Decisions().Add(1);
   return pred;
 }
 
@@ -55,6 +89,7 @@ void StreamingSession::Reset() {
   }
   observed_ = 0;
   decision_.reset();
+  if (MetricsEnabled()) SessionsReset().Add(1);
 }
 
 }  // namespace etsc

@@ -17,11 +17,17 @@ namespace etsc {
 /// actually been observed. This keeps the wrapper algorithm-agnostic at the
 /// cost of one PredictEarly per arriving point — the same quantity Figure 13
 /// divides by the observation period.
+///
+/// Metrics: streaming.pushes / streaming.decisions / streaming.sessions_reset
+/// counters, and a streaming.push_seconds histogram of per-Push latency (the
+/// quantity the online-feasibility analysis compares to the observation
+/// period).
 class StreamingSession {
  public:
-  /// `classifier` must outlive the session and already be fitted.
+  /// `classifier` must outlive the session and already be fitted; taking a
+  /// reference makes the non-null requirement part of the signature.
   /// `num_variables` is the expected channel count per observation.
-  StreamingSession(const EarlyClassifier* classifier, size_t num_variables);
+  StreamingSession(const EarlyClassifier& classifier, size_t num_variables);
 
   /// Appends one observation (one value per variable). Returns the decision
   /// if the classifier committed with this point, std::nullopt otherwise.
@@ -40,11 +46,12 @@ class StreamingSession {
   /// The decision, if one has been made.
   const std::optional<EarlyPrediction>& decision() const { return decision_; }
 
-  /// Clears the buffer and the decision for the next stream.
+  /// Clears the buffer and the decision for the next stream (counted as
+  /// streaming.sessions_reset).
   void Reset();
 
  private:
-  const EarlyClassifier* classifier_;
+  const EarlyClassifier& classifier_;
   TimeSeries buffer_;
   size_t observed_ = 0;
   std::optional<EarlyPrediction> decision_;

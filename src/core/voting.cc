@@ -74,4 +74,33 @@ std::unique_ptr<EarlyClassifier> WrapForDataset(
   return classifier;
 }
 
+std::string VotingEarlyClassifier::config_fingerprint() const {
+  return "vote(" + prototype_->config_fingerprint() + ")";
+}
+
+Status VotingEarlyClassifier::SaveState(Serializer& out) const {
+  if (voters_.empty()) {
+    return Status::FailedPrecondition(name() + ": not fitted");
+  }
+  out.Begin("vote");
+  out.SizeT(voters_.size());
+  for (const auto& voter : voters_) {
+    ETSC_RETURN_NOT_OK(voter->SaveState(out));
+  }
+  out.End();
+  return Status::OK();
+}
+
+Status VotingEarlyClassifier::LoadState(Deserializer& in) {
+  ETSC_RETURN_NOT_OK(in.Enter("vote"));
+  ETSC_ASSIGN_OR_RETURN(size_t num_voters, in.SizeT());
+  if (num_voters == 0) return Status::DataLoss(name() + ": no voters");
+  voters_.clear();
+  for (size_t v = 0; v < num_voters; ++v) {
+    voters_.push_back(prototype_->CloneUntrained());
+    ETSC_RETURN_NOT_OK(voters_.back()->LoadState(in));
+  }
+  return in.Leave();
+}
+
 }  // namespace etsc

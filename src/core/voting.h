@@ -27,6 +27,10 @@ class VotingEarlyClassifier : public EarlyClassifier {
 
   size_t num_voters() const { return voters_.size(); }
 
+  std::string config_fingerprint() const override;
+  Status SaveState(Serializer& out) const override;
+  Status LoadState(Deserializer& in) override;
+
  private:
   std::unique_ptr<EarlyClassifier> prototype_;
   std::vector<std::unique_ptr<EarlyClassifier>> voters_;

@@ -150,4 +150,46 @@ double RegressionTree::Predict(const std::vector<double>& row) const {
   return nodes_[static_cast<size_t>(node)].value;
 }
 
+void RegressionTree::SaveState(Serializer& out) const {
+  out.Begin("tree");
+  out.SizeT(nodes_.size());
+  for (const Node& n : nodes_) {
+    out.Bool(n.is_leaf);
+    out.SizeT(n.feature);
+    out.F64(n.threshold);
+    out.I64(n.left);
+    out.I64(n.right);
+    out.F64(n.value);
+  }
+  out.End();
+}
+
+Status RegressionTree::LoadState(Deserializer& in) {
+  ETSC_RETURN_NOT_OK(in.Enter("tree"));
+  ETSC_ASSIGN_OR_RETURN(size_t count, in.SizeT());
+  nodes_.clear();
+  nodes_.reserve(std::min<size_t>(count, 1 << 20));
+  for (size_t i = 0; i < count; ++i) {
+    Node n;
+    ETSC_ASSIGN_OR_RETURN(n.is_leaf, in.Bool());
+    ETSC_ASSIGN_OR_RETURN(n.feature, in.SizeT());
+    ETSC_ASSIGN_OR_RETURN(n.threshold, in.F64());
+    ETSC_ASSIGN_OR_RETURN(int64_t left, in.I64());
+    ETSC_ASSIGN_OR_RETURN(int64_t right, in.I64());
+    n.left = static_cast<int>(left);
+    n.right = static_cast<int>(right);
+    ETSC_ASSIGN_OR_RETURN(n.value, in.F64());
+    nodes_.push_back(n);
+  }
+  // Children must stay in range so Predict cannot walk out of bounds.
+  const auto count_i = static_cast<int64_t>(nodes_.size());
+  for (const Node& n : nodes_) {
+    if (n.is_leaf) continue;
+    if (n.left < 0 || n.right < 0 || n.left >= count_i || n.right >= count_i) {
+      return Status::DataLoss("RegressionTree: child index out of range");
+    }
+  }
+  return in.Leave();
+}
+
 }  // namespace etsc

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/serialize.h"
 #include "core/status.h"
 
 namespace etsc {
@@ -34,6 +35,9 @@ class RegressionTree {
 
   size_t num_nodes() const { return nodes_.size(); }
   bool fitted() const { return !nodes_.empty(); }
+
+  void SaveState(Serializer& out) const;
+  Status LoadState(Deserializer& in);
 
  private:
   struct Node {

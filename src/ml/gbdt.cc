@@ -131,4 +131,39 @@ Result<int> GbdtClassifier::Predict(const std::vector<double>& row) const {
   return class_labels_[best];
 }
 
+void GbdtClassifier::SaveState(Serializer& out) const {
+  out.Begin("gbdt");
+  out.F64(options_.learning_rate);  // scales tree outputs at predict time
+  out.IntVec(class_labels_);
+  out.F64Vec(base_scores_);
+  out.SizeT(trees_.size());
+  for (const auto& round : trees_) {
+    out.SizeT(round.size());
+    for (const auto& tree : round) tree.SaveState(out);
+  }
+  out.End();
+}
+
+Status GbdtClassifier::LoadState(Deserializer& in) {
+  ETSC_RETURN_NOT_OK(in.Enter("gbdt"));
+  ETSC_ASSIGN_OR_RETURN(options_.learning_rate, in.F64());
+  ETSC_ASSIGN_OR_RETURN(class_labels_, in.IntVec());
+  ETSC_ASSIGN_OR_RETURN(base_scores_, in.F64Vec());
+  if (base_scores_.size() != class_labels_.size()) {
+    return Status::DataLoss("GbdtClassifier: inconsistent fitted state");
+  }
+  ETSC_ASSIGN_OR_RETURN(size_t rounds, in.SizeT());
+  trees_.clear();
+  for (size_t r = 0; r < rounds; ++r) {
+    ETSC_ASSIGN_OR_RETURN(size_t per_class, in.SizeT());
+    if (per_class != class_labels_.size()) {
+      return Status::DataLoss("GbdtClassifier: malformed round");
+    }
+    std::vector<RegressionTree> round(per_class);
+    for (auto& tree : round) ETSC_RETURN_NOT_OK(tree.LoadState(in));
+    trees_.push_back(std::move(round));
+  }
+  return in.Leave();
+}
+
 }  // namespace etsc

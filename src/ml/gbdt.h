@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/rng.h"
+#include "core/serialize.h"
 #include "core/status.h"
 #include "ml/decision_tree.h"
 
@@ -39,6 +40,9 @@ class GbdtClassifier {
 
   const std::vector<int>& class_labels() const { return class_labels_; }
   bool fitted() const { return !class_labels_.empty(); }
+
+  void SaveState(Serializer& out) const;
+  Status LoadState(Deserializer& in);
 
  private:
   GbdtOptions options_;

@@ -151,4 +151,21 @@ Result<KMeansModel> KMeansFit(const std::vector<std::vector<double>>& points,
   return model;
 }
 
+void KMeansModel::SaveState(Serializer& out) const {
+  out.Begin("kmeans");
+  // Per-training-point assignments are fit-time artefacts; prediction only
+  // needs the centroids.
+  out.F64Mat(centroids);
+  out.F64(inertia);
+  out.End();
+}
+
+Status KMeansModel::LoadState(Deserializer& in) {
+  ETSC_RETURN_NOT_OK(in.Enter("kmeans"));
+  ETSC_ASSIGN_OR_RETURN(centroids, in.F64Mat());
+  ETSC_ASSIGN_OR_RETURN(inertia, in.F64());
+  assignments.clear();
+  return in.Leave();
+}
+
 }  // namespace etsc

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/rng.h"
+#include "core/serialize.h"
 #include "core/status.h"
 
 namespace etsc {
@@ -28,6 +29,11 @@ struct KMeansModel {
   /// Softmax-style membership probabilities over clusters computed from
   /// negative distances; used by ECONOMY-K's cluster membership P(g_k | X).
   std::vector<double> MembershipProbabilities(const std::vector<double>& point) const;
+
+  /// Persists the centroids and inertia; assignments are fit-time artefacts
+  /// and come back empty.
+  void SaveState(Serializer& out) const;
+  Status LoadState(Deserializer& in);
 };
 
 /// Runs k-means++ then Lloyd iterations. All points must share one dimension

@@ -310,4 +310,47 @@ Result<std::vector<double>> RidgeClassifier::PredictProba(
   return scores;
 }
 
+void LogisticRegression::SaveState(Serializer& out) const {
+  out.Begin("logistic");
+  out.IntVec(class_labels_);
+  out.SizeT(dim_);
+  out.F64Mat(weights_);
+  out.F64Vec(intercepts_);
+  out.End();
+}
+
+Status LogisticRegression::LoadState(Deserializer& in) {
+  ETSC_RETURN_NOT_OK(in.Enter("logistic"));
+  ETSC_ASSIGN_OR_RETURN(class_labels_, in.IntVec());
+  ETSC_ASSIGN_OR_RETURN(dim_, in.SizeT());
+  ETSC_ASSIGN_OR_RETURN(weights_, in.F64Mat());
+  ETSC_ASSIGN_OR_RETURN(intercepts_, in.F64Vec());
+  if (weights_.size() != class_labels_.size() ||
+      intercepts_.size() != class_labels_.size()) {
+    return Status::DataLoss("LogisticRegression: inconsistent fitted state");
+  }
+  return in.Leave();
+}
+
+void RidgeClassifier::SaveState(Serializer& out) const {
+  out.Begin("ridge");
+  out.IntVec(class_labels_);
+  out.F64Mat(weights_);
+  out.F64Vec(intercepts_);
+  out.End();
+}
+
+Status RidgeClassifier::LoadState(Deserializer& in) {
+  ETSC_RETURN_NOT_OK(in.Enter("ridge"));
+  ETSC_ASSIGN_OR_RETURN(class_labels_, in.IntVec());
+  ETSC_ASSIGN_OR_RETURN(weights_, in.F64Mat());
+  ETSC_ASSIGN_OR_RETURN(intercepts_, in.F64Vec());
+  if (class_labels_.size() > 1 &&
+      (weights_.size() != class_labels_.size() ||
+       intercepts_.size() != class_labels_.size())) {
+    return Status::DataLoss("RidgeClassifier: inconsistent fitted state");
+  }
+  return in.Leave();
+}
+
 }  // namespace etsc

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/rng.h"
+#include "core/serialize.h"
 #include "core/status.h"
 
 namespace etsc {
@@ -53,6 +54,11 @@ class LogisticRegression {
   const std::vector<int>& class_labels() const { return class_labels_; }
   bool fitted() const { return !class_labels_.empty(); }
 
+  /// Persists/restores the fitted coefficients (options are carried by
+  /// construction and do not affect prediction).
+  void SaveState(Serializer& out) const;
+  Status LoadState(Deserializer& in);
+
  private:
   std::vector<double> DecisionScores(const SparseVector& row) const;
 
@@ -86,6 +92,9 @@ class RidgeClassifier {
 
   const std::vector<int>& class_labels() const { return class_labels_; }
   bool fitted() const { return !class_labels_.empty(); }
+
+  void SaveState(Serializer& out) const;
+  Status LoadState(Deserializer& in);
 
  private:
   RidgeOptions options_;

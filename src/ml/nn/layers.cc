@@ -134,6 +134,20 @@ Batch BatchNorm1D::Forward(const Batch& input, bool training) {
   return output;
 }
 
+void BatchNorm1D::SaveRunningStats(Serializer& out) const {
+  out.F64Vec(running_mean_);
+  out.F64Vec(running_var_);
+}
+
+Status BatchNorm1D::LoadRunningStats(Deserializer& in) {
+  ETSC_ASSIGN_OR_RETURN(running_mean_, in.F64Vec());
+  ETSC_ASSIGN_OR_RETURN(running_var_, in.F64Vec());
+  if (running_mean_.size() != channels_ || running_var_.size() != channels_) {
+    return Status::DataLoss("BatchNorm1D: running statistics size mismatch");
+  }
+  return Status::OK();
+}
+
 Batch BatchNorm1D::Backward(const Batch& grad_out) {
   // Standard batch-norm backward over N = batch*time elements per channel.
   Batch grad_in(grad_out.size());

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/rng.h"
+#include "core/serialize.h"
 #include "ml/nn/tensor.h"
 
 namespace etsc::nn {
@@ -42,6 +43,11 @@ class BatchNorm1D {
   Batch Forward(const Batch& input, bool training);
   Batch Backward(const Batch& grad_out);
   std::vector<Param*> Params() { return {&gamma_, &beta_}; }
+
+  /// Running statistics drive inference-mode normalisation, so they persist
+  /// with the model alongside the gamma/beta Params.
+  void SaveRunningStats(Serializer& out) const;
+  Status LoadRunningStats(Deserializer& in);
 
  private:
   size_t channels_;

@@ -155,4 +155,25 @@ Result<bool> OneClassSvm::Accepts(const std::vector<double>& point) const {
   return decision >= 0.0;
 }
 
+void OneClassSvm::SaveState(Serializer& out) const {
+  out.Begin("ocsvm");
+  out.F64(gamma_);
+  out.F64(rho_);
+  out.F64Mat(support_vectors_);
+  out.F64Vec(alphas_);
+  out.End();
+}
+
+Status OneClassSvm::LoadState(Deserializer& in) {
+  ETSC_RETURN_NOT_OK(in.Enter("ocsvm"));
+  ETSC_ASSIGN_OR_RETURN(gamma_, in.F64());
+  ETSC_ASSIGN_OR_RETURN(rho_, in.F64());
+  ETSC_ASSIGN_OR_RETURN(support_vectors_, in.F64Mat());
+  ETSC_ASSIGN_OR_RETURN(alphas_, in.F64Vec());
+  if (alphas_.size() != support_vectors_.size()) {
+    return Status::DataLoss("OneClassSvm: inconsistent fitted state");
+  }
+  return in.Leave();
+}
+
 }  // namespace etsc

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/rng.h"
+#include "core/serialize.h"
 #include "core/status.h"
 
 namespace etsc {
@@ -35,6 +36,9 @@ class OneClassSvm {
   bool fitted() const { return !support_vectors_.empty(); }
   double rho() const { return rho_; }
   size_t num_support_vectors() const { return support_vectors_.size(); }
+
+  void SaveState(Serializer& out) const;
+  Status LoadState(Deserializer& in);
 
  private:
   double Kernel(const std::vector<double>& a, const std::vector<double>& b) const;

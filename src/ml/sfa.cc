@@ -224,4 +224,36 @@ uint64_t Sfa::Word(const std::vector<double>& window) const {
   return WordFromApproximation(Approximate(window));
 }
 
+void Sfa::SaveState(Serializer& out) const {
+  out.Begin("sfa");
+  // The transform reads word_length/norm_mean at predict time, so the options
+  // travel with the fitted boundaries.
+  out.SizeT(options_.word_length);
+  out.SizeT(options_.alphabet_size);
+  out.Bool(options_.norm_mean);
+  out.U8(static_cast<uint8_t>(options_.binning));
+  out.SizeT(bits_per_symbol_);
+  out.F64Mat(bins_);
+  out.End();
+}
+
+Status Sfa::LoadState(Deserializer& in) {
+  ETSC_RETURN_NOT_OK(in.Enter("sfa"));
+  ETSC_ASSIGN_OR_RETURN(options_.word_length, in.SizeT());
+  ETSC_ASSIGN_OR_RETURN(options_.alphabet_size, in.SizeT());
+  ETSC_ASSIGN_OR_RETURN(options_.norm_mean, in.Bool());
+  ETSC_ASSIGN_OR_RETURN(uint8_t binning, in.U8());
+  if (binning > static_cast<uint8_t>(SfaBinning::kInformationGain)) {
+    return Status::DataLoss("Sfa: unknown binning mode");
+  }
+  options_.binning = static_cast<SfaBinning>(binning);
+  ETSC_ASSIGN_OR_RETURN(bits_per_symbol_, in.SizeT());
+  ETSC_ASSIGN_OR_RETURN(bins_, in.F64Mat());
+  if (bins_.size() != options_.word_length ||
+      bits_per_symbol_ * options_.word_length > 63) {
+    return Status::DataLoss("Sfa: inconsistent fitted state");
+  }
+  return in.Leave();
+}
+
 }  // namespace etsc

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/serialize.h"
 #include "core/status.h"
 
 namespace etsc {
@@ -52,6 +53,10 @@ class Sfa {
   /// Discretisation boundaries per coefficient position (alphabet_size - 1
   /// ascending thresholds each). Exposed for tests.
   const std::vector<std::vector<double>>& bins() const { return bins_; }
+
+  /// Persists/restores boundaries plus the predict-relevant options.
+  void SaveState(Serializer& out) const;
+  Status LoadState(Deserializer& in);
 
  private:
   SfaOptions options_;

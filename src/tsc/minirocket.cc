@@ -188,4 +188,77 @@ Result<std::vector<double>> MiniRocketClassifier::PredictProba(
                        : ridge_.PredictProba(features);
 }
 
+Status MiniRocketClassifier::SaveState(Serializer& out) const {
+  out.Begin("minirocket");
+  out.IntVec(class_labels_);
+  out.SizeT(kernels_.size());
+  for (const KernelInstance& k : kernels_) {
+    out.SizeT(k.kernel_index);
+    out.SizeT(k.dilation);
+    out.SizeVec(k.channels);
+  }
+  out.SizeT(biases_.size());
+  for (const auto& [kernel, bias] : biases_) {
+    out.SizeT(kernel);
+    out.F64(bias);
+  }
+  out.Bool(use_logistic_);
+  if (use_logistic_) {
+    logistic_.SaveState(out);
+  } else {
+    ridge_.SaveState(out);
+  }
+  out.End();
+  return Status::OK();
+}
+
+Status MiniRocketClassifier::LoadState(Deserializer& in) {
+  ETSC_RETURN_NOT_OK(in.Enter("minirocket"));
+  ETSC_ASSIGN_OR_RETURN(class_labels_, in.IntVec());
+  ETSC_ASSIGN_OR_RETURN(size_t num_kernels, in.SizeT());
+  kernels_.assign(num_kernels, {});
+  for (KernelInstance& k : kernels_) {
+    ETSC_ASSIGN_OR_RETURN(k.kernel_index, in.SizeT());
+    if (k.kernel_index >= MiniRocketKernelTriples().size()) {
+      return Status::DataLoss("MiniROCKET: kernel index out of range");
+    }
+    ETSC_ASSIGN_OR_RETURN(k.dilation, in.SizeT());
+    if (k.dilation == 0) {
+      return Status::DataLoss("MiniROCKET: zero dilation");
+    }
+    ETSC_ASSIGN_OR_RETURN(k.channels, in.SizeVec());
+  }
+  ETSC_ASSIGN_OR_RETURN(size_t num_biases, in.SizeT());
+  if (num_kernels == 0 || num_biases % num_kernels != 0) {
+    return Status::DataLoss("MiniROCKET: bias layout mismatch");
+  }
+  biases_.assign(num_biases, {});
+  for (auto& [kernel, bias] : biases_) {
+    ETSC_ASSIGN_OR_RETURN(kernel, in.SizeT());
+    if (kernel >= num_kernels) {
+      return Status::DataLoss("MiniROCKET: bias kernel out of range");
+    }
+    ETSC_ASSIGN_OR_RETURN(bias, in.F64());
+  }
+  ETSC_ASSIGN_OR_RETURN(use_logistic_, in.Bool());
+  if (use_logistic_) {
+    ETSC_RETURN_NOT_OK(logistic_.LoadState(in));
+  } else {
+    ETSC_RETURN_NOT_OK(ridge_.LoadState(in));
+  }
+  return in.Leave();
+}
+
+std::string MiniRocketClassifier::config_fingerprint() const {
+  const auto& o = options_;
+  return "MiniROCKET(dil=" + std::to_string(o.num_dilations) +
+         ",bpk=" + std::to_string(o.biases_per_kernel) +
+         ",log>" + std::to_string(o.logistic_above_samples) +
+         ",alpha=" + FingerprintDouble(o.ridge_alpha) +
+         ",l2=" + FingerprintDouble(o.logistic.l2) +
+         ",lr=" + FingerprintDouble(o.logistic.learning_rate) +
+         ",ep=" + std::to_string(o.logistic.epochs) +
+         ",seed=" + std::to_string(o.seed) + ")";
+}
+
 }  // namespace etsc

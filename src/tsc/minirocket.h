@@ -47,6 +47,10 @@ class MiniRocketClassifier : public FullClassifier {
 
   size_t num_features() const { return biases_.size(); }
 
+  std::string config_fingerprint() const override;
+  Status SaveState(Serializer& out) const override;
+  Status LoadState(Deserializer& in) override;
+
  private:
   struct KernelInstance {
     size_t kernel_index = 0;    // 0..83: which 3-subset carries weight 2

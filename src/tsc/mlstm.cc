@@ -210,4 +210,101 @@ Result<int> MlstmClassifier::Predict(const TimeSeries& series) const {
   return class_labels_[best];
 }
 
+namespace {
+
+/// Weights only: gradients and optimiser state are training artefacts, and
+/// inference (training=false) never reads them.
+void SaveParams(Serializer& out, std::vector<nn::Param*> params) {
+  out.SizeT(params.size());
+  for (const nn::Param* p : params) out.F64Vec(p->value);
+}
+
+Status LoadParams(Deserializer& in, std::vector<nn::Param*> params) {
+  ETSC_ASSIGN_OR_RETURN(size_t count, in.SizeT());
+  if (count != params.size()) {
+    return Status::DataLoss("MLSTM: parameter block count mismatch");
+  }
+  for (nn::Param* p : params) {
+    ETSC_ASSIGN_OR_RETURN(std::vector<double> value, in.F64Vec());
+    if (value.size() != p->value.size()) {
+      return Status::DataLoss("MLSTM: parameter size mismatch (was the model "
+                              "saved under a different architecture?)");
+    }
+    p->value = std::move(value);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status MlstmClassifier::SaveState(Serializer& out) const {
+  if (net_ == nullptr) {
+    return Status::FailedPrecondition("MLSTM: not fitted");
+  }
+  out.Begin("mlstm");
+  out.IntVec(class_labels_);
+  out.SizeT(num_variables_);
+  out.SizeT(fitted_length_);
+  Network& net = *net_;  // Params() is non-const; values are not mutated
+  SaveParams(out, net.conv1.Params());
+  net.bn1.SaveRunningStats(out);
+  SaveParams(out, net.bn1.Params());
+  SaveParams(out, net.se1.Params());
+  SaveParams(out, net.conv2.Params());
+  net.bn2.SaveRunningStats(out);
+  SaveParams(out, net.bn2.Params());
+  SaveParams(out, net.se2.Params());
+  SaveParams(out, net.conv3.Params());
+  net.bn3.SaveRunningStats(out);
+  SaveParams(out, net.bn3.Params());
+  SaveParams(out, net.lstm.Params());
+  SaveParams(out, net.head.Params());
+  out.End();
+  return Status::OK();
+}
+
+Status MlstmClassifier::LoadState(Deserializer& in) {
+  ETSC_RETURN_NOT_OK(in.Enter("mlstm"));
+  ETSC_ASSIGN_OR_RETURN(class_labels_, in.IntVec());
+  ETSC_ASSIGN_OR_RETURN(num_variables_, in.SizeT());
+  ETSC_ASSIGN_OR_RETURN(fitted_length_, in.SizeT());
+  if (class_labels_.empty() || num_variables_ == 0 || fitted_length_ < 2) {
+    return Status::DataLoss("MLSTM: inconsistent fitted state");
+  }
+  // Rebuild the architecture from the instance's options, then overwrite
+  // every weight; the Rng only seeds initial values that are replaced.
+  Rng rng(options_.seed);
+  net_ = std::make_shared<Network>(num_variables_, fitted_length_,
+                                   class_labels_.size(), options_, &rng);
+  Network& net = *net_;
+  ETSC_RETURN_NOT_OK(LoadParams(in, net.conv1.Params()));
+  ETSC_RETURN_NOT_OK(net.bn1.LoadRunningStats(in));
+  ETSC_RETURN_NOT_OK(LoadParams(in, net.bn1.Params()));
+  ETSC_RETURN_NOT_OK(LoadParams(in, net.se1.Params()));
+  ETSC_RETURN_NOT_OK(LoadParams(in, net.conv2.Params()));
+  ETSC_RETURN_NOT_OK(net.bn2.LoadRunningStats(in));
+  ETSC_RETURN_NOT_OK(LoadParams(in, net.bn2.Params()));
+  ETSC_RETURN_NOT_OK(LoadParams(in, net.se2.Params()));
+  ETSC_RETURN_NOT_OK(LoadParams(in, net.conv3.Params()));
+  ETSC_RETURN_NOT_OK(net.bn3.LoadRunningStats(in));
+  ETSC_RETURN_NOT_OK(LoadParams(in, net.bn3.Params()));
+  ETSC_RETURN_NOT_OK(LoadParams(in, net.lstm.Params()));
+  ETSC_RETURN_NOT_OK(LoadParams(in, net.head.Params()));
+  return in.Leave();
+}
+
+std::string MlstmClassifier::config_fingerprint() const {
+  const auto& o = options_;
+  return "MLSTM(c=" + std::to_string(o.conv1_channels) + "/" +
+         std::to_string(o.conv2_channels) + "/" +
+         std::to_string(o.conv3_channels) + ",k=" + std::to_string(o.kernel1) +
+         "/" + std::to_string(o.kernel2) + "/" + std::to_string(o.kernel3) +
+         ",lstm=" + std::to_string(o.lstm_units) +
+         ",drop=" + FingerprintDouble(o.dropout) +
+         ",ep=" + std::to_string(o.epochs) +
+         ",bs=" + std::to_string(o.batch_size) +
+         ",lr=" + FingerprintDouble(o.learning_rate) +
+         ",seed=" + std::to_string(o.seed) + ")";
+}
+
 }  // namespace etsc

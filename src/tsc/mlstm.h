@@ -46,6 +46,10 @@ class MlstmClassifier : public FullClassifier {
     return std::make_unique<MlstmClassifier>(options_);
   }
 
+  std::string config_fingerprint() const override;
+  Status SaveState(Serializer& out) const override;
+  Status LoadState(Deserializer& in) override;
+
  private:
   struct Network;
 

@@ -166,4 +166,57 @@ Result<std::vector<double>> MuseClassifier::PredictProba(
   return logistic_.PredictProbaSparse(row);
 }
 
+Status MuseClassifier::SaveState(Serializer& out) const {
+  out.Begin("muse");
+  out.SizeT(options_.weasel.word_length);
+  out.SizeT(options_.weasel.alphabet_size);
+  out.Bool(options_.weasel.norm_mean);
+  out.Bool(options_.weasel.use_bigrams);
+  out.Bool(options_.weasel.normalize_input);
+  out.Bool(options_.use_derivatives);
+  out.SizeT(num_variables_);
+  out.SizeVec(window_sizes_);
+  out.SizeT(transforms_.size());
+  for (const auto& per_window : transforms_) {
+    out.SizeT(per_window.size());
+    for (const Sfa& sfa : per_window) sfa.SaveState(out);
+  }
+  weasel_detail::SaveBagOfPatterns(out, vocabulary_);
+  out.SizeVec(selected_);
+  logistic_.SaveState(out);
+  out.End();
+  return Status::OK();
+}
+
+Status MuseClassifier::LoadState(Deserializer& in) {
+  ETSC_RETURN_NOT_OK(in.Enter("muse"));
+  ETSC_ASSIGN_OR_RETURN(options_.weasel.word_length, in.SizeT());
+  ETSC_ASSIGN_OR_RETURN(options_.weasel.alphabet_size, in.SizeT());
+  ETSC_ASSIGN_OR_RETURN(options_.weasel.norm_mean, in.Bool());
+  ETSC_ASSIGN_OR_RETURN(options_.weasel.use_bigrams, in.Bool());
+  ETSC_ASSIGN_OR_RETURN(options_.weasel.normalize_input, in.Bool());
+  ETSC_ASSIGN_OR_RETURN(options_.use_derivatives, in.Bool());
+  ETSC_ASSIGN_OR_RETURN(num_variables_, in.SizeT());
+  ETSC_ASSIGN_OR_RETURN(window_sizes_, in.SizeVec());
+  ETSC_ASSIGN_OR_RETURN(size_t channels, in.SizeT());
+  transforms_.assign(channels, {});
+  for (auto& per_window : transforms_) {
+    ETSC_ASSIGN_OR_RETURN(size_t windows, in.SizeT());
+    if (windows != window_sizes_.size()) {
+      return Status::DataLoss("MUSE: transform/window count mismatch");
+    }
+    per_window.assign(windows, Sfa{});
+    for (Sfa& sfa : per_window) ETSC_RETURN_NOT_OK(sfa.LoadState(in));
+  }
+  ETSC_RETURN_NOT_OK(weasel_detail::LoadBagOfPatterns(in, &vocabulary_));
+  ETSC_ASSIGN_OR_RETURN(selected_, in.SizeVec());
+  ETSC_RETURN_NOT_OK(logistic_.LoadState(in));
+  return in.Leave();
+}
+
+std::string MuseClassifier::config_fingerprint() const {
+  return "WEASEL+MUSE(" + WeaselOptionsFingerprint(options_.weasel) +
+         ",deriv=" + std::to_string(options_.use_derivatives ? 1 : 0) + ")";
+}
+
 }  // namespace etsc

@@ -42,6 +42,10 @@ class MuseClassifier : public FullClassifier {
 
   size_t num_features() const { return selected_.size(); }
 
+  std::string config_fingerprint() const override;
+  Status SaveState(Serializer& out) const override;
+  Status LoadState(Deserializer& in) override;
+
  private:
   /// All channels of a series: the raw variables followed by their
   /// derivatives when enabled.

@@ -171,4 +171,111 @@ Result<std::vector<double>> WeaselClassifier::PredictProba(
   return logistic_.PredictProbaSparse(row);
 }
 
+namespace {
+
+/// The bag-of-patterns vocabulary in sorted-key order so saved bytes are
+/// deterministic regardless of unordered_map iteration order.
+void SaveVocabulary(Serializer& out,
+                    const std::unordered_map<uint64_t, size_t>& vocabulary) {
+  std::vector<std::pair<uint64_t, size_t>> entries(vocabulary.begin(),
+                                                   vocabulary.end());
+  std::sort(entries.begin(), entries.end());
+  out.SizeT(entries.size());
+  for (const auto& [key, id] : entries) {
+    out.U64(key);
+    out.SizeT(id);
+  }
+}
+
+Status LoadVocabulary(Deserializer& in,
+                      std::unordered_map<uint64_t, size_t>* vocabulary) {
+  ETSC_ASSIGN_OR_RETURN(size_t count, in.SizeT());
+  vocabulary->clear();
+  for (size_t i = 0; i < count; ++i) {
+    ETSC_ASSIGN_OR_RETURN(uint64_t key, in.U64());
+    ETSC_ASSIGN_OR_RETURN(size_t id, in.SizeT());
+    (*vocabulary)[key] = id;
+  }
+  if (vocabulary->size() != count) {
+    return Status::DataLoss("WEASEL: duplicate vocabulary keys");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+namespace weasel_detail {
+
+void SaveBagOfPatterns(Serializer& out,
+                       const std::unordered_map<uint64_t, size_t>& vocabulary) {
+  SaveVocabulary(out, vocabulary);
+}
+
+Status LoadBagOfPatterns(Deserializer& in,
+                         std::unordered_map<uint64_t, size_t>* vocabulary) {
+  return LoadVocabulary(in, vocabulary);
+}
+
+}  // namespace weasel_detail
+
+Status WeaselClassifier::SaveState(Serializer& out) const {
+  out.Begin("weasel");
+  // Transform() reads these at predict time; they travel with the model so a
+  // default-constructed instance predicts identically after LoadState.
+  out.SizeT(options_.word_length);
+  out.SizeT(options_.alphabet_size);
+  out.Bool(options_.norm_mean);
+  out.Bool(options_.use_bigrams);
+  out.Bool(options_.normalize_input);
+  out.SizeVec(window_sizes_);
+  out.SizeT(transforms_.size());
+  for (const Sfa& sfa : transforms_) sfa.SaveState(out);
+  SaveVocabulary(out, vocabulary_);
+  out.SizeVec(selected_);
+  logistic_.SaveState(out);
+  out.End();
+  return Status::OK();
+}
+
+Status WeaselClassifier::LoadState(Deserializer& in) {
+  ETSC_RETURN_NOT_OK(in.Enter("weasel"));
+  ETSC_ASSIGN_OR_RETURN(options_.word_length, in.SizeT());
+  ETSC_ASSIGN_OR_RETURN(options_.alphabet_size, in.SizeT());
+  ETSC_ASSIGN_OR_RETURN(options_.norm_mean, in.Bool());
+  ETSC_ASSIGN_OR_RETURN(options_.use_bigrams, in.Bool());
+  ETSC_ASSIGN_OR_RETURN(options_.normalize_input, in.Bool());
+  ETSC_ASSIGN_OR_RETURN(window_sizes_, in.SizeVec());
+  ETSC_ASSIGN_OR_RETURN(size_t count, in.SizeT());
+  if (count != window_sizes_.size()) {
+    return Status::DataLoss("WEASEL: transform/window count mismatch");
+  }
+  transforms_.assign(count, Sfa{});
+  for (Sfa& sfa : transforms_) ETSC_RETURN_NOT_OK(sfa.LoadState(in));
+  ETSC_RETURN_NOT_OK(LoadVocabulary(in, &vocabulary_));
+  ETSC_ASSIGN_OR_RETURN(selected_, in.SizeVec());
+  ETSC_RETURN_NOT_OK(logistic_.LoadState(in));
+  return in.Leave();
+}
+
+std::string WeaselOptionsFingerprint(const WeaselOptions& o) {
+  std::string fp = "wl=" + std::to_string(o.word_length) +
+                   ",as=" + std::to_string(o.alphabet_size) +
+                   ",minw=" + std::to_string(o.min_window) +
+                   ",wc=" + std::to_string(o.max_window_count) +
+                   ",bg=" + std::to_string(o.use_bigrams ? 1 : 0) +
+                   ",nm=" + std::to_string(o.norm_mean ? 1 : 0) +
+                   ",ni=" + std::to_string(o.normalize_input ? 1 : 0) +
+                   ",chi2=" + FingerprintDouble(o.chi2_threshold) +
+                   ",l2=" + FingerprintDouble(o.logistic.l2) +
+                   ",lr=" + FingerprintDouble(o.logistic.learning_rate) +
+                   ",ep=" + std::to_string(o.logistic.epochs) +
+                   ",fi=" + std::to_string(o.logistic.fit_intercept ? 1 : 0) +
+                   ",seed=" + std::to_string(o.seed);
+  return fp;
+}
+
+std::string WeaselClassifier::config_fingerprint() const {
+  return "WEASEL(" + WeaselOptionsFingerprint(options_) + ")";
+}
+
 }  // namespace etsc

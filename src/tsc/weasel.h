@@ -51,6 +51,10 @@ class WeaselClassifier : public FullClassifier {
   /// Number of features surviving the chi² test (for tests/inspection).
   size_t num_features() const { return selected_.size(); }
 
+  std::string config_fingerprint() const override;
+  Status SaveState(Serializer& out) const override;
+  Status LoadState(Deserializer& in) override;
+
  private:
   /// Bag of words of one series under the fitted transforms (pre-selection
   /// feature ids). When `grow` is non-null, unseen patterns are added to it
@@ -69,8 +73,21 @@ class WeaselClassifier : public FullClassifier {
   LogisticRegression logistic_;
 };
 
+/// Stable fingerprint of everything in WeaselOptions that affects training,
+/// for config_fingerprint() of WEASEL-based pipelines.
+std::string WeaselOptionsFingerprint(const WeaselOptions& options);
+
 /// Packs a bag-of-patterns key. Words must fit in 24 bits.
 uint64_t PackWeaselKey(size_t window_index, uint64_t word, uint64_t prev_plus_1);
+
+namespace weasel_detail {
+/// Persists a bag-of-patterns vocabulary in sorted-key order so saved bytes
+/// are deterministic; shared by WEASEL and MUSE.
+void SaveBagOfPatterns(Serializer& out,
+                       const std::unordered_map<uint64_t, size_t>& vocabulary);
+Status LoadBagOfPatterns(Deserializer& in,
+                         std::unordered_map<uint64_t, size_t>* vocabulary);
+}  // namespace weasel_detail
 
 /// Chooses `count` window sizes in [min_window, max_len], evenly spread.
 std::vector<size_t> ChooseWindowSizes(size_t min_window, size_t max_len,

@@ -276,7 +276,7 @@ TEST(FaultInjection, StreamingSessionSurvivesFaultyClassifier) {
   FaultyClassifier faulty(std::make_unique<SlowClassifier>(0.0, 0.0), faults);
   ASSERT_TRUE(faulty.Fit(train).ok());
 
-  StreamingSession session(&faulty, 1);
+  StreamingSession session(faulty, 1);
   auto out = session.Push({1.0});
   EXPECT_FALSE(out.ok());  // the error surfaces as a Status, never a crash
   EXPECT_EQ(session.observed(), 1u);
@@ -355,8 +355,10 @@ TEST(CampaignJournal, TruncatedTrailingRowIsSkippedAndRecomputed) {
   auto config = MiniConfig("journal_truncated.csv");
   {
     // A journal whose only row was cut off by a mid-write crash.
+    const auto header = bench::JournalHeaderForConfig(config);
+    ASSERT_TRUE(header.ok()) << header.status().ToString();
     std::ofstream out(config.cache_path);
-    out << "# " << config.Fingerprint() << "\n";
+    out << *header << "\n";
     out << "ECTS,DodgerLoopGame,1,0.93";  // no sentinel, no newline
   }
   bench::Campaign campaign(config);
@@ -390,12 +392,15 @@ TEST(CampaignJournal, StaleFingerprintIsRotatedAsideNotAppendedTo) {
   std::getline(stale, stale_header);
   EXPECT_EQ(stale_header, "# v1 some-older-configuration");
 
-  // The fresh journal carries this config's fingerprint and loads cleanly.
+  // The fresh journal carries this config's header (config fingerprint plus
+  // the combined dataset fingerprint) and loads cleanly.
+  const auto expected_header = bench::JournalHeaderForConfig(config);
+  ASSERT_TRUE(expected_header.ok()) << expected_header.status().ToString();
   std::ifstream fresh(config.cache_path);
   ASSERT_TRUE(fresh.good());
   std::string fresh_header;
   std::getline(fresh, fresh_header);
-  EXPECT_EQ(fresh_header, "# " + config.Fingerprint());
+  EXPECT_EQ(fresh_header, *expected_header);
 
   auto reload_config = config;
   reload_config.report_only = true;

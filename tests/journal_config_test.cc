@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -69,8 +70,11 @@ std::string Row(const std::string& algorithm, const std::string& dataset,
 
 void WriteJournal(const bench::CampaignConfig& config,
                   const std::vector<std::string>& rows) {
+  // The header Campaign expects: config fingerprint + dataset fingerprint.
+  const auto header = bench::JournalHeaderForConfig(config);
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
   std::ofstream out(config.cache_path, std::ios::trunc);
-  out << "# " << config.Fingerprint() << "\n";
+  out << *header << "\n";
   for (const auto& row : rows) out << row << "\n";
 }
 
@@ -140,8 +144,10 @@ TEST(Journal, DuplicateRowsKeepTheLastResult) {
 TEST(Journal, TornRowIsSkippedButLaterRowsStillLoad) {
   auto config = JournalConfig("journal_torn.csv");
   config.report_only = true;
+  const auto header = bench::JournalHeaderForConfig(config);
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
   std::ofstream out(config.cache_path, std::ios::trunc);
-  out << "# " << config.Fingerprint() << "\n";
+  out << *header << "\n";
   out << "ECTS,DodgerLoopGame,1,0.1";  // crash mid-write: no sentinel
   out << "\n" << Row("ECTS", "DodgerLoopGame", 0.625, "msg, with commas")
       << "\n";
@@ -154,6 +160,90 @@ TEST(Journal, TornRowIsSkippedButLaterRowsStillLoad) {
   ASSERT_NE(cell, nullptr);
   EXPECT_DOUBLE_EQ(cell->accuracy, 0.625);
   EXPECT_EQ(cell->failure, "msg, with commas");
+}
+
+// ---------------------------------------------------------------------------
+// Shardable campaigns
+// ---------------------------------------------------------------------------
+
+/// Journal rows with the two timing fields blanked: what must be identical
+/// between a sharded and an unsharded run (timings legitimately vary).
+std::vector<std::string> RowsModuloTimings(const std::string& path,
+                                           std::string* header) {
+  std::vector<std::string> rows;
+  std::ifstream in(path);
+  std::string line;
+  if (std::getline(in, line) && header != nullptr) *header = line;
+  while (std::getline(in, line)) {
+    std::vector<std::string> fields;
+    std::stringstream ss(line);
+    std::string field;
+    while (std::getline(ss, field, ',')) fields.push_back(field);
+    // algorithm,dataset,trained,acc,f1,earliness,hm,train_s,test_s,failure...
+    if (fields.size() > 8) fields[7] = fields[8] = "";
+    std::string joined;
+    for (const auto& f : fields) joined += f + ",";
+    rows.push_back(joined);
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+TEST(CampaignShard, ShardsPartitionTheGridAndMatchTheUnshardedRun) {
+  auto full_config = JournalConfig("journal_shard_full.csv");
+  full_config.algorithms = {"ECTS"};
+  full_config.datasets = {"DodgerLoopGame", "PowerCons"};
+  bench::Campaign full(full_config);
+  full.Run();
+  ASSERT_EQ(full.cells().size(), 2u);
+
+  auto shard_base = JournalConfig("journal_shard.csv");
+  shard_base.algorithms = full_config.algorithms;
+  shard_base.datasets = full_config.datasets;
+  std::vector<const bench::CampaignCell*> shard_cells;
+  std::vector<std::string> shard_paths;
+  for (size_t i = 0; i < 2; ++i) {
+    auto config = shard_base;
+    config.shard_index = i;
+    config.shard_count = 2;
+    bench::Campaign shard(config);
+    // The constructor suffixes the journal path so shards never clobber each
+    // other (or the unsharded journal).
+    EXPECT_EQ(shard.config().cache_path,
+              shard_base.cache_path + ".shard-" + std::to_string(i) + "-of-2");
+    std::remove(shard.config().cache_path.c_str());
+    shard.Run();
+    // The 1x2 grid split two ways: each shard computes exactly one cell.
+    EXPECT_EQ(shard.cells().size(), 1u);
+    shard_paths.push_back(shard.config().cache_path);
+    for (const auto& cell : shard.cells()) {
+      const bench::CampaignCell* reference =
+          full.Find(cell.algorithm, cell.dataset);
+      ASSERT_NE(reference, nullptr) << cell.algorithm << "/" << cell.dataset;
+      // Scores are bit-identical to the unsharded run, not merely close.
+      EXPECT_EQ(cell.accuracy, reference->accuracy);
+      EXPECT_EQ(cell.f1, reference->f1);
+      EXPECT_EQ(cell.earliness, reference->earliness);
+      EXPECT_EQ(cell.harmonic_mean, reference->harmonic_mean);
+    }
+  }
+
+  // Both shard journals carry the SAME header as the unsharded journal (shard
+  // coordinates are excluded from the config fingerprint), and the union of
+  // their rows — timings aside — is exactly the unsharded journal.
+  std::string full_header;
+  std::vector<std::string> merged =
+      RowsModuloTimings(full_config.cache_path, &full_header);
+  std::vector<std::string> combined;
+  for (const auto& path : shard_paths) {
+    std::string header;
+    for (auto& row : RowsModuloTimings(path, &header)) {
+      combined.push_back(std::move(row));
+    }
+    EXPECT_EQ(header, full_header) << path;
+  }
+  std::sort(combined.begin(), combined.end());
+  EXPECT_EQ(combined, merged);
 }
 
 // ---------------------------------------------------------------------------

@@ -77,6 +77,11 @@ TEST(Registry, UnknownNameIsNotFound) {
   auto model = ClassifierRegistry::Global().Create("definitely-not-there");
   EXPECT_FALSE(model.ok());
   EXPECT_EQ(model.status().code(), StatusCode::kNotFound);
+  // The error is actionable: it names the bad input and lists what IS
+  // registered, so a caller can fix a typo without reading the source.
+  EXPECT_NE(model.status().message().find("definitely-not-there"),
+            std::string::npos);
+  EXPECT_NE(model.status().message().find("ects"), std::string::npos);
 }
 
 TEST(Registry, DuplicateRegistrationRejected) {

@@ -34,7 +34,7 @@ class FixedNeed : public EarlyClassifier {
 
 TEST(StreamingSession, CommitsOncePrefixFitsInsideBuffer) {
   FixedNeed model(3);
-  StreamingSession session(&model, 1);
+  StreamingSession session(model, 1);
   for (int t = 0; t < 3; ++t) {
     auto out = session.Push({static_cast<double>(t)});
     ASSERT_TRUE(out.ok());
@@ -50,7 +50,7 @@ TEST(StreamingSession, CommitsOncePrefixFitsInsideBuffer) {
 
 TEST(StreamingSession, DecisionSticksAfterCommitment) {
   FixedNeed model(2);
-  StreamingSession session(&model, 1);
+  StreamingSession session(model, 1);
   (void)session.Push({0.0});
   (void)session.Push({1.0});
   auto first = session.Push({2.0});
@@ -63,7 +63,7 @@ TEST(StreamingSession, DecisionSticksAfterCommitment) {
 
 TEST(StreamingSession, FinishForcesDecision) {
   FixedNeed model(100);  // never commits early
-  StreamingSession session(&model, 1);
+  StreamingSession session(model, 1);
   (void)session.Push({0.0});
   (void)session.Push({1.0});
   auto decision = session.Finish();
@@ -74,20 +74,20 @@ TEST(StreamingSession, FinishForcesDecision) {
 
 TEST(StreamingSession, FinishWithoutDataFails) {
   FixedNeed model(1);
-  StreamingSession session(&model, 1);
+  StreamingSession session(model, 1);
   EXPECT_FALSE(session.Finish().ok());
 }
 
 TEST(StreamingSession, RejectsWrongVariableCount) {
   FixedNeed model(1);
-  StreamingSession session(&model, 2);
+  StreamingSession session(model, 2);
   auto out = session.Push({1.0});
   EXPECT_FALSE(out.ok());
 }
 
 TEST(StreamingSession, WrongArityLeavesBufferUntouched) {
   FixedNeed model(100);
-  StreamingSession session(&model, 2);
+  StreamingSession session(model, 2);
   auto bad = session.Push({1.0});
   ASSERT_FALSE(bad.ok());
   EXPECT_EQ(session.observed(), 0u);
@@ -103,7 +103,7 @@ TEST(StreamingSession, WrongArityLeavesBufferUntouched) {
 
 TEST(StreamingSession, WrongArityRejectedEvenAfterDecision) {
   FixedNeed model(1);
-  StreamingSession session(&model, 1);
+  StreamingSession session(model, 1);
   (void)session.Push({0.0});
   (void)session.Push({1.0});
   ASSERT_TRUE(session.decision().has_value());
@@ -117,7 +117,7 @@ TEST(StreamingSession, WrongArityRejectedEvenAfterDecision) {
 
 TEST(StreamingSession, ResetStartsOver) {
   FixedNeed model(1);
-  StreamingSession session(&model, 1);
+  StreamingSession session(model, 1);
   (void)session.Push({0.0});
   (void)session.Push({1.0});
   ASSERT_TRUE(session.decision().has_value());
@@ -139,7 +139,7 @@ TEST(StreamingSession, MatchesBatchPredictionWithRealAlgorithm) {
   auto batch = model.PredictEarly(instance);
   ASSERT_TRUE(batch.ok());
 
-  StreamingSession session(&model, 1);
+  StreamingSession session(model, 1);
   std::optional<EarlyPrediction> streamed;
   for (size_t t = 0; t < instance.length() && !streamed.has_value(); ++t) {
     auto out = session.Push({instance.at(0, t)});
