@@ -20,6 +20,7 @@
 #include "algos/teaser.h"
 #include "core/counters.h"
 #include "core/evaluation.h"
+#include "core/fault.h"
 #include "core/json.h"
 #include "core/log.h"
 #include "core/model_cache.h"
@@ -145,17 +146,24 @@ CampaignConfig CampaignConfig::FromEnv() {
          "the whole campaign",
          shard.c_str());
   }
+  config.supervisor = SupervisorOptions::FromEnv();
+  config.fault_spec = GetEnvOr("ETSC_BENCH_FAULT", std::string());
   return config;
 }
 
 std::string CampaignConfig::Fingerprint() const {
-  char buf[192];
+  // retries and quarantine_after are part of the identity: they decide which
+  // cells recover and which are skipped, so journals written under different
+  // supervision must not merge. Backoff delay and watchdog grace only shape
+  // wall-clock timing and stay out (like the shard selector and fault spec).
+  char buf[224];
   std::snprintf(buf, sizeof(buf),
-                "v2 scale=%.3f folds=%zu budget=%.0f pbudget=%.0f "
-                "maritime=%zu seed=%llu",
+                "v3 scale=%.3f folds=%zu budget=%.0f pbudget=%.0f "
+                "maritime=%zu seed=%llu retries=%d quarantine=%d",
                 height_scale, folds, train_budget_seconds,
                 predict_budget_seconds, maritime_windows,
-                static_cast<unsigned long long>(seed));
+                static_cast<unsigned long long>(seed),
+                supervisor.retry.max_retries, supervisor.quarantine_after);
   return buf;
 }
 
@@ -398,6 +406,10 @@ void Campaign::LoadCache(const std::string& expected_header) {
     if (!read_double(&cell.harmonic_mean)) continue;
     if (!read_double(&cell.train_seconds)) continue;
     if (!read_double(&cell.test_seconds_per_instance)) continue;
+    if (!std::getline(ss, field, ',')) continue;
+    cell.retries = static_cast<int>(std::strtol(field.c_str(), nullptr, 10));
+    if (!std::getline(ss, field, ',')) continue;
+    cell.quarantined = field == "1";
     std::getline(ss, cell.failure);
     cell.failure = UnescapeJournalField(cell.failure);
     const auto [it, inserted] =
@@ -466,7 +478,8 @@ void Campaign::AppendCache(const CampaignCell& cell) {
   out << cell.algorithm << ',' << cell.dataset << ',' << (cell.trained ? 1 : 0)
       << ',' << cell.accuracy << ',' << cell.f1 << ',' << cell.earliness << ','
       << cell.harmonic_mean << ',' << cell.train_seconds << ','
-      << cell.test_seconds_per_instance << ','
+      << cell.test_seconds_per_instance << ',' << cell.retries << ','
+      << (cell.quarantined ? 1 : 0) << ','
       << EscapeJournalField(cell.failure) << kRowSentinel << "\n";
   // One cell can take hours; flush so a later crash costs at most the row
   // being written, which the sentinel check then discards.
@@ -493,6 +506,53 @@ struct CellJob {
   CampaignCell cell;
   double cpu_seconds = 0.0;
 };
+
+/// Wraps `classifier` in the fault decorator an ETSC_BENCH_FAULT entry
+/// requests for `algorithm`; a prototype not named in the spec passes through
+/// untouched. Entries are ALGO:KIND with an optional :k ("ECTS:flaky:2");
+/// the first matching entry wins. Unknown kinds warn and inject nothing.
+std::unique_ptr<EarlyClassifier> ApplyFaultSpec(
+    const std::string& spec, const std::string& algorithm,
+    std::unique_ptr<EarlyClassifier> classifier) {
+  for (const std::string& entry : SplitCommas(spec)) {
+    const size_t colon = entry.find(':');
+    if (colon == std::string::npos || entry.substr(0, colon) != algorithm) {
+      continue;
+    }
+    std::string kind = entry.substr(colon + 1);
+    int k = 1;
+    const size_t param = kind.find(':');
+    if (param != std::string::npos) {
+      k = std::max(1, std::atoi(kind.c_str() + param + 1));
+      kind.resize(param);
+    }
+    if (kind == "flaky") {
+      // Transient: each fold's Fit fails the first k attempts, then succeeds
+      // — recoverable with ETSC_RETRY_MAX >= k, scores identical to clean.
+      return std::make_unique<FlakyClassifier>(std::move(classifier), k);
+    }
+    if (kind == "crash") {
+      // Deterministic kInternal on every Fit: fails fast (no retry) and
+      // feeds the circuit breaker until the algorithm is quarantined.
+      FaultOptions fault;
+      fault.fit_failure_rate = 1.0;
+      return std::make_unique<FaultyClassifier>(std::move(classifier), fault);
+    }
+    if (kind == "hang-fit" || kind == "hang-predict") {
+      // Spins past its budget until the watchdog cancels (needs
+      // ETSC_WATCHDOG_GRACE > 0 and a finite budget for that operation).
+      HangOptions hang;
+      hang.hang_fit = kind == "hang-fit";
+      hang.hang_predict = kind == "hang-predict";
+      return std::make_unique<HangingClassifier>(std::move(classifier), hang);
+    }
+    Logf(LogLevel::kWarn, "campaign",
+         "ETSC_BENCH_FAULT entry \"%s\": unknown fault kind \"%s\" (known: "
+         "flaky[:k], crash, hang-fit, hang-predict)",
+         entry.c_str(), kind.c_str());
+  }
+  return classifier;
+}
 
 }  // namespace
 
@@ -563,7 +623,8 @@ void Campaign::Run() {
       CellJob job;
       job.benchmark = &benchmark;
       job.algorithm = algorithm;
-      job.prototype = std::move(*prototype);
+      job.prototype = ApplyFaultSpec(config_.fault_spec, algorithm,
+                                     std::move(*prototype));
       jobs.push_back(std::move(job));
     }
   }
@@ -578,67 +639,127 @@ void Campaign::Run() {
     return;
   }
 
-  // Phase 3 (parallel): compute cells concurrently. Each cell is seeded from
-  // config_.seed alone (CrossValidate splits per-fold seeds before its own
-  // dispatch), so results are bit-identical to a serial run; only the log
-  // lines and journal row order vary with scheduling.
+  // Phase 3 (parallel): compute cells as one serial LANE per algorithm. Each
+  // cell is seeded from config_.seed alone (CrossValidate splits per-fold
+  // seeds before its own dispatch), so results are bit-identical to a serial
+  // run; only the log lines and journal row order vary with scheduling.
+  // Lanes keep the circuit breaker deterministic: an algorithm's failure
+  // streak evolves in dataset order within its own lane, so which cells are
+  // quarantined cannot depend on how threads interleave across algorithms.
   phase.Restart();
   // Resolved once and shared by every cell: with ETSC_MODEL_CACHE set, folds
   // whose fitted model is already on disk skip Fit entirely (counted as
   // eval.fits_skipped), which is what makes re-running shards cheap.
   const std::shared_ptr<const ModelCache> model_cache = ModelCache::FromEnv();
+  CircuitBreaker breaker(config_.supervisor.quarantine_after);
+  // Replay journalled outcomes into the breaker in dataset-major order so a
+  // resumed campaign continues the same failure streaks a fresh run would
+  // have accumulated; quarantine rows are skips, not evidence, and replaying
+  // them would double-count.
+  for (const auto& benchmark : benchmarks) {
+    const std::string& dataset_name = benchmark.canonical_profile.name;
+    for (const auto& algorithm : config_.algorithms) {
+      const CampaignCell* cached = Find(algorithm, dataset_name);
+      if (cached == nullptr || cached->quarantined) continue;
+      if (cached->trained) {
+        breaker.RecordSuccess(algorithm);
+      } else {
+        breaker.RecordFailure(algorithm, dataset_name);
+      }
+    }
+  }
+  // jobs is dataset-major; stable per-algorithm grouping keeps every lane's
+  // cells in dataset order, which the breaker determinism argument needs.
+  std::vector<std::vector<size_t>> lanes;
+  {
+    std::map<std::string, size_t> lane_of;
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      const auto [it, inserted] = lane_of.emplace(jobs[j].algorithm, lanes.size());
+      if (inserted) lanes.emplace_back();
+      lanes[it->second].push_back(j);
+    }
+  }
   TaskGroup group;
-  for (size_t j = 0; j < jobs.size(); ++j) {
-    group.Run([this, &jobs, &model_cache, j]() -> Status {
-      CellJob& job = jobs[j];
-      const std::string& dataset_name = job.benchmark->canonical_profile.name;
-      TraceSpan cell_span("campaign", [&] {
-        return "cell:" + job.algorithm + "/" + dataset_name;
-      });
-      Logf(LogLevel::kInfo, "campaign", "%s on %s (%zu instances)...",
-           job.algorithm.c_str(), dataset_name.c_str(),
-           job.benchmark->data.size());
-
-      EvaluationOptions options;
-      options.num_folds = config_.folds;
-      options.seed = config_.seed;
-      options.train_budget_seconds = config_.train_budget_seconds;
-      options.predict_budget_seconds = config_.predict_budget_seconds;
-      options.model_cache = model_cache;
-      const EvaluationResult result =
-          CrossValidate(job.benchmark->data, *job.prototype, options);
-
-      CampaignCell& cell = job.cell;
-      cell.algorithm = job.algorithm;
-      cell.dataset = dataset_name;
-      cell.trained = result.trained();
-      // Surface the first failure — a Fit error on an untrained cell, or a
-      // degraded prediction (e.g. predict deadline overrun) on a trained one.
-      for (const auto& fold : result.folds) {
-        if (!fold.failure.empty()) {
-          cell.failure = fold.failure;
-          break;
+  for (const auto& lane : lanes) {
+    group.Run([this, &jobs, &model_cache, &breaker, &lane]() -> Status {
+      for (const size_t j : lane) {
+        CellJob& job = jobs[j];
+        const std::string& dataset_name = job.benchmark->canonical_profile.name;
+        CampaignCell& cell = job.cell;
+        cell.algorithm = job.algorithm;
+        cell.dataset = dataset_name;
+        if (breaker.IsQuarantined(job.algorithm)) {
+          // Never attempted: an explicit first-class row, so reports and
+          // resumed campaigns can tell "skipped by the breaker" from
+          // "tried and failed".
+          cell.quarantined = true;
+          cell.failure = Status::SkippedQuarantine(
+                             job.algorithm +
+                             " quarantined after repeated failures; "
+                             "cell not attempted")
+                             .ToString();
+          {
+            std::lock_guard<std::mutex> lock(journal_mu_);
+            AppendCache(cell);
+          }
+          Logf(LogLevel::kWarn, "campaign", "  %s on %s: %s",
+               job.algorithm.c_str(), dataset_name.c_str(),
+               cell.failure.c_str());
+          continue;
         }
+        TraceSpan cell_span("campaign", [&] {
+          return "cell:" + job.algorithm + "/" + dataset_name;
+        });
+        Logf(LogLevel::kInfo, "campaign", "%s on %s (%zu instances)...",
+             job.algorithm.c_str(), dataset_name.c_str(),
+             job.benchmark->data.size());
+
+        EvaluationOptions options;
+        options.num_folds = config_.folds;
+        options.seed = config_.seed;
+        options.train_budget_seconds = config_.train_budget_seconds;
+        options.predict_budget_seconds = config_.predict_budget_seconds;
+        options.model_cache = model_cache;
+        options.retry = config_.supervisor.retry;
+        options.watchdog_grace = config_.supervisor.watchdog_grace;
+        const EvaluationResult result =
+            CrossValidate(job.benchmark->data, *job.prototype, options);
+
+        cell.trained = result.trained();
+        // Surface the first failure — a Fit error on an untrained cell, or a
+        // degraded prediction (e.g. predict deadline overrun) on a trained
+        // one — and the total Fit retries the supervisor spent across folds.
+        for (const auto& fold : result.folds) {
+          cell.retries += std::max(0, fold.fit_attempts - 1);
+          if (cell.failure.empty() && !fold.failure.empty()) {
+            cell.failure = fold.failure;
+          }
+        }
+        const EvalScores scores = result.MeanScores();
+        cell.accuracy = scores.accuracy;
+        cell.f1 = scores.f1;
+        cell.earliness = scores.earliness;
+        cell.harmonic_mean = scores.harmonic_mean;
+        cell.train_seconds = result.MeanTrainSeconds();
+        cell.test_seconds_per_instance = result.MeanTestSecondsPerInstance();
+        job.cpu_seconds = result.CpuSeconds();
+        if (cell.trained) {
+          breaker.RecordSuccess(job.algorithm);
+        } else {
+          breaker.RecordFailure(job.algorithm, dataset_name);
+        }
+        if (MetricsEnabled()) CellsComputed().Add(1);
+        {
+          // The journal is shared by all cells; the lock keeps each flushed
+          // row whole so a reload never sees interleaved fragments.
+          std::lock_guard<std::mutex> lock(journal_mu_);
+          AppendCache(cell);
+        }
+        Logf(LogLevel::kInfo, "campaign", "  %s on %s: %s",
+             job.algorithm.c_str(), dataset_name.c_str(),
+             cell.trained ? scores.ToString().c_str()
+                          : ("DNF: " + cell.failure).c_str());
       }
-      const EvalScores scores = result.MeanScores();
-      cell.accuracy = scores.accuracy;
-      cell.f1 = scores.f1;
-      cell.earliness = scores.earliness;
-      cell.harmonic_mean = scores.harmonic_mean;
-      cell.train_seconds = result.MeanTrainSeconds();
-      cell.test_seconds_per_instance = result.MeanTestSecondsPerInstance();
-      job.cpu_seconds = result.CpuSeconds();
-      if (MetricsEnabled()) CellsComputed().Add(1);
-      {
-        // The journal is shared by all cells; the lock keeps each flushed
-        // row whole so a reload never sees interleaved fragments.
-        std::lock_guard<std::mutex> lock(journal_mu_);
-        AppendCache(cell);
-      }
-      Logf(LogLevel::kInfo, "campaign", "  %s on %s: %s",
-           job.algorithm.c_str(), dataset_name.c_str(),
-           cell.trained ? scores.ToString().c_str()
-                        : ("DNF: " + cell.failure).c_str());
       return Status::OK();
     });
   }
@@ -691,6 +812,13 @@ void Campaign::WriteReport(const RunStats& stats) const {
   w.EndArray();
   w.Field("cache_path", config_.cache_path);
   w.Field("report_only", config_.report_only);
+  w.Key("supervisor").BeginObject();
+  w.Field("max_retries", config_.supervisor.retry.max_retries);
+  w.Field("base_backoff_ms", config_.supervisor.retry.base_backoff_ms);
+  w.Field("quarantine_after", config_.supervisor.quarantine_after);
+  w.Field("watchdog_grace", config_.supervisor.watchdog_grace);
+  w.EndObject();
+  if (!config_.fault_spec.empty()) w.Field("fault_spec", config_.fault_spec);
   w.EndObject();
   w.Key("phases").BeginObject();
   w.Field("load_cache_seconds", stats.load_cache_seconds);
@@ -704,16 +832,24 @@ void Campaign::WriteReport(const RunStats& stats) const {
   w.Field("cells_loaded", stats.cells_loaded);
   w.Field("cells_computed", stats.cells_computed);
   size_t failed = 0;
+  size_t quarantined = 0;
+  size_t retries = 0;
   for (const auto& cell : cells_) {
     if (!cell.trained) ++failed;
+    if (cell.quarantined) ++quarantined;
+    retries += static_cast<size_t>(std::max(0, cell.retries));
   }
   w.Field("cells_failed", failed);
+  w.Field("cells_quarantined", quarantined);
+  w.Field("fit_retries", retries);
   w.Key("cells").BeginArray();
   for (const auto& cell : cells_) {
     w.BeginObject();
     w.Field("algorithm", cell.algorithm);
     w.Field("dataset", cell.dataset);
     w.Field("trained", cell.trained);
+    if (cell.retries > 0) w.Field("retries", cell.retries);
+    if (cell.quarantined) w.Field("quarantined", cell.quarantined);
     if (!cell.failure.empty()) w.Field("failure", cell.failure);
     w.Field("accuracy", cell.accuracy);
     w.Field("f1", cell.f1);

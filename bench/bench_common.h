@@ -11,6 +11,7 @@
 #include "core/categorize.h"
 #include "core/classifier.h"
 #include "core/dataset.h"
+#include "core/supervisor.h"
 #include "data/repository.h"
 
 namespace etsc::bench {
@@ -41,6 +42,23 @@ namespace etsc::bench {
 ///                        and report paths are suffixed ".shard-i-of-N";
 ///                        shards from the same config merge bit-identically
 ///                        (see `etsc_cli --merge-shards`)
+///   ETSC_RETRY_MAX / ETSC_RETRY_BASE_MS / ETSC_QUARANTINE_AFTER /
+///   ETSC_WATCHDOG_GRACE  supervisor knobs (core/supervisor.h): bounded Fit
+///                        retries with deterministic backoff, per-algorithm
+///                        circuit breaker, hung-cell watchdog
+///   ETSC_BENCH_FAULT     fault-injection spec for supervisor testing, a
+///                        comma list of ALGO:KIND entries wrapping the named
+///                        algorithm's prototype: "ECTS:flaky:1" (first k Fit
+///                        attempts fail transiently), "ECO-K:crash" (every
+///                        Fit fails deterministically), "EDSC:hang-fit" /
+///                        "EDSC:hang-predict" (spins until the watchdog
+///                        cancels). Excluded from Fingerprint() like the
+///                        shard selector — it is a harness knob, not a
+///                        result-defining configuration... except that
+///                        injected faults DO change the affected cells'
+///                        results, which is why check.sh compares faulted
+///                        campaigns against clean ones only on unaffected
+///                        algorithms.
 ///
 /// Numeric overrides are validated: a value that is not a number (or is out
 /// of range) logs a warning and keeps the default instead of silently
@@ -66,6 +84,14 @@ struct CampaignConfig {
   /// their journals merge under one header.
   size_t shard_index = 0;
   size_t shard_count = 1;
+  /// Cell-level supervision: Fit retry policy, circuit breaker threshold,
+  /// watchdog grace (core/supervisor.h). max_retries and quarantine_after
+  /// change which results exist (retried fits succeed, quarantined cells are
+  /// skipped) and so participate in Fingerprint(); base_backoff_ms and
+  /// watchdog_grace only shape wall-clock behaviour and do not.
+  SupervisorOptions supervisor;
+  /// Fault-injection spec (ETSC_BENCH_FAULT, see above); empty = no faults.
+  std::string fault_spec;
 
   /// Built from defaults + environment overrides.
   static CampaignConfig FromEnv();
@@ -117,6 +143,12 @@ struct CampaignCell {
   double harmonic_mean = 0.0;
   double train_seconds = 0.0;
   double test_seconds_per_instance = 0.0;
+  /// Total Fit retries across folds (fit_attempts - 1 summed); 0 when every
+  /// fold trained first try. Deterministic for a given config + fault spec.
+  int retries = 0;
+  /// True when the circuit breaker skipped this cell without attempting it
+  /// (failure then holds the SkippedQuarantine status string).
+  bool quarantined = false;
 };
 
 /// The full evaluation campaign: every algorithm on every dataset with
@@ -124,13 +156,17 @@ struct CampaignCell {
 /// run and interrupted campaigns resume.
 ///
 /// Uncached (algorithm, dataset) cells run concurrently on the global thread
-/// pool (core/parallel.h, width from ETSC_THREADS), each cell's CV folds
-/// fanning out on the same pool. Results are bit-identical to a serial run:
-/// datasets are generated and per-fold seeds split before dispatch, and
-/// cells_ is filled in configuration order after all cells complete. Journal
-/// rows are appended under a mutex as cells finish, so a crash mid-campaign
-/// still loses at most the rows being written. Run() reports aggregate
-/// wall-clock vs. CPU-sum speedup on stderr.
+/// pool (core/parallel.h, width from ETSC_THREADS) as one serial LANE per
+/// algorithm (cells in dataset order), each cell's CV folds fanning out on
+/// the same pool. Lanes exist for the circuit breaker: an algorithm's
+/// consecutive-failure count evolves in dataset order regardless of how
+/// lanes interleave, so quarantine decisions — which cells are skipped — are
+/// bit-identical at every thread width. Results are bit-identical to a
+/// serial run: datasets are generated and per-fold seeds split before
+/// dispatch, and cells_ is filled in configuration order after all cells
+/// complete. Journal rows are appended under a mutex as cells finish, so a
+/// crash mid-campaign still loses at most the rows being written. Run()
+/// reports aggregate wall-clock vs. CPU-sum speedup on stderr.
 ///
 /// Journal crash-safety contract:
 ///  - The journal's first line is the config fingerprint; a file written

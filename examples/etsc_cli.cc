@@ -8,9 +8,11 @@
 //   etsc_cli --algo teaser --dataset PowerCons [--folds 5] [--budget 60]
 //   etsc_cli --algo ects --csv my.csv [--variables 3]
 //   etsc_cli --algo ecec --arff my.arff
-//   etsc_cli --campaign [--shard I/N]         (config via ETSC_BENCH_* env)
+//   etsc_cli --campaign [--shard I/N] [--max-retries N] [--quarantine-after N]
+//                                             (config via ETSC_BENCH_* env)
 //   etsc_cli --merge-shards OUT IN1 IN2 ...   (combine shard journals + report)
-//   etsc_cli --report-diff A.json B.json      (compare reports modulo timings)
+//   etsc_cli --report-diff A.json B.json [--ignore-algos A,B]
+//                                             (compare reports modulo timings)
 //
 // Exit code 0 on success, 1 on usage/setup errors, 2 when the algorithm could
 // not train within the budget, 3 when --report-diff finds a difference.
@@ -45,6 +47,9 @@ struct CliArgs {
   std::string merge_out;                 // destination of --merge-shards
   std::vector<std::string> merge_inputs; // shard journals to merge
   std::vector<std::string> diff_reports; // the two --report-diff operands
+  std::vector<std::string> ignore_algos; // --report-diff: drop these cells
+  int max_retries = -1;                  // --campaign override; -1 = env/default
+  int quarantine_after = -1;             // --campaign override; -1 = env/default
   std::string algo;
   std::string dataset;
   std::string csv_path;
@@ -62,9 +67,10 @@ void PrintUsage() {
       "       etsc_cli --algo NAME (--dataset BENCH | --csv FILE [--variables"
       " K] | --arff FILE)\n"
       "                [--folds N] [--budget SECONDS] [--seed S] [--scale F]\n"
-      "       etsc_cli --campaign [--shard I/N]   (ETSC_BENCH_* env config)\n"
+      "       etsc_cli --campaign [--shard I/N] [--max-retries N]\n"
+      "                [--quarantine-after N]    (ETSC_BENCH_* env config)\n"
       "       etsc_cli --merge-shards OUT IN1 IN2 ...\n"
-      "       etsc_cli --report-diff A.json B.json\n");
+      "       etsc_cli --report-diff A.json B.json [--ignore-algos A,B]\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -102,6 +108,22 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
         if (v == nullptr) return false;
         args->diff_reports.push_back(v);
       }
+    } else if (flag == "--ignore-algos") {
+      const char* v = next("--ignore-algos");
+      if (v == nullptr) return false;
+      std::stringstream ss(v);
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        if (!item.empty()) args->ignore_algos.push_back(item);
+      }
+    } else if (flag == "--max-retries") {
+      const char* v = next("--max-retries");
+      if (v == nullptr) return false;
+      args->max_retries = std::atoi(v);
+    } else if (flag == "--quarantine-after") {
+      const char* v = next("--quarantine-after");
+      if (v == nullptr) return false;
+      args->quarantine_after = std::atoi(v);
     } else if (flag == "--algo") {
       const char* v = next("--algo");
       if (v == nullptr) return false;
@@ -172,6 +194,13 @@ int RunCampaign(const CliArgs& args) {
     std::fprintf(stderr, "bad --shard spec '%s' (want I/N with 0 <= I < N)\n",
                  args.shard.c_str());
     return 1;
+  }
+  // Flags beat the ETSC_RETRY_*/ETSC_QUARANTINE_AFTER environment.
+  if (args.max_retries >= 0) {
+    config.supervisor.retry.max_retries = args.max_retries;
+  }
+  if (args.quarantine_after >= 0) {
+    config.supervisor.quarantine_after = args.quarantine_after;
   }
   etsc::bench::Campaign campaign(std::move(config));
   campaign.Run();
@@ -311,50 +340,95 @@ void WriteCanonical(const etsc::json::Value& value, etsc::json::Writer* w) {
 }
 
 /// Drops every report field that legitimately varies between runs of the same
-/// campaign — timings, thread counts, cache provenance, metric snapshots — so
-/// what remains is exactly the result content that sharding must preserve.
-void StripVolatile(etsc::json::Value* report) {
+/// campaign — timings, thread counts, cache provenance, retry/backoff
+/// telemetry, metric snapshots — so what remains is exactly the result
+/// content that sharding must preserve. Cells of algorithms in
+/// `ignore_algos` are removed wholesale (with the counts that cover them), so
+/// a fault-injected campaign can be compared to a clean one on the
+/// unaffected algorithms alone (the check.sh fault-matrix gate).
+void StripVolatile(etsc::json::Value* report,
+                   const std::vector<std::string>& ignore_algos) {
   if (!report->is_object()) return;
   for (const char* key : {"phases", "threads", "cpu_seconds", "cells_loaded",
-                          "cells_computed", "metrics"}) {
+                          "cells_computed", "metrics", "fit_retries",
+                          "fault_spec"}) {
     report->object.erase(key);
   }
   const auto config = report->object.find("config");
   if (config != report->object.end() && config->second.is_object()) {
     config->second.object.erase("cache_path");
     config->second.object.erase("report_only");
+    // A harness knob, not result content: the whole point of --ignore-algos
+    // is comparing a fault-injected campaign against a clean one.
+    config->second.object.erase("fault_spec");
+    // An ignored algorithm's presence in the config list is as irrelevant as
+    // its cells: a clean ECTS-only run must compare equal to a faulted
+    // ECTS+EDSC run under --ignore-algos EDSC.
+    const auto algos = config->second.object.find("algorithms");
+    if (algos != config->second.object.end() && algos->second.is_array()) {
+      auto& list = algos->second.array;
+      list.erase(std::remove_if(list.begin(), list.end(),
+                                [&](const etsc::json::Value& name) {
+                                  return std::find(ignore_algos.begin(),
+                                                   ignore_algos.end(),
+                                                   name.string) !=
+                                         ignore_algos.end();
+                                }),
+                 list.end());
+    }
   }
   const auto cells = report->object.find("cells");
   if (cells != report->object.end() && cells->second.is_array()) {
-    for (auto& cell : cells->second.array) {
+    auto& array = cells->second.array;
+    array.erase(std::remove_if(array.begin(), array.end(),
+                               [&](const etsc::json::Value& cell) {
+                                 if (!cell.is_object()) return false;
+                                 const auto algo = cell.object.find("algorithm");
+                                 return algo != cell.object.end() &&
+                                        std::find(ignore_algos.begin(),
+                                                  ignore_algos.end(),
+                                                  algo->second.string) !=
+                                            ignore_algos.end();
+                               }),
+                array.end());
+    for (auto& cell : array) {
       if (!cell.is_object()) continue;
       cell.object.erase("train_seconds");
       cell.object.erase("test_seconds_per_instance");
+      cell.object.erase("retries");
     }
+  }
+  if (!ignore_algos.empty()) {
+    // These aggregate over the dropped cells too; with algorithms ignored
+    // they no longer describe the compared content.
+    report->object.erase("cells_failed");
+    report->object.erase("cells_quarantined");
   }
 }
 
-etsc::Result<std::string> CanonicalReport(const std::string& path) {
+etsc::Result<std::string> CanonicalReport(
+    const std::string& path, const std::vector<std::string>& ignore_algos) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return etsc::Status::IOError("cannot read report " + path);
   std::stringstream buffer;
   buffer << in.rdbuf();
   auto parsed = etsc::json::Parse(buffer.str());
   if (!parsed.ok()) return parsed.status();
-  StripVolatile(&*parsed);
+  StripVolatile(&*parsed, ignore_algos);
   etsc::json::Writer w;
   WriteCanonical(*parsed, &w);
   return w.str();
 }
 
-int ReportDiff(const std::string& path_a, const std::string& path_b) {
-  const auto a = CanonicalReport(path_a);
+int ReportDiff(const std::string& path_a, const std::string& path_b,
+               const std::vector<std::string>& ignore_algos) {
+  const auto a = CanonicalReport(path_a, ignore_algos);
   if (!a.ok()) {
     std::fprintf(stderr, "%s: %s\n", path_a.c_str(),
                  a.status().ToString().c_str());
     return 1;
   }
-  const auto b = CanonicalReport(path_b);
+  const auto b = CanonicalReport(path_b, ignore_algos);
   if (!b.ok()) {
     std::fprintf(stderr, "%s: %s\n", path_b.c_str(),
                  b.status().ToString().c_str());
@@ -387,7 +461,8 @@ int main(int argc, char** argv) {
   }
 
   if (!args.diff_reports.empty()) {
-    return ReportDiff(args.diff_reports[0], args.diff_reports[1]);
+    return ReportDiff(args.diff_reports[0], args.diff_reports[1],
+                      args.ignore_algos);
   }
   if (!args.merge_out.empty()) {
     return MergeShards(args.merge_out, args.merge_inputs);

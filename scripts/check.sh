@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Repo verification: the tier-1 build-and-test pass, a shard-merge
-# equivalence check, then sanitizer passes — ASan over the serialization /
-# persistence suite (hostile byte streams), and an oversubscribed
-# ThreadSanitizer pass over the concurrency-sensitive suites (thread pool,
-# tracing/metrics, campaign journal, model cache). Run from anywhere inside
-# the repo.
+# equivalence check, a supervisor fault-matrix gate (injected flaky fits,
+# hung predicts and corrupted model-cache entries must leave unaffected
+# cells bit-identical to a fault-free run), then sanitizer passes — ASan and
+# UBSan over the suites that parse attacker-shaped bytes (model streams,
+# journals, reports, dataset files), and an oversubscribed ThreadSanitizer
+# pass over the concurrency-sensitive suites (thread pool, tracing/metrics,
+# campaign journal, model cache, supervisor/watchdog). Run from anywhere
+# inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,21 +33,79 @@ trap 'rm -rf "$SHARD_DIR"' EXIT
 )
 echo "check.sh: shard merge matches the single-process run"
 
-# ASan: the persistence layer parses attacker-shaped bytes (truncated,
-# corrupted, garbage model streams) — exactly where memory bugs would hide.
+# Supervisor fault matrix: a mini-campaign with a flaky ECTS (recovers after
+# one retry), a deterministically crashing EDSC (quarantined by the circuit
+# breaker after the first failure), and a corrupted model-cache entry must
+# (a) run to completion, (b) quarantine exactly the poisoned algorithm, and
+# (c) leave the unaffected ECTS cells bit-identical to a fault-free run.
+FAULT_DIR="$(mktemp -d)"
+trap 'rm -rf "$SHARD_DIR" "$FAULT_DIR"' EXIT
+(
+  # The supervisor knobs are part of the config fingerprint, so both runs
+  # must share them; only the fault spec (a harness knob) differs.
+  export ETSC_BENCH_DATASETS=DodgerLoopGame,DodgerLoopWeekend \
+         ETSC_BENCH_FOLDS=2 ETSC_RETRY_MAX=1 ETSC_RETRY_BASE_MS=0.1 \
+         ETSC_QUARANTINE_AFTER=1 ETSC_LOG=warn \
+         ETSC_MODEL_CACHE="$FAULT_DIR/models"
+  ETSC_BENCH_ALGOS=ECTS \
+    ETSC_BENCH_CACHE="$FAULT_DIR/clean.csv" ./build/examples/etsc_cli --campaign
+  ETSC_BENCH_ALGOS=ECTS,EDSC ETSC_BENCH_FAULT="ECTS:flaky:1,EDSC:crash" \
+    ETSC_BENCH_CACHE="$FAULT_DIR/faulted.csv" ./build/examples/etsc_cli --campaign
+  grep -q '"quarantined":true' "$FAULT_DIR/faulted.csv.report.json"
+  test "$(grep -c '"algorithm":"ECTS"[^}]*"quarantined":true' \
+    "$FAULT_DIR/faulted.csv.report.json")" = 0
+  ./build/examples/etsc_cli --report-diff \
+    "$FAULT_DIR/clean.csv.report.json" "$FAULT_DIR/faulted.csv.report.json" \
+    --ignore-algos EDSC
+
+  # Hung predictions: the watchdog (grace * predict budget) must cancel every
+  # spin and the campaign must still terminate with full-length misses.
+  ETSC_BENCH_ALGOS=ECTS ETSC_BENCH_FAULT="ECTS:hang-predict" \
+    ETSC_BENCH_DATASETS=DodgerLoopGame ETSC_BENCH_PREDICT_BUDGET=0.01 \
+    ETSC_WATCHDOG_GRACE=2 ETSC_MODEL_CACHE= \
+    ETSC_BENCH_CACHE="$FAULT_DIR/hang.csv" ./build/examples/etsc_cli --campaign
+  grep -q 'cancelled by watchdog' "$FAULT_DIR/hang.csv.report.json"
+
+  # Corrupted model cache: truncate every stored model, then prove a re-run
+  # evicts the bad entries (logged misses, counted) and still reproduces the
+  # clean report bit-for-bit after refitting.
+  for entry in "$FAULT_DIR/models"/*.etsc; do
+    head -c 32 "$entry" > "$entry.cut" && mv "$entry.cut" "$entry"
+  done
+  rm -f "$FAULT_DIR/clean.csv" "$FAULT_DIR/clean.csv.report.json"
+  ETSC_BENCH_ALGOS=ECTS \
+    ETSC_BENCH_CACHE="$FAULT_DIR/clean.csv" ./build/examples/etsc_cli --campaign
+  grep -q '"model_cache.corrupt_evictions":[1-9]' \
+    "$FAULT_DIR/clean.csv.report.json"
+  ./build/examples/etsc_cli --report-diff \
+    "$FAULT_DIR/clean.csv.report.json" "$FAULT_DIR/faulted.csv.report.json" \
+    --ignore-algos EDSC
+)
+echo "check.sh: fault matrix contained — quarantine precise, clean cells bit-identical"
+
+# ASan: the persistence layer and the loaders parse attacker-shaped bytes
+# (truncated, corrupted, garbage model streams / journals / reports /
+# datasets) — exactly where memory bugs would hide.
 cmake -B build-asan -S . -DETSC_SANITIZE=address
-cmake --build build-asan -j --target serialization_test
+cmake --build build-asan -j --target serialization_test corruption_test
 ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
-  -R 'Serialization|DatasetFingerprint'
+  -R 'Serialization|DatasetFingerprint|Corruption|Diagnostics'
+
+# UBSan over the same hostile-input suites: bit flips love to manufacture
+# out-of-range enums, shifts and size arithmetic that ASan alone won't flag.
+cmake -B build-ubsan -S . -DETSC_SANITIZE=undefined
+cmake --build build-ubsan -j --target serialization_test corruption_test
+ctest --test-dir build-ubsan --output-on-failure -j"$(nproc)" \
+  -R 'Serialization|DatasetFingerprint|Corruption|Diagnostics'
 
 # TSan, oversubscribed: only the targets whose tests exercise the pool, the
-# span/metric recording, the shared campaign journal and the model cache are
-# built; the -R filter keeps ctest away from the *_NOT_BUILT placeholders of
-# the rest.
+# span/metric recording, the shared campaign journal, the model cache and the
+# supervisor (watchdog thread, breaker-driven lanes) are built; the -R filter
+# keeps ctest away from the *_NOT_BUILT placeholders of the rest.
 cmake -B build-tsan -S . -DETSC_SANITIZE=thread
 cmake --build build-tsan -j --target parallel_test trace_test \
-  journal_config_test serialization_test
+  journal_config_test serialization_test supervisor_test
 ETSC_THREADS=8 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-  -R 'Parallel|Trace|Counters|Journal|Campaign|Log|Json|Serialization|DatasetFingerprint'
+  -R 'Parallel|Trace|Counters|Journal|Campaign|Log|Json|Serialization|DatasetFingerprint|Supervisor|Watchdog|Backoff|CircuitBreaker|CancelToken|Retry|FailureTaxonomy'
 
 echo "check.sh: all green"

@@ -248,7 +248,12 @@ Status EconomyKClassifier::Fit(const Dataset& train) {
     double cost = 0.0;
     Status status = FitWithClusters(train, k, &cost);
     if (!status.ok()) {
-      if (status.code() == StatusCode::kResourceExhausted) return status;
+      // Budget expiry (either code) must abort the whole grid search, not
+      // silently try the next k with no time left.
+      if (status.code() == StatusCode::kResourceExhausted ||
+          status.code() == StatusCode::kDeadlineExceeded) {
+        return status;
+      }
       continue;
     }
     if (cost < best_cost) {

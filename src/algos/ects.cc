@@ -24,7 +24,7 @@ Status NearestPerPrefix(const std::vector<std::vector<double>>& series,
   std::vector<std::vector<size_t>> nn(length, std::vector<size_t>(n, 0));
   for (size_t l = 1; l <= length; ++l) {
     if (deadline.CheckEvery(8)) {
-      return Status::ResourceExhausted("ECTS: train budget exceeded");
+      return Status::DeadlineExceeded("ECTS: train budget exceeded");
     }
     const size_t t = l - 1;
     for (size_t i = 0; i < n; ++i) {
@@ -133,7 +133,7 @@ Status EctsClassifier::Fit(const Dataset& train) {
       break;
     }
     if (deadline.CheckEvery(8)) {
-      return Status::ResourceExhausted("ECTS: train budget exceeded");
+      return Status::DeadlineExceeded("ECTS: train budget exceeded");
     }
     const auto& members = merge.members;
     // Label purity.
@@ -198,7 +198,7 @@ Result<EarlyPrediction> EctsClassifier::PredictEarly(
   size_t best = 0;
   for (size_t l = 1; l <= horizon; ++l) {
     if (deadline.CheckEvery(32)) {
-      return Status::ResourceExhausted("ECTS: predict budget exceeded");
+      return Status::DeadlineExceeded("ECTS: predict budget exceeded");
     }
     const size_t t = l - 1;
     double best_d = std::numeric_limits<double>::infinity();

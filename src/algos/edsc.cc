@@ -221,7 +221,7 @@ Status EdscClassifier::Fit(const Dataset& train) {
     if (adds) shapelets_.push_back(std::move(candidate));
     if (num_covered == n) break;
     if (deadline.CheckEvery(4)) {
-      return Status::ResourceExhausted("EDSC: train budget exceeded");
+      return Status::DeadlineExceeded("EDSC: train budget exceeded");
     }
   }
   return Status::OK();
@@ -241,7 +241,7 @@ Result<EarlyPrediction> EdscClassifier::PredictEarly(
   const Deadline deadline = PredictDeadline();
   for (size_t l = 1; l <= length; ++l) {
     if (deadline.CheckEvery(32)) {
-      return Status::ResourceExhausted("EDSC: predict budget exceeded");
+      return Status::DeadlineExceeded("EDSC: predict budget exceeded");
     }
     for (const auto& shapelet : shapelets_) {
       const size_t m = shapelet.pattern.size();

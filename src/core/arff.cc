@@ -7,6 +7,7 @@
 #include <limits>
 #include <map>
 #include <sstream>
+#include <stdexcept>
 
 namespace etsc {
 
@@ -90,8 +91,16 @@ Result<Dataset> ParseArff(const std::string& content, const std::string& name) {
   dataset.set_name(name);
   std::map<std::string, int> label_map;  // for non-nominal class values
 
+  // Diagnostics carry file:line:column so a corrupt byte in a 10MB download
+  // is findable without bisection; columns are 1-based on the raw line.
+  const auto at = [&name](size_t line_no, size_t column) {
+    return name + ":" + std::to_string(line_no) + ":" +
+           std::to_string(column) + ": ";
+  };
+
   while (std::getline(ss, line)) {
     ++line_no;
+    const size_t indent = line.find_first_not_of(" \t\r\n");
     line = Trim(line);
     if (line.empty() || line[0] == '%') continue;
 
@@ -101,8 +110,8 @@ Result<Dataset> ParseArff(const std::string& content, const std::string& name) {
       if (StartsWith(lowered, "@attribute")) {
         std::string attr_name, attr_type;
         if (!ParseAttributeLine(line, &attr_name, &attr_type)) {
-          return Status::IOError("line " + std::to_string(line_no) +
-                                 ": malformed @attribute");
+          return Status::IOError(at(line_no, indent + 1) +
+                                 "malformed @attribute");
         }
         ++num_attributes;
         // The last attribute before @data is the class; remember its spec.
@@ -112,28 +121,39 @@ Result<Dataset> ParseArff(const std::string& content, const std::string& name) {
       }
       if (StartsWith(lowered, "@data")) {
         if (num_attributes < 2) {
-          return Status::IOError("ARFF: need at least one series attribute "
+          return Status::IOError(at(line_no, indent + 1) +
+                                 "need at least one series attribute "
                                  "plus the class attribute");
         }
         in_data = true;
         continue;
       }
-      return Status::IOError("line " + std::to_string(line_no) +
-                             ": unexpected header line '" + line + "'");
+      return Status::IOError(at(line_no, indent + 1) +
+                             "unexpected header line '" + line + "'");
     }
 
     // Data row: comma-separated, last field is the class.
     if (line[0] == '{') {
-      return Status::NotImplemented("ARFF: sparse data rows not supported");
+      return Status::NotImplemented(at(line_no, indent + 1) +
+                                    "sparse data rows not supported");
     }
     std::vector<std::string> fields;
-    std::stringstream row(line);
-    std::string field;
-    while (std::getline(row, field, ',')) fields.push_back(Trim(field));
+    std::vector<size_t> columns;  // 1-based start column of each field
+    size_t pos = 0;
+    for (;;) {
+      const size_t comma = line.find(',', pos);
+      const size_t field_end = comma == std::string::npos ? line.size() : comma;
+      fields.push_back(Trim(line.substr(pos, field_end - pos)));
+      columns.push_back(indent + pos + 1);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
     if (fields.size() != num_attributes) {
-      return Status::IOError("line " + std::to_string(line_no) + ": expected " +
-                             std::to_string(num_attributes) + " fields, got " +
-                             std::to_string(fields.size()));
+      return Status::IOError(
+          at(line_no, indent + 1) + "ragged row: expected " +
+          std::to_string(num_attributes) + " fields, got " +
+          std::to_string(fields.size()) +
+          (ss.eof() ? " (truncated final line?)" : ""));
     }
 
     std::vector<double> values(fields.size() - 1);
@@ -143,10 +163,14 @@ Result<Dataset> ParseArff(const std::string& content, const std::string& name) {
         continue;
       }
       try {
-        values[i] = std::stod(fields[i]);
+        size_t consumed = 0;
+        values[i] = std::stod(fields[i], &consumed);
+        if (consumed != fields[i].size()) {
+          throw std::invalid_argument(fields[i]);
+        }
       } catch (...) {
-        return Status::IOError("line " + std::to_string(line_no) +
-                               ": bad numeric field '" + fields[i] + "'");
+        return Status::IOError(at(line_no, columns[i]) +
+                               "bad numeric field '" + fields[i] + "'");
       }
     }
 
@@ -161,9 +185,8 @@ Result<Dataset> ParseArff(const std::string& content, const std::string& name) {
       const auto it =
           std::find(class_values.begin(), class_values.end(), class_field);
       if (it == class_values.end()) {
-        return Status::IOError("line " + std::to_string(line_no) +
-                               ": class value '" + class_field +
-                               "' not in the nominal spec");
+        return Status::IOError(at(line_no, columns.back()) + "class value '" +
+                               class_field + "' not in the nominal spec");
       }
       label = static_cast<int>(it - class_values.begin());
     } else {
@@ -186,8 +209,10 @@ Result<Dataset> ParseArff(const std::string& content, const std::string& name) {
     }
     dataset.Add(TimeSeries::Univariate(std::move(values)), label);
   }
-  if (!in_data) return Status::IOError("ARFF: missing @data section");
-  if (dataset.empty()) return Status::IOError("ARFF: no data rows");
+  if (!in_data) {
+    return Status::IOError(name + ": missing @data section (truncated file?)");
+  }
+  if (dataset.empty()) return Status::IOError(name + ": no data rows");
   return dataset;
 }
 

@@ -5,49 +5,58 @@
 #include <fstream>
 #include <limits>
 #include <sstream>
+#include <stdexcept>
 
 namespace etsc {
 
 namespace {
 
 // Splits one CSV line into label + values. Empty fields and "NaN" (any case)
-// parse as NaN. Returns false on malformed numeric fields.
+// parse as NaN. Returns false on malformed numeric fields, reporting the
+// 1-based character column where the offending field starts — corrupt
+// dataset files are diagnosed to the byte, not to "somewhere in this row".
 bool ParseLine(const std::string& line, int* label, std::vector<double>* values,
-               std::string* error) {
+               std::string* error, size_t* error_column) {
   values->clear();
-  std::stringstream ss(line);
-  std::string field;
+  size_t pos = 0;
   bool first = true;
-  while (std::getline(ss, field, ',')) {
+  for (;;) {
+    const size_t comma = line.find(',', pos);
+    const size_t field_end = comma == std::string::npos ? line.size() : comma;
+    std::string field = line.substr(pos, field_end - pos);
+    const size_t field_column = pos + 1;  // 1-based
     // Trim whitespace.
     const auto begin = field.find_first_not_of(" \t\r");
     const auto end = field.find_last_not_of(" \t\r");
     field = begin == std::string::npos ? "" : field.substr(begin, end - begin + 1);
     if (first) {
       try {
-        *label = std::stoi(field);
+        size_t consumed = 0;
+        *label = std::stoi(field, &consumed);
+        if (consumed != field.size()) throw std::invalid_argument(field);
       } catch (...) {
         *error = "bad label field '" + field + "'";
+        *error_column = field_column;
         return false;
       }
       first = false;
-      continue;
-    }
-    if (field.empty() || field == "NaN" || field == "nan" || field == "NAN" ||
-        field == "?") {
+    } else if (field.empty() || field == "NaN" || field == "nan" ||
+               field == "NAN" || field == "?") {
       values->push_back(std::numeric_limits<double>::quiet_NaN());
-      continue;
+    } else {
+      try {
+        size_t consumed = 0;
+        const double parsed = std::stod(field, &consumed);
+        if (consumed != field.size()) throw std::invalid_argument(field);
+        values->push_back(parsed);
+      } catch (...) {
+        *error = "bad numeric field '" + field + "'";
+        *error_column = field_column;
+        return false;
+      }
     }
-    try {
-      values->push_back(std::stod(field));
-    } catch (...) {
-      *error = "bad numeric field '" + field + "'";
-      return false;
-    }
-  }
-  if (first) {
-    *error = "empty line";
-    return false;
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
   }
   return true;
 }
@@ -74,14 +83,25 @@ Result<Dataset> ParseCsv(const std::string& content, size_t num_variables,
     int label = 0;
     std::vector<double> values;
     std::string error;
-    if (!ParseLine(line, &label, &values, &error)) {
-      return Status::IOError("line " + std::to_string(line_no) + ": " + error);
+    size_t error_column = 1;
+    if (!ParseLine(line, &label, &values, &error, &error_column)) {
+      return Status::IOError(name + ":" + std::to_string(line_no) + ":" +
+                             std::to_string(error_column) + ": " + error);
     }
     if (channels.empty()) {
       pending_label = label;
     } else if (label != pending_label) {
-      return Status::IOError("line " + std::to_string(line_no) +
-                             ": label differs within a multivariate example");
+      return Status::IOError(name + ":" + std::to_string(line_no) +
+                             ":1: label " + std::to_string(label) +
+                             " differs within a multivariate example "
+                             "(expected " + std::to_string(pending_label) + ")");
+    } else if (values.size() != channels.front().size()) {
+      // A ragged variable would be rejected by FromChannels below, but only
+      // once the example completes — catch it on the offending row instead.
+      return Status::IOError(
+          name + ":" + std::to_string(line_no) + ":1: ragged row: " +
+          std::to_string(values.size()) + " values where the example's first "
+          "variable has " + std::to_string(channels.front().size()));
     }
     channels.push_back(std::move(values));
     if (channels.size() == num_variables) {
@@ -91,7 +111,11 @@ Result<Dataset> ParseCsv(const std::string& content, size_t num_variables,
     }
   }
   if (!channels.empty()) {
-    return Status::IOError("trailing rows do not form a complete example");
+    return Status::IOError(
+        name + ":" + std::to_string(line_no) +
+        ": truncated file: trailing rows do not form a complete "
+        "example (got " + std::to_string(channels.size()) + " of " +
+        std::to_string(num_variables) + " variables)");
   }
   return dataset;
 }

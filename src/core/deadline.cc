@@ -19,7 +19,42 @@ Histogram& SlackAtCheck() {
   return h;
 }
 
+/// The installed token of this thread, empty outside supervised tasks. A
+/// shared_ptr so the watchdog can hold a reference past the task's lifetime.
+thread_local std::shared_ptr<CancelToken> tls_cancel_token;
+
+int64_t SteadyMicrosNow() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             Deadline::Clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
+
+CancelToken::CancelToken() : last_heartbeat_us_(SteadyMicrosNow()) {}
+
+void CancelToken::Heartbeat() {
+  last_heartbeat_us_.store(SteadyMicrosNow(), std::memory_order_relaxed);
+}
+
+double CancelToken::SecondsSinceHeartbeat() const {
+  const int64_t last = last_heartbeat_us_.load(std::memory_order_relaxed);
+  return static_cast<double>(SteadyMicrosNow() - last) * 1e-6;
+}
+
+std::shared_ptr<CancelToken> CurrentCancelToken() { return tls_cancel_token; }
+
+bool CancellationRequested() {
+  const CancelToken* token = tls_cancel_token.get();
+  return token != nullptr && token->cancelled();
+}
+
+ScopedCancelToken::ScopedCancelToken(std::shared_ptr<CancelToken> token)
+    : prev_(std::move(tls_cancel_token)) {
+  tls_cancel_token = std::move(token);
+}
+
+ScopedCancelToken::~ScopedCancelToken() { tls_cancel_token = std::move(prev_); }
 
 Deadline Deadline::After(double seconds) {
   if (std::isnan(seconds)) return Infinite();
@@ -38,6 +73,10 @@ Deadline Deadline::After(double seconds) {
 }
 
 bool Deadline::Expired() const {
+  if (CancelToken* token = tls_cancel_token.get()) {
+    token->Heartbeat();
+    if (token->cancelled()) return true;
+  }
   if (infinite()) return false;
   return Clock::now() >= expiry_;
 }
@@ -52,7 +91,8 @@ double Deadline::Remaining() const {
 
 bool Deadline::CheckEvery(uint32_t stride) const {
   if (expired_) return true;
-  if (infinite()) return false;
+  // No early-out for infinite deadlines: the periodic Expired() poll is what
+  // stamps heartbeats and notices watchdog cancellations in unbudgeted loops.
   if (stride == 0) stride = 1;
   if (calls_++ % stride == 0) expired_ = Expired();
   return expired_;
@@ -60,7 +100,10 @@ bool Deadline::CheckEvery(uint32_t stride) const {
 
 Status Deadline::Check(const std::string& what) const {
   if (!infinite() && MetricsEnabled()) SlackAtCheck().Record(Remaining());
-  if (Expired()) return Status::ResourceExhausted(what);
+  if (CancellationRequested()) {
+    return Status::DeadlineExceeded(what + " (cancelled by watchdog)");
+  }
+  if (Expired()) return Status::DeadlineExceeded(what);
   return Status::OK();
 }
 

@@ -1,13 +1,66 @@
 #ifndef ETSC_CORE_DEADLINE_H_
 #define ETSC_CORE_DEADLINE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "core/status.h"
 
 namespace etsc {
+
+/// Cooperative cancellation flag shared between a supervised task and the
+/// watchdog that may decide to stop it.
+///
+/// The task's thread installs a token with ScopedCancelToken; every Deadline
+/// poll on that thread then (a) stamps a heartbeat on the token and (b)
+/// observes a pending cancellation as deadline expiry — even on an infinite
+/// deadline, so a task whose own budget logic is broken is still stoppable
+/// as long as it runs the framework's checks. Cancellation is one-way: once
+/// requested it never resets.
+class CancelToken {
+ public:
+  CancelToken();
+
+  /// Asks the owning task to stop at its next deadline poll. Thread-safe.
+  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+  /// Records "the task is alive and polling" — called from Deadline checks.
+  void Heartbeat();
+
+  /// Seconds since the last Heartbeat (or since construction). The watchdog
+  /// reports this when cancelling so hung-task logs show how stale the cell
+  /// was.
+  double SecondsSinceHeartbeat() const;
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> last_heartbeat_us_{0};
+};
+
+/// The calling thread's installed token, or nullptr outside supervised tasks.
+std::shared_ptr<CancelToken> CurrentCancelToken();
+
+/// True when the calling thread's installed token (if any) was cancelled.
+bool CancellationRequested();
+
+/// RAII installer of the thread-local cancel token. Installing an empty
+/// token is valid and masks any outer token for the scope — a pool task must
+/// not inherit the pool thread's previous token by accident.
+class ScopedCancelToken {
+ public:
+  explicit ScopedCancelToken(std::shared_ptr<CancelToken> token);
+  ~ScopedCancelToken();
+
+  ScopedCancelToken(const ScopedCancelToken&) = delete;
+  ScopedCancelToken& operator=(const ScopedCancelToken&) = delete;
+
+ private:
+  std::shared_ptr<CancelToken> prev_;
+};
 
 /// Cooperative wall-clock deadline on the monotonic clock.
 ///
@@ -15,9 +68,11 @@ namespace etsc {
 /// budgeted operation (Fit, PredictEarly) and polled from the operation's
 /// loops. It replaces the per-algorithm Stopwatch-versus-budget checks so
 /// every algorithm shares one expiry semantics: on expiry the operation
-/// returns Status::ResourceExhausted and the caller records the cell as
+/// returns Status::DeadlineExceeded and the caller records the cell as
 /// failed rather than crashing — the paper's 48-hour kill rule (Sec. 6.1)
-/// applied uniformly to training and prediction.
+/// applied uniformly to training and prediction. A watchdog cancellation on
+/// the thread's CancelToken reads as expiry through the same polls, so hung
+/// cells degrade exactly like budget overruns.
 ///
 /// Deadlines are value types; copying one copies the expiry instant but
 /// resets the amortised-check state, so pass by reference inside one
@@ -49,7 +104,9 @@ class Deadline {
 
   bool infinite() const { return expiry_ == Clock::time_point::max(); }
 
-  /// True once the expiry instant has passed. Consults the clock.
+  /// True once the expiry instant has passed, or once the calling thread's
+  /// CancelToken (if any) was cancelled — an infinite deadline is still
+  /// cancellable. Stamps the token's heartbeat as a side effect.
   bool Expired() const;
 
   /// Seconds until expiry: +infinity for an infinite deadline, <= 0 once
@@ -59,9 +116,12 @@ class Deadline {
   /// Amortised expiry check for tight loops: consults the clock only on the
   /// first call and then once every `stride` calls, returning the cached
   /// verdict in between. Expiry is sticky — once observed it stays true.
+  /// Polls even on infinite deadlines so heartbeats flow and watchdog
+  /// cancellations are observed from unbudgeted loops.
   bool CheckEvery(uint32_t stride = 64) const;
 
-  /// OK while unexpired; Status::ResourceExhausted(what) once expired.
+  /// OK while unexpired; Status::DeadlineExceeded(what) once expired or
+  /// cancelled (the message notes which).
   Status Check(const std::string& what) const;
 
  private:

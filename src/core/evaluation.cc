@@ -1,7 +1,9 @@
 #include "core/evaluation.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <thread>
 #include <utility>
 
 #include "core/counters.h"
@@ -38,28 +40,50 @@ Counter& FitsSkipped() {
   static Counter& c = MetricRegistry::Global().counter("eval.fits_skipped");
   return c;
 }
+Counter& FitRetries() {
+  static Counter& c = MetricRegistry::Global().counter("supervisor.retries");
+  return c;
+}
+Histogram& BackoffMs() {
+  static Histogram& h =
+      MetricRegistry::Global().histogram("supervisor.backoff_ms");
+  return h;
+}
 
 /// Shared prediction loop of EvaluateSplit and EvaluateFitted: scores
 /// `classifier` (already fitted) on `test`, degrading failed predictions to
-/// full-length misses.
+/// full-length misses. With `watchdog_grace` > 0 every prediction runs under
+/// a watchdog Watch, so a hung PredictEarly is cancelled past
+/// grace * predict_budget and degrades like any other overrun.
 void RunTestSet(const Dataset& test, const EarlyClassifier& classifier,
-                FoldOutcome* outcome) {
+                FoldOutcome* outcome, double watchdog_grace = 0.0) {
   std::vector<int> truth;
   std::vector<int> predicted;
   std::vector<size_t> prefixes;
   std::vector<size_t> lengths;
   Stopwatch test_timer;
+  const auto predict_supervised =
+      [&](const TimeSeries& ts) -> Result<EarlyPrediction> {
+    if (watchdog_grace <= 0.0) return classifier.PredictEarly(ts);
+    Watchdog::Watch watch("predict:" + classifier.name(),
+                          classifier.predict_budget_seconds(), watchdog_grace);
+    return classifier.PredictEarly(ts);
+  };
   for (size_t i = 0; i < test.size(); ++i) {
     const TimeSeries& ts = test.instance(i);
     TraceSpan predict_span("eval", "PredictEarly");
-    auto pred = classifier.PredictEarly(ts);
+    auto pred = predict_supervised(ts);
     if (!pred.ok()) {
-      // A prediction failure (predict deadline overrun, internal fault)
-      // counts as consuming the full series and predicting an impossible
-      // label (always wrong); it must not crash an entire evaluation
-      // campaign. The first failure message is surfaced on the outcome.
+      // A prediction failure (predict deadline overrun, watchdog
+      // cancellation, internal fault) counts as consuming the full series
+      // and predicting an impossible label (always wrong); it must not crash
+      // an entire evaluation campaign. The first failure message is surfaced
+      // on the outcome.
       ++outcome->num_failed_predictions;
-      if (outcome->failure.empty()) outcome->failure = pred.status().ToString();
+      if (outcome->failure.empty()) {
+        outcome->failure = pred.status().ToString();
+        outcome->failure_code = pred.status().code();
+      }
       truth.push_back(test.label(i));
       predicted.push_back(std::numeric_limits<int>::min());
       prefixes.push_back(ts.length());
@@ -143,32 +167,80 @@ double EvaluationResult::MeanTestSecondsPerInstance() const {
   return n == 0 ? 0.0 : sum / static_cast<double>(n);
 }
 
-FoldOutcome EvaluateSplit(const Dataset& train, const Dataset& test,
-                          EarlyClassifier* classifier) {
+namespace {
+
+/// The supervised Fit+score path behind EvaluateSplit and RunFold: Fit is
+/// re-attempted on the SAME instance for transient failures (bounded by the
+/// policy, backed off deterministically from `backoff_seed`) and optionally
+/// watched for hangs. Deterministic failures break out on the first attempt.
+FoldOutcome SupervisedSplit(const Dataset& train, const Dataset& test,
+                            EarlyClassifier* classifier,
+                            const RetryPolicy& retry, double watchdog_grace,
+                            uint64_t backoff_seed) {
   FoldOutcome outcome;
   Stopwatch train_timer;
   Status fit_status;
-  {
-    TraceSpan fit_span("eval", [&] { return "Fit:" + classifier->name(); });
-    fit_status = classifier->Fit(train);
+  int attempts = 0;
+  for (;;) {
+    {
+      TraceSpan fit_span("eval", [&] { return "Fit:" + classifier->name(); });
+      if (watchdog_grace > 0.0) {
+        Watchdog::Watch watch("fit:" + classifier->name(),
+                              classifier->train_budget_seconds(),
+                              watchdog_grace);
+        fit_status = classifier->Fit(train);
+      } else {
+        fit_status = classifier->Fit(train);
+      }
+    }
+    ++attempts;
+    if (fit_status.ok()) break;
+    if (attempts > retry.max_retries ||
+        !IsTransientFailure(fit_status.code())) {
+      break;
+    }
+    // The delay schedule is a pure function of (policy, seed, attempt):
+    // reproducible logs and telemetry, and — because results never depend on
+    // *when* a retry ran — bit-identical scores at any pool width.
+    const double delay_ms = BackoffDelayMs(retry, backoff_seed, attempts);
+    if (MetricsEnabled()) {
+      FitRetries().Add(1);
+      BackoffMs().Record(delay_ms);
+    }
+    Logf(LogLevel::kInfo, "supervisor",
+         "retrying %s fit (attempt %d failed: %s) after %.1fms backoff",
+         classifier->name().c_str(), attempts, fit_status.ToString().c_str(),
+         delay_ms);
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay_ms));
   }
   outcome.train_seconds = train_timer.Seconds();
+  outcome.fit_attempts = attempts;
   if (!fit_status.ok()) {
     if (MetricsEnabled()) FitFailures().Add(1);
     outcome.trained = false;
     outcome.failure = fit_status.ToString();
+    outcome.failure_code = fit_status.code();
     return outcome;
   }
   outcome.trained = true;
-  RunTestSet(test, *classifier, &outcome);
+  RunTestSet(test, *classifier, &outcome, watchdog_grace);
   return outcome;
 }
 
+}  // namespace
+
+FoldOutcome EvaluateSplit(const Dataset& train, const Dataset& test,
+                          EarlyClassifier* classifier, double watchdog_grace) {
+  return SupervisedSplit(train, test, classifier, RetryPolicy{}, watchdog_grace,
+                         /*backoff_seed=*/0);
+}
+
 FoldOutcome EvaluateFitted(const Dataset& test,
-                           const EarlyClassifier& classifier) {
+                           const EarlyClassifier& classifier,
+                           double watchdog_grace) {
   FoldOutcome outcome;
   outcome.trained = true;
-  RunTestSet(test, classifier, &outcome);
+  RunTestSet(test, classifier, &outcome, watchdog_grace);
   return outcome;
 }
 
@@ -216,9 +288,11 @@ FoldOutcome RunFold(const FoldInput& input, const EarlyClassifier& prototype,
   }
   if (restored) {
     if (MetricsEnabled()) FitsSkipped().Add(1);
-    outcome = EvaluateFitted(input.test, *classifier);
+    outcome = EvaluateFitted(input.test, *classifier, options.watchdog_grace);
   } else {
-    outcome = EvaluateSplit(input.train, input.test, classifier.get());
+    outcome = SupervisedSplit(input.train, input.test, classifier.get(),
+                              options.retry, options.watchdog_grace,
+                              /*backoff_seed=*/input.seed);
     if (options.model_cache != nullptr && outcome.trained) {
       const Status stored = options.model_cache->Store(key, *classifier);
       if (!stored.ok()) {

@@ -13,6 +13,7 @@
 #include "core/dataset.h"
 #include "core/metrics.h"
 #include "core/model_cache.h"
+#include "core/supervisor.h"
 
 namespace etsc {
 
@@ -37,6 +38,13 @@ struct FoldOutcome {
   /// the first prediction error (predict deadline overrun, internal fault).
   /// Failed cells are first-class results, never crashes.
   std::string failure;
+  /// StatusCode of `failure` (kOk when the fold was clean) — the supervisor's
+  /// failure taxonomy: transient codes were retried, deterministic ones
+  /// failed fast, and the circuit breaker only counts real failures.
+  StatusCode failure_code = StatusCode::kOk;
+  /// Fit attempts consumed (1 = no retries). Deterministic: a function of
+  /// the classifier's failure pattern and the retry policy, never of timing.
+  int fit_attempts = 1;
   /// Predictions that returned an error and were degraded to a full-length
   /// miss; trained stays true so the fold still reports scores.
   size_t num_failed_predictions = 0;
@@ -99,6 +107,16 @@ struct EvaluationOptions {
   /// entirely (counted as eval.fits_skipped) and reports train_seconds = 0 —
   /// and every freshly trained fold is stored back. Null disables caching.
   std::shared_ptr<const ModelCache> model_cache;
+  /// Supervised-retry policy for Fit: transient failures (kDeadlineExceeded,
+  /// kResourceExhausted, kUnavailable) are re-attempted on the SAME
+  /// classifier instance up to retry.max_retries times, under deterministic
+  /// backoff jittered by the fold seed. Deterministic failures fail fast.
+  RetryPolicy retry;
+  /// Watchdog grace multiple: a Fit or PredictEarly running longer than
+  /// grace * its budget is cooperatively cancelled (degrading exactly like a
+  /// budget overrun). <= 0 (the default) disables the watchdog entirely —
+  /// no token installs, no background thread.
+  double watchdog_grace = 0.0;
 };
 
 /// Runs stratified k-fold cross-validation of `prototype` (cloned per fold)
@@ -110,14 +128,17 @@ EvaluationResult CrossValidate(const Dataset& dataset,
                                const EvaluationOptions& options = {});
 
 /// Evaluates an already-configured classifier on an explicit train/test split;
-/// used by tests and examples.
+/// used by tests and examples. `watchdog_grace` > 0 supervises the Fit and
+/// every prediction (see EvaluationOptions::watchdog_grace).
 FoldOutcome EvaluateSplit(const Dataset& train, const Dataset& test,
-                          EarlyClassifier* classifier);
+                          EarlyClassifier* classifier,
+                          double watchdog_grace = 0.0);
 
 /// Evaluates an already-FITTED classifier on a test set (no Fit call): the
 /// cache-hit path of CrossValidate, also useful for scoring a model restored
 /// via EarlyClassifier::LoadFitted. train_seconds is reported as 0.
-FoldOutcome EvaluateFitted(const Dataset& test, const EarlyClassifier& classifier);
+FoldOutcome EvaluateFitted(const Dataset& test, const EarlyClassifier& classifier,
+                           double watchdog_grace = 0.0);
 
 }  // namespace etsc
 

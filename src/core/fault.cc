@@ -66,6 +66,94 @@ std::unique_ptr<EarlyClassifier> FaultyClassifier::CloneUntrained() const {
   return std::make_unique<FaultyClassifier>(inner_->CloneUntrained(), options_);
 }
 
+FlakyClassifier::FlakyClassifier(std::unique_ptr<EarlyClassifier> inner,
+                                 int failures_before_success)
+    : inner_(std::move(inner)),
+      failures_before_success_(failures_before_success) {
+  ETSC_CHECK(inner_ != nullptr);
+}
+
+Status FlakyClassifier::Fit(const Dataset& train) {
+  inner_->set_train_budget_seconds(train_budget_seconds());
+  inner_->set_predict_budget_seconds(predict_budget_seconds());
+  if (failed_attempts_ < failures_before_success_) {
+    ++failed_attempts_;
+    return Status::Unavailable(name() + ": injected flaky fit failure (attempt " +
+                               std::to_string(failed_attempts_) + " of " +
+                               std::to_string(failures_before_success_) +
+                               " doomed)");
+  }
+  return inner_->Fit(train);
+}
+
+Result<EarlyPrediction> FlakyClassifier::PredictEarly(
+    const TimeSeries& series) const {
+  return inner_->PredictEarly(series);
+}
+
+std::string FlakyClassifier::name() const { return "flaky-" + inner_->name(); }
+
+bool FlakyClassifier::SupportsMultivariate() const {
+  return inner_->SupportsMultivariate();
+}
+
+std::unique_ptr<EarlyClassifier> FlakyClassifier::CloneUntrained() const {
+  // Fresh clone, fresh attempt counter: each fold's retry history is its own.
+  return std::make_unique<FlakyClassifier>(inner_->CloneUntrained(),
+                                           failures_before_success_);
+}
+
+HangingClassifier::HangingClassifier(std::unique_ptr<EarlyClassifier> inner,
+                                     HangOptions options)
+    : inner_(std::move(inner)), options_(options) {
+  ETSC_CHECK(inner_ != nullptr);
+}
+
+Status HangingClassifier::Hang(const char* op) const {
+  // The bug being modelled: the implementation ignores its real budget (it
+  // polls an infinite deadline) yet still runs the framework's cooperative
+  // checks, so only a CancelToken cancellation can reach it.
+  const Deadline unbudgeted = Deadline::Infinite();
+  const Deadline safety = Deadline::After(options_.max_seconds);
+  volatile uint64_t sink = 0;
+  while (!unbudgeted.CheckEvery(1)) {
+    for (int i = 0; i < 1000; ++i) sink = sink + static_cast<uint64_t>(i);
+    if (safety.Expired() && !CancellationRequested()) {
+      return Status::Internal(name() + std::string(": ") + op +
+                              " hang hit the " +
+                              std::to_string(options_.max_seconds) +
+                              "s safety valve without a watchdog cancellation");
+    }
+  }
+  return Status::DeadlineExceeded(name() + std::string(": ") + op +
+                                  " hang cancelled by watchdog");
+}
+
+Status HangingClassifier::Fit(const Dataset& train) {
+  inner_->set_train_budget_seconds(train_budget_seconds());
+  inner_->set_predict_budget_seconds(predict_budget_seconds());
+  if (options_.hang_fit) return Hang("fit");
+  return inner_->Fit(train);
+}
+
+Result<EarlyPrediction> HangingClassifier::PredictEarly(
+    const TimeSeries& series) const {
+  if (options_.hang_predict) return Hang("predict");
+  return inner_->PredictEarly(series);
+}
+
+std::string HangingClassifier::name() const {
+  return "hanging-" + inner_->name();
+}
+
+bool HangingClassifier::SupportsMultivariate() const {
+  return inner_->SupportsMultivariate();
+}
+
+std::unique_ptr<EarlyClassifier> HangingClassifier::CloneUntrained() const {
+  return std::make_unique<HangingClassifier>(inner_->CloneUntrained(), options_);
+}
+
 Dataset InjectMissingValues(const Dataset& source, double rate, uint64_t seed) {
   Rng rng(seed);
   Dataset corrupted = source;

@@ -58,6 +58,63 @@ class FaultyClassifier : public EarlyClassifier {
   mutable Rng rng_;
 };
 
+/// Decorator whose Fit fails the first `failures_before_success` attempts
+/// with Status::Unavailable (a transient class the supervisor retries), then
+/// delegates. The attempt counter is per-instance and CloneUntrained resets
+/// it — the retry loop must therefore re-Fit the same instance, which is
+/// exactly what RunFold's retry loop does; the counting stays deterministic
+/// because each fold owns its clone.
+class FlakyClassifier : public EarlyClassifier {
+ public:
+  FlakyClassifier(std::unique_ptr<EarlyClassifier> inner,
+                  int failures_before_success);
+
+  Status Fit(const Dataset& train) override;
+  Result<EarlyPrediction> PredictEarly(const TimeSeries& series) const override;
+  std::string name() const override;
+  bool SupportsMultivariate() const override;
+  std::unique_ptr<EarlyClassifier> CloneUntrained() const override;
+
+ private:
+  std::unique_ptr<EarlyClassifier> inner_;
+  int failures_before_success_;
+  int failed_attempts_ = 0;
+};
+
+/// Knobs for HangingClassifier: which operations hang, and a safety valve.
+struct HangOptions {
+  bool hang_fit = false;
+  bool hang_predict = false;
+  /// Upper bound on the spin: a broken watchdog must wedge a test run for at
+  /// most this long, after which the hang gives up with kInternal (a
+  /// non-transient class, so the supervisor will not retry the hang).
+  double max_seconds = 30.0;
+};
+
+/// Decorator modelling a hung implementation: the selected operations spin
+/// forever, ignoring their real budget, but still run the framework's
+/// Deadline polls (on an infinite deadline) — the realistic "broken budget
+/// logic" bug. The only way out is the watchdog requesting cancellation
+/// through the thread's CancelToken, which the polls observe; the hang then
+/// returns kDeadlineExceeded exactly like a budget overrun.
+class HangingClassifier : public EarlyClassifier {
+ public:
+  HangingClassifier(std::unique_ptr<EarlyClassifier> inner, HangOptions options);
+
+  Status Fit(const Dataset& train) override;
+  Result<EarlyPrediction> PredictEarly(const TimeSeries& series) const override;
+  std::string name() const override;
+  bool SupportsMultivariate() const override;
+  std::unique_ptr<EarlyClassifier> CloneUntrained() const override;
+
+ private:
+  /// Spins until cancelled (DeadlineExceeded) or max_seconds (Internal).
+  Status Hang(const char* op) const;
+
+  std::unique_ptr<EarlyClassifier> inner_;
+  HangOptions options_;
+};
+
 /// Returns a copy of `source` in which every observation is independently
 /// replaced by NaN with probability `rate` (seeded) — a faulty data source
 /// modelling sensor dropouts. Labels and metadata are preserved; callers can

@@ -27,6 +27,11 @@ Counter& CacheStores() {
   static Counter& c = MetricRegistry::Global().counter("model_cache.stores");
   return c;
 }
+Counter& CorruptEvictions() {
+  static Counter& c =
+      MetricRegistry::Global().counter("model_cache.corrupt_evictions");
+  return c;
+}
 
 /// FNV-1a over the key's components with length/field separators, so e.g.
 /// ("ab", fold 1) and ("a", fold 11) can never collide structurally.
@@ -97,8 +102,21 @@ bool ModelCache::TryLoad(const ModelCacheKey& key,
   if (!status.ok()) {
     // Corrupt, truncated, or saved under another build's configuration: a
     // miss, never an error — the caller refits and overwrites the entry.
-    Logf(LogLevel::kWarn, "model_cache", "ignoring unloadable entry %s: %s",
-         path.c_str(), status.ToString().c_str());
+    // A provably bad stream (checksum/structure violation) is also evicted
+    // now: the refit's Store would overwrite it anyway, but eviction keeps a
+    // read-only campaign (report_only, exhausted budgets) from tripping over
+    // the same corrupt bytes every run.
+    const bool corrupt = status.code() == StatusCode::kDataLoss ||
+                         status.code() == StatusCode::kInvalidArgument;
+    Logf(LogLevel::kWarn, "model_cache", "%s unloadable entry %s: %s",
+         corrupt ? "evicting corrupt" : "ignoring", path.c_str(),
+         status.ToString().c_str());
+    if (corrupt) {
+      in.close();
+      if (std::remove(path.c_str()) == 0 && MetricsEnabled()) {
+        CorruptEvictions().Add(1);
+      }
+    }
     if (MetricsEnabled()) CacheMisses().Add(1);
     return false;
   }

@@ -235,7 +235,7 @@ void DrainChunks(LoopState* state, size_t n, size_t grain,
     const size_t start = state->next.fetch_add(grain, std::memory_order_relaxed);
     if (start >= n) return;
     if (deadline != nullptr && local.CheckEvery(4)) {
-      state->Record(start, Status::ResourceExhausted(*what), nullptr);
+      state->Record(start, Status::DeadlineExceeded(*what), nullptr);
       return;
     }
     const size_t end = std::min(n, start + grain);
@@ -271,7 +271,7 @@ Status RunLoop(size_t n, size_t grain,
     Deadline local = deadline != nullptr ? *deadline : Deadline::Infinite();
     for (size_t i = 0; i < n; ++i) {
       if (deadline != nullptr && i % grain == 0 && local.CheckEvery(4)) {
-        return Status::ResourceExhausted(what);
+        return Status::DeadlineExceeded(what);
       }
       ETSC_RETURN_NOT_OK(body(i));
     }
@@ -279,15 +279,21 @@ Status RunLoop(size_t n, size_t grain,
   }
 
   auto state = std::make_shared<LoopState>();
+  // Helpers adopt the submitting thread's cancel token (possibly empty) so a
+  // watchdog cancellation of the supervised task reaches every participant —
+  // and so pool threads never act under a stale token from a previous task.
+  std::shared_ptr<CancelToken> token = CurrentCancelToken();
   std::vector<uint64_t> tickets;
   tickets.reserve(helpers);
   for (size_t h = 0; h < helpers; ++h) {
-    tickets.push_back(pool.Submit([state, n, grain, &body, deadline, &what] {
-      DrainChunks(state.get(), n, grain, &body, deadline, &what);
-      std::lock_guard<std::mutex> lock(state->mu);
-      ++state->finished_helpers;
-      state->cv.notify_all();
-    }));
+    tickets.push_back(
+        pool.Submit([state, n, grain, &body, deadline, &what, token] {
+          ScopedCancelToken install(token);
+          DrainChunks(state.get(), n, grain, &body, deadline, &what);
+          std::lock_guard<std::mutex> lock(state->mu);
+          ++state->finished_helpers;
+          state->cv.notify_all();
+        }));
   }
 
   DrainChunks(state.get(), n, grain, &body, deadline, &what);
@@ -404,18 +410,24 @@ void TaskGroup::Run(std::function<Status()> fn, const Deadline* deadline) {
     Deadline at_dispatch = *deadline;
     fn = [expiry = at_dispatch, inner = std::move(fn)]() -> Status {
       if (expiry.Expired()) {
-        return Status::ResourceExhausted("task group: deadline expired");
+        return Status::DeadlineExceeded("task group: deadline expired");
       }
       return inner();
     };
     if (at_dispatch.Expired()) {
       std::lock_guard<std::mutex> lock(state_->mu);
       state_->Record(state_->next_seq++,
-                     Status::ResourceExhausted("task group: deadline expired"),
+                     Status::DeadlineExceeded("task group: deadline expired"),
                      nullptr);
       return;
     }
   }
+  // Group tasks run under the submitter's cancel token (possibly empty, which
+  // deliberately masks whatever token the executing pool thread last held).
+  fn = [token = CurrentCancelToken(), inner = std::move(fn)]() -> Status {
+    ScopedCancelToken install(token);
+    return inner();
+  };
   std::shared_ptr<State> state = state_;
   {
     std::lock_guard<std::mutex> lock(state->mu);

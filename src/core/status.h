@@ -25,6 +25,17 @@ enum class StatusCode {
   kResourceExhausted,
   kInternal,
   kDataLoss,
+  /// A cooperative deadline (train/predict budget, or a watchdog
+  /// cancellation piggybacked on one) expired before the operation finished.
+  /// Transient: the supervisor may retry the operation under a fresh budget.
+  kDeadlineExceeded,
+  /// A transient, externally-caused failure (flaky dependency, injected
+  /// fault) that is expected to succeed on retry.
+  kUnavailable,
+  /// The cell was never attempted because its algorithm was quarantined by
+  /// the circuit breaker. Recorded as an explicit journal/report row so
+  /// skipped scores are visible, not silently missing.
+  kSkippedQuarantine,
 };
 
 /// Returns a human-readable name for a status code, e.g. "InvalidArgument".
@@ -63,6 +74,15 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status SkippedQuarantine(std::string msg) {
+    return Status(StatusCode::kSkippedQuarantine, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,153 @@
+#ifndef ETSC_CORE_SUPERVISOR_H_
+#define ETSC_CORE_SUPERVISOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/deadline.h"
+#include "core/status.h"
+
+namespace etsc {
+
+/// Cell-level execution supervision for the campaign grid: bounded retries
+/// under deterministic backoff for transient failures, a per-algorithm
+/// circuit breaker that quarantines repeat offenders, and a watchdog that
+/// cooperatively cancels hung tasks through their CancelToken.
+///
+/// Determinism contract: retry counts and backoff delays are pure functions
+/// of (policy, seed, attempt); the circuit breaker is driven from
+/// per-algorithm lanes that complete cells in dataset order. Serial and
+/// parallel campaign runs therefore agree bit-for-bit on which cells retried,
+/// which were quarantined, and on every surviving score.
+
+/// Bounded-retry policy with exponential backoff and seeded jitter.
+struct RetryPolicy {
+  /// Additional attempts after the first failure; 0 disables retries.
+  int max_retries = 0;
+  /// Delay before retry #1; retry #k waits base * multiplier^(k-1), jittered.
+  double base_backoff_ms = 10.0;
+  double backoff_multiplier = 2.0;
+  /// Cap applied before jitter so a long retry chain cannot stall a lane.
+  double max_backoff_ms = 1000.0;
+};
+
+/// Knobs for the whole supervision layer; FromEnv reads ETSC_RETRY_MAX,
+/// ETSC_RETRY_BASE_MS, ETSC_QUARANTINE_AFTER and ETSC_WATCHDOG_GRACE
+/// (invalid values warn and keep the default, matching CampaignConfig).
+struct SupervisorOptions {
+  RetryPolicy retry;
+  /// Quarantine an algorithm after this many consecutive failures on
+  /// distinct datasets; 0 disables the breaker.
+  int quarantine_after = 3;
+  /// Cancel a task once its elapsed time exceeds grace * budget; <= 0
+  /// disables the watchdog.
+  double watchdog_grace = 0.0;
+
+  static SupervisorOptions FromEnv();
+};
+
+/// True for failure classes worth retrying: budget expiry and transient
+/// unavailability. Deterministic failures (bad input, logic errors, corrupt
+/// data) fail fast — retrying them reproduces the same failure.
+bool IsTransientFailure(StatusCode code);
+
+/// Backoff before retry attempt `attempt` (1-based), in milliseconds:
+/// min(max, base * multiplier^(attempt-1)) scaled by a jitter factor in
+/// [0.5, 1.0) derived from SplitSeed(seed, attempt). Pure, so every thread
+/// computes the same schedule for the same cell — timing varies, results
+/// never do.
+double BackoffDelayMs(const RetryPolicy& policy, uint64_t seed, int attempt);
+
+/// Per-algorithm failure accounting. An algorithm accumulates consecutive
+/// failures across *distinct* datasets (a retry burst on one dataset counts
+/// once); any success resets the streak; reaching `quarantine_after` trips
+/// the breaker and every later cell of that algorithm is skipped with an
+/// explicit kSkippedQuarantine row. Thread-safe.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(int quarantine_after)
+      : quarantine_after_(quarantine_after) {}
+
+  /// Returns true when this failure trips the breaker (transition into
+  /// quarantine happens exactly once per algorithm).
+  bool RecordFailure(const std::string& algo, const std::string& dataset);
+  void RecordSuccess(const std::string& algo);
+  bool IsQuarantined(const std::string& algo) const;
+
+ private:
+  struct Entry {
+    int consecutive_failures = 0;
+    std::string last_failed_dataset;
+    bool quarantined = false;
+  };
+
+  const int quarantine_after_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// Watchdog: a lazily-started background thread that observes supervised
+/// tasks and requests cooperative cancellation once one has run past
+/// grace * budget. Cancellation flows through the task's CancelToken, which
+/// every Deadline poll observes — the cell then fails with kDeadlineExceeded
+/// and degrades to a full-length miss exactly like a budget overrun.
+class Watchdog {
+ public:
+  static Watchdog& Instance();
+
+  /// RAII registration of the calling thread's current task. Installs a
+  /// fresh CancelToken on the thread for the scope and registers it with the
+  /// watchdog when `budget_seconds` is finite and `grace` > 0 (otherwise the
+  /// guard still installs the token, keeping cancellation semantics uniform,
+  /// but the watchdog never fires).
+  class Watch {
+   public:
+    Watch(std::string label, double budget_seconds, double grace);
+    ~Watch();
+
+    Watch(const Watch&) = delete;
+    Watch& operator=(const Watch&) = delete;
+
+    /// True when the watchdog cancelled this task.
+    bool cancelled() const { return token_->cancelled(); }
+
+   private:
+    std::shared_ptr<CancelToken> token_;
+    ScopedCancelToken install_;
+    uint64_t id_ = 0;  // 0 = not registered with the watchdog thread.
+  };
+
+ private:
+  Watchdog() = default;
+  ~Watchdog();
+
+  uint64_t Register(std::shared_ptr<CancelToken> token, std::string label,
+                    double budget_seconds, double grace);
+  void Unregister(uint64_t id);
+  void RunLoop();
+
+  struct Task {
+    std::shared_ptr<CancelToken> token;
+    std::string label;
+    Deadline::Clock::time_point started;
+    double cancel_after_seconds = 0.0;
+    bool cancelled = false;
+  };
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<uint64_t, Task> tasks_;
+  uint64_t next_id_ = 1;
+  bool started_ = false;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace etsc
+
+#endif  // ETSC_CORE_SUPERVISOR_H_

@@ -163,7 +163,7 @@ TEST(ProbThreshold, BudgetExhaustionReported) {
   Dataset d = testing::MakeToyDataset(15, 30);
   ProbThresholdClassifier model(std::make_unique<MiniRocketClassifier>());
   model.set_train_budget_seconds(0.0);
-  EXPECT_EQ(model.Fit(d).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(model.Fit(d).code(), StatusCode::kDeadlineExceeded);
 }
 
 TEST(ProbThreshold, PredictBeforeFitFails) {

@@ -45,7 +45,7 @@ TEST(Deadline, NonPositiveBudgetIsAlreadyExpired) {
     EXPECT_TRUE(d.Expired());
     EXPECT_LE(d.Remaining(), 0.0);
     const Status status = d.Check("thing: budget exceeded");
-    EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
     EXPECT_EQ(status.message(), "thing: budget exceeded");
   }
 }

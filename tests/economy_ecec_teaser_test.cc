@@ -114,7 +114,7 @@ TEST(Ecec, BudgetExhaustionReported) {
   Dataset d = MakeToyDataset(20, 40);
   EcecClassifier model;
   model.set_train_budget_seconds(0.0);
-  EXPECT_EQ(model.Fit(d).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(model.Fit(d).code(), StatusCode::kDeadlineExceeded);
 }
 
 TEST(Ecec, RejectsMultivariate) {
@@ -155,7 +155,7 @@ TEST(Teaser, BudgetExhaustionReported) {
   Dataset d = MakeToyDataset(20, 40);
   TeaserClassifier model;
   model.set_train_budget_seconds(0.0);
-  EXPECT_EQ(model.Fit(d).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(model.Fit(d).code(), StatusCode::kDeadlineExceeded);
 }
 
 TEST(Teaser, PredictBeforeFitFails) {

@@ -65,7 +65,7 @@ TEST(Ects, BudgetExhaustionReported) {
   model.set_train_budget_seconds(0.0);
   const Status status = model.Fit(d);
   EXPECT_FALSE(status.ok());
-  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
 }
 
 TEST(Ects, SupportParameterRaisesMpl) {
@@ -141,7 +141,7 @@ TEST(Edsc, BudgetExhaustionReported) {
   EdscClassifier model;
   model.set_train_budget_seconds(0.0);
   const Status status = model.Fit(d);
-  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
 }
 
 TEST(Edsc, RejectsMultivariate) {

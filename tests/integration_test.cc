@@ -88,7 +88,7 @@ TEST_F(IntegrationTest, TrainBudgetPropagatesThroughVotingAndCv) {
   const EvaluationResult result = CrossValidate(sea, **model, options);
   EXPECT_FALSE(result.trained());
   ASSERT_FALSE(result.folds.empty());
-  EXPECT_NE(result.folds[0].failure.find("ResourceExhausted"),
+  EXPECT_NE(result.folds[0].failure.find("DeadlineExceeded"),
             std::string::npos);
   // skip_folds_after_failure stops after the first fold.
   EXPECT_EQ(result.folds.size(), 1u);

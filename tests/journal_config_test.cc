@@ -63,7 +63,7 @@ std::string Row(const std::string& algorithm, const std::string& dataset,
                 double accuracy, const std::string& failure) {
   std::ostringstream ss;
   ss << algorithm << ',' << dataset << ",1," << accuracy
-     << ",0.5,0.25,0.5,1,0.001," << bench::EscapeJournalField(failure)
+     << ",0.5,0.25,0.5,1,0.001,0,0," << bench::EscapeJournalField(failure)
      << ",#end";
   return ss.str();
 }
@@ -179,7 +179,8 @@ std::vector<std::string> RowsModuloTimings(const std::string& path,
     std::stringstream ss(line);
     std::string field;
     while (std::getline(ss, field, ',')) fields.push_back(field);
-    // algorithm,dataset,trained,acc,f1,earliness,hm,train_s,test_s,failure...
+    // algorithm,dataset,trained,acc,f1,earliness,hm,train_s,test_s,
+    // retries,quarantined,failure...
     if (fields.size() > 8) fields[7] = fields[8] = "";
     std::string joined;
     for (const auto& f : fields) joined += f + ",";

@@ -134,7 +134,7 @@ TEST(ParallelForStatus, ExpiredDeadlineCancelsBeforeRunningBodies) {
           return Status::OK();
         },
         /*grain=*/1, &expired, "loop: budget exceeded");
-    EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
     EXPECT_EQ(status.message(), "loop: budget exceeded");
     EXPECT_EQ(ran.load(), 0u);
   }
@@ -152,7 +152,7 @@ TEST(ParallelForStatus, MidLoopExpiryStopsTheLoop) {
         return Status::OK();
       },
       /*grain=*/1, &deadline, "loop: budget exceeded");
-  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
   EXPECT_LT(ran.load(), 100000u);
 }
 
@@ -235,7 +235,7 @@ TEST(TaskGroup, ExpiredDeadlineSkipsTheTaskEntirely) {
       },
       &expired);
   const Status status = group.Wait();
-  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
   EXPECT_FALSE(ran.load());
 }
 

@@ -124,7 +124,7 @@ TEST(Strut, BudgetExhaustionReported) {
   Dataset d = MakeToyDataset(20, 40);
   StrutClassifier model(std::make_unique<MiniRocketClassifier>());
   model.set_train_budget_seconds(0.0);
-  EXPECT_EQ(model.Fit(d).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(model.Fit(d).code(), StatusCode::kDeadlineExceeded);
 }
 
 TEST(Strut, CloneUntrainedKeepsNameAndConfig) {
