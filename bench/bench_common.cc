@@ -18,8 +18,12 @@
 #include "algos/edsc.h"
 #include "algos/strut.h"
 #include "algos/teaser.h"
+#include <chrono>
+#include <thread>
+
 #include "core/counters.h"
 #include "core/evaluation.h"
+#include "core/fabric.h"
 #include "core/fault.h"
 #include "core/json.h"
 #include "core/log.h"
@@ -158,9 +162,9 @@ std::string CampaignConfig::Fingerprint() const {
   // wall-clock timing and stay out (like the shard selector and fault spec).
   char buf[224];
   std::snprintf(buf, sizeof(buf),
-                "v3 scale=%.3f folds=%zu budget=%.0f pbudget=%.0f "
+                "v%d scale=%.3f folds=%zu budget=%.0f pbudget=%.0f "
                 "maritime=%zu seed=%llu retries=%d quarantine=%d",
-                height_scale, folds, train_budget_seconds,
+                kJournalFormatVersion, height_scale, folds, train_budget_seconds,
                 predict_budget_seconds, maritime_windows,
                 static_cast<unsigned long long>(seed),
                 supervisor.retry.max_retries, supervisor.quarantine_after);
@@ -356,12 +360,25 @@ Result<std::string> JournalHeaderForConfig(const CampaignConfig& config) {
          " data=" + Hex16(CombineDataFingerprints(fingerprints));
 }
 
-void Campaign::LoadCache(const std::string& expected_header) {
+Status Campaign::LoadCache(const std::string& expected_header) {
   cache_state_ = CacheState::kMissing;
   std::ifstream in(config_.cache_path);
-  if (!in) return;
+  if (!in) return Status::OK();
   std::string line;
   if (!std::getline(in, line) || line != expected_header) {
+    // A journal claiming a NEWER format version is not "stale" — it is the
+    // product of a newer build and may contain row kinds this binary would
+    // misparse (e.g. control rows it does not know). Rotating it aside would
+    // silently discard someone's results; refuse with marching orders.
+    const int theirs = fabric::HeaderVersion(line);
+    if (theirs > kJournalFormatVersion) {
+      return Status::FailedPrecondition(
+          "cache " + config_.cache_path + " was written by a newer build "
+          "(journal format v" + std::to_string(theirs) +
+          ", this binary reads up to v" +
+          std::to_string(kJournalFormatVersion) +
+          "): upgrade the binary, or delete/move the journal to recompute");
+    }
     // Journal from another configuration (or a header truncated mid-write):
     // its rows must never be mixed with this config's. AppendCache rotates
     // the file aside before the first new row.
@@ -370,7 +387,7 @@ void Campaign::LoadCache(const std::string& expected_header) {
          "cache %s has a different fingerprint; it will be rotated to "
          "%s.stale before new results are journalled",
          config_.cache_path.c_str(), config_.cache_path.c_str());
-    return;
+    return Status::OK();
   }
   cache_state_ = CacheState::kLoaded;
   size_t skipped = 0;
@@ -381,6 +398,9 @@ void Campaign::LoadCache(const std::string& expected_header) {
   std::map<std::pair<std::string, std::string>, size_t> index;
   while (std::getline(in, line)) {
     const size_t sentinel_len = sizeof(kRowSentinel) - 1;
+    if (!line.empty() && line[0] == '@') {
+      continue;  // worker-fabric control row (lease / quarantine broadcast)
+    }
     if (line.size() < sentinel_len ||
         line.compare(line.size() - sentinel_len, sentinel_len, kRowSentinel) !=
             0) {
@@ -434,6 +454,23 @@ void Campaign::LoadCache(const std::string& expected_header) {
          "the latest result for each cell wins",
          config_.cache_path.c_str(), duplicates);
   }
+  return Status::OK();
+}
+
+std::string FormatJournalRow(const CampaignCell& cell) {
+  std::ostringstream out;
+  // max_digits10 so a resumed campaign reloads bit-identical scores.
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  // The failure field is free-form text from a Status message: escaped so a
+  // newline cannot tear the row and an embedded ",#end" cannot forge the
+  // sentinel (every comma is escaped, and the sentinel starts with one).
+  out << cell.algorithm << ',' << cell.dataset << ',' << (cell.trained ? 1 : 0)
+      << ',' << cell.accuracy << ',' << cell.f1 << ',' << cell.earliness << ','
+      << cell.harmonic_mean << ',' << cell.train_seconds << ','
+      << cell.test_seconds_per_instance << ',' << cell.retries << ','
+      << (cell.quarantined ? 1 : 0) << ','
+      << EscapeJournalField(cell.failure) << kRowSentinel;
+  return out.str();
 }
 
 void Campaign::AppendCache(const CampaignCell& cell) {
@@ -470,17 +507,7 @@ void Campaign::AppendCache(const CampaignCell& cell) {
     out << journal_header_ << "\n";
     cache_state_ = CacheState::kLoaded;
   }
-  // max_digits10 so a resumed campaign reloads bit-identical scores.
-  out << std::setprecision(std::numeric_limits<double>::max_digits10);
-  // The failure field is free-form text from a Status message: escaped so a
-  // newline cannot tear the row and an embedded ",#end" cannot forge the
-  // sentinel (every comma is escaped, and the sentinel starts with one).
-  out << cell.algorithm << ',' << cell.dataset << ',' << (cell.trained ? 1 : 0)
-      << ',' << cell.accuracy << ',' << cell.f1 << ',' << cell.earliness << ','
-      << cell.harmonic_mean << ',' << cell.train_seconds << ','
-      << cell.test_seconds_per_instance << ',' << cell.retries << ','
-      << (cell.quarantined ? 1 : 0) << ','
-      << EscapeJournalField(cell.failure) << kRowSentinel << "\n";
+  out << FormatJournalRow(cell) << "\n";
   // One cell can take hours; flush so a later crash costs at most the row
   // being written, which the sentinel check then discards.
   out.flush();
@@ -546,9 +573,15 @@ std::unique_ptr<EarlyClassifier> ApplyFaultSpec(
       hang.hang_predict = kind == "hang-predict";
       return std::make_unique<HangingClassifier>(std::move(classifier), hang);
     }
+    if (kind == "die-at") {
+      // Abrupt process exit on this algorithm's k-th campaign cell: the
+      // journal is left exactly as a SIGKILL would leave it (possibly with a
+      // live lease row), which is what the worker-fabric crash drill needs.
+      return std::make_unique<DieAtClassifier>(std::move(classifier), k);
+    }
     Logf(LogLevel::kWarn, "campaign",
          "ETSC_BENCH_FAULT entry \"%s\": unknown fault kind \"%s\" (known: "
-         "flaky[:k], crash, hang-fit, hang-predict)",
+         "flaky[:k], crash, hang-fit, hang-predict, die-at[:k])",
          entry.c_str(), kind.c_str());
   }
   return classifier;
@@ -556,22 +589,14 @@ std::unique_ptr<EarlyClassifier> ApplyFaultSpec(
 
 }  // namespace
 
-void Campaign::Run() {
-  TraceSpan run_span("campaign", "campaign_run");
-  RunStats stats;
-  Stopwatch total;
-  Stopwatch phase;
+Status Campaign::GenerateDatasets(std::vector<BenchmarkDataset>* benchmarks) {
+  // Serial: generation draws from seeded RNGs, so it must not race or depend
+  // on scheduling; cell tasks then capture const references into the vector
+  // (satisfying the immutable-inputs contract of core/parallel.h). Runs
+  // BEFORE any cache read: the journal header embeds the combined dataset
+  // fingerprint, so the expected header is only known once the data exists.
   profiles_.clear();
-
-  // Phase 1 (serial): generate every dataset once, in configuration order.
-  // Generation draws from seeded RNGs, so it must not race or depend on
-  // scheduling; the cell tasks then capture const references into this
-  // vector (satisfying the immutable-inputs contract of core/parallel.h).
-  // Runs BEFORE the cache load: the journal header embeds the combined
-  // dataset fingerprint, so the expected header is only known once the data
-  // exists.
-  std::vector<BenchmarkDataset> benchmarks;
-  benchmarks.reserve(config_.datasets.size());
+  benchmarks->reserve(benchmarks->size() + config_.datasets.size());
   std::vector<uint64_t> data_fingerprints;
   for (const auto& dataset_name : config_.datasets) {
     auto benchmark = MakeBenchmarkDataset(dataset_name, RepoOptions());
@@ -582,14 +607,34 @@ void Campaign::Run() {
     }
     profiles_.push_back(benchmark->canonical_profile);
     data_fingerprints.push_back(benchmark->data.Fingerprint());
-    benchmarks.push_back(*std::move(benchmark));
+    benchmarks->push_back(*std::move(benchmark));
   }
-  stats.generate_seconds = phase.Seconds();
+  if (benchmarks->empty()) {
+    return Status::NotFound(
+        "campaign: no configured dataset could be generated");
+  }
   journal_header_ = "# " + config_.Fingerprint() +
                     " data=" + Hex16(CombineDataFingerprints(data_fingerprints));
+  return Status::OK();
+}
+
+Status Campaign::Run() {
+  TraceSpan run_span("campaign", "campaign_run");
+  RunStats stats;
+  Stopwatch total;
+  Stopwatch phase;
+
+  // Phase 1 (serial): generate every dataset once, in configuration order.
+  std::vector<BenchmarkDataset> benchmarks;
+  const Status generated = GenerateDatasets(&benchmarks);
+  stats.generate_seconds = phase.Seconds();
+  if (!generated.ok()) {
+    Logf(LogLevel::kError, "campaign", "%s", generated.ToString().c_str());
+    return generated;
+  }
 
   phase.Restart();
-  LoadCache(journal_header_);
+  ETSC_RETURN_NOT_OK(LoadCache(journal_header_));
   stats.load_cache_seconds = phase.Seconds();
   stats.cells_loaded = cells_.size();
 
@@ -636,7 +681,7 @@ void Campaign::Run() {
     // written so downstream tooling always finds a fresh one after Run().
     stats.total_seconds = total.Seconds();
     WriteReport(stats);
-    return;
+    return Status::OK();
   }
 
   // Phase 3 (parallel): compute cells as one serial LANE per algorithm. Each
@@ -785,6 +830,302 @@ void Campaign::Run() {
                                  : 1.0,
        MaxParallelism());
   WriteReport(stats);
+  return Status::OK();
+}
+
+namespace {
+
+/// Replays `algorithm`'s journalled lane outcomes (dataset-major grid order)
+/// into `breaker`: quarantine rows are skips, not evidence. Because lane
+/// prerequisites serialise each algorithm's cells across workers, every
+/// worker replays the same prefix the single-process lane would have
+/// accumulated — quarantine decisions are therefore bit-identical.
+bool ReplayLaneIntoBreaker(const std::vector<fabric::GridCell>& grid,
+                           const std::vector<fabric::CellStatus>& statuses,
+                           const std::string& algorithm,
+                           CircuitBreaker* breaker) {
+  for (size_t i = 0; i < grid.size(); ++i) {
+    if (grid[i].algorithm != algorithm || !statuses[i].terminal) continue;
+    if (statuses[i].quarantined_row) continue;
+    if (statuses[i].trained) {
+      breaker->RecordSuccess(algorithm);
+    } else {
+      breaker->RecordFailure(algorithm, grid[i].dataset);
+    }
+  }
+  return breaker->IsQuarantined(algorithm);
+}
+
+}  // namespace
+
+Status Campaign::RunWorker(const std::string& owner,
+                           const WorkerDrillHooks* drill) {
+  trace::SetProcessLabel("etsc-worker:" + owner);
+  TraceSpan run_span("campaign", "worker_run");
+
+  // Phase 1 (identical to Run): generate datasets, derive the header.
+  std::vector<BenchmarkDataset> benchmarks;
+  ETSC_RETURN_NOT_OK(GenerateDatasets(&benchmarks));
+
+  // The grid every worker must agree on: dataset-major with per-algorithm
+  // lane prerequisites. Unknown algorithms are excluded up-front (one
+  // warning), mirroring Run()'s skip — a cell that could never produce a
+  // terminal row would wedge the fabric's completion check forever.
+  std::vector<std::string> algorithms;
+  for (const auto& algorithm : config_.algorithms) {
+    auto probe =
+        MakePaperAlgorithm(algorithm, benchmarks.front().canonical_profile.name,
+                           benchmarks.front().data.MaxLength());
+    if (!probe.ok()) {
+      Logf(LogLevel::kWarn, "campaign", "%s",
+           probe.status().ToString().c_str());
+      continue;
+    }
+    algorithms.push_back(algorithm);
+  }
+  if (algorithms.empty()) {
+    return Status::NotFound("worker: no known algorithm configured");
+  }
+  std::vector<fabric::GridCell> grid;
+  std::map<std::string, const BenchmarkDataset*> benchmark_of;
+  {
+    std::map<std::string, size_t> last_in_lane;
+    for (const auto& benchmark : benchmarks) {
+      const std::string& dataset_name = benchmark.canonical_profile.name;
+      benchmark_of[dataset_name] = &benchmark;
+      for (const auto& algorithm : algorithms) {
+        fabric::GridCell cell;
+        cell.algorithm = algorithm;
+        cell.dataset = dataset_name;
+        const auto it = last_in_lane.find(algorithm);
+        if (it != last_in_lane.end()) cell.prerequisite = it->second;
+        last_in_lane[algorithm] = grid.size();
+        grid.push_back(std::move(cell));
+      }
+    }
+  }
+
+  fabric::WorkerJournal journal(config_.cache_path, journal_header_, grid,
+                                owner, fabric::LeaseOptions::FromEnv());
+  ETSC_RETURN_NOT_OK(journal.EnsureHeader());
+  const std::shared_ptr<const ModelCache> model_cache = ModelCache::FromEnv();
+  size_t computed = 0;
+
+  for (;;) {
+    ETSC_ASSIGN_OR_RETURN(const fabric::WorkerJournal::Acquired acquired,
+                          journal.Acquire());
+    if (acquired.all_terminal) break;
+    if (acquired.index == fabric::kNoCell) {
+      // Everything acquirable is leased by live workers (or gated on their
+      // lanes); sleep until the soonest expiry could free a cell.
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          std::max(10.0, acquired.retry_after_ms)));
+      continue;
+    }
+    const fabric::GridCell& gcell = journal.grid()[acquired.index];
+    if (drill != nullptr && drill->on_cell &&
+        !drill->on_cell(gcell.algorithm, gcell.dataset)) {
+      // Crash drill: walk away holding the lease, like a SIGKILLed worker.
+      Logf(LogLevel::kWarn, "campaign",
+           "%s: drill hook abandoned the run holding the lease on %s/%s",
+           owner.c_str(), gcell.algorithm.c_str(), gcell.dataset.c_str());
+      return Status::OK();
+    }
+
+    CampaignCell cell;
+    cell.algorithm = gcell.algorithm;
+    cell.dataset = gcell.dataset;
+
+    // Quarantine decision: a broadcast row published by any worker, or the
+    // deterministic breaker replay over this lane's journalled outcomes.
+    CircuitBreaker breaker(config_.supervisor.quarantine_after);
+    const bool replayed_quarantine = ReplayLaneIntoBreaker(
+        journal.grid(), acquired.statuses, gcell.algorithm, &breaker);
+    if (acquired.quarantined_algorithms.count(gcell.algorithm) > 0 ||
+        replayed_quarantine) {
+      cell.quarantined = true;
+      cell.failure = Status::SkippedQuarantine(
+                         gcell.algorithm +
+                         " quarantined after repeated failures; "
+                         "cell not attempted")
+                         .ToString();
+      ETSC_RETURN_NOT_OK(
+          journal.Complete(acquired.index, FormatJournalRow(cell)));
+      if (MetricsEnabled()) JournalAppends().Add(1);
+      Logf(LogLevel::kWarn, "campaign", "  %s on %s: %s",
+           gcell.algorithm.c_str(), gcell.dataset.c_str(),
+           cell.failure.c_str());
+      continue;
+    }
+
+    const BenchmarkDataset& benchmark = *benchmark_of.at(gcell.dataset);
+    auto prototype = MakePaperAlgorithm(gcell.algorithm, gcell.dataset,
+                                        benchmark.data.MaxLength());
+    if (!prototype.ok()) {
+      // Probed fine above, so only exotic failures land here; a failed row
+      // still terminates the cell so the grid completes.
+      cell.failure = prototype.status().ToString();
+      ETSC_RETURN_NOT_OK(
+          journal.Complete(acquired.index, FormatJournalRow(cell)));
+      if (MetricsEnabled()) JournalAppends().Add(1);
+      continue;
+    }
+    auto classifier = ApplyFaultSpec(config_.fault_spec, gcell.algorithm,
+                                     std::move(*prototype));
+    TraceSpan cell_span("campaign", [&] {
+      return "cell:" + gcell.algorithm + "/" + gcell.dataset;
+    });
+    Logf(LogLevel::kInfo, "campaign", "%s: %s on %s (%zu instances)...",
+         owner.c_str(), gcell.algorithm.c_str(), gcell.dataset.c_str(),
+         benchmark.data.size());
+
+    EvaluationOptions options;
+    options.num_folds = config_.folds;
+    options.seed = config_.seed;
+    options.train_budget_seconds = config_.train_budget_seconds;
+    options.predict_budget_seconds = config_.predict_budget_seconds;
+    options.model_cache = model_cache;
+    options.retry = config_.supervisor.retry;
+    options.watchdog_grace = config_.supervisor.watchdog_grace;
+
+    bool lease_lost = false;
+    {
+      // Heartbeats renew the lease while the cell computes — a slow cell is
+      // not a dead worker. Scoped so the keeper is joined before Complete.
+      fabric::LeaseKeeper keeper(&journal, acquired.index);
+      const EvaluationResult result =
+          CrossValidate(benchmark.data, *classifier, options);
+      cell.trained = result.trained();
+      for (const auto& fold : result.folds) {
+        cell.retries += std::max(0, fold.fit_attempts - 1);
+        if (cell.failure.empty() && !fold.failure.empty()) {
+          cell.failure = fold.failure;
+        }
+      }
+      const EvalScores scores = result.MeanScores();
+      cell.accuracy = scores.accuracy;
+      cell.f1 = scores.f1;
+      cell.earliness = scores.earliness;
+      cell.harmonic_mean = scores.harmonic_mean;
+      cell.train_seconds = result.MeanTrainSeconds();
+      cell.test_seconds_per_instance = result.MeanTestSecondsPerInstance();
+      lease_lost = keeper.lease_lost();
+    }
+    if (lease_lost) {
+      // Stolen mid-compute (our heartbeats lapsed past the TTL): the thief's
+      // re-run is the row of record; journalling ours too would be a
+      // duplicate at best and a fork at worst.
+      Logf(LogLevel::kWarn, "campaign",
+           "%s: lease on %s/%s was stolen mid-compute; result discarded",
+           owner.c_str(), gcell.algorithm.c_str(), gcell.dataset.c_str());
+      continue;
+    }
+    if (!cell.trained) {
+      // Feed the fresh failure into the replayed streak; the worker that
+      // trips the breaker broadcasts the quarantine so the others stop
+      // without waiting to re-derive it from rows.
+      if (breaker.RecordFailure(gcell.algorithm, gcell.dataset)) {
+        ETSC_RETURN_NOT_OK(journal.PublishQuarantine(gcell.algorithm));
+      }
+    }
+    if (MetricsEnabled()) {
+      CellsComputed().Add(1);
+      JournalAppends().Add(1);
+    }
+    ++computed;
+    ETSC_RETURN_NOT_OK(
+        journal.Complete(acquired.index, FormatJournalRow(cell)));
+    Logf(LogLevel::kInfo, "campaign", "  %s on %s: %s",
+         gcell.algorithm.c_str(), gcell.dataset.c_str(),
+         cell.trained ? "ok" : ("DNF: " + cell.failure).c_str());
+  }
+  Logf(LogLevel::kInfo, "campaign",
+       "%s: campaign complete — every cell terminal (%zu computed here)",
+       owner.c_str(), computed);
+  return Status::OK();
+}
+
+Result<MergeSummary> MergeShardJournals(const std::string& out_path,
+                                        const std::vector<std::string>& inputs,
+                                        const CampaignConfig& config,
+                                        const std::string& expected_header) {
+  MergeSummary summary;
+  std::map<std::pair<std::string, std::string>, std::string> rows;
+  std::vector<std::pair<std::string, std::string>> order;
+  const size_t sentinel_len = sizeof(kRowSentinel) - 1;
+  for (const auto& path : inputs) {
+    std::ifstream in(path);
+    if (!in) return Status::IOError("cannot read shard journal " + path);
+    std::string line;
+    if (!std::getline(in, line) || line.rfind("# ", 0) != 0) {
+      return Status::DataLoss(path + ": missing journal header line");
+    }
+    if (line != expected_header) {
+      const int theirs = fabric::HeaderVersion(line);
+      if (theirs > kJournalFormatVersion) {
+        return Status::FailedPrecondition(
+            path + " was written by a newer build (journal format v" +
+            std::to_string(theirs) + ", this binary reads up to v" +
+            std::to_string(kJournalFormatVersion) + "): upgrade the binary");
+      }
+      // Refuse rather than guess: shards from different configs or different
+      // generated data must never be blended into one report. Name both
+      // fingerprints so the operator can see exactly what disagrees.
+      return Status::FailedPrecondition(
+          path + " was written under a different campaign identity — "
+          "refusing to interleave mismatched shards:\n  journal:  " + line +
+          "\n  expected: " + expected_header);
+    }
+    while (std::getline(in, line)) {
+      if (!line.empty() && line[0] == '@') {
+        ++summary.control_rows;  // lease/quarantine rows end with the merge
+        continue;
+      }
+      if (line.size() < sentinel_len ||
+          line.compare(line.size() - sentinel_len, sentinel_len,
+                       kRowSentinel) != 0) {
+        continue;  // truncated by a mid-write crash; drop like LoadCache does
+      }
+      const size_t c1 = line.find(',');
+      if (c1 == std::string::npos) continue;
+      const size_t c2 = line.find(',', c1 + 1);
+      if (c2 == std::string::npos) continue;
+      auto key = std::make_pair(line.substr(0, c1),
+                                line.substr(c1 + 1, c2 - c1 - 1));
+      const auto [it, inserted] = rows.emplace(key, line);
+      if (inserted) {
+        order.push_back(key);
+      } else {
+        it->second = line;  // resumed shard: the freshest row wins
+      }
+    }
+  }
+  summary.rows = rows.size();
+
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot write merged journal " + out_path);
+  }
+  out << expected_header << "\n";
+  std::map<std::pair<std::string, std::string>, bool> written;
+  for (const auto& dataset : config.datasets) {
+    for (const auto& algorithm : config.algorithms) {
+      ++summary.grid_cells;
+      const auto it = rows.find({algorithm, dataset});
+      if (it == rows.end()) continue;
+      ++summary.terminal_cells;
+      out << it->second << "\n";
+      written[it->first] = true;
+    }
+  }
+  for (const auto& key : order) {
+    if (!written.count(key)) out << rows[key] << "\n";
+  }
+  out.flush();
+  if (!out) return Status::IOError("write to " + out_path + " failed");
+  summary.complete =
+      summary.grid_cells > 0 && summary.terminal_cells == summary.grid_cells;
+  return summary;
 }
 
 std::string Campaign::ReportPath() const {

@@ -1,6 +1,7 @@
 #ifndef ETSC_BENCH_BENCH_COMMON_H_
 #define ETSC_BENCH_BENCH_COMMON_H_
 
+#include <functional>
 #include <limits>
 #include <map>
 #include <memory>
@@ -58,7 +59,12 @@ namespace etsc::bench {
 ///                        injected faults DO change the affected cells'
 ///                        results, which is why check.sh compares faulted
 ///                        campaigns against clean ones only on unaffected
-///                        algorithms.
+///                        algorithms. The "die-at:<k>" kind (abrupt process
+///                        exit mid-cell, core/fault.h) makes crash drills
+///                        scriptable.
+///   ETSC_LEASE_TTL_MS / ETSC_HEARTBEAT_MS  worker-fabric lease knobs
+///                        (core/fabric.h): how long an unrenewed lease
+///                        survives and how often RunWorker renews it.
 ///
 /// Numeric overrides are validated: a value that is not a number (or is out
 /// of range) logs a warning and keeps the default instead of silently
@@ -103,6 +109,13 @@ struct CampaignConfig {
 /// Names of the eight evaluated algorithms in the paper's plot order.
 const std::vector<std::string>& PaperAlgorithms();
 
+/// Journal format version, embedded in the header fingerprint as "v<N>".
+/// v4 introduced '@'-prefixed control rows (worker leases and quarantine
+/// broadcasts, core/fabric.h); readers from older builds would misparse
+/// them, so LoadCache rejects any journal whose header claims a NEWER
+/// version with an actionable error instead of loading garbage.
+inline constexpr int kJournalFormatVersion = 4;
+
 /// The journal header line Campaign writes and expects for `config`:
 /// `# <config fingerprint> data=<16-hex combined dataset fingerprint>`.
 /// Generates the configured datasets to hash them, so it costs one repository
@@ -119,6 +132,51 @@ std::string EscapeJournalField(const std::string& raw);
 /// Inverse of EscapeJournalField; unknown escape sequences pass through
 /// verbatim (forward compatibility with journals written by newer builds).
 std::string UnescapeJournalField(const std::string& escaped);
+
+struct CampaignCell;
+
+/// Serialises one cell as a journal row (sentinel-terminated, no trailing
+/// newline) with max_digits10 floats — the single row format shared by the
+/// single-process journal writer, the worker fabric, and the shard merge,
+/// which is what makes their journals byte-comparable.
+std::string FormatJournalRow(const CampaignCell& cell);
+
+/// What MergeShardJournals found and wrote.
+struct MergeSummary {
+  /// Deduplicated terminal cell rows written to the output journal.
+  size_t rows = 0;
+  /// Control rows ('@' leases / quarantine broadcasts) dropped from inputs.
+  size_t control_rows = 0;
+  /// Cells of the config's datasets x algorithms grid.
+  size_t grid_cells = 0;
+  /// Grid cells with a terminal row among the merged inputs.
+  size_t terminal_cells = 0;
+  /// True when every grid cell is terminal — only then may the final JSON
+  /// report be emitted (the continuous-merge loop polls this).
+  bool complete = false;
+};
+
+/// Merges shard/worker journals written under one campaign identity into a
+/// single canonical journal at `out_path`: every input's header must equal
+/// `expected_header` (the mismatch diagnostic names both fingerprints),
+/// newer-versioned inputs are rejected with an actionable error, control
+/// rows are stripped, rows are deduplicated keep-last per (algorithm,
+/// dataset) and re-emitted in the canonical dataset-major order of `config`
+/// (off-grid rows survive in first-seen order). The merged journal is
+/// byte-identical to a single-process run's journal, timing fields aside.
+Result<MergeSummary> MergeShardJournals(const std::string& out_path,
+                                        const std::vector<std::string>& inputs,
+                                        const CampaignConfig& config,
+                                        const std::string& expected_header);
+
+/// Test-only crash-drill hooks for Campaign::RunWorker. `on_cell` runs after
+/// a lease is acquired and before the cell computes; returning false makes
+/// the worker abandon the run on the spot — lease row left in the journal,
+/// never released — which is what a killed process looks like to the others.
+struct WorkerDrillHooks {
+  std::function<bool(const std::string& algorithm, const std::string& dataset)>
+      on_cell;
+};
 
 /// Builds an algorithm with the paper's Table-4 parameters (plus the scaled
 /// EDSC candidate cap documented in DESIGN.md). `dataset_name` selects the
@@ -183,8 +241,23 @@ class Campaign {
   /// (core/log.h, ETSC_LOG); a machine-readable JSON report — config, cells,
   /// failures, per-phase timings, and a metric-registry snapshot — is written
   /// to ReportPath() at the end of every run, including report-only and
-  /// fully-cached ones.
-  void Run();
+  /// fully-cached ones. Fails only on setup errors (e.g. a journal written
+  /// by a newer build); cell failures are first-class rows, not errors.
+  Status Run();
+
+  /// Runs this campaign as one worker of a multi-process fabric: cells are
+  /// leased through the shared journal (core/fabric.h) instead of planned
+  /// up-front, heartbeats are renewed by a background LeaseKeeper while each
+  /// cell computes, expired leases of dead workers are stolen (lowest cell
+  /// index first), and quarantine decisions replayed from journalled rows —
+  /// plus `@quarantine` broadcasts — match the single-process run bit for
+  /// bit. Returns once every grid cell has a terminal row (also when other
+  /// workers wrote them) or on a setup/journal error. Workers write no
+  /// report; the continuous merge (`etsc_cli --merge-shards` /
+  /// `--workers`) emits it once the grid is complete. `owner` names this
+  /// worker in lease rows; `drill` injects test-only crash behaviour.
+  Status RunWorker(const std::string& owner,
+                   const WorkerDrillHooks* drill = nullptr);
 
   /// Where Run() writes the JSON report: config().report_path, or
   /// `<cache_path>.report.json` when unset.
@@ -229,7 +302,14 @@ class Campaign {
     size_t cells_computed = 0;
   };
 
-  void LoadCache(const std::string& expected_header);
+  /// Loads journalled rows under `expected_header`; skips control rows and
+  /// torn rows; rejects journals claiming a format version newer than
+  /// kJournalFormatVersion (actionable error instead of misparsed rows).
+  Status LoadCache(const std::string& expected_header);
+  /// Generates the configured datasets (profiles_, journal_header_) —
+  /// phase 1 of Run() and RunWorker(). Appends the generated benchmarks to
+  /// `benchmarks`; fails when not a single dataset could be generated.
+  Status GenerateDatasets(std::vector<BenchmarkDataset>* benchmarks);
   /// Requires journal_mu_ when cells complete concurrently: a row must hit
   /// the file whole (header decision, fresh-line check, write, flush).
   void AppendCache(const CampaignCell& cell);

@@ -10,14 +10,22 @@
 //   etsc_cli --algo ecec --arff my.arff
 //   etsc_cli --campaign [--shard I/N] [--max-retries N] [--quarantine-after N]
 //                                             (config via ETSC_BENCH_* env)
-//   etsc_cli --merge-shards OUT IN1 IN2 ...   (combine shard journals + report)
+//   etsc_cli --campaign --workers K [--cache J]  (K lease-fabric worker
+//                                             processes + continuous merge)
+//   etsc_cli --worker --cache JOURNAL         (join an existing fabric journal)
+//   etsc_cli --merge-shards OUT IN1 IN2 ... [--follow]
+//                                             (combine shard journals + report)
 //   etsc_cli --report-diff A.json B.json [--ignore-algos A,B]
 //                                             (compare reports modulo timings)
 //
 // Exit code 0 on success, 1 on usage/setup errors, 2 when the algorithm could
 // not train within the budget, 3 when --report-diff finds a difference.
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,12 +33,14 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "algos/registrations.h"
 #include "bench/bench_common.h"
 #include "core/arff.h"
+#include "core/counters.h"
 #include "core/csv.h"
 #include "core/evaluation.h"
 #include "core/json.h"
@@ -43,6 +53,10 @@ namespace {
 struct CliArgs {
   bool list = false;
   bool campaign = false;
+  bool worker = false;                   // join the fabric journal as a worker
+  size_t workers = 0;                    // coordinator: spawn K worker processes
+  std::string cache;                     // fabric journal override (--cache)
+  bool follow = false;                   // --merge-shards: loop until complete
   std::string shard;                     // "i/N", with --campaign
   std::string merge_out;                 // destination of --merge-shards
   std::vector<std::string> merge_inputs; // shard journals to merge
@@ -69,7 +83,12 @@ void PrintUsage() {
       "                [--folds N] [--budget SECONDS] [--seed S] [--scale F]\n"
       "       etsc_cli --campaign [--shard I/N] [--max-retries N]\n"
       "                [--quarantine-after N]    (ETSC_BENCH_* env config)\n"
-      "       etsc_cli --merge-shards OUT IN1 IN2 ...\n"
+      "       etsc_cli --campaign --workers K [--cache JOURNAL]\n"
+      "                (spawn K crash-tolerant worker processes; leases via\n"
+      "                 ETSC_LEASE_TTL_MS / ETSC_HEARTBEAT_MS)\n"
+      "       etsc_cli --worker --cache JOURNAL  (attach one worker; owner id\n"
+      "                from ETSC_WORKER_ID or pid)\n"
+      "       etsc_cli --merge-shards OUT IN1 IN2 ... [--follow]\n"
       "       etsc_cli --report-diff A.json B.json [--ignore-algos A,B]\n");
 }
 
@@ -87,6 +106,22 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->list = true;
     } else if (flag == "--campaign") {
       args->campaign = true;
+    } else if (flag == "--worker") {
+      args->worker = true;
+    } else if (flag == "--workers") {
+      const char* v = next("--workers");
+      if (v == nullptr) return false;
+      args->workers = std::strtoul(v, nullptr, 10);
+      if (args->workers == 0) {
+        std::fprintf(stderr, "--workers needs a positive count\n");
+        return false;
+      }
+    } else if (flag == "--cache") {
+      const char* v = next("--cache");
+      if (v == nullptr) return false;
+      args->cache = v;
+    } else if (flag == "--follow") {
+      args->follow = true;
     } else if (flag == "--shard") {
       const char* v = next("--shard");
       if (v == nullptr) return false;
@@ -203,109 +238,255 @@ int RunCampaign(const CliArgs& args) {
     config.supervisor.quarantine_after = args.quarantine_after;
   }
   etsc::bench::Campaign campaign(std::move(config));
-  campaign.Run();
+  const etsc::Status status = campaign.Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
   std::printf("campaign journal: %s\nreport: %s\n",
               campaign.config().cache_path.c_str(),
               campaign.ReportPath().c_str());
   return 0;
 }
 
-/// Combines shard journals written under one campaign config into a single
-/// journal at `out_path`, then produces the merged JSON report by running a
-/// report-only campaign over it. Rows are deduplicated keep-last per
-/// (algorithm, dataset) — matching Campaign::LoadCache — and reordered into
-/// the canonical dataset-major grid of the current ETSC_BENCH_* config, so
-/// the merged journal is byte-identical to what one unsharded process would
-/// have written serially. Pairs outside the grid survive in first-seen order.
-int MergeShards(const std::string& out_path,
-                const std::vector<std::string>& inputs) {
-  constexpr char kSentinel[] = ",#end";
-  constexpr size_t kSentinelLen = sizeof(kSentinel) - 1;
-  std::string header;
-  std::map<std::pair<std::string, std::string>, std::string> rows;
-  std::vector<std::pair<std::string, std::string>> order;
-  for (const auto& path : inputs) {
-    std::ifstream in(path);
-    if (!in) {
-      std::fprintf(stderr, "cannot read shard journal %s\n", path.c_str());
-      return 1;
-    }
-    std::string line;
-    if (!std::getline(in, line) || line.rfind("# ", 0) != 0) {
-      std::fprintf(stderr, "%s: missing journal header line\n", path.c_str());
-      return 1;
-    }
-    if (header.empty()) {
-      header = line;
-    } else if (line != header) {
-      // Refuse rather than guess: shards from different configs (or from
-      // different generated data) must never be blended into one report.
-      std::fprintf(stderr,
-                   "%s: header disagrees with %s — shards come from different"
-                   " campaign configs or datasets\n",
-                   path.c_str(), inputs.front().c_str());
-      return 1;
-    }
-    while (std::getline(in, line)) {
-      if (line.size() < kSentinelLen ||
-          line.compare(line.size() - kSentinelLen, kSentinelLen, kSentinel) !=
-              0) {
-        continue;  // truncated by a mid-write crash; drop like LoadCache does
-      }
-      const size_t c1 = line.find(',');
-      if (c1 == std::string::npos) continue;
-      const size_t c2 = line.find(',', c1 + 1);
-      if (c2 == std::string::npos) continue;
-      auto key = std::make_pair(line.substr(0, c1),
-                                line.substr(c1 + 1, c2 - c1 - 1));
-      const auto [it, inserted] = rows.emplace(key, line);
-      if (inserted) {
-        order.push_back(key);
-      } else {
-        it->second = line;  // resumed shard: the freshest row wins
-      }
-    }
-  }
+int WriteMergedReport(etsc::bench::CampaignConfig config,
+                      const std::string& journal_path);
 
+void ApplySupervisorFlags(const CliArgs& args,
+                          etsc::bench::CampaignConfig* config) {
+  if (args.max_retries >= 0) {
+    config->supervisor.retry.max_retries = args.max_retries;
+  }
+  if (args.quarantine_after >= 0) {
+    config->supervisor.quarantine_after = args.quarantine_after;
+  }
+}
+
+/// One fabric worker: leases cells from the shared journal until every cell
+/// is terminal (or the lease loop hits a setup error). Workers never write
+/// the report — that is the coordinator's (or --merge-shards') job.
+int RunWorkerProcess(const CliArgs& args) {
   auto config = etsc::bench::CampaignConfig::FromEnv();
-  std::ofstream out(out_path, std::ios::trunc);
-  if (!out) {
-    std::fprintf(stderr, "cannot write merged journal %s\n", out_path.c_str());
+  ApplySupervisorFlags(args, &config);
+  if (!args.cache.empty()) config.cache_path = args.cache;
+  const char* worker_id = std::getenv("ETSC_WORKER_ID");
+  const std::string owner = (worker_id != nullptr && *worker_id != '\0')
+                                ? std::string(worker_id)
+                                : "pid-" + std::to_string(::getpid());
+  etsc::bench::Campaign campaign(std::move(config));
+  const etsc::Status status = campaign.RunWorker(owner);
+  if (!status.ok()) {
+    std::fprintf(stderr, "worker %s: %s\n", owner.c_str(),
+                 status.ToString().c_str());
     return 1;
   }
-  out << header << "\n";
-  std::map<std::pair<std::string, std::string>, bool> written;
-  for (const auto& dataset : config.datasets) {
-    for (const auto& algorithm : config.algorithms) {
-      const auto it = rows.find({algorithm, dataset});
-      if (it == rows.end()) continue;
-      out << it->second << "\n";
-      written[it->first] = true;
+  std::printf("worker %s done: %s\n", owner.c_str(),
+              campaign.config().cache_path.c_str());
+  return 0;
+}
+
+/// Forks one `--worker` child (execs this same binary so a die-at fault or a
+/// SIGKILL only takes down that child). Returns the child pid, or -1.
+pid_t SpawnWorker(const std::string& exe, const std::string& cache,
+                  size_t index) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  std::string worker_id = "w";  // two-step append: GCC 12 -Wrestrict FP
+  worker_id += std::to_string(index);
+  ::setenv("ETSC_WORKER_ID", worker_id.c_str(), 1);
+  const char* trace = std::getenv("ETSC_TRACE");
+  if (trace != nullptr && *trace != '\0') {
+    // Per-worker trace files; the real pids give each worker its own lane
+    // when the traces are concatenated into one timeline.
+    ::setenv("ETSC_TRACE", (std::string(trace) + "." + worker_id).c_str(), 1);
+  }
+  const char* argv[] = {exe.c_str(), "--worker", "--cache", cache.c_str(),
+                        nullptr};
+  ::execv(exe.c_str(), const_cast<char**>(argv));
+  std::fprintf(stderr, "execv %s failed\n", exe.c_str());
+  ::_exit(127);
+}
+
+/// `--campaign --workers K`: spawns K lease-fabric workers over one shared
+/// journal and runs the continuous merge loop, emitting the final report only
+/// when every grid cell has a terminal row. Workers that die (crash, SIGKILL,
+/// die-at fault) lose their leases to the survivors; if *all* workers die
+/// before the grid completes, the fleet is respawned up to
+/// ETSC_WORKER_RESTARTS times (default 3, campaign.worker_restarts counts).
+int RunCoordinator(const CliArgs& args, const char* argv0) {
+  auto config = etsc::bench::CampaignConfig::FromEnv();
+  ApplySupervisorFlags(args, &config);
+  // Children re-read the environment, so flag overrides must be exported or
+  // the workers would derive a different journal fingerprint.
+  if (args.max_retries >= 0) {
+    ::setenv("ETSC_RETRY_MAX",
+             std::to_string(config.supervisor.retry.max_retries).c_str(), 1);
+  }
+  if (args.quarantine_after >= 0) {
+    ::setenv("ETSC_QUARANTINE_AFTER",
+             std::to_string(config.supervisor.quarantine_after).c_str(), 1);
+  }
+  if (!args.cache.empty()) config.cache_path = args.cache;
+  const std::string cache = config.cache_path;
+  const std::string merged = cache + ".merged.csv";
+  const auto header = etsc::bench::JournalHeaderForConfig(config);
+  if (!header.ok()) {
+    std::fprintf(stderr, "%s\n", header.status().ToString().c_str());
+    return 1;
+  }
+
+  std::string exe = argv0;
+  char self[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", self, sizeof(self) - 1);
+  if (n > 0) {
+    self[n] = '\0';
+    exe = self;
+  }
+
+  int restarts_left = 3;
+  if (const char* env = std::getenv("ETSC_WORKER_RESTARTS")) {
+    restarts_left = std::max(0, std::atoi(env));
+  }
+  static etsc::Counter& worker_restarts =
+      etsc::MetricRegistry::Global().counter("campaign.worker_restarts");
+
+  std::vector<pid_t> children;
+  auto spawn_fleet = [&]() -> bool {
+    children.clear();
+    for (size_t i = 0; i < args.workers; ++i) {
+      const pid_t pid = SpawnWorker(exe, cache, i + 1);
+      if (pid < 0) {
+        std::fprintf(stderr, "fork failed for worker %zu\n", i + 1);
+        return false;
+      }
+      children.push_back(pid);
+    }
+    return true;
+  };
+  if (!spawn_fleet()) return 1;
+  std::printf("coordinator: %zu worker(s) on %s\n", args.workers,
+              cache.c_str());
+
+  bool complete = false;
+  while (!complete) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    int wstatus = 0;
+    pid_t done;
+    while ((done = ::waitpid(-1, &wstatus, WNOHANG)) > 0) {
+      for (auto& child : children) {
+        if (child == done) child = -1;
+      }
+      if (WIFSIGNALED(wstatus) ||
+          (WIFEXITED(wstatus) && WEXITSTATUS(wstatus) != 0)) {
+        std::fprintf(stderr,
+                     "coordinator: worker pid %d died (%s %d); its leases "
+                     "will expire and be stolen\n",
+                     static_cast<int>(done),
+                     WIFSIGNALED(wstatus) ? "signal" : "exit",
+                     WIFSIGNALED(wstatus) ? WTERMSIG(wstatus)
+                                          : WEXITSTATUS(wstatus));
+      }
+    }
+
+    // Continuous merge: a no-journal-yet error is just "too early".
+    const auto merged_summary =
+        etsc::bench::MergeShardJournals(merged, {cache}, config, *header);
+    if (merged_summary.ok()) {
+      complete = merged_summary->complete;
+      if (complete) break;
+    }
+
+    const bool any_alive =
+        std::any_of(children.begin(), children.end(),
+                    [](pid_t pid) { return pid > 0; });
+    if (!any_alive) {
+      if (restarts_left <= 0) {
+        std::fprintf(stderr,
+                     "coordinator: all workers dead, grid incomplete, restart "
+                     "budget exhausted\n");
+        return 1;
+      }
+      --restarts_left;
+      worker_restarts.Add(args.workers);
+      std::fprintf(stderr, "coordinator: respawning %zu worker(s)\n",
+                   args.workers);
+      if (!spawn_fleet()) return 1;
     }
   }
-  for (const auto& key : order) {
-    if (!written.count(key)) out << rows[key] << "\n";
+
+  // The grid is complete; surviving workers observe all-terminal and exit on
+  // their own, so a blocking reap cannot hang.
+  for (const pid_t child : children) {
+    if (child > 0) {
+      int wstatus = 0;
+      ::waitpid(child, &wstatus, 0);
+    }
   }
-  out.flush();
-  if (!out) {
-    std::fprintf(stderr, "write to %s failed\n", out_path.c_str());
+  const auto final_merge =
+      etsc::bench::MergeShardJournals(merged, {cache}, config, *header);
+  if (!final_merge.ok()) {
+    std::fprintf(stderr, "%s\n", final_merge.status().ToString().c_str());
     return 1;
   }
-  std::printf("merged %zu row(s) from %zu shard journal(s) into %s\n",
-              rows.size(), inputs.size(), out_path.c_str());
+  std::printf("coordinator: all %zu grid cell(s) terminal; journal %s\n",
+              final_merge->grid_cells, merged.c_str());
+  return WriteMergedReport(std::move(config), merged);
+}
 
-  // The merged report: a report-only campaign over the combined journal.
-  // Run() regenerates the datasets, recomputes the expected header (proving
-  // the merged rows describe this config's data), and writes the JSON report.
-  config.cache_path = out_path;
-  config.report_path = out_path + ".report.json";
+/// Produces the merged JSON report by running a report-only campaign over the
+/// merged journal. Run() re-reads the journal under the freshly recomputed
+/// header and writes the report.
+int WriteMergedReport(etsc::bench::CampaignConfig config,
+                      const std::string& journal_path) {
+  config.cache_path = journal_path;
+  config.report_path = journal_path + ".report.json";
   config.report_only = true;
   config.shard_index = 0;
   config.shard_count = 1;
   etsc::bench::Campaign campaign(std::move(config));
-  campaign.Run();
+  const etsc::Status status = campaign.Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
   std::printf("merged report: %s\n", campaign.ReportPath().c_str());
   return 0;
+}
+
+/// Combines shard (or fabric) journals written under one campaign config into
+/// a single canonical journal at `out_path`, then writes the merged report.
+/// Every input is validated against the fingerprint this process derives from
+/// ETSC_BENCH_* + the generated data, so journals from a different config or
+/// different data are refused with a diagnostic naming both fingerprints.
+/// With `follow`, keeps re-merging until every grid cell has a terminal row
+/// (a live view over journals that crashed workers are still filling in).
+int MergeShards(const std::string& out_path,
+                const std::vector<std::string>& inputs, bool follow) {
+  auto config = etsc::bench::CampaignConfig::FromEnv();
+  const auto header = etsc::bench::JournalHeaderForConfig(config);
+  if (!header.ok()) {
+    std::fprintf(stderr, "%s\n", header.status().ToString().c_str());
+    return 1;
+  }
+  for (;;) {
+    const auto merged =
+        etsc::bench::MergeShardJournals(out_path, inputs, config, *header);
+    if (!merged.ok()) {
+      std::fprintf(stderr, "%s\n", merged.status().ToString().c_str());
+      return 1;
+    }
+    if (!follow || merged->complete) {
+      std::printf(
+          "merged %zu row(s) from %zu journal(s) into %s (%zu/%zu grid "
+          "cell(s) terminal%s)\n",
+          merged->rows, inputs.size(), out_path.c_str(),
+          merged->terminal_cells, merged->grid_cells,
+          merged->complete ? "" : " — incomplete");
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  }
+  return WriteMergedReport(std::move(config), out_path);
 }
 
 void WriteCanonical(const etsc::json::Value& value, etsc::json::Writer* w) {
@@ -465,7 +646,13 @@ int main(int argc, char** argv) {
                       args.ignore_algos);
   }
   if (!args.merge_out.empty()) {
-    return MergeShards(args.merge_out, args.merge_inputs);
+    return MergeShards(args.merge_out, args.merge_inputs, args.follow);
+  }
+  if (args.worker) {
+    return RunWorkerProcess(args);
+  }
+  if (args.workers > 0) {
+    return RunCoordinator(args, argv[0]);
   }
   if (args.campaign) {
     return RunCampaign(args);

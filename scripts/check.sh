@@ -2,7 +2,10 @@
 # Repo verification: the tier-1 build-and-test pass, a shard-merge
 # equivalence check, a supervisor fault-matrix gate (injected flaky fits,
 # hung predicts and corrupted model-cache entries must leave unaffected
-# cells bit-identical to a fault-free run), then sanitizer passes — ASan and
+# cells bit-identical to a fault-free run), a worker-fabric crash drill (a
+# worker dying abruptly mid-cell must cost zero cells: the survivor steals the
+# orphaned lease and the merged report stays bit-identical), then sanitizer
+# passes — ASan and
 # UBSan over the suites that parse attacker-shaped bytes (model streams,
 # journals, reports, dataset files), and an oversubscribed ThreadSanitizer
 # pass over the concurrency-sensitive suites (thread pool, tracing/metrics,
@@ -83,6 +86,53 @@ trap 'rm -rf "$SHARD_DIR" "$FAULT_DIR"' EXIT
 )
 echo "check.sh: fault matrix contained — quarantine precise, clean cells bit-identical"
 
+# Worker-fabric crash drill: two lease-fabric workers over one shared journal,
+# one killed mid-cell by the die-at fault (abrupt _Exit(86): the journal is
+# left exactly as a SIGKILL would leave it, orphaned lease included). The
+# survivor must wait out the lease TTL, steal the cell, and finish the grid —
+# zero lost cells, merged report bit-identical to the single-process run.
+FABRIC_DIR="$(mktemp -d)"
+trap 'rm -rf "$SHARD_DIR" "$FAULT_DIR" "$FABRIC_DIR"' EXIT
+(
+  export ETSC_BENCH_ALGOS=ECTS ETSC_BENCH_DATASETS=DodgerLoopGame,PowerCons \
+         ETSC_BENCH_FOLDS=2 ETSC_LOG=warn \
+         ETSC_LEASE_TTL_MS=400 ETSC_HEARTBEAT_MS=100
+  ETSC_BENCH_CACHE="$FABRIC_DIR/single.csv" ./build/examples/etsc_cli --campaign
+
+  # w1 dies abruptly on its second cell, lease still in the journal.
+  set +e
+  ETSC_WORKER_ID=w1 ETSC_BENCH_FAULT="ECTS:die-at:2" \
+    ./build/examples/etsc_cli --worker --cache "$FABRIC_DIR/fabric.csv"
+  rc=$?
+  set -e
+  test "$rc" -eq 86
+
+  # w2 joins the same journal and must log the steal of the orphaned lease.
+  ETSC_WORKER_ID=w2 ./build/examples/etsc_cli --worker \
+    --cache "$FABRIC_DIR/fabric.csv" 2> "$FABRIC_DIR/w2.err"
+  cat "$FABRIC_DIR/w2.err" >&2
+  grep -q "stealing expired lease" "$FABRIC_DIR/w2.err"
+
+  # Merge validates the fingerprint, strips lease/quarantine control rows,
+  # and must find every grid cell terminal: zero lost cells.
+  ./build/examples/etsc_cli --merge-shards \
+    "$FABRIC_DIR/fabric-merged.csv" "$FABRIC_DIR/fabric.csv"
+  test "$(grep -vc '^#' "$FABRIC_DIR/fabric-merged.csv")" = 2
+  ! grep -q '^@' "$FABRIC_DIR/fabric-merged.csv"
+  ./build/examples/etsc_cli --report-diff \
+    "$FABRIC_DIR/single.csv.report.json" \
+    "$FABRIC_DIR/fabric-merged.csv.report.json"
+
+  # Coordinator path: --workers forks the fleet, runs the continuous merge
+  # loop, and emits the final report only when every cell is terminal.
+  ETSC_BENCH_CACHE="$FABRIC_DIR/coord.csv" ./build/examples/etsc_cli \
+    --campaign --workers 2
+  ./build/examples/etsc_cli --report-diff \
+    "$FABRIC_DIR/single.csv.report.json" \
+    "$FABRIC_DIR/coord.csv.merged.csv.report.json"
+)
+echo "check.sh: crash drill survived — lease stolen, zero lost cells, merged report bit-identical"
+
 # ASan: the persistence layer and the loaders parse attacker-shaped bytes
 # (truncated, corrupted, garbage model streams / journals / reports /
 # datasets) — exactly where memory bugs would hide.
@@ -104,8 +154,8 @@ ctest --test-dir build-ubsan --output-on-failure -j"$(nproc)" \
 # keeps ctest away from the *_NOT_BUILT placeholders of the rest.
 cmake -B build-tsan -S . -DETSC_SANITIZE=thread
 cmake --build build-tsan -j --target parallel_test trace_test \
-  journal_config_test serialization_test supervisor_test
+  journal_config_test serialization_test supervisor_test fabric_test
 ETSC_THREADS=8 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-  -R 'Parallel|Trace|Counters|Journal|Campaign|Log|Json|Serialization|DatasetFingerprint|Supervisor|Watchdog|Backoff|CircuitBreaker|CancelToken|Retry|FailureTaxonomy'
+  -R 'Parallel|Trace|Counters|Journal|Campaign|Log|Json|Serialization|DatasetFingerprint|Supervisor|Watchdog|Backoff|CircuitBreaker|CancelToken|Retry|FailureTaxonomy|Fabric'
 
 echo "check.sh: all green"

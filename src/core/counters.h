@@ -15,7 +15,10 @@ namespace etsc {
 /// Process-wide metric registry fed from the framework's hot paths: distance
 /// kernel invocations and early-abandon hit rate, pool queue depth and task
 /// latency, deadline slack at decision time, degraded predictions, journal
-/// appends. Metrics never influence computed results — they only observe.
+/// appends, and the worker fabric's lease traffic (fabric.leases_acquired /
+/// leases_stolen / heartbeats / heartbeats_missed / lease_waits, plus the
+/// coordinator's campaign.worker_restarts). Metrics never influence computed
+/// results — they only observe.
 ///
 /// Overhead contract (DESIGN.md section 9): every instrumentation site is
 /// guarded by the compile-time-inlined MetricsEnabled() test — one relaxed

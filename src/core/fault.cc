@@ -1,12 +1,32 @@
 #include "core/fault.h"
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
+#include <map>
+#include <mutex>
+#include <string>
 #include <utility>
 
 #include "core/deadline.h"
 
 namespace etsc {
+
+namespace {
+
+/// Process-wide campaign-cell ordinal per algorithm name: the k-th wrap of
+/// one algorithm to reach its first Fit gets ordinal k. Leaked so it is
+/// usable from pool threads regardless of static destruction order.
+int NextCellOrdinal(const std::string& algorithm) {
+  static std::mutex* const mu = new std::mutex();
+  static std::map<std::string, int>* const counts =
+      new std::map<std::string, int>();
+  std::lock_guard<std::mutex> lock(*mu);
+  return ++(*counts)[algorithm];
+}
+
+}  // namespace
 
 void BurnWallClock(double seconds) {
   if (seconds <= 0.0) return;
@@ -152,6 +172,66 @@ bool HangingClassifier::SupportsMultivariate() const {
 
 std::unique_ptr<EarlyClassifier> HangingClassifier::CloneUntrained() const {
   return std::make_unique<HangingClassifier>(inner_->CloneUntrained(), options_);
+}
+
+DieAtClassifier::DieAtClassifier(std::unique_ptr<EarlyClassifier> inner,
+                                 int die_at_cell)
+    : DieAtClassifier(std::move(inner), die_at_cell,
+                      std::make_shared<std::atomic<int>>(0)) {}
+
+DieAtClassifier::DieAtClassifier(std::unique_ptr<EarlyClassifier> inner,
+                                 int die_at_cell,
+                                 std::shared_ptr<std::atomic<int>> cell_ordinal)
+    : inner_(std::move(inner)),
+      die_at_cell_(die_at_cell),
+      cell_ordinal_(std::move(cell_ordinal)) {
+  ETSC_CHECK(inner_ != nullptr);
+}
+
+Status DieAtClassifier::Fit(const Dataset& train) {
+  inner_->set_train_budget_seconds(train_budget_seconds());
+  inner_->set_predict_budget_seconds(predict_budget_seconds());
+  int ordinal = cell_ordinal_->load(std::memory_order_acquire);
+  if (ordinal == 0) {
+    // First Fit of this wrap: claim the cell ordinal. Folds racing on the
+    // pool agree on one ordinal via the CAS; the loser reuses the winner's.
+    const int fresh = NextCellOrdinal(inner_->name());
+    int expected = 0;
+    if (cell_ordinal_->compare_exchange_strong(expected, fresh,
+                                               std::memory_order_acq_rel)) {
+      ordinal = fresh;
+    } else {
+      ordinal = expected;
+    }
+  }
+  if (ordinal == die_at_cell_) {
+    std::fprintf(stderr,
+                 "[fault] %s: die-at fault on cell #%d — exiting abruptly "
+                 "(code %d), journal left as a crash would\n",
+                 name().c_str(), ordinal, kDieAtExitCode);
+    std::_Exit(kDieAtExitCode);
+  }
+  return inner_->Fit(train);
+}
+
+Result<EarlyPrediction> DieAtClassifier::PredictEarly(
+    const TimeSeries& series) const {
+  return inner_->PredictEarly(series);
+}
+
+std::string DieAtClassifier::name() const {
+  return "die-at-" + inner_->name();
+}
+
+bool DieAtClassifier::SupportsMultivariate() const {
+  return inner_->SupportsMultivariate();
+}
+
+std::unique_ptr<EarlyClassifier> DieAtClassifier::CloneUntrained() const {
+  // Clones share the ordinal cell counter: a CV fold's clone belongs to the
+  // same campaign cell as its prototype.
+  return std::unique_ptr<EarlyClassifier>(new DieAtClassifier(
+      inner_->CloneUntrained(), die_at_cell_, cell_ordinal_));
 }
 
 Dataset InjectMissingValues(const Dataset& source, double rate, uint64_t seed) {

@@ -1,6 +1,7 @@
 #ifndef ETSC_CORE_FAULT_H_
 #define ETSC_CORE_FAULT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -113,6 +114,39 @@ class HangingClassifier : public EarlyClassifier {
 
   std::unique_ptr<EarlyClassifier> inner_;
   HangOptions options_;
+};
+
+/// Exit code used by DieAtClassifier so drills can tell a scripted death
+/// (std::_Exit mid-Fit) from an ordinary failure.
+inline constexpr int kDieAtExitCode = 86;
+
+/// Decorator modelling an abruptly killed worker process: the `die_at_cell`-th
+/// campaign cell that starts fitting this algorithm terminates the process
+/// with std::_Exit(kDieAtExitCode) — no destructors, no atexit hooks, no
+/// stream flushes, the observable file-system state of a SIGKILL. Cells are
+/// counted per algorithm across the whole process; every clone of one wrap
+/// shares the wrap's ordinal, so however CrossValidate clones the prototype,
+/// one cell's folds count as one cell. Used by ETSC_BENCH_FAULT
+/// "ALGO:die-at:k" to make crash drills scriptable (check.sh).
+class DieAtClassifier : public EarlyClassifier {
+ public:
+  DieAtClassifier(std::unique_ptr<EarlyClassifier> inner, int die_at_cell);
+
+  Status Fit(const Dataset& train) override;
+  Result<EarlyPrediction> PredictEarly(const TimeSeries& series) const override;
+  std::string name() const override;
+  bool SupportsMultivariate() const override;
+  std::unique_ptr<EarlyClassifier> CloneUntrained() const override;
+
+ private:
+  DieAtClassifier(std::unique_ptr<EarlyClassifier> inner, int die_at_cell,
+                  std::shared_ptr<std::atomic<int>> cell_ordinal);
+
+  std::unique_ptr<EarlyClassifier> inner_;
+  int die_at_cell_;
+  /// This wrap's campaign-cell ordinal; 0 until the first Fit assigns it
+  /// from the process-wide per-algorithm counter. Shared across clones.
+  std::shared_ptr<std::atomic<int>> cell_ordinal_;
 };
 
 /// Returns a copy of `source` in which every observation is independently

@@ -53,8 +53,15 @@ void Clear();
 
 /// The buffered spans as a Chrome trace_event JSON document:
 /// {"traceEvents":[{"name":...,"cat":...,"ph":"X","ts":...,"dur":...,
-///   "pid":...,"tid":...}, ...]}.
+///   "pid":...,"tid":...}, ...]}. Events carry the real process id, so
+/// traces from concurrent worker processes can be concatenated into one
+/// timeline with a distinct lane per worker.
 std::string ToChromeJson();
+
+/// Labels this process's lane in the exported trace via a "process_name"
+/// metadata event (campaign workers call it with their owner id, e.g.
+/// "etsc-worker:w1"). Empty (the default) emits no metadata event.
+void SetProcessLabel(std::string label);
 
 /// Writes ToChromeJson() to `path`.
 Status WriteChromeTrace(const std::string& path);
