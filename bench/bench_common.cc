@@ -29,6 +29,7 @@
 #include "core/log.h"
 #include "core/model_cache.h"
 #include "core/parallel.h"
+#include "core/simd.h"
 #include "core/trace.h"
 
 namespace etsc::bench {
@@ -1153,6 +1154,14 @@ void Campaign::WriteReport(const RunStats& stats) const {
   w.EndArray();
   w.Field("cache_path", config_.cache_path);
   w.Field("report_only", config_.report_only);
+  // The active kernel path (ETSC_SIMD x build ISA). Volatile for report
+  // diffing: the SIMD equivalence gate compares an ETSC_SIMD=0 run against
+  // an ETSC_SIMD=1 run, so --report-diff strips this block.
+  w.Key("simd").BeginObject();
+  w.Field("enabled", simd::Enabled());
+  w.Field("isa_compiled", std::string(simd::CompiledIsa()));
+  w.Field("isa_active", std::string(simd::ActiveIsa()));
+  w.EndObject();
   w.Key("supervisor").BeginObject();
   w.Field("max_retries", config_.supervisor.retry.max_retries);
   w.Field("base_backoff_ms", config_.supervisor.retry.base_backoff_ms);

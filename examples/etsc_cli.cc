@@ -539,6 +539,9 @@ void StripVolatile(etsc::json::Value* report,
   if (config != report->object.end() && config->second.is_object()) {
     config->second.object.erase("cache_path");
     config->second.object.erase("report_only");
+    // Which kernel path computed the numbers is execution provenance, not
+    // result content — ETSC_SIMD=0 and =1 runs must diff equal.
+    config->second.object.erase("simd");
     // A harness knob, not result content: the whole point of --ignore-algos
     // is comparing a fault-injected campaign against a clean one.
     config->second.object.erase("fault_spec");

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Repo verification: the tier-1 build-and-test pass, a shard-merge
-# equivalence check, a supervisor fault-matrix gate (injected flaky fits,
+# equivalence check, a SIMD-vs-scalar kernel equivalence gate (ETSC_SIMD=0
+# and =1 campaigns must be bit-identical), a supervisor fault-matrix gate (injected flaky fits,
 # hung predicts and corrupted model-cache entries must leave unaffected
 # cells bit-identical to a fault-free run), a worker-fabric crash drill (a
 # worker dying abruptly mid-cell must cost zero cells: the survivor steals the
@@ -36,13 +37,32 @@ trap 'rm -rf "$SHARD_DIR"' EXIT
 )
 echo "check.sh: shard merge matches the single-process run"
 
+# SIMD-vs-scalar equivalence: the same mini-campaign under ETSC_SIMD=0 (scalar
+# reference kernels) and ETSC_SIMD=1 (explicit vector kernels) must produce
+# bit-identical reports — the kernel path is a pure execution knob, never a
+# result knob (DESIGN.md sec 13).
+SIMD_DIR="$(mktemp -d)"
+trap 'rm -rf "$SHARD_DIR" "$SIMD_DIR"' EXIT
+(
+  export ETSC_BENCH_ALGOS=ECTS ETSC_BENCH_DATASETS=DodgerLoopGame,PowerCons \
+         ETSC_BENCH_FOLDS=2 ETSC_LOG=warn
+  ETSC_SIMD=0 ETSC_BENCH_CACHE="$SIMD_DIR/scalar.csv" \
+    ./build/examples/etsc_cli --campaign
+  ETSC_SIMD=1 ETSC_BENCH_CACHE="$SIMD_DIR/simd.csv" \
+    ./build/examples/etsc_cli --campaign
+  grep -q '"isa_active":"scalar"' "$SIMD_DIR/scalar.csv.report.json"
+  ./build/examples/etsc_cli --report-diff \
+    "$SIMD_DIR/scalar.csv.report.json" "$SIMD_DIR/simd.csv.report.json"
+)
+echo "check.sh: scalar and SIMD kernel paths are bit-identical"
+
 # Supervisor fault matrix: a mini-campaign with a flaky ECTS (recovers after
 # one retry), a deterministically crashing EDSC (quarantined by the circuit
 # breaker after the first failure), and a corrupted model-cache entry must
 # (a) run to completion, (b) quarantine exactly the poisoned algorithm, and
 # (c) leave the unaffected ECTS cells bit-identical to a fault-free run.
 FAULT_DIR="$(mktemp -d)"
-trap 'rm -rf "$SHARD_DIR" "$FAULT_DIR"' EXIT
+trap 'rm -rf "$SHARD_DIR" "$SIMD_DIR" "$FAULT_DIR"' EXIT
 (
   # The supervisor knobs are part of the config fingerprint, so both runs
   # must share them; only the fault spec (a harness knob) differs.
@@ -92,7 +112,7 @@ echo "check.sh: fault matrix contained — quarantine precise, clean cells bit-i
 # survivor must wait out the lease TTL, steal the cell, and finish the grid —
 # zero lost cells, merged report bit-identical to the single-process run.
 FABRIC_DIR="$(mktemp -d)"
-trap 'rm -rf "$SHARD_DIR" "$FAULT_DIR" "$FABRIC_DIR"' EXIT
+trap 'rm -rf "$SHARD_DIR" "$SIMD_DIR" "$FAULT_DIR" "$FABRIC_DIR"' EXIT
 (
   export ETSC_BENCH_ALGOS=ECTS ETSC_BENCH_DATASETS=DodgerLoopGame,PowerCons \
          ETSC_BENCH_FOLDS=2 ETSC_LOG=warn \
@@ -135,18 +155,20 @@ echo "check.sh: crash drill survived — lease stolen, zero lost cells, merged r
 
 # ASan: the persistence layer and the loaders parse attacker-shaped bytes
 # (truncated, corrupted, garbage model streams / journals / reports /
-# datasets) — exactly where memory bugs would hide.
+# datasets) — exactly where memory bugs would hide — plus the SIMD kernels,
+# whose padded-stride pointer arithmetic is exactly where an out-of-bounds
+# vector tail read would hide.
 cmake -B build-asan -S . -DETSC_SANITIZE=address
-cmake --build build-asan -j --target serialization_test corruption_test
+cmake --build build-asan -j --target serialization_test corruption_test simd_test
 ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
-  -R 'Serialization|DatasetFingerprint|Corruption|Diagnostics'
+  -R 'Serialization|DatasetFingerprint|Corruption|Diagnostics|Simd|Soa'
 
 # UBSan over the same hostile-input suites: bit flips love to manufacture
 # out-of-range enums, shifts and size arithmetic that ASan alone won't flag.
 cmake -B build-ubsan -S . -DETSC_SANITIZE=undefined
-cmake --build build-ubsan -j --target serialization_test corruption_test
+cmake --build build-ubsan -j --target serialization_test corruption_test simd_test
 ctest --test-dir build-ubsan --output-on-failure -j"$(nproc)" \
-  -R 'Serialization|DatasetFingerprint|Corruption|Diagnostics'
+  -R 'Serialization|DatasetFingerprint|Corruption|Diagnostics|Simd|Soa'
 
 # TSan, oversubscribed: only the targets whose tests exercise the pool, the
 # span/metric recording, the shared campaign journal, the model cache and the

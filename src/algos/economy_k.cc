@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <span>
 
 #include "core/rng.h"
 
@@ -16,7 +17,7 @@ namespace {
 // distance rule as KMeansModel::MembershipProbabilities).
 std::vector<double> PrefixMemberships(
     const std::vector<std::vector<double>>& centroids,
-    const std::vector<double>& prefix, size_t prefix_len) {
+    std::span<const double> prefix, size_t prefix_len) {
   std::vector<double> probs(centroids.size(), 0.0);
   if (centroids.empty()) return probs;
   std::vector<double> dist(centroids.size(), 0.0);
@@ -47,7 +48,7 @@ std::vector<double> PrefixMemberships(
   return probs;
 }
 
-std::vector<double> PrefixFeatures(const std::vector<double>& values,
+std::vector<double> PrefixFeatures(std::span<const double> values,
                                    size_t len) {
   std::vector<double> features(values.begin(),
                                values.begin() +

@@ -69,7 +69,8 @@ Status EctsClassifier::Fit(const Dataset& train) {
   train_series_.assign(n, {});
   train_labels_ = train.labels();
   for (size_t i = 0; i < n; ++i) {
-    train_series_[i] = train.instance(i).channel(0);
+    std::span<const double> c = train.instance(i).channel(0);
+    train_series_[i].assign(c.begin(), c.end());
     train_series_[i].resize(length_);
   }
 

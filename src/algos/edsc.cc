@@ -69,7 +69,10 @@ Status EdscClassifier::Fit(const Dataset& train) {
   }
   const size_t n = train.size();
   std::vector<std::vector<double>> series(n);
-  for (size_t i = 0; i < n; ++i) series[i] = train.instance(i).channel(0);
+  for (size_t i = 0; i < n; ++i) {
+    std::span<const double> c = train.instance(i).channel(0);
+    series[i].assign(c.begin(), c.end());
+  }
   const std::vector<int>& labels = train.labels();
 
   // Majority label fallback.

@@ -1,0 +1,56 @@
+#ifndef ETSC_CORE_ALIGNED_H_
+#define ETSC_CORE_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace etsc {
+
+/// Allocation alignment (bytes) and padding unit (doubles) of every SoA value
+/// buffer in the framework. 32 bytes = one AVX2 vector of 4 doubles; SSE2 and
+/// scalar builds simply over-align, which is harmless. Channel strides are
+/// padded to kSimdWidthDoubles so every channel of a packed series starts on
+/// an aligned boundary (DESIGN.md sec 13).
+inline constexpr size_t kSimdAlignBytes = 32;
+inline constexpr size_t kSimdWidthDoubles = kSimdAlignBytes / sizeof(double);
+
+/// Rounds a channel length up to the SIMD padding unit. The padded tail is
+/// always zero-filled: kernels never *need* to read it (they use exact
+/// lengths plus scalar tails), but deterministic padding keeps buffers
+/// reproducible byte-for-byte and sanitizer-clean under full-vector reads.
+inline constexpr size_t PaddedLength(size_t length) {
+  return (length + kSimdWidthDoubles - 1) & ~(kSimdWidthDoubles - 1);
+}
+
+/// Minimal std::allocator drop-in handing out kSimdAlignBytes-aligned memory,
+/// so SoA buffers can be plain std::vectors (growth, value-init and copies
+/// for free) while every data() pointer is vector-load aligned.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) {}  // NOLINT(runtime/explicit)
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(kSimdAlignBytes)));
+  }
+  void deallocate(T* p, size_t) noexcept {
+    ::operator delete(p, std::align_val_t(kSimdAlignBytes));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const { return true; }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U>&) const { return false; }
+};
+
+/// The SoA value-buffer type: contiguous doubles on a 32-byte boundary.
+using AlignedVector = std::vector<double, AlignedAllocator<double>>;
+
+}  // namespace etsc
+
+#endif  // ETSC_CORE_ALIGNED_H_

@@ -7,6 +7,93 @@
 
 namespace etsc {
 
+Dataset::Dataset(std::string name, std::vector<TimeSeries> instances,
+                 std::vector<int> labels)
+    : name_(std::move(name)) {
+  ETSC_CHECK(instances.size() == labels.size());
+  size_t total = 0;
+  for (const auto& ts : instances) {
+    total += ts.num_variables() * PaddedLength(ts.length());
+  }
+  ReservePool(instances.size(), total);
+  for (size_t i = 0; i < instances.size(); ++i) {
+    AppendToPool(instances[i], labels[i]);
+  }
+}
+
+Dataset::Dataset(const Dataset& other)
+    : name_(other.name_),
+      pool_(other.pool_),
+      meta_(other.meta_),
+      labels_(other.labels_),
+      observation_period_seconds_(other.observation_period_seconds_) {
+  instances_.reserve(other.instances_.size());
+  for (size_t i = 0; i < other.instances_.size(); ++i) {
+    if (other.instances_[i].owns_storage()) {
+      instances_.push_back(other.instances_[i]);  // detached: deep copy
+    } else {
+      const SeriesMeta& m = meta_[i];
+      instances_.push_back(TimeSeries(pool_.data() + m.offset, m.num_variables,
+                                      m.length, m.stride));
+    }
+  }
+}
+
+Dataset& Dataset::operator=(const Dataset& other) {
+  if (this != &other) *this = Dataset(other);
+  return *this;
+}
+
+void Dataset::ReservePool(size_t instances, size_t total_values) {
+  pool_.reserve(pool_.size() + total_values);
+  meta_.reserve(meta_.size() + instances);
+  instances_.reserve(instances_.size() + instances);
+  labels_.reserve(labels_.size() + instances);
+}
+
+void Dataset::RebuildViews() {
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    if (instances_[i].owns_storage()) continue;
+    const SeriesMeta& m = meta_[i];
+    instances_[i] = TimeSeries(pool_.data() + m.offset, m.num_variables,
+                               m.length, m.stride);
+  }
+}
+
+void Dataset::AppendToPool(const TimeSeries& series, int label) {
+  SeriesMeta m;
+  m.offset = pool_.size();
+  m.num_variables = series.num_variables();
+  m.length = series.length();
+  m.stride = PaddedLength(m.length);
+  const double* before = pool_.data();
+  pool_.resize(m.offset + m.num_variables * m.stride, 0.0);
+  for (size_t v = 0; v < m.num_variables; ++v) {
+    std::span<const double> src = series.channel(v);
+    std::copy(src.begin(), src.end(),
+              pool_.begin() + static_cast<ptrdiff_t>(m.offset + v * m.stride));
+  }
+  meta_.push_back(m);
+  labels_.push_back(label);
+  if (pool_.data() != before) RebuildViews();
+  instances_.push_back(TimeSeries(pool_.data() + m.offset, m.num_variables,
+                                  m.length, m.stride));
+}
+
+void Dataset::Add(TimeSeries series, int label) {
+  // A view into *this* pool would dangle the moment the pool grows; pin it
+  // into an owning copy first. (Views of other datasets are read before this
+  // pool is touched, so they are safe as-is.)
+  if (!series.owns_storage() && !pool_.empty() &&
+      series.channel_data(0) >= pool_.data() &&
+      series.channel_data(0) < pool_.data() + pool_.size()) {
+    TimeSeries pinned(series);
+    AppendToPool(pinned, label);
+    return;
+  }
+  AppendToPool(series, label);
+}
+
 size_t Dataset::NumClasses() const { return ClassLabels().size(); }
 
 std::vector<int> Dataset::ClassLabels() const {
@@ -82,9 +169,14 @@ Dataset Dataset::Truncated(size_t len) const {
   Dataset out;
   out.name_ = name_;
   out.observation_period_seconds_ = observation_period_seconds_;
-  out.labels_ = labels_;
-  out.instances_.reserve(instances_.size());
-  for (const auto& ts : instances_) out.instances_.push_back(ts.Prefix(len));
+  size_t total = 0;
+  for (const auto& ts : instances_) {
+    total += ts.num_variables() * PaddedLength(std::min(len, ts.length()));
+  }
+  out.ReservePool(instances_.size(), total);
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    out.AppendToPool(instances_[i].Prefix(len), labels_[i]);
+  }
   return out;
 }
 
@@ -92,10 +184,11 @@ Dataset Dataset::SingleVariable(size_t variable) const {
   Dataset out;
   out.name_ = name_;
   out.observation_period_seconds_ = observation_period_seconds_;
-  out.labels_ = labels_;
-  out.instances_.reserve(instances_.size());
-  for (const auto& ts : instances_) {
-    out.instances_.push_back(ts.SingleVariable(variable));
+  size_t total = 0;
+  for (const auto& ts : instances_) total += PaddedLength(ts.length());
+  out.ReservePool(instances_.size(), total);
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    out.AppendToPool(instances_[i].SingleVariable(variable), labels_[i]);
   }
   return out;
 }
@@ -104,12 +197,15 @@ Dataset Dataset::Subset(const std::vector<size_t>& indices) const {
   Dataset out;
   out.name_ = name_;
   out.observation_period_seconds_ = observation_period_seconds_;
-  out.instances_.reserve(indices.size());
-  out.labels_.reserve(indices.size());
+  size_t total = 0;
   for (size_t i : indices) {
     ETSC_DCHECK(i < size());
-    out.instances_.push_back(instances_[i]);
-    out.labels_.push_back(labels_[i]);
+    const TimeSeries& ts = instances_[i];
+    total += ts.num_variables() * PaddedLength(ts.length());
+  }
+  out.ReservePool(indices.size(), total);
+  for (size_t i : indices) {
+    out.AppendToPool(instances_[i], labels_[i]);
   }
   return out;
 }

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/aligned.h"
 #include "core/rng.h"
 #include "core/status.h"
 #include "core/time_series.h"
@@ -15,16 +16,26 @@ namespace etsc {
 
 /// A labelled collection of time-series instances plus the metadata the
 /// framework's categorisation and online-feasibility analyses need.
+///
+/// Storage is one structure-of-arrays pool (DESIGN.md sec 13): every
+/// instance's channels live back to back in a single 32-byte aligned buffer,
+/// channel strides padded to the SIMD width, padding zeroed. instance(i) is a
+/// lightweight TimeSeries *view* into the pool; views are re-targeted
+/// whenever the pool reallocates, and copying a view out of the dataset deep
+/// copies, so the pool is invisible to callers. The fingerprint hashes
+/// logical values only (never padding), so it is layout-independent and
+/// matches the pre-SoA values bit for bit.
 class Dataset {
  public:
   Dataset() = default;
   Dataset(std::string name, std::vector<TimeSeries> instances,
-          std::vector<int> labels)
-      : name_(std::move(name)),
-        instances_(std::move(instances)),
-        labels_(std::move(labels)) {
-    ETSC_CHECK(instances_.size() == labels_.size());
-  }
+          std::vector<int> labels);
+
+  Dataset(const Dataset& other);
+  Dataset& operator=(const Dataset& other);
+  Dataset(Dataset&& other) noexcept = default;
+  Dataset& operator=(Dataset&& other) noexcept = default;
+  ~Dataset() = default;
 
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
@@ -39,10 +50,11 @@ class Dataset {
   const std::vector<TimeSeries>& instances() const { return instances_; }
   const std::vector<int>& labels() const { return labels_; }
 
-  void Add(TimeSeries series, int label) {
-    instances_.push_back(std::move(series));
-    labels_.push_back(label);
-  }
+  void Add(TimeSeries series, int label);
+
+  /// Pre-sizes the pool for `total_values` doubles (sum over instances of
+  /// num_variables * padded stride) so a bulk load does one allocation.
+  void ReservePool(size_t instances, size_t total_values);
 
   /// Seconds between consecutive observations (used by the Fig-13 online
   /// feasibility analysis). Zero when unknown.
@@ -97,8 +109,26 @@ class Dataset {
   double CoefficientOfVariation() const;
 
  private:
+  /// Pool slot descriptor for one instance.
+  struct SeriesMeta {
+    size_t offset = 0;         // first double of the slot in pool_
+    size_t num_variables = 0;
+    size_t length = 0;
+    size_t stride = 0;         // PaddedLength(length)
+  };
+
+  /// Copies one series' channels into a fresh pool slot and appends the view.
+  void AppendToPool(const TimeSeries& series, int label);
+
+  /// Re-targets every view after the pool moved (reallocation, copy).
+  /// Instances that were detached into owning mode (whole-object assignment
+  /// through instance(i)) are left alone.
+  void RebuildViews();
+
   std::string name_;
-  std::vector<TimeSeries> instances_;
+  AlignedVector pool_;
+  std::vector<SeriesMeta> meta_;
+  std::vector<TimeSeries> instances_;  // views into pool_
   std::vector<int> labels_;
   double observation_period_seconds_ = 0.0;
 };

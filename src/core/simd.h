@@ -1,0 +1,121 @@
+#ifndef ETSC_CORE_SIMD_H_
+#define ETSC_CORE_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/aligned.h"
+
+namespace etsc {
+namespace simd {
+
+// Portable explicit-vector layer for the framework's inner loops
+// (DESIGN.md sec 13). Three compile-time ISA tiers — AVX2(+FMA), SSE2, and a
+// plain auto-vectorizable fallback — behind one fixed-semantics API, plus an
+// always-built scalar reference path (namespace simd::scalar) selectable at
+// run time with ETSC_SIMD=0.
+//
+// The contract that makes ETSC_SIMD a pure execution knob: for every kernel
+// here, the vector path and the scalar reference produce bit-identical
+// results. This file's implementations are compiled with -ffp-contract=off
+// and use explicit std::fma exactly where the vector path uses fused
+// multiply-add, so the compiler cannot introduce (or drop) contractions on
+// one side only. Reductions fix the lane order (s0+s1)+(s2+s3) — the same
+// order the pre-SoA scalar kernels used — so serial, pooled and SIMD runs of
+// a campaign all round identically.
+
+/// Compile-time selected instruction set: "avx2+fma", "avx2", "sse2" or
+/// "scalar". Recorded in BENCH_simd.json and the campaign report so bench
+/// trajectories across machines stay comparable.
+const char* CompiledIsa();
+
+/// True when explicit-vector kernels are active. Parsed once from ETSC_SIMD
+/// ("0"/"1"; unset/empty = 1; anything else warns and uses the default, the
+/// same validation contract as ETSC_THREADS). Always false when the build has
+/// no vector ISA.
+bool Enabled();
+
+/// The path actually taken: CompiledIsa() when Enabled(), "scalar" otherwise.
+const char* ActiveIsa();
+
+/// Test/bench hook: force the dispatch (true/false) or re-read the
+/// environment (pass -1). Not thread-safe against concurrent kernel calls;
+/// flip it only between runs.
+void SetEnabledForTest(int enabled);
+
+// ---------------------------------------------------------------------------
+// Kernels. Every function dispatches on Enabled(); the simd::scalar twins
+// below are the reference implementations (also used directly by tests).
+// Pointers need no particular alignment — the vector paths use unaligned
+// loads, so spans into padded SoA buffers and plain std::vectors both work.
+// ---------------------------------------------------------------------------
+
+/// Sum of squared differences over [0, n): the Euclidean-distance core.
+double SumSqDiff(const double* a, const double* b, size_t n);
+
+/// Minimum squared Euclidean distance between `pattern` (length m) and every
+/// length-m window of `series` (length n), early-abandoning windows whose
+/// partial sum reaches `best_sq`. Returns min(best_sq, true minimum); +inf
+/// when m == 0 or n < m. `windows`/`abandoned` (may be null) receive the
+/// number of windows examined / abandoned — identical on both paths because
+/// partial sums of squares are monotone, so a window is abandoned iff its
+/// full sum would have reached best_sq regardless of checkpoint granularity.
+double MinSubseriesSq(const double* pattern, size_t m, const double* series,
+                      size_t n, double best_sq, uint64_t* windows,
+                      uint64_t* abandoned);
+
+/// out[i] += w * x[i] for i in [0, n): the MiniROCKET shifted-tap pass.
+/// Fused (std::fma / vfmadd) on FMA builds, mul+add otherwise — consistently
+/// on both paths.
+void Axpy(double w, const double* x, double* out, size_t n);
+
+/// Number of entries strictly greater than `threshold` (MiniROCKET's PPV
+/// pooling). NaN compares false, matching the scalar `>`.
+size_t CountGreater(const double* x, size_t n, double threshold);
+
+/// Sliding-DFT momentary update over `k` coefficients:
+///   re_new = re[i] + delta;  im_new = im[i];
+///   re[i]  = re_new * cos_t[i] - im_new * sin_t[i];
+///   im[i]  = re_new * sin_t[i] + im_new * cos_t[i];
+/// Never fused (explicit mul/sub on both paths): a one-sided contraction of
+/// a*b - c*d is exactly the kind of drift this layer exists to rule out.
+void RotatePhasors(const double* cos_t, const double* sin_t, double delta,
+                   double* re, double* im, size_t k);
+
+/// Best split position over a pre-sorted feature column (the GBDT split
+/// scan). Inputs are gathered per feature by the caller: xv[pos] is the
+/// pos-th smallest feature value, pg/ph the inclusive prefix sums of
+/// gradients/hessians in that order. A position `pos` (split between pos and
+/// pos+1) is valid when xv[pos] != xv[pos+1], both sides hold at least
+/// `min_leaf` samples, and both hessian sums are > 0; its gain is
+///   lg*lg/lh + rg*rg/rh - parent_score.
+/// Returns the strictly-greatest gain > 0 with the lowest position winning
+/// ties — the same first-wins semantics as the sequential scan.
+struct SplitScanBest {
+  double gain = 0.0;
+  size_t pos = ~size_t{0};  // ~0 = no valid split
+};
+SplitScanBest SplitScan(const double* xv, const double* pg, const double* ph,
+                        size_t n, double total_g, double total_h,
+                        double parent_score, size_t min_leaf);
+
+// Scalar reference path. Always compiled (it IS the ETSC_SIMD=0
+// implementation); exposed for the bit-exactness tests and micro-benches.
+namespace scalar {
+double SumSqDiff(const double* a, const double* b, size_t n);
+double MinSubseriesSq(const double* pattern, size_t m, const double* series,
+                      size_t n, double best_sq, uint64_t* windows,
+                      uint64_t* abandoned);
+void Axpy(double w, const double* x, double* out, size_t n);
+size_t CountGreater(const double* x, size_t n, double threshold);
+void RotatePhasors(const double* cos_t, const double* sin_t, double delta,
+                   double* re, double* im, size_t k);
+SplitScanBest SplitScan(const double* xv, const double* pg, const double* ph,
+                        size_t n, double total_g, double total_h,
+                        double parent_score, size_t min_leaf);
+}  // namespace scalar
+
+}  // namespace simd
+}  // namespace etsc
+
+#endif  // ETSC_CORE_SIMD_H_

@@ -48,9 +48,7 @@ Result<std::optional<EarlyPrediction>> StreamingSession::Push(
   }
   if (decision_.has_value()) return decision_;
   Stopwatch push_timer;
-  for (size_t v = 0; v < values.size(); ++v) {
-    buffer_.channel(v).push_back(values[v]);
-  }
+  buffer_.AppendObservation(values);
   ++observed_;
   if (MetricsEnabled()) Pushes().Add(1);
 
@@ -84,9 +82,7 @@ Result<EarlyPrediction> StreamingSession::Finish() {
 }
 
 void StreamingSession::Reset() {
-  for (size_t v = 0; v < buffer_.num_variables(); ++v) {
-    buffer_.channel(v).clear();
-  }
+  buffer_.ClearValues();
   observed_ = 0;
   decision_.reset();
   if (MetricsEnabled()) SessionsReset().Add(1);

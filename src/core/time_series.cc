@@ -2,12 +2,72 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+
+#include "core/simd.h"
 
 namespace etsc {
 
+void TimeSeries::AllocateOwned(size_t num_variables, size_t length) {
+  num_variables_ = num_variables;
+  length_ = length;
+  stride_ = PaddedLength(length);
+  own_.assign(num_variables_ * stride_, 0.0);
+  data_ = own_.data();
+}
+
+TimeSeries::TimeSeries(size_t num_variables, size_t length) {
+  AllocateOwned(num_variables, length);
+}
+
+TimeSeries::TimeSeries(const TimeSeries& other)
+    : num_variables_(other.num_variables_),
+      length_(other.length_),
+      stride_(other.stride_),
+      own_(other.data_, other.data_ + other.num_variables_ * other.stride_) {
+  data_ = own_.data();
+}
+
+TimeSeries& TimeSeries::operator=(const TimeSeries& other) {
+  if (this != &other) *this = TimeSeries(other);
+  return *this;
+}
+
+TimeSeries::TimeSeries(TimeSeries&& other) noexcept
+    : data_(other.data_),
+      num_variables_(other.num_variables_),
+      length_(other.length_),
+      stride_(other.stride_),
+      own_(std::move(other.own_)) {
+  // Moving an owning series steals the buffer (same address, so data_ stays
+  // right); moving a view copies the borrowed pointer.
+  other.data_ = nullptr;
+  other.num_variables_ = 0;
+  other.length_ = 0;
+  other.stride_ = 0;
+  other.own_.clear();
+}
+
+TimeSeries& TimeSeries::operator=(TimeSeries&& other) noexcept {
+  if (this != &other) {
+    data_ = other.data_;
+    num_variables_ = other.num_variables_;
+    length_ = other.length_;
+    stride_ = other.stride_;
+    own_ = std::move(other.own_);
+    other.data_ = nullptr;
+    other.num_variables_ = 0;
+    other.length_ = 0;
+    other.stride_ = 0;
+    other.own_.clear();
+  }
+  return *this;
+}
+
 TimeSeries TimeSeries::Univariate(std::vector<double> values) {
   TimeSeries ts;
-  ts.values_.push_back(std::move(values));
+  ts.AllocateOwned(1, values.size());
+  std::copy(values.begin(), values.end(), ts.own_.begin());
   return ts;
 }
 
@@ -23,16 +83,22 @@ Result<TimeSeries> TimeSeries::FromChannels(
     }
   }
   TimeSeries ts;
-  ts.values_ = std::move(channels);
+  ts.AllocateOwned(channels.size(), len);
+  for (size_t v = 0; v < channels.size(); ++v) {
+    std::copy(channels[v].begin(), channels[v].end(),
+              ts.own_.begin() + static_cast<ptrdiff_t>(v * ts.stride_));
+  }
   return ts;
 }
 
 TimeSeries TimeSeries::Prefix(size_t len) const {
   len = std::min(len, length());
   TimeSeries out;
-  out.values_.reserve(values_.size());
-  for (const auto& channel : values_) {
-    out.values_.emplace_back(channel.begin(), channel.begin() + len);
+  out.AllocateOwned(num_variables_, len);
+  for (size_t v = 0; v < num_variables_; ++v) {
+    const double* src = data_ + v * stride_;
+    std::copy(src, src + len,
+              out.own_.begin() + static_cast<ptrdiff_t>(v * out.stride_));
   }
   return out;
 }
@@ -40,42 +106,76 @@ TimeSeries TimeSeries::Prefix(size_t len) const {
 TimeSeries TimeSeries::SingleVariable(size_t variable) const {
   ETSC_DCHECK(variable < num_variables());
   TimeSeries out;
-  out.values_.push_back(values_[variable]);
+  out.AllocateOwned(1, length_);
+  const double* src = data_ + variable * stride_;
+  std::copy(src, src + length_, out.own_.begin());
   return out;
 }
 
+void TimeSeries::AppendObservation(const std::vector<double>& values) {
+  ETSC_DCHECK(owns_storage());
+  ETSC_DCHECK(values.size() == num_variables_ ||
+              (num_variables_ == 0 && !values.empty()));
+  if (num_variables_ == 0) num_variables_ = values.size();
+  if (length_ == stride_) {
+    // Grow: double the padded stride and repack channels at the new spacing.
+    const size_t new_stride = std::max(kSimdWidthDoubles, stride_ * 2);
+    AlignedVector grown(num_variables_ * new_stride, 0.0);
+    for (size_t v = 0; v < num_variables_; ++v) {
+      const double* src = data_ + v * stride_;
+      std::copy(src, src + length_,
+                grown.begin() + static_cast<ptrdiff_t>(v * new_stride));
+    }
+    own_ = std::move(grown);
+    data_ = own_.data();
+    stride_ = new_stride;
+  }
+  for (size_t v = 0; v < num_variables_; ++v) {
+    data_[v * stride_ + length_] = values[v];
+  }
+  ++length_;
+}
+
+void TimeSeries::ClearValues() {
+  ETSC_DCHECK(owns_storage());
+  std::fill(own_.begin(), own_.end(), 0.0);
+  length_ = 0;
+}
+
 bool TimeSeries::HasMissingValues() const {
-  for (const auto& channel : values_) {
-    for (double v : channel) {
-      if (std::isnan(v)) return true;
+  for (size_t v = 0; v < num_variables_; ++v) {
+    for (double x : channel(v)) {
+      if (std::isnan(x)) return true;
     }
   }
   return false;
 }
 
 void TimeSeries::FillMissingValues() {
-  for (auto& channel : values_) {
-    const size_t n = channel.size();
+  for (size_t v = 0; v < num_variables_; ++v) {
+    std::span<double> chan = channel(v);
+    const size_t n = chan.size();
     size_t t = 0;
     while (t < n) {
-      if (!std::isnan(channel[t])) {
+      if (!std::isnan(chan[t])) {
         ++t;
         continue;
       }
       // Locate the NaN run [t, end).
       size_t end = t;
-      while (end < n && std::isnan(channel[end])) ++end;
+      while (end < n && std::isnan(chan[end])) ++end;
       const bool has_before = t > 0;
       const bool has_after = end < n;
       double fill = 0.0;
       if (has_before && has_after) {
-        fill = 0.5 * (channel[t - 1] + channel[end]);
+        fill = 0.5 * (chan[t - 1] + chan[end]);
       } else if (has_before) {
-        fill = channel[t - 1];
+        fill = chan[t - 1];
       } else if (has_after) {
-        fill = channel[end];
+        fill = chan[end];
       }
-      std::fill(channel.begin() + t, channel.begin() + end, fill);
+      std::fill(chan.begin() + static_cast<ptrdiff_t>(t),
+                chan.begin() + static_cast<ptrdiff_t>(end), fill);
       t = end;
     }
   }
@@ -85,69 +185,44 @@ void TimeSeries::ZNormalize(double min_stddev) {
   for (size_t v = 0; v < num_variables(); ++v) {
     const double mean = Mean(v);
     const double sd = StdDev(v);
-    auto& channel = values_[v];
+    std::span<double> chan = channel(v);
     if (sd < min_stddev) {
-      for (double& x : channel) x -= mean;
+      for (double& x : chan) x -= mean;
     } else {
-      for (double& x : channel) x = (x - mean) / sd;
+      for (double& x : chan) x = (x - mean) / sd;
     }
   }
 }
 
 double TimeSeries::Mean(size_t variable) const {
-  const auto& channel = values_[variable];
-  if (channel.empty()) return 0.0;
+  std::span<const double> chan = channel(variable);
+  if (chan.empty()) return 0.0;
   double sum = 0.0;
-  for (double v : channel) sum += v;
-  return sum / static_cast<double>(channel.size());
+  for (double v : chan) sum += v;
+  return sum / static_cast<double>(chan.size());
 }
 
 double TimeSeries::StdDev(size_t variable) const {
-  const auto& channel = values_[variable];
-  if (channel.empty()) return 0.0;
+  std::span<const double> chan = channel(variable);
+  if (chan.empty()) return 0.0;
   const double mean = Mean(variable);
   double ss = 0.0;
-  for (double v : channel) ss += (v - mean) * (v - mean);
-  return std::sqrt(ss / static_cast<double>(channel.size()));
+  for (double v : chan) ss += (v - mean) * (v - mean);
+  return std::sqrt(ss / static_cast<double>(chan.size()));
 }
 
-double SquaredEuclidean(const std::vector<double>& a,
-                        const std::vector<double>& b) {
+double SquaredEuclidean(std::span<const double> a, std::span<const double> b) {
   ETSC_DCHECK(a.size() == b.size());
-  // 4-way unrolled accumulators (k-means assignment and the SVM RBF kernel
-  // spend most of their time here); fixed (s0+s1)+(s2+s3) reduction order so
-  // serial and pooled callers round identically.
-  const size_t n = a.size();
-  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    const double d0 = a[i] - b[i];
-    const double d1 = a[i + 1] - b[i + 1];
-    const double d2 = a[i + 2] - b[i + 2];
-    const double d3 = a[i + 3] - b[i + 3];
-    s0 += d0 * d0;
-    s1 += d1 * d1;
-    s2 += d2 * d2;
-    s3 += d3 * d3;
-  }
-  double sum = (s0 + s1) + (s2 + s3);
-  for (; i < n; ++i) {
-    const double d = a[i] - b[i];
-    sum += d * d;
-  }
-  return sum;
+  return simd::SumSqDiff(a.data(), b.data(), std::min(a.size(), b.size()));
 }
 
 double EuclideanDistance(const TimeSeries& a, const TimeSeries& b, size_t len) {
   ETSC_DCHECK(a.num_variables() == b.num_variables());
-  size_t n = len == 0 ? std::min(a.length(), b.length())
-                      : std::min({len, a.length(), b.length()});
+  const size_t n = len == 0 ? std::min(a.length(), b.length())
+                            : std::min({len, a.length(), b.length()});
   double sum = 0.0;
   for (size_t v = 0; v < a.num_variables(); ++v) {
-    for (size_t t = 0; t < n; ++t) {
-      const double d = a.at(v, t) - b.at(v, t);
-      sum += d * d;
-    }
+    sum += simd::SumSqDiff(a.channel_data(v), b.channel_data(v), n);
   }
   return std::sqrt(sum);
 }

@@ -3,23 +3,36 @@
 
 #include <cmath>
 #include <cstddef>
+#include <span>
 #include <vector>
 
+#include "core/aligned.h"
 #include "core/status.h"
 
 namespace etsc {
 
-/// A (possibly multivariate) time-series: `num_variables` aligned channels of
-/// equal length. Values are stored row-major per variable; a missing
-/// measurement is represented by NaN and can be repaired with
-/// FillMissingValues() using the paper's gap-filling rule (Sec. 5.1).
+/// A (possibly multivariate) time-series: `num_variables` channels of equal
+/// length. A missing measurement is represented by NaN and can be repaired
+/// with FillMissingValues() using the paper's gap-filling rule (Sec. 5.1).
+///
+/// Storage is structure-of-arrays (DESIGN.md sec 13): one contiguous 32-byte
+/// aligned buffer holding all channels back to back, each channel padded to a
+/// stride that is a multiple of kSimdWidthDoubles, padding zero-filled.
+/// channel(v) starts at data() + v*stride(). A TimeSeries either owns its
+/// buffer or is a *view* into a Dataset's shared pool; copying always deep
+/// copies into an owning series, so the distinction is invisible to callers.
 class TimeSeries {
  public:
   TimeSeries() = default;
 
   /// Creates an all-zero series with `num_variables` channels of `length`.
-  TimeSeries(size_t num_variables, size_t length)
-      : values_(num_variables, std::vector<double>(length, 0.0)) {}
+  TimeSeries(size_t num_variables, size_t length);
+
+  TimeSeries(const TimeSeries& other);
+  TimeSeries& operator=(const TimeSeries& other);
+  TimeSeries(TimeSeries&& other) noexcept;
+  TimeSeries& operator=(TimeSeries&& other) noexcept;
+  ~TimeSeries() = default;
 
   /// Wraps a univariate series.
   static TimeSeries Univariate(std::vector<double> values);
@@ -27,17 +40,36 @@ class TimeSeries {
   /// Wraps pre-built channels; all channels must have equal length.
   static Result<TimeSeries> FromChannels(std::vector<std::vector<double>> channels);
 
-  size_t num_variables() const { return values_.size(); }
-  size_t length() const { return values_.empty() ? 0 : values_[0].size(); }
-  bool empty() const { return length() == 0; }
+  size_t num_variables() const { return num_variables_; }
+  size_t length() const { return length_; }
+  bool empty() const { return length_ == 0; }
 
-  double at(size_t variable, size_t t) const { return values_[variable][t]; }
-  double& at(size_t variable, size_t t) { return values_[variable][t]; }
+  /// Channel stride in doubles (length padded to the SIMD width multiple).
+  size_t stride() const { return stride_; }
 
-  const std::vector<double>& channel(size_t variable) const {
-    return values_[variable];
+  /// True when this series owns its buffer (false: view into a Dataset pool).
+  bool owns_storage() const { return data_ == nullptr || !own_.empty(); }
+
+  double at(size_t variable, size_t t) const {
+    return data_[variable * stride_ + t];
   }
-  std::vector<double>& channel(size_t variable) { return values_[variable]; }
+  double& at(size_t variable, size_t t) {
+    return data_[variable * stride_ + t];
+  }
+
+  /// One channel's logical values (padding excluded). The span stays valid
+  /// until the series (or the owning Dataset) is mutated structurally.
+  std::span<const double> channel(size_t variable) const {
+    return {data_ + variable * stride_, length_};
+  }
+  std::span<double> channel(size_t variable) {
+    return {data_ + variable * stride_, length_};
+  }
+
+  /// Raw aligned pointer to one channel (the kernel-facing accessor).
+  const double* channel_data(size_t variable) const {
+    return data_ + variable * stride_;
+  }
 
   /// Returns the first `len` time-points of every channel (len is clamped to
   /// the series length).
@@ -45,6 +77,15 @@ class TimeSeries {
 
   /// Returns a univariate series holding only `variable`.
   TimeSeries SingleVariable(size_t variable) const;
+
+  /// Appends one observation (exactly one value per channel). Owning series
+  /// only; grows the buffer geometrically, so a streaming session's push is
+  /// amortised O(num_variables).
+  void AppendObservation(const std::vector<double>& values);
+
+  /// Drops all values (length back to 0, channel count kept, capacity kept,
+  /// buffer re-zeroed so the padding invariant holds for the next fill).
+  void ClearValues();
 
   /// Returns true if any value is NaN.
   bool HasMissingValues() const;
@@ -65,11 +106,31 @@ class TimeSeries {
   double StdDev(size_t variable) const;
 
  private:
-  std::vector<std::vector<double>> values_;
+  friend class Dataset;
+
+  /// View constructor: borrows `data` (a Dataset pool slot), owns nothing.
+  TimeSeries(double* data, size_t num_variables, size_t length, size_t stride)
+      : data_(data),
+        num_variables_(num_variables),
+        length_(length),
+        stride_(stride) {}
+
+  /// Allocates an owning zeroed buffer for the given logical shape.
+  void AllocateOwned(size_t num_variables, size_t length);
+
+  double* data_ = nullptr;
+  size_t num_variables_ = 0;
+  size_t length_ = 0;
+  size_t stride_ = 0;
+  AlignedVector own_;  // empty for views; otherwise data_ == own_.data()
 };
 
 /// Squared Euclidean distance between equal-length univariate vectors.
-double SquaredEuclidean(const std::vector<double>& a, const std::vector<double>& b);
+double SquaredEuclidean(std::span<const double> a, std::span<const double> b);
+inline double SquaredEuclidean(const std::vector<double>& a,
+                               const std::vector<double>& b) {
+  return SquaredEuclidean(std::span<const double>(a), std::span<const double>(b));
+}
 
 /// Euclidean distance across all channels of two equal-shape series prefixes,
 /// using the first `len` points (len = 0 means full length).

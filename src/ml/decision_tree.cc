@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "core/simd.h"
+
 namespace etsc {
 
 namespace {
@@ -34,33 +36,39 @@ SplitChoice FindBestSplit(const std::vector<std::vector<double>>& x,
   }
   const double parent_score = total_h > 0 ? total_g * total_g / total_h : 0.0;
 
+  // One reusable order vector, re-sorted in place per feature (the incoming
+  // permutation for feature f is feature f-1's result — kept bit-for-bit so
+  // fitted trees match the pre-SIMD builds, where ties between equal feature
+  // values resolve by whatever order the previous sort left behind). The
+  // gathered sorted values and inclusive gradient/hessian prefix sums feed
+  // the vectorised scan; the prefix sums are built by the same sequential
+  // adds the old running left_g/left_h chain performed.
   std::vector<size_t> order(indices);
+  const size_t n = order.size();
+  std::vector<double> xv(n), pg(n), ph(n);
   for (size_t f = 0; f < num_features; ++f) {
     std::sort(order.begin(), order.end(),
               [&](size_t a, size_t b) { return x[a][f] < x[b][f]; });
-    double left_g = 0.0, left_h = 0.0;
-    for (size_t pos = 0; pos + 1 < order.size(); ++pos) {
+    double run_g = 0.0, run_h = 0.0;
+    for (size_t pos = 0; pos < n; ++pos) {
       const size_t i = order[pos];
-      left_g += g[i];
-      left_h += h[i];
-      const double lo = x[i][f];
-      const double hi = x[order[pos + 1]][f];
-      if (lo == hi) continue;  // cannot split between equal values
-      const size_t n_left = pos + 1;
-      const size_t n_right = order.size() - n_left;
-      if (n_left < min_samples_leaf || n_right < min_samples_leaf) continue;
-      const double right_g = total_g - left_g;
-      const double right_h = total_h - left_h;
-      if (left_h <= 0 || right_h <= 0) continue;
-      const double score =
-          left_g * left_g / left_h + right_g * right_g / right_h;
-      const double gain = score - parent_score;
-      if (gain > best.gain) {
-        best.found = true;
-        best.gain = gain;
-        best.feature = f;
-        best.threshold = 0.5 * (lo + hi);
-      }
+      xv[pos] = x[i][f];
+      run_g += g[i];
+      run_h += h[i];
+      pg[pos] = run_g;
+      ph[pos] = run_h;
+    }
+    const simd::SplitScanBest found = simd::SplitScan(
+        xv.data(), pg.data(), ph.data(), n, total_g, total_h, parent_score,
+        min_samples_leaf);
+    // Within a feature SplitScan keeps the lowest position among equal gains;
+    // across features the strict > keeps the earliest feature — together the
+    // same winner the old single fused scan produced.
+    if (found.pos != ~size_t{0} && found.gain > best.gain) {
+      best.found = true;
+      best.gain = found.gain;
+      best.feature = f;
+      best.threshold = 0.5 * (xv[found.pos] + xv[found.pos + 1]);
     }
   }
   return best;

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/counters.h"
+#include "core/simd.h"
 #include "core/status.h"
 
 namespace etsc {
@@ -37,122 +38,59 @@ Counter& SubseriesWindowsAbandoned() {
   return c;
 }
 
-/// 4-way unrolled sum of squared differences over [0, len). Four independent
-/// accumulators break the loop-carried dependency so the FMA units stay busy;
-/// the final reduction order (s0+s1)+(s2+s3) is fixed so every caller —
-/// serial or parallel — sees the same rounding.
-inline double SumSqDiff(const double* a, const double* b, size_t len) {
-  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-  size_t i = 0;
-  for (; i + 4 <= len; i += 4) {
-    const double d0 = a[i] - b[i];
-    const double d1 = a[i + 1] - b[i + 1];
-    const double d2 = a[i + 2] - b[i + 2];
-    const double d3 = a[i + 3] - b[i + 3];
-    s0 += d0 * d0;
-    s1 += d1 * d1;
-    s2 += d2 * d2;
-    s3 += d3 * d3;
-  }
-  double sum = (s0 + s1) + (s2 + s3);
-  for (; i < len; ++i) {
-    const double d = a[i] - b[i];
-    sum += d * d;
-  }
-  return sum;
-}
-
 }  // namespace
 
-double EuclideanPrefixSq(const std::vector<double>& a,
-                         const std::vector<double>& b, size_t len) {
+double EuclideanPrefixSq(std::span<const double> a, std::span<const double> b,
+                         size_t len) {
   if (MetricsEnabled()) PrefixSqCalls().Add(1);
   len = std::min({len, a.size(), b.size()});
-  return SumSqDiff(a.data(), b.data(), len);
+  return simd::SumSqDiff(a.data(), b.data(), len);
 }
 
-double MinSubseriesDistanceSq(const std::vector<double>& pattern,
-                              const std::vector<double>& series) {
+double MinSubseriesDistanceSq(std::span<const double> pattern,
+                              std::span<const double> series) {
   return MinSubseriesDistanceSqEarlyAbandon(pattern, series, kInf);
 }
 
-double MinSubseriesDistanceSqEarlyAbandon(const std::vector<double>& pattern,
-                                          const std::vector<double>& series,
+double MinSubseriesDistanceSqEarlyAbandon(std::span<const double> pattern,
+                                          std::span<const double> series,
                                           double best_sq) {
-  const size_t m = pattern.size();
-  if (m == 0 || series.size() < m) return kInf;
-  const double* p = pattern.data();
-  // Early-abandon hit rate: tallied locally, published once on return.
+  // Window and early-abandon tallies come back from the kernel so the
+  // hit-rate metrics survive the dispatch boundary; the abandon decisions
+  // themselves are path-invariant (partial sums of squares are monotone, so
+  // a window is abandoned iff its full sum reaches best_sq, no matter where
+  // the checkpoints fall).
   uint64_t windows = 0;
   uint64_t windows_abandoned = 0;
-  for (size_t start = 0; start + m <= series.size(); ++start) {
-    ++windows;
-    const double* s = series.data() + start;
-    // Same unrolled accumulators as SumSqDiff, with an abandon check once per
-    // 4-element block: partial sums only ever grow, so the window can be
-    // dropped the moment they reach best_sq without affecting the minimum.
-    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-    size_t i = 0;
-    bool abandoned = false;
-    for (; i + 4 <= m; i += 4) {
-      const double d0 = p[i] - s[i];
-      const double d1 = p[i + 1] - s[i + 1];
-      const double d2 = p[i + 2] - s[i + 2];
-      const double d3 = p[i + 3] - s[i + 3];
-      s0 += d0 * d0;
-      s1 += d1 * d1;
-      s2 += d2 * d2;
-      s3 += d3 * d3;
-      if ((s0 + s1) + (s2 + s3) >= best_sq) {
-        abandoned = true;
-        break;
-      }
-    }
-    if (abandoned) {
-      ++windows_abandoned;
-      continue;
-    }
-    double sum = (s0 + s1) + (s2 + s3);
-    for (; i < m; ++i) {
-      const double d = p[i] - s[i];
-      sum += d * d;
-      if (sum >= best_sq) {
-        abandoned = true;
-        break;
-      }
-    }
-    if (abandoned) {
-      ++windows_abandoned;
-      continue;
-    }
-    best_sq = sum;
-    if (best_sq == 0.0) break;
-  }
+  const double result =
+      simd::MinSubseriesSq(pattern.data(), pattern.size(), series.data(),
+                           series.size(), best_sq, &windows,
+                           &windows_abandoned);
   if (MetricsEnabled()) {
     SubseriesCalls().Add(1);
     SubseriesWindows().Add(windows);
     SubseriesWindowsAbandoned().Add(windows_abandoned);
   }
-  return best_sq;
+  return result;
 }
 
-double Euclidean(const std::vector<double>& a, const std::vector<double>& b) {
+double Euclidean(std::span<const double> a, std::span<const double> b) {
   ETSC_DCHECK(a.size() == b.size());
   return EuclideanPrefix(a, b, a.size());
 }
 
-double EuclideanPrefix(const std::vector<double>& a, const std::vector<double>& b,
+double EuclideanPrefix(std::span<const double> a, std::span<const double> b,
                        size_t len) {
   return std::sqrt(EuclideanPrefixSq(a, b, len));
 }
 
-double MinSubseriesDistance(const std::vector<double>& pattern,
-                            const std::vector<double>& series) {
+double MinSubseriesDistance(std::span<const double> pattern,
+                            std::span<const double> series) {
   return std::sqrt(MinSubseriesDistanceSq(pattern, series));
 }
 
-double MinSubseriesDistanceEarlyAbandon(const std::vector<double>& pattern,
-                                        const std::vector<double>& series,
+double MinSubseriesDistanceEarlyAbandon(std::span<const double> pattern,
+                                        std::span<const double> series,
                                         double best_so_far) {
   const double best_sq = best_so_far < kInf ? best_so_far * best_so_far : kInf;
   return std::sqrt(MinSubseriesDistanceSqEarlyAbandon(pattern, series, best_sq));

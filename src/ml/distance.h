@@ -2,6 +2,7 @@
 #define ETSC_ML_DISTANCE_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace etsc {
@@ -11,48 +12,95 @@ namespace etsc {
 // Nearest-neighbour search, k-means assignment, and shapelet scanning only
 // compare distances, and x -> x*x is monotone on [0, inf), so the sqrt can be
 // deferred to the caller (or skipped entirely). The *Sq functions below are
-// the kernels: 4-way unrolled accumulators, early abandon in squared space.
-// The legacy sqrt-returning wrappers further down delegate to them.
+// the kernels; they dispatch through the simd layer (core/simd.h), so the
+// same call runs AVX2, SSE2 or the scalar reference depending on the build
+// and ETSC_SIMD — with bit-identical results on every path. The legacy
+// sqrt-returning wrappers further down delegate to them.
+//
+// All primitives take spans so both std::vector payloads and the aligned
+// Dataset pool channels (TimeSeries::channel) feed them without a copy.
 
 /// Sum of squared differences over the first `len` entries (clamped to the
 /// shorter vector). Equals EuclideanPrefix(a, b, len)^2.
-double EuclideanPrefixSq(const std::vector<double>& a,
-                         const std::vector<double>& b, size_t len);
+double EuclideanPrefixSq(std::span<const double> a, std::span<const double> b,
+                         size_t len);
 
 /// Minimum *squared* Euclidean distance between `pattern` and any contiguous
 /// equal-length window of `series` (the EDSC shapelet-to-series distance,
 /// squared). Returns +inf when `series` is shorter than `pattern`.
-double MinSubseriesDistanceSq(const std::vector<double>& pattern,
-                              const std::vector<double>& series);
+double MinSubseriesDistanceSq(std::span<const double> pattern,
+                              std::span<const double> series);
 
 /// Same as MinSubseriesDistanceSq but abandons a window once its partial sum
 /// reaches `best_sq` (a *squared* bound; pass +inf for no bound). Returns
 /// min(best_sq, true minimum) — i.e. never worse than the bound passed in.
-double MinSubseriesDistanceSqEarlyAbandon(const std::vector<double>& pattern,
-                                          const std::vector<double>& series,
+double MinSubseriesDistanceSqEarlyAbandon(std::span<const double> pattern,
+                                          std::span<const double> series,
                                           double best_sq);
 
 // Legacy sqrt-returning API (kept for callers that report real distances,
 // e.g. EDSC's threshold statistics); one sqrt per call on top of the kernels.
 
 /// Euclidean distance between equal-length vectors.
-double Euclidean(const std::vector<double>& a, const std::vector<double>& b);
+double Euclidean(std::span<const double> a, std::span<const double> b);
 
 /// Euclidean distance between the first `len` entries of two vectors.
-double EuclideanPrefix(const std::vector<double>& a, const std::vector<double>& b,
+double EuclideanPrefix(std::span<const double> a, std::span<const double> b,
                        size_t len);
 
 /// Minimum Euclidean distance between `pattern` and any contiguous window of
 /// equal length inside `series`, i.e. the shapelet-to-series distance used by
 /// EDSC. Returns +inf when `series` is shorter than `pattern`.
-double MinSubseriesDistance(const std::vector<double>& pattern,
-                            const std::vector<double>& series);
+double MinSubseriesDistance(std::span<const double> pattern,
+                            std::span<const double> series);
 
 /// Same as MinSubseriesDistance but stops scanning a window early once its
 /// partial sum exceeds `best_so_far` squared (classic early-abandon).
-double MinSubseriesDistanceEarlyAbandon(const std::vector<double>& pattern,
-                                        const std::vector<double>& series,
+double MinSubseriesDistanceEarlyAbandon(std::span<const double> pattern,
+                                        std::span<const double> series,
                                         double best_so_far);
+
+// Vector overloads: keep brace-initialised call sites (`Euclidean({0, 0},
+// {1, 1})`) compiling — a braced list will not deduce to a span.
+
+inline double EuclideanPrefixSq(const std::vector<double>& a,
+                                const std::vector<double>& b, size_t len) {
+  return EuclideanPrefixSq(std::span<const double>(a),
+                           std::span<const double>(b), len);
+}
+inline double MinSubseriesDistanceSq(const std::vector<double>& pattern,
+                                     const std::vector<double>& series) {
+  return MinSubseriesDistanceSq(std::span<const double>(pattern),
+                                std::span<const double>(series));
+}
+inline double MinSubseriesDistanceSqEarlyAbandon(
+    const std::vector<double>& pattern, const std::vector<double>& series,
+    double best_sq) {
+  return MinSubseriesDistanceSqEarlyAbandon(std::span<const double>(pattern),
+                                            std::span<const double>(series),
+                                            best_sq);
+}
+inline double Euclidean(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  return Euclidean(std::span<const double>(a), std::span<const double>(b));
+}
+inline double EuclideanPrefix(const std::vector<double>& a,
+                              const std::vector<double>& b, size_t len) {
+  return EuclideanPrefix(std::span<const double>(a), std::span<const double>(b),
+                         len);
+}
+inline double MinSubseriesDistance(const std::vector<double>& pattern,
+                                   const std::vector<double>& series) {
+  return MinSubseriesDistance(std::span<const double>(pattern),
+                              std::span<const double>(series));
+}
+inline double MinSubseriesDistanceEarlyAbandon(
+    const std::vector<double>& pattern, const std::vector<double>& series,
+    double best_so_far) {
+  return MinSubseriesDistanceEarlyAbandon(std::span<const double>(pattern),
+                                          std::span<const double>(series),
+                                          best_so_far);
+}
 
 }  // namespace etsc
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "core/simd.h"
 #include "core/status.h"
 
 namespace etsc {
@@ -67,19 +68,21 @@ std::vector<std::vector<double>> SlidingDft(const std::vector<double>& series,
 
   // Momentary Fourier updates: X'_k = (X_k - x_out + x_in·e^{-2πik·W/W}) ·
   // e^{2πik/W}; since e^{-2πik} = 1 the shift reduces to rotating
-  // (X_k + x_in - x_out) by the per-step phasor.
+  // (X_k + x_in - x_out) by the per-step phasor. The phasors depend only on
+  // (k, window_size), so the cos/sin tables are built once and the per-shift
+  // work collapses to one RotatePhasors sweep over the coefficient arrays.
+  std::vector<double> cos_t(num_coefficients), sin_t(num_coefficients);
+  for (size_t k = 0; k < num_coefficients; ++k) {
+    const double theta =
+        2.0 * std::numbers::pi * static_cast<double>(k + first) * inv_n;
+    cos_t[k] = std::cos(theta);
+    sin_t[k] = std::sin(theta);
+  }
   for (size_t s = 1; s < num_windows; ++s) {
     const double x_out = series[s - 1];
     const double x_in = series[s + window_size - 1];
-    for (size_t k = 0; k < num_coefficients; ++k) {
-      const double theta =
-          2.0 * std::numbers::pi * static_cast<double>(k + first) * inv_n;
-      const double c = std::cos(theta), sn = std::sin(theta);
-      const double re_new = re[k] + (x_in - x_out);
-      const double im_new = im[k];
-      re[k] = re_new * c - im_new * sn;
-      im[k] = re_new * sn + im_new * c;
-    }
+    simd::RotatePhasors(cos_t.data(), sin_t.data(), x_in - x_out, re.data(),
+                        im.data(), num_coefficients);
     emit();
   }
   return out;

@@ -5,6 +5,7 @@
 
 #include "core/parallel.h"
 #include "core/rng.h"
+#include "core/simd.h"
 
 namespace etsc {
 
@@ -24,35 +25,53 @@ const std::array<std::array<size_t, 3>, 84>& MiniRocketKernelTriples() {
   return *kTriples;
 }
 
+void MiniRocketApplyKernel(std::span<const double> pooled, size_t kernel_index,
+                           size_t dilation, std::span<double> out) {
+  const size_t length = pooled.size();
+  const auto& triple = MiniRocketKernelTriples()[kernel_index];
+  // Weights: -1 everywhere, 3 positions with +2 => value at position p is
+  // -1 + 3*[p in triple]. Centered ("same" padding), receptive field 9 taps
+  // spaced by `dilation`. One Axpy pass per tap position: pass k adds
+  // w_k * pooled[t - half + k*d] over the t range where the tap is in
+  // bounds, so each out[t] accumulates its taps in ascending-k order —
+  // the same per-element chain as a per-t 9-tap loop.
+  const ptrdiff_t d = static_cast<ptrdiff_t>(dilation);
+  const ptrdiff_t half = 4 * d;
+  const ptrdiff_t n = static_cast<ptrdiff_t>(length);
+  for (ptrdiff_t k = 0; k < 9; ++k) {
+    const size_t uk = static_cast<size_t>(k);
+    const double w =
+        (uk == triple[0] || uk == triple[1] || uk == triple[2]) ? 2.0 : -1.0;
+    const ptrdiff_t shift = half - k * d;  // src = t - shift
+    const ptrdiff_t t_lo = std::max<ptrdiff_t>(0, shift);
+    const ptrdiff_t t_hi = std::min<ptrdiff_t>(n, n + shift);  // exclusive
+    if (t_lo >= t_hi) continue;
+    simd::Axpy(w, pooled.data() + (t_lo - shift), out.data() + t_lo,
+               static_cast<size_t>(t_hi - t_lo));
+  }
+}
+
 std::vector<double> MiniRocketClassifier::Convolve(
     const TimeSeries& series, const KernelInstance& kernel) const {
   const size_t length = series.length();
-  std::vector<double> out(length, 0.0);
-  const auto& triple = MiniRocketKernelTriples()[kernel.kernel_index];
-  // Weights: -1 everywhere, 3 positions with +2 => value at position p is
-  // -1 + 3*[p in triple]. Centered ("same" padding), receptive field 9 taps
-  // spaced by `dilation`.
-  const int d = static_cast<int>(kernel.dilation);
-  const int half = 4 * d;
-  for (size_t t = 0; t < length; ++t) {
-    double sum = 0.0;
-    for (int k = 0; k < 9; ++k) {
-      const int src = static_cast<int>(t) - half + k * d;
-      if (src < 0 || src >= static_cast<int>(length)) continue;
-      double w = -1.0;
-      if (static_cast<size_t>(k) == triple[0] ||
-          static_cast<size_t>(k) == triple[1] ||
-          static_cast<size_t>(k) == triple[2]) {
-        w = 2.0;
+  // Pool the channel subset once (ascending-channel order, as the legacy
+  // per-tap gather did), then run the 9-tap kernel over the pooled series.
+  std::vector<double> pooled;
+  const std::vector<size_t>& chans = kernel.channels;
+  if (chans.size() == 1 && chans[0] < series.num_variables()) {
+    std::span<const double> c = series.channel(chans[0]);
+    pooled.assign(c.begin(), c.end());
+  } else {
+    pooled.assign(length, 0.0);
+    for (size_t ch : chans) {
+      if (ch < series.num_variables()) {
+        const double* src = series.channel_data(ch);
+        for (size_t t = 0; t < length; ++t) pooled[t] += src[t];
       }
-      double x = 0.0;
-      for (size_t ch : kernel.channels) {
-        if (ch < series.num_variables()) x += series.at(ch, static_cast<size_t>(src));
-      }
-      sum += w * x;
     }
-    out[t] = sum;
   }
+  std::vector<double> out(length, 0.0);
+  MiniRocketApplyKernel(pooled, kernel.kernel_index, kernel.dilation, out);
   return out;
 }
 
@@ -157,10 +176,8 @@ Result<std::vector<double>> MiniRocketClassifier::TransformInternal(
     for (size_t b = 0; b < bpk; ++b) {
       const size_t f = k * bpk + b;
       ETSC_DCHECK(biases_[f].first == k);
-      size_t positive = 0;
-      for (double v : conv) {
-        if (v > biases_[f].second) ++positive;
-      }
+      const size_t positive =
+          simd::CountGreater(conv.data(), conv.size(), biases_[f].second);
       features[f] =
           static_cast<double>(positive) / static_cast<double>(conv.size());
     }

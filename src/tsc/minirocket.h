@@ -4,6 +4,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,14 @@ class MiniRocketClassifier : public FullClassifier {
 
 /// The 84 weight-2 position triples of MiniROCKET's fixed kernel set.
 const std::array<std::array<size_t, 3>, 84>& MiniRocketKernelTriples();
+
+/// Applies kernel `kernel_index` at `dilation` to an already channel-pooled
+/// series ("same" padding, out-of-range taps skipped), accumulating into
+/// `out` (callers pass zeros). This is the transform's innermost kernel —
+/// nine weighted shifted-add passes over the pooled series, dispatched
+/// through the simd layer — exposed for the micro-benchmarks.
+void MiniRocketApplyKernel(std::span<const double> pooled, size_t kernel_index,
+                           size_t dilation, std::span<double> out);
 
 }  // namespace etsc
 

@@ -58,8 +58,12 @@ struct MlstmClassifier::Network {
 nn::FeatureMap MlstmClassifier::ToFeatureMap(const TimeSeries& series) const {
   nn::FeatureMap fm(num_variables_);
   for (size_t v = 0; v < num_variables_; ++v) {
-    fm[v] = v < series.num_variables() ? series.channel(v)
-                                       : std::vector<double>(series.length(), 0.0);
+    if (v < series.num_variables()) {
+      std::span<const double> c = series.channel(v);
+      fm[v].assign(c.begin(), c.end());
+    } else {
+      fm[v].assign(series.length(), 0.0);
+    }
   }
   return fm;
 }

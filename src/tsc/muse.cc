@@ -32,11 +32,12 @@ std::vector<std::vector<double>> MuseClassifier::Channels(
   std::vector<std::vector<double>> channels;
   channels.reserve(series.num_variables() * (options_.use_derivatives ? 2 : 1));
   for (size_t v = 0; v < series.num_variables(); ++v) {
-    channels.push_back(series.channel(v));
+    std::span<const double> c = series.channel(v);
+    channels.emplace_back(c.begin(), c.end());
   }
   if (options_.use_derivatives) {
     for (size_t v = 0; v < series.num_variables(); ++v) {
-      channels.push_back(Derivative(series.channel(v)));
+      channels.push_back(Derivative(channels[v]));
     }
   }
   return channels;

@@ -52,9 +52,11 @@ Status WeaselClassifier::Fit(const Dataset& train) {
     if (options_.normalize_input) {
       TimeSeries ts = train.instance(i);
       ts.ZNormalize();
-      series[i] = ts.channel(0);
+      std::span<const double> c = ts.channel(0);
+      series[i].assign(c.begin(), c.end());
     } else {
-      series[i] = train.instance(i).channel(0);
+      std::span<const double> c = train.instance(i).channel(0);
+      series[i].assign(c.begin(), c.end());
     }
   }
 
@@ -153,9 +155,11 @@ Result<SparseVector> WeaselClassifier::TransformSelected(
   if (options_.normalize_input) {
     TimeSeries copy = series;
     copy.ZNormalize();
-    values = copy.channel(0);
+    std::span<const double> c = copy.channel(0);
+    values.assign(c.begin(), c.end());
   } else {
-    values = series.channel(0);
+    std::span<const double> c = series.channel(0);
+    values.assign(c.begin(), c.end());
   }
   return ProjectRow(Transform(values, nullptr), selected_);
 }
