@@ -1,0 +1,191 @@
+// Serving-engine benchmark (DESIGN.md sec 14): replays a deterministic
+// ingest trace of concurrent partial series through the multi-session
+// ServingEngine and writes BENCH_serving.json — sessions/sec, sustained
+// ingest rate, and p50/p99 per-decision latency from the core/counters
+// histograms — at pool width 1 (the serial floor) and width 8. Every engine
+// run is cross-checked bit-for-bit against the sequential
+// single-StreamingSession reference before its numbers are reported.
+//
+// Knobs: ETSC_BENCH_SERVING_OUT (default BENCH_serving.json; empty skips),
+// ETSC_BENCH_SERVING_SESSIONS (default 2000), ETSC_BENCH_SERVING_DATASET
+// (default PowerCons), ETSC_BENCH_SERVING_ALGO (default ects).
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algos/registrations.h"
+#include "core/counters.h"
+#include "core/evaluation.h"
+#include "core/parallel.h"
+#include "core/registry.h"
+#include "core/serving.h"
+#include "data/repository.h"
+
+namespace {
+
+struct RunNumbers {
+  double wall_seconds = 0.0;
+  double sessions_per_second = 0.0;
+  double ingest_per_second = 0.0;
+  double p50_seconds = 0.0;
+  double p99_seconds = 0.0;
+  size_t batches = 0;
+  bool bit_identical = false;
+};
+
+/// One engine replay at pool `width`, verified against `expected`.
+RunNumbers RunAtWidth(size_t width,
+                      const std::shared_ptr<const etsc::EarlyClassifier>& model,
+                      const etsc::Dataset& data, size_t num_sessions,
+                      const std::vector<etsc::IngestEvent>& trace,
+                      const std::vector<etsc::ReplayOutcome>& expected) {
+  etsc::SetMaxParallelism(width);
+  etsc::Histogram& latency =
+      etsc::MetricRegistry::Global().histogram("serving.decision_seconds");
+  latency.Reset();
+
+  etsc::ServingOptions options;
+  options.expected_length = data.MaxLength();
+  etsc::ServingEngine engine(options);
+  RunNumbers numbers;
+  if (!engine.RegisterModel("bench", model, data.NumVariables()).ok()) {
+    etsc::SetMaxParallelism(0);
+    return numbers;
+  }
+  etsc::Stopwatch timer;
+  const auto actual =
+      etsc::ReplayThroughEngine(engine, "bench", num_sessions, trace, 256);
+  numbers.wall_seconds = timer.Seconds();
+  etsc::SetMaxParallelism(0);
+  if (!actual.ok()) return numbers;
+
+  numbers.bit_identical = actual->size() == expected.size();
+  for (size_t s = 0; numbers.bit_identical && s < expected.size(); ++s) {
+    numbers.bit_identical = (*actual)[s] == expected[s];
+  }
+  numbers.sessions_per_second =
+      static_cast<double>(num_sessions) / numbers.wall_seconds;
+  numbers.ingest_per_second =
+      static_cast<double>(trace.size()) / numbers.wall_seconds;
+  numbers.p50_seconds = latency.Quantile(0.5);
+  numbers.p99_seconds = latency.Quantile(0.99);
+  numbers.batches = engine.stats().batches;
+  return numbers;
+}
+
+size_t EnvCount(const char* name, size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  const unsigned long parsed = std::strtoul(raw, nullptr, 10);
+  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+std::string EnvString(const char* name, const char* fallback) {
+  const char* raw = std::getenv(name);
+  return (raw == nullptr || *raw == '\0') ? fallback : raw;
+}
+
+int WriteServingBench(const char* path) {
+  const std::string dataset_name =
+      EnvString("ETSC_BENCH_SERVING_DATASET", "PowerCons");
+  const std::string algo = EnvString("ETSC_BENCH_SERVING_ALGO", "ects");
+  const size_t num_sessions = EnvCount("ETSC_BENCH_SERVING_SESSIONS", 2000);
+
+  etsc::RepositoryOptions repo;
+  auto benchmark = etsc::MakeBenchmarkDataset(dataset_name, repo);
+  if (!benchmark.ok()) {
+    std::fprintf(stderr, "%s\n", benchmark.status().ToString().c_str());
+    return 1;
+  }
+  etsc::Dataset data = std::move(benchmark->data);
+  data.FillMissingValues();
+
+  auto created = etsc::ClassifierRegistry::Global().Create(algo);
+  if (!created.ok()) {
+    std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
+    return 1;
+  }
+  std::shared_ptr<etsc::EarlyClassifier> model = std::move(*created);
+  const etsc::Status fitted = model->Fit(data);
+  if (!fitted.ok()) {
+    std::fprintf(stderr, "fit failed: %s\n", fitted.ToString().c_str());
+    return 1;
+  }
+
+  const auto trace = etsc::BuildReplayTrace(data, num_sessions, 42);
+  etsc::Stopwatch sequential_timer;
+  const auto expected =
+      etsc::ReplaySequential(*model, data.NumVariables(), num_sessions, trace);
+  const double sequential_seconds = sequential_timer.Seconds();
+
+  const RunNumbers serial = RunAtWidth(1, model, data, num_sessions, trace,
+                                       expected);
+  const RunNumbers pooled = RunAtWidth(8, model, data, num_sessions, trace,
+                                       expected);
+  if (!serial.bit_identical || !pooled.bit_identical) {
+    std::fprintf(stderr,
+                 "FAIL: engine replay diverged from the sequential reference "
+                 "(serial=%d pooled=%d)\n",
+                 serial.bit_identical ? 1 : 0, pooled.bit_identical ? 1 : 0);
+    return 2;
+  }
+
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(
+      out,
+      "{\n"
+      "  \"dataset\": \"%s\",\n"
+      "  \"algorithm\": \"%s\",\n"
+      "  \"sessions\": %zu,\n"
+      "  \"events\": %zu,\n"
+      "  \"hardware_concurrency\": %u,\n"
+      "  \"sequential_reference_wall_s\": %.4f,\n"
+      "  \"serial\": {\n"
+      "    \"wall_s\": %.4f,\n"
+      "    \"sessions_per_second\": %.1f,\n"
+      "    \"ingest_per_second\": %.1f,\n"
+      "    \"decision_p50_s\": %.3e,\n"
+      "    \"decision_p99_s\": %.3e,\n"
+      "    \"batches\": %zu,\n"
+      "    \"bit_identical\": true\n"
+      "  },\n"
+      "  \"pooled_8\": {\n"
+      "    \"wall_s\": %.4f,\n"
+      "    \"sessions_per_second\": %.1f,\n"
+      "    \"ingest_per_second\": %.1f,\n"
+      "    \"decision_p50_s\": %.3e,\n"
+      "    \"decision_p99_s\": %.3e,\n"
+      "    \"batches\": %zu,\n"
+      "    \"bit_identical\": true\n"
+      "  },\n"
+      "  \"dispatch_speedup\": %.3f\n"
+      "}\n",
+      dataset_name.c_str(), algo.c_str(), num_sessions, trace.size(),
+      std::thread::hardware_concurrency(), sequential_seconds,
+      serial.wall_seconds, serial.sessions_per_second,
+      serial.ingest_per_second, serial.p50_seconds, serial.p99_seconds,
+      serial.batches, pooled.wall_seconds, pooled.sessions_per_second,
+      pooled.ingest_per_second, pooled.p50_seconds, pooled.p99_seconds,
+      pooled.batches, serial.wall_seconds / pooled.wall_seconds);
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %s\n", path);
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  etsc::RegisterBuiltinClassifiers();
+  const char* out = std::getenv("ETSC_BENCH_SERVING_OUT");
+  if (out == nullptr) out = "BENCH_serving.json";
+  if (*out == '\0') return 0;
+  return WriteServingBench(out);
+}

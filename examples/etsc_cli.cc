@@ -17,9 +17,15 @@
 //                                             (combine shard journals + report)
 //   etsc_cli --report-diff A.json B.json [--ignore-algos A,B]
 //                                             (compare reports modulo timings)
+//   etsc_cli --serve --algo ects --dataset PowerCons [--sessions N]
+//            [--dispatch-every K] [--serve-report OUT.json]
+//                                             (multi-session serving engine
+//                                              over a replayable ingest trace;
+//                                              knobs via ETSC_SERVE_* env)
 //
 // Exit code 0 on success, 1 on usage/setup errors, 2 when the algorithm could
-// not train within the budget, 3 when --report-diff finds a difference.
+// not train within the budget, 3 when --report-diff finds a difference, 4 when
+// --serve finds a batched/sequential divergence.
 
 #include <sys/wait.h>
 #include <unistd.h>
@@ -46,12 +52,17 @@
 #include "core/json.h"
 #include "core/model_cache.h"
 #include "core/registry.h"
+#include "core/serving.h"
 #include "data/repository.h"
 
 namespace {
 
 struct CliArgs {
   bool list = false;
+  bool serve = false;                    // multi-session serving engine
+  size_t sessions = 1000;               // --serve: concurrent live series
+  size_t dispatch_every = 64;           // --serve: events per DispatchBatch
+  std::string serve_report;             // --serve: JSON report destination
   bool campaign = false;
   bool worker = false;                   // join the fabric journal as a worker
   size_t workers = 0;                    // coordinator: spawn K worker processes
@@ -89,7 +100,10 @@ void PrintUsage() {
       "       etsc_cli --worker --cache JOURNAL  (attach one worker; owner id\n"
       "                from ETSC_WORKER_ID or pid)\n"
       "       etsc_cli --merge-shards OUT IN1 IN2 ... [--follow]\n"
-      "       etsc_cli --report-diff A.json B.json [--ignore-algos A,B]\n");
+      "       etsc_cli --report-diff A.json B.json [--ignore-algos A,B]\n"
+      "       etsc_cli --serve --algo NAME --dataset BENCH [--sessions N]\n"
+      "                [--dispatch-every K] [--serve-report OUT.json]\n"
+      "                (ETSC_SERVE_MAX_SESSIONS / _BUDGET_MS / _IDLE_MS env)\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -104,6 +118,24 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
     };
     if (flag == "--list") {
       args->list = true;
+    } else if (flag == "--serve") {
+      args->serve = true;
+    } else if (flag == "--sessions") {
+      const char* v = next("--sessions");
+      if (v == nullptr) return false;
+      args->sessions = std::strtoul(v, nullptr, 10);
+      if (args->sessions == 0) {
+        std::fprintf(stderr, "--sessions needs a positive count\n");
+        return false;
+      }
+    } else if (flag == "--dispatch-every") {
+      const char* v = next("--dispatch-every");
+      if (v == nullptr) return false;
+      args->dispatch_every = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--serve-report") {
+      const char* v = next("--serve-report");
+      if (v == nullptr) return false;
+      args->serve_report = v;
     } else if (flag == "--campaign") {
       args->campaign = true;
     } else if (flag == "--worker") {
@@ -634,6 +666,191 @@ int ReportDiff(const std::string& path_a, const std::string& path_b,
   return 3;
 }
 
+/// Loads the dataset selected by --csv/--arff/--dataset into `out`.
+/// Returns 0, or the exit code to fail with.
+int LoadDatasetFromArgs(const CliArgs& args, etsc::Dataset* out) {
+  if (!args.csv_path.empty()) {
+    auto loaded = etsc::LoadCsv(args.csv_path, args.variables);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    *out = std::move(*loaded);
+  } else if (!args.arff_path.empty()) {
+    auto loaded = etsc::LoadArff(args.arff_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    *out = std::move(*loaded);
+  } else if (!args.dataset.empty()) {
+    etsc::RepositoryOptions repo;
+    repo.seed = args.seed;
+    repo.height_scale = args.scale;
+    auto benchmark = etsc::MakeBenchmarkDataset(args.dataset, repo);
+    if (!benchmark.ok()) {
+      std::fprintf(stderr, "%s\n", benchmark.status().ToString().c_str());
+      return 1;
+    }
+    *out = std::move(benchmark->data);
+  } else {
+    PrintUsage();
+    return 1;
+  }
+  out->FillMissingValues();
+  return 0;
+}
+
+/// `--serve`: fits (or cache-loads) one model, replays a deterministic ingest
+/// trace of --sessions concurrent partial series through the ServingEngine in
+/// batches of --dispatch-every events, cross-checks every decision against
+/// the sequential single-StreamingSession reference, and reports throughput +
+/// decision-latency quantiles (the Figure-13 numbers under serving load).
+int RunServe(const CliArgs& args) {
+  if (args.algo.empty()) {
+    PrintUsage();
+    return 1;
+  }
+  etsc::Dataset dataset;
+  if (const int rc = LoadDatasetFromArgs(args, &dataset); rc != 0) return rc;
+  std::printf("dataset %s: %zu instances, %zu vars, length %zu\n",
+              dataset.name().c_str(), dataset.size(), dataset.NumVariables(),
+              dataset.MaxLength());
+
+  auto created = etsc::ClassifierRegistry::Global().Create(args.algo);
+  if (!created.ok()) {
+    std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
+    return 1;
+  }
+  std::shared_ptr<etsc::EarlyClassifier> model = std::move(*created);
+  if (dataset.NumVariables() > 1 && !model->SupportsMultivariate()) {
+    std::fprintf(stderr, "%s does not support multivariate data\n",
+                 args.algo.c_str());
+    return 1;
+  }
+
+  // One fitted model shared by every session, reused across invocations via
+  // the model cache (ETSC_MODEL_CACHE) under the full-dataset key.
+  const auto cache = etsc::ModelCache::FromEnv();
+  etsc::ModelCacheKey key;
+  key.config_fingerprint = model->config_fingerprint();
+  key.dataset_fingerprint = dataset.Fingerprint();
+  key.fold = 0;
+  key.num_folds = 1;
+  key.seed = args.seed;
+  etsc::Stopwatch fit_timer;
+  bool cached = cache != nullptr && cache->TryLoad(key, model.get());
+  if (!cached) {
+    const etsc::Status fitted = model->Fit(dataset);
+    if (!fitted.ok()) {
+      std::fprintf(stderr, "fit failed: %s\n", fitted.ToString().c_str());
+      return 2;
+    }
+    if (cache != nullptr) {
+      const etsc::Status stored = cache->Store(key, *model);
+      if (!stored.ok()) {
+        std::fprintf(stderr, "model cache store: %s\n",
+                     stored.ToString().c_str());
+      }
+    }
+  }
+  std::printf("model %s %s in %.2f s\n", args.algo.c_str(),
+              cached ? "cache-loaded" : "fitted", fit_timer.Seconds());
+
+  const auto trace =
+      etsc::BuildReplayTrace(dataset, args.sessions, args.seed);
+  if (trace.empty()) {
+    std::fprintf(stderr, "empty ingest trace (empty dataset?)\n");
+    return 1;
+  }
+
+  // Reference first: the sequential single-caller path.
+  etsc::Stopwatch sequential_timer;
+  const auto expected = etsc::ReplaySequential(
+      *model, dataset.NumVariables(), args.sessions, trace);
+  const double sequential_seconds = sequential_timer.Seconds();
+
+  etsc::ServingOptions options = etsc::ServingOptions::FromEnv();
+  options.expected_length = dataset.MaxLength();
+  etsc::ServingEngine engine(options);
+  std::shared_ptr<const etsc::EarlyClassifier> shared = model;
+  const etsc::Status registered =
+      engine.RegisterModel(args.algo, shared, dataset.NumVariables());
+  if (!registered.ok()) {
+    std::fprintf(stderr, "%s\n", registered.ToString().c_str());
+    return 1;
+  }
+  etsc::Stopwatch serve_timer;
+  const auto actual = etsc::ReplayThroughEngine(
+      engine, args.algo, args.sessions, trace, args.dispatch_every);
+  const double serve_seconds = serve_timer.Seconds();
+  if (!actual.ok()) {
+    std::fprintf(stderr, "%s\n", actual.status().ToString().c_str());
+    return 1;
+  }
+
+  size_t divergent = 0;
+  for (size_t s = 0; s < args.sessions; ++s) {
+    if (!((*actual)[s] == expected[s])) ++divergent;
+  }
+  if (divergent > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %zu/%zu sessions diverged from the sequential "
+                 "reference\n",
+                 divergent, args.sessions);
+    return 4;
+  }
+
+  const etsc::ServingStats stats = engine.stats();
+  const etsc::Histogram& latency =
+      etsc::MetricRegistry::Global().histogram("serving.decision_seconds");
+  const double sessions_per_second =
+      serve_seconds > 0.0 ? static_cast<double>(args.sessions) / serve_seconds
+                          : 0.0;
+  const double ingest_per_second =
+      serve_seconds > 0.0 ? static_cast<double>(trace.size()) / serve_seconds
+                          : 0.0;
+  std::printf(
+      "serve: %zu sessions, %zu events, %zu batches, %zu decisions "
+      "(%zu deadline-forced) in %.3f s (sequential reference %.3f s)\n",
+      args.sessions, trace.size(), stats.batches, stats.decisions,
+      stats.deadline_forced, serve_seconds, sequential_seconds);
+  std::printf(
+      "serve: %.0f sessions/s, %.0f obs/s ingest, decision latency "
+      "p50=%.3g s p99=%.3g s — batched == sequential (bit-identical)\n",
+      sessions_per_second, ingest_per_second, latency.Quantile(0.5),
+      latency.Quantile(0.99));
+
+  if (!args.serve_report.empty()) {
+    etsc::json::Writer w;
+    w.BeginObject();
+    w.Key("dataset").String(dataset.name());
+    w.Key("algorithm").String(args.algo);
+    w.Key("sessions").Number(args.sessions);
+    w.Key("events").Number(trace.size());
+    w.Key("dispatch_every").Number(args.dispatch_every);
+    w.Key("batches").Number(stats.batches);
+    w.Key("decisions").Number(stats.decisions);
+    w.Key("deadline_forced").Number(stats.deadline_forced);
+    w.Key("serve_seconds").Number(serve_seconds);
+    w.Key("sequential_seconds").Number(sequential_seconds);
+    w.Key("sessions_per_second").Number(sessions_per_second);
+    w.Key("ingest_per_second").Number(ingest_per_second);
+    w.Key("decision_p50_seconds").Number(latency.Quantile(0.5));
+    w.Key("decision_p99_seconds").Number(latency.Quantile(0.99));
+    w.Key("bit_identical").Bool(true);
+    w.EndObject();
+    std::ofstream out(args.serve_report, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", args.serve_report.c_str());
+      return 1;
+    }
+    out << w.str() << "\n";
+    std::printf("serve report: %s\n", args.serve_report.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -650,6 +867,9 @@ int main(int argc, char** argv) {
   }
   if (!args.merge_out.empty()) {
     return MergeShards(args.merge_out, args.merge_inputs, args.follow);
+  }
+  if (args.serve) {
+    return RunServe(args);
   }
   if (args.worker) {
     return RunWorkerProcess(args);
@@ -685,35 +905,7 @@ int main(int argc, char** argv) {
   }
 
   etsc::Dataset dataset;
-  if (!args.csv_path.empty()) {
-    auto loaded = etsc::LoadCsv(args.csv_path, args.variables);
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
-      return 1;
-    }
-    dataset = std::move(*loaded);
-  } else if (!args.arff_path.empty()) {
-    auto loaded = etsc::LoadArff(args.arff_path);
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
-      return 1;
-    }
-    dataset = std::move(*loaded);
-  } else if (!args.dataset.empty()) {
-    etsc::RepositoryOptions repo;
-    repo.seed = args.seed;
-    repo.height_scale = args.scale;
-    auto benchmark = etsc::MakeBenchmarkDataset(args.dataset, repo);
-    if (!benchmark.ok()) {
-      std::fprintf(stderr, "%s\n", benchmark.status().ToString().c_str());
-      return 1;
-    }
-    dataset = std::move(benchmark->data);
-  } else {
-    PrintUsage();
-    return 1;
-  }
-  dataset.FillMissingValues();
+  if (const int rc = LoadDatasetFromArgs(args, &dataset); rc != 0) return rc;
 
   std::printf("dataset %s: %zu instances, %zu vars, length %zu, %zu classes\n",
               dataset.name().c_str(), dataset.size(), dataset.NumVariables(),

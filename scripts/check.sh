@@ -5,13 +5,15 @@
 # hung predicts and corrupted model-cache entries must leave unaffected
 # cells bit-identical to a fault-free run), a worker-fabric crash drill (a
 # worker dying abruptly mid-cell must cost zero cells: the survivor steals the
-# orphaned lease and the merged report stays bit-identical), then sanitizer
+# orphaned lease and the merged report stays bit-identical), a serving-engine
+# smoke gate (batched multi-session dispatch must be bit-identical to the
+# sequential StreamingSession reference and emit its report), then sanitizer
 # passes — ASan and
 # UBSan over the suites that parse attacker-shaped bytes (model streams,
 # journals, reports, dataset files), and an oversubscribed ThreadSanitizer
 # pass over the concurrency-sensitive suites (thread pool, tracing/metrics,
-# campaign journal, model cache, supervisor/watchdog). Run from anywhere
-# inside the repo.
+# campaign journal, model cache, supervisor/watchdog, streaming sessions and
+# the serving engine). Run from anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -153,6 +155,22 @@ trap 'rm -rf "$SHARD_DIR" "$SIMD_DIR" "$FAULT_DIR" "$FABRIC_DIR"' EXIT
 )
 echo "check.sh: crash drill survived — lease stolen, zero lost cells, merged report bit-identical"
 
+# Serving smoke: a short multi-session ingest trace through the serving
+# engine must decide every session bit-identically to the sequential
+# single-StreamingSession reference (exit 4 on any divergence) and emit the
+# throughput/latency report.
+SERVE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SHARD_DIR" "$SIMD_DIR" "$FAULT_DIR" "$FABRIC_DIR" "$SERVE_DIR"' EXIT
+(
+  export ETSC_LOG=warn
+  ./build/examples/etsc_cli --serve --algo ects --dataset PowerCons \
+    --sessions 100 --dispatch-every 64 --serve-report "$SERVE_DIR/serve.json"
+  grep -q '"bit_identical":true' "$SERVE_DIR/serve.json"
+  grep -q '"sessions_per_second":' "$SERVE_DIR/serve.json"
+  grep -q '"decision_p99_seconds":' "$SERVE_DIR/serve.json"
+)
+echo "check.sh: serving engine batched == sequential, report emitted"
+
 # ASan: the persistence layer and the loaders parse attacker-shaped bytes
 # (truncated, corrupted, garbage model streams / journals / reports /
 # datasets) — exactly where memory bugs would hide — plus the SIMD kernels,
@@ -176,8 +194,9 @@ ctest --test-dir build-ubsan --output-on-failure -j"$(nproc)" \
 # keeps ctest away from the *_NOT_BUILT placeholders of the rest.
 cmake -B build-tsan -S . -DETSC_SANITIZE=thread
 cmake --build build-tsan -j --target parallel_test trace_test \
-  journal_config_test serialization_test supervisor_test fabric_test
+  journal_config_test serialization_test supervisor_test fabric_test \
+  streaming_test serving_test
 ETSC_THREADS=8 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-  -R 'Parallel|Trace|Counters|Journal|Campaign|Log|Json|Serialization|DatasetFingerprint|Supervisor|Watchdog|Backoff|CircuitBreaker|CancelToken|Retry|FailureTaxonomy|Fabric'
+  -R 'Parallel|Trace|Counters|Journal|Campaign|Log|Json|Serialization|DatasetFingerprint|Supervisor|Watchdog|Backoff|CircuitBreaker|CancelToken|Retry|FailureTaxonomy|Fabric|Streaming|Serving'
 
 echo "check.sh: all green"

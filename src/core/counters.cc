@@ -48,13 +48,25 @@ void Gauge::Reset() {
 namespace {
 
 size_t BucketIndex(double value) {
-  if (!(value >= 1e-9)) return Histogram::kUnderflow;  // negatives, NaN too
+  if (!(value >= 0.0)) return Histogram::kUnderflow;  // negatives, NaN
+  // Zero and sub-nanosecond values are legitimate coarse-clock measurements
+  // ("faster than one tick"): they belong in the fastest decade bucket, not
+  // in underflow next to clock bugs.
   double bound = 1e-8;
   for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
     if (value < bound) return i;
     bound *= 10.0;
   }
   return Histogram::kOverflow;
+}
+
+/// Lower/upper bound of decade bucket i ([0, 1e-8) for i = 0).
+double BucketLowerBound(size_t i) {
+  return i == 0 ? 0.0 : 1e-9 * std::pow(10.0, static_cast<double>(i));
+}
+
+double BucketUpperBound(size_t i) {
+  return 1e-8 * std::pow(10.0, static_cast<double>(i));
 }
 
 }  // namespace
@@ -96,6 +108,38 @@ double Histogram::mean() const {
 uint64_t Histogram::bucket(size_t index) const {
   std::lock_guard<std::mutex> lock(mu_);
   return index < kNumBuckets + 2 ? buckets_[index] : 0;
+}
+
+double Histogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return std::nan("");
+  q = std::min(1.0, std::max(0.0, q));
+  // The endpoints are known exactly; only interior quantiles estimate.
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  // Rank of the q-th value (1-based) and the bucket that contains it, in
+  // recording order underflow -> decades -> overflow.
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(
+                                std::ceil(q * static_cast<double>(count_))));
+  uint64_t seen = buckets_[kUnderflow];
+  if (rank <= seen) return min_;  // inside underflow: only min_ is meaningful
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (rank <= seen + buckets_[i]) {
+      // Interpolate inside the bucket: geometric across a decade (linear for
+      // the zero-based first bucket), clamped to the observed extremes.
+      const double f = (static_cast<double>(rank - seen) - 0.5) /
+                       static_cast<double>(buckets_[i]);
+      const double lo = BucketLowerBound(i);
+      const double hi = BucketUpperBound(i);
+      const double v = (lo > 0.0) ? lo * std::pow(hi / lo, f)
+                                  : lo + f * (hi - lo);
+      return std::min(std::max(v, min_), max_);
+    }
+    seen += buckets_[i];
+  }
+  return max_;  // inside overflow (or rounding): the observed maximum
 }
 
 void Histogram::Reset() {
@@ -162,6 +206,8 @@ std::string MetricRegistry::ToJson() const {
     writer.Key("min").Number(histogram->min());
     writer.Key("max").Number(histogram->max());
     writer.Key("mean").Number(histogram->mean());
+    writer.Key("p50").Number(histogram->Quantile(0.5));
+    writer.Key("p99").Number(histogram->Quantile(0.99));
     writer.EndObject();
   }
   writer.EndObject();

@@ -69,13 +69,18 @@ class Gauge {
 };
 
 /// Distribution summary: count/sum/min/max plus decade buckets spanning
-/// [1e-9, 1e6) with underflow (includes all values < 1e-9, negatives too) and
-/// overflow buckets. Mutex-protected — histograms sit on per-task/per-fold
-/// paths, not per-element ones.
+/// [0, 1e6) with underflow (negatives and NaN only — a measurement that can
+/// only come from a broken clock) and overflow buckets. Mutex-protected —
+/// histograms sit on per-task/per-fold paths, not per-element ones.
 class Histogram {
  public:
-  /// Index i covers [1e-9 * 10^i, 1e-9 * 10^(i+1)); kUnderflow/kOverflow
-  /// catch the rest.
+  /// Index i >= 1 covers [1e-9 * 10^i, 1e-9 * 10^(i+1)). Index 0 covers
+  /// [0, 1e-8): the first decade PLUS exact zeros and sub-nanosecond values,
+  /// because coarse monotonic clocks legitimately report 0 for fast
+  /// operations — those are real "faster than one tick" measurements and must
+  /// land in the fastest decade, not be mixed into the underflow bucket with
+  /// negative-duration clock bugs (that mixing skewed the Figure-13 latency
+  /// quantiles). kUnderflow/kOverflow catch the rest.
   static constexpr size_t kNumBuckets = 15;
   static constexpr size_t kUnderflow = kNumBuckets;
   static constexpr size_t kOverflow = kNumBuckets + 1;
@@ -88,6 +93,14 @@ class Histogram {
   double max() const;   // -inf when empty
   double mean() const;  // NaN when empty
   uint64_t bucket(size_t index) const;
+
+  /// Estimated value at quantile q in [0, 1] (NaN when empty): locates the
+  /// bucket holding the q-th recorded value and interpolates geometrically
+  /// inside it (linearly for the zero-based first bucket), clamped to the
+  /// exact observed [min, max]; q = 0 / q = 1 return the exact min / max.
+  /// Decade resolution — good for p50/p99 latency reporting, not for tight
+  /// tolerance tests.
+  double Quantile(double q) const;
   void Reset();
 
  private:

@@ -1,0 +1,518 @@
+#include "core/serving.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "core/counters.h"
+#include "core/log.h"
+#include "core/parallel.h"
+#include "core/rng.h"
+
+namespace etsc {
+
+namespace {
+
+Counter& Opened() {
+  static Counter& c =
+      MetricRegistry::Global().counter("serving.sessions_opened");
+  return c;
+}
+Counter& Rejected() {
+  static Counter& c =
+      MetricRegistry::Global().counter("serving.sessions_rejected");
+  return c;
+}
+Counter& Closed() {
+  static Counter& c =
+      MetricRegistry::Global().counter("serving.sessions_closed");
+  return c;
+}
+Counter& Evicted() {
+  static Counter& c =
+      MetricRegistry::Global().counter("serving.sessions_evicted");
+  return c;
+}
+Counter& Ingested() {
+  static Counter& c =
+      MetricRegistry::Global().counter("serving.observations_ingested");
+  return c;
+}
+Counter& Batches() {
+  static Counter& c = MetricRegistry::Global().counter("serving.batches");
+  return c;
+}
+Counter& BatchDecisions() {
+  static Counter& c = MetricRegistry::Global().counter("serving.decisions");
+  return c;
+}
+Counter& DeadlineForced() {
+  static Counter& c =
+      MetricRegistry::Global().counter("serving.deadline_forced");
+  return c;
+}
+Gauge& LiveSessions() {
+  static Gauge& g = MetricRegistry::Global().gauge("serving.live_sessions");
+  return g;
+}
+Histogram& DecisionSeconds() {
+  static Histogram& h =
+      MetricRegistry::Global().histogram("serving.decision_seconds");
+  return h;
+}
+Histogram& BatchSeconds() {
+  static Histogram& h =
+      MetricRegistry::Global().histogram("serving.batch_seconds");
+  return h;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Validated numeric env knob, same contract as ETSC_THREADS: unset/empty
+/// keeps the default, garbage or out-of-range warns and keeps the default.
+double EnvNumber(const char* name, double fallback, double lo, double hi) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(raw, &end);
+  if (end == raw || *end != '\0' || !(parsed >= lo) || !(parsed <= hi)) {
+    Logf(LogLevel::kWarn, "serving",
+         "ignoring invalid %s='%s' (want a number in [%g, %g])", name, raw,
+         lo, hi);
+    return fallback;
+  }
+  return parsed;
+}
+
+}  // namespace
+
+ServingOptions ServingOptions::FromEnv() {
+  ServingOptions options;
+  options.max_sessions = static_cast<size_t>(
+      EnvNumber("ETSC_SERVE_MAX_SESSIONS",
+                static_cast<double>(options.max_sessions), 1.0, 1e9));
+  const double budget_ms = EnvNumber("ETSC_SERVE_BUDGET_MS", 0.0, 0.0, 1e12);
+  if (budget_ms > 0.0) options.session_budget_seconds = budget_ms / 1e3;
+  const double idle_ms = EnvNumber("ETSC_SERVE_IDLE_MS", 0.0, 0.0, 1e12);
+  if (idle_ms > 0.0) options.idle_timeout_seconds = idle_ms / 1e3;
+  return options;
+}
+
+ServingEngine::ServingEngine(ServingOptions options)
+    : options_(std::move(options)) {}
+
+Status ServingEngine::RegisterModel(
+    const std::string& name, std::shared_ptr<const EarlyClassifier> model,
+    size_t num_variables) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("RegisterModel: null model for " + name);
+  }
+  if (num_variables == 0) {
+    return Status::InvalidArgument(
+        "RegisterModel: zero-variable model " + name);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (model_index_.count(name) != 0) {
+    return Status::InvalidArgument("RegisterModel: duplicate model " + name);
+  }
+  model_index_[name] = models_.size();
+  models_.push_back(ModelEntry{name, std::move(model), num_variables});
+  return Status::OK();
+}
+
+Result<SessionId> ServingEngine::Open(const std::string& model_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = model_index_.find(model_name);
+  if (it == model_index_.end()) {
+    return Status::NotFound("Open: unregistered model " + model_name);
+  }
+  if (sessions_.size() >= options_.max_sessions) {
+    ++stats_.rejected;
+    if (MetricsEnabled()) Rejected().Add(1);
+    return Status::Unavailable(
+        "Open: session table full (" +
+        std::to_string(options_.max_sessions) +
+        " sessions); evict or raise ETSC_SERVE_MAX_SESSIONS");
+  }
+  const ModelEntry& entry = models_[it->second];
+  const SessionId id = next_id_++;
+  sessions_.emplace(
+      id, std::make_unique<Session>(
+              id, it->second, *entry.model, entry.num_variables,
+              options_.expected_length,
+              Deadline::After(options_.session_budget_seconds)));
+  ++stats_.opened;
+  stats_.live_sessions = sessions_.size();
+  stats_.peak_sessions = std::max(stats_.peak_sessions, sessions_.size());
+  if (MetricsEnabled()) {
+    Opened().Add(1);
+    LiveSessions().Set(static_cast<int64_t>(sessions_.size()));
+  }
+  return id;
+}
+
+Status ServingEngine::Ingest(SessionId id, const std::vector<double>& values) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("Ingest: no session " + std::to_string(id));
+  }
+  Session& session = *it->second;
+  const size_t arity = models_[session.model_index].num_variables;
+  // Mirrors StreamingSession's arity-before-everything rule: a malformed
+  // observation is reported here and can never reach a buffer.
+  if (values.size() != arity) {
+    return Status::InvalidArgument(
+        "Ingest: observation has " + std::to_string(values.size()) +
+        " values, expected " + std::to_string(arity));
+  }
+  session.pending.push_back(values);
+  session.last_activity = std::chrono::steady_clock::now();
+  ++stats_.ingested;
+  if (MetricsEnabled()) Ingested().Add(1);
+  return Status::OK();
+}
+
+void ServingEngine::RunSession(Session* session) const {
+  // Replays the claimed observations in arrival order through the session's
+  // own StreamingSession — the single-caller semantics, verbatim, which is
+  // what makes batched decisions bit-identical to the streaming path.
+  const bool had_decision = session->stream.decision().has_value();
+  for (const std::vector<double>& values : session->taking) {
+    const auto push_started = std::chrono::steady_clock::now();
+    auto out = session->stream.Push(values);
+    if (!out.ok()) {
+      if (session->error.ok()) session->error = out.status();
+      break;
+    }
+    if (out->has_value() && !had_decision && !session->decided_in_batch) {
+      session->decided_in_batch = true;
+      if (MetricsEnabled()) DecisionSeconds().Record(SecondsSince(push_started));
+    }
+  }
+  session->taking.clear();
+  // Deadline enforcement: an undecided session past its budget answers NOW
+  // with whatever it has seen — a forced Finish on the observed prefix.
+  if (!session->stream.decision().has_value() && session->error.ok() &&
+      session->stream.observed() > 0 && session->deadline.Expired()) {
+    const auto finish_started = std::chrono::steady_clock::now();
+    auto forced = session->stream.Finish();
+    if (!forced.ok()) {
+      if (session->error.ok()) session->error = forced.status();
+    } else if (!had_decision) {
+      session->deadline_forced = true;
+      session->decided_in_batch = true;
+      if (MetricsEnabled()) {
+        DecisionSeconds().Record(SecondsSince(finish_started));
+        DeadlineForced().Add(1);
+      }
+    }
+  }
+}
+
+Result<size_t> ServingEngine::DispatchBatch() {
+  const auto batch_started = std::chrono::steady_clock::now();
+  // Claim phase: move each session's queue into its `taking` slot and mark it
+  // in flight, so concurrent Ingest keeps appending to a fresh queue and
+  // concurrent accessors see "busy" instead of racing the pool tasks.
+  std::vector<Session*> work;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, session] : sessions_) {
+      if (session->in_flight) continue;  // claimed by an overlapping batch
+      const bool due = !session->pending.empty() ||
+                       (!session->stream.decision().has_value() &&
+                        session->error.ok() && session->stream.observed() > 0 &&
+                        session->deadline.Expired());
+      if (!due) continue;
+      session->taking = std::exchange(session->pending, {});
+      session->decided_in_batch = false;
+      session->in_flight = true;
+      work.push_back(session.get());
+    }
+    // Model-major order: sessions sharing a model land in the same grain-run
+    // of pool tasks, so one task stays on one model's working set.
+    std::stable_sort(work.begin(), work.end(),
+                     [](const Session* a, const Session* b) {
+                       return a->model_index < b->model_index;
+                     });
+  }
+
+  ParallelFor(
+      work.size(), [&](size_t i) { RunSession(work[i]); },
+      std::max<size_t>(1, options_.batch_grain));
+
+  size_t decisions = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Session* session : work) {
+      session->in_flight = false;
+      if (session->decided_in_batch) ++decisions;
+    }
+    stats_.decisions += decisions;
+    stats_.deadline_forced += static_cast<size_t>(std::count_if(
+        work.begin(), work.end(), [](const Session* s) {
+          return s->decided_in_batch && s->deadline_forced;
+        }));
+    ++stats_.batches;
+  }
+  if (MetricsEnabled()) {
+    Batches().Add(1);
+    BatchDecisions().Add(decisions);
+    BatchSeconds().Record(SecondsSince(batch_started));
+  }
+  return decisions;
+}
+
+Result<EarlyPrediction> ServingEngine::Finish(SessionId id) {
+  // Claim the session exactly like a batch would, then run it inline.
+  Session* session = nullptr;
+  bool had_decision = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      return Status::NotFound("Finish: no session " + std::to_string(id));
+    }
+    session = it->second.get();
+    if (session->in_flight) {
+      return Status::Unavailable("Finish: session " + std::to_string(id) +
+                                 " is being dispatched");
+    }
+    had_decision = session->stream.decision().has_value();
+    session->taking = std::exchange(session->pending, {});
+    session->decided_in_batch = false;
+    session->in_flight = true;
+  }
+  RunSession(session);
+  Result<EarlyPrediction> result = [&]() -> Result<EarlyPrediction> {
+    if (!session->error.ok()) return session->error;
+    return session->stream.Finish();
+  }();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    session->in_flight = false;
+    if (result.ok() && !had_decision) {
+      // A fresh decision, whether the queue flush or the Finish made it.
+      ++stats_.decisions;
+      if (MetricsEnabled()) BatchDecisions().Add(1);
+    }
+  }
+  return result;
+}
+
+Result<SessionInfo> ServingEngine::Info(SessionId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("Info: no session " + std::to_string(id));
+  }
+  const Session& session = *it->second;
+  if (session.in_flight) {
+    return Status::Unavailable("Info: session " + std::to_string(id) +
+                               " is being dispatched");
+  }
+  if (!session.error.ok()) return session.error;
+  SessionInfo info;
+  info.id = session.id;
+  info.model = models_[session.model_index].name;
+  info.observed = session.stream.observed();
+  info.pending = session.pending.size();
+  info.decision = session.stream.decision();
+  info.deadline_forced = session.deadline_forced;
+  return info;
+}
+
+Status ServingEngine::Close(SessionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("Close: no session " + std::to_string(id));
+  }
+  if (it->second->in_flight) {
+    return Status::Unavailable("Close: session " + std::to_string(id) +
+                               " is being dispatched");
+  }
+  sessions_.erase(it);
+  ++stats_.closed;
+  stats_.live_sessions = sessions_.size();
+  if (MetricsEnabled()) {
+    Closed().Add(1);
+    LiveSessions().Set(static_cast<int64_t>(sessions_.size()));
+  }
+  return Status::OK();
+}
+
+size_t ServingEngine::EvictDecided() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t evicted = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    Session& session = *it->second;
+    if (!session.in_flight && session.pending.empty() &&
+        (session.stream.decision().has_value() || !session.error.ok())) {
+      it = sessions_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  stats_.evicted += evicted;
+  stats_.live_sessions = sessions_.size();
+  if (MetricsEnabled() && evicted > 0) {
+    Evicted().Add(evicted);
+    LiveSessions().Set(static_cast<int64_t>(sessions_.size()));
+  }
+  return evicted;
+}
+
+size_t ServingEngine::EvictIdle(double idle_seconds) {
+  if (idle_seconds < 0.0) idle_seconds = options_.idle_timeout_seconds;
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t evicted = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    Session& session = *it->second;
+    if (!session.in_flight && session.pending.empty() &&
+        !session.stream.decision().has_value() &&
+        SecondsSince(session.last_activity) > idle_seconds) {
+      it = sessions_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  stats_.evicted += evicted;
+  stats_.live_sessions = sessions_.size();
+  if (MetricsEnabled() && evicted > 0) {
+    Evicted().Add(evicted);
+    LiveSessions().Set(static_cast<int64_t>(sessions_.size()));
+  }
+  return evicted;
+}
+
+ServingStats ServingEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// Replayable ingest traces
+// ---------------------------------------------------------------------------
+
+std::vector<IngestEvent> BuildReplayTrace(const Dataset& data,
+                                          size_t num_sessions, uint64_t seed) {
+  std::vector<IngestEvent> trace;
+  if (data.empty() || num_sessions == 0) return trace;
+  const size_t num_variables = data.NumVariables();
+  size_t max_length = 0;
+  std::vector<const TimeSeries*> streams(num_sessions);
+  for (size_t s = 0; s < num_sessions; ++s) {
+    streams[s] = &data.instance(s % data.size());
+    max_length = std::max(max_length, streams[s]->length());
+  }
+  Rng rng(seed);
+  std::vector<size_t> order(num_sessions);
+  for (size_t s = 0; s < num_sessions; ++s) order[s] = s;
+  for (size_t t = 0; t < max_length; ++t) {
+    // Fresh shuffle per round: arrival order within an observation period is
+    // traffic noise, and the engine's decisions must not depend on it.
+    rng.Shuffle(&order);
+    for (const size_t s : order) {
+      const TimeSeries& series = *streams[s];
+      if (t >= series.length()) continue;
+      IngestEvent event;
+      event.session = s;
+      event.values.resize(num_variables);
+      for (size_t v = 0; v < num_variables; ++v) {
+        event.values[v] = series.at(v, t);
+      }
+      trace.push_back(std::move(event));
+    }
+  }
+  return trace;
+}
+
+std::vector<ReplayOutcome> ReplaySequential(
+    const EarlyClassifier& model, size_t num_variables, size_t num_sessions,
+    const std::vector<IngestEvent>& trace) {
+  std::vector<std::unique_ptr<StreamingSession>> sessions;
+  sessions.reserve(num_sessions);
+  for (size_t s = 0; s < num_sessions; ++s) {
+    sessions.push_back(
+        std::make_unique<StreamingSession>(model, num_variables));
+  }
+  std::vector<ReplayOutcome> outcomes(num_sessions);
+  std::vector<bool> decided(num_sessions, false);
+  for (const IngestEvent& event : trace) {
+    StreamingSession& session = *sessions[event.session];
+    auto out = session.Push(event.values);
+    if (!out.ok()) {
+      if (!decided[event.session]) {
+        outcomes[event.session].failed = true;
+        decided[event.session] = true;
+      }
+      continue;
+    }
+    if (out->has_value() && !decided[event.session]) {
+      outcomes[event.session] = {(*out)->label, (*out)->prefix_length, false,
+                                 false};
+      decided[event.session] = true;
+    }
+  }
+  for (size_t s = 0; s < num_sessions; ++s) {
+    if (decided[s]) continue;
+    auto finished = sessions[s]->Finish();
+    if (finished.ok()) {
+      outcomes[s] = {finished->label, finished->prefix_length, true, false};
+    } else {
+      outcomes[s].failed = true;
+    }
+  }
+  return outcomes;
+}
+
+Result<std::vector<ReplayOutcome>> ReplayThroughEngine(
+    ServingEngine& engine, const std::string& model_name, size_t num_sessions,
+    const std::vector<IngestEvent>& trace, size_t dispatch_every) {
+  std::vector<SessionId> ids(num_sessions);
+  for (size_t s = 0; s < num_sessions; ++s) {
+    ETSC_ASSIGN_OR_RETURN(ids[s], engine.Open(model_name));
+  }
+  size_t since_dispatch = 0;
+  for (const IngestEvent& event : trace) {
+    ETSC_RETURN_NOT_OK(engine.Ingest(ids[event.session], event.values));
+    if (dispatch_every > 0 && ++since_dispatch >= dispatch_every) {
+      since_dispatch = 0;
+      ETSC_ASSIGN_OR_RETURN(size_t decisions, engine.DispatchBatch());
+      (void)decisions;
+    }
+  }
+  ETSC_ASSIGN_OR_RETURN(size_t tail, engine.DispatchBatch());
+  (void)tail;
+  std::vector<ReplayOutcome> outcomes(num_sessions);
+  for (size_t s = 0; s < num_sessions; ++s) {
+    auto info = engine.Info(ids[s]);
+    if (info.ok() && info->decision.has_value()) {
+      outcomes[s] = {info->decision->label, info->decision->prefix_length,
+                     info->deadline_forced, false};
+      continue;
+    }
+    if (!info.ok() && info.status().code() != StatusCode::kNotFound) {
+      // Sticky classifier error on the session.
+      outcomes[s].failed = true;
+      continue;
+    }
+    auto finished = engine.Finish(ids[s]);
+    if (finished.ok()) {
+      outcomes[s] = {finished->label, finished->prefix_length, true, false};
+    } else {
+      outcomes[s].failed = true;
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace etsc

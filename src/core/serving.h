@@ -1,0 +1,253 @@
+#ifndef ETSC_CORE_SERVING_H_
+#define ETSC_CORE_SERVING_H_
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+#include "core/dataset.h"
+#include "core/deadline.h"
+#include "core/status.h"
+#include "core/streaming.h"
+
+namespace etsc {
+
+/// Multi-session streaming serving engine (DESIGN.md sec 14).
+///
+/// The paper's online setting (Sec. 6.2.5, Figure 13) asks whether one
+/// decision fits inside one observation period; the ROADMAP's north star asks
+/// the same question under load — one partial series per live vessel, tens of
+/// thousands of them, all sharing a handful of fitted models. ServingEngine
+/// is that load path: a session table of StreamingSessions over shared
+/// read-only classifiers, with
+///   * batched dispatch: Ingest() only queues observations; DispatchBatch()
+///     drains every queue, grouping sessions that share a model and fanning
+///     the groups out over the global thread pool (core/parallel). Each
+///     session's observations are replayed in arrival order through its own
+///     StreamingSession, so batched decisions are bit-identical to the
+///     single-caller streaming path by construction — at any pool width.
+///   * admission control: Open() refuses (Unavailable) beyond
+///     ServingOptions::max_sessions, so a traffic spike degrades to rejected
+///     sessions instead of an OOM kill.
+///   * per-session deadlines: a session that has not decided within its
+///     budget (core/deadline) is force-finished on the prefix observed so
+///     far at the next dispatch — late answers are still answers.
+///   * eviction: decided and idle sessions are reclaimed explicitly
+///     (EvictDecided / EvictIdle) so a long-running server's table tracks
+///     live traffic, not its history.
+///
+/// Thread-safety: every public method is safe to call concurrently. The
+/// session table is mutex-guarded; DispatchBatch claims its work under the
+/// lock (per-session in-flight flags) and runs it lock-free on the pool, so
+/// concurrent Ingest/Open never block behind a running batch, and accessors
+/// report Unavailable for the (brief) window a session is being dispatched
+/// rather than racing it.
+///
+/// Metrics: serving.sessions_opened / sessions_rejected / sessions_closed /
+/// sessions_evicted / observations_ingested / batches / decisions /
+/// deadline_forced counters, a serving.live_sessions gauge, and
+/// serving.decision_seconds + serving.batch_seconds histograms (the Figure-13
+/// quantity under serving load; p50/p99 via Histogram::Quantile).
+struct ServingOptions {
+  /// Admission-control capacity of the session table.
+  size_t max_sessions = 100000;
+  /// Per-session decision budget in seconds, measured from Open(). An
+  /// undecided session whose deadline expired is force-finished at the next
+  /// DispatchBatch (serving.deadline_forced). Infinity = never force.
+  double session_budget_seconds = std::numeric_limits<double>::infinity();
+  /// Default idle threshold for EvictIdle() in seconds (a session is idle
+  /// since its last Open/Ingest). Infinity = never idle-evict.
+  double idle_timeout_seconds = std::numeric_limits<double>::infinity();
+  /// Buffer-capacity hint per session (StreamingSession expected_length):
+  /// the generators' series length makes steady-state pushes allocation-free.
+  size_t expected_length = 0;
+  /// Consecutive sessions one pool task dispatches (amortises task dispatch
+  /// for cheap per-session work).
+  size_t batch_grain = 8;
+
+  /// Defaults overridden by validated environment knobs:
+  /// ETSC_SERVE_MAX_SESSIONS, ETSC_SERVE_BUDGET_MS, ETSC_SERVE_IDLE_MS
+  /// (garbage values warn and keep the default, like ETSC_THREADS).
+  static ServingOptions FromEnv();
+};
+
+using SessionId = uint64_t;
+
+/// Point-in-time, lock-consistent view of one session.
+struct SessionInfo {
+  SessionId id = 0;
+  std::string model;
+  size_t observed = 0;      // observations already applied to the buffer
+  size_t pending = 0;       // observations queued for the next batch
+  std::optional<EarlyPrediction> decision;
+  bool deadline_forced = false;  // decision came from a deadline force-finish
+};
+
+/// Counts for one engine (engine-local, unlike the process-wide metrics).
+struct ServingStats {
+  size_t live_sessions = 0;
+  size_t peak_sessions = 0;
+  size_t opened = 0;
+  size_t rejected = 0;
+  size_t closed = 0;
+  size_t evicted = 0;
+  size_t ingested = 0;
+  size_t batches = 0;
+  size_t decisions = 0;
+  size_t deadline_forced = 0;
+};
+
+class ServingEngine {
+ public:
+  explicit ServingEngine(ServingOptions options = {});
+  ~ServingEngine() = default;
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Registers a fitted model under `name`; sessions opened against it share
+  /// the instance read-only, so `model` must be fitted and must not be
+  /// mutated afterwards. `num_variables` is the channel arity every
+  /// observation of the model's sessions must have.
+  Status RegisterModel(const std::string& name,
+                       std::shared_ptr<const EarlyClassifier> model,
+                       size_t num_variables);
+
+  /// Admits one new live series against a registered model. Unavailable once
+  /// the table holds max_sessions (admission control), NotFound for an
+  /// unregistered model.
+  Result<SessionId> Open(const std::string& model_name);
+
+  /// Queues one observation for `id` (validated against the model's arity
+  /// before it can ever reach the buffer). The classifier does NOT run here —
+  /// that is DispatchBatch's job. Observations queued after the session
+  /// decided are accepted and discarded at dispatch exactly like
+  /// StreamingSession's sticky-decision Push path.
+  Status Ingest(SessionId id, const std::vector<double>& values);
+
+  /// Drains every session's queue: groups sessions by model, fans the groups
+  /// out over the global thread pool, and replays each session's queued
+  /// observations in arrival order through its StreamingSession. Sessions
+  /// past their deadline that remain undecided are force-finished on the
+  /// observed prefix. Returns the number of sessions that reached a decision
+  /// in this batch. The first per-session classifier error is kept sticky on
+  /// the session and reported by Info()/Finish(); it never aborts the batch.
+  Result<size_t> DispatchBatch();
+
+  /// Flushes `id`'s queue and forces a decision on whatever was observed
+  /// (end of stream). Sticky like StreamingSession::Finish.
+  Result<EarlyPrediction> Finish(SessionId id);
+
+  /// Point-in-time view of one session (NotFound after eviction/close;
+  /// Unavailable while a batch is dispatching it).
+  Result<SessionInfo> Info(SessionId id) const;
+
+  /// Removes one session.
+  Status Close(SessionId id);
+
+  /// Removes every decided session; returns how many were evicted.
+  size_t EvictDecided();
+
+  /// Removes every undecided session idle (no Open/Ingest) for longer than
+  /// `idle_seconds` (defaults to options.idle_timeout_seconds); returns how
+  /// many were evicted. Decided sessions are EvictDecided's business.
+  size_t EvictIdle(double idle_seconds = -1.0);
+
+  ServingStats stats() const;
+  const ServingOptions& options() const { return options_; }
+
+ private:
+  struct ModelEntry {
+    std::string name;
+    std::shared_ptr<const EarlyClassifier> model;
+    size_t num_variables = 0;
+  };
+
+  struct Session {
+    SessionId id = 0;
+    size_t model_index = 0;
+    StreamingSession stream;
+    std::vector<std::vector<double>> pending;  // queued since last dispatch
+    std::vector<std::vector<double>> taking;   // claimed by a running batch
+    Deadline deadline;
+    std::chrono::steady_clock::time_point last_activity =
+        std::chrono::steady_clock::now();
+    bool in_flight = false;       // claimed by a running DispatchBatch
+    bool deadline_forced = false;
+    bool decided_in_batch = false;  // scratch: decision made by this batch
+    Status error;                 // first classifier error, sticky
+
+    Session(SessionId id, size_t model_index, const EarlyClassifier& model,
+            size_t num_variables, size_t expected_length, Deadline deadline)
+        : id(id),
+          model_index(model_index),
+          stream(model, num_variables, expected_length),
+          deadline(deadline) {}
+  };
+
+  /// Replays one session's claimed observations through its stream; called
+  /// from pool tasks with the session claimed (in_flight) and the table lock
+  /// released. Sets decided_in_batch / deadline_forced / error.
+  void RunSession(Session* session) const;
+
+  const ServingOptions options_;
+
+  mutable std::mutex mu_;
+  std::vector<ModelEntry> models_;
+  std::map<std::string, size_t> model_index_;
+  std::map<SessionId, std::unique_ptr<Session>> sessions_;
+  SessionId next_id_ = 1;
+  ServingStats stats_;
+};
+
+/// One replayable ingest event: `session` is a slot in [0, num_sessions).
+struct IngestEvent {
+  size_t session = 0;
+  std::vector<double> values;
+};
+
+/// Deterministic serving workload from a dataset: slot s streams instance
+/// s % data.size() point by point; arrivals are interleaved round-robin with
+/// a per-round seeded shuffle (live traffic does not arrive sorted by
+/// session). A pure function of (data, num_sessions, seed) — the same trace
+/// replays bit-identically anywhere.
+std::vector<IngestEvent> BuildReplayTrace(const Dataset& data,
+                                          size_t num_sessions, uint64_t seed);
+
+/// Outcome of one replayed session, comparable bit-for-bit.
+struct ReplayOutcome {
+  int label = 0;
+  size_t prefix_length = 0;
+  bool via_finish = false;  // decided only when forced at end of stream
+  bool failed = false;      // classifier error (label/prefix meaningless)
+
+  bool operator==(const ReplayOutcome&) const = default;
+};
+
+/// Reference semantics: replays the trace through one StreamingSession per
+/// slot, strictly sequentially (the pre-serving single-caller path).
+/// Undecided sessions are Finish()ed at end of trace.
+std::vector<ReplayOutcome> ReplaySequential(const EarlyClassifier& model,
+                                            size_t num_variables,
+                                            size_t num_sessions,
+                                            const std::vector<IngestEvent>& trace);
+
+/// Replays the trace through `engine` (model must already be registered as
+/// `model_name`): opens one session per slot, ingests events in order,
+/// dispatches a batch every `dispatch_every` events (0 = one dispatch at the
+/// end), and Finish()es undecided sessions. The returned outcomes must be
+/// bit-identical to ReplaySequential for any dispatch_every and any
+/// ETSC_THREADS — the serving engine's core contract (test-asserted).
+Result<std::vector<ReplayOutcome>> ReplayThroughEngine(
+    ServingEngine& engine, const std::string& model_name, size_t num_sessions,
+    const std::vector<IngestEvent>& trace, size_t dispatch_every);
+
+}  // namespace etsc
+
+#endif  // ETSC_CORE_SERVING_H_

@@ -22,6 +22,11 @@ Counter& SessionsReset() {
       MetricRegistry::Global().counter("streaming.sessions_reset");
   return c;
 }
+Counter& BufferShrinks() {
+  static Counter& c =
+      MetricRegistry::Global().counter("streaming.buffer_shrinks");
+  return c;
+}
 Histogram& PushSeconds() {
   static Histogram& h =
       MetricRegistry::Global().histogram("streaming.push_seconds");
@@ -31,9 +36,13 @@ Histogram& PushSeconds() {
 }  // namespace
 
 StreamingSession::StreamingSession(const EarlyClassifier& classifier,
-                                   size_t num_variables)
-    : classifier_(classifier), buffer_(num_variables, 0) {
+                                   size_t num_variables,
+                                   size_t expected_length)
+    : classifier_(classifier),
+      buffer_(num_variables, 0),
+      expected_length_(expected_length) {
   ETSC_CHECK(num_variables >= 1);
+  if (expected_length_ > 0) buffer_.ReserveLength(expected_length_);
 }
 
 Result<std::optional<EarlyPrediction>> StreamingSession::Push(
@@ -70,9 +79,13 @@ Result<std::optional<EarlyPrediction>> StreamingSession::Push(
 }
 
 Result<EarlyPrediction> StreamingSession::Finish() {
+  // Sticky exactly like Push: a decided session keeps answering without
+  // re-running the classifier, whether the decision came from a Push or from
+  // a previous Finish.
   if (decision_.has_value()) return *decision_;
   if (observed_ == 0) {
-    return Status::FailedPrecondition("StreamingSession: no observations");
+    return Status::InvalidArgument(
+        "StreamingSession: Finish() with no observations");
   }
   ETSC_ASSIGN_OR_RETURN(EarlyPrediction pred,
                         classifier_.PredictEarly(buffer_));
@@ -82,7 +95,19 @@ Result<EarlyPrediction> StreamingSession::Finish() {
 }
 
 void StreamingSession::Reset() {
-  buffer_.ClearValues();
+  // Shrink rule: one unusually long stream must not pin its capacity for the
+  // session's whole lifetime. Anything up to the expected length (plus the
+  // geometric-growth headroom of one doubling) is kept for reuse; beyond
+  // that, release and re-reserve the hint.
+  const size_t keep =
+      2 * PaddedLength(std::max(expected_length_, size_t{256}));
+  if (buffer_.capacity() > keep) {
+    buffer_.ReleaseCapacity();
+    if (expected_length_ > 0) buffer_.ReserveLength(expected_length_);
+    if (MetricsEnabled()) BufferShrinks().Add(1);
+  } else {
+    buffer_.ClearValues();
+  }
   observed_ = 0;
   decision_.reset();
   if (MetricsEnabled()) SessionsReset().Add(1);

@@ -27,7 +27,11 @@ class StreamingSession {
   /// `classifier` must outlive the session and already be fitted; taking a
   /// reference makes the non-null requirement part of the signature.
   /// `num_variables` is the expected channel count per observation.
-  StreamingSession(const EarlyClassifier& classifier, size_t num_variables);
+  /// `expected_length` (optional) pre-reserves buffer capacity for streams of
+  /// that length, so the steady-state push path never reallocates; it also
+  /// bounds the capacity a reused session keeps across Reset().
+  StreamingSession(const EarlyClassifier& classifier, size_t num_variables,
+                   size_t expected_length = 0);
 
   /// Appends one observation (one value per variable). Returns the decision
   /// if the classifier committed with this point, std::nullopt otherwise.
@@ -38,6 +42,10 @@ class StreamingSession {
   Result<std::optional<EarlyPrediction>> Push(const std::vector<double>& values);
 
   /// Forces a decision on whatever has been observed (end of stream).
+  /// A session with zero observations has nothing to decide on and reports
+  /// InvalidArgument. The forced decision is as sticky as a Push one: further
+  /// Finish() and Push() calls keep returning it without re-running the
+  /// classifier.
   Result<EarlyPrediction> Finish();
 
   /// Number of observations pushed so far.
@@ -46,14 +54,22 @@ class StreamingSession {
   /// The decision, if one has been made.
   const std::optional<EarlyPrediction>& decision() const { return decision_; }
 
+  /// Per-channel buffer capacity in time-points (what Reset()'s shrink rule
+  /// operates on; exposed so capacity regressions are testable).
+  size_t buffer_capacity() const { return buffer_.capacity(); }
+
   /// Clears the buffer and the decision for the next stream (counted as
-  /// streaming.sessions_reset).
+  /// streaming.sessions_reset). Capacity inflated far beyond the expected
+  /// length by one unusually long stream is released (counted as
+  /// streaming.buffer_shrinks), so a long-lived reused session cannot pin the
+  /// peak stream's RSS forever.
   void Reset();
 
  private:
   const EarlyClassifier& classifier_;
   TimeSeries buffer_;
   size_t observed_ = 0;
+  size_t expected_length_;
   std::optional<EarlyPrediction> decision_;
 };
 

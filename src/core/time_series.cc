@@ -4,9 +4,20 @@
 #include <cmath>
 #include <utility>
 
+#include "core/counters.h"
 #include "core/simd.h"
 
 namespace etsc {
+
+namespace {
+
+Counter& AppendGrows() {
+  static Counter& c =
+      MetricRegistry::Global().counter("timeseries.append_grows");
+  return c;
+}
+
+}  // namespace
 
 void TimeSeries::AllocateOwned(size_t num_variables, size_t length) {
   num_variables_ = num_variables;
@@ -112,6 +123,19 @@ TimeSeries TimeSeries::SingleVariable(size_t variable) const {
   return out;
 }
 
+void TimeSeries::Repack(size_t new_stride) {
+  AlignedVector grown(num_variables_ * new_stride, 0.0);
+  for (size_t v = 0; v < num_variables_; ++v) {
+    const double* src = data_ + v * stride_;
+    std::copy(src, src + length_,
+              grown.begin() + static_cast<ptrdiff_t>(v * new_stride));
+  }
+  own_ = std::move(grown);
+  data_ = own_.data();
+  stride_ = new_stride;
+  if (MetricsEnabled()) AppendGrows().Add(1);
+}
+
 void TimeSeries::AppendObservation(const std::vector<double>& values) {
   ETSC_DCHECK(owns_storage());
   ETSC_DCHECK(values.size() == num_variables_ ||
@@ -119,16 +143,7 @@ void TimeSeries::AppendObservation(const std::vector<double>& values) {
   if (num_variables_ == 0) num_variables_ = values.size();
   if (length_ == stride_) {
     // Grow: double the padded stride and repack channels at the new spacing.
-    const size_t new_stride = std::max(kSimdWidthDoubles, stride_ * 2);
-    AlignedVector grown(num_variables_ * new_stride, 0.0);
-    for (size_t v = 0; v < num_variables_; ++v) {
-      const double* src = data_ + v * stride_;
-      std::copy(src, src + length_,
-                grown.begin() + static_cast<ptrdiff_t>(v * new_stride));
-    }
-    own_ = std::move(grown);
-    data_ = own_.data();
-    stride_ = new_stride;
+    Repack(std::max(kSimdWidthDoubles, stride_ * 2));
   }
   for (size_t v = 0; v < num_variables_; ++v) {
     data_[v * stride_ + length_] = values[v];
@@ -136,10 +151,24 @@ void TimeSeries::AppendObservation(const std::vector<double>& values) {
   ++length_;
 }
 
+void TimeSeries::ReserveLength(size_t expected_length) {
+  ETSC_DCHECK(owns_storage());
+  const size_t wanted = PaddedLength(expected_length);
+  if (wanted > stride_) Repack(wanted);
+}
+
 void TimeSeries::ClearValues() {
   ETSC_DCHECK(owns_storage());
   std::fill(own_.begin(), own_.end(), 0.0);
   length_ = 0;
+}
+
+void TimeSeries::ReleaseCapacity() {
+  ETSC_DCHECK(owns_storage());
+  own_ = AlignedVector();
+  data_ = own_.data();
+  length_ = 0;
+  stride_ = 0;
 }
 
 bool TimeSeries::HasMissingValues() const {

@@ -79,13 +79,28 @@ class TimeSeries {
   TimeSeries SingleVariable(size_t variable) const;
 
   /// Appends one observation (exactly one value per channel). Owning series
-  /// only; grows the buffer geometrically, so a streaming session's push is
-  /// amortised O(num_variables).
+  /// only; grows the buffer geometrically (each growth is counted in the
+  /// timeseries.append_grows metric), so a streaming session's push is
+  /// amortised O(num_variables) with O(log length) reallocations per stream.
   void AppendObservation(const std::vector<double>& values);
+
+  /// Pre-sizes the per-channel capacity for `expected_length` time-points
+  /// (one repack at most), so a streaming fill of a known-length series does
+  /// a single allocation. Owning series only; never shrinks.
+  void ReserveLength(size_t expected_length);
+
+  /// Per-channel capacity in time-points: appends up to this length reuse the
+  /// current buffer without reallocating.
+  size_t capacity() const { return stride_; }
 
   /// Drops all values (length back to 0, channel count kept, capacity kept,
   /// buffer re-zeroed so the padding invariant holds for the next fill).
   void ClearValues();
+
+  /// Drops values AND capacity (length and stride back to 0, channel count
+  /// kept): the RSS-release path for long-lived reused buffers whose peak
+  /// stream was much longer than the typical one.
+  void ReleaseCapacity();
 
   /// Returns true if any value is NaN.
   bool HasMissingValues() const;
@@ -117,6 +132,11 @@ class TimeSeries {
 
   /// Allocates an owning zeroed buffer for the given logical shape.
   void AllocateOwned(size_t num_variables, size_t length);
+
+  /// Reallocates the owning buffer at `new_stride` doubles per channel and
+  /// repacks the current values (growth path of AppendObservation /
+  /// ReserveLength; counted in timeseries.append_grows).
+  void Repack(size_t new_stride);
 
   double* data_ = nullptr;
   size_t num_variables_ = 0;

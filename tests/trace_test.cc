@@ -203,15 +203,44 @@ TEST(Counters, CounterGaugeHistogramBasics) {
 
 TEST(Counters, HistogramBucketsCoverUnderflowAndOverflow) {
   Histogram hist;
-  hist.Record(-1.0);   // negative -> underflow
-  hist.Record(1e-12);  // below the smallest decade -> underflow
+  hist.Record(-1.0);   // negative -> underflow (a broken clock, not a duration)
   hist.Record(1e12);   // beyond the largest decade -> overflow
   hist.Record(0.5);    // inside a decade bucket
-  EXPECT_EQ(hist.bucket(Histogram::kUnderflow), 2u);
+  // Zero and sub-nanosecond values are real coarse-clock measurements
+  // ("faster than one tick"): they land in the fastest bucket, not underflow.
+  hist.Record(0.0);
+  hist.Record(1e-12);
+  EXPECT_EQ(hist.bucket(Histogram::kUnderflow), 1u);
   EXPECT_EQ(hist.bucket(Histogram::kOverflow), 1u);
+  EXPECT_EQ(hist.bucket(0), 2u);  // the zero-based [0, 1e-8) bucket
   uint64_t in_range = 0;
   for (size_t b = 0; b < Histogram::kNumBuckets; ++b) in_range += hist.bucket(b);
-  EXPECT_EQ(in_range, 1u);
+  EXPECT_EQ(in_range, 3u);
+}
+
+TEST(Counters, HistogramQuantilesTrackTheRecordedDistribution) {
+  Histogram hist;
+  EXPECT_TRUE(std::isnan(hist.Quantile(0.5)));
+  // 100 values in the [1e-4, 1e-3) decade, one outlier two decades up.
+  for (int i = 0; i < 100; ++i) hist.Record(5e-4);
+  hist.Record(5e-2);
+  const double p50 = hist.Quantile(0.5);
+  EXPECT_GE(p50, 1e-4);
+  EXPECT_LT(p50, 1e-3);
+  // p99 of 101 samples is still rank 100 -> inside the dominant decade.
+  EXPECT_LT(hist.Quantile(0.99), 1e-3);
+  // The extremes clamp to the exact observed min/max.
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.0), 5e-4);
+  EXPECT_DOUBLE_EQ(hist.Quantile(1.0), 5e-2);
+}
+
+TEST(Counters, HistogramQuantileOfAllZeroDurationsIsZero) {
+  // A coarse clock can report 0 for every fast operation; the quantiles must
+  // then report (near-)zero latency, not NaN and not an underflow artefact.
+  Histogram hist;
+  for (int i = 0; i < 10; ++i) hist.Record(0.0);
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.99), 0.0);
 }
 
 TEST(Counters, RegistryInternsByNameAndSnapshotsAsJson) {
