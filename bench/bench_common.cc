@@ -16,8 +16,10 @@
 #include "algos/economy_k.h"
 #include "algos/ects.h"
 #include "algos/edsc.h"
+#include "algos/registrations.h"
 #include "algos/strut.h"
 #include "algos/teaser.h"
+#include "core/composed.h"
 #include <chrono>
 #include <thread>
 
@@ -134,6 +136,7 @@ CampaignConfig CampaignConfig::FromEnv() {
       GetEnvOr("ETSC_BENCH_PREDICT_BUDGET", config.predict_budget_seconds);
   config.maritime_windows =
       GetEnvSizeOr("ETSC_BENCH_MARITIME", config.maritime_windows);
+  config.cost_alpha = GetEnvOr("ETSC_BENCH_ALPHA", config.cost_alpha);
   const std::string algos = GetEnvOr("ETSC_BENCH_ALGOS", "");
   config.algorithms = algos.empty() ? PaperAlgorithms() : SplitCommas(algos);
   const std::string datasets = GetEnvOr("ETSC_BENCH_DATASETS", "");
@@ -218,13 +221,23 @@ Result<std::unique_ptr<EarlyClassifier>> MakePaperAlgorithm(
     return MakeStrutMlstm(options);
   }
   if (algorithm == "S-WEASEL") return MakeStrutWeasel(false);
+  if (algorithm.find('+') != std::string::npos) {
+    // Composed '<base>+<trigger>' spec: resolved through the base/trigger
+    // registries, so the cross-product campaign needs no per-pair code here.
+    RegisterBuiltinClassifiers();
+    auto composed = MakeComposedFromSpec(algorithm);
+    if (!composed.ok()) return composed.status();
+    return std::unique_ptr<EarlyClassifier>(std::move(*composed));
+  }
   std::string known;
   for (const auto& name : PaperAlgorithms()) {
     if (!known.empty()) known += ", ";
     known += name;
   }
-  return Status::NotFound("unknown paper algorithm '" + algorithm +
-                          "' (known: " + known + ")");
+  return Status::NotFound(
+      "unknown paper algorithm '" + algorithm + "' (known: " + known +
+      "; composed '<base>+<trigger>' specs are also accepted, see "
+      "etsc_cli --list)");
 }
 
 Campaign::Campaign(CampaignConfig config) : config_(std::move(config)) {
@@ -1146,6 +1159,7 @@ void Campaign::WriteReport(const RunStats& stats) const {
   w.Field("predict_budget_seconds", config_.predict_budget_seconds);
   w.Field("maritime_windows", config_.maritime_windows);
   w.Field("seed", config_.seed);
+  w.Field("cost_alpha", config_.cost_alpha);
   w.Key("algorithms").BeginArray();
   for (const auto& algorithm : config_.algorithms) w.String(algorithm);
   w.EndArray();
@@ -1205,6 +1219,9 @@ void Campaign::WriteReport(const RunStats& stats) const {
     w.Field("f1", cell.f1);
     w.Field("earliness", cell.earliness);
     w.Field("harmonic_mean", cell.harmonic_mean);
+    // Alpha-weighted cost (core/metrics.h CostScore): lower is better,
+    // derived from the journalled accuracy/earliness under config cost_alpha.
+    w.Field("cost", CostScore(cell.accuracy, cell.earliness, config_.cost_alpha));
     w.Field("train_seconds", cell.train_seconds);
     w.Field("test_seconds_per_instance", cell.test_seconds_per_instance);
     w.EndObject();

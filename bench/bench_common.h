@@ -29,7 +29,16 @@ namespace etsc::bench {
 ///                        instance to a full-length miss instead of stalling
 ///                        the campaign
 ///   ETSC_BENCH_MARITIME  maritime window count (default 1000)
-///   ETSC_BENCH_ALGOS     comma list restricting algorithms (default: all 8)
+///   ETSC_BENCH_ALPHA     misclassification-vs-delay cost ratio alpha in
+///                        [0, 1] for the report's cost-sensitive score
+///                        CostScore(acc, earliness, alpha) (default 0.8).
+///                        Pure reporting: derived from journalled
+///                        accuracy/earliness, so it is excluded from the
+///                        journal fingerprint
+///   ETSC_BENCH_ALGOS     comma list restricting algorithms; entries may be
+///                        paper names (ECTS, TEASER, ...) or composed
+///                        '<base>+<trigger>' specs such as
+///                        "minirocket-logistic+prob" (default: all 8)
 ///   ETSC_BENCH_DATASETS  comma list restricting datasets (default: all 12)
 ///   ETSC_BENCH_CACHE     campaign cache path (default etsc_campaign_cache.csv)
 ///   ETSC_BENCH_REPORT    machine-readable JSON report path (default:
@@ -76,6 +85,10 @@ struct CampaignConfig {
   double predict_budget_seconds = std::numeric_limits<double>::infinity();
   size_t maritime_windows = 1000;
   uint64_t seed = 42;
+  /// Cost ratio for the report's cost-sensitive score (ETSC_BENCH_ALPHA).
+  /// Reporting-only — derivable from journalled accuracy/earliness — so it
+  /// does not participate in Fingerprint().
+  double cost_alpha = 0.8;
   std::vector<std::string> algorithms;  // paper order
   std::vector<std::string> datasets;    // Table-3 order
   std::string cache_path = "etsc_campaign_cache.csv";

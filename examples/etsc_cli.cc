@@ -10,13 +10,20 @@
 //   etsc_cli --algo ecec --arff my.arff
 //   etsc_cli --campaign [--shard I/N] [--max-retries N] [--quarantine-after N]
 //                                             (config via ETSC_BENCH_* env)
+//   etsc_cli --campaign --classifiers weasel,minirocket --triggers prob,ects-mpl
+//            [--cost-alpha A]               (cross-product of composed
+//                                             '<base>+<trigger>' specs as the
+//                                             campaign's algorithm axis)
 //   etsc_cli --campaign --workers K [--cache J]  (K lease-fabric worker
 //                                             processes + continuous merge)
 //   etsc_cli --worker --cache JOURNAL         (join an existing fabric journal)
 //   etsc_cli --merge-shards OUT IN1 IN2 ... [--follow]
 //                                             (combine shard journals + report)
 //   etsc_cli --report-diff A.json B.json [--ignore-algos A,B]
-//                                             (compare reports modulo timings)
+//            [--map-algo OLD=NEW]           (compare reports modulo timings;
+//                                             --map-algo renames an algorithm
+//                                             before comparing, e.g. a legacy
+//                                             monolith vs its composed twin)
 //   etsc_cli --serve --algo ects --dataset PowerCons [--sessions N]
 //            [--dispatch-every K] [--serve-report OUT.json]
 //                                             (multi-session serving engine
@@ -46,6 +53,7 @@
 #include "algos/registrations.h"
 #include "bench/bench_common.h"
 #include "core/arff.h"
+#include "core/composed.h"
 #include "core/counters.h"
 #include "core/csv.h"
 #include "core/evaluation.h"
@@ -73,8 +81,14 @@ struct CliArgs {
   std::vector<std::string> merge_inputs; // shard journals to merge
   std::vector<std::string> diff_reports; // the two --report-diff operands
   std::vector<std::string> ignore_algos; // --report-diff: drop these cells
+  // --report-diff: rename algorithm OLD to NEW on both sides before the
+  // comparison (legacy monolith vs composed '<base>+<trigger>' twin).
+  std::vector<std::pair<std::string, std::string>> map_algos;
   int max_retries = -1;                  // --campaign override; -1 = env/default
   int quarantine_after = -1;             // --campaign override; -1 = env/default
+  std::vector<std::string> classifiers;  // cross-product: base classifiers
+  std::vector<std::string> triggers;     // cross-product: stopping rules
+  double cost_alpha = -1.0;              // report cost ratio; <0 = env/default
   std::string algo;
   std::string dataset;
   std::string csv_path;
@@ -94,6 +108,9 @@ void PrintUsage() {
       "                [--folds N] [--budget SECONDS] [--seed S] [--scale F]\n"
       "       etsc_cli --campaign [--shard I/N] [--max-retries N]\n"
       "                [--quarantine-after N]    (ETSC_BENCH_* env config)\n"
+      "       etsc_cli --campaign --classifiers A,B --triggers X,Y\n"
+      "                [--cost-alpha F]   (campaign over the cross-product of\n"
+      "                 composed '<base>+<trigger>' specs; names per --list)\n"
       "       etsc_cli --campaign --workers K [--cache JOURNAL]\n"
       "                (spawn K crash-tolerant worker processes; leases via\n"
       "                 ETSC_LEASE_TTL_MS / ETSC_HEARTBEAT_MS)\n"
@@ -101,6 +118,8 @@ void PrintUsage() {
       "                from ETSC_WORKER_ID or pid)\n"
       "       etsc_cli --merge-shards OUT IN1 IN2 ... [--follow]\n"
       "       etsc_cli --report-diff A.json B.json [--ignore-algos A,B]\n"
+      "                [--map-algo OLD=NEW]  (rename an algorithm before the\n"
+      "                 diff: legacy monolith vs its composed twin)\n"
       "       etsc_cli --serve --algo NAME --dataset BENCH [--sessions N]\n"
       "                [--dispatch-every K] [--serve-report OUT.json]\n"
       "                (ETSC_SERVE_MAX_SESSIONS / _BUDGET_MS / _IDLE_MS env)\n");
@@ -183,6 +202,41 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       while (std::getline(ss, item, ',')) {
         if (!item.empty()) args->ignore_algos.push_back(item);
       }
+    } else if (flag == "--map-algo") {
+      const char* v = next("--map-algo");
+      if (v == nullptr) return false;
+      const std::string mapping = v;
+      const size_t eq = mapping.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == mapping.size()) {
+        std::fprintf(stderr, "--map-algo needs OLD=NEW\n");
+        return false;
+      }
+      args->map_algos.emplace_back(mapping.substr(0, eq),
+                                   mapping.substr(eq + 1));
+    } else if (flag == "--classifiers") {
+      const char* v = next("--classifiers");
+      if (v == nullptr) return false;
+      std::stringstream ss(v);
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        if (!item.empty()) args->classifiers.push_back(item);
+      }
+    } else if (flag == "--triggers") {
+      const char* v = next("--triggers");
+      if (v == nullptr) return false;
+      std::stringstream ss(v);
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        if (!item.empty()) args->triggers.push_back(item);
+      }
+    } else if (flag == "--cost-alpha") {
+      const char* v = next("--cost-alpha");
+      if (v == nullptr) return false;
+      args->cost_alpha = std::strtod(v, nullptr);
+      if (args->cost_alpha < 0.0 || args->cost_alpha > 1.0) {
+        std::fprintf(stderr, "--cost-alpha needs a ratio in [0, 1]\n");
+        return false;
+      }
     } else if (flag == "--max-retries") {
       const char* v = next("--max-retries");
       if (v == nullptr) return false;
@@ -252,6 +306,41 @@ bool ParseShardSpec(const std::string& spec, size_t* index, size_t* count) {
   *index = static_cast<size_t>(i);
   *count = static_cast<size_t>(n);
   return true;
+}
+
+/// Expands --classifiers x --triggers into composed '<base>+<trigger>' specs
+/// and exports them (plus --cost-alpha) through the ETSC_BENCH_* environment
+/// before any CampaignConfig::FromEnv() runs. Going through the environment —
+/// not a config field — keeps every consumer consistent: forked --worker
+/// children re-read the environment, and the journal fingerprint must agree
+/// between coordinator and workers.
+int ApplyCompositionFlags(const CliArgs& args) {
+  if (args.classifiers.empty() != args.triggers.empty()) {
+    std::fprintf(stderr,
+                 "--classifiers and --triggers must be given together (the "
+                 "campaign runs their cross-product)\n");
+    return 1;
+  }
+  if (!args.classifiers.empty()) {
+    std::string specs;
+    for (const auto& base : args.classifiers) {
+      for (const auto& trigger : args.triggers) {
+        if (!specs.empty()) specs += ',';
+        specs += base + "+" + trigger;
+      }
+    }
+    ::setenv("ETSC_BENCH_ALGOS", specs.c_str(), 1);
+    std::printf("composed grid: %zu classifier(s) x %zu trigger(s) = %zu "
+                "configuration(s)\n",
+                args.classifiers.size(), args.triggers.size(),
+                args.classifiers.size() * args.triggers.size());
+  }
+  if (args.cost_alpha >= 0.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6f", args.cost_alpha);
+    ::setenv("ETSC_BENCH_ALPHA", buf, 1);
+  }
+  return 0;
 }
 
 int RunCampaign(const CliArgs& args) {
@@ -622,14 +711,51 @@ void StripVolatile(etsc::json::Value* report,
   }
 }
 
+/// Renames algorithms (config list + cells) before the comparison. The use
+/// case is the bit-identity contract between a legacy monolith and its
+/// composed '<base>+<trigger>' twin: the campaigns agree on every score but
+/// disagree on the algorithm's name, so --map-algo ECTS=1nn+ects-mpl maps the
+/// legacy report onto the composed one's naming. Applied to both sides (a
+/// no-op on the side already using NEW).
+void MapAlgos(etsc::json::Value* report,
+              const std::vector<std::pair<std::string, std::string>>& renames) {
+  if (renames.empty() || !report->is_object()) return;
+  auto rename = [&](etsc::json::Value* name) {
+    if (name->type != etsc::json::Value::Type::kString) return;
+    for (const auto& [from, to] : renames) {
+      if (name->string == from) {
+        name->string = to;
+        return;
+      }
+    }
+  };
+  const auto config = report->object.find("config");
+  if (config != report->object.end() && config->second.is_object()) {
+    const auto algos = config->second.object.find("algorithms");
+    if (algos != config->second.object.end() && algos->second.is_array()) {
+      for (auto& name : algos->second.array) rename(&name);
+    }
+  }
+  const auto cells = report->object.find("cells");
+  if (cells != report->object.end() && cells->second.is_array()) {
+    for (auto& cell : cells->second.array) {
+      if (!cell.is_object()) continue;
+      const auto algo = cell.object.find("algorithm");
+      if (algo != cell.object.end()) rename(&algo->second);
+    }
+  }
+}
+
 etsc::Result<std::string> CanonicalReport(
-    const std::string& path, const std::vector<std::string>& ignore_algos) {
+    const std::string& path, const std::vector<std::string>& ignore_algos,
+    const std::vector<std::pair<std::string, std::string>>& map_algos) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return etsc::Status::IOError("cannot read report " + path);
   std::stringstream buffer;
   buffer << in.rdbuf();
   auto parsed = etsc::json::Parse(buffer.str());
   if (!parsed.ok()) return parsed.status();
+  MapAlgos(&*parsed, map_algos);
   StripVolatile(&*parsed, ignore_algos);
   etsc::json::Writer w;
   WriteCanonical(*parsed, &w);
@@ -637,14 +763,16 @@ etsc::Result<std::string> CanonicalReport(
 }
 
 int ReportDiff(const std::string& path_a, const std::string& path_b,
-               const std::vector<std::string>& ignore_algos) {
-  const auto a = CanonicalReport(path_a, ignore_algos);
+               const std::vector<std::string>& ignore_algos,
+               const std::vector<std::pair<std::string, std::string>>&
+                   map_algos) {
+  const auto a = CanonicalReport(path_a, ignore_algos, map_algos);
   if (!a.ok()) {
     std::fprintf(stderr, "%s: %s\n", path_a.c_str(),
                  a.status().ToString().c_str());
     return 1;
   }
-  const auto b = CanonicalReport(path_b, ignore_algos);
+  const auto b = CanonicalReport(path_b, ignore_algos, map_algos);
   if (!b.ok()) {
     std::fprintf(stderr, "%s: %s\n", path_b.c_str(),
                  b.status().ToString().c_str());
@@ -664,6 +792,19 @@ int ReportDiff(const std::string& path_a, const std::string& path_b,
                pos, path_a.c_str(), a->substr(from, 80).c_str(),
                path_b.c_str(), b->substr(from, 80).c_str());
   return 3;
+}
+
+/// Resolves --algo: a registered algorithm name, or a composed
+/// '<base>+<trigger>' spec built from the base-classifier and trigger
+/// registries.
+etsc::Result<std::unique_ptr<etsc::EarlyClassifier>> CreateModel(
+    const std::string& algo) {
+  if (algo.find('+') != std::string::npos) {
+    auto composed = etsc::MakeComposedFromSpec(algo);
+    if (!composed.ok()) return composed.status();
+    return std::unique_ptr<etsc::EarlyClassifier>(std::move(*composed));
+  }
+  return etsc::ClassifierRegistry::Global().Create(algo);
 }
 
 /// Loads the dataset selected by --csv/--arff/--dataset into `out`.
@@ -717,7 +858,7 @@ int RunServe(const CliArgs& args) {
               dataset.name().c_str(), dataset.size(), dataset.NumVariables(),
               dataset.MaxLength());
 
-  auto created = etsc::ClassifierRegistry::Global().Create(args.algo);
+  auto created = CreateModel(args.algo);
   if (!created.ok()) {
     std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
     return 1;
@@ -793,6 +934,35 @@ int RunServe(const CliArgs& args) {
   for (size_t s = 0; s < args.sessions; ++s) {
     if (!((*actual)[s] == expected[s])) ++divergent;
   }
+  // Trigger decision metadata aggregated over the replayed sessions: where
+  // the stopping rule halted, how early, and with what confidence. via_finish
+  // sessions never tripped the trigger — the end of stream forced them.
+  size_t trigger_halts = 0;
+  size_t forced_finishes = 0;
+  size_t failed_sessions = 0;
+  double sum_halt_step = 0.0;
+  double sum_earliness = 0.0;
+  double sum_confidence = 0.0;
+  for (const auto& outcome : *actual) {
+    if (outcome.failed) {
+      ++failed_sessions;
+      continue;
+    }
+    if (outcome.via_finish) {
+      ++forced_finishes;
+    } else {
+      ++trigger_halts;
+    }
+    sum_halt_step += static_cast<double>(outcome.halt_step);
+    sum_earliness += outcome.earliness;
+    sum_confidence += outcome.confidence;
+  }
+  const double decided =
+      static_cast<double>(trigger_halts + forced_finishes);
+  const double mean_halt_step = decided > 0.0 ? sum_halt_step / decided : 0.0;
+  const double mean_earliness = decided > 0.0 ? sum_earliness / decided : 1.0;
+  const double mean_confidence =
+      decided > 0.0 ? sum_confidence / decided : 0.0;
   if (divergent > 0) {
     std::fprintf(stderr,
                  "FAIL: %zu/%zu sessions diverged from the sequential "
@@ -820,6 +990,11 @@ int RunServe(const CliArgs& args) {
       "p50=%.3g s p99=%.3g s — batched == sequential (bit-identical)\n",
       sessions_per_second, ingest_per_second, latency.Quantile(0.5),
       latency.Quantile(0.99));
+  std::printf(
+      "serve: %zu trigger halt(s), %zu forced finish(es), %zu failed; mean "
+      "halt step %.1f, mean earliness %.3f, mean confidence %.3f\n",
+      trigger_halts, forced_finishes, failed_sessions, mean_halt_step,
+      mean_earliness, mean_confidence);
 
   if (!args.serve_report.empty()) {
     etsc::json::Writer w;
@@ -838,6 +1013,12 @@ int RunServe(const CliArgs& args) {
     w.Key("ingest_per_second").Number(ingest_per_second);
     w.Key("decision_p50_seconds").Number(latency.Quantile(0.5));
     w.Key("decision_p99_seconds").Number(latency.Quantile(0.99));
+    w.Key("trigger_halts").Number(trigger_halts);
+    w.Key("forced_finishes").Number(forced_finishes);
+    w.Key("failed_sessions").Number(failed_sessions);
+    w.Key("mean_halt_step").Number(mean_halt_step);
+    w.Key("mean_halt_earliness").Number(mean_earliness);
+    w.Key("mean_halt_confidence").Number(mean_confidence);
     w.Key("bit_identical").Bool(true);
     w.EndObject();
     std::ofstream out(args.serve_report, std::ios::binary);
@@ -861,9 +1042,11 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (const int rc = ApplyCompositionFlags(args); rc != 0) return rc;
+
   if (!args.diff_reports.empty()) {
     return ReportDiff(args.diff_reports[0], args.diff_reports[1],
-                      args.ignore_algos);
+                      args.ignore_algos, args.map_algos);
   }
   if (!args.merge_out.empty()) {
     return MergeShards(args.merge_out, args.merge_inputs, args.follow);
@@ -886,11 +1069,23 @@ int main(int argc, char** argv) {
     for (const auto& name : etsc::ClassifierRegistry::Global().Names()) {
       std::printf(" %s", name.c_str());
     }
+    std::printf("\ntriggers:");
+    for (const auto& name : etsc::TriggerRegistry::Global().Names()) {
+      std::printf(" %s", name.c_str());
+    }
+    std::printf("\nbase classifiers:");
+    for (const auto& name : etsc::BaseClassifierRegistry::Global().Names()) {
+      std::printf(" %s", name.c_str());
+    }
     std::printf("\ndatasets:");
     for (const auto& name : etsc::BenchmarkDatasetNames()) {
       std::printf(" %s", name.c_str());
     }
-    std::printf("\n");
+    std::printf(
+        "\ncomposed: any '<base classifier>+<trigger>' spec (e.g. "
+        "minirocket-logistic+prob) works wherever an algorithm name does: "
+        "--algo, ETSC_BENCH_ALGOS, or the --classifiers/--triggers "
+        "cross-product\n");
     return 0;
   }
 
@@ -898,7 +1093,7 @@ int main(int argc, char** argv) {
     PrintUsage();
     return 1;
   }
-  auto model = etsc::ClassifierRegistry::Global().Create(args.algo);
+  auto model = CreateModel(args.algo);
   if (!model.ok()) {
     std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
     return 1;

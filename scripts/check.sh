@@ -7,7 +7,10 @@
 # worker dying abruptly mid-cell must cost zero cells: the survivor steals the
 # orphaned lease and the merged report stays bit-identical), a serving-engine
 # smoke gate (batched multi-session dispatch must be bit-identical to the
-# sequential StreamingSession reference and emit its report), then sanitizer
+# sequential StreamingSession reference and emit its report), a composition
+# gate (a 3x3 classifier-x-trigger cross-product campaign sharded and merged
+# with alpha-weighted cost scores in the report, plus legacy-vs-composed twin
+# bit-identity over --report-diff, serial and ETSC_THREADS=8), then sanitizer
 # passes — ASan and
 # UBSan over the suites that parse attacker-shaped bytes (model streams,
 # journals, reports, dataset files), and an oversubscribed ThreadSanitizer
@@ -171,32 +174,81 @@ trap 'rm -rf "$SHARD_DIR" "$SIMD_DIR" "$FAULT_DIR" "$FABRIC_DIR" "$SERVE_DIR"' E
 )
 echo "check.sh: serving engine batched == sequential, report emitted"
 
+# Composition gate: the classifier/trigger cross-product (DESIGN.md sec 15).
+# A 3x3 grid (9 composed '<base>+<trigger>' configs) runs as a sharded
+# campaign and merges to one report carrying the alpha-weighted cost score
+# per cell; then the legacy-monolith-vs-composed-twin bit-identity contract
+# is enforced over --report-diff (--map-algo renames the legacy name onto the
+# composed spec), with the composed campaign run both serial and at
+# ETSC_THREADS=8.
+COMPOSE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SHARD_DIR" "$SIMD_DIR" "$FAULT_DIR" "$FABRIC_DIR" "$SERVE_DIR" "$COMPOSE_DIR"' EXIT
+(
+  export ETSC_BENCH_DATASETS=PowerCons ETSC_BENCH_FOLDS=2 ETSC_LOG=warn
+  GRID=(--classifiers minirocket-logistic,weasel,gbdt
+        --triggers prob,ects-mpl,strut-search --cost-alpha 0.5)
+  ETSC_BENCH_CACHE="$COMPOSE_DIR/grid.csv" \
+    ./build/examples/etsc_cli --campaign --shard 0/2 "${GRID[@]}"
+  ETSC_BENCH_CACHE="$COMPOSE_DIR/grid.csv" \
+    ./build/examples/etsc_cli --campaign --shard 1/2 "${GRID[@]}"
+  # The merge derives the expected grid from the same composition flags.
+  ./build/examples/etsc_cli --merge-shards "$COMPOSE_DIR/merged.csv" \
+    "$COMPOSE_DIR/grid.csv.shard-0-of-2" "$COMPOSE_DIR/grid.csv.shard-1-of-2" \
+    "${GRID[@]}"
+  grep -q '"cost_alpha":0.5' "$COMPOSE_DIR/merged.csv.report.json"
+  test "$(grep -o '"cost":' "$COMPOSE_DIR/merged.csv.report.json" | wc -l)" -ge 9
+  test "$(grep -o '"algorithm":"[a-z0-9-]*+[a-z0-9-]*"' \
+    "$COMPOSE_DIR/merged.csv.report.json" | sort -u | wc -l)" -ge 9
+
+  # Legacy ECTS vs its composed twin 1nn+ects-mpl: every score bit-identical,
+  # whether the composed run is serial or oversubscribed.
+  export ETSC_BENCH_DATASETS=DodgerLoopGame,PowerCons
+  ETSC_BENCH_ALGOS=ECTS ETSC_BENCH_CACHE="$COMPOSE_DIR/legacy.csv" \
+    ./build/examples/etsc_cli --campaign
+  ETSC_THREADS=1 ETSC_BENCH_ALGOS=1nn+ects-mpl \
+    ETSC_BENCH_CACHE="$COMPOSE_DIR/twin1.csv" ./build/examples/etsc_cli --campaign
+  ETSC_THREADS=8 ETSC_BENCH_ALGOS=1nn+ects-mpl \
+    ETSC_BENCH_CACHE="$COMPOSE_DIR/twin8.csv" ./build/examples/etsc_cli --campaign
+  ./build/examples/etsc_cli --report-diff \
+    "$COMPOSE_DIR/legacy.csv.report.json" "$COMPOSE_DIR/twin1.csv.report.json" \
+    --map-algo ECTS=1nn+ects-mpl
+  ./build/examples/etsc_cli --report-diff \
+    "$COMPOSE_DIR/legacy.csv.report.json" "$COMPOSE_DIR/twin8.csv.report.json" \
+    --map-algo ECTS=1nn+ects-mpl
+)
+echo "check.sh: composition gate — 3x3 grid merged with cost scores, legacy == composed twin"
+
 # ASan: the persistence layer and the loaders parse attacker-shaped bytes
 # (truncated, corrupted, garbage model streams / journals / reports /
 # datasets) — exactly where memory bugs would hide — plus the SIMD kernels,
 # whose padded-stride pointer arithmetic is exactly where an out-of-bounds
-# vector tail read would hide.
+# vector tail read would hide, plus the trigger suite (composed model
+# streams, stale-format cache demotion — more attacker-shaped bytes).
 cmake -B build-asan -S . -DETSC_SANITIZE=address
-cmake --build build-asan -j --target serialization_test corruption_test simd_test
+cmake --build build-asan -j --target serialization_test corruption_test \
+  simd_test trigger_test
 ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
-  -R 'Serialization|DatasetFingerprint|Corruption|Diagnostics|Simd|Soa'
+  -R 'Serialization|DatasetFingerprint|Corruption|Diagnostics|Simd|Soa|Trigger|StaleFormat|GoldenEquivalence'
 
 # UBSan over the same hostile-input suites: bit flips love to manufacture
 # out-of-range enums, shifts and size arithmetic that ASan alone won't flag.
 cmake -B build-ubsan -S . -DETSC_SANITIZE=undefined
-cmake --build build-ubsan -j --target serialization_test corruption_test simd_test
+cmake --build build-ubsan -j --target serialization_test corruption_test \
+  simd_test trigger_test
 ctest --test-dir build-ubsan --output-on-failure -j"$(nproc)" \
-  -R 'Serialization|DatasetFingerprint|Corruption|Diagnostics|Simd|Soa'
+  -R 'Serialization|DatasetFingerprint|Corruption|Diagnostics|Simd|Soa|Trigger|StaleFormat|GoldenEquivalence'
 
 # TSan, oversubscribed: only the targets whose tests exercise the pool, the
 # span/metric recording, the shared campaign journal, the model cache and the
-# supervisor (watchdog thread, breaker-driven lanes) are built; the -R filter
-# keeps ctest away from the *_NOT_BUILT placeholders of the rest.
+# supervisor (watchdog thread, breaker-driven lanes) are built — plus the
+# trigger suite, whose golden-equivalence test drives composed classifiers
+# through the pool at width 8; the -R filter keeps ctest away from the
+# *_NOT_BUILT placeholders of the rest.
 cmake -B build-tsan -S . -DETSC_SANITIZE=thread
 cmake --build build-tsan -j --target parallel_test trace_test \
   journal_config_test serialization_test supervisor_test fabric_test \
-  streaming_test serving_test
+  streaming_test serving_test trigger_test
 ETSC_THREADS=8 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-  -R 'Parallel|Trace|Counters|Journal|Campaign|Log|Json|Serialization|DatasetFingerprint|Supervisor|Watchdog|Backoff|CircuitBreaker|CancelToken|Retry|FailureTaxonomy|Fabric|Streaming|Serving'
+  -R 'Parallel|Trace|Counters|Journal|Campaign|Log|Json|Serialization|DatasetFingerprint|Supervisor|Watchdog|Backoff|CircuitBreaker|CancelToken|Retry|FailureTaxonomy|Fabric|Streaming|Serving|Trigger|StaleFormat|GoldenEquivalence'
 
 echo "check.sh: all green"

@@ -1,0 +1,233 @@
+#include "algos/base_classifiers.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/rng.h"
+#include "tsc/muse.h"
+
+namespace etsc {
+
+Status AdaptiveWeasel::Fit(const Dataset& train) {
+  if (train.NumVariables() > 1) {
+    MuseOptions muse;
+    muse.weasel = options_;
+    impl_ = std::make_unique<MuseClassifier>(muse);
+  } else {
+    impl_ = std::make_unique<WeaselClassifier>(options_);
+  }
+  return impl_->Fit(train);
+}
+
+Result<int> AdaptiveWeasel::Predict(const TimeSeries& series) const {
+  if (impl_ == nullptr) {
+    return Status::FailedPrecondition("AdaptiveWeasel: not fitted");
+  }
+  return impl_->Predict(series);
+}
+
+Result<std::vector<double>> AdaptiveWeasel::PredictProba(
+    const TimeSeries& series) const {
+  if (impl_ == nullptr) {
+    return Status::FailedPrecondition("AdaptiveWeasel: not fitted");
+  }
+  return impl_->PredictProba(series);
+}
+
+const std::vector<int>& AdaptiveWeasel::class_labels() const {
+  static const std::vector<int>* kEmpty = new std::vector<int>();
+  return impl_ == nullptr ? *kEmpty : impl_->class_labels();
+}
+
+std::unique_ptr<FullClassifier> AdaptiveWeasel::CloneUntrained() const {
+  return std::make_unique<AdaptiveWeasel>(options_);
+}
+
+std::string AdaptiveWeasel::config_fingerprint() const {
+  return "AdaptiveWeasel(" + WeaselOptionsFingerprint(options_) + ")";
+}
+
+// The WEASEL-vs-MUSE choice is data-dependent, so it travels with the
+// fitted state as a type tag rather than with the configuration.
+Status AdaptiveWeasel::SaveState(Serializer& out) const {
+  if (impl_ == nullptr) {
+    return Status::FailedPrecondition("AdaptiveWeasel: not fitted");
+  }
+  const bool is_muse = impl_->SupportsMultivariate();
+  out.U8(is_muse ? 2 : 1);
+  return impl_->SaveState(out);
+}
+
+Status AdaptiveWeasel::LoadState(Deserializer& in) {
+  ETSC_ASSIGN_OR_RETURN(uint8_t tag, in.U8());
+  if (tag == 1) {
+    impl_ = std::make_unique<WeaselClassifier>(options_);
+  } else if (tag == 2) {
+    MuseOptions muse;
+    muse.weasel = options_;
+    impl_ = std::make_unique<MuseClassifier>(muse);
+  } else {
+    return Status::DataLoss("AdaptiveWeasel: unknown backend tag");
+  }
+  return impl_->LoadState(in);
+}
+
+Status NearestNeighborClassifier::Fit(const Dataset& train) {
+  if (train.empty()) {
+    return Status::InvalidArgument("1NN: empty training set");
+  }
+  if (train.NumVariables() != 1) {
+    return Status::InvalidArgument("1NN: univariate input required");
+  }
+  length_ = train.MinLength();
+  if (length_ == 0) return Status::InvalidArgument("1NN: empty series");
+  train_series_.clear();
+  train_series_.reserve(train.size());
+  train_labels_.clear();
+  for (size_t i = 0; i < train.size(); ++i) {
+    auto values = train.instance(i).channel(0);
+    std::vector<double> series(values.begin(), values.end());
+    series.resize(length_);
+    train_series_.push_back(std::move(series));
+    train_labels_.push_back(train.label(i));
+  }
+  class_labels_ = train.ClassLabels();
+  return Status::OK();
+}
+
+Result<int> NearestNeighborClassifier::Predict(const TimeSeries& series) const {
+  if (train_series_.empty()) {
+    return Status::FailedPrecondition("1NN: not fitted");
+  }
+  if (series.num_variables() != 1) {
+    return Status::InvalidArgument("1NN: univariate input required");
+  }
+  auto values = series.channel(0);
+  size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t j = 0; j < train_series_.size(); ++j) {
+    double dist2 = 0.0;
+    for (size_t t = 0; t < length_; ++t) {
+      const double v = t < values.size() ? values[t] : 0.0;
+      const double d = v - train_series_[j][t];
+      dist2 += d * d;
+    }
+    if (dist2 < best_d) {
+      best_d = dist2;
+      best = j;
+    }
+  }
+  return train_labels_[best];
+}
+
+std::unique_ptr<FullClassifier> NearestNeighborClassifier::CloneUntrained() const {
+  return std::make_unique<NearestNeighborClassifier>();
+}
+
+Status NearestNeighborClassifier::SaveState(Serializer& out) const {
+  if (train_series_.empty()) {
+    return Status::FailedPrecondition("1NN: not fitted");
+  }
+  out.Begin("1nn");
+  out.SizeT(length_);
+  out.F64Mat(train_series_);
+  out.IntVec(train_labels_);
+  out.IntVec(class_labels_);
+  out.End();
+  return Status::OK();
+}
+
+Status NearestNeighborClassifier::LoadState(Deserializer& in) {
+  ETSC_RETURN_NOT_OK(in.Enter("1nn"));
+  ETSC_ASSIGN_OR_RETURN(length_, in.SizeT());
+  ETSC_ASSIGN_OR_RETURN(train_series_, in.F64Mat());
+  ETSC_ASSIGN_OR_RETURN(train_labels_, in.IntVec());
+  ETSC_ASSIGN_OR_RETURN(class_labels_, in.IntVec());
+  if (train_series_.empty() || train_series_.size() != train_labels_.size()) {
+    return Status::DataLoss("1NN: series/label count mismatch");
+  }
+  for (const auto& series : train_series_) {
+    if (series.size() < length_) {
+      return Status::DataLoss("1NN: stored series shorter than length");
+    }
+  }
+  return in.Leave();
+}
+
+Result<std::vector<double>> GbdtSeriesClassifier::Features(
+    const TimeSeries& series) const {
+  if (series.num_variables() != 1) {
+    return Status::InvalidArgument("GBDT: univariate input required");
+  }
+  auto values = series.channel(0);
+  std::vector<double> features(values.begin(),
+                               values.begin() + std::min(length_, values.size()));
+  features.resize(length_, features.empty() ? 0.0 : features.back());
+  return features;
+}
+
+Status GbdtSeriesClassifier::Fit(const Dataset& train) {
+  if (train.empty()) {
+    return Status::InvalidArgument("GBDT: empty training set");
+  }
+  if (train.NumVariables() != 1) {
+    return Status::InvalidArgument("GBDT: univariate input required");
+  }
+  length_ = train.MinLength();
+  if (length_ == 0) return Status::InvalidArgument("GBDT: empty series");
+  std::vector<std::vector<double>> features;
+  features.reserve(train.size());
+  for (size_t i = 0; i < train.size(); ++i) {
+    ETSC_ASSIGN_OR_RETURN(std::vector<double> row, Features(train.instance(i)));
+    features.push_back(std::move(row));
+  }
+  Rng rng(options_.seed);
+  model_ = GbdtClassifier(options_.gbdt);
+  return model_.Fit(features, train.labels(), &rng);
+}
+
+Result<int> GbdtSeriesClassifier::Predict(const TimeSeries& series) const {
+  if (!model_.fitted()) return Status::FailedPrecondition("GBDT: not fitted");
+  ETSC_ASSIGN_OR_RETURN(std::vector<double> row, Features(series));
+  return model_.Predict(row);
+}
+
+Result<std::vector<double>> GbdtSeriesClassifier::PredictProba(
+    const TimeSeries& series) const {
+  if (!model_.fitted()) return Status::FailedPrecondition("GBDT: not fitted");
+  ETSC_ASSIGN_OR_RETURN(std::vector<double> row, Features(series));
+  return model_.PredictProba(row);
+}
+
+std::unique_ptr<FullClassifier> GbdtSeriesClassifier::CloneUntrained() const {
+  return std::make_unique<GbdtSeriesClassifier>(options_);
+}
+
+std::string GbdtSeriesClassifier::config_fingerprint() const {
+  const auto& o = options_;
+  return "GbdtSeries(rounds=" + std::to_string(o.gbdt.num_rounds) +
+         ",lr=" + FingerprintDouble(o.gbdt.learning_rate) +
+         ",subsample=" + FingerprintDouble(o.gbdt.subsample) +
+         ",depth=" + std::to_string(o.gbdt.tree.max_depth) +
+         ",minleaf=" + std::to_string(o.gbdt.tree.min_samples_leaf) +
+         ",seed=" + std::to_string(o.seed) + ")";
+}
+
+Status GbdtSeriesClassifier::SaveState(Serializer& out) const {
+  if (!model_.fitted()) return Status::FailedPrecondition("GBDT: not fitted");
+  out.Begin("gbdt-series");
+  out.SizeT(length_);
+  model_.SaveState(out);
+  out.End();
+  return Status::OK();
+}
+
+Status GbdtSeriesClassifier::LoadState(Deserializer& in) {
+  ETSC_RETURN_NOT_OK(in.Enter("gbdt-series"));
+  ETSC_ASSIGN_OR_RETURN(length_, in.SizeT());
+  model_ = GbdtClassifier(options_.gbdt);
+  ETSC_RETURN_NOT_OK(model_.LoadState(in));
+  return in.Leave();
+}
+
+}  // namespace etsc

@@ -1,0 +1,103 @@
+#ifndef ETSC_ALGOS_BASE_CLASSIFIERS_H_
+#define ETSC_ALGOS_BASE_CLASSIFIERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+#include "ml/gbdt.h"
+#include "tsc/weasel.h"
+
+namespace etsc {
+
+/// Small full-TSC classifiers that exist primarily as the classifier half of
+/// a classifier+trigger composition (core/composed.h). The heavyweight bases
+/// (WEASEL, MiniROCKET, MLSTM) live in src/tsc/; this file holds the adaptive
+/// WEASEL/MUSE switch shared with STRUT plus two cheap baselines: raw-value
+/// 1NN and a GBDT over raw (padded) values.
+
+/// Chooses WEASEL or WEASEL+MUSE at Fit time based on input dimensionality so
+/// one configuration handles both kinds of dataset, as in the paper's
+/// S-WEASEL. Registered as base classifier "adaptive-weasel".
+class AdaptiveWeasel : public FullClassifier {
+ public:
+  explicit AdaptiveWeasel(WeaselOptions options = {}) : options_(options) {}
+
+  Status Fit(const Dataset& train) override;
+  Result<int> Predict(const TimeSeries& series) const override;
+  Result<std::vector<double>> PredictProba(const TimeSeries& series) const override;
+  const std::vector<int>& class_labels() const override;
+  std::string name() const override { return "WEASEL"; }
+  bool SupportsMultivariate() const override { return true; }
+  std::unique_ptr<FullClassifier> CloneUntrained() const override;
+  std::string config_fingerprint() const override;
+  Status SaveState(Serializer& out) const override;
+  Status LoadState(Deserializer& in) override;
+
+ private:
+  WeaselOptions options_;
+  std::unique_ptr<FullClassifier> impl_;
+};
+
+/// Euclidean one-nearest-neighbour over raw values (channel 0), the classic
+/// TSC reference baseline; prefixes shorter than the training length are
+/// zero-padded, matching ECTS's distance convention. Registered as "1nn".
+class NearestNeighborClassifier : public FullClassifier {
+ public:
+  NearestNeighborClassifier() = default;
+
+  Status Fit(const Dataset& train) override;
+  Result<int> Predict(const TimeSeries& series) const override;
+  const std::vector<int>& class_labels() const override { return class_labels_; }
+  std::string name() const override { return "1NN"; }
+  bool SupportsMultivariate() const override { return false; }
+  std::unique_ptr<FullClassifier> CloneUntrained() const override;
+  std::string config_fingerprint() const override { return "1NN(euclid)"; }
+  Status SaveState(Serializer& out) const override;
+  Status LoadState(Deserializer& in) override;
+
+ private:
+  size_t length_ = 0;
+  std::vector<std::vector<double>> train_series_;
+  std::vector<int> train_labels_;
+  std::vector<int> class_labels_;
+};
+
+/// Gradient-boosted trees over the raw value vector (padded with the last
+/// observed value to the training length, ECONOMY-K's feature convention).
+/// Registered as "gbdt".
+struct GbdtSeriesOptions {
+  GbdtOptions gbdt;
+  uint64_t seed = 41;
+};
+
+class GbdtSeriesClassifier : public FullClassifier {
+ public:
+  explicit GbdtSeriesClassifier(GbdtSeriesOptions options = {})
+      : options_(options) {}
+
+  Status Fit(const Dataset& train) override;
+  Result<int> Predict(const TimeSeries& series) const override;
+  Result<std::vector<double>> PredictProba(const TimeSeries& series) const override;
+  const std::vector<int>& class_labels() const override {
+    return model_.class_labels();
+  }
+  std::string name() const override { return "GBDT"; }
+  bool SupportsMultivariate() const override { return false; }
+  std::unique_ptr<FullClassifier> CloneUntrained() const override;
+  std::string config_fingerprint() const override;
+  Status SaveState(Serializer& out) const override;
+  Status LoadState(Deserializer& in) override;
+
+ private:
+  Result<std::vector<double>> Features(const TimeSeries& series) const;
+
+  GbdtSeriesOptions options_;
+  size_t length_ = 0;
+  GbdtClassifier model_{GbdtOptions{}};
+};
+
+}  // namespace etsc
+
+#endif  // ETSC_ALGOS_BASE_CLASSIFIERS_H_

@@ -26,39 +26,58 @@ double FusedConfidence(const std::vector<int>& predictions,
   return 1.0 - product;
 }
 
+// Per-series prediction/reliability history the fused confidence folds over.
+struct EcecRatioState : TriggerState {
+  std::vector<int> preds;
+  std::vector<double> rels;
+};
+
 }  // namespace
 
-double EcecClassifier::Reliability(size_t ci, int label) const {
+double EcecRatioTrigger::Reliability(size_t ci, int label) const {
   const auto& table = reliability_[ci];
   auto it = table.find(label);
   return it == table.end() ? 0.5 : it->second;
 }
 
-Status EcecClassifier::Fit(const Dataset& train) {
+std::string EcecRatioTrigger::config_fingerprint() const {
+  const auto& o = options_;
+  return "ecec-ratio(a=" + FingerprintDouble(o.alpha) +
+         ",cv=" + std::to_string(o.cv_folds) +
+         ",thr=" + std::to_string(o.max_threshold_candidates) +
+         ",seed=" + std::to_string(o.seed) + ")";
+}
+
+ComposedOptions EcecRatioTrigger::DefaultComposedOptions() const {
+  ComposedOptions options;
+  options.num_checkpoints = 20;
+  options.grid = CheckpointGrid::kCeilMinTwo;
+  return options;
+}
+
+Status EcecRatioTrigger::PlanCheckpoints(const Dataset& train,
+                                         const FullClassifier*, const Deadline&,
+                                         std::vector<size_t>*) {
   if (train.size() < options_.cv_folds) {
     return Status::InvalidArgument("ECEC: too few training series");
   }
   if (train.NumVariables() != 1) {
     return Status::InvalidArgument("ECEC: univariate input required");
   }
-  length_ = train.MinLength();
-  if (length_ < 2) return Status::InvalidArgument("ECEC: series too short");
-
-  // Prefix grid: ceil(i*L/N) for i = 1..N (paper Sec. 3.5).
-  prefix_lengths_.clear();
-  const size_t num = std::min(options_.num_prefixes, length_);
-  for (size_t i = 1; i <= num; ++i) {
-    // ceil(i*L/N), clamped to the shortest prefix WEASEL can transform.
-    const size_t len = std::max<size_t>(2, (i * length_ + num - 1) / num);
-    if (prefix_lengths_.empty() || prefix_lengths_.back() != len) {
-      prefix_lengths_.push_back(len);
-    }
+  if (train.MinLength() < 2) {
+    return Status::InvalidArgument("ECEC: series too short");
   }
-  if (prefix_lengths_.back() != length_) prefix_lengths_.push_back(length_);
-  const size_t P = prefix_lengths_.size();
+  return Status::OK();
+}
+
+Status EcecRatioTrigger::Fit(const TriggerFitContext& ctx) {
+  const Dataset& train = *ctx.train;
+  const std::vector<size_t>& prefix_lengths = *ctx.checkpoints;
+  const Deadline& deadline = *ctx.deadline;
+  const size_t length = train.MinLength();
+  const size_t P = prefix_lengths.size();
   const size_t n = train.size();
 
-  const Deadline deadline = TrainDeadline();
   Rng rng(options_.seed);
 
   // Cross-validated per-prefix predictions for reliability estimation.
@@ -69,10 +88,10 @@ Status EcecClassifier::Fit(const Dataset& train) {
     Dataset fold_train = train.Subset(split.train);
     for (size_t p = 0; p < P; ++p) {
       ETSC_RETURN_NOT_OK(deadline.Check("ECEC: train budget exceeded"));
-      WeaselClassifier model(options_.weasel);
-      ETSC_RETURN_NOT_OK(model.Fit(fold_train.Truncated(prefix_lengths_[p])));
+      std::unique_ptr<FullClassifier> model = ctx.base->CloneUntrained();
+      ETSC_RETURN_NOT_OK(model->Fit(fold_train.Truncated(prefix_lengths[p])));
       for (size_t test_idx : split.test) {
-        auto pred = model.Predict(train.instance(test_idx).Prefix(prefix_lengths_[p]));
+        auto pred = model->Predict(train.instance(test_idx).Prefix(prefix_lengths[p]));
         cv_pred[p][test_idx] = pred.ok() ? *pred : train.label(test_idx) - 1;
       }
     }
@@ -143,8 +162,8 @@ Status EcecClassifier::Fit(const Dataset& train) {
         }
       }
       if (cv_pred[stop][i] == train.label(i)) ++correct;
-      earliness_sum += static_cast<double>(prefix_lengths_[stop]) /
-                       static_cast<double>(length_);
+      earliness_sum += static_cast<double>(prefix_lengths[stop]) /
+                       static_cast<double>(length);
     }
     const double accuracy = static_cast<double>(correct) / static_cast<double>(n);
     const double earliness = earliness_sum / static_cast<double>(n);
@@ -156,69 +175,36 @@ Status EcecClassifier::Fit(const Dataset& train) {
     }
   }
   threshold_ = best_theta;
-
-  // Final per-prefix classifiers trained on the whole training set.
-  models_.clear();
-  models_.reserve(P);
-  for (size_t p = 0; p < P; ++p) {
-    ETSC_RETURN_NOT_OK(deadline.Check("ECEC: train budget exceeded"));
-    WeaselClassifier model(options_.weasel);
-    ETSC_RETURN_NOT_OK(model.Fit(train.Truncated(prefix_lengths_[p])));
-    models_.push_back(std::move(model));
-  }
   return Status::OK();
 }
 
-Result<EarlyPrediction> EcecClassifier::PredictEarly(
-    const TimeSeries& series) const {
-  if (models_.empty()) return Status::FailedPrecondition("ECEC: not fitted");
-  if (series.num_variables() != 1) {
-    return Status::InvalidArgument("ECEC: univariate input required");
-  }
-  const Deadline deadline = PredictDeadline();
-  std::vector<int> preds;
-  std::vector<double> rels;
-  for (size_t p = 0; p < prefix_lengths_.size(); ++p) {
-    ETSC_RETURN_NOT_OK(deadline.Check("ECEC: predict budget exceeded"));
-    const size_t len = prefix_lengths_[p];
-    const bool is_last = p + 1 == prefix_lengths_.size() ||
-                         prefix_lengths_[p + 1] > series.length();
-    if (len > series.length()) break;
-    auto pred = models_[p].Predict(series.Prefix(len));
-    if (!pred.ok()) return pred.status();
-    preds.push_back(*pred);
-    rels.push_back(Reliability(p, *pred));
-    const double confidence = FusedConfidence(preds, rels, preds.size() - 1);
-    if (confidence >= threshold_ || is_last) {
-      return EarlyPrediction{*pred, len};
-    }
-  }
-  // Series shorter than the first prefix: classify what we have with the
-  // first model.
-  auto pred = models_[0].Predict(series);
-  if (!pred.ok()) return pred.status();
-  return EarlyPrediction{*pred, series.length()};
+std::unique_ptr<TriggerState> EcecRatioTrigger::NewState() const {
+  return std::make_unique<EcecRatioState>();
 }
 
-std::string EcecClassifier::config_fingerprint() const {
-  const auto& o = options_;
-  return "ECEC(n=" + std::to_string(o.num_prefixes) +
-         ",a=" + FingerprintDouble(o.alpha) +
-         ",cv=" + std::to_string(o.cv_folds) +
-         ",thr=" + std::to_string(o.max_threshold_candidates) +
-         ",seed=" + std::to_string(o.seed) + "," +
-         WeaselOptionsFingerprint(o.weasel) + ")";
+Result<TriggerDecision> EcecRatioTrigger::Decide(const TriggerEvidence& ev,
+                                                 TriggerState* state) const {
+  if (reliability_.empty()) {
+    return Status::FailedPrecondition("ECEC: not fitted");
+  }
+  auto* history = static_cast<EcecRatioState*>(state);
+  history->preds.push_back(ev.predicted);
+  history->rels.push_back(Reliability(ev.checkpoint, ev.predicted));
+  const double confidence =
+      FusedConfidence(history->preds, history->rels, history->preds.size() - 1);
+  TriggerDecision decision;
+  decision.confidence = confidence;
+  if (confidence >= threshold_ || ev.is_last) decision.halt = true;
+  return decision;
 }
 
-Status EcecClassifier::SaveState(Serializer& out) const {
-  if (models_.empty()) return Status::FailedPrecondition("ECEC: not fitted");
-  out.Begin("ecec");
-  out.SizeT(length_);
-  out.SizeVec(prefix_lengths_);
-  out.SizeT(models_.size());
-  for (const WeaselClassifier& model : models_) {
-    ETSC_RETURN_NOT_OK(model.SaveState(out));
-  }
+std::unique_ptr<Trigger> EcecRatioTrigger::CloneUnfitted() const {
+  return std::make_unique<EcecRatioTrigger>(options_);
+}
+
+Status EcecRatioTrigger::SaveState(Serializer& out) const {
+  if (reliability_.empty()) return Status::FailedPrecondition("ECEC: not fitted");
+  out.Begin("ecec-ratio");
   out.SizeT(reliability_.size());
   for (const auto& per_label : reliability_) {
     out.SizeT(per_label.size());
@@ -232,21 +218,11 @@ Status EcecClassifier::SaveState(Serializer& out) const {
   return Status::OK();
 }
 
-Status EcecClassifier::LoadState(Deserializer& in) {
-  ETSC_RETURN_NOT_OK(in.Enter("ecec"));
-  ETSC_ASSIGN_OR_RETURN(length_, in.SizeT());
-  ETSC_ASSIGN_OR_RETURN(prefix_lengths_, in.SizeVec());
-  ETSC_ASSIGN_OR_RETURN(size_t num_models, in.SizeT());
-  if (num_models != prefix_lengths_.size() || num_models == 0) {
-    return Status::DataLoss("ECEC: model/prefix count mismatch");
-  }
-  models_.assign(num_models, WeaselClassifier(options_.weasel));
-  for (WeaselClassifier& model : models_) {
-    ETSC_RETURN_NOT_OK(model.LoadState(in));
-  }
+Status EcecRatioTrigger::LoadState(Deserializer& in) {
+  ETSC_RETURN_NOT_OK(in.Enter("ecec-ratio"));
   ETSC_ASSIGN_OR_RETURN(size_t num_reliability, in.SizeT());
-  if (num_reliability != num_models) {
-    return Status::DataLoss("ECEC: reliability table size mismatch");
+  if (num_reliability == 0) {
+    return Status::DataLoss("ECEC: empty reliability table");
   }
   reliability_.assign(num_reliability, {});
   for (auto& per_label : reliability_) {
@@ -262,6 +238,46 @@ Status EcecClassifier::LoadState(Deserializer& in) {
   }
   ETSC_ASSIGN_OR_RETURN(threshold_, in.F64());
   return in.Leave();
+}
+
+namespace {
+
+ComposedParts EcecParts(const EcecOptions& options) {
+  ComposedParts parts;
+  parts.name = "ECEC";
+  parts.base = std::make_unique<WeaselClassifier>(options.weasel);
+  EcecTriggerOptions trigger_options;
+  trigger_options.alpha = options.alpha;
+  trigger_options.cv_folds = options.cv_folds;
+  trigger_options.max_threshold_candidates = options.max_threshold_candidates;
+  trigger_options.seed = options.seed;
+  parts.trigger = std::make_unique<EcecRatioTrigger>(trigger_options);
+  parts.options.num_checkpoints = options.num_prefixes;
+  parts.options.grid = CheckpointGrid::kCeilMinTwo;
+  return parts;
+}
+
+}  // namespace
+
+EcecClassifier::EcecClassifier(EcecOptions options)
+    : ComposedEarlyClassifier(EcecParts(options)), options_(std::move(options)) {}
+
+std::string EcecClassifier::config_fingerprint() const {
+  const auto& o = options_;
+  return "ECEC(n=" + std::to_string(o.num_prefixes) +
+         ",a=" + FingerprintDouble(o.alpha) +
+         ",cv=" + std::to_string(o.cv_folds) +
+         ",thr=" + std::to_string(o.max_threshold_candidates) +
+         ",seed=" + std::to_string(o.seed) + "," +
+         WeaselOptionsFingerprint(o.weasel) + ")";
+}
+
+std::unique_ptr<EarlyClassifier> EcecClassifier::CloneUntrained() const {
+  return std::make_unique<EcecClassifier>(options_);
+}
+
+double EcecClassifier::threshold() const {
+  return static_cast<const EcecRatioTrigger&>(trigger()).threshold();
 }
 
 }  // namespace etsc

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "core/classifier.h"
+#include "core/composed.h"
+#include "core/trigger.h"
 #include "tsc/weasel.h"
 
 namespace etsc {
@@ -29,35 +31,64 @@ struct EcecOptions {
   uint64_t seed = 17;
 };
 
-class EcecClassifier : public EarlyClassifier {
+/// The confidence-ratio rule as a standalone trigger, usable with any base
+/// classifier: cross-validates clones of the base per checkpoint to estimate
+/// reliability tables, calibrates the fused-confidence threshold by
+/// minimising CF(θ), and halts once the fused confidence of the bank's
+/// prediction clears it. Registered as trigger "ecec-ratio".
+struct EcecTriggerOptions {
+  double alpha = 0.8;
+  size_t cv_folds = 3;
+  size_t max_threshold_candidates = 200;
+  uint64_t seed = 17;
+};
+
+class EcecRatioTrigger : public Trigger {
  public:
-  explicit EcecClassifier(EcecOptions options = {}) : options_(options) {}
+  explicit EcecRatioTrigger(EcecTriggerOptions options = {})
+      : options_(options) {}
 
-  Status Fit(const Dataset& train) override;
-  Result<EarlyPrediction> PredictEarly(const TimeSeries& series) const override;
-  std::string name() const override { return "ECEC"; }
-  bool SupportsMultivariate() const override { return false; }
-  std::unique_ptr<EarlyClassifier> CloneUntrained() const override {
-    return std::make_unique<EcecClassifier>(options_);
-  }
-
-  double threshold() const { return threshold_; }
-  const std::vector<size_t>& prefix_lengths() const { return prefix_lengths_; }
-
+  std::string name() const override { return "ecec-ratio"; }
   std::string config_fingerprint() const override;
+  bool needs_posteriors() const override { return false; }
+  bool SupportsMultivariate() const override { return false; }
+  ComposedOptions DefaultComposedOptions() const override;
+  Status PlanCheckpoints(const Dataset& train, const FullClassifier* base,
+                         const Deadline& deadline,
+                         std::vector<size_t>* checkpoints) override;
+  Status Fit(const TriggerFitContext& ctx) override;
+  std::unique_ptr<TriggerState> NewState() const override;
+  Result<TriggerDecision> Decide(const TriggerEvidence& evidence,
+                                 TriggerState* state) const override;
+  std::unique_ptr<Trigger> CloneUnfitted() const override;
   Status SaveState(Serializer& out) const override;
   Status LoadState(Deserializer& in) override;
 
+  double threshold() const { return threshold_; }
+
  private:
-  /// Reliability of classifier `ci` predicting `label`.
+  /// Reliability of the checkpoint-`ci` classifier predicting `label`.
   double Reliability(size_t ci, int label) const;
 
-  EcecOptions options_;
-  size_t length_ = 0;
-  std::vector<size_t> prefix_lengths_;
-  std::vector<WeaselClassifier> models_;            // one per prefix
-  std::vector<std::map<int, double>> reliability_;  // [prefix][label] -> r
+  EcecTriggerOptions options_;
+  std::vector<std::map<int, double>> reliability_;  // [checkpoint][label] -> r
   double threshold_ = 0.5;
+};
+
+/// Legacy monolithic entry point, now a thin composition of WEASEL with the
+/// "ecec-ratio" trigger (bit-identical to the pre-seam implementation).
+class EcecClassifier : public ComposedEarlyClassifier {
+ public:
+  explicit EcecClassifier(EcecOptions options = {});
+
+  std::string config_fingerprint() const override;
+  std::unique_ptr<EarlyClassifier> CloneUntrained() const override;
+
+  double threshold() const;
+  const std::vector<size_t>& prefix_lengths() const { return checkpoints(); }
+
+ private:
+  EcecOptions options_;
 };
 
 }  // namespace etsc

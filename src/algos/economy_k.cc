@@ -5,6 +5,7 @@
 #include <limits>
 #include <map>
 #include <span>
+#include <utility>
 
 #include "core/rng.h"
 
@@ -59,8 +60,46 @@ std::vector<double> PrefixFeatures(std::span<const double> values,
 
 }  // namespace
 
-double EconomyKClassifier::ExpectedCost(const std::vector<double>& memberships,
-                                        size_t ci_future) const {
+std::string EcoCostTrigger::config_fingerprint() const {
+  const auto& o = options_;
+  std::string grid;
+  for (size_t k : o.cluster_grid) grid += std::to_string(k) + "/";
+  return "eco-cost(grid=" + grid + ",tc=" + FingerprintDouble(o.time_cost) +
+         ",lambda=" + FingerprintDouble(o.lambda) +
+         ",rdw=" + FingerprintDouble(o.relative_delay_weight) +
+         ",cv=" + std::to_string(o.cv_folds) +
+         ",gbdt=" + std::to_string(o.gbdt.num_rounds) + "/" +
+         FingerprintDouble(o.gbdt.learning_rate) + "/" +
+         FingerprintDouble(o.gbdt.subsample) + "/" +
+         std::to_string(o.gbdt.tree.max_depth) + "/" +
+         std::to_string(o.gbdt.tree.min_samples_leaf) +
+         ",seed=" + std::to_string(o.seed) + ")";
+}
+
+ComposedOptions EcoCostTrigger::DefaultComposedOptions() const {
+  ComposedOptions options;
+  options.num_checkpoints = 20;
+  options.grid = CheckpointGrid::kFloorMinOne;
+  return options;
+}
+
+Status EcoCostTrigger::PlanCheckpoints(const Dataset& train,
+                                       const FullClassifier*, const Deadline&,
+                                       std::vector<size_t>*) {
+  if (train.empty()) {
+    return Status::InvalidArgument("ECONOMY-K: empty training set");
+  }
+  if (train.NumVariables() != 1) {
+    return Status::InvalidArgument("ECONOMY-K: univariate input required");
+  }
+  if (train.MinLength() == 0) {
+    return Status::InvalidArgument("ECONOMY-K: empty series");
+  }
+  return Status::OK();
+}
+
+double EcoCostTrigger::ExpectedCost(const std::vector<double>& memberships,
+                                    size_t ci_future) const {
   const double err_cost = options_.lambda * options_.time_cost;
   // Delay normalised by the horizon: consuming everything costs
   // relative_delay_weight * err_cost.
@@ -77,8 +116,9 @@ double EconomyKClassifier::ExpectedCost(const std::vector<double>& memberships,
   return cost;
 }
 
-Status EconomyKClassifier::FitWithClusters(const Dataset& train, size_t k,
-                                           double* training_cost) {
+Status EcoCostTrigger::FitWithClusters(const Dataset& train, size_t k,
+                                       const Deadline& deadline,
+                                       double* training_cost) {
   const size_t n = train.size();
   Rng rng(options_.seed + k);
 
@@ -109,7 +149,6 @@ Status EconomyKClassifier::FitWithClusters(const Dataset& train, size_t k,
   // Out-of-sample predictions per checkpoint (k-fold CV) for the reliability
   // tables; in-sample GBDT confusion is near-perfect and would collapse the
   // stopping rule to the first checkpoint.
-  const Deadline deadline = TrainDeadline();
   std::vector<std::vector<int>> oos_pred(
       checkpoints_.size(), std::vector<int>(n, class_labels_[0] - 1));
   const size_t folds =
@@ -219,35 +258,22 @@ Status EconomyKClassifier::FitWithClusters(const Dataset& train, size_t k,
   return Status::OK();
 }
 
-Status EconomyKClassifier::Fit(const Dataset& train) {
-  if (train.empty()) {
-    return Status::InvalidArgument("ECONOMY-K: empty training set");
-  }
-  if (train.NumVariables() != 1) {
-    return Status::InvalidArgument("ECONOMY-K: univariate input required");
-  }
+Status EcoCostTrigger::Fit(const TriggerFitContext& ctx) {
+  const Dataset& train = *ctx.train;
   length_ = train.MinLength();
-  if (length_ == 0) return Status::InvalidArgument("ECONOMY-K: empty series");
   class_labels_ = train.ClassLabels();
-
-  // Evenly spaced checkpoints, always ending at the full length.
-  checkpoints_.clear();
-  const size_t count = std::min(options_.max_checkpoints, length_);
-  for (size_t i = 1; i <= count; ++i) {
-    const size_t len = std::max<size_t>(1, i * length_ / count);
-    if (checkpoints_.empty() || checkpoints_.back() != len) {
-      checkpoints_.push_back(len);
-    }
-  }
-  if (checkpoints_.back() != length_) checkpoints_.push_back(length_);
+  checkpoints_ = *ctx.checkpoints;
 
   // Grid-search cluster counts; keep the cheapest configuration.
   double best_cost = std::numeric_limits<double>::infinity();
-  EconomyKClassifier best;
+  KMeansModel best_clusters;
+  std::vector<GbdtClassifier> best_models;
+  std::vector<std::vector<std::vector<double>>> best_prob_correct;
+  std::vector<std::vector<double>> best_prior;
   bool found = false;
   for (size_t k : options_.cluster_grid) {
     double cost = 0.0;
-    Status status = FitWithClusters(train, k, &cost);
+    Status status = FitWithClusters(train, k, *ctx.deadline, &cost);
     if (!status.ok()) {
       // Budget expiry (either code) must abort the whole grid search, not
       // silently try the next k with no time left.
@@ -259,78 +285,74 @@ Status EconomyKClassifier::Fit(const Dataset& train) {
     }
     if (cost < best_cost) {
       best_cost = cost;
-      best = *this;
+      best_clusters = clusters_;
+      best_models = models_;
+      best_prob_correct = prob_correct_;
+      best_prior = prior_;
       found = true;
     }
   }
   if (!found) {
     return Status::Internal("ECONOMY-K: every cluster configuration failed");
   }
-  *this = std::move(best);
+  clusters_ = std::move(best_clusters);
+  models_ = std::move(best_models);
+  prob_correct_ = std::move(best_prob_correct);
+  prior_ = std::move(best_prior);
   return Status::OK();
 }
 
-Result<EarlyPrediction> EconomyKClassifier::PredictEarly(
-    const TimeSeries& series) const {
+Result<TriggerDecision> EcoCostTrigger::Decide(const TriggerEvidence& ev,
+                                               TriggerState*) const {
   if (models_.empty()) {
     return Status::FailedPrecondition("ECONOMY-K: not fitted");
   }
-  if (series.num_variables() != 1) {
+  if (ev.series->num_variables() != 1) {
     return Status::InvalidArgument("ECONOMY-K: univariate input required");
   }
-  const auto& values = series.channel(0);
-
-  const Deadline deadline = PredictDeadline();
-  for (size_t ci = 0; ci < checkpoints_.size(); ++ci) {
-    ETSC_RETURN_NOT_OK(deadline.Check("ECONOMY-K: predict budget exceeded"));
-    const size_t len = checkpoints_[ci];
-    const bool is_last =
-        ci + 1 == checkpoints_.size() || checkpoints_[ci + 1] > values.size();
-    if (len > values.size()) break;
-    const auto memberships =
-        PrefixMemberships(clusters_.centroids, values, len);
-    size_t best_future = ci;
-    double best_cost = std::numeric_limits<double>::infinity();
-    for (size_t cj = ci; cj < checkpoints_.size(); ++cj) {
-      const double c = ExpectedCost(memberships, cj);
-      if (c < best_cost) {
-        best_cost = c;
-        best_future = cj;
-      }
-    }
-    if (best_future == ci || is_last) {
-      const auto features = PrefixFeatures(values, len);
-      ETSC_ASSIGN_OR_RETURN(int label, models_[ci].Predict(features));
-      return EarlyPrediction{label, len};
+  ETSC_RETURN_NOT_OK(ev.deadline->Check("ECONOMY-K: predict budget exceeded"));
+  const auto& values = ev.series->channel(0);
+  const size_t ci = ev.checkpoint;
+  const auto memberships =
+      PrefixMemberships(clusters_.centroids, values, ev.prefix_length);
+  size_t best_future = ci;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (size_t cj = ci; cj < checkpoints_.size(); ++cj) {
+    const double c = ExpectedCost(memberships, cj);
+    if (c < best_cost) {
+      best_cost = c;
+      best_future = cj;
     }
   }
+  TriggerDecision decision;
+  if (best_future == ci || ev.is_last) {
+    const auto features = PrefixFeatures(values, ev.prefix_length);
+    ETSC_ASSIGN_OR_RETURN(int label, models_[ci].Predict(features));
+    decision.halt = true;
+    decision.label = label;
+  }
+  return decision;
+}
+
+Result<std::optional<EarlyPrediction>> EcoCostTrigger::Finalize(
+    const TimeSeries& series, TriggerState*) const {
   // Series shorter than the first checkpoint: use the first model on what we
   // have.
-  const auto features = PrefixFeatures(values, checkpoints_[0]);
+  const auto features = PrefixFeatures(series.channel(0), checkpoints_[0]);
   ETSC_ASSIGN_OR_RETURN(int label, models_[0].Predict(features));
-  return EarlyPrediction{label, values.size()};
+  EarlyPrediction out;
+  out.label = label;
+  out.prefix_length = series.length();
+  return std::optional<EarlyPrediction>(out);
 }
 
-std::string EconomyKClassifier::config_fingerprint() const {
-  const auto& o = options_;
-  std::string grid;
-  for (size_t k : o.cluster_grid) grid += std::to_string(k) + "/";
-  return "ECO-K(grid=" + grid + ",tc=" + FingerprintDouble(o.time_cost) +
-         ",lambda=" + FingerprintDouble(o.lambda) +
-         ",rdw=" + FingerprintDouble(o.relative_delay_weight) +
-         ",cp=" + std::to_string(o.max_checkpoints) +
-         ",cv=" + std::to_string(o.cv_folds) +
-         ",gbdt=" + std::to_string(o.gbdt.num_rounds) + "/" +
-         FingerprintDouble(o.gbdt.learning_rate) + "/" +
-         FingerprintDouble(o.gbdt.subsample) + "/" +
-         std::to_string(o.gbdt.tree.max_depth) + "/" +
-         std::to_string(o.gbdt.tree.min_samples_leaf) +
-         ",seed=" + std::to_string(o.seed) + ")";
+std::unique_ptr<Trigger> EcoCostTrigger::CloneUnfitted() const {
+  return std::make_unique<EcoCostTrigger>(options_);
 }
 
-Status EconomyKClassifier::SaveState(Serializer& out) const {
+Status EcoCostTrigger::SaveState(Serializer& out) const {
   if (models_.empty()) return Status::FailedPrecondition("ECO-K: not fitted");
-  out.Begin("eco-k");
+  out.Begin("eco-cost");
   out.SizeT(length_);
   out.IntVec(class_labels_);
   out.SizeVec(checkpoints_);
@@ -344,8 +366,8 @@ Status EconomyKClassifier::SaveState(Serializer& out) const {
   return Status::OK();
 }
 
-Status EconomyKClassifier::LoadState(Deserializer& in) {
-  ETSC_RETURN_NOT_OK(in.Enter("eco-k"));
+Status EcoCostTrigger::LoadState(Deserializer& in) {
+  ETSC_RETURN_NOT_OK(in.Enter("eco-cost"));
   ETSC_ASSIGN_OR_RETURN(length_, in.SizeT());
   ETSC_ASSIGN_OR_RETURN(class_labels_, in.IntVec());
   ETSC_ASSIGN_OR_RETURN(checkpoints_, in.SizeVec());
@@ -375,6 +397,56 @@ Status EconomyKClassifier::LoadState(Deserializer& in) {
     return Status::DataLoss("ECO-K: prior cluster mismatch");
   }
   return in.Leave();
+}
+
+namespace {
+
+ComposedParts EconomyKParts(const EconomyKOptions& options) {
+  ComposedParts parts;
+  parts.name = "ECO-K";
+  EcoCostTriggerOptions trigger_options;
+  trigger_options.cluster_grid = options.cluster_grid;
+  trigger_options.time_cost = options.time_cost;
+  trigger_options.lambda = options.lambda;
+  trigger_options.relative_delay_weight = options.relative_delay_weight;
+  trigger_options.cv_folds = options.cv_folds;
+  trigger_options.gbdt = options.gbdt;
+  trigger_options.seed = options.seed;
+  parts.trigger = std::make_unique<EcoCostTrigger>(std::move(trigger_options));
+  parts.options.num_checkpoints = options.max_checkpoints;
+  parts.options.grid = CheckpointGrid::kFloorMinOne;
+  return parts;
+}
+
+}  // namespace
+
+EconomyKClassifier::EconomyKClassifier(EconomyKOptions options)
+    : ComposedEarlyClassifier(EconomyKParts(options)),
+      options_(std::move(options)) {}
+
+std::string EconomyKClassifier::config_fingerprint() const {
+  const auto& o = options_;
+  std::string grid;
+  for (size_t k : o.cluster_grid) grid += std::to_string(k) + "/";
+  return "ECO-K(grid=" + grid + ",tc=" + FingerprintDouble(o.time_cost) +
+         ",lambda=" + FingerprintDouble(o.lambda) +
+         ",rdw=" + FingerprintDouble(o.relative_delay_weight) +
+         ",cp=" + std::to_string(o.max_checkpoints) +
+         ",cv=" + std::to_string(o.cv_folds) +
+         ",gbdt=" + std::to_string(o.gbdt.num_rounds) + "/" +
+         FingerprintDouble(o.gbdt.learning_rate) + "/" +
+         FingerprintDouble(o.gbdt.subsample) + "/" +
+         std::to_string(o.gbdt.tree.max_depth) + "/" +
+         std::to_string(o.gbdt.tree.min_samples_leaf) +
+         ",seed=" + std::to_string(o.seed) + ")";
+}
+
+std::unique_ptr<EarlyClassifier> EconomyKClassifier::CloneUntrained() const {
+  return std::make_unique<EconomyKClassifier>(options_);
+}
+
+size_t EconomyKClassifier::chosen_clusters() const {
+  return static_cast<const EcoCostTrigger&>(trigger()).chosen_clusters();
 }
 
 }  // namespace etsc

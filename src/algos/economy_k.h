@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "core/classifier.h"
+#include "core/composed.h"
+#include "core/trigger.h"
 #include "ml/gbdt.h"
 #include "ml/kmeans.h"
 
@@ -47,25 +49,46 @@ struct EconomyKOptions {
   uint64_t seed = 5;
 };
 
-class EconomyKClassifier : public EarlyClassifier {
+/// The non-myopic expected-cost minimiser as a standalone, self-contained
+/// trigger: it clusters full-length training series, trains its own GBDT
+/// prefix models per checkpoint, and halts when the expected-cost argmin over
+/// future horizons is "now". The halting label comes from the trigger's own
+/// per-checkpoint model (TriggerDecision::label), so no external base
+/// classifier is consulted. Registered as trigger "eco-cost".
+struct EcoCostTriggerOptions {
+  std::vector<size_t> cluster_grid = {1, 2, 3};
+  double time_cost = 0.001;
+  double lambda = 100.0;
+  double relative_delay_weight = 0.5;
+  size_t cv_folds = 3;
+  GbdtOptions gbdt;
+  uint64_t seed = 5;
+};
+
+class EcoCostTrigger : public Trigger {
  public:
-  explicit EconomyKClassifier(EconomyKOptions options = {})
-      : options_(options) {}
+  explicit EcoCostTrigger(EcoCostTriggerOptions options = {})
+      : options_(std::move(options)) {}
 
-  Status Fit(const Dataset& train) override;
-  Result<EarlyPrediction> PredictEarly(const TimeSeries& series) const override;
-  std::string name() const override { return "ECO-K"; }
-  bool SupportsMultivariate() const override { return false; }
-  std::unique_ptr<EarlyClassifier> CloneUntrained() const override {
-    return std::make_unique<EconomyKClassifier>(options_);
-  }
-
-  size_t chosen_clusters() const { return clusters_.centroids.size(); }
-  const std::vector<size_t>& checkpoints() const { return checkpoints_; }
-
+  std::string name() const override { return "eco-cost"; }
   std::string config_fingerprint() const override;
+  bool needs_posteriors() const override { return false; }
+  bool self_contained() const override { return true; }
+  bool SupportsMultivariate() const override { return false; }
+  ComposedOptions DefaultComposedOptions() const override;
+  Status PlanCheckpoints(const Dataset& train, const FullClassifier* base,
+                         const Deadline& deadline,
+                         std::vector<size_t>* checkpoints) override;
+  Status Fit(const TriggerFitContext& ctx) override;
+  Result<TriggerDecision> Decide(const TriggerEvidence& evidence,
+                                 TriggerState* state) const override;
+  Result<std::optional<EarlyPrediction>> Finalize(
+      const TimeSeries& series, TriggerState* state) const override;
+  std::unique_ptr<Trigger> CloneUnfitted() const override;
   Status SaveState(Serializer& out) const override;
   Status LoadState(Deserializer& in) override;
+
+  size_t chosen_clusters() const { return clusters_.centroids.size(); }
 
  private:
   /// Expected cost of deciding at checkpoint index `ci_future`, given cluster
@@ -73,9 +96,10 @@ class EconomyKClassifier : public EarlyClassifier {
   double ExpectedCost(const std::vector<double>& memberships,
                       size_t ci_future) const;
 
-  Status FitWithClusters(const Dataset& train, size_t k, double* training_cost);
+  Status FitWithClusters(const Dataset& train, size_t k,
+                         const Deadline& deadline, double* training_cost);
 
-  EconomyKOptions options_;
+  EcoCostTriggerOptions options_;
   size_t length_ = 0;
   std::vector<int> class_labels_;
   std::vector<size_t> checkpoints_;  // prefix lengths with a trained model
@@ -85,6 +109,22 @@ class EconomyKClassifier : public EarlyClassifier {
   std::vector<std::vector<std::vector<double>>> prob_correct_;
   // prior_[k][yi] = P(y = yi | cluster k).
   std::vector<std::vector<double>> prior_;
+};
+
+/// Legacy monolithic entry point, now a thin composition around the
+/// self-contained "eco-cost" trigger (bit-identical to the pre-seam
+/// implementation).
+class EconomyKClassifier : public ComposedEarlyClassifier {
+ public:
+  explicit EconomyKClassifier(EconomyKOptions options = {});
+
+  std::string config_fingerprint() const override;
+  std::unique_ptr<EarlyClassifier> CloneUntrained() const override;
+
+  size_t chosen_clusters() const;
+
+ private:
+  EconomyKOptions options_;
 };
 
 }  // namespace etsc

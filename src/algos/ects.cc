@@ -15,7 +15,8 @@ namespace {
 
 // Nearest neighbor per series per prefix length, computed incrementally:
 // nn[l-1][i] is the 1-NN of i under prefix l. O(N^2 L) time, O(N^2) memory.
-// The dominant cost of Fit, so it polls the train deadline per prefix.
+// The dominant cost of the trigger fit, so it polls the train deadline per
+// prefix.
 Status NearestPerPrefix(const std::vector<std::vector<double>>& series,
                         size_t length, const Deadline& deadline,
                         std::vector<std::vector<size_t>>* out) {
@@ -53,17 +54,45 @@ Status NearestPerPrefix(const std::vector<std::vector<double>>& series,
   return Status::OK();
 }
 
+// Incremental 1-NN scan over the growing prefix; `best` persists across
+// checkpoints so the fallback can report the last nearest neighbor seen.
+struct EctsMplState : TriggerState {
+  std::vector<double> dist2;
+  size_t best = 0;
+};
+
 }  // namespace
 
-Status EctsClassifier::Fit(const Dataset& train) {
+std::string EctsMplTrigger::config_fingerprint() const {
+  return "ects-mpl(support=" + std::to_string(options_.support) + ",merge=" +
+         FingerprintDouble(options_.max_merge_distance_factor) + ")";
+}
+
+ComposedOptions EctsMplTrigger::DefaultComposedOptions() const {
+  ComposedOptions options;
+  options.grid = CheckpointGrid::kEveryPoint;
+  return options;
+}
+
+Status EctsMplTrigger::PlanCheckpoints(const Dataset& train,
+                                       const FullClassifier*, const Deadline&,
+                                       std::vector<size_t>*) {
   if (train.size() < 2) {
     return Status::InvalidArgument("ECTS: need at least two training series");
   }
   if (train.NumVariables() != 1) {
     return Status::InvalidArgument("ECTS: univariate input required");
   }
+  if (train.MinLength() == 0) {
+    return Status::InvalidArgument("ECTS: empty series");
+  }
+  return Status::OK();
+}
+
+Status EctsMplTrigger::Fit(const TriggerFitContext& ctx) {
+  const Dataset& train = *ctx.train;
+  const Deadline& deadline = *ctx.deadline;
   length_ = train.MinLength();
-  if (length_ == 0) return Status::InvalidArgument("ECTS: empty series");
 
   const size_t n = train.size();
   train_series_.assign(n, {});
@@ -73,8 +102,6 @@ Status EctsClassifier::Fit(const Dataset& train) {
     train_series_[i].assign(c.begin(), c.end());
     train_series_[i].resize(length_);
   }
-
-  const Deadline deadline = TrainDeadline();
 
   // 1-NN per prefix, RNN sets per prefix.
   std::vector<std::vector<size_t>> nn;
@@ -180,53 +207,66 @@ Status EctsClassifier::Fit(const Dataset& train) {
   return Status::OK();
 }
 
-Result<EarlyPrediction> EctsClassifier::PredictEarly(
-    const TimeSeries& series) const {
+std::unique_ptr<TriggerState> EctsMplTrigger::NewState() const {
+  return std::make_unique<EctsMplState>();
+}
+
+Result<TriggerDecision> EctsMplTrigger::Decide(const TriggerEvidence& ev,
+                                               TriggerState* state) const {
   if (train_series_.empty()) {
     return Status::FailedPrecondition("ECTS: not fitted");
   }
-  if (series.num_variables() != 1) {
+  if (ev.series->num_variables() != 1) {
     return Status::InvalidArgument("ECTS: univariate input required");
   }
-  const auto& values = series.channel(0);
-  const size_t horizon = std::min(series.length(), length_);
+  if (ev.deadline->CheckEvery(32)) {
+    return Status::DeadlineExceeded("ECTS: predict budget exceeded");
+  }
+  auto* scan = static_cast<EctsMplState*>(state);
   const size_t n = train_series_.size();
+  if (scan->dist2.empty()) scan->dist2.assign(n, 0.0);
 
-  // Stream the prefix; maintain running squared distances to every training
-  // series, emit once the observed length covers the 1-NN's MPL.
-  const Deadline deadline = PredictDeadline();
-  std::vector<double> dist2(n, 0.0);
-  size_t best = 0;
-  for (size_t l = 1; l <= horizon; ++l) {
-    if (deadline.CheckEvery(32)) {
-      return Status::DeadlineExceeded("ECTS: predict budget exceeded");
-    }
-    const size_t t = l - 1;
-    double best_d = std::numeric_limits<double>::infinity();
-    for (size_t j = 0; j < n; ++j) {
-      const double d = values[t] - train_series_[j][t];
-      dist2[j] += d * d;
-      if (dist2[j] < best_d) {
-        best_d = dist2[j];
-        best = j;
-      }
-    }
-    if (l >= mpls_[best]) {
-      return EarlyPrediction{train_labels_[best], l};
+  // One streamed point: update running squared distances to every training
+  // series and track the nearest.
+  const auto& values = ev.series->channel(0);
+  const size_t l = ev.prefix_length;
+  const size_t t = l - 1;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t j = 0; j < n; ++j) {
+    const double d = values[t] - train_series_[j][t];
+    scan->dist2[j] += d * d;
+    if (scan->dist2[j] < best_d) {
+      best_d = scan->dist2[j];
+      scan->best = j;
     }
   }
-  // No MPL reached: fall back to the full-length nearest neighbor.
-  return EarlyPrediction{train_labels_[best], series.length()};
+
+  TriggerDecision decision;
+  if (l >= mpls_[scan->best]) {
+    decision.halt = true;
+    decision.label = train_labels_[scan->best];
+  }
+  return decision;
 }
 
-std::string EctsClassifier::config_fingerprint() const {
-  return "ECTS(support=" + std::to_string(options_.support) + ",merge=" +
-         FingerprintDouble(options_.max_merge_distance_factor) + ")";
+Result<std::optional<EarlyPrediction>> EctsMplTrigger::Finalize(
+    const TimeSeries& series, TriggerState* state) const {
+  // No MPL reached: fall back to the nearest neighbor seen so far (index 0
+  // when the series was too short for even one point).
+  auto* scan = static_cast<EctsMplState*>(state);
+  EarlyPrediction out;
+  out.label = train_labels_[scan->best];
+  out.prefix_length = series.length();
+  return std::optional<EarlyPrediction>(out);
 }
 
-Status EctsClassifier::SaveState(Serializer& out) const {
+std::unique_ptr<Trigger> EctsMplTrigger::CloneUnfitted() const {
+  return std::make_unique<EctsMplTrigger>(options_);
+}
+
+Status EctsMplTrigger::SaveState(Serializer& out) const {
   if (train_series_.empty()) return Status::FailedPrecondition("ECTS: not fitted");
-  out.Begin("ects");
+  out.Begin("ects-mpl");
   out.F64Mat(train_series_);
   out.IntVec(train_labels_);
   out.SizeT(length_);
@@ -235,8 +275,8 @@ Status EctsClassifier::SaveState(Serializer& out) const {
   return Status::OK();
 }
 
-Status EctsClassifier::LoadState(Deserializer& in) {
-  ETSC_RETURN_NOT_OK(in.Enter("ects"));
+Status EctsMplTrigger::LoadState(Deserializer& in) {
+  ETSC_RETURN_NOT_OK(in.Enter("ects-mpl"));
   ETSC_ASSIGN_OR_RETURN(train_series_, in.F64Mat());
   ETSC_ASSIGN_OR_RETURN(train_labels_, in.IntVec());
   ETSC_ASSIGN_OR_RETURN(length_, in.SizeT());
@@ -251,6 +291,34 @@ Status EctsClassifier::LoadState(Deserializer& in) {
     }
   }
   return in.Leave();
+}
+
+namespace {
+
+ComposedParts EctsParts(const EctsOptions& options) {
+  ComposedParts parts;
+  parts.name = "ECTS";
+  parts.trigger = std::make_unique<EctsMplTrigger>(options);
+  parts.options.grid = CheckpointGrid::kEveryPoint;
+  return parts;
+}
+
+}  // namespace
+
+EctsClassifier::EctsClassifier(EctsOptions options)
+    : ComposedEarlyClassifier(EctsParts(options)), options_(options) {}
+
+std::string EctsClassifier::config_fingerprint() const {
+  return "ECTS(support=" + std::to_string(options_.support) + ",merge=" +
+         FingerprintDouble(options_.max_merge_distance_factor) + ")";
+}
+
+std::unique_ptr<EarlyClassifier> EctsClassifier::CloneUntrained() const {
+  return std::make_unique<EctsClassifier>(options_);
+}
+
+const std::vector<size_t>& EctsClassifier::mpls() const {
+  return static_cast<const EctsMplTrigger&>(trigger()).mpls();
 }
 
 }  // namespace etsc

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "core/classifier.h"
+#include "core/composed.h"
+#include "core/trigger.h"
 
 namespace etsc {
 
@@ -27,24 +29,35 @@ struct EctsOptions {
   double max_merge_distance_factor = 0.0;
 };
 
-class EctsClassifier : public EarlyClassifier {
+/// The 1NN-stability rule as a self-contained trigger: it owns the training
+/// series, the learned MPLs and the incremental 1-NN scan, and decides halt
+/// and label together (no bank classifier involved). Registered as trigger
+/// "ects-mpl"; the classifier half of a spec pairing it is ignored.
+class EctsMplTrigger : public Trigger {
  public:
-  explicit EctsClassifier(EctsOptions options = {}) : options_(options) {}
+  explicit EctsMplTrigger(EctsOptions options = {}) : options_(options) {}
 
-  Status Fit(const Dataset& train) override;
-  Result<EarlyPrediction> PredictEarly(const TimeSeries& series) const override;
-  std::string name() const override { return "ECTS"; }
+  std::string name() const override { return "ects-mpl"; }
+  std::string config_fingerprint() const override;
+  bool needs_posteriors() const override { return false; }
+  bool self_contained() const override { return true; }
   bool SupportsMultivariate() const override { return false; }
-  std::unique_ptr<EarlyClassifier> CloneUntrained() const override {
-    return std::make_unique<EctsClassifier>(options_);
-  }
+  ComposedOptions DefaultComposedOptions() const override;
+  Status PlanCheckpoints(const Dataset& train, const FullClassifier* base,
+                         const Deadline& deadline,
+                         std::vector<size_t>* checkpoints) override;
+  Status Fit(const TriggerFitContext& ctx) override;
+  std::unique_ptr<TriggerState> NewState() const override;
+  Result<TriggerDecision> Decide(const TriggerEvidence& evidence,
+                                 TriggerState* state) const override;
+  Result<std::optional<EarlyPrediction>> Finalize(
+      const TimeSeries& series, TriggerState* state) const override;
+  std::unique_ptr<Trigger> CloneUnfitted() const override;
+  Status SaveState(Serializer& out) const override;
+  Status LoadState(Deserializer& in) override;
 
   /// Learned per-training-series MPLs (after clustering); exposed for tests.
   const std::vector<size_t>& mpls() const { return mpls_; }
-
-  std::string config_fingerprint() const override;
-  Status SaveState(Serializer& out) const override;
-  Status LoadState(Deserializer& in) override;
 
  private:
   EctsOptions options_;
@@ -52,6 +65,22 @@ class EctsClassifier : public EarlyClassifier {
   std::vector<int> train_labels_;
   size_t length_ = 0;
   std::vector<size_t> mpls_;
+};
+
+/// Legacy monolithic entry point, now a thin composition around the
+/// "ects-mpl" trigger (bit-identical to the pre-seam implementation).
+class EctsClassifier : public ComposedEarlyClassifier {
+ public:
+  explicit EctsClassifier(EctsOptions options = {});
+
+  std::string config_fingerprint() const override;
+  std::unique_ptr<EarlyClassifier> CloneUntrained() const override;
+
+  /// Learned per-training-series MPLs (after clustering); exposed for tests.
+  const std::vector<size_t>& mpls() const;
+
+ private:
+  EctsOptions options_;
 };
 
 }  // namespace etsc

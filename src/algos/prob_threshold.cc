@@ -5,131 +5,131 @@
 
 namespace etsc {
 
-ProbThresholdClassifier::ProbThresholdClassifier(
-    std::unique_ptr<FullClassifier> base, ProbThresholdOptions options)
-    : base_(std::move(base)), options_(options) {
-  ETSC_CHECK(base_ != nullptr);
+namespace {
+
+struct ProbTriggerState : TriggerState {
+  size_t streak = 0;
+  int last_label = 0;
+};
+
+}  // namespace
+
+ProbTrigger::ProbTrigger(ProbTriggerOptions options) : options_(options) {
   ETSC_CHECK(options_.consecutive >= 1);
 }
 
-Status ProbThresholdClassifier::Fit(const Dataset& train) {
+std::string ProbTrigger::config_fingerprint() const {
+  return "prob(thr=" + FingerprintDouble(options_.threshold) +
+         ",consec=" + std::to_string(options_.consecutive) + ")";
+}
+
+ComposedOptions ProbTrigger::DefaultComposedOptions() const {
+  ComposedOptions options;
+  options.num_checkpoints = 10;
+  options.grid = CheckpointGrid::kFloorMinTwo;
+  return options;
+}
+
+Status ProbTrigger::PlanCheckpoints(const Dataset& train, const FullClassifier*,
+                                    const Deadline&, std::vector<size_t>*) {
   if (train.empty()) {
     return Status::InvalidArgument("prob-threshold: empty training set");
   }
-  length_ = train.MinLength();
-  if (length_ < 2) {
+  if (train.MinLength() < 2) {
     return Status::InvalidArgument("prob-threshold: series too short");
-  }
-  prefix_lengths_.clear();
-  const size_t num = std::min(options_.num_prefixes, length_);
-  for (size_t i = 1; i <= num; ++i) {
-    const size_t len = std::max<size_t>(2, i * length_ / num);
-    if (prefix_lengths_.empty() || prefix_lengths_.back() != len) {
-      prefix_lengths_.push_back(len);
-    }
-  }
-  if (prefix_lengths_.back() != length_) prefix_lengths_.push_back(length_);
-
-  const Deadline deadline = TrainDeadline();
-  models_.clear();
-  models_.reserve(prefix_lengths_.size());
-  for (size_t len : prefix_lengths_) {
-    ETSC_RETURN_NOT_OK(deadline.Check("prob-threshold: train budget exceeded"));
-    auto model = base_->CloneUntrained();
-    ETSC_RETURN_NOT_OK(model->Fit(train.Truncated(len)));
-    models_.push_back(std::move(model));
   }
   return Status::OK();
 }
 
-Result<EarlyPrediction> ProbThresholdClassifier::PredictEarly(
-    const TimeSeries& series) const {
-  if (models_.empty()) {
-    return Status::FailedPrecondition("prob-threshold: not fitted");
-  }
-  const Deadline deadline = PredictDeadline();
-  size_t streak = 0;
-  int last_label = 0;
-  for (size_t p = 0; p < prefix_lengths_.size(); ++p) {
-    ETSC_RETURN_NOT_OK(
-        deadline.Check("prob-threshold: predict budget exceeded"));
-    const size_t len = prefix_lengths_[p];
-    const bool is_last = p + 1 == prefix_lengths_.size() ||
-                         prefix_lengths_[p + 1] > series.length();
-    if (len > series.length()) break;
-    ETSC_ASSIGN_OR_RETURN(std::vector<double> proba,
-                          models_[p]->PredictProba(series.Prefix(len)));
-    const auto& labels = models_[p]->class_labels();
-    const size_t best = static_cast<size_t>(
-        std::max_element(proba.begin(), proba.end()) - proba.begin());
-    const int label = labels[best];
-    if (is_last) return EarlyPrediction{label, len};
-
-    if (proba[best] >= options_.threshold) {
-      if (streak > 0 && label == last_label) {
-        ++streak;
-      } else {
-        streak = 1;
-        last_label = label;
-      }
-      if (streak >= options_.consecutive) {
-        return EarlyPrediction{label, len};
-      }
-    } else {
-      streak = 0;
-    }
-  }
-  // Series shorter than the first prefix.
-  ETSC_ASSIGN_OR_RETURN(int label, models_[0]->Predict(series));
-  return EarlyPrediction{label, series.length()};
+Status ProbTrigger::Fit(const TriggerFitContext&) {
+  // Purely reactive: no calibration beyond the threshold itself.
+  return Status::OK();
 }
+
+std::unique_ptr<TriggerState> ProbTrigger::NewState() const {
+  return std::make_unique<ProbTriggerState>();
+}
+
+Result<TriggerDecision> ProbTrigger::Decide(const TriggerEvidence& ev,
+                                            TriggerState* state) const {
+  auto* streaks = static_cast<ProbTriggerState*>(state);
+  const double best =
+      *std::max_element(ev.posteriors->begin(), ev.posteriors->end());
+  TriggerDecision decision;
+  decision.confidence = best;
+  if (ev.is_last) {
+    decision.halt = true;
+    return decision;
+  }
+  if (best >= options_.threshold) {
+    if (streaks->streak > 0 && ev.predicted == streaks->last_label) {
+      ++streaks->streak;
+    } else {
+      streaks->streak = 1;
+      streaks->last_label = ev.predicted;
+    }
+    if (streaks->streak >= options_.consecutive) decision.halt = true;
+  } else {
+    streaks->streak = 0;
+  }
+  return decision;
+}
+
+std::unique_ptr<Trigger> ProbTrigger::CloneUnfitted() const {
+  return std::make_unique<ProbTrigger>(options_);
+}
+
+Status ProbTrigger::SaveState(Serializer& out) const {
+  out.Begin("prob");
+  out.End();
+  return Status::OK();
+}
+
+Status ProbTrigger::LoadState(Deserializer& in) {
+  ETSC_RETURN_NOT_OK(in.Enter("prob"));
+  return in.Leave();
+}
+
+namespace {
+
+ComposedParts ProbParts(std::unique_ptr<FullClassifier> base,
+                        const ProbThresholdOptions& options) {
+  ETSC_CHECK(base != nullptr);
+  ComposedParts parts;
+  parts.name = "P>=" + std::to_string(options.threshold).substr(0, 4) + "-" +
+               base->name();
+  ProbTriggerOptions trigger_options;
+  trigger_options.threshold = options.threshold;
+  trigger_options.consecutive = options.consecutive;
+  parts.trigger = std::make_unique<ProbTrigger>(trigger_options);
+  parts.options.num_checkpoints = options.num_prefixes;
+  parts.options.grid = CheckpointGrid::kFloorMinTwo;
+  parts.base = std::move(base);
+  return parts;
+}
+
+}  // namespace
+
+ProbThresholdClassifier::ProbThresholdClassifier(
+    std::unique_ptr<FullClassifier> base, ProbThresholdOptions options)
+    : ComposedEarlyClassifier(ProbParts(std::move(base), options)),
+      options_(options) {}
 
 std::string ProbThresholdClassifier::name() const {
   return "P>=" + std::to_string(options_.threshold).substr(0, 4) + "-" +
-         base_->name();
-}
-
-std::unique_ptr<EarlyClassifier> ProbThresholdClassifier::CloneUntrained() const {
-  return std::make_unique<ProbThresholdClassifier>(base_->CloneUntrained(),
-                                                   options_);
+         base_classifier()->name();
 }
 
 std::string ProbThresholdClassifier::config_fingerprint() const {
   return "ProbThreshold(n=" + std::to_string(options_.num_prefixes) +
          ",thr=" + FingerprintDouble(options_.threshold) +
          ",consec=" + std::to_string(options_.consecutive) + ",base=" +
-         base_->config_fingerprint() + ")";
+         base_classifier()->config_fingerprint() + ")";
 }
 
-Status ProbThresholdClassifier::SaveState(Serializer& out) const {
-  if (models_.empty()) {
-    return Status::FailedPrecondition(name() + ": not fitted");
-  }
-  out.Begin("prob-threshold");
-  out.SizeT(length_);
-  out.SizeVec(prefix_lengths_);
-  out.SizeT(models_.size());
-  for (const auto& model : models_) {
-    ETSC_RETURN_NOT_OK(model->SaveState(out));
-  }
-  out.End();
-  return Status::OK();
-}
-
-Status ProbThresholdClassifier::LoadState(Deserializer& in) {
-  ETSC_RETURN_NOT_OK(in.Enter("prob-threshold"));
-  ETSC_ASSIGN_OR_RETURN(length_, in.SizeT());
-  ETSC_ASSIGN_OR_RETURN(prefix_lengths_, in.SizeVec());
-  ETSC_ASSIGN_OR_RETURN(size_t num_models, in.SizeT());
-  if (num_models != prefix_lengths_.size() || num_models == 0) {
-    return Status::DataLoss(name() + ": model/prefix count mismatch");
-  }
-  models_.clear();
-  for (size_t p = 0; p < num_models; ++p) {
-    models_.push_back(base_->CloneUntrained());
-    ETSC_RETURN_NOT_OK(models_.back()->LoadState(in));
-  }
-  return in.Leave();
+std::unique_ptr<EarlyClassifier> ProbThresholdClassifier::CloneUntrained() const {
+  return std::make_unique<ProbThresholdClassifier>(
+      base_classifier()->CloneUntrained(), options_);
 }
 
 }  // namespace etsc

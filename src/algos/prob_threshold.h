@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "core/classifier.h"
+#include "core/composed.h"
+#include "core/trigger.h"
 
 namespace etsc {
 
@@ -22,32 +24,57 @@ struct ProbThresholdOptions {
   size_t consecutive = 1;
 };
 
-class ProbThresholdClassifier : public EarlyClassifier {
+/// The stopping-rule half of the baseline, usable with any base classifier:
+/// halt at the first checkpoint whose top posterior reaches `threshold` for
+/// `consecutive` checkpoints in a row (same label throughout the streak).
+/// Stateless after construction; registered as trigger "prob".
+struct ProbTriggerOptions {
+  double threshold = 0.9;
+  size_t consecutive = 1;
+};
+
+class ProbTrigger : public Trigger {
+ public:
+  explicit ProbTrigger(ProbTriggerOptions options = {});
+
+  std::string name() const override { return "prob"; }
+  std::string config_fingerprint() const override;
+  ComposedOptions DefaultComposedOptions() const override;
+  Status PlanCheckpoints(const Dataset& train, const FullClassifier* base,
+                         const Deadline& deadline,
+                         std::vector<size_t>* checkpoints) override;
+  Status Fit(const TriggerFitContext& ctx) override;
+  std::unique_ptr<TriggerState> NewState() const override;
+  Result<TriggerDecision> Decide(const TriggerEvidence& evidence,
+                                 TriggerState* state) const override;
+  std::unique_ptr<Trigger> CloneUnfitted() const override;
+  Status SaveState(Serializer& out) const override;
+  Status LoadState(Deserializer& in) override;
+
+  const ProbTriggerOptions& options() const { return options_; }
+
+ private:
+  ProbTriggerOptions options_;
+};
+
+/// Legacy monolithic entry point, now a thin composition of the supplied base
+/// classifier with the "prob" trigger. Campaign results are bit-identical to
+/// the pre-seam implementation (same prefix grid, same argmax/streak rules,
+/// same fallbacks).
+class ProbThresholdClassifier : public ComposedEarlyClassifier {
  public:
   /// `base` supplies CloneUntrained() copies, one per prefix.
   ProbThresholdClassifier(std::unique_ptr<FullClassifier> base,
                           ProbThresholdOptions options = {});
 
-  Status Fit(const Dataset& train) override;
-  Result<EarlyPrediction> PredictEarly(const TimeSeries& series) const override;
   std::string name() const override;
-  bool SupportsMultivariate() const override {
-    return base_->SupportsMultivariate();
-  }
+  std::string config_fingerprint() const override;
   std::unique_ptr<EarlyClassifier> CloneUntrained() const override;
 
-  const std::vector<size_t>& prefix_lengths() const { return prefix_lengths_; }
-
-  std::string config_fingerprint() const override;
-  Status SaveState(Serializer& out) const override;
-  Status LoadState(Deserializer& in) override;
+  const std::vector<size_t>& prefix_lengths() const { return checkpoints(); }
 
  private:
-  std::unique_ptr<FullClassifier> base_;
   ProbThresholdOptions options_;
-  size_t length_ = 0;
-  std::vector<size_t> prefix_lengths_;
-  std::vector<std::unique_ptr<FullClassifier>> models_;
 };
 
 }  // namespace etsc

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "algos/base_classifiers.h"
 #include "algos/ecec.h"
 #include "algos/economy_k.h"
 #include "algos/ects.h"
@@ -9,8 +10,11 @@
 #include "algos/prob_threshold.h"
 #include "algos/strut.h"
 #include "algos/teaser.h"
-#include "tsc/minirocket.h"
 #include "core/registry.h"
+#include "core/trigger.h"
+#include "tsc/minirocket.h"
+#include "tsc/mlstm.h"
+#include "tsc/weasel.h"
 
 namespace etsc {
 
@@ -56,6 +60,77 @@ void RegisterBuiltinClassifiers() {
                                return std::make_unique<ProbThresholdClassifier>(
                                    std::make_unique<MiniRocketClassifier>(
                                        options));
+                             })
+                   .ok());
+
+    // Second namespace: standalone triggers, composable with any base
+    // classifier via ComposedEarlyClassifier / '<classifier>+<trigger>' specs.
+    auto& triggers = TriggerRegistry::Global();
+    ETSC_CHECK(triggers
+                   .Register("prob",
+                             [] { return std::make_unique<ProbTrigger>(); })
+                   .ok());
+    ETSC_CHECK(triggers
+                   .Register("ecec-ratio",
+                             [] { return std::make_unique<EcecRatioTrigger>(); })
+                   .ok());
+    ETSC_CHECK(triggers
+                   .Register("teaser-gate",
+                             [] { return std::make_unique<TeaserGateTrigger>(); })
+                   .ok());
+    ETSC_CHECK(triggers
+                   .Register("eco-cost",
+                             [] { return std::make_unique<EcoCostTrigger>(); })
+                   .ok());
+    ETSC_CHECK(triggers
+                   .Register("ects-mpl",
+                             [] { return std::make_unique<EctsMplTrigger>(); })
+                   .ok());
+    ETSC_CHECK(triggers
+                   .Register("strut-search",
+                             [] { return std::make_unique<StrutTrigger>(); })
+                   .ok());
+
+    // Third namespace: probabilistic full-series classifiers usable as the
+    // base half of a composition.
+    auto& bases = BaseClassifierRegistry::Global();
+    ETSC_CHECK(bases
+                   .Register("weasel",
+                             [] { return std::make_unique<WeaselClassifier>(); })
+                   .ok());
+    ETSC_CHECK(bases
+                   .Register("adaptive-weasel",
+                             [] { return std::make_unique<AdaptiveWeasel>(); })
+                   .ok());
+    ETSC_CHECK(bases
+                   .Register("minirocket",
+                             [] {
+                               return std::make_unique<MiniRocketClassifier>();
+                             })
+                   .ok());
+    ETSC_CHECK(bases
+                   .Register("minirocket-logistic",
+                             [] {
+                               MiniRocketOptions options;
+                               options.logistic_above_samples = 0;
+                               return std::make_unique<MiniRocketClassifier>(
+                                   options);
+                             })
+                   .ok());
+    ETSC_CHECK(bases
+                   .Register("mlstm",
+                             [] { return std::make_unique<MlstmClassifier>(); })
+                   .ok());
+    ETSC_CHECK(bases
+                   .Register("1nn",
+                             [] {
+                               return std::make_unique<NearestNeighborClassifier>();
+                             })
+                   .ok());
+    ETSC_CHECK(bases
+                   .Register("gbdt",
+                             [] {
+                               return std::make_unique<GbdtSeriesClassifier>();
                              })
                    .ok());
     return true;

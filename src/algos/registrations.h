@@ -5,7 +5,12 @@ namespace etsc {
 
 /// Registers the framework's built-in ETSC algorithms (the paper's Table-2
 /// set plus the three STRUT variants) in ClassifierRegistry::Global() under
-/// their canonical names with the Table-4 default parameters. Idempotent —
+/// their canonical names with the Table-4 default parameters, the six
+/// standalone stopping rules in TriggerRegistry::Global() ("prob",
+/// "ecec-ratio", "teaser-gate", "eco-cost", "ects-mpl", "strut-search"), and
+/// the probabilistic full-series classifiers usable as composition bases in
+/// BaseClassifierRegistry::Global() ("weasel", "adaptive-weasel",
+/// "minirocket", "minirocket-logistic", "mlstm", "1nn", "gbdt"). Idempotent —
 /// call it once at program start before resolving algorithms by name.
 /// (Static-initialiser registration does not survive static-library linking,
 /// so the registration is explicit; user code in executables can still use

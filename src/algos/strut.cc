@@ -4,26 +4,39 @@
 #include <cmath>
 #include <set>
 
+#include "algos/base_classifiers.h"
 #include "core/metrics.h"
 #include "core/rng.h"
 #include "tsc/minirocket.h"
 #include "tsc/mlstm.h"
-#include "tsc/muse.h"
-#include "tsc/weasel.h"
 
 namespace etsc {
 
-StrutClassifier::StrutClassifier(std::unique_ptr<FullClassifier> base,
-                                 StrutOptions options, std::string display_name)
-    : base_(std::move(base)), options_(options), name_(std::move(display_name)) {
-  ETSC_CHECK(base_ != nullptr);
-  if (name_.empty()) name_ = "S-" + base_->name();
+StrutTrigger::StrutTrigger(StrutOptions options) : options_(std::move(options)) {}
+
+std::string StrutTrigger::config_fingerprint() const {
+  const auto& o = options_;
+  std::string fractions;
+  for (double f : o.fractions) fractions += FingerprintDouble(f) + "/";
+  return "strut-search(metric=" + std::to_string(static_cast<int>(o.metric)) +
+         ",search=" + std::to_string(static_cast<int>(o.search)) +
+         ",frac=" + fractions +
+         ",val=" + FingerprintDouble(o.validation_fraction) +
+         ",tol=" + FingerprintDouble(o.tolerance) +
+         ",seed=" + std::to_string(o.seed) + ")";
 }
 
-Result<double> StrutClassifier::ScoreAt(const Dataset& fit,
-                                        const Dataset& validation, size_t t,
-                                        size_t full_length) const {
-  std::unique_ptr<FullClassifier> model = base_->CloneUntrained();
+ComposedOptions StrutTrigger::DefaultComposedOptions() const {
+  ComposedOptions options;
+  options.grid = CheckpointGrid::kTriggerPlanned;
+  return options;
+}
+
+Result<double> StrutTrigger::ScoreAt(const FullClassifier& base,
+                                     const Dataset& fit,
+                                     const Dataset& validation, size_t t,
+                                     size_t full_length) const {
+  std::unique_ptr<FullClassifier> model = base.CloneUntrained();
   ETSC_RETURN_NOT_OK(model->Fit(fit.Truncated(t)));
   std::vector<int> truth, predicted;
   for (size_t i = 0; i < validation.size(); ++i) {
@@ -45,7 +58,13 @@ Result<double> StrutClassifier::ScoreAt(const Dataset& fit,
   return Status::Internal("STRUT: unknown metric");
 }
 
-Status StrutClassifier::Fit(const Dataset& train) {
+Status StrutTrigger::PlanCheckpoints(const Dataset& train,
+                                     const FullClassifier* base,
+                                     const Deadline& deadline,
+                                     std::vector<size_t>* checkpoints) {
+  if (base == nullptr) {
+    return Status::InvalidArgument("STRUT: a base classifier is required");
+  }
   if (train.size() < 4) {
     return Status::InvalidArgument("STRUT: too few training series");
   }
@@ -71,13 +90,12 @@ Status StrutClassifier::Fit(const Dataset& train) {
   }
   std::vector<size_t> candidates(candidate_set.begin(), candidate_set.end());
 
-  const Deadline deadline = TrainDeadline();
   double best_score = -1.0;
   size_t best_t = length;
   std::vector<double> scores(candidates.size(), -1.0);
   for (size_t c = 0; c < candidates.size(); ++c) {
     ETSC_RETURN_NOT_OK(deadline.Check("STRUT: train budget exceeded"));
-    auto score = ScoreAt(fit, validation, candidates[c], length);
+    auto score = ScoreAt(*base, fit, validation, candidates[c], length);
     if (!score.ok()) continue;  // a length may be unusable for the base model
     scores[c] = *score;
     if (*score > best_score) {
@@ -100,7 +118,7 @@ Status StrutClassifier::Fit(const Dataset& train) {
     while (lo < hi) {
       ETSC_RETURN_NOT_OK(deadline.Check("STRUT: train budget exceeded"));
       const size_t mid = lo + (hi - lo) / 2;
-      auto score = ScoreAt(fit, validation, mid, length);
+      auto score = ScoreAt(*base, fit, validation, mid, length);
       if (score.ok() && *score >= best_score - options_.tolerance) {
         hi = mid;
         if (*score > best_score) best_score = *score;
@@ -112,98 +130,93 @@ Status StrutClassifier::Fit(const Dataset& train) {
   }
 
   truncation_point_ = best_t;
-  model_ = base_->CloneUntrained();
-  return model_->Fit(train.Truncated(best_t));
+  // The single checkpoint: the composed pipeline fits one bank model on
+  // Truncated(t*) — the legacy implementation's final refit.
+  checkpoints->assign(1, best_t);
+  return Status::OK();
 }
 
-Result<EarlyPrediction> StrutClassifier::PredictEarly(
-    const TimeSeries& series) const {
-  if (model_ == nullptr) return Status::FailedPrecondition("STRUT: not fitted");
-  ETSC_RETURN_NOT_OK(
-      PredictDeadline().Check("STRUT: predict budget exceeded"));
-  const size_t consumed = std::min(truncation_point_, series.length());
-  ETSC_ASSIGN_OR_RETURN(int label, model_->Predict(series.Prefix(consumed)));
-  return EarlyPrediction{label, consumed};
+Status StrutTrigger::Fit(const TriggerFitContext&) {
+  // All the work happened in PlanCheckpoints.
+  if (truncation_point_ == 0) {
+    return Status::Internal("STRUT: PlanCheckpoints did not run");
+  }
+  return Status::OK();
 }
 
-std::unique_ptr<EarlyClassifier> StrutClassifier::CloneUntrained() const {
-  return std::make_unique<StrutClassifier>(base_->CloneUntrained(), options_,
-                                           name_);
+Result<TriggerDecision> StrutTrigger::Decide(const TriggerEvidence&,
+                                             TriggerState*) const {
+  // Fixed-ratio rule: the only checkpoint is the chosen truncation point.
+  TriggerDecision decision;
+  decision.halt = true;
+  return decision;
+}
+
+std::unique_ptr<Trigger> StrutTrigger::CloneUnfitted() const {
+  return std::make_unique<StrutTrigger>(options_);
+}
+
+Status StrutTrigger::SaveState(Serializer& out) const {
+  out.Begin("strut-search");
+  out.SizeT(truncation_point_);
+  out.End();
+  return Status::OK();
+}
+
+Status StrutTrigger::LoadState(Deserializer& in) {
+  ETSC_RETURN_NOT_OK(in.Enter("strut-search"));
+  ETSC_ASSIGN_OR_RETURN(truncation_point_, in.SizeT());
+  if (truncation_point_ == 0) {
+    return Status::DataLoss("STRUT: zero truncation point");
+  }
+  return in.Leave();
 }
 
 namespace {
 
-/// Chooses WEASEL or WEASEL+MUSE at Fit time based on input dimensionality so
-/// S-WEASEL handles both kinds of dataset, as in the paper.
-class AdaptiveWeasel : public FullClassifier {
- public:
-  explicit AdaptiveWeasel(WeaselOptions options = {}) : options_(options) {}
-
-  Status Fit(const Dataset& train) override {
-    if (train.NumVariables() > 1) {
-      MuseOptions muse;
-      muse.weasel = options_;
-      impl_ = std::make_unique<MuseClassifier>(muse);
-    } else {
-      impl_ = std::make_unique<WeaselClassifier>(options_);
-    }
-    return impl_->Fit(train);
-  }
-  Result<int> Predict(const TimeSeries& series) const override {
-    if (impl_ == nullptr) {
-      return Status::FailedPrecondition("AdaptiveWeasel: not fitted");
-    }
-    return impl_->Predict(series);
-  }
-  Result<std::vector<double>> PredictProba(const TimeSeries& series) const override {
-    if (impl_ == nullptr) {
-      return Status::FailedPrecondition("AdaptiveWeasel: not fitted");
-    }
-    return impl_->PredictProba(series);
-  }
-  const std::vector<int>& class_labels() const override {
-    static const std::vector<int>* kEmpty = new std::vector<int>();
-    return impl_ == nullptr ? *kEmpty : impl_->class_labels();
-  }
-  std::string name() const override { return "WEASEL"; }
-  bool SupportsMultivariate() const override { return true; }
-  std::unique_ptr<FullClassifier> CloneUntrained() const override {
-    return std::make_unique<AdaptiveWeasel>(options_);
-  }
-
-  std::string config_fingerprint() const override {
-    return "AdaptiveWeasel(" + WeaselOptionsFingerprint(options_) + ")";
-  }
-  // The WEASEL-vs-MUSE choice is data-dependent, so it travels with the
-  // fitted state as a type tag rather than with the configuration.
-  Status SaveState(Serializer& out) const override {
-    if (impl_ == nullptr) {
-      return Status::FailedPrecondition("AdaptiveWeasel: not fitted");
-    }
-    const bool is_muse = impl_->SupportsMultivariate();
-    out.U8(is_muse ? 2 : 1);
-    return impl_->SaveState(out);
-  }
-  Status LoadState(Deserializer& in) override {
-    ETSC_ASSIGN_OR_RETURN(uint8_t tag, in.U8());
-    if (tag == 1) {
-      impl_ = std::make_unique<WeaselClassifier>(options_);
-    } else if (tag == 2) {
-      MuseOptions muse;
-      muse.weasel = options_;
-      impl_ = std::make_unique<MuseClassifier>(muse);
-    } else {
-      return Status::DataLoss("AdaptiveWeasel: unknown backend tag");
-    }
-    return impl_->LoadState(in);
-  }
-
- private:
-  WeaselOptions options_;
-  std::unique_ptr<FullClassifier> impl_;
-};
+ComposedParts StrutParts(std::unique_ptr<FullClassifier> base,
+                         const StrutOptions& options,
+                         std::string display_name) {
+  ETSC_CHECK(base != nullptr);
+  ComposedParts parts;
+  parts.name = display_name.empty() ? "S-" + base->name()
+                                    : std::move(display_name);
+  parts.trigger = std::make_unique<StrutTrigger>(options);
+  parts.options.grid = CheckpointGrid::kTriggerPlanned;
+  parts.base = std::move(base);
+  return parts;
+}
 
 }  // namespace
+
+StrutClassifier::StrutClassifier(std::unique_ptr<FullClassifier> base,
+                                 StrutOptions options, std::string display_name)
+    : ComposedEarlyClassifier(
+          StrutParts(std::move(base), options, std::move(display_name))),
+      options_(std::move(options)),
+      display_name_(name()) {}
+
+std::string StrutClassifier::config_fingerprint() const {
+  const auto& o = options_;
+  std::string fractions;
+  for (double f : o.fractions) fractions += FingerprintDouble(f) + "/";
+  return name() + "=STRUT(metric=" + std::to_string(static_cast<int>(o.metric)) +
+         ",search=" + std::to_string(static_cast<int>(o.search)) +
+         ",frac=" + fractions +
+         ",val=" + FingerprintDouble(o.validation_fraction) +
+         ",tol=" + FingerprintDouble(o.tolerance) +
+         ",seed=" + std::to_string(o.seed) + ",base=" +
+         base_classifier()->config_fingerprint() + ")";
+}
+
+std::unique_ptr<EarlyClassifier> StrutClassifier::CloneUntrained() const {
+  return std::make_unique<StrutClassifier>(base_classifier()->CloneUntrained(),
+                                           options_, display_name_);
+}
+
+size_t StrutClassifier::truncation_point() const {
+  return static_cast<const StrutTrigger&>(trigger()).truncation_point();
+}
 
 std::unique_ptr<EarlyClassifier> MakeStrutWeasel(bool multivariate,
                                                  StrutOptions options) {
@@ -222,41 +235,6 @@ std::unique_ptr<EarlyClassifier> MakeStrutMlstm(StrutOptions options) {
   options.search = StrutSearch::kGrid;
   return std::make_unique<StrutClassifier>(std::make_unique<MlstmClassifier>(),
                                            options, "S-MLSTM");
-}
-
-std::string StrutClassifier::config_fingerprint() const {
-  const auto& o = options_;
-  std::string fractions;
-  for (double f : o.fractions) fractions += FingerprintDouble(f) + "/";
-  return name_ + "=STRUT(metric=" + std::to_string(static_cast<int>(o.metric)) +
-         ",search=" + std::to_string(static_cast<int>(o.search)) +
-         ",frac=" + fractions +
-         ",val=" + FingerprintDouble(o.validation_fraction) +
-         ",tol=" + FingerprintDouble(o.tolerance) +
-         ",seed=" + std::to_string(o.seed) + ",base=" +
-         base_->config_fingerprint() + ")";
-}
-
-Status StrutClassifier::SaveState(Serializer& out) const {
-  if (model_ == nullptr) {
-    return Status::FailedPrecondition(name() + ": not fitted");
-  }
-  out.Begin("strut");
-  out.SizeT(truncation_point_);
-  ETSC_RETURN_NOT_OK(model_->SaveState(out));
-  out.End();
-  return Status::OK();
-}
-
-Status StrutClassifier::LoadState(Deserializer& in) {
-  ETSC_RETURN_NOT_OK(in.Enter("strut"));
-  ETSC_ASSIGN_OR_RETURN(truncation_point_, in.SizeT());
-  if (truncation_point_ == 0) {
-    return Status::DataLoss(name() + ": zero truncation point");
-  }
-  model_ = base_->CloneUntrained();
-  ETSC_RETURN_NOT_OK(model_->LoadState(in));
-  return in.Leave();
 }
 
 }  // namespace etsc

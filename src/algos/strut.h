@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "core/classifier.h"
+#include "core/composed.h"
+#include "core/trigger.h"
 
 namespace etsc {
 
@@ -44,36 +46,59 @@ struct StrutOptions {
   uint64_t seed = 29;
 };
 
-class StrutClassifier : public EarlyClassifier {
+/// The stopping-rule half of STRUT: a fixed-ratio trigger that runs the whole
+/// truncation-point search in PlanCheckpoints (fit/validation split, fraction
+/// grid, optional binary refinement) and plants the single winning prefix
+/// length t* as the checkpoint grid. Decisions always halt — the composed
+/// pipeline consumes exactly t* points. Registered as trigger "strut-search".
+class StrutTrigger : public Trigger {
+ public:
+  explicit StrutTrigger(StrutOptions options = {});
+
+  std::string name() const override { return "strut-search"; }
+  std::string config_fingerprint() const override;
+  bool needs_posteriors() const override { return false; }
+  ComposedOptions DefaultComposedOptions() const override;
+  Status PlanCheckpoints(const Dataset& train, const FullClassifier* base,
+                         const Deadline& deadline,
+                         std::vector<size_t>* checkpoints) override;
+  Status Fit(const TriggerFitContext& ctx) override;
+  Result<TriggerDecision> Decide(const TriggerEvidence& evidence,
+                                 TriggerState* state) const override;
+  std::unique_ptr<Trigger> CloneUnfitted() const override;
+  Status SaveState(Serializer& out) const override;
+  Status LoadState(Deserializer& in) override;
+
+  size_t truncation_point() const { return truncation_point_; }
+  const StrutOptions& options() const { return options_; }
+
+ private:
+  /// Validation score of the base classifier trained at truncation `t`.
+  Result<double> ScoreAt(const FullClassifier& base, const Dataset& fit,
+                         const Dataset& validation, size_t t,
+                         size_t full_length) const;
+
+  StrutOptions options_;
+  size_t truncation_point_ = 0;
+};
+
+/// Legacy monolithic entry point, now a thin composition of the supplied base
+/// classifier with the "strut-search" trigger (bit-identical to the pre-seam
+/// implementation: same split, same search order, same final refit).
+class StrutClassifier : public ComposedEarlyClassifier {
  public:
   /// `base` supplies CloneUntrained() copies per truncation iteration.
   StrutClassifier(std::unique_ptr<FullClassifier> base, StrutOptions options = {},
                   std::string display_name = "");
 
-  Status Fit(const Dataset& train) override;
-  Result<EarlyPrediction> PredictEarly(const TimeSeries& series) const override;
-  std::string name() const override { return name_; }
-  bool SupportsMultivariate() const override {
-    return base_->SupportsMultivariate();
-  }
+  std::string config_fingerprint() const override;
   std::unique_ptr<EarlyClassifier> CloneUntrained() const override;
 
-  size_t truncation_point() const { return truncation_point_; }
-
-  std::string config_fingerprint() const override;
-  Status SaveState(Serializer& out) const override;
-  Status LoadState(Deserializer& in) override;
+  size_t truncation_point() const;
 
  private:
-  /// Validation score of the base classifier trained at truncation `t`.
-  Result<double> ScoreAt(const Dataset& fit, const Dataset& validation, size_t t,
-                         size_t full_length) const;
-
-  std::unique_ptr<FullClassifier> base_;
   StrutOptions options_;
-  std::string name_;
-  size_t truncation_point_ = 0;
-  std::unique_ptr<FullClassifier> model_;  // final model trained at t*
+  std::string display_name_;
 };
 
 /// The paper's three STRUT presets: S-WEASEL (WEASEL / WEASEL+MUSE chosen by

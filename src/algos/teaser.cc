@@ -9,7 +9,17 @@
 
 namespace etsc {
 
-std::vector<double> TeaserClassifier::OcsvmFeatures(
+namespace {
+
+// Accepted-prediction streak the v-consecutive rule folds over.
+struct TeaserGateState : TriggerState {
+  int last_label = 0;
+  size_t streak = 0;
+};
+
+}  // namespace
+
+std::vector<double> TeaserGateTrigger::OcsvmFeatures(
     const std::vector<double>& proba) {
   std::vector<double> features = proba;
   double top1 = -1.0, top2 = -1.0;
@@ -25,48 +35,48 @@ std::vector<double> TeaserClassifier::OcsvmFeatures(
   return features;
 }
 
-TimeSeries TeaserClassifier::Preprocess(const TimeSeries& series) const {
-  if (!options_.z_normalize) return series;
-  TimeSeries copy = series;
-  copy.ZNormalize();
-  return copy;
+std::string TeaserGateTrigger::config_fingerprint() const {
+  const auto& o = options_;
+  return "teaser-gate(v<=" + std::to_string(o.max_consecutive) +
+         ",cv=" + std::to_string(o.cv_folds) +
+         ",nu=" + FingerprintDouble(o.ocsvm.nu) +
+         ",gamma=" + FingerprintDouble(o.ocsvm.gamma) +
+         ",seed=" + std::to_string(o.seed) + ")";
 }
 
-Status TeaserClassifier::Fit(const Dataset& train) {
+ComposedOptions TeaserGateTrigger::DefaultComposedOptions() const {
+  ComposedOptions options;
+  options.num_checkpoints = 20;
+  options.grid = CheckpointGrid::kFloorMinTwo;
+  return options;
+}
+
+Status TeaserGateTrigger::PlanCheckpoints(const Dataset& train,
+                                          const FullClassifier*,
+                                          const Deadline&,
+                                          std::vector<size_t>*) {
   if (train.empty()) return Status::InvalidArgument("TEASER: empty training set");
   if (train.NumVariables() != 1) {
     return Status::InvalidArgument("TEASER: univariate input required");
   }
-  length_ = train.MinLength();
-  if (length_ < 2) return Status::InvalidArgument("TEASER: series too short");
-
-  Dataset prepared = train;
-  if (options_.z_normalize) {
-    for (size_t i = 0; i < prepared.size(); ++i) {
-      prepared.instance(i).ZNormalize();
-    }
+  if (train.MinLength() < 2) {
+    return Status::InvalidArgument("TEASER: series too short");
   }
+  return Status::OK();
+}
 
-  // Prefix grid: floor(i*L/S), first prefix = L/S, last = L.
-  prefix_lengths_.clear();
-  const size_t num = std::min(options_.num_prefixes, length_);
-  for (size_t i = 1; i <= num; ++i) {
-    const size_t len = std::max<size_t>(2, i * length_ / num);
-    if (prefix_lengths_.empty() || prefix_lengths_.back() != len) {
-      prefix_lengths_.push_back(len);
-    }
-  }
-  if (prefix_lengths_.back() != length_) prefix_lengths_.push_back(length_);
-  const size_t P = prefix_lengths_.size();
+Status TeaserGateTrigger::Fit(const TriggerFitContext& ctx) {
+  const Dataset& prepared = *ctx.train;
+  const std::vector<size_t>& prefix_lengths = *ctx.checkpoints;
+  const Deadline& deadline = *ctx.deadline;
+  const size_t length = prepared.MinLength();
+  const size_t P = prefix_lengths.size();
   const size_t n = prepared.size();
 
-  const Deadline deadline = TrainDeadline();
   Rng rng(options_.seed);
 
-  models_.clear();
   filters_.clear();
   filter_ok_.assign(P, false);
-  models_.reserve(P);
   filters_.reserve(P);
 
   // train_accept[p][i] / train_pred[p][i]: the OC-SVM verdict and pipeline
@@ -75,8 +85,8 @@ Status TeaserClassifier::Fit(const Dataset& train) {
   std::vector<std::vector<bool>> train_accept(P, std::vector<bool>(n, false));
 
   // Out-of-sample probability vectors per (prefix, instance) for the OC-SVM
-  // and the v search; falls back to in-sample when cv_folds == 0 or the
-  // training set is too small to fold.
+  // and the v search; falls back to cheap in-sample (bank) predictions when
+  // cv_folds == 0 or the training set is too small to fold.
   std::vector<std::vector<std::vector<double>>> oos_proba(
       P, std::vector<std::vector<double>>(n));
   const size_t folds =
@@ -87,16 +97,16 @@ Status TeaserClassifier::Fit(const Dataset& train) {
       Dataset fold_train = prepared.Subset(split.train);
       for (size_t p = 0; p < P; ++p) {
         ETSC_RETURN_NOT_OK(deadline.Check("TEASER: train budget exceeded"));
-        WeaselClassifier model(options_.weasel);
-        ETSC_RETURN_NOT_OK(model.Fit(fold_train.Truncated(prefix_lengths_[p])));
+        std::unique_ptr<FullClassifier> model = ctx.base->CloneUntrained();
+        ETSC_RETURN_NOT_OK(model->Fit(fold_train.Truncated(prefix_lengths[p])));
         for (size_t test_idx : split.test) {
-          auto proba = model.PredictProba(
-              prepared.instance(test_idx).Prefix(prefix_lengths_[p]));
+          auto proba = model->PredictProba(
+              prepared.instance(test_idx).Prefix(prefix_lengths[p]));
           if (!proba.ok()) return proba.status();
           // Align fold-local class order with the global one.
           std::vector<double> aligned(prepared.NumClasses(), 0.0);
           const auto global_labels = prepared.ClassLabels();
-          const auto& local_labels = model.class_labels();
+          const auto& local_labels = model->class_labels();
           for (size_t k = 0; k < local_labels.size(); ++k) {
             for (size_t g = 0; g < global_labels.size(); ++g) {
               if (global_labels[g] == local_labels[k]) aligned[g] = (*proba)[k];
@@ -111,8 +121,7 @@ Status TeaserClassifier::Fit(const Dataset& train) {
   const auto global_labels = prepared.ClassLabels();
   for (size_t p = 0; p < P; ++p) {
     ETSC_RETURN_NOT_OK(deadline.Check("TEASER: train budget exceeded"));
-    WeaselClassifier model(options_.weasel);
-    ETSC_RETURN_NOT_OK(model.Fit(prepared.Truncated(prefix_lengths_[p])));
+    const FullClassifier& model = *(*ctx.bank)[p];
 
     // Collect feature vectors of correctly classified training instances.
     std::vector<std::vector<double>> correct_features;
@@ -128,7 +137,7 @@ Status TeaserClassifier::Fit(const Dataset& train) {
         predicted_label = global_labels[best];
       } else {
         auto proba =
-            model.PredictProba(prepared.instance(i).Prefix(prefix_lengths_[p]));
+            model.PredictProba(prepared.instance(i).Prefix(prefix_lengths[p]));
         if (!proba.ok()) return proba.status();
         proba_values = std::move(*proba);
         const auto& labels = model.class_labels();
@@ -157,7 +166,6 @@ Status TeaserClassifier::Fit(const Dataset& train) {
         train_accept[p][i] = true;  // no filter -> pass everything through
       }
     }
-    models_.push_back(std::move(model));
     filters_.push_back(std::move(filter));
   }
 
@@ -190,8 +198,8 @@ Status TeaserClassifier::Fit(const Dataset& train) {
         }
       }
       if (label == prepared.label(i)) ++correct;
-      earliness_sum += static_cast<double>(prefix_lengths_[stop]) /
-                       static_cast<double>(length_);
+      earliness_sum += static_cast<double>(prefix_lengths[stop]) /
+                       static_cast<double>(length);
     }
     const double accuracy = static_cast<double>(correct) / static_cast<double>(n);
     const double earliness = earliness_sum / static_cast<double>(n);
@@ -205,59 +213,97 @@ Status TeaserClassifier::Fit(const Dataset& train) {
   return Status::OK();
 }
 
-Result<EarlyPrediction> TeaserClassifier::PredictEarly(
-    const TimeSeries& series) const {
-  if (models_.empty()) return Status::FailedPrecondition("TEASER: not fitted");
-  if (series.num_variables() != 1) {
-    return Status::InvalidArgument("TEASER: univariate input required");
-  }
-  const TimeSeries prepared = Preprocess(series);
-
-  const Deadline deadline = PredictDeadline();
-  int last_label = 0;
-  size_t streak = 0;
-  for (size_t p = 0; p < prefix_lengths_.size(); ++p) {
-    ETSC_RETURN_NOT_OK(deadline.Check("TEASER: predict budget exceeded"));
-    const size_t len = prefix_lengths_[p];
-    const bool is_last = p + 1 == prefix_lengths_.size() ||
-                         prefix_lengths_[p + 1] > prepared.length();
-    if (len > prepared.length()) break;
-    auto proba = models_[p].PredictProba(prepared.Prefix(len));
-    if (!proba.ok()) return proba.status();
-    const auto& labels = models_[p].class_labels();
-    const size_t best = static_cast<size_t>(
-        std::max_element(proba->begin(), proba->end()) - proba->begin());
-    const int label = labels[best];
-
-    if (is_last) {
-      // Final prefix: emit without the two-tier checks (paper Sec. 3.6).
-      return EarlyPrediction{label, len};
-    }
-
-    bool accepted = true;
-    if (filter_ok_[p]) {
-      auto verdict = filters_[p].Accepts(OcsvmFeatures(*proba));
-      accepted = verdict.ok() && *verdict;
-    }
-    if (accepted) {
-      if (streak > 0 && label == last_label) {
-        ++streak;
-      } else {
-        streak = 1;
-        last_label = label;
-      }
-      if (streak >= v_) {
-        return EarlyPrediction{label, len};
-      }
-    } else {
-      streak = 0;
-    }
-  }
-  // Series shorter than the first prefix.
-  auto pred = models_[0].Predict(prepared);
-  if (!pred.ok()) return pred.status();
-  return EarlyPrediction{*pred, prepared.length()};
+std::unique_ptr<TriggerState> TeaserGateTrigger::NewState() const {
+  return std::make_unique<TeaserGateState>();
 }
+
+Result<TriggerDecision> TeaserGateTrigger::Decide(const TriggerEvidence& ev,
+                                                  TriggerState* state) const {
+  if (filter_ok_.empty()) return Status::FailedPrecondition("TEASER: not fitted");
+  auto* gate = static_cast<TeaserGateState*>(state);
+  const double best =
+      *std::max_element(ev.posteriors->begin(), ev.posteriors->end());
+  TriggerDecision decision;
+  decision.confidence = best;
+  if (ev.is_last) {
+    // Final prefix: emit without the two-tier checks (paper Sec. 3.6).
+    decision.halt = true;
+    return decision;
+  }
+
+  bool accepted = true;
+  if (filter_ok_[ev.checkpoint]) {
+    auto verdict = filters_[ev.checkpoint].Accepts(OcsvmFeatures(*ev.posteriors));
+    accepted = verdict.ok() && *verdict;
+  }
+  if (accepted) {
+    if (gate->streak > 0 && ev.predicted == gate->last_label) {
+      ++gate->streak;
+    } else {
+      gate->streak = 1;
+      gate->last_label = ev.predicted;
+    }
+    if (gate->streak >= v_) decision.halt = true;
+  } else {
+    gate->streak = 0;
+  }
+  return decision;
+}
+
+std::unique_ptr<Trigger> TeaserGateTrigger::CloneUnfitted() const {
+  return std::make_unique<TeaserGateTrigger>(options_);
+}
+
+Status TeaserGateTrigger::SaveState(Serializer& out) const {
+  if (filter_ok_.empty()) return Status::FailedPrecondition("TEASER: not fitted");
+  out.Begin("teaser-gate");
+  out.SizeT(v_);
+  out.BoolVec(filter_ok_);
+  for (size_t p = 0; p < filters_.size(); ++p) {
+    if (filter_ok_[p]) filters_[p].SaveState(out);
+  }
+  out.End();
+  return Status::OK();
+}
+
+Status TeaserGateTrigger::LoadState(Deserializer& in) {
+  ETSC_RETURN_NOT_OK(in.Enter("teaser-gate"));
+  ETSC_ASSIGN_OR_RETURN(v_, in.SizeT());
+  ETSC_ASSIGN_OR_RETURN(filter_ok_, in.BoolVec());
+  if (filter_ok_.empty()) {
+    return Status::DataLoss("TEASER: empty filter flag vector");
+  }
+  filters_.assign(filter_ok_.size(), OneClassSvm(options_.ocsvm));
+  for (size_t p = 0; p < filters_.size(); ++p) {
+    if (filter_ok_[p]) {
+      ETSC_RETURN_NOT_OK(filters_[p].LoadState(in));
+    }
+  }
+  return in.Leave();
+}
+
+namespace {
+
+ComposedParts TeaserParts(const TeaserOptions& options) {
+  ComposedParts parts;
+  parts.name = "TEASER";
+  parts.base = std::make_unique<WeaselClassifier>(options.weasel);
+  TeaserTriggerOptions trigger_options;
+  trigger_options.max_consecutive = options.max_consecutive;
+  trigger_options.cv_folds = options.cv_folds;
+  trigger_options.ocsvm = options.ocsvm;
+  trigger_options.seed = options.seed;
+  parts.trigger = std::make_unique<TeaserGateTrigger>(trigger_options);
+  parts.options.num_checkpoints = options.num_prefixes;
+  parts.options.grid = CheckpointGrid::kFloorMinTwo;
+  parts.options.z_normalize = options.z_normalize;
+  return parts;
+}
+
+}  // namespace
+
+TeaserClassifier::TeaserClassifier(TeaserOptions options)
+    : ComposedEarlyClassifier(TeaserParts(options)), options_(options) {}
 
 std::string TeaserClassifier::config_fingerprint() const {
   const auto& o = options_;
@@ -271,48 +317,12 @@ std::string TeaserClassifier::config_fingerprint() const {
          WeaselOptionsFingerprint(o.weasel) + ")";
 }
 
-Status TeaserClassifier::SaveState(Serializer& out) const {
-  if (models_.empty()) return Status::FailedPrecondition("TEASER: not fitted");
-  out.Begin("teaser");
-  out.SizeT(length_);
-  out.SizeT(v_);
-  out.SizeVec(prefix_lengths_);
-  out.SizeT(models_.size());
-  for (const WeaselClassifier& model : models_) {
-    ETSC_RETURN_NOT_OK(model.SaveState(out));
-  }
-  out.BoolVec(filter_ok_);
-  for (size_t p = 0; p < filters_.size(); ++p) {
-    if (filter_ok_[p]) filters_[p].SaveState(out);
-  }
-  out.End();
-  return Status::OK();
+std::unique_ptr<EarlyClassifier> TeaserClassifier::CloneUntrained() const {
+  return std::make_unique<TeaserClassifier>(options_);
 }
 
-Status TeaserClassifier::LoadState(Deserializer& in) {
-  ETSC_RETURN_NOT_OK(in.Enter("teaser"));
-  ETSC_ASSIGN_OR_RETURN(length_, in.SizeT());
-  ETSC_ASSIGN_OR_RETURN(v_, in.SizeT());
-  ETSC_ASSIGN_OR_RETURN(prefix_lengths_, in.SizeVec());
-  ETSC_ASSIGN_OR_RETURN(size_t num_models, in.SizeT());
-  if (num_models != prefix_lengths_.size() || num_models == 0) {
-    return Status::DataLoss("TEASER: model/prefix count mismatch");
-  }
-  models_.assign(num_models, WeaselClassifier(options_.weasel));
-  for (WeaselClassifier& model : models_) {
-    ETSC_RETURN_NOT_OK(model.LoadState(in));
-  }
-  ETSC_ASSIGN_OR_RETURN(filter_ok_, in.BoolVec());
-  if (filter_ok_.size() != num_models) {
-    return Status::DataLoss("TEASER: filter flag count mismatch");
-  }
-  filters_.assign(num_models, OneClassSvm(options_.ocsvm));
-  for (size_t p = 0; p < num_models; ++p) {
-    if (filter_ok_[p]) {
-      ETSC_RETURN_NOT_OK(filters_[p].LoadState(in));
-    }
-  }
-  return in.Leave();
+size_t TeaserClassifier::chosen_v() const {
+  return static_cast<const TeaserGateTrigger&>(trigger()).chosen_v();
 }
 
 }  // namespace etsc

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "core/classifier.h"
+#include "core/composed.h"
+#include "core/trigger.h"
 #include "ml/one_class_svm.h"
 #include "tsc/weasel.h"
 
@@ -34,40 +36,66 @@ struct TeaserOptions {
   uint64_t seed = 23;
 };
 
-class TeaserClassifier : public EarlyClassifier {
+/// TEASER's two-tier gate as a standalone trigger, usable with any base
+/// classifier that produces posteriors: per checkpoint, a one-class SVM
+/// trained on the (posteriors + top-2 margin) features of correctly
+/// classified training instances accepts or rejects the bank's prediction,
+/// and v consecutive identical accepted predictions halt. Registered as
+/// trigger "teaser-gate".
+struct TeaserTriggerOptions {
+  size_t max_consecutive = 5;
+  size_t cv_folds = 3;
+  OneClassSvmOptions ocsvm;
+  uint64_t seed = 23;
+};
+
+class TeaserGateTrigger : public Trigger {
  public:
-  explicit TeaserClassifier(TeaserOptions options = {}) : options_(options) {}
+  explicit TeaserGateTrigger(TeaserTriggerOptions options = {})
+      : options_(options) {}
 
-  Status Fit(const Dataset& train) override;
-  Result<EarlyPrediction> PredictEarly(const TimeSeries& series) const override;
-  std::string name() const override { return "TEASER"; }
-  bool SupportsMultivariate() const override { return false; }
-  std::unique_ptr<EarlyClassifier> CloneUntrained() const override {
-    return std::make_unique<TeaserClassifier>(options_);
-  }
-
-  size_t chosen_v() const { return v_; }
-  const std::vector<size_t>& prefix_lengths() const { return prefix_lengths_; }
-
+  std::string name() const override { return "teaser-gate"; }
   std::string config_fingerprint() const override;
+  bool SupportsMultivariate() const override { return false; }
+  ComposedOptions DefaultComposedOptions() const override;
+  Status PlanCheckpoints(const Dataset& train, const FullClassifier* base,
+                         const Deadline& deadline,
+                         std::vector<size_t>* checkpoints) override;
+  Status Fit(const TriggerFitContext& ctx) override;
+  std::unique_ptr<TriggerState> NewState() const override;
+  Result<TriggerDecision> Decide(const TriggerEvidence& evidence,
+                                 TriggerState* state) const override;
+  std::unique_ptr<Trigger> CloneUnfitted() const override;
   Status SaveState(Serializer& out) const override;
   Status LoadState(Deserializer& in) override;
 
- private:
+  size_t chosen_v() const { return v_; }
+
   /// The OC-SVM feature vector: the class-probability vector plus the margin
   /// between the two largest probabilities.
   static std::vector<double> OcsvmFeatures(const std::vector<double>& proba);
 
-  /// Applies the optional z-normalisation.
-  TimeSeries Preprocess(const TimeSeries& series) const;
-
-  TeaserOptions options_;
-  size_t length_ = 0;
+ private:
+  TeaserTriggerOptions options_;
   size_t v_ = 1;
-  std::vector<size_t> prefix_lengths_;
-  std::vector<WeaselClassifier> models_;
   std::vector<OneClassSvm> filters_;
-  std::vector<bool> filter_ok_;  // OC-SVM trained successfully per prefix
+  std::vector<bool> filter_ok_;  // OC-SVM trained successfully per checkpoint
+};
+
+/// Legacy monolithic entry point, now a thin composition of WEASEL with the
+/// "teaser-gate" trigger (bit-identical to the pre-seam implementation).
+class TeaserClassifier : public ComposedEarlyClassifier {
+ public:
+  explicit TeaserClassifier(TeaserOptions options = {});
+
+  std::string config_fingerprint() const override;
+  std::unique_ptr<EarlyClassifier> CloneUntrained() const override;
+
+  size_t chosen_v() const;
+  const std::vector<size_t>& prefix_lengths() const { return checkpoints(); }
+
+ private:
+  TeaserOptions options_;
 };
 
 }  // namespace etsc

@@ -23,6 +23,9 @@ std::string FingerprintDouble(double v);
 struct EarlyPrediction {
   int label = 0;
   size_t prefix_length = 0;
+  /// Trigger confidence in the label at the halt point (best posterior, fused
+  /// confidence, ...); 1.0 for algorithms without a probabilistic notion.
+  double confidence = 1.0;
 };
 
 /// Interface for algorithms that classify complete time-series (the paper's

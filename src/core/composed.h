@@ -1,0 +1,97 @@
+#ifndef ETSC_CORE_COMPOSED_H_
+#define ETSC_CORE_COMPOSED_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+#include "core/dataset.h"
+#include "core/status.h"
+#include "core/trigger.h"
+
+namespace etsc {
+
+/// Builds one of the shared checkpoint grids over training length `length`:
+/// the exact rounding/minimum rules of the legacy monolithic algorithms (see
+/// CheckpointGrid), deduped ascending, ending at `length`.
+std::vector<size_t> BuildCheckpointGrid(CheckpointGrid grid, size_t length,
+                                        size_t num_checkpoints);
+
+/// Construction bundle for ComposedEarlyClassifier; lets thin legacy wrappers
+/// derive the display name from the base before handing the base over.
+struct ComposedParts {
+  std::string name;
+  std::unique_ptr<FullClassifier> base;  // null for self-contained triggers
+  std::unique_ptr<Trigger> trigger;
+  ComposedOptions options;
+};
+
+/// Pairs any base (full) classifier with any trigger (DESIGN.md sec 15).
+///
+/// Fit: build the checkpoint grid, let the trigger plan/validate, fit one
+/// clone of the base per checkpoint (the "bank"; skipped for self-contained
+/// triggers), then fit the trigger against the bank. PredictEarly: walk the
+/// checkpoints, show the trigger the bank's posterior (or plain prediction)
+/// at each, emit at the first halt; series shorter than every checkpoint fall
+/// back to the trigger's Finalize or the first bank model on the full series.
+///
+/// The legacy monolithic algorithms are thin subclasses of this pipeline
+/// (same name/config_fingerprint strings, accessors delegating to their
+/// trigger), so legacy == composed equality is structural, not asserted-only.
+class ComposedEarlyClassifier : public EarlyClassifier {
+ public:
+  ComposedEarlyClassifier(std::string name,
+                          std::unique_ptr<FullClassifier> base,
+                          std::unique_ptr<Trigger> trigger,
+                          ComposedOptions options = {});
+  explicit ComposedEarlyClassifier(ComposedParts parts);
+
+  Status Fit(const Dataset& train) override;
+  Result<EarlyPrediction> PredictEarly(const TimeSeries& series) const override;
+  std::string name() const override { return name_; }
+  bool SupportsMultivariate() const override;
+  std::unique_ptr<EarlyClassifier> CloneUntrained() const override;
+  std::string config_fingerprint() const override;
+  Status SaveState(Serializer& out) const override;
+  Status LoadState(Deserializer& in) override;
+
+  bool fitted() const { return fitted_; }
+  /// Prefix lengths walked at predict time (fitted instances only).
+  const std::vector<size_t>& checkpoints() const { return checkpoints_; }
+  const Trigger& trigger() const { return *trigger_; }
+  /// The unfitted base prototype; null when the trigger is self-contained
+  /// and no base was supplied.
+  const FullClassifier* base_classifier() const { return base_.get(); }
+  /// Per-checkpoint fitted models (empty for self-contained triggers).
+  const std::vector<std::unique_ptr<FullClassifier>>& bank() const {
+    return bank_;
+  }
+  const ComposedOptions& composed_options() const { return options_; }
+
+ private:
+  std::string name_;
+  std::unique_ptr<FullClassifier> base_;
+  std::unique_ptr<Trigger> trigger_;
+  ComposedOptions options_;
+  size_t length_ = 0;
+  std::vector<size_t> checkpoints_;
+  std::vector<std::unique_ptr<FullClassifier>> bank_;
+  bool fitted_ = false;
+};
+
+/// True when `name` looks like a "classifier+trigger" composition spec.
+inline bool IsComposedSpec(const std::string& name) {
+  return name.find('+') != std::string::npos;
+}
+
+/// Instantiates a "classifier+trigger" spec from the two registries (e.g.
+/// "weasel+prob"). Unknown halves yield the registry's structured NotFound
+/// listing the names of the right namespace; a malformed spec yields
+/// InvalidArgument describing the syntax.
+Result<std::unique_ptr<EarlyClassifier>> MakeComposedFromSpec(
+    const std::string& spec);
+
+}  // namespace etsc
+
+#endif  // ETSC_CORE_COMPOSED_H_

@@ -100,6 +100,11 @@ double HarmonicMean(double accuracy, double earliness) {
   return 2.0 * accuracy * timeliness / denom;
 }
 
+double CostScore(double accuracy, double earliness, double alpha) {
+  const double a = std::min(1.0, std::max(0.0, alpha));
+  return a * (1.0 - accuracy) + (1.0 - a) * earliness;
+}
+
 std::string EvalScores::ToString() const {
   char buf[128];
   std::snprintf(buf, sizeof(buf),

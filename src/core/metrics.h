@@ -58,6 +58,15 @@ double MeanEarliness(const std::vector<size_t>& prefix_lengths,
 /// objectives (Sec. 2.2). Returns 0 when either term is 0.
 double HarmonicMean(double accuracy, double earliness);
 
+/// Cost-sensitive score: alpha * (1 - accuracy) + (1 - alpha) * earliness.
+/// Lower is better (0 = perfect-and-instant, 1 = wrong-and-late). `alpha` is
+/// the explicit misclassification-vs-delay cost ratio; alpha=1 scores
+/// accuracy alone, alpha=0 scores earliness alone. Reported alongside the
+/// harmonic mean so campaigns can be ranked under an application's actual
+/// cost model instead of the fixed 50/50 trade-off the harmonic mean implies.
+/// `alpha` is clamped to [0, 1].
+double CostScore(double accuracy, double earliness, double alpha);
+
 /// The bundle of scores every experiment in the paper reports.
 struct EvalScores {
   double accuracy = 0.0;

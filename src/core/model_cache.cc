@@ -8,8 +8,11 @@
 #include <fstream>
 #include <utility>
 
+#include <cstring>
+
 #include "core/counters.h"
 #include "core/log.h"
+#include "core/serialize.h"
 
 namespace etsc {
 
@@ -31,6 +34,32 @@ Counter& CorruptEvictions() {
   static Counter& c =
       MetricRegistry::Global().counter("model_cache.corrupt_evictions");
   return c;
+}
+Counter& StaleFormatDemotions() {
+  static Counter& c =
+      MetricRegistry::Global().counter("model_cache.stale_format_demotions");
+  return c;
+}
+
+/// Reads the 8-byte magic and u32 format version without consuming the rest
+/// of the stream. False when the stream is too short or not an ETSC model at
+/// all (those fall through to LoadFitted, whose errors drive eviction).
+bool PeekFormatVersion(std::istream& in, uint32_t* version) {
+  char prefix[sizeof(kSerializeMagic) + 4];
+  in.read(prefix, sizeof(prefix));
+  const bool ok =
+      static_cast<size_t>(in.gcount()) == sizeof(prefix) &&
+      std::memcmp(prefix, kSerializeMagic, sizeof(kSerializeMagic)) == 0;
+  if (ok) {
+    const auto* p =
+        reinterpret_cast<const unsigned char*>(prefix + sizeof(kSerializeMagic));
+    *version = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+               (static_cast<uint32_t>(p[2]) << 16) |
+               (static_cast<uint32_t>(p[3]) << 24);
+  }
+  in.clear();
+  in.seekg(0);
+  return ok;
 }
 
 /// FNV-1a over the key's components with length/field separators, so e.g.
@@ -96,6 +125,22 @@ bool ModelCache::TryLoad(const ModelCacheKey& key,
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     if (MetricsEnabled()) CacheMisses().Add(1);
+    return false;
+  }
+  uint32_t version = 0;
+  if (PeekFormatVersion(in, &version) && version < kSerializeFormatVersion) {
+    // Pre-bump artifact: its fitted payload predates the current section
+    // layout, so no current loader can consume it. Demote to a miss and evict
+    // so the refit's store replaces it with a current-format entry.
+    Logf(LogLevel::kWarn, "model_cache",
+         "demoting stale format v%u entry %s (current v%u)", version,
+         path.c_str(), kSerializeFormatVersion);
+    in.close();
+    std::remove(path.c_str());
+    if (MetricsEnabled()) {
+      StaleFormatDemotions().Add(1);
+      CacheMisses().Add(1);
+    }
     return false;
   }
   const Status status = classifier->LoadFitted(in);

@@ -28,7 +28,10 @@ struct ModelCacheKey {
 /// treated as a miss — LoadFitted's header checks make stale entries
 /// harmless. Thread-safe: entries are immutable once renamed into place.
 ///
-/// Metrics: model_cache.hits / model_cache.misses / model_cache.stores.
+/// Metrics: model_cache.hits / model_cache.misses / model_cache.stores /
+/// model_cache.corrupt_evictions / model_cache.stale_format_demotions (an
+/// entry written under an older ETSCMODL format version is demoted to a miss
+/// and evicted, never loaded).
 class ModelCache {
  public:
   explicit ModelCache(std::string directory);

@@ -38,7 +38,15 @@ namespace etsc {
 /// append fields to the end of a section and an older reader still works.
 /// Corruption (bad magic after a good prefix, truncation, checksum or length
 /// overruns) is always DataLoss, never UB or a crash.
-inline constexpr uint32_t kSerializeFormatVersion = 1;
+///
+/// Version history:
+///   1  original per-algorithm monolith sections ("teaser", "ecec", ...).
+///   2  classifier/trigger seam: composed early classifiers serialize a
+///      "composed" section (checkpoint grid + model bank + trigger state);
+///      the legacy algorithm sections no longer exist. v1 fitted-model
+///      artifacts are structurally incompatible and are demoted to cache
+///      misses (model_cache.stale_format_demotions) rather than loaded.
+inline constexpr uint32_t kSerializeFormatVersion = 2;
 inline constexpr char kSerializeMagic[8] = {'E', 'T', 'S', 'C',
                                             'M', 'O', 'D', 'L'};
 

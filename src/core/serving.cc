@@ -323,6 +323,7 @@ Result<SessionInfo> ServingEngine::Info(SessionId id) const {
   info.observed = session.stream.observed();
   info.pending = session.pending.size();
   info.decision = session.stream.decision();
+  info.meta = session.stream.decision_meta();
   info.deadline_forced = session.deadline_forced;
   return info;
 }
@@ -457,8 +458,11 @@ std::vector<ReplayOutcome> ReplaySequential(
       continue;
     }
     if (out->has_value() && !decided[event.session]) {
-      outcomes[event.session] = {(*out)->label, (*out)->prefix_length, false,
-                                 false};
+      const DecisionMeta& meta = *session.decision_meta();
+      outcomes[event.session] = {(*out)->label,  (*out)->prefix_length,
+                                 false,          false,
+                                 meta.halt_step, meta.earliness,
+                                 meta.confidence};
       decided[event.session] = true;
     }
   }
@@ -466,7 +470,11 @@ std::vector<ReplayOutcome> ReplaySequential(
     if (decided[s]) continue;
     auto finished = sessions[s]->Finish();
     if (finished.ok()) {
-      outcomes[s] = {finished->label, finished->prefix_length, true, false};
+      const DecisionMeta& meta = *sessions[s]->decision_meta();
+      outcomes[s] = {finished->label, finished->prefix_length,
+                     true,            false,
+                     meta.halt_step,  meta.earliness,
+                     meta.confidence};
     } else {
       outcomes[s].failed = true;
     }
@@ -496,8 +504,11 @@ Result<std::vector<ReplayOutcome>> ReplayThroughEngine(
   for (size_t s = 0; s < num_sessions; ++s) {
     auto info = engine.Info(ids[s]);
     if (info.ok() && info->decision.has_value()) {
+      const DecisionMeta& meta = *info->meta;
       outcomes[s] = {info->decision->label, info->decision->prefix_length,
-                     info->deadline_forced, false};
+                     info->deadline_forced, false,
+                     meta.halt_step,        meta.earliness,
+                     meta.confidence};
       continue;
     }
     if (!info.ok() && info.status().code() != StatusCode::kNotFound) {
@@ -507,7 +518,14 @@ Result<std::vector<ReplayOutcome>> ReplayThroughEngine(
     }
     auto finished = engine.Finish(ids[s]);
     if (finished.ok()) {
-      outcomes[s] = {finished->label, finished->prefix_length, true, false};
+      // Re-query for the metadata the forced Finish just produced.
+      auto after = engine.Info(ids[s]);
+      const DecisionMeta meta =
+          after.ok() && after->meta.has_value() ? *after->meta : DecisionMeta{};
+      outcomes[s] = {finished->label, finished->prefix_length,
+                     true,            false,
+                     meta.halt_step,  meta.earliness,
+                     meta.confidence};
     } else {
       outcomes[s].failed = true;
     }

@@ -87,6 +87,9 @@ struct SessionInfo {
   size_t observed = 0;      // observations already applied to the buffer
   size_t pending = 0;       // observations queued for the next batch
   std::optional<EarlyPrediction> decision;
+  /// Trigger metadata of the decision (halt step, earliness, confidence,
+  /// forced flag); engaged exactly when `decision` is.
+  std::optional<DecisionMeta> meta;
   bool deadline_forced = false;  // decision came from a deadline force-finish
 };
 
@@ -220,12 +223,17 @@ struct IngestEvent {
 std::vector<IngestEvent> BuildReplayTrace(const Dataset& data,
                                           size_t num_sessions, uint64_t seed);
 
-/// Outcome of one replayed session, comparable bit-for-bit.
+/// Outcome of one replayed session, comparable bit-for-bit. The trigger
+/// metadata (halt step, earliness ratio, confidence at halt) participates in
+/// the equality, so the batched-vs-sequential contract covers it too.
 struct ReplayOutcome {
   int label = 0;
   size_t prefix_length = 0;
-  bool via_finish = false;  // decided only when forced at end of stream
-  bool failed = false;      // classifier error (label/prefix meaningless)
+  bool via_finish = false;   // decided only when forced at end of stream
+  bool failed = false;       // classifier error (label/prefix meaningless)
+  size_t halt_step = 0;      // observations ingested at the decision
+  double earliness = 1.0;    // prefix_length / halt_step
+  double confidence = 1.0;   // trigger confidence at the halt
 
   bool operator==(const ReplayOutcome&) const = default;
 };

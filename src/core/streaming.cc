@@ -1,5 +1,6 @@
 #include "core/streaming.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "core/counters.h"
@@ -72,6 +73,10 @@ Result<std::optional<EarlyPrediction>> StreamingSession::Push(
   // (strictly inside the buffer) is final before Finish().
   if (pred.prefix_length < observed_) {
     decision_ = pred;
+    meta_ = DecisionMeta{observed_,
+                         static_cast<double>(pred.prefix_length) /
+                             static_cast<double>(observed_),
+                         pred.confidence, /*forced=*/false};
     if (MetricsEnabled()) Decisions().Add(1);
     return decision_;
   }
@@ -90,6 +95,10 @@ Result<EarlyPrediction> StreamingSession::Finish() {
   ETSC_ASSIGN_OR_RETURN(EarlyPrediction pred,
                         classifier_.PredictEarly(buffer_));
   decision_ = pred;
+  meta_ = DecisionMeta{observed_,
+                       std::min(1.0, static_cast<double>(pred.prefix_length) /
+                                         static_cast<double>(observed_)),
+                       pred.confidence, /*forced=*/true};
   if (MetricsEnabled()) Decisions().Add(1);
   return pred;
 }
@@ -110,6 +119,7 @@ void StreamingSession::Reset() {
   }
   observed_ = 0;
   decision_.reset();
+  meta_.reset();
   if (MetricsEnabled()) SessionsReset().Add(1);
 }
 

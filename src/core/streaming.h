@@ -8,6 +8,20 @@
 
 namespace etsc {
 
+/// Trigger decision metadata captured at the instant a session commits: at
+/// which step the trigger halted, how early that was relative to what had
+/// been observed, and how confident the trigger claimed to be. Derived purely
+/// from the decision-time state, so the batched serving path reproduces it
+/// bit-identically to the sequential one.
+struct DecisionMeta {
+  size_t halt_step = 0;     // observations ingested when the decision landed
+  double earliness = 1.0;   // prefix_length / halt_step; 1 = needed it all
+  double confidence = 1.0;  // EarlyPrediction::confidence at the halt
+  bool forced = false;      // decision came from Finish(), not a trigger halt
+
+  bool operator==(const DecisionMeta&) const = default;
+};
+
 /// Online wrapper around a trained EarlyClassifier for the paper's streaming
 /// setting (Sec. 6.2.5): measurements arrive one time-point at a time and the
 /// session reports the moment the algorithm commits.
@@ -54,6 +68,10 @@ class StreamingSession {
   /// The decision, if one has been made.
   const std::optional<EarlyPrediction>& decision() const { return decision_; }
 
+  /// Metadata of the decision (halt step, earliness ratio, confidence,
+  /// whether it was forced by Finish); engaged exactly when decision() is.
+  const std::optional<DecisionMeta>& decision_meta() const { return meta_; }
+
   /// Per-channel buffer capacity in time-points (what Reset()'s shrink rule
   /// operates on; exposed so capacity regressions are testable).
   size_t buffer_capacity() const { return buffer_.capacity(); }
@@ -71,6 +89,7 @@ class StreamingSession {
   size_t observed_ = 0;
   size_t expected_length_;
   std::optional<EarlyPrediction> decision_;
+  std::optional<DecisionMeta> meta_;
 };
 
 }  // namespace etsc

@@ -1,0 +1,107 @@
+#include "core/trigger.h"
+
+namespace etsc {
+
+namespace {
+
+template <typename FactoryMap>
+std::string KnownNames(const FactoryMap& factories) {
+  std::string known;
+  for (const auto& [registered, factory] : factories) {
+    if (!known.empty()) known += ", ";
+    known += registered;
+  }
+  return known;
+}
+
+}  // namespace
+
+TriggerRegistry& TriggerRegistry::Global() {
+  static TriggerRegistry* registry = new TriggerRegistry();
+  return *registry;
+}
+
+Status TriggerRegistry::Register(const std::string& name, Factory factory) {
+  if (factories_.count(name) > 0) {
+    return Status::InvalidArgument("trigger '" + name + "' already registered");
+  }
+  factories_[name] = std::move(factory);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Trigger>> TriggerRegistry::Create(
+    const std::string& name) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    return Status::NotFound("trigger '" + name +
+                            "' is not registered (registered triggers: " +
+                            KnownNames(factories_) + ")");
+  }
+  return it->second();
+}
+
+bool TriggerRegistry::Contains(const std::string& name) const {
+  return factories_.count(name) > 0;
+}
+
+std::vector<std::string> TriggerRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;
+}
+
+BaseClassifierRegistry& BaseClassifierRegistry::Global() {
+  static BaseClassifierRegistry* registry = new BaseClassifierRegistry();
+  return *registry;
+}
+
+Status BaseClassifierRegistry::Register(const std::string& name,
+                                        Factory factory) {
+  if (factories_.count(name) > 0) {
+    return Status::InvalidArgument("base classifier '" + name +
+                                   "' already registered");
+  }
+  factories_[name] = std::move(factory);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<FullClassifier>> BaseClassifierRegistry::Create(
+    const std::string& name) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    return Status::NotFound("base classifier '" + name +
+                            "' is not registered (registered base classifiers: " +
+                            KnownNames(factories_) + ")");
+  }
+  return it->second();
+}
+
+bool BaseClassifierRegistry::Contains(const std::string& name) const {
+  return factories_.count(name) > 0;
+}
+
+std::vector<std::string> BaseClassifierRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;
+}
+
+namespace internal {
+
+TriggerRegistrar::TriggerRegistrar(const std::string& name,
+                                   TriggerRegistry::Factory factory) {
+  Status status = TriggerRegistry::Global().Register(name, std::move(factory));
+  ETSC_CHECK(status.ok());
+}
+
+BaseClassifierRegistrar::BaseClassifierRegistrar(
+    const std::string& name, BaseClassifierRegistry::Factory factory) {
+  Status status =
+      BaseClassifierRegistry::Global().Register(name, std::move(factory));
+  ETSC_CHECK(status.ok());
+}
+
+}  // namespace internal
+}  // namespace etsc

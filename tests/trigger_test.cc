@@ -1,0 +1,381 @@
+// Tests of the classifier/trigger seam (DESIGN.md sec 15): registry
+// behaviour, per-trigger fit determinism, halt monotonicity, Save/LoadFitted
+// round-trips through ComposedEarlyClassifier, golden equivalence of the
+// legacy monoliths against their composed-spec twins (serial and at pool
+// width 8), and the model cache's demotion of pre-bump ETSCMODL artifacts.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+#include "algos/base_classifiers.h"
+#include "algos/prob_threshold.h"
+#include "algos/registrations.h"
+#include "core/composed.h"
+#include "core/counters.h"
+#include "core/evaluation.h"
+#include "core/model_cache.h"
+#include "core/parallel.h"
+#include "core/registry.h"
+#include "core/serialize.h"
+#include "core/trigger.h"
+#include "tests/test_util.h"
+
+namespace etsc {
+namespace {
+
+using testing::MakeToyDataset;
+
+/// One spec per registered trigger, each over a cheap base; the base half of
+/// self-contained triggers (ects-mpl, eco-cost) is created but unused.
+const std::vector<std::string>& AllTriggerSpecs() {
+  static const auto* kSpecs = new std::vector<std::string>{
+      "gbdt+prob",       "gbdt+ecec-ratio", "weasel+teaser-gate",
+      "1nn+ects-mpl",    "gbdt+eco-cost",   "gbdt+strut-search"};
+  return *kSpecs;
+}
+
+std::vector<EarlyPrediction> PredictAll(const EarlyClassifier& model,
+                                        const Dataset& test) {
+  std::vector<EarlyPrediction> out;
+  for (size_t i = 0; i < test.size(); ++i) {
+    auto pred = model.PredictEarly(test.instance(i));
+    EXPECT_TRUE(pred.ok()) << model.name() << ": " << pred.status().ToString();
+    out.push_back(pred.ok() ? *pred : EarlyPrediction{});
+  }
+  return out;
+}
+
+void ExpectSamePredictions(const std::vector<EarlyPrediction>& a,
+                           const std::vector<EarlyPrediction>& b,
+                           const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label) << what << " instance " << i;
+    EXPECT_EQ(a[i].prefix_length, b[i].prefix_length)
+        << what << " instance " << i;
+    EXPECT_EQ(a[i].confidence, b[i].confidence) << what << " instance " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registries (satellite: structured NotFound, both namespaces)
+// ---------------------------------------------------------------------------
+
+TEST(TriggerRegistryTest, UnknownTriggerListsRegisteredNames) {
+  RegisterBuiltinClassifiers();
+  auto created = TriggerRegistry::Global().Create("no-such-trigger");
+  ASSERT_FALSE(created.ok());
+  EXPECT_EQ(created.status().code(), StatusCode::kNotFound);
+  const std::string message = created.status().ToString();
+  EXPECT_NE(message.find("registered triggers:"), std::string::npos) << message;
+  EXPECT_NE(message.find("prob"), std::string::npos) << message;
+  EXPECT_NE(message.find("ects-mpl"), std::string::npos) << message;
+}
+
+TEST(TriggerRegistryTest, UnknownBaseListsRegisteredNames) {
+  RegisterBuiltinClassifiers();
+  auto created = BaseClassifierRegistry::Global().Create("no-such-base");
+  ASSERT_FALSE(created.ok());
+  EXPECT_EQ(created.status().code(), StatusCode::kNotFound);
+  const std::string message = created.status().ToString();
+  EXPECT_NE(message.find("registered base classifiers:"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("weasel"), std::string::npos) << message;
+}
+
+TEST(TriggerRegistryTest, AllSixTriggersAndSevenBasesRegistered) {
+  RegisterBuiltinClassifiers();
+  EXPECT_EQ(TriggerRegistry::Global().Names().size(), 6u);
+  EXPECT_EQ(BaseClassifierRegistry::Global().Names().size(), 7u);
+  for (const std::string& spec : AllTriggerSpecs()) {
+    auto model = MakeComposedFromSpec(spec);
+    ASSERT_TRUE(model.ok()) << spec << ": " << model.status().ToString();
+    EXPECT_EQ((*model)->name(), spec);
+  }
+}
+
+TEST(TriggerRegistryTest, ComposedSpecErrorsAreStructured) {
+  RegisterBuiltinClassifiers();
+  auto bad_trigger = MakeComposedFromSpec("weasel+nope");
+  ASSERT_FALSE(bad_trigger.ok());
+  EXPECT_EQ(bad_trigger.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(bad_trigger.status().ToString().find("registered triggers:"),
+            std::string::npos);
+  auto bad_base = MakeComposedFromSpec("nope+prob");
+  ASSERT_FALSE(bad_base.ok());
+  EXPECT_EQ(bad_base.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(bad_base.status().ToString().find("registered base classifiers:"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Per-trigger: fit determinism
+// ---------------------------------------------------------------------------
+
+TEST(TriggerFitTest, FitIsDeterministicPerTrigger) {
+  RegisterBuiltinClassifiers();
+  const Dataset data = MakeToyDataset(12, 32);
+  const Dataset test = MakeToyDataset(6, 32, 0.0, /*seed=*/11);
+  for (const std::string& spec : AllTriggerSpecs()) {
+    auto first = MakeComposedFromSpec(spec);
+    auto second = MakeComposedFromSpec(spec);
+    ASSERT_TRUE(first.ok() && second.ok()) << spec;
+    ASSERT_TRUE((*first)->Fit(data).ok()) << spec;
+    ASSERT_TRUE((*second)->Fit(data).ok()) << spec;
+    // Two fits from the same options and data must agree byte-for-byte in
+    // their serialized state, not just in their predictions.
+    std::ostringstream bytes_first, bytes_second;
+    ASSERT_TRUE((*first)->Save(bytes_first).ok()) << spec;
+    ASSERT_TRUE((*second)->Save(bytes_second).ok()) << spec;
+    EXPECT_EQ(bytes_first.str(), bytes_second.str()) << spec;
+    ExpectSamePredictions(PredictAll(**first, test), PredictAll(**second, test),
+                          spec);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Halt monotonicity (prob trigger: a stricter threshold never halts earlier)
+// ---------------------------------------------------------------------------
+
+TEST(TriggerHaltTest, ProbTriggerHaltIsMonotoneInThreshold) {
+  const Dataset data = MakeToyDataset(12, 32);
+  const Dataset test = MakeToyDataset(6, 32, 0.0, /*seed=*/11);
+  auto composed_at = [&](double threshold) {
+    ProbTriggerOptions options;
+    options.threshold = threshold;
+    auto trigger = std::make_unique<ProbTrigger>(options);
+    const ComposedOptions composed = trigger->DefaultComposedOptions();
+    return std::make_unique<ComposedEarlyClassifier>(
+        "gbdt+prob", std::make_unique<GbdtSeriesClassifier>(),
+        std::move(trigger), composed);
+  };
+  auto lax = composed_at(0.55);
+  auto strict = composed_at(0.95);
+  ASSERT_TRUE(lax->Fit(data).ok());
+  ASSERT_TRUE(strict->Fit(data).ok());
+  const auto lax_preds = PredictAll(*lax, test);
+  const auto strict_preds = PredictAll(*strict, test);
+  for (size_t i = 0; i < test.size(); ++i) {
+    // With consecutive=1 a checkpoint accepted at 0.95 is accepted at 0.55
+    // too, so the lax run can never consume a longer prefix.
+    EXPECT_LE(lax_preds[i].prefix_length, strict_preds[i].prefix_length)
+        << "instance " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-trigger: Save/LoadFitted round-trip through ComposedEarlyClassifier
+// ---------------------------------------------------------------------------
+
+TEST(TriggerSerializationTest, SaveLoadFittedRoundTripPerTrigger) {
+  RegisterBuiltinClassifiers();
+  const Dataset data = MakeToyDataset(12, 32);
+  const Dataset test = MakeToyDataset(6, 32, 0.0, /*seed=*/11);
+  for (const std::string& spec : AllTriggerSpecs()) {
+    auto fitted = MakeComposedFromSpec(spec);
+    ASSERT_TRUE(fitted.ok()) << spec;
+    ASSERT_TRUE((*fitted)->Fit(data).ok()) << spec;
+    std::stringstream stream;
+    ASSERT_TRUE((*fitted)->Save(stream).ok()) << spec;
+    auto restored = MakeComposedFromSpec(spec);
+    ASSERT_TRUE(restored.ok()) << spec;
+    const Status loaded = (*restored)->LoadFitted(stream);
+    ASSERT_TRUE(loaded.ok()) << spec << ": " << loaded.ToString();
+    ExpectSamePredictions(PredictAll(**fitted, test),
+                          PredictAll(**restored, test), spec);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Golden equivalence: legacy monolith == composed-spec twin, bit-identical
+// EvalScores, serial and at pool width 8
+// ---------------------------------------------------------------------------
+
+struct GoldenPair {
+  const char* legacy;  // ClassifierRegistry name, default options
+  const char* spec;    // '<base>+<trigger>' twin with matching defaults
+};
+
+const std::vector<GoldenPair>& GoldenPairs() {
+  static const auto* kPairs = new std::vector<GoldenPair>{
+      {"ecec", "weasel+ecec-ratio"},
+      {"ects", "1nn+ects-mpl"},
+      {"economy-k", "gbdt+eco-cost"},
+      {"teaser", "weasel+teaser-gate"},
+      {"prob-threshold", "minirocket-logistic+prob"},
+      {"s-weasel", "adaptive-weasel+strut-search"},
+  };
+  return *kPairs;
+}
+
+EvaluationResult EvaluateToy(const Dataset& data,
+                             const EarlyClassifier& prototype) {
+  EvaluationOptions options;
+  options.num_folds = 2;
+  // The voting wrapper multiplies every fit by its ensemble width and wraps
+  // legacy and twin identically; skip it to keep the matrix fast.
+  options.wrap_univariate_with_voting = false;
+  return CrossValidate(data, prototype, options);
+}
+
+void ExpectSameScores(const EvaluationResult& legacy,
+                      const EvaluationResult& twin, const std::string& what) {
+  ASSERT_EQ(legacy.folds.size(), twin.folds.size()) << what;
+  for (size_t f = 0; f < legacy.folds.size(); ++f) {
+    ASSERT_TRUE(legacy.folds[f].trained) << what << " fold " << f;
+    ASSERT_TRUE(twin.folds[f].trained) << what << " fold " << f;
+    const EvalScores& a = legacy.folds[f].scores;
+    const EvalScores& b = twin.folds[f].scores;
+    EXPECT_EQ(a.accuracy, b.accuracy) << what << " fold " << f;
+    EXPECT_EQ(a.f1, b.f1) << what << " fold " << f;
+    EXPECT_EQ(a.earliness, b.earliness) << what << " fold " << f;
+    EXPECT_EQ(a.harmonic_mean, b.harmonic_mean) << what << " fold " << f;
+  }
+}
+
+TEST(GoldenEquivalenceTest, LegacyEqualsComposedTwinSerialAndParallel) {
+  RegisterBuiltinClassifiers();
+  const Dataset data = MakeToyDataset(12, 32);
+  for (const GoldenPair& pair : GoldenPairs()) {
+    auto legacy = ClassifierRegistry::Global().Create(pair.legacy);
+    auto twin = MakeComposedFromSpec(pair.spec);
+    ASSERT_TRUE(legacy.ok()) << pair.legacy;
+    ASSERT_TRUE(twin.ok()) << pair.spec;
+
+    SetMaxParallelism(1);
+    const EvaluationResult legacy_serial = EvaluateToy(data, **legacy);
+    const EvaluationResult twin_serial = EvaluateToy(data, **twin);
+    SetMaxParallelism(8);
+    const EvaluationResult legacy_parallel = EvaluateToy(data, **legacy);
+    const EvaluationResult twin_parallel = EvaluateToy(data, **twin);
+    SetMaxParallelism(0);  // restore the ETSC_THREADS / hardware default
+
+    const std::string what =
+        std::string(pair.legacy) + " vs " + pair.spec;
+    ExpectSameScores(legacy_serial, twin_serial, what + " (serial)");
+    ExpectSameScores(legacy_parallel, twin_parallel, what + " (width 8)");
+    ExpectSameScores(legacy_serial, legacy_parallel,
+                     what + " (legacy serial vs width 8)");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Model cache: pre-bump (v1) artifacts demote to misses, never crash
+// ---------------------------------------------------------------------------
+
+class StaleFormatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/etsc_stale_cache_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    directory_ = tmpl;
+  }
+  void TearDown() override {
+    // Entries the tests leave behind (best effort; the dir name is unique).
+    std::remove((directory_ + "/leftover").c_str());
+    ::rmdir(directory_.c_str());
+  }
+  std::string directory_;
+};
+
+/// Overwrites the u32 format_version (offset 8, after the 8-byte magic) of an
+/// ETSCMODL file in place, little-endian.
+void PatchFormatVersion(const std::string& path, uint32_t version) {
+  std::fstream file(path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(file.is_open()) << path;
+  file.seekp(8);
+  const char bytes[4] = {static_cast<char>(version & 0xff),
+                         static_cast<char>((version >> 8) & 0xff),
+                         static_cast<char>((version >> 16) & 0xff),
+                         static_cast<char>((version >> 24) & 0xff)};
+  file.write(bytes, 4);
+  ASSERT_TRUE(file.good()) << path;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+TEST_F(StaleFormatTest, PreBumpArtifactIsDemotedToMissAndEvicted) {
+  RegisterBuiltinClassifiers();
+  const Dataset data = MakeToyDataset(10, 24);
+  auto model = MakeComposedFromSpec("gbdt+prob");
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE((*model)->Fit(data).ok());
+
+  ModelCache cache(directory_);
+  ModelCacheKey key;
+  key.config_fingerprint = (*model)->config_fingerprint();
+  key.dataset_fingerprint = data.Fingerprint();
+  key.num_folds = 1;
+  key.seed = 7;
+  ASSERT_TRUE(cache.Store(key, **model).ok());
+  const std::string path = cache.EntryPath(key, (*model)->name());
+  ASSERT_TRUE(FileExists(path));
+
+  // Rewrite the entry as if a pre-bump build had written it.
+  ASSERT_GE(kSerializeFormatVersion, 2u);
+  PatchFormatVersion(path, 1);
+
+  Counter& demotions =
+      MetricRegistry::Global().counter("model_cache.stale_format_demotions");
+  Counter& misses = MetricRegistry::Global().counter("model_cache.misses");
+  const uint64_t demotions_before = demotions.value();
+  const uint64_t misses_before = misses.value();
+
+  auto fresh = MakeComposedFromSpec("gbdt+prob");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(cache.TryLoad(key, fresh->get()));
+  EXPECT_EQ(demotions.value(), demotions_before + 1);
+  EXPECT_EQ(misses.value(), misses_before + 1);
+  // The stale entry is evicted so the refit's store replaces it.
+  EXPECT_FALSE(FileExists(path));
+
+  // The refit-and-store path fully recovers: the cache serves the new entry.
+  ASSERT_TRUE((*fresh)->Fit(data).ok());
+  ASSERT_TRUE(cache.Store(key, **fresh).ok());
+  auto reloaded = MakeComposedFromSpec("gbdt+prob");
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_TRUE(cache.TryLoad(key, reloaded->get()));
+  EXPECT_EQ(demotions.value(), demotions_before + 1);  // demotion was one-off
+  std::remove(path.c_str());
+}
+
+TEST_F(StaleFormatTest, NewerFormatArtifactIsAMissNotACrash) {
+  RegisterBuiltinClassifiers();
+  const Dataset data = MakeToyDataset(10, 24);
+  auto model = MakeComposedFromSpec("gbdt+prob");
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE((*model)->Fit(data).ok());
+
+  ModelCache cache(directory_);
+  ModelCacheKey key;
+  key.config_fingerprint = (*model)->config_fingerprint();
+  key.dataset_fingerprint = data.Fingerprint();
+  key.num_folds = 1;
+  key.seed = 7;
+  ASSERT_TRUE(cache.Store(key, **model).ok());
+  const std::string path = cache.EntryPath(key, (*model)->name());
+  PatchFormatVersion(path, kSerializeFormatVersion + 1);
+
+  // A future build's entry: the versioning policy rejects it in LoadFitted
+  // (InvalidArgument), which the cache treats as a corrupt eviction + miss.
+  auto fresh = MakeComposedFromSpec("gbdt+prob");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(cache.TryLoad(key, fresh->get()));
+  EXPECT_FALSE(FileExists(path));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace etsc
