@@ -29,10 +29,18 @@
 //                                             (multi-session serving engine
 //                                              over a replayable ingest trace;
 //                                              knobs via ETSC_SERVE_* env)
+//   etsc_cli --serve ... --wal PATH           (journal every session event to
+//                                              a write-ahead log)
+//   etsc_cli --serve ... --wal PATH --recover (rebuild the session table from
+//                                              the WAL, resume the trace, and
+//                                              verify decisions bit-identical
+//                                              to the uncrashed reference)
 //
 // Exit code 0 on success, 1 on usage/setup errors, 2 when the algorithm could
 // not train within the budget, 3 when --report-diff finds a difference, 4 when
-// --serve finds a batched/sequential divergence.
+// --serve finds a batched/sequential divergence. ETSC_SERVE_FAULT
+// ("die-at-ingest:K" / "die-at-dispatch:K") arms a scripted crash that exits
+// with code 86 — the serving chaos drill in scripts/check.sh.
 
 #include <sys/wait.h>
 #include <unistd.h>
@@ -57,6 +65,7 @@
 #include "core/counters.h"
 #include "core/csv.h"
 #include "core/evaluation.h"
+#include "core/fault.h"
 #include "core/json.h"
 #include "core/model_cache.h"
 #include "core/registry.h"
@@ -71,6 +80,8 @@ struct CliArgs {
   size_t sessions = 1000;               // --serve: concurrent live series
   size_t dispatch_every = 64;           // --serve: events per DispatchBatch
   std::string serve_report;             // --serve: JSON report destination
+  std::string wal;                      // --serve: session WAL path
+  bool recover = false;                 // --serve: rebuild table from the WAL
   bool campaign = false;
   bool worker = false;                   // join the fabric journal as a worker
   size_t workers = 0;                    // coordinator: spawn K worker processes
@@ -122,7 +133,11 @@ void PrintUsage() {
       "                 diff: legacy monolith vs its composed twin)\n"
       "       etsc_cli --serve --algo NAME --dataset BENCH [--sessions N]\n"
       "                [--dispatch-every K] [--serve-report OUT.json]\n"
-      "                (ETSC_SERVE_MAX_SESSIONS / _BUDGET_MS / _IDLE_MS env)\n");
+      "                [--wal PATH [--recover]]\n"
+      "                (ETSC_SERVE_MAX_SESSIONS / _BUDGET_MS / _IDLE_MS /\n"
+      "                 _SOFT_WATERMARK / _SHED_IDLE_MS / _RETRY_MS /\n"
+      "                 _WATCHDOG_GRACE / _WAL env; ETSC_SERVE_FAULT arms the\n"
+      "                 crash drill)\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -155,6 +170,12 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       const char* v = next("--serve-report");
       if (v == nullptr) return false;
       args->serve_report = v;
+    } else if (flag == "--wal") {
+      const char* v = next("--wal");
+      if (v == nullptr) return false;
+      args->wal = v;
+    } else if (flag == "--recover") {
+      args->recover = true;
     } else if (flag == "--campaign") {
       args->campaign = true;
     } else if (flag == "--worker") {
@@ -913,6 +934,14 @@ int RunServe(const CliArgs& args) {
 
   etsc::ServingOptions options = etsc::ServingOptions::FromEnv();
   options.expected_length = dataset.MaxLength();
+  // --wal overrides ETSC_SERVE_WAL; --recover replays that file instead of
+  // journaling onto it blind (Recover arms the appends itself).
+  std::string wal_path = !args.wal.empty() ? args.wal : options.wal_path;
+  if (args.recover && wal_path.empty()) {
+    std::fprintf(stderr, "--recover needs --wal PATH (or ETSC_SERVE_WAL)\n");
+    return 1;
+  }
+  options.wal_path = args.recover ? std::string() : wal_path;
   etsc::ServingEngine engine(options);
   std::shared_ptr<const etsc::EarlyClassifier> shared = model;
   const etsc::Status registered =
@@ -921,9 +950,35 @@ int RunServe(const CliArgs& args) {
     std::fprintf(stderr, "%s\n", registered.ToString().c_str());
     return 1;
   }
+
+  etsc::WalRecovery recovery;
+  if (args.recover) {
+    auto recovered = engine.Recover(wal_path);
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "recover failed: %s\n",
+                   recovered.status().ToString().c_str());
+      return 1;
+    }
+    recovery = *recovered;
+    std::printf(
+        "recover: %zu sessions (%zu observations, %zu finishes, %zu removed, "
+        "%zu decided) from %s in %.1f ms; %zu torn row(s) skipped\n",
+        recovery.sessions_recovered, recovery.observations_replayed,
+        recovery.finishes_replayed, recovery.sessions_removed,
+        recovery.decisions_recovered, wal_path.c_str(),
+        recovery.replay_seconds * 1e3, recovery.torn_rows);
+  }
+
+  // Scripted crash injection for the chaos drill (no-op when unset).
+  etsc::ArmServeFaultFromEnv();
+
   etsc::Stopwatch serve_timer;
-  const auto actual = etsc::ReplayThroughEngine(
-      engine, args.algo, args.sessions, trace, args.dispatch_every);
+  const auto actual =
+      args.recover
+          ? etsc::ResumeReplayThroughEngine(engine, args.algo, args.sessions,
+                                            trace, args.dispatch_every)
+          : etsc::ReplayThroughEngine(engine, args.algo, args.sessions, trace,
+                                      args.dispatch_every);
   const double serve_seconds = serve_timer.Seconds();
   if (!actual.ok()) {
     std::fprintf(stderr, "%s\n", actual.status().ToString().c_str());
@@ -995,6 +1050,13 @@ int RunServe(const CliArgs& args) {
       "halt step %.1f, mean earliness %.3f, mean confidence %.3f\n",
       trigger_halts, forced_finishes, failed_sessions, mean_halt_step,
       mean_earliness, mean_confidence);
+  if (!wal_path.empty()) {
+    std::printf(
+        "serve: WAL %s — %zu append(s); shed %zu decided + %zu idle, "
+        "%zu refusal(s), %zu malformed ingest(s) rejected\n",
+        wal_path.c_str(), stats.wal_appends, stats.shed_decided,
+        stats.shed_idle, stats.shed_refusals, stats.ingest_rejected);
+  }
 
   if (!args.serve_report.empty()) {
     etsc::json::Writer w;
@@ -1019,6 +1081,17 @@ int RunServe(const CliArgs& args) {
     w.Key("mean_halt_step").Number(mean_halt_step);
     w.Key("mean_halt_earliness").Number(mean_earliness);
     w.Key("mean_halt_confidence").Number(mean_confidence);
+    w.Key("wal").String(wal_path);
+    w.Key("wal_appends").Number(stats.wal_appends);
+    w.Key("recovered").Bool(args.recover);
+    w.Key("sessions_recovered").Number(recovery.sessions_recovered);
+    w.Key("observations_replayed").Number(recovery.observations_replayed);
+    w.Key("wal_replay_ms").Number(recovery.replay_seconds * 1e3);
+    w.Key("wal_torn_rows").Number(recovery.torn_rows);
+    w.Key("shed_decided").Number(stats.shed_decided);
+    w.Key("shed_idle").Number(stats.shed_idle);
+    w.Key("shed_refusals").Number(stats.shed_refusals);
+    w.Key("ingest_rejected").Number(stats.ingest_rejected);
     w.Key("bit_identical").Bool(true);
     w.EndObject();
     std::ofstream out(args.serve_report, std::ios::binary);

@@ -7,7 +7,10 @@
 # worker dying abruptly mid-cell must cost zero cells: the survivor steals the
 # orphaned lease and the merged report stays bit-identical), a serving-engine
 # smoke gate (batched multi-session dispatch must be bit-identical to the
-# sequential StreamingSession reference and emit its report), a composition
+# sequential StreamingSession reference and emit its report), a serving
+# chaos drill (a serving process dying abruptly mid-dispatch must recover
+# from its session WAL with a bit-identical decision set, and a torn WAL
+# tail must be skipped via Status accounting, never a crash), a composition
 # gate (a 3x3 classifier-x-trigger cross-product campaign sharded and merged
 # with alpha-weighted cost scores in the report, plus legacy-vs-composed twin
 # bit-identity over --report-diff, serial and ETSC_THREADS=8), then sanitizer
@@ -174,6 +177,52 @@ trap 'rm -rf "$SHARD_DIR" "$SIMD_DIR" "$FAULT_DIR" "$FABRIC_DIR" "$SERVE_DIR"' E
 )
 echo "check.sh: serving engine batched == sequential, report emitted"
 
+# Serving chaos drill: the serving process is killed abruptly mid-dispatch
+# (die-at fault, _Exit(86): the session WAL is left exactly as a SIGKILL
+# would leave it). A fresh process recovers from the WAL, resumes the same
+# ingest trace at the durable offsets, and every decision — label, prefix
+# length, DecisionMeta — must be bit-identical to the never-crashed
+# sequential replay. Then the torn-WAL gate: chop the journal mid-row and
+# prove recovery skips the torn tail via Status accounting, never a crash.
+(
+  export ETSC_LOG=warn
+  DRILL=(--serve --algo ects --dataset PowerCons --sessions 100 --dispatch-every 64)
+
+  # Reference: an uncrashed run with the journal on stays bit-identical and
+  # reports its durability counters.
+  ./build/examples/etsc_cli "${DRILL[@]}" --wal "$SERVE_DIR/ref.wal" \
+    --serve-report "$SERVE_DIR/ref.json"
+  grep -q '"bit_identical":true' "$SERVE_DIR/ref.json"
+  grep -q '"wal_appends":[1-9]' "$SERVE_DIR/ref.json"
+
+  # Crash mid-dispatch: observations already acknowledged are durable.
+  set +e
+  ETSC_SERVE_FAULT="die-at-dispatch:5" \
+    ./build/examples/etsc_cli "${DRILL[@]}" --wal "$SERVE_DIR/crash.wal"
+  rc=$?
+  set -e
+  test "$rc" -eq 86
+  test -s "$SERVE_DIR/crash.wal"
+
+  # Recover + resume: exit 4 (divergence) is the failure mode being gated.
+  ./build/examples/etsc_cli "${DRILL[@]}" --wal "$SERVE_DIR/crash.wal" \
+    --recover --serve-report "$SERVE_DIR/recovered.json"
+  grep -q '"bit_identical":true' "$SERVE_DIR/recovered.json"
+  grep -q '"recovered":true' "$SERVE_DIR/recovered.json"
+  grep -q '"sessions_recovered":[1-9]' "$SERVE_DIR/recovered.json"
+
+  # Torn tail: cut into the last row (newline, sentinel and one data byte
+  # gone — a crash between write and flush). Recovery must skip exactly that
+  # row, count it, and still converge on the bit-identical decision set.
+  cp "$SERVE_DIR/crash.wal" "$SERVE_DIR/torn.wal"
+  truncate -s $(( $(stat -c%s "$SERVE_DIR/torn.wal") - 7 )) "$SERVE_DIR/torn.wal"
+  ./build/examples/etsc_cli "${DRILL[@]}" --wal "$SERVE_DIR/torn.wal" \
+    --recover --serve-report "$SERVE_DIR/torn.json"
+  grep -q '"bit_identical":true' "$SERVE_DIR/torn.json"
+  grep -q '"wal_torn_rows":1' "$SERVE_DIR/torn.json"
+)
+echo "check.sh: serving chaos drill — crash recovered from WAL, torn tail skipped, decisions bit-identical"
+
 # Composition gate: the classifier/trigger cross-product (DESIGN.md sec 15).
 # A 3x3 grid (9 composed '<base>+<trigger>' configs) runs as a sharded
 # campaign and merges to one report carrying the alpha-weighted cost score
@@ -223,20 +272,22 @@ echo "check.sh: composition gate — 3x3 grid merged with cost scores, legacy ==
 # datasets) — exactly where memory bugs would hide — plus the SIMD kernels,
 # whose padded-stride pointer arithmetic is exactly where an out-of-bounds
 # vector tail read would hide, plus the trigger suite (composed model
-# streams, stale-format cache demotion — more attacker-shaped bytes).
+# streams, stale-format cache demotion — more attacker-shaped bytes), plus
+# the serving WAL suite (torn tails, bit-flip corruption corpus — the newest
+# attacker-shaped parser in the tree).
 cmake -B build-asan -S . -DETSC_SANITIZE=address
 cmake --build build-asan -j --target serialization_test corruption_test \
-  simd_test trigger_test
+  simd_test trigger_test serving_wal_test
 ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
-  -R 'Serialization|DatasetFingerprint|Corruption|Diagnostics|Simd|Soa|Trigger|StaleFormat|GoldenEquivalence'
+  -R 'Serialization|DatasetFingerprint|Corruption|Diagnostics|Simd|Soa|Trigger|StaleFormat|GoldenEquivalence|ServingWal|ServingIngestGuard'
 
 # UBSan over the same hostile-input suites: bit flips love to manufacture
 # out-of-range enums, shifts and size arithmetic that ASan alone won't flag.
 cmake -B build-ubsan -S . -DETSC_SANITIZE=undefined
 cmake --build build-ubsan -j --target serialization_test corruption_test \
-  simd_test trigger_test
+  simd_test trigger_test serving_wal_test
 ctest --test-dir build-ubsan --output-on-failure -j"$(nproc)" \
-  -R 'Serialization|DatasetFingerprint|Corruption|Diagnostics|Simd|Soa|Trigger|StaleFormat|GoldenEquivalence'
+  -R 'Serialization|DatasetFingerprint|Corruption|Diagnostics|Simd|Soa|Trigger|StaleFormat|GoldenEquivalence|ServingWal|ServingIngestGuard'
 
 # TSan, oversubscribed: only the targets whose tests exercise the pool, the
 # span/metric recording, the shared campaign journal, the model cache and the
@@ -247,8 +298,13 @@ ctest --test-dir build-ubsan --output-on-failure -j"$(nproc)" \
 cmake -B build-tsan -S . -DETSC_SANITIZE=thread
 cmake --build build-tsan -j --target parallel_test trace_test \
   journal_config_test serialization_test supervisor_test fabric_test \
-  streaming_test serving_test trigger_test
+  streaming_test serving_test serving_wal_test trigger_test
+# The 'Serving' filter also picks up the WAL/shed/race suites of
+# serving_wal_test; the fork-based die-at death tests are excluded — TSan
+# does not support spawning threads after a multi-threaded fork, and the
+# child's DispatchBatch does exactly that.
 ETSC_THREADS=8 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-  -R 'Parallel|Trace|Counters|Journal|Campaign|Log|Json|Serialization|DatasetFingerprint|Supervisor|Watchdog|Backoff|CircuitBreaker|CancelToken|Retry|FailureTaxonomy|Fabric|Streaming|Serving|Trigger|StaleFormat|GoldenEquivalence'
+  -R 'Parallel|Trace|Counters|Journal|Campaign|Log|Json|Serialization|DatasetFingerprint|Supervisor|Watchdog|Backoff|CircuitBreaker|CancelToken|Retry|FailureTaxonomy|Fabric|Streaming|Serving|Trigger|StaleFormat|GoldenEquivalence' \
+  -E 'ServingFaultDeathTest'
 
 echo "check.sh: all green"

@@ -1,5 +1,7 @@
 #include "core/fault.h"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -26,7 +28,91 @@ int NextCellOrdinal(const std::string& algorithm) {
   return ++(*counts)[algorithm];
 }
 
+/// Armed serving fault: which point dies, at which 1-based hit. A plain
+/// atomic pair — the tick path must stay cheap enough to sit inside Ingest.
+std::atomic<int> g_serve_fault_point{-1};  // -1 disarmed, else ServeFaultPoint
+std::atomic<int> g_serve_fault_ordinal{0};
+std::atomic<int> g_serve_fault_hits[2] = {{0}, {0}};
+
 }  // namespace
+
+void ArmServeFault(ServeFaultPoint point, int ordinal) {
+  g_serve_fault_hits[0].store(0, std::memory_order_relaxed);
+  g_serve_fault_hits[1].store(0, std::memory_order_relaxed);
+  if (ordinal <= 0) {
+    g_serve_fault_point.store(-1, std::memory_order_release);
+    return;
+  }
+  g_serve_fault_ordinal.store(ordinal, std::memory_order_relaxed);
+  g_serve_fault_point.store(static_cast<int>(point), std::memory_order_release);
+}
+
+void ArmServeFaultFromEnv() {
+  const char* raw = std::getenv("ETSC_SERVE_FAULT");
+  if (raw == nullptr || *raw == '\0') {
+    ArmServeFault(ServeFaultPoint::kIngest, 0);  // disarm
+    return;
+  }
+  const std::string spec(raw);
+  const auto colon = spec.rfind(':');
+  const std::string kind = colon == std::string::npos ? spec : spec.substr(0, colon);
+  int ordinal = 0;
+  if (colon != std::string::npos) {
+    char* end = nullptr;
+    const long parsed = std::strtol(spec.c_str() + colon + 1, &end, 10);
+    if (end != spec.c_str() + colon + 1 && *end == '\0' && parsed > 0 &&
+        parsed < 1000000000L) {
+      ordinal = static_cast<int>(parsed);
+    }
+  }
+  if (ordinal > 0 && kind == "die-at-ingest") {
+    ArmServeFault(ServeFaultPoint::kIngest, ordinal);
+  } else if (ordinal > 0 && kind == "die-at-dispatch") {
+    ArmServeFault(ServeFaultPoint::kDispatch, ordinal);
+  } else {
+    std::fprintf(stderr,
+                 "[fault] ignoring invalid ETSC_SERVE_FAULT='%s' (want "
+                 "die-at-ingest:K or die-at-dispatch:K)\n",
+                 raw);
+    ArmServeFault(ServeFaultPoint::kIngest, 0);  // disarm
+  }
+}
+
+void ServeFaultTick(ServeFaultPoint point) {
+  if (g_serve_fault_point.load(std::memory_order_acquire) !=
+      static_cast<int>(point)) {
+    return;
+  }
+  const int hit = 1 + g_serve_fault_hits[static_cast<int>(point)].fetch_add(
+                          1, std::memory_order_acq_rel);
+  if (hit == g_serve_fault_ordinal.load(std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "[fault] serving: die-at fault on %s #%d — exiting abruptly "
+                 "(code %d), WAL left as a crash would\n",
+                 point == ServeFaultPoint::kIngest ? "ingest" : "dispatch",
+                 hit, kDieAtExitCode);
+    std::_Exit(kDieAtExitCode);
+  }
+}
+
+Status TruncateTail(const std::string& path, size_t drop_bytes) {
+  std::FILE* probe = std::fopen(path.c_str(), "rb");
+  if (probe == nullptr) {
+    return Status::IOError("TruncateTail: cannot open " + path);
+  }
+  std::fseek(probe, 0, SEEK_END);
+  const long size = std::ftell(probe);
+  std::fclose(probe);
+  if (size < 0) return Status::IOError("TruncateTail: cannot size " + path);
+  const long keep =
+      drop_bytes >= static_cast<size_t>(size)
+          ? 0
+          : size - static_cast<long>(drop_bytes);
+  if (truncate(path.c_str(), keep) != 0) {
+    return Status::IOError("TruncateTail: truncate failed on " + path);
+  }
+  return Status::OK();
+}
 
 void BurnWallClock(double seconds) {
   if (seconds <= 0.0) return;

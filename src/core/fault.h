@@ -149,6 +149,34 @@ class DieAtClassifier : public EarlyClassifier {
   std::shared_ptr<std::atomic<int>> cell_ordinal_;
 };
 
+/// Serving-layer fault points (chaos-drill injectors for ServingEngine).
+/// `kIngest` fires inside Ingest AFTER the observation was journaled and
+/// applied — the crash loses nothing durable; `kDispatch` fires inside
+/// DispatchBatch between the claim phase and the pool fan-out — the textbook
+/// "killed mid-dispatch" instant, with queues moved but no decision applied.
+enum class ServeFaultPoint { kIngest, kDispatch };
+
+/// Arms a process-wide serving death from ETSC_SERVE_FAULT:
+///   "die-at-ingest:K"   — die at the K-th accepted ingest (1-based)
+///   "die-at-dispatch:K" — die at the K-th dispatched batch (1-based)
+/// Unset or empty disarms; anything else warns and disarms (the validated-env
+/// contract). The death is std::_Exit(kDieAtExitCode) — no destructors, no
+/// flushes, the file-system state of a SIGKILL. Used by the check.sh serving
+/// crash drill.
+void ArmServeFaultFromEnv();
+
+/// Programmatic arming (tests); `ordinal` <= 0 disarms.
+void ArmServeFault(ServeFaultPoint point, int ordinal);
+
+/// Hit counter for `point`: increments on every call and dies when the armed
+/// ordinal is reached. No-op (and no counter bump) while disarmed.
+void ServeFaultTick(ServeFaultPoint point);
+
+/// Truncates the last `drop_bytes` bytes off `path` — the torn-tail state a
+/// crash mid-append leaves behind, made scriptable for recovery drills.
+/// Dropping more bytes than the file holds empties it.
+Status TruncateTail(const std::string& path, size_t drop_bytes);
+
 /// Returns a copy of `source` in which every observation is independently
 /// replaced by NaN with probability `rate` (seeded) — a faulty data source
 /// modelling sensor dropouts. Labels and metadata are preserved; callers can

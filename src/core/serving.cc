@@ -1,17 +1,36 @@
 #include "core/serving.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <utility>
 
 #include "core/counters.h"
+#include "core/env.h"
+#include "core/fault.h"
 #include "core/log.h"
 #include "core/parallel.h"
 #include "core/rng.h"
+#include "core/supervisor.h"
 
 namespace etsc {
 
 namespace {
+
+// WAL grammar (DESIGN.md sec 16). One sentinel-terminated row per event, the
+// fabric journal's torn-row discipline: a row without the sentinel was cut by
+// a crash and is skipped, never half-parsed.
+//   O,<id>,<model>,#end        session opened against <model>
+//   I,<id>,<v0>,<v1>,...,#end  one observation accepted (%.17g round-trips)
+//   F,<id>,#end                explicit Finish claimed the session
+//   D,<id>,<n>,#end            deadline force-finish at <n> observed values
+//   C,<id>,#end                session removed (Close / eviction / shed)
+constexpr int kWalVersion = 1;
+constexpr const char kWalHeaderPrefix[] = "# etscwal v";
+constexpr const char kWalSentinel[] = ",#end";
 
 Counter& Opened() {
   static Counter& c =
@@ -38,6 +57,11 @@ Counter& Ingested() {
       MetricRegistry::Global().counter("serving.observations_ingested");
   return c;
 }
+Counter& IngestRejected() {
+  static Counter& c =
+      MetricRegistry::Global().counter("serving.ingest_rejected");
+  return c;
+}
 Counter& Batches() {
   static Counter& c = MetricRegistry::Global().counter("serving.batches");
   return c;
@@ -49,6 +73,36 @@ Counter& BatchDecisions() {
 Counter& DeadlineForced() {
   static Counter& c =
       MetricRegistry::Global().counter("serving.deadline_forced");
+  return c;
+}
+Counter& ShedDecidedCount() {
+  static Counter& c = MetricRegistry::Global().counter("serving.shed_decided");
+  return c;
+}
+Counter& ShedIdleCount() {
+  static Counter& c = MetricRegistry::Global().counter("serving.shed_idle");
+  return c;
+}
+Counter& ShedRefusals() {
+  static Counter& c = MetricRegistry::Global().counter("serving.shed_refusals");
+  return c;
+}
+Counter& WalAppends() {
+  static Counter& c = MetricRegistry::Global().counter("serving.wal_appends");
+  return c;
+}
+Counter& WalRecoveredSessions() {
+  static Counter& c =
+      MetricRegistry::Global().counter("serving.wal_recovered_sessions");
+  return c;
+}
+Counter& WalReplayedObservations() {
+  static Counter& c =
+      MetricRegistry::Global().counter("serving.wal_replayed_observations");
+  return c;
+}
+Counter& WalTornRows() {
+  static Counter& c = MetricRegistry::Global().counter("serving.wal_torn_rows");
   return c;
 }
 Gauge& LiveSessions() {
@@ -65,6 +119,16 @@ Histogram& BatchSeconds() {
       MetricRegistry::Global().histogram("serving.batch_seconds");
   return h;
 }
+Histogram& ShedSeconds() {
+  static Histogram& h =
+      MetricRegistry::Global().histogram("serving.shed_seconds");
+  return h;
+}
+Histogram& WalReplaySeconds() {
+  static Histogram& h =
+      MetricRegistry::Global().histogram("serving.wal_replay_seconds");
+  return h;
+}
 
 double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -72,38 +136,110 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-/// Validated numeric env knob, same contract as ETSC_THREADS: unset/empty
-/// keeps the default, garbage or out-of-range warns and keeps the default.
-double EnvNumber(const char* name, double fallback, double lo, double hi) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') return fallback;
-  char* end = nullptr;
-  const double parsed = std::strtod(raw, &end);
-  if (end == raw || *end != '\0' || !(parsed >= lo) || !(parsed <= hi)) {
-    Logf(LogLevel::kWarn, "serving",
-         "ignoring invalid %s='%s' (want a number in [%g, %g])", name, raw,
-         lo, hi);
-    return fallback;
+bool EndsWith(const std::string& text, const char* suffix) {
+  const size_t n = std::strlen(suffix);
+  return text.size() >= n && text.compare(text.size() - n, n, suffix) == 0;
+}
+
+std::vector<std::string> SplitRow(const std::string& body) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    const size_t comma = body.find(',', start);
+    if (comma == std::string::npos) {
+      fields.push_back(body.substr(start));
+      return fields;
+    }
+    fields.push_back(body.substr(start, comma - start));
+    start = comma + 1;
   }
-  return parsed;
+}
+
+bool ParseU64(const std::string& field, uint64_t* out) {
+  if (field.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(field.c_str(), &end, 10);
+  if (end != field.c_str() + field.size() || errno == ERANGE) return false;
+  *out = static_cast<uint64_t>(parsed);
+  return true;
+}
+
+bool ParseFiniteDouble(const std::string& field, double* out) {
+  if (field.empty()) return false;
+  char* end = nullptr;
+  const double parsed = std::strtod(field.c_str(), &end);
+  if (end != field.c_str() + field.size() || !std::isfinite(parsed)) {
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+/// Header line → WAL version; error when the line is not a WAL header at all
+/// (Recover must not mistake an arbitrary file for a journal).
+Result<int> ParseWalHeader(const std::string& line) {
+  const size_t n = std::strlen(kWalHeaderPrefix);
+  if (line.compare(0, n, kWalHeaderPrefix) != 0) {
+    return Status::FailedPrecondition(
+        "Recover: not a serving WAL (header '" + line + "')");
+  }
+  uint64_t version = 0;
+  if (!ParseU64(line.substr(n), &version) || version == 0) {
+    return Status::FailedPrecondition(
+        "Recover: unparseable WAL header '" + line + "'");
+  }
+  return static_cast<int>(version);
+}
+
+std::string WalHeaderLine() {
+  return std::string(kWalHeaderPrefix) + std::to_string(kWalVersion);
 }
 
 }  // namespace
 
+std::optional<double> RetryAfterMs(const Status& status) {
+  static constexpr char kToken[] = "retry_after_ms=";
+  const std::string& message = status.message();
+  const size_t pos = message.find(kToken);
+  if (pos == std::string::npos) return std::nullopt;
+  const char* start = message.c_str() + pos + std::strlen(kToken);
+  char* end = nullptr;
+  const double parsed = std::strtod(start, &end);
+  if (end == start || !std::isfinite(parsed) || parsed < 0.0) {
+    return std::nullopt;
+  }
+  return parsed;
+}
+
 ServingOptions ServingOptions::FromEnv() {
   ServingOptions options;
   options.max_sessions = static_cast<size_t>(
-      EnvNumber("ETSC_SERVE_MAX_SESSIONS",
-                static_cast<double>(options.max_sessions), 1.0, 1e9));
-  const double budget_ms = EnvNumber("ETSC_SERVE_BUDGET_MS", 0.0, 0.0, 1e12);
+      env::NumberOr("serving", "ETSC_SERVE_MAX_SESSIONS",
+                    static_cast<double>(options.max_sessions), 1.0, 1e9));
+  const double budget_ms =
+      env::NumberOr("serving", "ETSC_SERVE_BUDGET_MS", 0.0, 0.0, 1e12);
   if (budget_ms > 0.0) options.session_budget_seconds = budget_ms / 1e3;
-  const double idle_ms = EnvNumber("ETSC_SERVE_IDLE_MS", 0.0, 0.0, 1e12);
+  const double idle_ms =
+      env::NumberOr("serving", "ETSC_SERVE_IDLE_MS", 0.0, 0.0, 1e12);
   if (idle_ms > 0.0) options.idle_timeout_seconds = idle_ms / 1e3;
+  options.soft_watermark = env::NumberOr(
+      "serving", "ETSC_SERVE_SOFT_WATERMARK", options.soft_watermark, 0.01,
+      1.0);
+  const double shed_idle_ms =
+      env::NumberOr("serving", "ETSC_SERVE_SHED_IDLE_MS", 0.0, 0.0, 1e12);
+  if (shed_idle_ms > 0.0) options.shed_min_idle_seconds = shed_idle_ms / 1e3;
+  options.retry_after_ms = env::NumberOr(
+      "serving", "ETSC_SERVE_RETRY_MS", options.retry_after_ms, 1.0, 1e9);
+  options.watchdog_grace =
+      env::NumberOr("serving", "ETSC_SERVE_WATCHDOG_GRACE",
+                    options.watchdog_grace, 0.0, 1e6);
+  options.wal_path = env::StringOr("ETSC_SERVE_WAL", "");
   return options;
 }
 
 ServingEngine::ServingEngine(ServingOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)), wal_path_(options_.wal_path) {}
 
 Status ServingEngine::RegisterModel(
     const std::string& name, std::shared_ptr<const EarlyClassifier> model,
@@ -115,6 +251,19 @@ Status ServingEngine::RegisterModel(
     return Status::InvalidArgument(
         "RegisterModel: zero-variable model " + name);
   }
+  if (name.empty()) {
+    return Status::InvalidArgument("RegisterModel: empty model name");
+  }
+  for (const char c : name) {
+    // Model names are WAL row fields; commas and control characters would
+    // corrupt the journal grammar.
+    if (c == ',' || static_cast<unsigned char>(c) < 0x20) {
+      return Status::InvalidArgument(
+          "RegisterModel: model name must be WAL-safe "
+          "(no commas or control characters): " +
+          name);
+    }
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (model_index_.count(name) != 0) {
     return Status::InvalidArgument("RegisterModel: duplicate model " + name);
@@ -124,6 +273,282 @@ Status ServingEngine::RegisterModel(
   return Status::OK();
 }
 
+Status ServingEngine::WalArmLocked(bool keep_existing) {
+  if (wal_armed_) return Status::OK();
+  bool fresh = true;
+  bool needs_newline = false;
+  {
+    std::ifstream probe(wal_path_, std::ios::binary);
+    if (probe) {
+      probe.seekg(0, std::ios::end);
+      if (probe.tellg() > 0) {
+        fresh = false;
+        probe.seekg(-1, std::ios::end);
+        char last = '\n';
+        probe.get(last);
+        needs_newline = last != '\n';
+      }
+    }
+  }
+  if (!fresh && !keep_existing) {
+    // An existing file this engine never Recover()ed is some other run's
+    // history: rotate it aside (the journal's .stale discipline) rather than
+    // interleave two histories in one file.
+    const std::string stale = wal_path_ + ".stale";
+    Logf(LogLevel::kWarn, "serving",
+         "rotating un-recovered WAL %s to %s before journaling",
+         wal_path_.c_str(), stale.c_str());
+    std::remove(stale.c_str());
+    if (std::rename(wal_path_.c_str(), stale.c_str()) != 0) {
+      return Status::IOError("cannot rotate stale serving WAL " + wal_path_);
+    }
+    fresh = true;
+    needs_newline = false;
+  }
+  wal_out_.open(wal_path_, std::ios::binary | std::ios::app);
+  if (!wal_out_) {
+    return Status::IOError("cannot open serving WAL " + wal_path_);
+  }
+  // Fresh-line discipline: terminate any torn tail fragment so the next row
+  // starts on its own line (the fragment stays sentinel-less and is skipped
+  // by every future Recover).
+  if (needs_newline) wal_out_ << '\n';
+  if (fresh) wal_out_ << WalHeaderLine() << '\n';
+  wal_out_.flush();
+  if (!wal_out_) {
+    return Status::IOError("cannot write serving WAL header " + wal_path_);
+  }
+  wal_armed_ = true;
+  return Status::OK();
+}
+
+Status ServingEngine::WalAppend(const std::string& row) {
+  if (wal_path_.empty()) return Status::OK();
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  ETSC_RETURN_NOT_OK(WalArmLocked(/*keep_existing=*/false));
+  wal_out_ << row << kWalSentinel << '\n';
+  wal_out_.flush();
+  if (!wal_out_) {
+    return Status::IOError("serving WAL append failed: " + wal_path_);
+  }
+  ++wal_appends_;
+  if (MetricsEnabled()) WalAppends().Add(1);
+  return Status::OK();
+}
+
+Result<WalRecovery> ServingEngine::Recover(const std::string& path) {
+  const auto started = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!sessions_.empty()) {
+    return Status::FailedPrecondition(
+        "Recover: engine already holds sessions; recover into a fresh engine");
+  }
+  {
+    std::lock_guard<std::mutex> wal_lock(wal_mu_);
+    if (wal_armed_) {
+      return Status::FailedPrecondition(
+          "Recover: WAL already armed; recover before any journaled activity");
+    }
+    wal_path_ = path;
+  }
+
+  WalRecovery rec;
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string line;
+    while (in && std::getline(in, line)) lines.push_back(line);
+  }
+  if (!lines.empty()) {
+    ETSC_ASSIGN_OR_RETURN(const int version, ParseWalHeader(lines[0]));
+    if (version > kWalVersion) {
+      return Status::FailedPrecondition(
+          "Recover: WAL " + path + " is format v" + std::to_string(version) +
+          " but this build reads up to v" + std::to_string(kWalVersion) +
+          "; upgrade the binary before recovering");
+    }
+  }
+  // Arm the appender on the same file BEFORE replaying: recovery continues
+  // the history, it never rotates it, and any row the replay itself produces
+  // (a deadline force) lands after everything it replayed.
+  {
+    std::lock_guard<std::mutex> wal_lock(wal_mu_);
+    ETSC_RETURN_NOT_OK(WalArmLocked(/*keep_existing=*/true));
+  }
+
+  // A malformed sentineled row poisons the rebuild; the engine is cleared so
+  // a caller that ignores the error cannot serve from half a history.
+  const auto fail = [&](Status error) -> Status {
+    sessions_.clear();
+    next_id_ = 1;
+    return error;
+  };
+
+  SessionId max_id = 0;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const std::string& raw = lines[i];
+    if (raw.empty()) continue;
+    if (!EndsWith(raw, kWalSentinel)) {
+      // Torn by a crash mid-append: by the append discipline only the final
+      // row can be torn, and its event was never acknowledged — skip it.
+      ++rec.torn_rows;
+      continue;
+    }
+    const std::string line_ref = path + ":" + std::to_string(i + 1);
+    const std::vector<std::string> f =
+        SplitRow(raw.substr(0, raw.size() - std::strlen(kWalSentinel)));
+    uint64_t id = 0;
+    if (f.size() < 2 || f[0].size() != 1 || !ParseU64(f[1], &id) || id == 0) {
+      return fail(Status::DataLoss("Recover: malformed WAL row at " + line_ref));
+    }
+    switch (f[0][0]) {
+      case 'O': {
+        if (f.size() != 3) {
+          return fail(
+              Status::DataLoss("Recover: malformed open row at " + line_ref));
+        }
+        const auto model_it = model_index_.find(f[2]);
+        if (model_it == model_index_.end()) {
+          return fail(Status::FailedPrecondition(
+              "Recover: WAL row at " + line_ref + " needs model '" + f[2] +
+              "', which is not registered"));
+        }
+        if (sessions_.count(id) != 0) {
+          return fail(
+              Status::DataLoss("Recover: duplicate session open at " + line_ref));
+        }
+        const ModelEntry& entry = models_[model_it->second];
+        sessions_.emplace(
+            id, std::make_unique<Session>(
+                    id, model_it->second, *entry.model, entry.num_variables,
+                    options_.expected_length,
+                    Deadline::After(options_.session_budget_seconds)));
+        max_id = std::max(max_id, id);
+        break;
+      }
+      case 'I': {
+        const auto it = sessions_.find(id);
+        if (it == sessions_.end()) {
+          return fail(Status::DataLoss(
+              "Recover: observation for unknown session at " + line_ref));
+        }
+        Session& session = *it->second;
+        const size_t arity = models_[session.model_index].num_variables;
+        if (f.size() != 2 + arity) {
+          return fail(Status::DataLoss(
+              "Recover: observation arity mismatch at " + line_ref));
+        }
+        std::vector<double> values(arity);
+        for (size_t v = 0; v < arity; ++v) {
+          if (!ParseFiniteDouble(f[2 + v], &values[v])) {
+            return fail(Status::DataLoss(
+                "Recover: unparseable observation value at " + line_ref));
+          }
+        }
+        session.pending.push_back(std::move(values));
+        ++session.ingested;
+        ++rec.observations_replayed;
+        break;
+      }
+      case 'F':
+      case 'D': {
+        const auto it = sessions_.find(id);
+        if (it == sessions_.end()) {
+          return fail(Status::DataLoss(
+              "Recover: finish for unknown session at " + line_ref));
+        }
+        Session& session = *it->second;
+        // How much of the queue the original finish consumed: an explicit
+        // Finish claimed everything journaled before its row; a deadline
+        // force ran with exactly <n> values observed — observations that
+        // raced past the force stay queued, exactly as they did live.
+        size_t stop_at = std::numeric_limits<size_t>::max();
+        if (f[0][0] == 'D') {
+          uint64_t n = 0;
+          if (f.size() != 3 || !ParseU64(f[2], &n)) {
+            return fail(Status::DataLoss(
+                "Recover: malformed force-finish row at " + line_ref));
+          }
+          stop_at = static_cast<size_t>(n);
+        } else if (f.size() != 2) {
+          return fail(
+              Status::DataLoss("Recover: malformed finish row at " + line_ref));
+        }
+        size_t used = 0;
+        while (used < session.pending.size() &&
+               session.stream.observed() < stop_at) {
+          auto out = session.stream.Push(session.pending[used]);
+          ++used;
+          if (!out.ok()) {
+            if (session.error.ok()) session.error = out.status();
+            break;
+          }
+        }
+        if (f[0][0] == 'F') {
+          // Live Finish flushed the whole claim, sticky discards included.
+          used = session.pending.size();
+        }
+        session.pending.erase(session.pending.begin(),
+                              session.pending.begin() + used);
+        const bool had_decision = session.stream.decision().has_value();
+        if (session.error.ok() && session.stream.observed() > 0) {
+          auto finished = session.stream.Finish();
+          if (finished.ok() && !had_decision && f[0][0] == 'D') {
+            session.deadline_forced = true;
+          }
+        }
+        ++rec.finishes_replayed;
+        break;
+      }
+      case 'C': {
+        const auto it = sessions_.find(id);
+        if (it == sessions_.end()) {
+          return fail(Status::DataLoss(
+              "Recover: close for unknown session at " + line_ref));
+        }
+        sessions_.erase(it);
+        ++rec.sessions_removed;
+        break;
+      }
+      default:
+        return fail(
+            Status::DataLoss("Recover: unknown WAL row kind at " + line_ref));
+    }
+  }
+  next_id_ = std::max(next_id_, max_id + 1);
+  rec.sessions_recovered = sessions_.size();
+  stats_.live_sessions = sessions_.size();
+  stats_.peak_sessions = std::max(stats_.peak_sessions, sessions_.size());
+
+  // The queued observations now run through the ordinary dispatch path — the
+  // same claim/fan-out/replay machinery as an uncrashed run, which is what
+  // makes post-recovery decisions bit-identical to one.
+  lock.unlock();
+  ETSC_ASSIGN_OR_RETURN(const size_t batch_decisions, DispatchBatch());
+  (void)batch_decisions;
+  {
+    std::lock_guard<std::mutex> relock(mu_);
+    for (const auto& [id, session] : sessions_) {
+      if (session->stream.decision().has_value()) ++rec.decisions_recovered;
+    }
+  }
+  rec.replay_seconds = SecondsSince(started);
+  if (MetricsEnabled()) {
+    WalRecoveredSessions().Add(rec.sessions_recovered);
+    WalReplayedObservations().Add(rec.observations_replayed);
+    WalTornRows().Add(rec.torn_rows);
+    WalReplaySeconds().Record(rec.replay_seconds);
+    LiveSessions().Set(static_cast<int64_t>(rec.sessions_recovered));
+  }
+  Logf(LogLevel::kInfo, "serving",
+       "recovered %zu sessions (%zu observations, %zu finishes, %zu removed, "
+       "%zu torn rows skipped) from %s in %.3fs",
+       rec.sessions_recovered, rec.observations_replayed,
+       rec.finishes_replayed, rec.sessions_removed, rec.torn_rows,
+       path.c_str(), rec.replay_seconds);
+  return rec;
+}
+
 Result<SessionId> ServingEngine::Open(const std::string& model_name) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = model_index_.find(model_name);
@@ -131,15 +556,40 @@ Result<SessionId> ServingEngine::Open(const std::string& model_name) {
     return Status::NotFound("Open: unregistered model " + model_name);
   }
   if (sessions_.size() >= options_.max_sessions) {
-    ++stats_.rejected;
-    if (MetricsEnabled()) Rejected().Add(1);
-    return Status::Unavailable(
-        "Open: session table full (" +
-        std::to_string(options_.max_sessions) +
-        " sessions); evict or raise ETSC_SERVE_MAX_SESSIONS");
+    // Hard watermark: shed whatever is reclaimable; refuse only if the table
+    // is still full — with a machine-readable back-off so clients degrade to
+    // delay instead of a retry storm.
+    ShedLocked();
+    if (sessions_.size() >= options_.max_sessions) {
+      ++stats_.rejected;
+      ++stats_.shed_refusals;
+      if (MetricsEnabled()) {
+        Rejected().Add(1);
+        ShedRefusals().Add(1);
+      }
+      char hint[48];
+      std::snprintf(hint, sizeof(hint), "; retry_after_ms=%g",
+                    options_.retry_after_ms);
+      return Status::Unavailable(
+          "Open: session table full (" +
+          std::to_string(options_.max_sessions) +
+          " sessions); evict or raise ETSC_SERVE_MAX_SESSIONS" + hint);
+    }
+  } else {
+    // Soft watermark: shed opportunistically so the hard refusal stays rare.
+    const double frac =
+        std::min(std::max(options_.soft_watermark, 0.0), 1.0);
+    const auto soft_limit = static_cast<size_t>(
+        std::ceil(frac * static_cast<double>(options_.max_sessions)));
+    if (sessions_.size() >= soft_limit) ShedLocked();
   }
   const ModelEntry& entry = models_[it->second];
-  const SessionId id = next_id_++;
+  const SessionId id = next_id_;
+  // Write-ahead: if the journal refuses the row, the open never happened
+  // (and the id was not consumed).
+  ETSC_RETURN_NOT_OK(
+      WalAppend("O," + std::to_string(id) + "," + entry.name));
+  ++next_id_;
   sessions_.emplace(
       id, std::make_unique<Session>(
               id, it->second, *entry.model, entry.num_variables,
@@ -166,18 +616,52 @@ Status ServingEngine::Ingest(SessionId id, const std::vector<double>& values) {
   // Mirrors StreamingSession's arity-before-everything rule: a malformed
   // observation is reported here and can never reach a buffer.
   if (values.size() != arity) {
+    ++stats_.ingest_rejected;
+    if (MetricsEnabled()) IngestRejected().Add(1);
     return Status::InvalidArgument(
         "Ingest: observation has " + std::to_string(values.size()) +
         " values, expected " + std::to_string(arity));
   }
+  for (const double v : values) {
+    if (!std::isfinite(v)) {
+      ++stats_.ingest_rejected;
+      if (MetricsEnabled()) IngestRejected().Add(1);
+      return Status::InvalidArgument(
+          "Ingest: non-finite value in observation for session " +
+          std::to_string(id) +
+          " (repair the feed upstream, e.g. Dataset::FillMissingValues)");
+    }
+  }
+  if (!wal_path_.empty()) {
+    std::string row = "I," + std::to_string(id);
+    char buf[40];
+    for (const double v : values) {
+      // 17 significant digits round-trip every finite double exactly.
+      std::snprintf(buf, sizeof(buf), ",%.17g", v);
+      row += buf;
+    }
+    ETSC_RETURN_NOT_OK(WalAppend(row));
+  }
   session.pending.push_back(values);
   session.last_activity = std::chrono::steady_clock::now();
+  ++session.ingested;
   ++stats_.ingested;
   if (MetricsEnabled()) Ingested().Add(1);
+  // Chaos drill: the die-at-ingest injector fires after the observation is
+  // journaled and applied, so the crash it models loses nothing durable.
+  ServeFaultTick(ServeFaultPoint::kIngest);
   return Status::OK();
 }
 
-void ServingEngine::RunSession(Session* session) const {
+void ServingEngine::RunSession(Session* session) {
+  // With the watchdog enabled, the whole per-session replay runs under a
+  // supervision watch: a model that ignores its budget is cooperatively
+  // cancelled (CancelToken → kDeadlineExceeded) instead of wedging the pool.
+  std::optional<Watchdog::Watch> watch;
+  if (options_.watchdog_grace > 0.0) {
+    watch.emplace("serving session " + std::to_string(session->id),
+                  options_.session_budget_seconds, options_.watchdog_grace);
+  }
   // Replays the claimed observations in arrival order through the session's
   // own StreamingSession — the single-caller semantics, verbatim, which is
   // what makes batched decisions bit-identical to the streaming path.
@@ -199,6 +683,20 @@ void ServingEngine::RunSession(Session* session) const {
   // with whatever it has seen — a forced Finish on the observed prefix.
   if (!session->stream.decision().has_value() && session->error.ok() &&
       session->stream.observed() > 0 && session->deadline.Expired()) {
+    // Write-ahead, with the observed count: observations racing into the
+    // fresh queue while we force may journal before this row, and the count
+    // is what keeps the replayed force at the same prefix. If the journal
+    // refuses, the force is skipped and retried at the next dispatch.
+    const Status wal =
+        WalAppend("D," + std::to_string(session->id) + "," +
+                  std::to_string(session->stream.observed()));
+    if (!wal.ok()) {
+      Logf(LogLevel::kWarn, "serving",
+           "deferring deadline force of session %llu: %s",
+           static_cast<unsigned long long>(session->id),
+           wal.message().c_str());
+      return;
+    }
     const auto finish_started = std::chrono::steady_clock::now();
     auto forced = session->stream.Finish();
     if (!forced.ok()) {
@@ -242,6 +740,9 @@ Result<size_t> ServingEngine::DispatchBatch() {
                      });
   }
 
+  // Chaos drill: "killed mid-dispatch" — queues claimed, nothing applied.
+  ServeFaultTick(ServeFaultPoint::kDispatch);
+
   ParallelFor(
       work.size(), [&](size_t i) { RunSession(work[i]); },
       std::max<size_t>(1, options_.batch_grain));
@@ -283,6 +784,9 @@ Result<EarlyPrediction> ServingEngine::Finish(SessionId id) {
       return Status::Unavailable("Finish: session " + std::to_string(id) +
                                  " is being dispatched");
     }
+    // Journaled at claim time, under the table lock: every observation row
+    // before this F row is exactly the claim the finish flushes.
+    ETSC_RETURN_NOT_OK(WalAppend("F," + std::to_string(id)));
     had_decision = session->stream.decision().has_value();
     session->taking = std::exchange(session->pending, {});
     session->decided_in_batch = false;
@@ -322,6 +826,7 @@ Result<SessionInfo> ServingEngine::Info(SessionId id) const {
   info.model = models_[session.model_index].name;
   info.observed = session.stream.observed();
   info.pending = session.pending.size();
+  info.ingested = session.ingested;
   info.decision = session.stream.decision();
   info.meta = session.stream.decision_meta();
   info.deadline_forced = session.deadline_forced;
@@ -338,6 +843,7 @@ Status ServingEngine::Close(SessionId id) {
     return Status::Unavailable("Close: session " + std::to_string(id) +
                                " is being dispatched");
   }
+  ETSC_RETURN_NOT_OK(WalAppend("C," + std::to_string(id)));
   sessions_.erase(it);
   ++stats_.closed;
   stats_.live_sessions = sessions_.size();
@@ -348,26 +854,87 @@ Status ServingEngine::Close(SessionId id) {
   return Status::OK();
 }
 
-size_t ServingEngine::EvictDecided() {
-  std::lock_guard<std::mutex> lock(mu_);
+bool ServingEngine::RemoveSessionLocked(
+    std::map<SessionId, std::unique_ptr<Session>>::iterator it) {
+  // Write-ahead: a removal the journal refused did not happen — the session
+  // stays (and stays reclaimable by a later pass).
+  const Status wal = WalAppend("C," + std::to_string(it->first));
+  if (!wal.ok()) {
+    Logf(LogLevel::kWarn, "serving",
+         "keeping session %llu: WAL close row failed (%s)",
+         static_cast<unsigned long long>(it->first), wal.message().c_str());
+    return false;
+  }
+  sessions_.erase(it);
+  return true;
+}
+
+size_t ServingEngine::EvictDecidedLocked(bool shed) {
   size_t evicted = 0;
   for (auto it = sessions_.begin(); it != sessions_.end();) {
     Session& session = *it->second;
-    if (!session.in_flight && session.pending.empty() &&
-        (session.stream.decision().has_value() || !session.error.ok())) {
-      it = sessions_.erase(it);
-      ++evicted;
-    } else {
+    const bool reclaimable =
+        !session.in_flight && session.pending.empty() &&
+        (session.stream.decision().has_value() || !session.error.ok());
+    if (!reclaimable) {
       ++it;
+      continue;
     }
+    const auto cur = it++;
+    if (RemoveSessionLocked(cur)) ++evicted;
   }
   stats_.evicted += evicted;
+  if (shed) stats_.shed_decided += evicted;
   stats_.live_sessions = sessions_.size();
   if (MetricsEnabled() && evicted > 0) {
     Evicted().Add(evicted);
+    if (shed) ShedDecidedCount().Add(evicted);
     LiveSessions().Set(static_cast<int64_t>(sessions_.size()));
   }
   return evicted;
+}
+
+size_t ServingEngine::ShedLocked() {
+  const auto started = std::chrono::steady_clock::now();
+  // Tier 1: decided sessions have delivered their answer — reclaim them all.
+  size_t shed = EvictDecidedLocked(/*shed=*/true);
+  // Tier 2: if that freed nothing and the policy allows it, shed the single
+  // oldest-idle undecided session past the threshold — one admission's worth
+  // of room, taken from the series least likely to come back.
+  if (shed == 0 && std::isfinite(options_.shed_min_idle_seconds)) {
+    auto oldest = sessions_.end();
+    double oldest_idle = options_.shed_min_idle_seconds;
+    for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+      Session& session = *it->second;
+      if (session.in_flight || !session.pending.empty() ||
+          session.stream.decision().has_value() || !session.error.ok()) {
+        continue;
+      }
+      const double idle = SecondsSince(session.last_activity);
+      if (idle >= oldest_idle) {
+        oldest_idle = idle;
+        oldest = it;
+      }
+    }
+    if (oldest != sessions_.end() && RemoveSessionLocked(oldest)) {
+      shed = 1;
+      ++stats_.shed_idle;
+      ++stats_.evicted;
+      stats_.live_sessions = sessions_.size();
+      if (MetricsEnabled()) {
+        ShedIdleCount().Add(1);
+        Evicted().Add(1);
+        LiveSessions().Set(static_cast<int64_t>(sessions_.size()));
+      }
+    }
+  }
+  if (MetricsEnabled()) ShedSeconds().Record(SecondsSince(started));
+  return shed;
+}
+
+size_t ServingEngine::EvictDecided() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EvictDecidedLocked(/*shed=*/false);
 }
 
 size_t ServingEngine::EvictIdle(double idle_seconds) {
@@ -376,14 +943,15 @@ size_t ServingEngine::EvictIdle(double idle_seconds) {
   size_t evicted = 0;
   for (auto it = sessions_.begin(); it != sessions_.end();) {
     Session& session = *it->second;
-    if (!session.in_flight && session.pending.empty() &&
-        !session.stream.decision().has_value() &&
-        SecondsSince(session.last_activity) > idle_seconds) {
-      it = sessions_.erase(it);
-      ++evicted;
-    } else {
+    const bool idle = !session.in_flight && session.pending.empty() &&
+                      !session.stream.decision().has_value() &&
+                      SecondsSince(session.last_activity) > idle_seconds;
+    if (!idle) {
       ++it;
+      continue;
     }
+    const auto cur = it++;
+    if (RemoveSessionLocked(cur)) ++evicted;
   }
   stats_.evicted += evicted;
   stats_.live_sessions = sessions_.size();
@@ -396,7 +964,12 @@ size_t ServingEngine::EvictIdle(double idle_seconds) {
 
 ServingStats ServingEngine::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  ServingStats out = stats_;
+  {
+    std::lock_guard<std::mutex> wal_lock(wal_mu_);
+    out.wal_appends = wal_appends_;
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -482,26 +1055,14 @@ std::vector<ReplayOutcome> ReplaySequential(
   return outcomes;
 }
 
-Result<std::vector<ReplayOutcome>> ReplayThroughEngine(
-    ServingEngine& engine, const std::string& model_name, size_t num_sessions,
-    const std::vector<IngestEvent>& trace, size_t dispatch_every) {
-  std::vector<SessionId> ids(num_sessions);
-  for (size_t s = 0; s < num_sessions; ++s) {
-    ETSC_ASSIGN_OR_RETURN(ids[s], engine.Open(model_name));
-  }
-  size_t since_dispatch = 0;
-  for (const IngestEvent& event : trace) {
-    ETSC_RETURN_NOT_OK(engine.Ingest(ids[event.session], event.values));
-    if (dispatch_every > 0 && ++since_dispatch >= dispatch_every) {
-      since_dispatch = 0;
-      ETSC_ASSIGN_OR_RETURN(size_t decisions, engine.DispatchBatch());
-      (void)decisions;
-    }
-  }
-  ETSC_ASSIGN_OR_RETURN(size_t tail, engine.DispatchBatch());
-  (void)tail;
-  std::vector<ReplayOutcome> outcomes(num_sessions);
-  for (size_t s = 0; s < num_sessions; ++s) {
+namespace {
+
+/// Shared tail of the engine replays: read every slot's outcome, Finishing
+/// the still-undecided ones (end of stream).
+std::vector<ReplayOutcome> CollectOutcomes(ServingEngine& engine,
+                                           const std::vector<SessionId>& ids) {
+  std::vector<ReplayOutcome> outcomes(ids.size());
+  for (size_t s = 0; s < ids.size(); ++s) {
     auto info = engine.Info(ids[s]);
     if (info.ok() && info->decision.has_value()) {
       const DecisionMeta& meta = *info->meta;
@@ -531,6 +1092,71 @@ Result<std::vector<ReplayOutcome>> ReplayThroughEngine(
     }
   }
   return outcomes;
+}
+
+}  // namespace
+
+Result<std::vector<ReplayOutcome>> ReplayThroughEngine(
+    ServingEngine& engine, const std::string& model_name, size_t num_sessions,
+    const std::vector<IngestEvent>& trace, size_t dispatch_every) {
+  std::vector<SessionId> ids(num_sessions);
+  for (size_t s = 0; s < num_sessions; ++s) {
+    ETSC_ASSIGN_OR_RETURN(ids[s], engine.Open(model_name));
+  }
+  size_t since_dispatch = 0;
+  for (const IngestEvent& event : trace) {
+    ETSC_RETURN_NOT_OK(engine.Ingest(ids[event.session], event.values));
+    if (dispatch_every > 0 && ++since_dispatch >= dispatch_every) {
+      since_dispatch = 0;
+      ETSC_ASSIGN_OR_RETURN(size_t decisions, engine.DispatchBatch());
+      (void)decisions;
+    }
+  }
+  ETSC_ASSIGN_OR_RETURN(size_t tail, engine.DispatchBatch());
+  (void)tail;
+  return CollectOutcomes(engine, ids);
+}
+
+Result<std::vector<ReplayOutcome>> ResumeReplayThroughEngine(
+    ServingEngine& engine, const std::string& model_name, size_t num_sessions,
+    const std::vector<IngestEvent>& trace, size_t dispatch_every) {
+  // Slot s was session id s + 1 in the crashed run (fresh-engine id order);
+  // its SessionInfo::ingested says how far into the trace the WAL already
+  // carried it. A slot the WAL never saw (crash before its Open) is opened
+  // fresh here and replays from the top.
+  std::vector<SessionId> ids(num_sessions);
+  std::vector<size_t> skip(num_sessions, 0);
+  for (size_t s = 0; s < num_sessions; ++s) {
+    const SessionId expected = static_cast<SessionId>(s + 1);
+    auto info = engine.Info(expected);
+    if (info.ok()) {
+      ids[s] = expected;
+      skip[s] = info->ingested;
+      continue;
+    }
+    if (info.status().code() == StatusCode::kNotFound) {
+      ETSC_ASSIGN_OR_RETURN(ids[s], engine.Open(model_name));
+      continue;
+    }
+    // Sticky error: the session exists and will report `failed` — nothing
+    // more to feed it.
+    ids[s] = expected;
+    skip[s] = std::numeric_limits<size_t>::max();
+  }
+  std::vector<size_t> seen(num_sessions, 0);
+  size_t since_dispatch = 0;
+  for (const IngestEvent& event : trace) {
+    if (seen[event.session]++ < skip[event.session]) continue;
+    ETSC_RETURN_NOT_OK(engine.Ingest(ids[event.session], event.values));
+    if (dispatch_every > 0 && ++since_dispatch >= dispatch_every) {
+      since_dispatch = 0;
+      ETSC_ASSIGN_OR_RETURN(size_t decisions, engine.DispatchBatch());
+      (void)decisions;
+    }
+  }
+  ETSC_ASSIGN_OR_RETURN(size_t tail, engine.DispatchBatch());
+  (void)tail;
+  return CollectOutcomes(engine, ids);
 }
 
 }  // namespace etsc
